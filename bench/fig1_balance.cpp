@@ -1,0 +1,38 @@
+// E1 — Fig. 1: machine balance (flops per word of memory and interconnect
+// bandwidth). The paper's point: wafer-scale integration puts the CS-1 at
+// the bottom of the flops-per-word scale — it can move 3 bytes to and from
+// memory per flop, while conventional nodes sit orders of magnitude higher.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perfmodel/balance.hpp"
+
+int main() {
+  using namespace wss;
+  using namespace wss::perfmodel;
+
+  bench::header("E1: machine balance survey", "Fig. 1 (after McCalpin)",
+                "CS-1 moves ~3 bytes/flop; CPU/GPU nodes sit at hundreds of "
+                "flops per memory word");
+
+  std::printf("%-28s %14s %14s %14s\n", "machine", "flops/mem word",
+              "flops/net word", "bytes/flop mem");
+  for (const MachineBalance& m : balance_survey()) {
+    std::printf("%-28s %14.2f %14.1f %14.3f\n", m.name.c_str(),
+                m.flops_per_memory_word(), m.flops_per_network_word(),
+                m.bytes_per_flop_memory());
+  }
+
+  const auto cs1 = cs1_balance();
+  const auto survey = balance_survey();
+  std::printf("\n");
+  bench::row("CS-1 bytes per flop (memory)", 3.0, cs1.bytes_per_flop_memory(),
+             "B/flop");
+  bench::row("Xeon node / CS-1 balance gap", 0.0,
+             survey[0].flops_per_memory_word() / cs1.flops_per_memory_word(),
+             "x");
+  bench::note("gap of two to three orders of magnitude reproduces the "
+              "Fig. 1 separation between conventional nodes and the wafer");
+  return 0;
+}

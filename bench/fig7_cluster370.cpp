@@ -1,0 +1,67 @@
+// E7 — Fig. 7: strong scaling of BiCGStab (inside MFIX) on the Joule
+// cluster, 370^3 mesh. The figure's message: scaling fails beyond 8k
+// cores. We regenerate the series with the calibrated cost model, and
+// functionally validate the distributed solver on the thread runtime.
+
+#include <cstdio>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/dist_bicgstab.hpp"
+#include "perfmodel/cluster_model.hpp"
+#include "stencil/generators.hpp"
+
+int main() {
+  using namespace wss;
+  using namespace wss::perfmodel;
+
+  bench::header("E7: cluster strong scaling, 370^3 mesh", "Fig. 7",
+                "failure to scale beyond 8K cores on the smaller mesh");
+
+  const JouleModel model;
+  const Grid3 mesh(370, 370, 370);
+
+  std::printf("%8s %14s %12s %12s %12s %10s\n", "cores", "ms/iteration",
+              "compute ms", "halo ms", "allreduce ms", "efficiency");
+  std::vector<std::vector<double>> csv_rows;
+  double prev = 0.0;
+  for (const int cores : {1024, 2048, 4096, 8192, 16384}) {
+    const auto t = model.iteration_time(mesh, cores);
+    std::printf("%8d %14.2f %12.2f %12.3f %12.3f %10.2f\n", cores,
+                t.total() * 1e3, t.compute_s * 1e3, t.halo_s * 1e3,
+                t.allreduce_s * 1e3, model.efficiency(mesh, cores));
+    csv_rows.push_back({static_cast<double>(cores), t.total() * 1e3,
+                        t.compute_s * 1e3, t.halo_s * 1e3,
+                        t.allreduce_s * 1e3, model.efficiency(mesh, cores)});
+    prev = t.total();
+  }
+  (void)prev;
+
+  bench::write_csv("fig7_cluster370",
+                   "cores,ms_per_iter,compute_ms,halo_ms,allreduce_ms,efficiency",
+                   csv_rows);
+
+  const double t8k = model.iteration_seconds(mesh, 8192);
+  const double t16k = model.iteration_seconds(mesh, 16384);
+  bench::row("speedup 8k->16k cores", 1.0, t8k / t16k, "x");
+  bench::note("~1.0x: doubling cores stops helping (the Fig. 7 flattening)");
+
+  // Functional validation of the distributed algorithm at small scale.
+  std::printf("\nfunctional check (thread-backed runtime, 8 ranks, 48^3):\n");
+  const Grid3 small(48, 48, 48);
+  auto a = make_convection_diffusion7(small, 1.0, -0.5, 0.5);
+  const auto xref = make_smooth_solution(small);
+  const auto b = make_rhs(a, xref);
+  cluster::World world(8);
+  Field3<double> x(small, 0.0);
+  SolveControls c;
+  c.max_iterations = 100;
+  c.tolerance = 1e-9;
+  const auto result = cluster::distributed_bicgstab(world, a, b, x, c);
+  std::printf("  converged in %d iterations; %llu halo messages, %.1f MB\n",
+              result.solve.iterations,
+              static_cast<unsigned long long>(result.comm.messages_sent),
+              static_cast<double>(result.comm.bytes_sent) / 1e6);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E8 — Fig. 8: strong scaling on the 600^3 mesh: 75 ms/iteration at 1024
+// cores scaling to ~6 ms at 16K — which is ~214x the CS-1's 28.1 us on a
+// mesh with more than twice the points.
+
+#include <cstdio>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "perfmodel/cluster_model.hpp"
+#include "perfmodel/cs1_model.hpp"
+
+int main() {
+  using namespace wss;
+  using namespace wss::perfmodel;
+
+  bench::header("E8: cluster strong scaling, 600^3 mesh", "Fig. 8, Sec. V-A",
+                "75 ms @1024 cores -> ~6 ms @16K; CS-1 is ~214x faster");
+
+  const JouleModel model;
+  const Grid3 mesh(600, 600, 600);
+
+  std::printf("%8s %14s %12s %12s %12s %10s\n", "cores", "ms/iteration",
+              "compute ms", "halo ms", "allreduce ms", "efficiency");
+  std::vector<std::vector<double>> csv_rows;
+  for (const int cores : {1024, 2048, 4096, 8192, 16384}) {
+    const auto t = model.iteration_time(mesh, cores);
+    std::printf("%8d %14.2f %12.2f %12.3f %12.3f %10.2f\n", cores,
+                t.total() * 1e3, t.compute_s * 1e3, t.halo_s * 1e3,
+                t.allreduce_s * 1e3, model.efficiency(mesh, cores));
+    csv_rows.push_back({static_cast<double>(cores), t.total() * 1e3,
+                        t.compute_s * 1e3, t.halo_s * 1e3,
+                        t.allreduce_s * 1e3, model.efficiency(mesh, cores)});
+  }
+
+  bench::write_csv("fig8_cluster600",
+                   "cores,ms_per_iter,compute_ms,halo_ms,allreduce_ms,efficiency",
+                   csv_rows);
+
+  std::printf("\n");
+  bench::row("1024-core iteration", 75.0,
+             model.iteration_seconds(mesh, 1024) * 1e3, "ms");
+  bench::row("16384-core iteration", 6.0,
+             model.iteration_seconds(mesh, 16384) * 1e3, "ms");
+
+  const CS1Model cs1;
+  const double cs1_iter = cs1.iteration_seconds(Grid3(600, 595, 1536));
+  bench::row("Joule/CS-1 iteration ratio", 214.0,
+             model.iteration_seconds(mesh, 16384) / cs1_iter, "x");
+
+  // The intro's framing: HPCG-class kernels reach only 0.5-3.1% of peak on
+  // the top supercomputers. Our modeled cluster BiCGStab lands in the same
+  // memory-bound regime.
+  {
+    const double fp64_ops_per_point = 48.0; // 2 matvecs(7x2) + 4 dots + 6 axpys
+    const double achieved = fp64_ops_per_point *
+                            static_cast<double>(mesh.size()) /
+                            model.iteration_seconds(mesh, 1024);
+    const double peak = 1024.0 * 32.0 * 2.4e9; // AVX-512 FMA fp64
+    bench::row("cluster fraction of peak (1024c)", 0.02, achieved / peak, "");
+    bench::note("paper intro: 'the top 20 performing supercomputers achieve "
+                "only 0.5% - 3.1% of their peak' on HPCG");
+  }
+
+  // Performance per Watt (Section I's efficiency claim): the wafer's
+  // mixed-precision GF/W against the cluster's fp64 GF/W.
+  {
+    const CS1Model cs1w;
+    const double wafer = cs1w.flops_per_watt(Grid3(600, 595, 1536)) / 1e9;
+    const double joule_gfw = model.flops_per_watt(mesh, 16384) / 1e9;
+    bench::row("CS-1 GF/W (mixed, 20 kW)", 0.0, wafer, "GF/W");
+    bench::row("Joule GF/W (fp64, 16k cores)", 0.0, joule_gfw, "GF/W");
+    bench::note("an order of magnitude apart even before precision "
+                "normalization — the Section I per-Watt claim");
+  }
+  bench::note("the CS-1 mesh (600x595x1536) has >2x the meshpoints of the "
+              "600^3 cluster run, as in the paper");
+  bench::note("(on the other hand, Joule arithmetic is fp64 — four times "
+              "wider, as the paper notes)");
+  return 0;
+}

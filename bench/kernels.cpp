@@ -1,0 +1,166 @@
+// Google-benchmark microbenchmarks of the library's kernels: the fp16
+// software arithmetic, reference and wafer-order SpMV, AXPY/dot in each
+// precision policy, the AllReduce tree, full BiCGStab iterations, and the
+// fabric simulator's cycle rate (host seconds per simulated cycle).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+#include "wsekernels/allreduce_program.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+#include "wsekernels/wse_bicgstab.hpp"
+
+namespace {
+
+using namespace wss;
+
+void BM_Fp16RoundTrip(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> values(1024);
+  for (auto& v : values) v = rng.uniform(-100.0, 100.0);
+  for (auto _ : state) {
+    for (const double v : values) {
+      benchmark::DoNotOptimize(fp16_t(v).to_double());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+void BM_Fp16Fmac(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<fp16_t> a(1024), b(1024), c(1024);
+  for (int i = 0; i < 1024; ++i) {
+    a[static_cast<std::size_t>(i)] = fp16_t(rng.uniform(-1.0, 1.0));
+    b[static_cast<std::size_t>(i)] = fp16_t(rng.uniform(-1.0, 1.0));
+    c[static_cast<std::size_t>(i)] = fp16_t(rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      benchmark::DoNotOptimize(fmac(a[static_cast<std::size_t>(i)],
+                                    b[static_cast<std::size_t>(i)],
+                                    c[static_cast<std::size_t>(i)]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Fp16Fmac);
+
+template <typename T>
+Stencil7<T> prepared_stencil(Grid3 g) {
+  auto ad = make_random_dominant7(g, 0.5, 7);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  return convert_stencil<T>(ad);
+}
+
+void BM_SpmvReferenceFp64(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Grid3 g(n, n, n);
+  const auto a = prepared_stencil<double>(g);
+  Field3<double> v(g, 1.0), u(g);
+  for (auto _ : state) {
+    spmv7(a, v, u);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_SpmvReferenceFp64)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_SpmvWaferOrderFp16(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Grid3 g(n, n, n);
+  const auto a = prepared_stencil<fp16_t>(g);
+  Field3<fp16_t> v(g, fp16_t(1.0)), u(g);
+  for (auto _ : state) {
+    wsekernels::wse_spmv(a, v, u);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_SpmvWaferOrderFp16)->Arg(16)->Arg(32);
+
+void BM_DotMixed(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  Rng rng(5);
+  std::vector<fp16_t> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = fp16_t(rng.uniform(-1.0, 1.0));
+    b[i] = fp16_t(rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dot<MixedPrecision>(std::span<const fp16_t>(a), std::span<const fp16_t>(b)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DotMixed);
+
+void BM_AxpyFp16(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  std::vector<fp16_t> x(n, fp16_t(0.5)), y(n, fp16_t(1.0));
+  for (auto _ : state) {
+    axpy(fp16_t(0.25), std::span<const fp16_t>(x), std::span<fp16_t>(y));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AxpyFp16);
+
+void BM_AllReduceTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> partials(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wsekernels::wse_allreduce_tree(partials, n, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_AllReduceTree)->Arg(64)->Arg(256)->Arg(600);
+
+void BM_BicgstabIterationFp64(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Grid3 g(n, n, n);
+  auto a = make_poisson7(g);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+  Stencil7Operator<double> op(a);
+  std::vector<double> bv(b.begin(), b.end());
+  SolveControls c;
+  c.max_iterations = 5;
+  c.tolerance = 0.0;
+  for (auto _ : state) {
+    std::vector<double> x(g.size(), 0.0);
+    benchmark::DoNotOptimize(bicgstab<DoublePrecision>(
+        [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+          op(v, y, fc);
+        },
+        std::span<const double>(bv), std::span<double>(x), c));
+  }
+  state.SetItemsProcessed(state.iterations() * 5 * static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_BicgstabIterationFp64)->Arg(16)->Arg(32);
+
+void BM_FabricSimulatorCycleRate(benchmark::State& state) {
+  // Host cost per simulated tile-cycle of the SpMV program.
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  const Grid3 g(6, 6, 64);
+  const auto a = prepared_stencil<fp16_t>(g);
+  Field3<fp16_t> v(g, fp16_t(1.0));
+  wsekernels::SpMV3DSimulation simulation(a, arch, sim);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulation.run(v));
+    cycles += simulation.last_run_cycles();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles) * 36); // tile-cycles
+}
+BENCHMARK(BM_FabricSimulatorCycleRate);
+
+} // namespace

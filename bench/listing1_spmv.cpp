@@ -1,0 +1,102 @@
+// E3 — Listing 1 / Fig. 4: the dataflow SpMV on the cycle-level fabric
+// simulator. Verifies values against the fp64 reference, reports cycles
+// per Z point, and runs the two ablations the paper mentions: FIFO depth
+// (20 in the paper) and one vs two summation tasks ("the production code
+// used two distinct summation tasks to improve performance").
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "perfmodel/cs1_model.hpp"
+#include "stencil/generators.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace {
+
+struct Case {
+  wss::Stencil7<wss::fp16_t> a;
+  wss::Field3<wss::fp16_t> v;
+};
+
+Case make_case(wss::Grid3 g, std::uint64_t seed) {
+  auto ad = wss::make_random_dominant7(g, 0.5, seed);
+  wss::Field3<double> b(g, 1.0);
+  (void)wss::precondition_jacobi(ad, b);
+  Case c{wss::convert_stencil<wss::fp16_t>(ad), wss::Field3<wss::fp16_t>(g)};
+  wss::Rng rng(seed + 1);
+  for (std::size_t i = 0; i < c.v.size(); ++i) {
+    c.v[i] = wss::fp16_t(rng.uniform(-1.0, 1.0));
+  }
+  return c;
+}
+
+double max_err(const Case& c, const wss::Field3<wss::fp16_t>& u) {
+  auto ad = wss::convert_stencil<double>(c.a);
+  auto vd = wss::convert_field<double>(c.v);
+  wss::Field3<double> ud(c.a.grid);
+  wss::spmv7(ad, vd, ud);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    worst = std::max(worst, std::abs(u[i].to_double() - ud[i]));
+  }
+  return worst;
+}
+
+} // namespace
+
+int main() {
+  using namespace wss;
+
+  bench::header("E3: Listing 1 SpMV on the fabric simulator",
+                "Listing 1, Fig. 4",
+                "streamed 7-point SpMV via FIFOs + summation task; "
+                "validated values and cycles");
+
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  const perfmodel::CS1Model model;
+
+  std::printf("%-10s %10s %12s %12s %10s\n", "fabric", "Z", "cycles",
+              "cycles/Z", "max |err|");
+  for (const int z : {32, 64, 128, 256, 512}) {
+    Case c = make_case(Grid3(6, 6, z), 7);
+    wsekernels::SpMV3DSimulation s(c.a, arch, sim);
+    const auto u = s.run(c.v);
+    std::printf("%-10s %10d %12llu %12.2f %10.2e\n", "6x6", z,
+                static_cast<unsigned long long>(s.last_run_cycles()),
+                static_cast<double>(s.last_run_cycles()) / z, max_err(c, u));
+  }
+  bench::row("model cycles/Z (mixed)", 0.0, model.spmv_cycles(512) / 512.0,
+             "cyc/Z");
+
+  // Ablation 1: FIFO depth.
+  std::printf("\nFIFO depth ablation (6x6 fabric, Z=256; paper depth = 20):\n");
+  std::printf("%-10s %12s %12s\n", "depth", "cycles", "max |err|");
+  for (const int depth : {2, 4, 8, 20, 64}) {
+    Case c = make_case(Grid3(6, 6, 256), 9);
+    wsekernels::SpMV3DOptions opt;
+    opt.fifo_depth = depth;
+    wsekernels::SpMV3DSimulation s(c.a, arch, sim, opt);
+    const auto u = s.run(c.v);
+    std::printf("%-10d %12llu %12.2e\n", depth,
+                static_cast<unsigned long long>(s.last_run_cycles()),
+                max_err(c, u));
+  }
+
+  // Ablation 2: one vs two summation tasks.
+  std::printf("\nsummation-task ablation (6x6 fabric, Z=256):\n");
+  for (const int tasks : {1, 2}) {
+    Case c = make_case(Grid3(6, 6, 256), 11);
+    wsekernels::SpMV3DOptions opt;
+    opt.num_sum_tasks = tasks;
+    wsekernels::SpMV3DSimulation s(c.a, arch, sim, opt);
+    (void)s.run(c.v);
+    std::printf("  %d summation task(s): %llu cycles\n", tasks,
+                static_cast<unsigned long long>(s.last_run_cycles()));
+  }
+  bench::note("correctness is FIFO-depth independent; shallow FIFOs "
+              "throttle the multiply threads");
+  return 0;
+}

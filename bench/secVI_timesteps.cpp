@@ -1,0 +1,48 @@
+// E10 — Section VI-A: projected CFD throughput on the CS-1: 600^3 mesh,
+// 15 SIMPLE iterations per time step, solver caps 5 (transport) / 20
+// (continuity) -> 80-125 timesteps/s, more than 200x a 16,384-core Joule
+// partition.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perfmodel/simple_model.hpp"
+
+int main() {
+  using namespace wss;
+  using namespace wss::perfmodel;
+
+  bench::header("E10: CFD timestep throughput projection", "Section VI-A",
+                "80-125 timesteps/s at 600^3; >200x faster than Joule@16k");
+
+  const SimpleModel model{CS1Model{}, JouleModel{}};
+  const Grid3 mesh(600, 600, 600);
+  const auto p = model.project(mesh);
+
+  std::printf("cycles per core per timestep: %.2fM - %.2fM\n",
+              p.cycles_per_core_lo / 1e6, p.cycles_per_core_hi / 1e6);
+  std::printf("wall time per timestep      : %.2f - %.2f ms\n",
+              p.seconds_lo * 1e3, p.seconds_hi * 1e3);
+  bench::row("timesteps/s (low)", 80.0, p.steps_per_second_lo, "steps/s");
+  bench::row("timesteps/s (high)", 125.0, p.steps_per_second_hi, "steps/s");
+  bench::row("speedup vs Joule @16k cores", 200.0, p.speedup_vs_joule_16k,
+             "x");
+
+  std::printf("\nsensitivity to SIMPLE iterations per step (paper: 5-20):\n");
+  std::printf("%8s %16s %16s\n", "iters", "steps/s (lo)", "steps/s (hi)");
+  for (const int iters : {5, 10, 15, 20}) {
+    SimpleRunParams run;
+    run.simple_iterations = iters;
+    const auto q = model.project(mesh, run);
+    std::printf("%8d %16.1f %16.1f\n", iters, q.steps_per_second_lo,
+                q.steps_per_second_hi);
+  }
+
+  std::printf("\nreal-time window (helicopter/ship use case, ~1M cells):\n");
+  const auto heli = model.project(Grid3(100, 100, 100));
+  std::printf("  100^3 mesh: %.0f - %.0f timesteps/s\n",
+              heli.steps_per_second_lo, heli.steps_per_second_hi);
+  bench::note("'faster-than real-time simulation of millions of cells' "
+              "(Section VIII-A)");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E2 — Table I: operations per meshpoint per BiCGStab iteration, counted
+// from an instrumented run of the actual solver (not hand-derived): two
+// matvecs (12+12), four dots (4+4), six AXPYs (6+6), 44 ops total; in the
+// mixed mode 40 ops are fp16 and the 4 dot-accumulates are fp32.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "perfmodel/cs1_model.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+
+int main() {
+  using namespace wss;
+
+  bench::header("E2: BiCGStab operation census", "Table I",
+                "44 ops/meshpoint/iteration; mixed mode: 40 hp + 4 sp");
+
+  const Grid3 g(12, 12, 16);
+  auto a = make_random_dominant7(g, 0.4, 5);
+  Field3<double> b0(g, 1.0);
+  auto bp = precondition_jacobi(a, b0);
+  auto ah = convert_stencil<fp16_t>(a);
+  const auto bh = convert_field<fp16_t>(bp);
+  Stencil7Operator<fp16_t> op(ah);
+
+  const int iters = 10;
+  std::vector<fp16_t> x(g.size(), fp16_t(0.0));
+  std::vector<fp16_t> bvec(bh.begin(), bh.end());
+  SolveControls c;
+  c.max_iterations = iters;
+  c.tolerance = 0.0;
+  const auto result = bicgstab<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const fp16_t>(bvec), std::span<fp16_t>(x), c);
+
+  const double n = static_cast<double>(g.size());
+  // Setup (initial residual + initial dot) measured separately: 7 hp_mul,
+  // 7 hp_add, 1 sp_add per point.
+  const double hp_mul =
+      (static_cast<double>(result.flops.hp_mul) - 7 * n) / (n * iters);
+  const double hp_add =
+      (static_cast<double>(result.flops.hp_add) - 7 * n) / (n * iters);
+  const double sp_add =
+      (static_cast<double>(result.flops.sp_add) - n) / (n * iters);
+
+  std::printf("%-22s %8s %8s %8s\n", "operation class", "paper", "ours", "");
+  std::printf("%-22s %8d %8.1f\n", "hp multiplies", 22, hp_mul);
+  std::printf("%-22s %8d %8.1f\n", "hp adds", 18, hp_add);
+  std::printf("%-22s %8d %8.1f\n", "sp adds (dots)", 4, sp_add);
+  bench::row("total ops/point/iteration", 44.0, hp_mul + hp_add + sp_add, "");
+
+  const perfmodel::OpsPerPoint table;
+  bench::row("Table I matvec ops (x2)", 24.0,
+             static_cast<double>(table.matvec_add + table.matvec_mul), "");
+  bench::row("Table I dot ops (x4)", 8.0,
+             static_cast<double>(table.dot_add + table.dot_mul), "");
+  bench::row("Table I axpy ops (x6)", 12.0,
+             static_cast<double>(table.axpy_add + table.axpy_mul), "");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Lid-driven cavity flow with the MFIX-style SIMPLE solver (Algorithm 2):
+// three implicit upwinded momentum equations and a pressure correction per
+// iteration, each solved by BiCGStab with the paper's iteration caps (5
+// transport / 20 continuity). Prints residual histories and the classic
+// centerline velocity profile showing the recirculation vortex.
+//
+//   ./lid_driven_cavity [n] [simple_iters]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mfix/simple.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wss::mfix;
+
+  int n = 12;
+  int iters = 25;
+  if (argc >= 2) n = std::atoi(argv[1]);
+  if (argc >= 3) iters = std::atoi(argv[2]);
+
+  const StaggeredGrid grid{n, n, n, 1.0 / n};
+  const FluidProps props{1.0, 0.05}; // Re = lid_u * L * rho / mu = 20
+  const WallMotion walls{1.0};
+
+  std::printf("lid-driven cavity: %d^3 cells, Re = %.0f, %d SIMPLE "
+              "iterations\n",
+              n, props.rho * walls.lid_u * 1.0 / props.mu, iters);
+  std::printf("solver caps: %d momentum / %d continuity BiCGStab "
+              "iterations (the paper's limits)\n\n",
+              SimpleOptions{}.momentum_solver_iters,
+              SimpleOptions{}.continuity_solver_iters);
+
+  SimpleSolver solver(grid, props, walls);
+  FlowState state = make_cavity_state(grid, walls);
+
+  std::printf("%6s %18s %18s %10s\n", "iter", "momentum residual",
+              "mass residual", "solves");
+  for (int i = 0; i < iters; ++i) {
+    const auto stats = solver.iterate(state);
+    if (i < 5 || (i + 1) % 5 == 0) {
+      std::printf("%6d %18.4e %18.4e %10d\n", i + 1,
+                  stats.momentum_residual, stats.mass_residual,
+                  stats.solver_iterations);
+    }
+  }
+
+  // Centerline u(z) profile at the cavity midpoint: positive under the
+  // lid, negative return flow below — the recirculation signature.
+  std::printf("\ncenterline u(z) at (x,y) = center:\n");
+  const int ic = n / 2;
+  const int jc = n / 2;
+  for (int k = n - 1; k >= 0; --k) {
+    const double u = state.u(ic, jc, k);
+    const int bar = static_cast<int>(u * 40.0);
+    std::printf("  z=%2d  u=%+8.4f  |", k, u);
+    if (bar >= 0) {
+      for (int s = 0; s < bar; ++s) std::printf(">");
+    } else {
+      for (int s = 0; s < -bar; ++s) std::printf("<");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(the paper's Section VI projects this solver at 600^3 "
+              "running 80-125 timesteps per second on the CS-1)\n");
+  return 0;
+}

@@ -1,0 +1,347 @@
+#include "cluster/dist_bicgstab.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace wss::cluster {
+
+namespace {
+
+/// Rank-local block with one ghost layer in every direction.
+class LocalBlock {
+public:
+  LocalBlock(Grid3 mesh, std::array<int, 3> pgrid, int rank)
+      : pgrid_(pgrid) {
+    coords_ = {rank / (pgrid[1] * pgrid[2]),
+               (rank / pgrid[2]) % pgrid[1],
+               rank % pgrid[2]};
+    box_ = block3(mesh, pgrid[0], pgrid[1], pgrid[2], coords_[0], coords_[1],
+                  coords_[2]);
+    nx_ = box_.x.count();
+    ny_ = box_.y.count();
+    nz_ = box_.z.count();
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] const Block3& box() const { return box_; }
+  [[nodiscard]] std::size_t volume() const {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+           static_cast<std::size_t>(nz_);
+  }
+  [[nodiscard]] std::size_t padded() const {
+    return static_cast<std::size_t>(nx_ + 2) *
+           static_cast<std::size_t>(ny_ + 2) *
+           static_cast<std::size_t>(nz_ + 2);
+  }
+  /// Index into a padded array; i/j/k in [-1, n].
+  [[nodiscard]] std::size_t at(int i, int j, int k) const {
+    return (static_cast<std::size_t>(i + 1) * static_cast<std::size_t>(ny_ + 2) +
+            static_cast<std::size_t>(j + 1)) *
+               static_cast<std::size_t>(nz_ + 2) +
+           static_cast<std::size_t>(k + 1);
+  }
+
+  /// Rank of the neighbor across `face` (0:x-,1:x+,2:y-,3:y+,4:z-,5:z+),
+  /// or -1 at the physical boundary.
+  [[nodiscard]] int neighbor(int face) const {
+    std::array<int, 3> c = coords_;
+    const int axis = face / 2;
+    c[static_cast<std::size_t>(axis)] += (face % 2 == 0) ? -1 : 1;
+    if (c[static_cast<std::size_t>(axis)] < 0 ||
+        c[static_cast<std::size_t>(axis)] >=
+            pgrid_[static_cast<std::size_t>(axis)]) {
+      return -1;
+    }
+    return (c[0] * pgrid_[1] + c[1]) * pgrid_[2] + c[2];
+  }
+
+private:
+  std::array<int, 3> pgrid_;
+  std::array<int, 3> coords_;
+  Block3 box_;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+};
+
+/// Pack one face plane of the padded field into a buffer.
+void pack_face(const LocalBlock& blk, const std::vector<double>& v, int face,
+               std::vector<double>& buf) {
+  buf.clear();
+  const int nx = blk.nx();
+  const int ny = blk.ny();
+  const int nz = blk.nz();
+  switch (face) {
+    case 0:
+      for (int j = 0; j < ny; ++j)
+        for (int k = 0; k < nz; ++k) buf.push_back(v[blk.at(0, j, k)]);
+      break;
+    case 1:
+      for (int j = 0; j < ny; ++j)
+        for (int k = 0; k < nz; ++k) buf.push_back(v[blk.at(nx - 1, j, k)]);
+      break;
+    case 2:
+      for (int i = 0; i < nx; ++i)
+        for (int k = 0; k < nz; ++k) buf.push_back(v[blk.at(i, 0, k)]);
+      break;
+    case 3:
+      for (int i = 0; i < nx; ++i)
+        for (int k = 0; k < nz; ++k) buf.push_back(v[blk.at(i, ny - 1, k)]);
+      break;
+    case 4:
+      for (int i = 0; i < nx; ++i)
+        for (int j = 0; j < ny; ++j) buf.push_back(v[blk.at(i, j, 0)]);
+      break;
+    default:
+      for (int i = 0; i < nx; ++i)
+        for (int j = 0; j < ny; ++j) buf.push_back(v[blk.at(i, j, nz - 1)]);
+      break;
+  }
+}
+
+/// Unpack a received buffer into the ghost plane across `face`.
+void unpack_ghost(const LocalBlock& blk, std::vector<double>& v, int face,
+                  const std::vector<double>& buf) {
+  const int nx = blk.nx();
+  const int ny = blk.ny();
+  const int nz = blk.nz();
+  std::size_t idx = 0;
+  switch (face) {
+    case 0:
+      for (int j = 0; j < ny; ++j)
+        for (int k = 0; k < nz; ++k) v[blk.at(-1, j, k)] = buf[idx++];
+      break;
+    case 1:
+      for (int j = 0; j < ny; ++j)
+        for (int k = 0; k < nz; ++k) v[blk.at(nx, j, k)] = buf[idx++];
+      break;
+    case 2:
+      for (int i = 0; i < nx; ++i)
+        for (int k = 0; k < nz; ++k) v[blk.at(i, -1, k)] = buf[idx++];
+      break;
+    case 3:
+      for (int i = 0; i < nx; ++i)
+        for (int k = 0; k < nz; ++k) v[blk.at(i, ny, k)] = buf[idx++];
+      break;
+    case 4:
+      for (int i = 0; i < nx; ++i)
+        for (int j = 0; j < ny; ++j) v[blk.at(i, j, -1)] = buf[idx++];
+      break;
+    default:
+      for (int i = 0; i < nx; ++i)
+        for (int j = 0; j < ny; ++j) v[blk.at(i, j, nz)] = buf[idx++];
+      break;
+  }
+}
+
+std::size_t face_size(const LocalBlock& blk, int face) {
+  switch (face / 2) {
+    case 0: return static_cast<std::size_t>(blk.ny()) * static_cast<std::size_t>(blk.nz());
+    case 1: return static_cast<std::size_t>(blk.nx()) * static_cast<std::size_t>(blk.nz());
+    default: return static_cast<std::size_t>(blk.nx()) * static_cast<std::size_t>(blk.ny());
+  }
+}
+
+void halo_exchange(Comm& comm, const LocalBlock& blk, std::vector<double>& v) {
+  std::array<std::vector<double>, 6> sendbuf;
+  // Buffered sends first (no deadlock), then blocking receives.
+  for (int face = 0; face < 6; ++face) {
+    const int nb = blk.neighbor(face);
+    if (nb < 0) continue;
+    pack_face(blk, v, face, sendbuf[static_cast<std::size_t>(face)]);
+    comm.send(nb, face, std::span<const double>(sendbuf[static_cast<std::size_t>(face)]));
+  }
+  std::vector<double> recvbuf;
+  for (int face = 0; face < 6; ++face) {
+    const int nb = blk.neighbor(face);
+    if (nb < 0) continue;
+    // Our ghost across `face` is filled by the neighbor's opposite face
+    // send, which carries the neighbor's tag == opposite(face).
+    const int opposite = face ^ 1;
+    recvbuf.resize(face_size(blk, face));
+    comm.recv(nb, opposite, std::span<double>(recvbuf));
+    unpack_ghost(blk, v, face, recvbuf);
+  }
+}
+
+} // namespace
+
+DistSolveResult distributed_bicgstab(World& world, const Stencil7<double>& a,
+                                     const Field3<double>& b,
+                                     Field3<double>& x,
+                                     const SolveControls& controls) {
+  const Grid3 mesh = a.grid;
+  const auto pgrid = choose_process_grid(mesh, world.size());
+  DistSolveResult result;
+
+  world.run([&](Comm& comm) {
+    const LocalBlock blk(mesh, pgrid, comm.rank());
+    const std::size_t padded = blk.padded();
+
+    // Local copies of the six (plus diagonal) stencil coefficient arrays,
+    // interior only (unpadded).
+    const std::size_t vol = blk.volume();
+    std::vector<double> diag(vol), cxp(vol), cxm(vol), cyp(vol), cym(vol),
+        czp(vol), czm(vol), rhs(vol);
+    {
+      std::size_t i = 0;
+      for (int gx = blk.box().x.begin; gx < blk.box().x.end; ++gx) {
+        for (int gy = blk.box().y.begin; gy < blk.box().y.end; ++gy) {
+          for (int gz = blk.box().z.begin; gz < blk.box().z.end; ++gz, ++i) {
+            diag[i] = a.diag(gx, gy, gz);
+            cxp[i] = a.xp(gx, gy, gz);
+            cxm[i] = a.xm(gx, gy, gz);
+            cyp[i] = a.yp(gx, gy, gz);
+            cym[i] = a.ym(gx, gy, gz);
+            czp[i] = a.zp(gx, gy, gz);
+            czm[i] = a.zm(gx, gy, gz);
+            rhs[i] = b(gx, gy, gz);
+          }
+        }
+      }
+    }
+    auto lin = [&](int i, int j, int k) {
+      return (static_cast<std::size_t>(i) * static_cast<std::size_t>(blk.ny()) +
+              static_cast<std::size_t>(j)) *
+                 static_cast<std::size_t>(blk.nz()) +
+             static_cast<std::size_t>(k);
+    };
+
+    // Padded work vectors (ghosts zero => Dirichlet closure at the
+    // physical boundary for free).
+    std::vector<double> vx(padded, 0.0), vr(padded, 0.0), vr0(padded, 0.0),
+        vp(padded, 0.0), vs(padded, 0.0), vq(padded, 0.0), vy(padded, 0.0),
+        tmp(padded, 0.0);
+
+    auto spmv = [&](std::vector<double>& vin, std::vector<double>& vout) {
+      halo_exchange(comm, blk, vin);
+      for (int i = 0; i < blk.nx(); ++i) {
+        for (int j = 0; j < blk.ny(); ++j) {
+          for (int k = 0; k < blk.nz(); ++k) {
+            const std::size_t c = lin(i, j, k);
+            vout[blk.at(i, j, k)] =
+                diag[c] * vin[blk.at(i, j, k)] +
+                cxp[c] * vin[blk.at(i + 1, j, k)] +
+                cxm[c] * vin[blk.at(i - 1, j, k)] +
+                cyp[c] * vin[blk.at(i, j + 1, k)] +
+                cym[c] * vin[blk.at(i, j - 1, k)] +
+                czp[c] * vin[blk.at(i, j, k + 1)] +
+                czm[c] * vin[blk.at(i, j, k - 1)];
+          }
+        }
+      }
+    };
+    auto dot = [&](const std::vector<double>& u, const std::vector<double>& v) {
+      double local = 0.0;
+      for (int i = 0; i < blk.nx(); ++i)
+        for (int j = 0; j < blk.ny(); ++j)
+          for (int k = 0; k < blk.nz(); ++k)
+            local += u[blk.at(i, j, k)] * v[blk.at(i, j, k)];
+      return comm.allreduce_sum(local);
+    };
+    auto each = [&](auto&& f) {
+      for (int i = 0; i < blk.nx(); ++i)
+        for (int j = 0; j < blk.ny(); ++j)
+          for (int k = 0; k < blk.nz(); ++k) f(blk.at(i, j, k), lin(i, j, k));
+    };
+
+    // r0 = b - A x0 (x0 = 0), p = r = r0.
+    each([&](std::size_t pi, std::size_t ci) { vr[pi] = rhs[ci]; });
+    each([&](std::size_t pi, std::size_t) { vr0[pi] = vr[pi]; vp[pi] = vr[pi]; });
+
+    const double bnorm = std::sqrt(dot(vr, vr));
+    double rho = dot(vr0, vr);
+    SolveResult local_result;
+
+    if (bnorm > 0.0) {
+      for (int it = 0; it < controls.max_iterations; ++it) {
+        spmv(vp, vs);
+        const double r0s = dot(vr0, vs);
+        if (r0s == 0.0) {
+          local_result.reason = StopReason::Breakdown;
+          break;
+        }
+        const double alpha = rho / r0s;
+        each([&](std::size_t pi, std::size_t) { vq[pi] = vr[pi] - alpha * vs[pi]; });
+        spmv(vq, vy);
+        const double qy = dot(vq, vy);
+        const double yy = dot(vy, vy);
+        if (yy == 0.0) {
+          local_result.reason = StopReason::Breakdown;
+          break;
+        }
+        const double omega = qy / yy;
+        each([&](std::size_t pi, std::size_t) {
+          vx[pi] += alpha * vp[pi] + omega * vq[pi];
+          vr[pi] = vq[pi] - omega * vy[pi];
+        });
+        const double rho_next = dot(vr0, vr);
+        const double rnorm = std::sqrt(dot(vr, vr));
+        local_result.relative_residuals.push_back(rnorm / bnorm);
+        ++local_result.iterations;
+        if (rnorm / bnorm < controls.tolerance) {
+          local_result.reason = StopReason::Converged;
+          break;
+        }
+        const double beta = (alpha / omega) * (rho_next / rho);
+        rho = rho_next;
+        each([&](std::size_t pi, std::size_t) {
+          vp[pi] = vr[pi] + beta * (vp[pi] - omega * vs[pi]);
+        });
+      }
+    } else {
+      local_result.reason = StopReason::Converged;
+      local_result.relative_residuals.push_back(0.0);
+    }
+
+    // Gather: ranks own disjoint regions of x (shared memory here).
+    {
+      std::size_t c = 0;
+      for (int gx = blk.box().x.begin; gx < blk.box().x.end; ++gx) {
+        for (int gy = blk.box().y.begin; gy < blk.box().y.end; ++gy) {
+          for (int gz = blk.box().z.begin; gz < blk.box().z.end; ++gz, ++c) {
+            x(gx, gy, gz) = vx[blk.at(gx - blk.box().x.begin,
+                                      gy - blk.box().y.begin,
+                                      gz - blk.box().z.begin)];
+          }
+        }
+      }
+    }
+    if (comm.rank() == 0) {
+      result.solve = local_result;
+    }
+  });
+
+  result.comm = world.total_stats();
+  return result;
+}
+
+IterationCommVolume iteration_comm_volume(Grid3 mesh, int ranks) {
+  const auto pg = choose_process_grid(mesh, ranks);
+  const double bx = static_cast<double>(mesh.nx) / pg[0];
+  const double by = static_cast<double>(mesh.ny) / pg[1];
+  const double bz = static_cast<double>(mesh.nz) / pg[2];
+
+  IterationCommVolume v;
+  double faces_bytes = 0.0;
+  int messages = 0;
+  if (pg[0] > 1) {
+    faces_bytes += 2.0 * by * bz * 8.0;
+    messages += 2;
+  }
+  if (pg[1] > 1) {
+    faces_bytes += 2.0 * bx * bz * 8.0;
+    messages += 2;
+  }
+  if (pg[2] > 1) {
+    faces_bytes += 2.0 * bx * by * 8.0;
+    messages += 2;
+  }
+  // Two SpMVs (= two halo exchanges) per BiCGStab iteration.
+  v.halo_bytes_per_rank = 2.0 * faces_bytes;
+  v.halo_messages_per_rank = 2 * messages;
+  v.allreduces = 4;
+  return v;
+}
+
+} // namespace wss::cluster

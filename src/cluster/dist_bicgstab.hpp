@@ -1,0 +1,44 @@
+#pragma once
+
+// Distributed-memory fp64 BiCGStab with 3D block decomposition and face
+// halo exchange — the algorithm MFIX runs on the Joule cluster (Section
+// V-A). Runs functionally on the thread-backed runtime for validation;
+// its communication instrumentation (surface bytes, message counts, four
+// allreduces per iteration) parameterizes the cluster cost model.
+
+#include <array>
+
+#include "cluster/comm.hpp"
+#include "mesh/field.hpp"
+#include "mesh/partition.hpp"
+#include "solver/bicgstab.hpp"
+#include "stencil/stencil7.hpp"
+
+namespace wss::cluster {
+
+struct DistSolveResult {
+  SolveResult solve;
+  CommStats comm; ///< aggregate over ranks
+};
+
+/// Solve A x = b over `world.size()` ranks with the process grid chosen by
+/// choose_process_grid. `a` and `b` live replicated on the host (this is a
+/// validation harness, not a production distribution layer); the solution
+/// is gathered back into `x`.
+DistSolveResult distributed_bicgstab(World& world, const Stencil7<double>& a,
+                                     const Field3<double>& b,
+                                     Field3<double>& x,
+                                     const SolveControls& controls);
+
+/// Communication volume per rank per iteration for the cost model, derived
+/// analytically from the decomposition (counted, not simulated): bytes of
+/// halo traffic and number of point-to-point messages for the two SpMVs,
+/// plus the four allreduces.
+struct IterationCommVolume {
+  double halo_bytes_per_rank = 0.0;
+  int halo_messages_per_rank = 0;
+  int allreduces = 4;
+};
+IterationCommVolume iteration_comm_volume(Grid3 mesh, int ranks);
+
+} // namespace wss::cluster

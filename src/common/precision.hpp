@@ -1,0 +1,81 @@
+#pragma once
+
+// Precision policies describing the arithmetic modes studied in the paper:
+// pure fp16, the paper's mixed mode (fp16 storage and arithmetic, fp16
+// multiply / fp32 accumulate inner products, fp32 AllReduce), fp32, and
+// fp64 (the cluster baseline). Solvers are templated on a policy so one
+// implementation produces all the Fig. 9 curves.
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/fp16.hpp"
+
+namespace wss {
+
+/// Generic conversions used by templated numerical code.
+inline double to_double(fp16_t v) noexcept { return v.to_double(); }
+inline double to_double(float v) noexcept { return static_cast<double>(v); }
+inline double to_double(double v) noexcept { return v; }
+
+template <typename T>
+T from_double(double v) noexcept {
+  return static_cast<T>(v);
+}
+template <>
+inline fp16_t from_double<fp16_t>(double v) noexcept {
+  return fp16_t(v);
+}
+
+/// y[i] += a * x[i] with one rounding of the product-sum (FMA semantics on
+/// the narrow type, matching the CS-1 FMAC datapath for fp16).
+inline void fma_update(fp16_t& y, fp16_t a, fp16_t x) noexcept {
+  y = fmac(a, x, y);
+}
+inline void fma_update(float& y, float a, float x) noexcept {
+  y = static_cast<float>(static_cast<double>(a) * x + y);
+}
+inline void fma_update(double& y, double a, double x) noexcept {
+  // Plain rounded multiply-add; the fp64 baseline models a conventional CPU.
+  y += a * x;
+}
+
+/// Paper's mixed mode: fp16 storage/arithmetic, fp32 dot accumulation.
+struct MixedPrecision {
+  using storage_t = fp16_t;
+  using dot_acc_t = float;
+  static constexpr std::string_view name = "mixed-hp/sp";
+  static void dot_step(dot_acc_t& acc, storage_t a, storage_t b) noexcept {
+    acc = mixed_fma(a, b, acc);
+  }
+};
+
+/// Ablation: everything in fp16 including the dot accumulators.
+struct HalfPrecision {
+  using storage_t = fp16_t;
+  using dot_acc_t = fp16_t;
+  static constexpr std::string_view name = "half";
+  static void dot_step(dot_acc_t& acc, storage_t a, storage_t b) noexcept {
+    acc = fmac(a, b, acc);
+  }
+};
+
+struct SinglePrecision {
+  using storage_t = float;
+  using dot_acc_t = float;
+  static constexpr std::string_view name = "single";
+  static void dot_step(dot_acc_t& acc, storage_t a, storage_t b) noexcept {
+    acc += a * b;
+  }
+};
+
+struct DoublePrecision {
+  using storage_t = double;
+  using dot_acc_t = double;
+  static constexpr std::string_view name = "double";
+  static void dot_step(dot_acc_t& acc, storage_t a, storage_t b) noexcept {
+    acc += a * b;
+  }
+};
+
+} // namespace wss

@@ -1,0 +1,58 @@
+#pragma once
+
+// Small deterministic RNG (SplitMix64 + xoshiro256**) so every test,
+// example, and benchmark is reproducible without dragging in <random>'s
+// implementation-defined distributions.
+
+#include <cstdint>
+
+namespace wss {
+
+/// xoshiro256** seeded through SplitMix64. Deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept { return next_u64() % n; }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+} // namespace wss

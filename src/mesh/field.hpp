@@ -1,0 +1,99 @@
+#pragma once
+
+// Dense fields over structured grids. A Field3<T> is a value per meshpoint
+// stored z-fastest; the BiCGStab vectors, stencil diagonals, and MFIX
+// variables are all fields.
+
+#include <cassert>
+#include <vector>
+
+#include "mesh/grid.hpp"
+
+namespace wss {
+
+template <typename T>
+class Field3 {
+public:
+  Field3() = default;
+  explicit Field3(Grid3 grid, T fill = T{})
+      : grid_(grid), data_(grid.size(), fill) {}
+
+  [[nodiscard]] const Grid3& grid() const { return grid_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  T& operator()(int x, int y, int z) {
+    assert(grid_.contains(x, y, z));
+    return data_[grid_.index(x, y, z)];
+  }
+  const T& operator()(int x, int y, int z) const {
+    assert(grid_.contains(x, y, z));
+    return data_[grid_.index(x, y, z)];
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+private:
+  Grid3 grid_;
+  std::vector<T> data_;
+};
+
+template <typename T>
+class Field2 {
+public:
+  Field2() = default;
+  explicit Field2(Grid2 grid, T fill = T{})
+      : grid_(grid), data_(grid.size(), fill) {}
+
+  [[nodiscard]] const Grid2& grid() const { return grid_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  T& operator()(int x, int y) {
+    assert(grid_.contains(x, y));
+    return data_[grid_.index(x, y)];
+  }
+  const T& operator()(int x, int y) const {
+    assert(grid_.contains(x, y));
+    return data_[grid_.index(x, y)];
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+private:
+  Grid2 grid_;
+  std::vector<T> data_;
+};
+
+/// Convert a field between element types (e.g. fp64 reference -> fp16
+/// storage), rounding once per element.
+template <typename Dst, typename Src>
+Field3<Dst> convert_field(const Field3<Src>& src) {
+  Field3<Dst> dst(src.grid());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<Dst>(static_cast<double>(src[i]));
+  }
+  return dst;
+}
+
+} // namespace wss

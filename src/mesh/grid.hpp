@@ -1,0 +1,64 @@
+#pragma once
+
+// Structured index spaces for the paper's meshes. A Grid3 X x Y x Z mesh is
+// the domain of the 7-point stencil problems; a Grid2 mesh is the domain of
+// the 9-point (2D) mapping of Section IV-2. Storage order is z-fastest to
+// match the CS-1 mapping where each (x, y) tile owns a contiguous Z pencil.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace wss {
+
+/// A 3D structured grid of X x Y x Z points, indexed (x, y, z), z fastest.
+struct Grid3 {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+
+  constexpr Grid3() = default;
+  constexpr Grid3(int x, int y, int z) : nx(x), ny(y), nz(z) {}
+
+  [[nodiscard]] constexpr std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+
+  [[nodiscard]] constexpr std::size_t index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(x) * static_cast<std::size_t>(ny) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(nz) +
+           static_cast<std::size_t>(z);
+  }
+
+  [[nodiscard]] constexpr bool contains(int x, int y, int z) const {
+    return x >= 0 && x < nx && y >= 0 && y < ny && z >= 0 && z < nz;
+  }
+
+  friend constexpr bool operator==(const Grid3&, const Grid3&) = default;
+};
+
+/// A 2D structured grid of X x Y points, indexed (x, y), y fastest.
+struct Grid2 {
+  int nx = 0;
+  int ny = 0;
+
+  constexpr Grid2() = default;
+  constexpr Grid2(int x, int y) : nx(x), ny(y) {}
+
+  [[nodiscard]] constexpr std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  }
+  [[nodiscard]] constexpr std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(x) * static_cast<std::size_t>(ny) +
+           static_cast<std::size_t>(y);
+  }
+  [[nodiscard]] constexpr bool contains(int x, int y) const {
+    return x >= 0 && x < nx && y >= 0 && y < ny;
+  }
+
+  friend constexpr bool operator==(const Grid2&, const Grid2&) = default;
+};
+
+} // namespace wss

@@ -1,0 +1,44 @@
+#include "mesh/partition.hpp"
+
+#include <limits>
+
+namespace wss {
+
+namespace {
+
+/// Halo area (faces exposed per block) for decomposing mesh g over a
+/// px x py x pz grid: the strong-scaling communication cost driver.
+double halo_area(Grid3 g, int px, int py, int pz) {
+  const double bx = static_cast<double>(g.nx) / px;
+  const double by = static_cast<double>(g.ny) / py;
+  const double bz = static_cast<double>(g.nz) / pz;
+  double area = 0.0;
+  if (px > 1) area += 2.0 * by * bz;
+  if (py > 1) area += 2.0 * bx * bz;
+  if (pz > 1) area += 2.0 * bx * by;
+  return area;
+}
+
+} // namespace
+
+std::array<int, 3> choose_process_grid(Grid3 g, int p) {
+  std::array<int, 3> best = {p, 1, 1};
+  double best_area = std::numeric_limits<double>::max();
+  for (int px = 1; px <= p; ++px) {
+    if (p % px != 0) continue;
+    const int rest = p / px;
+    for (int py = 1; py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const int pz = rest / py;
+      if (px > g.nx || py > g.ny || pz > g.nz) continue;
+      const double area = halo_area(g, px, py, pz);
+      if (area < best_area) {
+        best_area = area;
+        best = {px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+} // namespace wss

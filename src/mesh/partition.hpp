@@ -1,0 +1,51 @@
+#pragma once
+
+// Partitioning helpers shared by the WSE mapping (one Z pencil per tile, 2D
+// blocks for the 9-point mapping) and the cluster baseline (3D blocks over
+// MPI-style ranks).
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "mesh/grid.hpp"
+
+namespace wss {
+
+/// Balanced split of n items into p consecutive chunks; chunk r gets
+/// floor(n/p) items plus one extra for the first n%p chunks.
+struct Span1 {
+  int begin = 0;
+  int end = 0;
+  [[nodiscard]] constexpr int count() const { return end - begin; }
+};
+
+constexpr Span1 split1(int n, int parts, int rank) {
+  const int base = n / parts;
+  const int extra = n % parts;
+  const int begin = rank * base + (rank < extra ? rank : extra);
+  const int count = base + (rank < extra ? 1 : 0);
+  return {begin, begin + count};
+}
+
+/// A 3D box partition of a Grid3 over a px x py x pz process grid.
+struct Block3 {
+  Span1 x, y, z;
+  [[nodiscard]] constexpr std::size_t count() const {
+    return static_cast<std::size_t>(x.count()) *
+           static_cast<std::size_t>(y.count()) *
+           static_cast<std::size_t>(z.count());
+  }
+};
+
+constexpr Block3 block3(Grid3 g, int px, int py, int pz, int rx, int ry,
+                        int rz) {
+  return {split1(g.nx, px, rx), split1(g.ny, py, ry), split1(g.nz, pz, rz)};
+}
+
+/// Choose a near-cubic process grid px*py*pz == p for a cluster run, the
+/// decomposition a well-tuned MPI stencil code would pick: factor p so the
+/// block surface area (halo volume) is near minimal for the given mesh.
+std::array<int, 3> choose_process_grid(Grid3 g, int p);
+
+} // namespace wss

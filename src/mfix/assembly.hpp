@@ -1,0 +1,66 @@
+#pragma once
+
+// Assembly of the SIMPLE linear systems: the three upwinded momentum
+// equations on interior staggered faces and the pressure-correction
+// (continuity) equation on cells. Assembly is instrumented with the
+// operation census Table II reports (merge / flop / sqrt / divide /
+// neighbor-transport counts per meshpoint).
+
+#include "mfix/flow.hpp"
+#include "stencil/stencil7.hpp"
+
+namespace wss::mfix {
+
+/// Operation census per meshpoint, Table II's columns. Counts accumulate
+/// during assembly; divide by points assembled to get per-point figures.
+struct OpCensus {
+  std::uint64_t merges = 0;    ///< selects/min/max (upwind switches)
+  std::uint64_t flops = 0;     ///< adds, subtracts, multiplies
+  std::uint64_t sqrts = 0;
+  std::uint64_t divides = 0;
+  std::uint64_t transports = 0; ///< neighbor-value reads (xT in the table)
+  std::uint64_t points = 0;
+
+  [[nodiscard]] double per_point(std::uint64_t c) const {
+    return points == 0 ? 0.0 : static_cast<double>(c) / static_cast<double>(points);
+  }
+  [[nodiscard]] double total_per_point() const {
+    return per_point(merges + flops + sqrts + divides + transports);
+  }
+};
+
+/// A momentum (or continuity) system: a 7-point matrix over the component's
+/// interior unknowns, its rhs, and the census gathered while forming it.
+struct AssembledSystem {
+  Grid3 grid;           ///< interior unknown lattice
+  Stencil7<double> a;
+  Field3<double> rhs;
+  Field3<double> diag_coeff; ///< unrelaxed central coefficients (for SIMPLE d)
+  OpCensus census;
+};
+
+/// Assemble the implicit momentum equation for one velocity component:
+/// transient (rho/dt) + upwind convection + diffusion, pressure-gradient
+/// source from `state.p`, walls no-slip except the z+ lid moving at
+/// `walls.lid_u` in x. Under-relaxation `alpha` is applied implicitly
+/// (diag/alpha, rhs += (1-alpha)/alpha * diag * current value).
+AssembledSystem assemble_momentum(const StaggeredGrid& g,
+                                  const FlowState& state,
+                                  const FluidProps& props, Component comp,
+                                  double dt, double alpha,
+                                  const WallMotion& walls);
+
+/// Assemble the pressure-correction equation from the face mass imbalance
+/// of the starred velocity field, with SIMPLE d-coefficients taken from
+/// the momentum central coefficients.
+AssembledSystem assemble_pressure_correction(
+    const StaggeredGrid& g, const FlowState& star, const FluidProps& props,
+    const Field3<double>& du, const Field3<double>& dv,
+    const Field3<double>& dw);
+
+/// Mass imbalance (continuity residual) of a state: sum |div(velocity)|
+/// over cells, scaled by rho * h^2.
+double mass_imbalance(const StaggeredGrid& g, const FlowState& state,
+                      const FluidProps& props);
+
+} // namespace wss::mfix

@@ -1,0 +1,51 @@
+#pragma once
+
+// A single-phase incompressible slice of MFIX: uniform staggered Cartesian
+// mesh, SIMPLE pressure-velocity coupling (Algorithm 2), first-order upwind
+// convection, BiCGStab inner solves with the paper's iteration caps (5 for
+// transport equations, 20 for continuity). This is the application layer
+// the paper projects onto the CS-1 in Section VI, and the source of the
+// Fig. 9 momentum linear system.
+
+#include "mesh/field.hpp"
+#include "mesh/grid.hpp"
+
+namespace wss::mfix {
+
+/// Staggered arrangement: p at cell centers (nx,ny,nz); u at x-faces
+/// (nx+1,ny,nz); v at y-faces (nx,ny+1,nz); w at z-faces (nx,ny,nz+1).
+struct StaggeredGrid {
+  int nx = 0, ny = 0, nz = 0;
+  double h = 1.0; ///< uniform spacing
+
+  [[nodiscard]] Grid3 cells() const { return {nx, ny, nz}; }
+  [[nodiscard]] Grid3 u_faces() const { return {nx + 1, ny, nz}; }
+  [[nodiscard]] Grid3 v_faces() const { return {nx, ny + 1, nz}; }
+  [[nodiscard]] Grid3 w_faces() const { return {nx, ny, nz + 1}; }
+};
+
+struct FluidProps {
+  double rho = 1.0;
+  double mu = 0.01;
+};
+
+/// Velocity components and pressure. Boundary faces carry the boundary
+/// values (no-slip zeros or the lid speed).
+struct FlowState {
+  Field3<double> u, v, w, p;
+
+  explicit FlowState(const StaggeredGrid& g)
+      : u(g.u_faces()), v(g.v_faces()), w(g.w_faces()), p(g.cells()) {}
+};
+
+/// Wall velocities: the tangential velocity of each of the six box walls
+/// (x-,x+,y-,y+,z-,z+) in the x direction only — enough for lid-driven
+/// cavity configurations (lid at z+ moving in +x by convention).
+struct WallMotion {
+  double lid_u = 1.0; ///< x velocity of the z+ wall
+};
+
+/// Which velocity component a momentum system solves for.
+enum class Component { U, V, W };
+
+} // namespace wss::mfix

@@ -1,0 +1,50 @@
+#include "mfix/momentum_system.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace wss::mfix {
+
+AssembledSystem make_momentum_system(const StaggeredGrid& g, double dt,
+                                     std::uint64_t seed) {
+  FlowState state(g);
+  Rng rng(seed);
+
+  // A smooth shear-like field with mild randomness: recirculating u, weak
+  // v/w, and a linear-plus-wavy pressure — the flavor of a developing
+  // cavity or channel flow partway through a time step.
+  auto wavy = [&](double x, double y, double z, double a, double b,
+                  double c) {
+    return std::sin(a * x + 0.3) * std::cos(b * y) * std::sin(c * z + 0.7);
+  };
+  const double jitter_scale = 0.02;
+  for (int i = 0; i < g.nx + 1; ++i)
+    for (int j = 0; j < g.ny; ++j)
+      for (int k = 0; k < g.nz; ++k)
+        state.u(i, j, k) = 0.8 * wavy(0.05 * i, 0.02 * j, 0.05 * k, 1.0, 1.0, 1.0) +
+                           jitter_scale * rng.uniform(-1.0, 1.0);
+  for (int i = 0; i < g.nx; ++i)
+    for (int j = 0; j < g.ny + 1; ++j)
+      for (int k = 0; k < g.nz; ++k)
+        state.v(i, j, k) = 0.3 * wavy(0.04 * i, 0.03 * j, 0.04 * k, 1.2, 0.8, 1.1) +
+                           jitter_scale * rng.uniform(-1.0, 1.0);
+  for (int i = 0; i < g.nx; ++i)
+    for (int j = 0; j < g.ny; ++j)
+      for (int k = 0; k < g.nz + 1; ++k)
+        state.w(i, j, k) = 0.2 * wavy(0.03 * i, 0.05 * j, 0.03 * k, 0.9, 1.3, 1.0) +
+                           jitter_scale * rng.uniform(-1.0, 1.0);
+  for (int i = 0; i < g.nx; ++i)
+    for (int j = 0; j < g.ny; ++j)
+      for (int k = 0; k < g.nz; ++k)
+        state.p(i, j, k) = 0.01 * i + 0.05 * wavy(0.06 * i, 0.04 * j, 0.06 * k,
+                                                  1.0, 1.0, 1.0);
+
+  FluidProps props;
+  props.rho = 1.0;
+  props.mu = 0.02;
+  const WallMotion walls{0.0};
+  return assemble_momentum(g, state, props, Component::U, dt, 1.0, walls);
+}
+
+} // namespace wss::mfix

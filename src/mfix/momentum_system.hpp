@@ -1,0 +1,20 @@
+#pragma once
+
+// Extraction of a standalone momentum linear system, the workload of the
+// paper's precision study (Fig. 9): "a linear system from the timestep
+// discretization (in the NETL code MFIX) of the momentum equation for a
+// velocity component on a 100 x 400 x 100 mesh."
+
+#include "mfix/assembly.hpp"
+
+namespace wss::mfix {
+
+/// Build a momentum system for component U on the given mesh, from a
+/// smooth, nontrivial developing-flow state (deterministic in `seed`).
+/// `dt` controls diagonal dominance: smaller steps give stronger diagonals
+/// and faster BiCGStab convergence, like the well-conditioned systems the
+/// paper studies.
+AssembledSystem make_momentum_system(const StaggeredGrid& g, double dt,
+                                     std::uint64_t seed);
+
+} // namespace wss::mfix

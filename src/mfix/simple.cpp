@@ -1,0 +1,165 @@
+#include "mfix/simple.hpp"
+
+#include "solver/stencil_operator.hpp"
+
+namespace wss::mfix {
+
+SimpleSolver::SimpleSolver(StaggeredGrid grid, FluidProps props,
+                           WallMotion walls, SimpleOptions options)
+    : grid_(grid), props_(props), walls_(walls), options_(options) {}
+
+int SimpleSolver::solve(const AssembledSystem& sys, Field3<double>& x,
+                        int max_iters) {
+  // Diagonal preconditioning, exactly as the wafer solver requires.
+  Stencil7<double> a = sys.a;
+  Field3<double> b = sys.rhs;
+  const Field3<double> b_pre = precondition_jacobi(a, b);
+  Stencil7Operator<double> op(a);
+
+  std::vector<double> xv(x.begin(), x.end());
+  std::vector<double> bv(b_pre.begin(), b_pre.end());
+  SolveControls controls;
+  controls.max_iterations = max_iters;
+  controls.tolerance = options_.solver_tolerance;
+  const SolveResult result = bicgstab<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(bv), std::span<double>(xv), controls);
+  for (std::size_t i = 0; i < xv.size(); ++i) x[i] = xv[i];
+  return result.iterations;
+}
+
+SimpleIterationStats SimpleSolver::iterate(FlowState& state) {
+  SimpleIterationStats stats;
+
+  // --- Form and solve the three momentum equations (starred field) ---
+  AssembledSystem su = assemble_momentum(grid_, state, props_, Component::U,
+                                         options_.dt, options_.alpha_velocity,
+                                         walls_);
+  AssembledSystem sv = assemble_momentum(grid_, state, props_, Component::V,
+                                         options_.dt, options_.alpha_velocity,
+                                         walls_);
+  AssembledSystem sw = assemble_momentum(grid_, state, props_, Component::W,
+                                         options_.dt, options_.alpha_velocity,
+                                         walls_);
+  stats.formation_census = su.census;
+  stats.formation_census.merges += sv.census.merges + sw.census.merges;
+  stats.formation_census.flops += sv.census.flops + sw.census.flops;
+  stats.formation_census.divides += sv.census.divides + sw.census.divides;
+  stats.formation_census.sqrts += sv.census.sqrts + sw.census.sqrts;
+  stats.formation_census.transports +=
+      sv.census.transports + sw.census.transports;
+
+  // Momentum residual before solving (how far the current field is from
+  // satisfying its own implicit equation).
+  auto residual_of = [](const AssembledSystem& sys, const Field3<double>& x0) {
+    Field3<double> ax(sys.grid);
+    spmv7(sys.a, x0, ax);
+    double num = 0.0;
+    double den = 1e-300;
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+      const double r = sys.rhs[i] - ax[i];
+      num += r * r;
+      den += sys.rhs[i] * sys.rhs[i];
+    }
+    return std::sqrt(num / den);
+  };
+
+  // Extract current interior values as initial guesses.
+  auto interior = [](const Field3<double>& f, Grid3 g, int ox, int oy,
+                     int oz) {
+    Field3<double> out(g);
+    for (int a = 0; a < g.nx; ++a)
+      for (int b = 0; b < g.ny; ++b)
+        for (int c = 0; c < g.nz; ++c) out(a, b, c) = f(a + ox, b + oy, c + oz);
+    return out;
+  };
+  Field3<double> xu = interior(state.u, su.grid, 1, 0, 0);
+  Field3<double> xv = interior(state.v, sv.grid, 0, 1, 0);
+  Field3<double> xw = interior(state.w, sw.grid, 0, 0, 1);
+
+  stats.momentum_residual =
+      residual_of(su, xu) + residual_of(sv, xv) + residual_of(sw, xw);
+
+  stats.solver_iterations += solve(su, xu, options_.momentum_solver_iters);
+  stats.solver_iterations += solve(sv, xv, options_.momentum_solver_iters);
+  stats.solver_iterations += solve(sw, xw, options_.momentum_solver_iters);
+
+  FlowState star = state;
+  for (int a = 0; a < su.grid.nx; ++a)
+    for (int b = 0; b < su.grid.ny; ++b)
+      for (int c = 0; c < su.grid.nz; ++c) star.u(a + 1, b, c) = xu(a, b, c);
+  for (int a = 0; a < sv.grid.nx; ++a)
+    for (int b = 0; b < sv.grid.ny; ++b)
+      for (int c = 0; c < sv.grid.nz; ++c) star.v(a, b + 1, c) = xv(a, b, c);
+  for (int a = 0; a < sw.grid.nx; ++a)
+    for (int b = 0; b < sw.grid.ny; ++b)
+      for (int c = 0; c < sw.grid.nz; ++c) star.w(a, b, c + 1) = xw(a, b, c);
+
+  // --- SIMPLE d-coefficients (area / aP) on interior faces ---
+  const double area = grid_.h * grid_.h;
+  Field3<double> du(grid_.u_faces(), 0.0);
+  Field3<double> dv(grid_.v_faces(), 0.0);
+  Field3<double> dw(grid_.w_faces(), 0.0);
+  for (int a = 0; a < su.grid.nx; ++a)
+    for (int b = 0; b < su.grid.ny; ++b)
+      for (int c = 0; c < su.grid.nz; ++c)
+        du(a + 1, b, c) = area / su.diag_coeff(a, b, c);
+  for (int a = 0; a < sv.grid.nx; ++a)
+    for (int b = 0; b < sv.grid.ny; ++b)
+      for (int c = 0; c < sv.grid.nz; ++c)
+        dv(a, b + 1, c) = area / sv.diag_coeff(a, b, c);
+  for (int a = 0; a < sw.grid.nx; ++a)
+    for (int b = 0; b < sw.grid.ny; ++b)
+      for (int c = 0; c < sw.grid.nz; ++c)
+        dw(a, b, c + 1) = area / sw.diag_coeff(a, b, c);
+
+  // --- Continuity: pressure correction ---
+  stats.mass_residual = mass_imbalance(grid_, star, props_);
+  AssembledSystem sp =
+      assemble_pressure_correction(grid_, star, props_, du, dv, dw);
+  stats.formation_census.merges += sp.census.merges;
+  stats.formation_census.flops += sp.census.flops;
+  stats.formation_census.divides += sp.census.divides;
+  stats.formation_census.transports += sp.census.transports;
+
+  Field3<double> pc(grid_.cells(), 0.0);
+  stats.solver_iterations += solve(sp, pc, options_.continuity_solver_iters);
+
+  // --- Field update ---
+  state = star;
+  for (int a = 0; a < su.grid.nx; ++a)
+    for (int b = 0; b < su.grid.ny; ++b)
+      for (int c = 0; c < su.grid.nz; ++c)
+        state.u(a + 1, b, c) += du(a + 1, b, c) * (pc(a, b, c) - pc(a + 1, b, c));
+  for (int a = 0; a < sv.grid.nx; ++a)
+    for (int b = 0; b < sv.grid.ny; ++b)
+      for (int c = 0; c < sv.grid.nz; ++c)
+        state.v(a, b + 1, c) += dv(a, b + 1, c) * (pc(a, b, c) - pc(a, b + 1, c));
+  for (int a = 0; a < sw.grid.nx; ++a)
+    for (int b = 0; b < sw.grid.ny; ++b)
+      for (int c = 0; c < sw.grid.nz; ++c)
+        state.w(a, b, c + 1) += dw(a, b, c + 1) * (pc(a, b, c) - pc(a, b, c + 1));
+  for (std::size_t i = 0; i < state.p.size(); ++i) {
+    state.p[i] += options_.alpha_pressure * pc[i];
+  }
+  return stats;
+}
+
+std::vector<SimpleIterationStats> SimpleSolver::run(FlowState& state, int n) {
+  std::vector<SimpleIterationStats> stats;
+  stats.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    stats.push_back(iterate(state));
+  }
+  return stats;
+}
+
+FlowState make_cavity_state(const StaggeredGrid& g, const WallMotion&) {
+  // All fields start at rest; the lid enters through the tangential wall
+  // boundary condition in the momentum assembly, not through face values.
+  return FlowState(g);
+}
+
+} // namespace wss::mfix

@@ -1,0 +1,60 @@
+#pragma once
+
+// The SIMPLE loop of MFIX's Algorithm 2: form and solve the three momentum
+// equations, form and solve continuity (pressure correction), update the
+// fields, compute residuals — with BiCGStab inner solves capped at the
+// paper's limits (5 iterations for transport, 20 for continuity).
+
+#include <vector>
+
+#include "mfix/assembly.hpp"
+#include "solver/bicgstab.hpp"
+
+namespace wss::mfix {
+
+struct SimpleOptions {
+  double dt = 0.1;
+  double alpha_velocity = 0.7; ///< implicit momentum under-relaxation
+  double alpha_pressure = 0.3;
+  int momentum_solver_iters = 5;   ///< the paper's transport cap
+  int continuity_solver_iters = 20; ///< the paper's continuity cap
+  double solver_tolerance = 1e-8;
+};
+
+struct SimpleIterationStats {
+  double momentum_residual = 0.0; ///< pre-solve rhs imbalance, u+v+w
+  double mass_residual = 0.0;     ///< continuity imbalance before correction
+  int solver_iterations = 0;      ///< total BiCGStab iterations spent
+  OpCensus formation_census;      ///< ops spent forming matrices
+};
+
+class SimpleSolver {
+public:
+  SimpleSolver(StaggeredGrid grid, FluidProps props, WallMotion walls,
+               SimpleOptions options = {});
+
+  /// One SIMPLE iteration (one pass of Algorithm 2's inner loop).
+  SimpleIterationStats iterate(FlowState& state);
+
+  /// Run `n` SIMPLE iterations; returns per-iteration stats.
+  std::vector<SimpleIterationStats> run(FlowState& state, int n);
+
+  [[nodiscard]] const StaggeredGrid& grid() const { return grid_; }
+  [[nodiscard]] const SimpleOptions& options() const { return options_; }
+
+private:
+  /// Solve sys.a x = sys.rhs with BiCGStab (Jacobi-preconditioned, as on
+  /// the wafer), starting from `x0`; returns iterations used.
+  int solve(const AssembledSystem& sys, Field3<double>& x, int max_iters);
+
+  StaggeredGrid grid_;
+  FluidProps props_;
+  WallMotion walls_;
+  SimpleOptions options_;
+};
+
+/// Convenience: lid-driven cavity state with the lid velocity applied on
+/// the z+ boundary faces of u and everything else at rest.
+FlowState make_cavity_state(const StaggeredGrid& g, const WallMotion& walls);
+
+} // namespace wss::mfix

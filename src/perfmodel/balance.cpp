@@ -1,0 +1,47 @@
+#include "perfmodel/balance.hpp"
+
+namespace wss::perfmodel {
+
+MachineBalance cs1_balance() {
+  // Per wafer: 380k cores, 8 fp16 flops/cycle peak at 0.875 GHz; memory
+  // moves 24 bytes/cycle/core (16 read + 8 write), i.e. 3 bytes per flop;
+  // the fabric injects 16 bytes/cycle/core. Words are fp16 (2 bytes).
+  MachineBalance cs1;
+  cs1.name = "Cerebras CS-1 (wafer)";
+  const double cores = 380000.0;
+  const double clock = 0.875e9;
+  cs1.peak_flops = cores * 8.0 * clock;
+  cs1.memory_bw_bytes = cores * 24.0 * clock;
+  cs1.network_bw_bytes = cores * 16.0 * clock;
+  cs1.word_bytes = 2.0;
+  return cs1;
+}
+
+std::vector<MachineBalance> balance_survey() {
+  std::vector<MachineBalance> v;
+
+  // Dual Xeon Gold 6148 node (the Joule building block): 2 x 20 cores x
+  // 2.4 GHz x 32 fp64 flops/cycle (AVX-512 FMA); 2 x ~128 GB/s DDR4;
+  // Omni-Path 100 Gb/s.
+  MachineBalance xeon;
+  xeon.name = "Dual Xeon 6148 node (Joule)";
+  xeon.peak_flops = 2.0 * 20.0 * 2.4e9 * 32.0;
+  xeon.memory_bw_bytes = 2.0 * 128.0e9;
+  xeon.network_bw_bytes = 12.5e9;
+  xeon.word_bytes = 8.0;
+  v.push_back(xeon);
+
+  // V100-class GPU node: 7.8 TF fp64, 900 GB/s HBM2, 4x EDR IB (~50 GB/s).
+  MachineBalance gpu;
+  gpu.name = "V100 GPU node";
+  gpu.peak_flops = 7.8e12;
+  gpu.memory_bw_bytes = 900.0e9;
+  gpu.network_bw_bytes = 50.0e9;
+  gpu.word_bytes = 8.0;
+  v.push_back(gpu);
+
+  v.push_back(cs1_balance());
+  return v;
+}
+
+} // namespace wss::perfmodel

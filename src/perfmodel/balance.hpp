@@ -1,0 +1,39 @@
+#pragma once
+
+// Machine balance (Fig. 1, after McCalpin): peak flops per word of memory
+// bandwidth and per word of interconnect bandwidth for representative HPC
+// systems, and where wafer-scale integration lands. The paper's point: the
+// CS-1 can move three bytes to/from memory per flop — orders of magnitude
+// below the hundreds-of-flops-per-word balance of conventional systems.
+
+#include <string>
+#include <vector>
+
+namespace wss::perfmodel {
+
+struct MachineBalance {
+  std::string name;
+  double peak_flops = 0.0;        ///< per node (or per wafer)
+  double memory_bw_bytes = 0.0;   ///< per node
+  double network_bw_bytes = 0.0;  ///< injection per node
+  double word_bytes = 8.0;        ///< native word size used for the ratio
+
+  [[nodiscard]] double flops_per_memory_word() const {
+    return peak_flops / (memory_bw_bytes / word_bytes);
+  }
+  [[nodiscard]] double flops_per_network_word() const {
+    return peak_flops / (network_bw_bytes / word_bytes);
+  }
+  [[nodiscard]] double bytes_per_flop_memory() const {
+    return memory_bw_bytes / peak_flops;
+  }
+};
+
+/// The Fig. 1 comparison set: a 2016-era Xeon node, a GPU node, and the
+/// CS-1 (per-wafer figures; fp16 words).
+std::vector<MachineBalance> balance_survey();
+
+/// The CS-1 entry alone (mixed-precision peak, fp16 words).
+MachineBalance cs1_balance();
+
+} // namespace wss::perfmodel

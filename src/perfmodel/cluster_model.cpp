@@ -1,0 +1,41 @@
+#include "perfmodel/cluster_model.hpp"
+
+#include <cmath>
+
+namespace wss::perfmodel {
+
+ClusterIterationTime JouleModel::iteration_time(Grid3 mesh, int cores) const {
+  ClusterIterationTime t;
+  const double points = static_cast<double>(mesh.size());
+  const double sockets = static_cast<double>(cores) / p_.cores_per_socket;
+
+  t.compute_s = points * p_.bytes_per_point_per_iter /
+                (sockets * p_.effective_bw_per_socket);
+
+  const auto comm = cluster::iteration_comm_volume(mesh, cores);
+  const int ranks_per_node = p_.cores_per_socket * p_.sockets_per_node;
+  const double nic_share = p_.nic_bw_per_node / ranks_per_node;
+  t.halo_s = comm.halo_bytes_per_rank / nic_share +
+             comm.halo_messages_per_rank * p_.message_latency;
+
+  const double stages = std::ceil(std::log2(static_cast<double>(cores)));
+  const double noise = 1.0 + static_cast<double>(cores) / p_.noise_scale_ranks;
+  t.allreduce_s =
+      comm.allreduces * stages * p_.allreduce_stage_latency * noise;
+  return t;
+}
+
+double JouleModel::flops_per_watt(Grid3 mesh, int cores) const {
+  const double ops = 48.0 * static_cast<double>(mesh.size());
+  const double nodes = static_cast<double>(cores) /
+                       (p_.cores_per_socket * p_.sockets_per_node);
+  return ops / iteration_seconds(mesh, cores) / (nodes * p_.node_power_kw * 1e3);
+}
+
+double JouleModel::efficiency(Grid3 mesh, int cores, int base_cores) const {
+  const double t_base = iteration_seconds(mesh, base_cores);
+  const double t = iteration_seconds(mesh, cores);
+  return (t_base * base_cores) / (t * cores);
+}
+
+} // namespace wss::perfmodel

@@ -1,0 +1,77 @@
+#pragma once
+
+// Strong-scaling cost model of BiCGStab inside MFIX on the Joule 2.0
+// cluster (HPE ProLiant, dual Xeon Gold 6148, Intel Omni-Path), the
+// baseline of Figs. 7 and 8. Three terms per iteration:
+//
+//   compute   — memory-bandwidth bound (HPCG-class arithmetic intensity):
+//               points * bytes_per_point / aggregate effective STREAM rate
+//   halo      — two face exchanges per iteration: per-rank surface bytes
+//               over the per-rank share of the node NIC, plus per-message
+//               latency
+//   allreduce — four blocking collectives per iteration, log2(p) stages,
+//               with a noise/imbalance factor growing with rank count (the
+//               term that breaks strong scaling past ~8k cores on the
+//               small mesh, as Fig. 7 shows)
+//
+// Parameters are calibrated to the two published anchor points for the
+// 600^3 mesh: ~75 ms/iter at 1024 cores and ~6 ms/iter at 16384 cores.
+
+#include "cluster/dist_bicgstab.hpp"
+#include "mesh/grid.hpp"
+
+namespace wss::perfmodel {
+
+struct JouleParams {
+  int cores_per_socket = 20;
+  int sockets_per_node = 2;
+  /// Effective per-socket memory bandwidth for MFIX-like indexed fp64
+  /// stencil sweeps (a fraction of the ~100 GB/s STREAM rate).
+  double effective_bw_per_socket = 25.0e9;
+  /// fp64 bytes touched per meshpoint per BiCGStab iteration (matrix
+  /// diagonals + vector traffic for 2 SpMVs, 4 dots, 6 AXPYs).
+  double bytes_per_point_per_iter = 430.0;
+  /// Omni-Path 100 Gb/s per node.
+  double nic_bw_per_node = 12.5e9;
+  double message_latency = 2.0e-6;
+  /// Per-stage software latency of the blocking MPI_Allreduce.
+  double allreduce_stage_latency = 5.0e-6;
+  /// Noise/imbalance growth: stages cost (1 + ranks/noise_scale) more.
+  double noise_scale_ranks = 3300.0;
+  /// HPE ProLiant dual-socket node under load, including interconnect
+  /// share (for the performance-per-Watt comparison).
+  double node_power_kw = 0.6;
+};
+
+struct ClusterIterationTime {
+  double compute_s = 0.0;
+  double halo_s = 0.0;
+  double allreduce_s = 0.0;
+  [[nodiscard]] double total() const { return compute_s + halo_s + allreduce_s; }
+};
+
+class JouleModel {
+public:
+  explicit JouleModel(JouleParams p = {}) : p_(p) {}
+
+  [[nodiscard]] ClusterIterationTime iteration_time(Grid3 mesh,
+                                                    int cores) const;
+  [[nodiscard]] double iteration_seconds(Grid3 mesh, int cores) const {
+    return iteration_time(mesh, cores).total();
+  }
+
+  /// Parallel efficiency relative to the smallest published configuration.
+  [[nodiscard]] double efficiency(Grid3 mesh, int cores,
+                                  int base_cores = 1024) const;
+
+  /// Achieved fp64 flops per Watt for the BiCGStab iteration (48 fp64 ops
+  /// per meshpoint: two 7-diagonal matvecs, four dots, six AXPYs).
+  [[nodiscard]] double flops_per_watt(Grid3 mesh, int cores) const;
+
+  [[nodiscard]] const JouleParams& params() const { return p_; }
+
+private:
+  JouleParams p_;
+};
+
+} // namespace wss::perfmodel

@@ -1,0 +1,94 @@
+#pragma once
+
+// The Section V performance model of BiCGStab on the CS-1, built bottom-up
+// from the architecture (Section II) and validated against the cycle-level
+// fabric simulator at small sizes, then evaluated at the paper's headline
+// configuration: a 600 x 595 x 1536 mesh, mixed precision, measured at
+// 28.1 us per iteration = 0.86 PFLOPS.
+//
+// Cycle accounting per core per iteration (mixed precision, Z pencil):
+//   2 SpMVs        : each 4*Z + c_spmv   (12 fp16 element-ops/point at
+//                    SIMD-4 plus the 1-word-per-cycle broadcast send)
+//   4 dots         : Z/2 local cycles each (2 mixed FMACs/cycle)
+//                    + a blocking AllReduce each
+//   6 AXPYs        : Z/4 cycles each (SIMD-4 fp16 FMAC)
+//   AllReduce      : ~1.1 * (X + Y) + c_ar  (Fig. 6; ~10% over diameter)
+// The constants are calibrated once against the simulator and the paper's
+// measured iteration time; they are small compared to the Z terms.
+
+#include <cstdint>
+
+#include "mesh/grid.hpp"
+#include "wse/arch.hpp"
+
+namespace wss::perfmodel {
+
+/// Arithmetic mode of the solve (Table I's two columns).
+enum class Mode { Mixed, Fp32 };
+
+/// Table I: operations per meshpoint per BiCGStab iteration.
+struct OpsPerPoint {
+  int matvec_add = 12, matvec_mul = 12;
+  int dot_add = 4, dot_mul = 4;
+  int axpy_add = 6, axpy_mul = 6;
+
+  [[nodiscard]] int total() const {
+    return matvec_add + matvec_mul + dot_add + dot_mul + axpy_add + axpy_mul;
+  }
+  /// In mixed mode the dot adds are fp32 and everything else fp16.
+  [[nodiscard]] int fp32_ops(Mode m) const {
+    return m == Mode::Mixed ? dot_add : total();
+  }
+  [[nodiscard]] int fp16_ops(Mode m) const {
+    return m == Mode::Mixed ? total() - dot_add : 0;
+  }
+};
+
+class CS1Model {
+public:
+  explicit CS1Model(wse::CS1Params arch = {}) : arch_(arch) {}
+
+  // --- kernel-level cycle counts (per core) ---
+  [[nodiscard]] double spmv_cycles(int z, Mode mode = Mode::Mixed) const;
+  [[nodiscard]] double dot_local_cycles(int z, Mode mode = Mode::Mixed) const;
+  [[nodiscard]] double axpy_cycles(int z, Mode mode = Mode::Mixed) const;
+  [[nodiscard]] double allreduce_cycles(int fabric_x, int fabric_y) const;
+  [[nodiscard]] double allreduce_seconds(int fabric_x, int fabric_y) const;
+
+  // --- per-iteration model ---
+  [[nodiscard]] double iteration_cycles(Grid3 mesh,
+                                        Mode mode = Mode::Mixed) const;
+  [[nodiscard]] double iteration_seconds(Grid3 mesh,
+                                         Mode mode = Mode::Mixed) const;
+
+  /// Achieved flops/s: Table I's 44 ops per point over the iteration time.
+  [[nodiscard]] double achieved_flops(Grid3 mesh,
+                                      Mode mode = Mode::Mixed) const;
+  /// Fraction of the machine's peak in that mode over the active cores.
+  [[nodiscard]] double peak_fraction(Grid3 mesh,
+                                     Mode mode = Mode::Mixed) const;
+
+  /// Achieved flops per Watt at the system's 20 kW (Section I: "The
+  /// achieved performance per Watt ... beyond what has been reported for
+  /// conventional machines on comparable problems").
+  [[nodiscard]] double flops_per_watt(Grid3 mesh,
+                                      Mode mode = Mode::Mixed) const;
+
+  [[nodiscard]] const wse::CS1Params& arch() const { return arch_; }
+
+  /// Calibration constants (cycles), exposed for the validation bench.
+  struct Overheads {
+    double spmv = 6.0;        ///< thread launch + barrier-tree drain
+    double iteration = 20.0;  ///< task hand-offs between kernels
+    double allreduce = 11.0;  ///< task starts + the 4:1 and injection hops
+    double diameter_factor = 1.0; ///< simulator-measured slope
+  };
+  [[nodiscard]] const Overheads& overheads() const { return overheads_; }
+  void set_overheads(const Overheads& o) { overheads_ = o; }
+
+private:
+  wse::CS1Params arch_;
+  Overheads overheads_{};
+};
+
+} // namespace wss::perfmodel

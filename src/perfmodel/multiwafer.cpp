@@ -1,0 +1,50 @@
+#include "perfmodel/multiwafer.hpp"
+
+#include <cmath>
+
+namespace wss::perfmodel {
+
+namespace {
+
+/// Deepest Z pencil per tile under the 10-word working set (mirrors
+/// wsekernels::max_pencil_z without a dependency cycle).
+int max_pencil_z(const wse::CS1Params& arch) {
+  return (arch.tile_memory_bytes - 10 * 20) / 20;
+}
+
+} // namespace
+
+bool MultiWaferModel::fits(Grid3 mesh) const {
+  const auto& arch = cs1_.arch();
+  if (mesh.nx > arch.fabric_x || mesh.ny > arch.fabric_y) return false;
+  const int z_per_wafer = (mesh.nz + p_.wafers - 1) / p_.wafers;
+  return z_per_wafer <= max_pencil_z(arch);
+}
+
+MultiWaferIteration MultiWaferModel::iteration_time(Grid3 mesh) const {
+  MultiWaferIteration t;
+  const int z_per_wafer = (mesh.nz + p_.wafers - 1) / p_.wafers;
+  const Grid3 slab(mesh.nx, mesh.ny, z_per_wafer);
+  t.compute_s = cs1_.iteration_seconds(slab);
+
+  if (p_.wafers > 1) {
+    // Two SpMVs per iteration; each needs the neighboring wafer's boundary
+    // plane of the iterate: X*Y fp16 values per face, both directions
+    // overlapped on a full-duplex link.
+    const double plane_bytes =
+        2.0 * static_cast<double>(mesh.nx) * static_cast<double>(mesh.ny);
+    t.halo_s = 2.0 * (plane_bytes / p_.link_bandwidth + p_.link_latency);
+
+    // Each of the four AllReduces adds an inter-wafer binary tree of
+    // latency hops (bandwidth is negligible for one scalar).
+    const double stages = std::ceil(std::log2(static_cast<double>(p_.wafers)));
+    t.allreduce_extra_s = 4.0 * 2.0 * stages * p_.link_latency;
+  }
+  return t;
+}
+
+int MultiWaferModel::max_total_z() const {
+  return p_.wafers * max_pencil_z(cs1_.arch());
+}
+
+} // namespace wss::perfmodel

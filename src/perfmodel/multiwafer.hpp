@@ -1,0 +1,63 @@
+#pragma once
+
+// Section VIII-B's forward-looking direction: "Solutions involving the
+// clustering, with sufficient bandwidth, of several wafer-scale systems is
+// certainly a possibility." A model of N CS-1-class wafers in a chain,
+// splitting the mesh's Z extent: each wafer holds a 600x595x(Z/N) slab,
+// adjacent wafers exchange one X*Y fp16 plane per SpMV (two per BiCGStab
+// iteration), and the four AllReduces each pay an inter-wafer hop tree on
+// top of the on-wafer reduction.
+
+#include <algorithm>
+#include <utility>
+
+#include "mesh/grid.hpp"
+#include "perfmodel/cs1_model.hpp"
+
+namespace wss::perfmodel {
+
+struct MultiWaferParams {
+  int wafers = 2;
+  /// Aggregate bandwidth of the wafer-to-wafer link (bytes/s). The paper
+  /// asks only for "sufficient bandwidth"; 150 GB/s is a plausible
+  /// multi-link aggregate of the era.
+  double link_bandwidth = 150.0e9;
+  double link_latency = 0.3e-6; ///< per inter-wafer hop (cabled SerDes)
+};
+
+struct MultiWaferIteration {
+  double compute_s = 0.0;    ///< the slowest wafer's on-wafer iteration
+  double halo_s = 0.0;       ///< inter-wafer plane exchanges (2 per iter)
+  double allreduce_extra_s = 0.0; ///< inter-wafer reduction tree overhead
+  /// The plane exchange overlaps with the Z-interior compute (only the
+  /// boundary plane's stencil terms need it), so it only costs time when
+  /// it outlasts the compute.
+  [[nodiscard]] double total() const {
+    return std::max(compute_s, halo_s) + allreduce_extra_s;
+  }
+};
+
+class MultiWaferModel {
+public:
+  MultiWaferModel(CS1Model cs1, MultiWaferParams params)
+      : cs1_(std::move(cs1)), p_(params) {}
+
+  /// Can the cluster hold the mesh? (fabric bound per wafer, Z split.)
+  [[nodiscard]] bool fits(Grid3 mesh) const;
+
+  /// Time per BiCGStab iteration for a mesh whose Z is split over the
+  /// wafers (weak scaling adds capacity, strong scaling shrinks Z/N).
+  [[nodiscard]] MultiWaferIteration iteration_time(Grid3 mesh) const;
+
+  /// Largest Z (total, across wafers) for the standard fabric mapping.
+  [[nodiscard]] int max_total_z() const;
+
+  [[nodiscard]] const MultiWaferParams& params() const { return p_; }
+  [[nodiscard]] const CS1Model& cs1() const { return cs1_; }
+
+private:
+  CS1Model cs1_;
+  MultiWaferParams p_;
+};
+
+} // namespace wss::perfmodel

@@ -1,0 +1,204 @@
+#pragma once
+
+// BiCGStab (van der Vorst 1992) exactly as the paper's Algorithm 1, with the
+// operation census of Table I: per iteration, 2 matrix-vector products,
+// 4 inner products, and 6 AXPY-type updates. The solver is templated on a
+// precision policy (fp16/mixed/fp32/fp64) and on the operator, so the same
+// code produces the Fig. 9 residual curves in every arithmetic mode and
+// drives both the reference stencils and the WSE-mapped operator.
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "solver/blas.hpp"
+
+namespace wss {
+
+/// Why a solve stopped.
+enum class StopReason {
+  Converged,      ///< relative residual reached the tolerance
+  MaxIterations,  ///< iteration budget exhausted
+  Breakdown,      ///< (r0, s) or (y, y) vanished — restart needed
+  Stagnation,     ///< residual stopped decreasing (precision floor)
+};
+
+[[nodiscard]] constexpr const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::Converged: return "converged";
+    case StopReason::MaxIterations: return "max-iterations";
+    case StopReason::Breakdown: return "breakdown";
+    case StopReason::Stagnation: return "stagnation";
+  }
+  return "unknown";
+}
+
+struct SolveResult {
+  StopReason reason = StopReason::MaxIterations;
+  int iterations = 0;
+  /// True residual norms ||b - A*x|| / ||b|| recorded per iteration in the
+  /// solve's own arithmetic (recurrence residual, as the hardware sees it).
+  std::vector<double> relative_residuals;
+  FlopCounter flops;
+
+  [[nodiscard]] double final_residual() const {
+    return relative_residuals.empty() ? 1.0 : relative_residuals.back();
+  }
+};
+
+struct SolveControls {
+  int max_iterations = 100;
+  double tolerance = 1e-8;
+  /// Declare stagnation when the residual fails to improve by at least
+  /// this factor over `stagnation_window` iterations (0 disables).
+  int stagnation_window = 0;
+  double stagnation_factor = 0.99;
+};
+
+/// Optional per-iteration observer: called with the iteration index and
+/// the current iterate after each BiCGStab step (e.g. to record the true
+/// fp64 residual for the Fig. 9 curves).
+template <typename T>
+using IterationObserver = std::function<void(int, std::span<const T>)>;
+
+/// Solve A x = b by BiCGStab in the arithmetic of policy P.
+///
+/// `apply` computes y = A*v in storage precision. `x` carries the initial
+/// guess in and the solution out. Vector shapes must all match.
+template <typename P, typename ApplyFn>
+SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
+                     std::span<typename P::storage_t> x,
+                     const SolveControls& controls = {},
+                     const IterationObserver<typename P::storage_t>* observer =
+                         nullptr) {
+  using T = typename P::storage_t;
+  using Acc = typename P::dot_acc_t;
+  const std::size_t n = b.size();
+
+  SolveResult result;
+  FlopCounter* fc = &result.flops;
+
+  std::vector<T> r(n), r0(n), p(n), s(n), y(n), q(n), ax(n);
+
+  // r0 = b - A*x0; with the usual x0 = 0 this is r0 = b (Algorithm 1 line 2).
+  apply(std::span<const T>(x), std::span<T>(ax), fc);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ax[i];
+  }
+  detail::count_adds<T>(*fc, n);
+  copy(std::span<const T>(r), std::span<T>(r0));
+  copy(std::span<const T>(r), std::span<T>(p));
+
+  const double bnorm = norm2<P>(b);
+  if (bnorm == 0.0) {
+    for (auto& xi : x) xi = T{};
+    result.reason = StopReason::Converged;
+    result.relative_residuals.push_back(0.0);
+    return result;
+  }
+
+  Acc rho = dot<P>(std::span<const T>(r0), std::span<const T>(r), fc);
+
+  for (int it = 0; it < controls.max_iterations; ++it) {
+    // s = A p
+    apply(std::span<const T>(p), std::span<T>(s), fc);
+
+    const Acc r0s = dot<P>(std::span<const T>(r0), std::span<const T>(s), fc);
+    if (to_double(r0s) == 0.0) {
+      result.reason = StopReason::Breakdown;
+      break;
+    }
+    const T alpha = from_double<T>(to_double(rho) / to_double(r0s));
+
+    // q = r - alpha s
+    xpay(std::span<const T>(r), -alpha, std::span<const T>(s),
+         std::span<T>(q), fc);
+
+    // y = A q
+    apply(std::span<const T>(q), std::span<T>(y), fc);
+
+    const Acc qy = dot<P>(std::span<const T>(q), std::span<const T>(y), fc);
+    const Acc yy = dot<P>(std::span<const T>(y), std::span<const T>(y), fc);
+    if (to_double(yy) == 0.0) {
+      result.reason = StopReason::Breakdown;
+      break;
+    }
+    const T omega = from_double<T>(to_double(qy) / to_double(yy));
+
+    // x = x + alpha p + omega q
+    axpy(alpha, std::span<const T>(p), std::span<T>(x), fc);
+    axpy(omega, std::span<const T>(q), std::span<T>(x), fc);
+
+    // r_{i+1} = q - omega y
+    xpay(std::span<const T>(q), -omega, std::span<const T>(y),
+         std::span<T>(r), fc);
+
+    const Acc rho_next =
+        dot<P>(std::span<const T>(r0), std::span<const T>(r), fc);
+
+    // Residual norm from the already-computed (r, r)? The paper's Table I
+    // counts exactly 4 dots, so we reuse rho bookkeeping and measure the
+    // recurrence residual from r directly (costed as part of the 4 dots in
+    // the census: the norm shares the AllReduce with the rho dot on the
+    // wafer; here we account it as reporting, not solver flops).
+    double rnorm = 0.0;
+    {
+      Acc acc{};
+      for (std::size_t i = 0; i < n; ++i) {
+        P::dot_step(acc, r[i], r[i]);
+      }
+      rnorm = std::sqrt(to_double(acc));
+    }
+    result.relative_residuals.push_back(rnorm / bnorm);
+    ++result.iterations;
+    if (observer != nullptr) {
+      (*observer)(result.iterations, std::span<const T>(x));
+    }
+
+    if (rnorm / bnorm < controls.tolerance) {
+      result.reason = StopReason::Converged;
+      return result;
+    }
+    if (controls.stagnation_window > 0 &&
+        result.iterations > controls.stagnation_window) {
+      const double prev =
+          result.relative_residuals[static_cast<std::size_t>(
+              result.iterations - 1 - controls.stagnation_window)];
+      if (rnorm / bnorm > prev * controls.stagnation_factor) {
+        result.reason = StopReason::Stagnation;
+        return result;
+      }
+    }
+
+    if (to_double(rho) == 0.0) {
+      result.reason = StopReason::Breakdown;
+      break;
+    }
+    const double beta_d = (to_double(alpha) / to_double(omega)) *
+                          (to_double(rho_next) / to_double(rho));
+    const T beta = from_double<T>(beta_d);
+    rho = rho_next;
+
+    // p_{i+1} = r + beta (p - omega s)
+    for (std::size_t i = 0; i < n; ++i) {
+      T t = p[i];
+      fma_update(t, -omega, s[i]); // t = p - omega s
+      T pn = r[i];
+      fma_update(pn, beta, t); // pn = r + beta t
+      p[i] = pn;
+    }
+    detail::count_adds<T>(*fc, 2 * n);
+    detail::count_muls<T>(*fc, 2 * n);
+  }
+
+  if (result.reason == StopReason::MaxIterations &&
+      result.iterations == controls.max_iterations) {
+    result.reason = StopReason::MaxIterations;
+  }
+  return result;
+}
+
+} // namespace wss

@@ -1,0 +1,141 @@
+#pragma once
+
+// Vector kernels in the arithmetic the paper uses: AXPY in the storage
+// precision with FMAC semantics, dot products in the policy's accumulation
+// precision (fp16 multiply feeding an fp32 accumulator in the mixed mode).
+// Flop counting hooks feed the Table I census.
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/precision.hpp"
+
+namespace wss {
+
+/// Census of floating point work by width, mirroring Table I's columns.
+struct FlopCounter {
+  std::uint64_t hp_add = 0;
+  std::uint64_t hp_mul = 0;
+  std::uint64_t sp_add = 0;
+  std::uint64_t sp_mul = 0;
+  std::uint64_t dp_add = 0;
+  std::uint64_t dp_mul = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return hp_add + hp_mul + sp_add + sp_mul + dp_add + dp_mul;
+  }
+  void reset() { *this = FlopCounter{}; }
+
+  FlopCounter& operator+=(const FlopCounter& o) {
+    hp_add += o.hp_add;
+    hp_mul += o.hp_mul;
+    sp_add += o.sp_add;
+    sp_mul += o.sp_mul;
+    dp_add += o.dp_add;
+    dp_mul += o.dp_mul;
+    return *this;
+  }
+};
+
+namespace detail {
+
+template <typename T>
+void count_adds(FlopCounter& c, std::uint64_t n) {
+  if constexpr (std::is_same_v<T, fp16_t>) {
+    c.hp_add += n;
+  } else if constexpr (std::is_same_v<T, float>) {
+    c.sp_add += n;
+  } else {
+    c.dp_add += n;
+  }
+}
+
+template <typename T>
+void count_muls(FlopCounter& c, std::uint64_t n) {
+  if constexpr (std::is_same_v<T, fp16_t>) {
+    c.hp_mul += n;
+  } else if constexpr (std::is_same_v<T, float>) {
+    c.sp_mul += n;
+  } else {
+    c.dp_mul += n;
+  }
+}
+
+} // namespace detail
+
+/// y += a*x elementwise, one FMAC-rounded update per element.
+template <typename T>
+void axpy(T a, std::span<const T> x, std::span<T> y,
+          FlopCounter* fc = nullptr) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    fma_update(y[i], a, x[i]);
+  }
+  if (fc != nullptr) {
+    detail::count_adds<T>(*fc, x.size());
+    detail::count_muls<T>(*fc, x.size());
+  }
+}
+
+/// y = x + a*z elementwise (the p-update shape in BiCGStab).
+template <typename T>
+void xpay(std::span<const T> x, T a, std::span<const T> z, std::span<T> y,
+          FlopCounter* fc = nullptr) {
+  assert(x.size() == y.size() && z.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    T t = x[i];
+    fma_update(t, a, z[i]);
+    y[i] = t;
+  }
+  if (fc != nullptr) {
+    detail::count_adds<T>(*fc, x.size());
+    detail::count_muls<T>(*fc, x.size());
+  }
+}
+
+/// Dot product in the policy's accumulation precision.
+template <typename P>
+typename P::dot_acc_t dot(std::span<const typename P::storage_t> a,
+                          std::span<const typename P::storage_t> b,
+                          FlopCounter* fc = nullptr) {
+  assert(a.size() == b.size());
+  typename P::dot_acc_t acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    P::dot_step(acc, a[i], b[i]);
+  }
+  if (fc != nullptr) {
+    detail::count_muls<typename P::storage_t>(*fc, a.size());
+    detail::count_adds<typename P::dot_acc_t>(*fc, a.size());
+  }
+  return acc;
+}
+
+/// Euclidean norm via the policy dot, returned as double for reporting.
+template <typename P>
+double norm2(std::span<const typename P::storage_t> a,
+             FlopCounter* fc = nullptr) {
+  return std::sqrt(static_cast<double>(to_double(dot<P>(a, a, fc))));
+}
+
+template <typename T>
+void copy(std::span<const T> src, std::span<T> dst) {
+  assert(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+/// Convert a vector between element types, rounding once per element.
+template <typename Dst, typename Src>
+std::vector<Dst> convert(std::span<const Src> v) {
+  std::vector<Dst> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = from_double<Dst>(to_double(v[i]));
+  }
+  return out;
+}
+
+} // namespace wss

@@ -1,0 +1,85 @@
+#pragma once
+
+// Conjugate gradients for symmetric positive definite systems — the method
+// BiCGStab generalizes (Section III). Used as a baseline and to validate
+// the stencil operators on the symmetric Poisson problem.
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "solver/bicgstab.hpp" // SolveResult, SolveControls, StopReason
+#include "solver/blas.hpp"
+
+namespace wss {
+
+/// Solve A x = b by CG in the arithmetic of policy P. A must be SPD.
+template <typename P, typename ApplyFn>
+SolveResult conjugate_gradient(ApplyFn&& apply,
+                               std::span<const typename P::storage_t> b,
+                               std::span<typename P::storage_t> x,
+                               const SolveControls& controls = {}) {
+  using T = typename P::storage_t;
+  using Acc = typename P::dot_acc_t;
+  const std::size_t n = b.size();
+
+  SolveResult result;
+  FlopCounter* fc = &result.flops;
+
+  std::vector<T> r(n), p(n), ap(n);
+
+  apply(std::span<const T>(x), std::span<T>(ap), fc);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+  }
+  detail::count_adds<T>(*fc, n);
+  copy(std::span<const T>(r), std::span<T>(p));
+
+  const double bnorm = norm2<P>(b);
+  if (bnorm == 0.0) {
+    for (auto& xi : x) xi = T{};
+    result.reason = StopReason::Converged;
+    result.relative_residuals.push_back(0.0);
+    return result;
+  }
+
+  Acc rr = dot<P>(std::span<const T>(r), std::span<const T>(r), fc);
+
+  for (int it = 0; it < controls.max_iterations; ++it) {
+    apply(std::span<const T>(p), std::span<T>(ap), fc);
+    const Acc pap = dot<P>(std::span<const T>(p), std::span<const T>(ap), fc);
+    if (to_double(pap) == 0.0) {
+      result.reason = StopReason::Breakdown;
+      break;
+    }
+    const T alpha = from_double<T>(to_double(rr) / to_double(pap));
+
+    axpy(alpha, std::span<const T>(p), std::span<T>(x), fc);
+    axpy(-alpha, std::span<const T>(ap), std::span<T>(r), fc);
+
+    const Acc rr_next = dot<P>(std::span<const T>(r), std::span<const T>(r), fc);
+    const double rnorm = std::sqrt(to_double(rr_next));
+    result.relative_residuals.push_back(rnorm / bnorm);
+    ++result.iterations;
+
+    if (rnorm / bnorm < controls.tolerance) {
+      result.reason = StopReason::Converged;
+      return result;
+    }
+
+    const T beta = from_double<T>(to_double(rr_next) / to_double(rr));
+    rr = rr_next;
+
+    // p = r + beta p
+    for (std::size_t i = 0; i < n; ++i) {
+      T t = r[i];
+      fma_update(t, beta, p[i]);
+      p[i] = t;
+    }
+    detail::count_adds<T>(*fc, n);
+    detail::count_muls<T>(*fc, n);
+  }
+  return result;
+}
+
+} // namespace wss

@@ -1,0 +1,119 @@
+#pragma once
+
+// Adapters binding stencil matrices to the flat-vector interface the Krylov
+// solvers consume, with the matvec flop census the Table I reproduction
+// depends on (a 7-point SpMV with unit diagonal is exactly 6 multiplies and
+// 6 adds per meshpoint).
+
+#include <span>
+
+#include "solver/blas.hpp"
+#include "stencil/stencil7.hpp"
+#include "stencil/stencil9.hpp"
+
+namespace wss {
+
+/// y = A*v for a 7-point stencil over flat z-fastest vectors.
+template <typename T>
+class Stencil7Operator {
+public:
+  explicit Stencil7Operator(const Stencil7<T>& a) : a_(&a) {}
+
+  void operator()(std::span<const T> v, std::span<T> y,
+                  FlopCounter* fc = nullptr) const {
+    const Grid3 g = a_->grid;
+    const std::size_t nz = static_cast<std::size_t>(g.nz);
+    const std::size_t plane = static_cast<std::size_t>(g.ny) * nz;
+    for (int x = 0; x < g.nx; ++x) {
+      for (int yy = 0; yy < g.ny; ++yy) {
+        const std::size_t row0 = static_cast<std::size_t>(x) * plane +
+                                 static_cast<std::size_t>(yy) * nz;
+        for (int z = 0; z < g.nz; ++z) {
+          const std::size_t i = row0 + static_cast<std::size_t>(z);
+          T acc = a_->unit_diagonal ? v[i] : a_->diag[i] * v[i];
+          if (x + 1 < g.nx) acc = acc + a_->xp[i] * v[i + plane];
+          if (x > 0) acc = acc + a_->xm[i] * v[i - plane];
+          if (yy + 1 < g.ny) acc = acc + a_->yp[i] * v[i + nz];
+          if (yy > 0) acc = acc + a_->ym[i] * v[i - nz];
+          if (z + 1 < g.nz) acc = acc + a_->zp[i] * v[i + 1];
+          if (z > 0) acc = acc + a_->zm[i] * v[i - 1];
+          y[i] = acc;
+        }
+      }
+    }
+    if (fc != nullptr) {
+      // Census as the wafer performs it: every point does 6 neighbor
+      // multiply+adds (boundary tiles stream zero-padded halos, so the
+      // datapath executes the same ops); the unit diagonal contributes one
+      // more add and no multiply, a non-unit one a multiply and an add.
+      const std::uint64_t n = a_->num_points();
+      detail::count_muls<T>(*fc, 6 * n + (a_->unit_diagonal ? 0 : n));
+      detail::count_adds<T>(*fc, 6 * n);
+    }
+  }
+
+  [[nodiscard]] const Stencil7<T>& matrix() const { return *a_; }
+
+private:
+  const Stencil7<T>* a_;
+};
+
+/// y = A*v for a 9-point stencil over flat y-fastest vectors.
+template <typename T>
+class Stencil9Operator {
+public:
+  explicit Stencil9Operator(const Stencil9<T>& a) : a_(&a) {}
+
+  void operator()(std::span<const T> v, std::span<T> y,
+                  FlopCounter* fc = nullptr) const {
+    const Grid2 g = a_->grid;
+    for (int x = 0; x < g.nx; ++x) {
+      for (int yy = 0; yy < g.ny; ++yy) {
+        const std::size_t i = g.index(x, yy);
+        T acc{};
+        for (int k = 0; k < 9; ++k) {
+          const auto [dx, dy] = kStencil9Offsets[static_cast<std::size_t>(k)];
+          const int xn = x + dx;
+          const int yn = yy + dy;
+          if (!g.contains(xn, yn)) continue;
+          if (k == 4 && a_->unit_diagonal) {
+            acc = acc + v[i];
+          } else {
+            acc = acc +
+                  a_->coeff[static_cast<std::size_t>(k)][i] * v[g.index(xn, yn)];
+          }
+        }
+        y[i] = acc;
+      }
+    }
+    if (fc != nullptr) {
+      const std::uint64_t n = a_->num_points();
+      detail::count_muls<T>(*fc, 8 * n + (a_->unit_diagonal ? 0 : n));
+      detail::count_adds<T>(*fc, 8 * n);
+    }
+  }
+
+  [[nodiscard]] const Stencil9<T>& matrix() const { return *a_; }
+
+private:
+  const Stencil9<T>* a_;
+};
+
+/// True relative residual ||b - A x|| / ||b|| computed in fp64 regardless of
+/// the solve precision — the quantity Fig. 9 plots.
+template <typename T, typename Op>
+double true_relative_residual(const Op& op, std::span<const T> b,
+                              std::span<const T> x) {
+  std::vector<T> ax(b.size());
+  op(x, std::span<T>(ax), nullptr);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double r = to_double(b[i]) - to_double(ax[i]);
+    num += r * r;
+    den += to_double(b[i]) * to_double(b[i]);
+  }
+  return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+} // namespace wss

@@ -1,0 +1,185 @@
+#include "stencil/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace wss {
+
+Stencil7<double> make_poisson7(Grid3 grid) {
+  Stencil7<double> a(grid);
+  a.diag.fill(6.0);
+  a.xp.fill(-1.0);
+  a.xm.fill(-1.0);
+  a.yp.fill(-1.0);
+  a.ym.fill(-1.0);
+  a.zp.fill(-1.0);
+  a.zm.fill(-1.0);
+  return a;
+}
+
+Stencil7<double> make_convection_diffusion7(Grid3 grid, double peclet_x,
+                                            double peclet_y,
+                                            double peclet_z) {
+  // Finite-volume upwinding: face coefficient = -(diffusion + max(flux, 0))
+  // on the upwind side, -(diffusion + max(-flux, 0)) downwind; diagonal
+  // balances the row so the matrix is an M-matrix (weakly dominant), plus a
+  // small reaction term for strict dominance.
+  Stencil7<double> a(grid);
+  const double d = 1.0;
+  const double react = 1e-2;
+  for (int x = 0; x < grid.nx; ++x) {
+    for (int y = 0; y < grid.ny; ++y) {
+      for (int z = 0; z < grid.nz; ++z) {
+        const double cxp = -(d + std::max(-peclet_x, 0.0));
+        const double cxm = -(d + std::max(peclet_x, 0.0));
+        const double cyp = -(d + std::max(-peclet_y, 0.0));
+        const double cym = -(d + std::max(peclet_y, 0.0));
+        const double czp = -(d + std::max(-peclet_z, 0.0));
+        const double czm = -(d + std::max(peclet_z, 0.0));
+        a.xp(x, y, z) = cxp;
+        a.xm(x, y, z) = cxm;
+        a.yp(x, y, z) = cyp;
+        a.ym(x, y, z) = cym;
+        a.zp(x, y, z) = czp;
+        a.zm(x, y, z) = czm;
+        a.diag(x, y, z) = -(cxp + cxm + cyp + cym + czp + czm) + react;
+      }
+    }
+  }
+  return a;
+}
+
+Stencil7<double> make_momentum_like7(Grid3 grid, double dominance,
+                                     std::uint64_t seed) {
+  Stencil7<double> a(grid);
+  Rng rng(seed);
+  for (int x = 0; x < grid.nx; ++x) {
+    for (int y = 0; y < grid.ny; ++y) {
+      for (int z = 0; z < grid.nz; ++z) {
+        // Face coefficients: diffusion plus upwinded convection with a
+        // smoothly varying velocity field, as a momentum equation yields.
+        const double vx = 0.8 * std::sin(0.05 * x + 0.3) + 0.2;
+        const double vy = 0.8 * std::cos(0.07 * y) - 0.1;
+        const double vz = 0.6 * std::sin(0.04 * z + 1.1);
+        const double jitter = 0.05 * rng.uniform(-1.0, 1.0);
+        const double d = 1.0 + jitter;
+        const double cxp = -(d + std::max(-vx, 0.0));
+        const double cxm = -(d + std::max(vx, 0.0));
+        const double cyp = -(d + std::max(-vy, 0.0));
+        const double cym = -(d + std::max(vy, 0.0));
+        const double czp = -(d + std::max(vz, 0.0));
+        const double czm = -(d + std::max(vz, 0.0));
+        a.xp(x, y, z) = cxp;
+        a.xm(x, y, z) = cxm;
+        a.yp(x, y, z) = cyp;
+        a.ym(x, y, z) = cym;
+        a.zp(x, y, z) = czp;
+        a.zm(x, y, z) = czm;
+        const double offsum = cxp + cxm + cyp + cym + czp + czm;
+        a.diag(x, y, z) = -offsum * (1.0 + dominance);
+      }
+    }
+  }
+  return a;
+}
+
+Stencil7<double> make_random_dominant7(Grid3 grid, double dominance,
+                                       std::uint64_t seed) {
+  Stencil7<double> a(grid);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double cxp = -rng.uniform(0.1, 1.0);
+    const double cxm = -rng.uniform(0.1, 1.0);
+    const double cyp = -rng.uniform(0.1, 1.0);
+    const double cym = -rng.uniform(0.1, 1.0);
+    const double czp = -rng.uniform(0.1, 1.0);
+    const double czm = -rng.uniform(0.1, 1.0);
+    a.xp[i] = cxp;
+    a.xm[i] = cxm;
+    a.yp[i] = cyp;
+    a.ym[i] = cym;
+    a.zp[i] = czp;
+    a.zm[i] = czm;
+    a.diag[i] = -(cxp + cxm + cyp + cym + czp + czm) * (1.0 + dominance);
+  }
+  return a;
+}
+
+Stencil9<double> make_poisson9(Grid2 grid) {
+  // Compact 9-point Laplacian: center 20/6, edge neighbors -4/6, corner
+  // neighbors -1/6 (scaled by 6 to keep integers: 20, -4, -1).
+  Stencil9<double> a(grid);
+  for (int k = 0; k < 9; ++k) {
+    const auto [dx, dy] = kStencil9Offsets[static_cast<std::size_t>(k)];
+    double c = 0.0;
+    if (dx == 0 && dy == 0) {
+      c = 20.0 / 6.0;
+    } else if (dx == 0 || dy == 0) {
+      c = -4.0 / 6.0;
+    } else {
+      c = -1.0 / 6.0;
+    }
+    a.coeff[static_cast<std::size_t>(k)].fill(c);
+  }
+  return a;
+}
+
+Stencil9<double> make_random_dominant9(Grid2 grid, double dominance,
+                                       std::uint64_t seed) {
+  Stencil9<double> a(grid);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    double offsum = 0.0;
+    for (int k = 0; k < 9; ++k) {
+      if (k == 4) continue;
+      const double c = -rng.uniform(0.1, 1.0);
+      a.coeff[static_cast<std::size_t>(k)][i] = c;
+      offsum += c;
+    }
+    a.coeff[4][i] = -offsum * (1.0 + dominance);
+  }
+  return a;
+}
+
+Field3<double> make_smooth_solution(Grid3 grid) {
+  Field3<double> u(grid);
+  constexpr double pi = std::numbers::pi;
+  for (int x = 0; x < grid.nx; ++x) {
+    for (int y = 0; y < grid.ny; ++y) {
+      for (int z = 0; z < grid.nz; ++z) {
+        u(x, y, z) = std::sin(pi * (x + 1.0) / (grid.nx + 1)) *
+                     std::sin(pi * (y + 1.0) / (grid.ny + 1)) *
+                     std::sin(pi * (z + 1.0) / (grid.nz + 1));
+      }
+    }
+  }
+  return u;
+}
+
+Field2<double> make_smooth_solution(Grid2 grid) {
+  Field2<double> u(grid);
+  constexpr double pi = std::numbers::pi;
+  for (int x = 0; x < grid.nx; ++x) {
+    for (int y = 0; y < grid.ny; ++y) {
+      u(x, y) = std::sin(pi * (x + 1.0) / (grid.nx + 1)) *
+                std::sin(pi * (y + 1.0) / (grid.ny + 1));
+    }
+  }
+  return u;
+}
+
+Field3<double> make_rhs(const Stencil7<double>& a,
+                        const Field3<double>& x_exact) {
+  Field3<double> b(a.grid);
+  spmv7(a, x_exact, b);
+  return b;
+}
+
+Field2<double> make_rhs(const Stencil9<double>& a,
+                        const Field2<double>& x_exact) {
+  Field2<double> b(a.grid);
+  spmv9(a, x_exact, b);
+  return b;
+}
+
+} // namespace wss

@@ -1,0 +1,55 @@
+#pragma once
+
+// Problem generators producing the linear systems studied in the paper.
+// All assembly is done in fp64; callers convert to the wafer's fp16
+// storage with convert_stencil/convert_field (one rounding per value),
+// mirroring how MFIX would hand a system to the CS-1.
+
+#include "common/rng.hpp"
+#include "mesh/field.hpp"
+#include "stencil/stencil7.hpp"
+#include "stencil/stencil9.hpp"
+
+namespace wss {
+
+/// Standard 7-point discrete Laplacian (symmetric positive definite):
+/// diag = 6, neighbors = -1, Dirichlet boundary. The model problem.
+Stencil7<double> make_poisson7(Grid3 grid);
+
+/// Nonsymmetric convection-diffusion with first-order upwinding of a
+/// constant velocity field (vx, vy, vz) scaled by the cell Peclet number.
+/// This is the kind of system BiCGStab exists for (CG would fail).
+Stencil7<double> make_convection_diffusion7(Grid3 grid, double peclet_x,
+                                            double peclet_y, double peclet_z);
+
+/// MFIX-momentum-like system: implicit timestep discretization of a
+/// momentum equation, diag = inertia/dt + sum of face coefficients, strongly
+/// diagonally dominant (converges in ~10-20 BiCGStab iterations like the
+/// Fig. 9 system). `dominance` > 0 adds inertia: diag = (1+dominance)*sum.
+Stencil7<double> make_momentum_like7(Grid3 grid, double dominance,
+                                     std::uint64_t seed);
+
+/// Random nonsymmetric M-matrix-like stencil with controllable diagonal
+/// dominance, for property tests.
+Stencil7<double> make_random_dominant7(Grid3 grid, double dominance,
+                                       std::uint64_t seed);
+
+/// 9-point 2D version of the Laplacian (compact 9-point scheme).
+Stencil9<double> make_poisson9(Grid2 grid);
+
+/// Random diagonally dominant nonsymmetric 9-point stencil.
+Stencil9<double> make_random_dominant9(Grid2 grid, double dominance,
+                                       std::uint64_t seed);
+
+/// Smooth manufactured solution u(x,y,z) = sin-product scaled to O(1),
+/// used to create rhs = A*u with a known answer.
+Field3<double> make_smooth_solution(Grid3 grid);
+Field2<double> make_smooth_solution(Grid2 grid);
+
+/// rhs = A * x_exact computed in fp64.
+Field3<double> make_rhs(const Stencil7<double>& a,
+                        const Field3<double>& x_exact);
+Field2<double> make_rhs(const Stencil9<double>& a,
+                        const Field2<double>& x_exact);
+
+} // namespace wss

@@ -1,0 +1,104 @@
+#pragma once
+
+// 7-point stencil matrix on a 3D grid, stored as one coefficient field per
+// nonzero diagonal — exactly the layout the paper keeps per tile: after
+// diagonal (Jacobi) preconditioning the main diagonal is all ones, so only
+// the six neighbor diagonals are stored (Section IV).
+
+#include <cstddef>
+
+#include "common/precision.hpp"
+#include "mesh/field.hpp"
+#include "mesh/grid.hpp"
+
+namespace wss {
+
+/// Neighbor roles of the 7-point stencil, named as in the paper's Listing 1
+/// (coordinate direction + p/m for plus/minus).
+enum class Stencil7Term { XP, XM, YP, YM, ZP, ZM };
+
+/// A := diag + sum over the six neighbor diagonals. Row (x,y,z) of A*v is
+///   diag(x,y,z)*v(x,y,z) + xp*v(x+1,y,z) + xm*v(x-1,y,z)
+///   + yp*v(x,y+1,z) + ym*v(x,y-1,z) + zp*v(x,y,z+1) + zm*v(x,y,z-1)
+/// with Dirichlet-zero closure outside the grid.
+template <typename T>
+struct Stencil7 {
+  Grid3 grid;
+  Field3<T> diag, xp, xm, yp, ym, zp, zm;
+  /// True once Jacobi preconditioning has scaled every row so diag == 1;
+  /// the WSE kernels require this (they never multiply by the diagonal).
+  bool unit_diagonal = false;
+
+  Stencil7() = default;
+  explicit Stencil7(Grid3 g)
+      : grid(g), diag(g), xp(g), xm(g), yp(g), ym(g), zp(g), zm(g) {}
+
+  [[nodiscard]] std::size_t num_points() const { return grid.size(); }
+
+  /// The stored nonzeros per meshpoint (6 when the diagonal is implicit).
+  [[nodiscard]] int stored_diagonals() const { return unit_diagonal ? 6 : 7; }
+};
+
+/// y = A * v computed in the arithmetic of T, one rounding per operation.
+/// Reference implementation for validating the WSE-mapped SpMV.
+template <typename T>
+void spmv7(const Stencil7<T>& a, const Field3<T>& v, Field3<T>& y) {
+  const Grid3 g = a.grid;
+  for (int x = 0; x < g.nx; ++x) {
+    for (int yy = 0; yy < g.ny; ++yy) {
+      for (int z = 0; z < g.nz; ++z) {
+        T acc = a.diag(x, yy, z) * v(x, yy, z);
+        if (x + 1 < g.nx) acc = acc + a.xp(x, yy, z) * v(x + 1, yy, z);
+        if (x > 0) acc = acc + a.xm(x, yy, z) * v(x - 1, yy, z);
+        if (yy + 1 < g.ny) acc = acc + a.yp(x, yy, z) * v(x, yy + 1, z);
+        if (yy > 0) acc = acc + a.ym(x, yy, z) * v(x, yy - 1, z);
+        if (z + 1 < g.nz) acc = acc + a.zp(x, yy, z) * v(x, yy, z + 1);
+        if (z > 0) acc = acc + a.zm(x, yy, z) * v(x, yy, z - 1);
+        y(x, yy, z) = acc;
+      }
+    }
+  }
+}
+
+/// Scale the system A x = b by the inverse diagonal so diag == 1 (the
+/// paper's diagonal preconditioning). Returns the scaled rhs.
+template <typename T>
+Field3<T> precondition_jacobi(Stencil7<T>& a, const Field3<T>& b) {
+  Field3<T> scaled_b(a.grid);
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    const T d = a.diag[i];
+    a.xp[i] = a.xp[i] / d;
+    a.xm[i] = a.xm[i] / d;
+    a.yp[i] = a.yp[i] / d;
+    a.ym[i] = a.ym[i] / d;
+    a.zp[i] = a.zp[i] / d;
+    a.zm[i] = a.zm[i] / d;
+    scaled_b[i] = b[i] / d;
+    a.diag[i] = from_double<T>(1.0);
+  }
+  a.unit_diagonal = true;
+  return scaled_b;
+}
+
+/// Convert a stencil between scalar types (e.g. fp64 assembly -> fp16
+/// storage on the wafer), rounding each coefficient once.
+template <typename Dst, typename Src>
+Stencil7<Dst> convert_stencil(const Stencil7<Src>& s) {
+  Stencil7<Dst> out(s.grid);
+  auto conv = [](const Field3<Src>& f, Field3<Dst>& g) {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      g[i] = from_double<Dst>(to_double(f[i]));
+    }
+  };
+  conv(s.diag, out.diag);
+  conv(s.xp, out.xp);
+  conv(s.xm, out.xm);
+  conv(s.yp, out.yp);
+  conv(s.ym, out.ym);
+  conv(s.zp, out.zp);
+  conv(s.zm, out.zm);
+  out.unit_diagonal = s.unit_diagonal;
+  return out;
+}
+
+} // namespace wss

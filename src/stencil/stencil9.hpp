@@ -1,0 +1,73 @@
+#pragma once
+
+// 9-point stencil matrix on a 2D grid for the Section IV-2 mapping, where a
+// rectangular block of the mesh lives on each tile and SpMV is performed
+// locally with FMAC followed by an output-halo exchange.
+
+#include <array>
+#include <cstddef>
+
+#include "common/precision.hpp"
+#include "mesh/field.hpp"
+#include "mesh/grid.hpp"
+
+namespace wss {
+
+/// Offsets of the 9-point stencil in (dx, dy), row-major over the 3x3
+/// neighborhood; index 4 is the center.
+inline constexpr std::array<std::array<int, 2>, 9> kStencil9Offsets = {{
+    {-1, -1}, {-1, 0}, {-1, 1},
+    {0, -1},  {0, 0},  {0, 1},
+    {1, -1},  {1, 0},  {1, 1},
+}};
+
+template <typename T>
+struct Stencil9 {
+  Grid2 grid;
+  std::array<Field2<T>, 9> coeff;
+  bool unit_diagonal = false;
+
+  Stencil9() = default;
+  explicit Stencil9(Grid2 g) : grid(g) {
+    for (auto& c : coeff) c = Field2<T>(g);
+  }
+
+  [[nodiscard]] std::size_t num_points() const { return grid.size(); }
+};
+
+/// y = A * v with Dirichlet-zero closure; reference for the 2D WSE kernel.
+template <typename T>
+void spmv9(const Stencil9<T>& a, const Field2<T>& v, Field2<T>& y) {
+  const Grid2 g = a.grid;
+  for (int x = 0; x < g.nx; ++x) {
+    for (int yy = 0; yy < g.ny; ++yy) {
+      T acc{};
+      for (int k = 0; k < 9; ++k) {
+        const int xn = x + kStencil9Offsets[static_cast<std::size_t>(k)][0];
+        const int yn = yy + kStencil9Offsets[static_cast<std::size_t>(k)][1];
+        if (!g.contains(xn, yn)) continue;
+        acc = acc + a.coeff[static_cast<std::size_t>(k)](x, yy) * v(xn, yn);
+      }
+      y(x, yy) = acc;
+    }
+  }
+}
+
+template <typename T>
+Field2<T> precondition_jacobi(Stencil9<T>& a, const Field2<T>& b) {
+  Field2<T> scaled_b(a.grid);
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    const T d = a.coeff[4][i];
+    for (int k = 0; k < 9; ++k) {
+      if (k == 4) continue;
+      a.coeff[static_cast<std::size_t>(k)][i] =
+          a.coeff[static_cast<std::size_t>(k)][i] / d;
+    }
+    scaled_b[i] = b[i] / d;
+    a.coeff[4][i] = from_double<T>(1.0);
+  }
+  a.unit_diagonal = true;
+  return scaled_b;
+}
+
+} // namespace wss

@@ -1,0 +1,646 @@
+#include "wse/core.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace wss::wse {
+
+namespace {
+
+/// Local channel count: the color space plus a few loopback pseudo-channels.
+constexpr int kNumLocalChannels = 32;
+
+/// Elements an instruction may advance per datapath cycle. fp16 elementwise
+/// ops run 4-way SIMD (the paper's AXPY case: 8 halfword reads + 4 writes
+/// per cycle exactly saturates the 16B-read/8B-write memory ports, so the
+/// one-instruction-per-cycle datapath model also respects memory bandwidth).
+/// Mixed-precision FMAC runs 2/cycle; fabric sends and 32-bit fabric
+/// receives run 1 word/cycle ("a core ... can receive only one from the
+/// fabric [per cycle]").
+int width_of(OpKind op, DType dtype) {
+  switch (op) {
+    case OpKind::MulVV:
+    case OpKind::AddVV:
+    case OpKind::CopyV:
+    case OpKind::AxpyV:
+    case OpKind::ScaleXPayV:
+    case OpKind::FifoAddTo:
+    case OpKind::RecvToMem:
+    case OpKind::RecvAddTo:
+    case OpKind::RecvMulToFifo:
+      return dtype == DType::F16 ? 4 : 1;
+    case OpKind::DotMixed:
+    case OpKind::DotLocal:
+      return 2;
+    case OpKind::Send:
+      return dtype == DType::F16 ? 2 : 1; // 32-bit link: 2 packed fp16
+    case OpKind::SendScalar:
+    case OpKind::RecvAccScalar:
+      return 1;
+    case OpKind::SetScalar:
+    case OpKind::ScalarAdd:
+    case OpKind::ScalarSub:
+    case OpKind::ScalarMul:
+    case OpKind::ScalarDiv:
+    case OpKind::ScalarMulImm:
+      return 1;
+  }
+  return 1;
+}
+
+} // namespace
+
+TileCore::TileCore(TileProgram program, const CS1Params& arch,
+                   const SimParams& sim)
+    : prog_(std::move(program)),
+      pristine_(prog_),
+      arch_(&arch),
+      sim_(sim),
+      memory_(static_cast<std::size_t>(arch.tile_memory_bytes / 2), 0),
+      scalars_(static_cast<std::size_t>(prog_.num_scalars > 0 ? prog_.num_scalars : 1), 0.0f),
+      ramp_queues_(kNumLocalChannels),
+      slots_(static_cast<std::size_t>(arch.num_thread_slots) + 1) {
+  if (prog_.memory_halfwords > arch.tile_memory_bytes / 2) {
+    throw std::runtime_error("tile program exceeds 48KB SRAM");
+  }
+  if (prog_.initial_task != kNoTask) {
+    prog_.tasks[static_cast<std::size_t>(prog_.initial_task)].activated = true;
+  }
+}
+
+bool TileCore::can_deliver(int channel) const {
+  return static_cast<int>(ramp_queues_[static_cast<std::size_t>(channel)].size()) <
+         sim_.ramp_queue_depth;
+}
+
+bool TileCore::try_deliver(int channel, std::uint32_t payload) {
+  auto& q = ramp_queues_[static_cast<std::size_t>(channel)];
+  if (static_cast<int>(q.size()) >= sim_.ramp_queue_depth) {
+    return false;
+  }
+  q.push_back(payload);
+  ++stats_.words_received;
+  return true;
+}
+
+float TileCore::read_f32(int addr) const {
+  const std::uint32_t lo = memory_[static_cast<std::size_t>(addr)];
+  const std::uint32_t hi = memory_[static_cast<std::size_t>(addr) + 1];
+  return std::bit_cast<float>(lo | (hi << 16));
+}
+
+void TileCore::write_f32(int addr, float v) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  memory_[static_cast<std::size_t>(addr)] = static_cast<std::uint16_t>(bits & 0xFFFFu);
+  memory_[static_cast<std::size_t>(addr) + 1] = static_cast<std::uint16_t>(bits >> 16);
+}
+
+void TileCore::host_write_f32(int addr, float v) { write_f32(addr, v); }
+float TileCore::host_read_f32(int addr) const { return read_f32(addr); }
+
+double TileCore::read_elem(const TensorDesc& t, int i) const {
+  const int addr = t.addr_at(i);
+  return t.dtype == DType::F16 ? read_f16(addr).to_double()
+                               : static_cast<double>(read_f32(addr));
+}
+
+void TileCore::write_elem(const TensorDesc& t, int i, double v) {
+  const int addr = t.addr_at(i);
+  if (t.dtype == DType::F16) {
+    write_f16(addr, fp16_t(v));
+  } else {
+    write_f32(addr, static_cast<float>(v));
+  }
+}
+
+void TileCore::fire(TaskId task, TrigAction act) {
+  if (task == kNoTask || act == TrigAction::None) return;
+  Task& t = prog_.tasks[static_cast<std::size_t>(task)];
+  if (act == TrigAction::Activate) {
+    t.activated = true;
+  } else {
+    t.blocked = false;
+  }
+}
+
+bool TileCore::inject(RouterState& router, Color color,
+                      std::uint32_t payload, bool wide) {
+  const RouteRule& rule = router.table.rule(color);
+  // All-targets-or-nothing multicast: every forward queue and every local
+  // delivery queue must have space before the word leaves the core.
+  for (int d = 0; d < 4; ++d) {
+    if (rule.forwards_to(static_cast<Dir>(d)) &&
+        static_cast<int>(router.out_queues[static_cast<std::size_t>(d)][color].size()) >=
+            sim_.router_queue_depth) {
+      return false;
+    }
+  }
+  for (int ch : rule.deliver_channels) {
+    if (static_cast<int>(ramp_queues_[static_cast<std::size_t>(ch)].size()) >=
+        sim_.ramp_queue_depth) {
+      return false;
+    }
+  }
+  for (int d = 0; d < 4; ++d) {
+    if (rule.forwards_to(static_cast<Dir>(d))) {
+      router.out_queues[static_cast<std::size_t>(d)][color].push_back(
+          Flit{payload, color, wide});
+    }
+  }
+  for (int ch : rule.deliver_channels) {
+    ramp_queues_[static_cast<std::size_t>(ch)].push_back(payload);
+  }
+  ++stats_.words_sent;
+  return true;
+}
+
+namespace {
+const char* opcode_name(OpKind op) {
+  switch (op) {
+    case OpKind::MulVV: return "MulVV";
+    case OpKind::AddVV: return "AddVV";
+    case OpKind::CopyV: return "CopyV";
+    case OpKind::AxpyV: return "AxpyV";
+    case OpKind::ScaleXPayV: return "ScaleXPayV";
+    case OpKind::Send: return "Send";
+    case OpKind::SendScalar: return "SendScalar";
+    case OpKind::RecvToMem: return "RecvToMem";
+    case OpKind::RecvAddTo: return "RecvAddTo";
+    case OpKind::RecvMulToFifo: return "RecvMulToFifo";
+    case OpKind::FifoAddTo: return "FifoAddTo";
+    case OpKind::RecvAccScalar: return "RecvAccScalar";
+    case OpKind::DotMixed: return "DotMixed";
+    case OpKind::DotLocal: return "DotLocal";
+    case OpKind::SetScalar: return "SetScalar";
+    case OpKind::ScalarAdd: return "ScalarAdd";
+    case OpKind::ScalarSub: return "ScalarSub";
+    case OpKind::ScalarMul: return "ScalarMul";
+    case OpKind::ScalarDiv: return "ScalarDiv";
+    case OpKind::ScalarMulImm: return "ScalarMulImm";
+  }
+  return "?";
+}
+} // namespace
+
+void TileCore::complete_instr(int slot, RouterState&) {
+  RunningInstr& ri = *slots_[static_cast<std::size_t>(slot)];
+  if (tracer_ != nullptr && tracer_->wants(tile_x_, tile_y_)) {
+    tracer_->record(current_cycle_, tile_x_, tile_y_,
+                    TraceEventKind::InstrComplete, opcode_name(ri.instr.op));
+  }
+  fire(ri.instr.trig, ri.instr.act);
+  if (ri.instr.fabric >= 0) {
+    const FabricDesc& f = prog_.fabrics[static_cast<std::size_t>(ri.instr.fabric)];
+    fire(f.trig, f.act);
+  }
+  if (ri.from_sync) {
+    waiting_sync_ = false;
+    ++current_step_;
+  }
+  slots_[static_cast<std::size_t>(slot)].reset();
+}
+
+bool TileCore::advance(int slot, RouterState& router) {
+  RunningInstr& ri = *slots_[static_cast<std::size_t>(slot)];
+  const Instr& in = ri.instr;
+  bool progressed = false;
+  bool completed = false;
+
+  auto dst_desc = [&]() -> TensorDesc& {
+    return prog_.tensors[static_cast<std::size_t>(in.dst)];
+  };
+  auto src1_desc = [&]() -> TensorDesc& {
+    return prog_.tensors[static_cast<std::size_t>(in.src1)];
+  };
+  auto src2_desc = [&]() -> TensorDesc& {
+    return prog_.tensors[static_cast<std::size_t>(in.src2)];
+  };
+
+  switch (in.op) {
+    case OpKind::MulVV:
+    case OpKind::AddVV:
+    case OpKind::CopyV:
+    case OpKind::AxpyV:
+    case OpKind::ScaleXPayV: {
+      TensorDesc& d = dst_desc();
+      const int width = width_of(in.op, d.dtype);
+      int n = 0;
+      while (n < width && !d.exhausted()) {
+        double v = 0.0;
+        if (in.op == OpKind::MulVV) {
+          TensorDesc& s1 = src1_desc();
+          TensorDesc& s2 = src2_desc();
+          v = (fp16_t(read_elem(s1, s1.pos)) * fp16_t(read_elem(s2, s2.pos)))
+                  .to_double();
+          ++s1.pos;
+          ++s2.pos;
+        } else if (in.op == OpKind::AddVV) {
+          TensorDesc& s1 = src1_desc();
+          TensorDesc& s2 = src2_desc();
+          v = (fp16_t(read_elem(s1, s1.pos)) + fp16_t(read_elem(s2, s2.pos)))
+                  .to_double();
+          ++s1.pos;
+          ++s2.pos;
+        } else if (in.op == OpKind::CopyV) {
+          TensorDesc& s1 = src1_desc();
+          v = read_elem(s1, s1.pos);
+          ++s1.pos;
+        } else if (in.op == OpKind::AxpyV) {
+          TensorDesc& s1 = src1_desc();
+          const fp16_t a(scalars_[static_cast<std::size_t>(in.scalar)]);
+          v = fmac(a, fp16_t(read_elem(s1, s1.pos)),
+                   fp16_t(read_elem(d, d.pos)))
+                  .to_double();
+          ++s1.pos;
+        } else { // ScaleXPayV: dst = src1 + scalar * src2
+          TensorDesc& s1 = src1_desc();
+          TensorDesc& s2 = src2_desc();
+          const fp16_t a(scalars_[static_cast<std::size_t>(in.scalar)]);
+          v = fmac(a, fp16_t(read_elem(s2, s2.pos)),
+                   fp16_t(read_elem(s1, s1.pos)))
+                  .to_double();
+          ++s1.pos;
+          ++s2.pos;
+        }
+        write_elem(d, d.pos, v);
+        ++d.pos;
+        ++n;
+      }
+      progressed = n > 0;
+      stats_.elements_processed += static_cast<std::uint64_t>(n);
+      completed = d.exhausted();
+      break;
+    }
+
+    case OpKind::Send: {
+      FabricDesc& f = prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+      const int width = width_of(in.op, f.dtype);
+      int n = 0;
+      while (n < width && !f.exhausted()) {
+        TensorDesc& s = src1_desc();
+        std::uint32_t payload = 0;
+        bool wide = false;
+        if (f.dtype == DType::F16) {
+          payload = read_f16(s.addr_at(s.pos)).bits();
+        } else {
+          payload = std::bit_cast<std::uint32_t>(read_f32(s.addr_at(s.pos)));
+          wide = true;
+        }
+        if (!inject(router, static_cast<Color>(f.channel), payload, wide)) {
+          break;
+        }
+        ++s.pos;
+        ++f.pos;
+        ++n;
+      }
+      progressed = n > 0;
+      completed = f.exhausted();
+      break;
+    }
+
+    case OpKind::SendScalar: {
+      FabricDesc& f = prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+      if (!f.exhausted()) {
+        const std::uint32_t payload = std::bit_cast<std::uint32_t>(
+            scalars_[static_cast<std::size_t>(in.scalar)]);
+        if (inject(router, static_cast<Color>(f.channel), payload, true)) {
+          ++f.pos;
+          progressed = true;
+        }
+      }
+      completed = f.exhausted();
+      break;
+    }
+
+    case OpKind::RecvToMem:
+    case OpKind::RecvAddTo: {
+      FabricDesc& f = prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+      TensorDesc& d = dst_desc();
+      auto& q = ramp_queues_[static_cast<std::size_t>(f.channel)];
+      const int width = width_of(in.op, d.dtype);
+      int n = 0;
+      while (n < width && !f.exhausted() && !q.empty()) {
+        const std::uint32_t payload = q.front();
+        q.pop_front();
+        const fp16_t w = fp16_t::from_bits(static_cast<std::uint16_t>(payload));
+        if (in.op == OpKind::RecvToMem) {
+          write_elem(d, d.pos, w.to_double());
+        } else {
+          const fp16_t cur(read_elem(d, d.pos));
+          write_elem(d, d.pos, (cur + w).to_double());
+        }
+        ++d.pos;
+        ++f.pos;
+        ++n;
+      }
+      progressed = n > 0;
+      stats_.elements_processed += static_cast<std::uint64_t>(n);
+      completed = f.exhausted();
+      break;
+    }
+
+    case OpKind::RecvMulToFifo: {
+      FabricDesc& f = prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+      TensorDesc& s = src1_desc();
+      FifoState& fifo = prog_.fifos[static_cast<std::size_t>(in.fifo)];
+      auto& q = ramp_queues_[static_cast<std::size_t>(f.channel)];
+      const int width = width_of(in.op, DType::F16);
+      int n = 0;
+      while (n < width && !f.exhausted() && !q.empty() && !fifo.full()) {
+        const fp16_t w =
+            fp16_t::from_bits(static_cast<std::uint16_t>(q.front()));
+        q.pop_front();
+        const fp16_t a(read_elem(s, s.pos));
+        const fp16_t prod = w * a;
+        memory_[static_cast<std::size_t>(fifo.base + fifo.tail)] = prod.bits();
+        fifo.tail = (fifo.tail + 1) % fifo.capacity;
+        ++fifo.count;
+        fire(fifo.on_push, TrigAction::Activate);
+        ++s.pos;
+        ++f.pos;
+        ++n;
+      }
+      progressed = n > 0;
+      stats_.elements_processed += static_cast<std::uint64_t>(n);
+      completed = f.exhausted();
+      break;
+    }
+
+    case OpKind::FifoAddTo: {
+      FifoState& fifo = prog_.fifos[static_cast<std::size_t>(in.fifo)];
+      TensorDesc& d = dst_desc();
+      const int width = width_of(in.op, d.dtype);
+      int n = 0;
+      while (n < width && !fifo.empty() && !d.exhausted()) {
+        const fp16_t w = fp16_t::from_bits(
+            memory_[static_cast<std::size_t>(fifo.base + fifo.head)]);
+        fifo.head = (fifo.head + 1) % fifo.capacity;
+        --fifo.count;
+        const fp16_t cur(read_elem(d, d.pos));
+        write_elem(d, d.pos, (cur + w).to_double());
+        ++d.pos;
+        ++n;
+      }
+      progressed = n > 0;
+      stats_.elements_processed += static_cast<std::uint64_t>(n);
+      // "Each add pulls as much data as it can from its input FIFO,
+      // finishing when empty."
+      completed = fifo.empty() || d.exhausted();
+      break;
+    }
+
+    case OpKind::RecvAccScalar: {
+      FabricDesc& f = prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+      auto& q = ramp_queues_[static_cast<std::size_t>(f.channel)];
+      if (!f.exhausted() && !q.empty()) {
+        const float w = std::bit_cast<float>(q.front());
+        q.pop_front();
+        scalars_[static_cast<std::size_t>(in.scalar)] += w; // fp32 add
+        ++f.pos;
+        progressed = true;
+        ++stats_.elements_processed;
+      }
+      completed = f.exhausted();
+      break;
+    }
+
+    case OpKind::DotMixed:
+    case OpKind::DotLocal: {
+      TensorDesc& s1 = src1_desc();
+      TensorDesc& s2 = src2_desc();
+      const int width = width_of(in.op, DType::F16);
+      int n = 0;
+      while (n < width && !s1.exhausted()) {
+        const fp16_t a(read_elem(s1, s1.pos));
+        const fp16_t b(read_elem(s2, s2.pos));
+        float& acc = scalars_[static_cast<std::size_t>(in.scalar)];
+        acc = mixed_fma(a, b, acc);
+        ++s1.pos;
+        ++s2.pos;
+        ++n;
+      }
+      progressed = n > 0;
+      stats_.elements_processed += static_cast<std::uint64_t>(n);
+      completed = s1.exhausted();
+      break;
+    }
+
+    case OpKind::SetScalar: {
+      scalars_[static_cast<std::size_t>(in.scalar)] =
+          static_cast<float>(in.imm);
+      progressed = true;
+      completed = true;
+      break;
+    }
+
+    case OpKind::ScalarAdd:
+    case OpKind::ScalarSub:
+    case OpKind::ScalarMul:
+    case OpKind::ScalarDiv:
+    case OpKind::ScalarMulImm: {
+      const float a = scalars_[static_cast<std::size_t>(in.scalar_a)];
+      float out = 0.0f;
+      switch (in.op) {
+        case OpKind::ScalarAdd:
+          out = a + scalars_[static_cast<std::size_t>(in.scalar_b)];
+          break;
+        case OpKind::ScalarSub:
+          out = a - scalars_[static_cast<std::size_t>(in.scalar_b)];
+          break;
+        case OpKind::ScalarMul:
+          out = a * scalars_[static_cast<std::size_t>(in.scalar_b)];
+          break;
+        case OpKind::ScalarDiv:
+          out = a / scalars_[static_cast<std::size_t>(in.scalar_b)];
+          break;
+        default:
+          out = a * static_cast<float>(in.imm);
+          break;
+      }
+      scalars_[static_cast<std::size_t>(in.scalar)] = out;
+      progressed = true;
+      completed = true;
+      break;
+    }
+  }
+
+  if (completed) {
+    complete_instr(slot, router);
+  }
+  return progressed;
+}
+
+void TileCore::run_scheduler() {
+  // Hardware scheduling is implemented directly ("there is little delay
+  // between the completion of a task and the start of a subsequent task"):
+  // within one cycle the scheduler picks a ready task and drains its
+  // control/launch steps until it must wait on a sync instruction or the
+  // task ends. Instruction *execution* still costs datapath cycles; only
+  // the bookkeeping is free-flowing.
+  if (current_task_ == kNoTask) {
+    TaskId pick = kNoTask;
+    for (std::size_t i = 0; i < prog_.tasks.size(); ++i) {
+      Task& t = prog_.tasks[i];
+      if (!t.activated || t.blocked) continue;
+      if (pick == kNoTask ||
+          (t.priority &&
+           !prog_.tasks[static_cast<std::size_t>(pick)].priority)) {
+        pick = static_cast<TaskId>(i);
+      }
+    }
+    if (pick == kNoTask) return;
+    prog_.tasks[static_cast<std::size_t>(pick)].activated = false;
+    current_task_ = pick;
+    current_step_ = 0;
+    waiting_sync_ = false;
+    ++stats_.task_invocations;
+    if (tracer_ != nullptr && tracer_->wants(tile_x_, tile_y_)) {
+      tracer_->record(current_cycle_, tile_x_, tile_y_,
+                      TraceEventKind::TaskStart,
+                      prog_.tasks[static_cast<std::size_t>(pick)].name);
+    }
+  }
+
+  if (waiting_sync_) return;
+  Task& t = prog_.tasks[static_cast<std::size_t>(current_task_)];
+  while (current_step_ < t.steps.size()) {
+    TaskStep& step = t.steps[current_step_];
+    if (step.kind == TaskStep::Kind::Launch) {
+      auto& slot = slots_[static_cast<std::size_t>(step.thread_slot)];
+      if (slot.has_value()) {
+        return; // thread slot busy: wait (programs shouldn't do this)
+      }
+      slot = RunningInstr{step.instr, false};
+      ++current_step_;
+    } else if (step.kind == TaskStep::Kind::Sync) {
+      auto& slot = slots_[static_cast<std::size_t>(arch_->num_thread_slots)];
+      if (slot.has_value()) return;
+      slot = RunningInstr{step.instr, true};
+      waiting_sync_ = true;
+      return;
+    } else {
+      switch (step.kind) {
+        case TaskStep::Kind::Block:
+          prog_.tasks[static_cast<std::size_t>(step.target)].blocked = true;
+          break;
+        case TaskStep::Kind::Unblock:
+          prog_.tasks[static_cast<std::size_t>(step.target)].blocked = false;
+          break;
+        case TaskStep::Kind::Activate:
+          prog_.tasks[static_cast<std::size_t>(step.target)].activated = true;
+          break;
+        case TaskStep::Kind::SetDone:
+          done_ = true;
+          break;
+        default:
+          break;
+      }
+      ++current_step_;
+    }
+  }
+  if (tracer_ != nullptr && tracer_->wants(tile_x_, tile_y_)) {
+    tracer_->record(current_cycle_, tile_x_, tile_y_, TraceEventKind::TaskEnd,
+                    t.name);
+  }
+  current_task_ = kNoTask; // task body exhausted; next pick next cycle
+}
+
+void TileCore::step(RouterState& router, std::uint64_t cycle) {
+  current_cycle_ = cycle;
+  run_scheduler();
+
+  // Datapath: one instruction advances per cycle, chosen round-robin over
+  // the occupied thread slots (background threads + the main sync slot).
+  // Zero-work retirements (e.g. a FIFO drain finding its FIFO empty) do
+  // not occupy the datapath: the hardware retires them in the scheduler.
+  const int nslots = static_cast<int>(slots_.size());
+  bool any_busy = false;
+  for (int k = 0; k < nslots; ++k) {
+    const int slot = (rr_slot_ + k) % nslots;
+    if (!slots_[static_cast<std::size_t>(slot)].has_value()) continue;
+    any_busy = true;
+    if (advance(slot, router)) {
+      rr_slot_ = (slot + 1) % nslots;
+      ++stats_.instr_cycles;
+      return;
+    }
+    // No element progress: either stalled (slot still occupied — try the
+    // next thread) or retired with zero work (slot freed — also try the
+    // next thread without charging the datapath).
+  }
+  if (any_busy) {
+    ++stats_.stall_cycles;
+    if (tracer_ != nullptr && tracer_->wants(tile_x_, tile_y_)) {
+      tracer_->record(current_cycle_, tile_x_, tile_y_,
+                      TraceEventKind::Stall, "");
+    }
+  } else {
+    ++stats_.idle_cycles;
+  }
+}
+
+std::string TileCore::debug_state() const {
+  std::string out;
+  if (current_task_ != kNoTask) {
+    const Task& t = prog_.tasks[static_cast<std::size_t>(current_task_)];
+    out += "task=" + t.name + " step=" + std::to_string(current_step_) +
+           (waiting_sync_ ? " (sync-wait)" : "");
+  } else {
+    out += "no-task";
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].has_value()) {
+      out += " slot" + std::to_string(i) + "=op" +
+             std::to_string(static_cast<int>(slots_[i]->instr.op));
+      const Instr& in = slots_[i]->instr;
+      if (in.fabric >= 0) {
+        const FabricDesc& f = prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+        out += "(ch" + std::to_string(f.channel) + " " +
+               std::to_string(f.pos) + "/" + std::to_string(f.len) + ")";
+      }
+    }
+  }
+  for (std::size_t c = 0; c < ramp_queues_.size(); ++c) {
+    if (!ramp_queues_[c].empty()) {
+      out += " q" + std::to_string(c) + ":" +
+             std::to_string(ramp_queues_[c].size());
+    }
+  }
+  if (done_) out += " DONE";
+  return out;
+}
+
+bool TileCore::quiescent() const {
+  for (const auto& s : slots_) {
+    if (s.has_value()) return false;
+  }
+  if (current_task_ != kNoTask) return false;
+  for (const auto& t : prog_.tasks) {
+    if (t.activated && !t.blocked) return false;
+  }
+  for (const auto& q : ramp_queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+void TileCore::reset_control() {
+  prog_.tensors = pristine_.tensors;
+  prog_.fabrics = pristine_.fabrics;
+  prog_.fifos = pristine_.fifos;
+  for (std::size_t i = 0; i < prog_.tasks.size(); ++i) {
+    prog_.tasks[i].activated = pristine_.tasks[i].activated;
+    prog_.tasks[i].blocked = pristine_.tasks[i].blocked;
+  }
+  for (auto& s : slots_) s.reset();
+  current_task_ = kNoTask;
+  current_step_ = 0;
+  waiting_sync_ = false;
+  done_ = false;
+  if (prog_.initial_task != kNoTask) {
+    prog_.tasks[static_cast<std::size_t>(prog_.initial_task)].activated = true;
+  }
+}
+
+} // namespace wss::wse

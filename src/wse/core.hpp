@@ -1,0 +1,158 @@
+#pragma once
+
+// The tile core: 48 KB of halfword-addressed SRAM, a scalar register file,
+// nine thread slots executing tensor instructions that share one datapath
+// (one instruction advances per cycle, up to SIMD-4 fp16 elements), hardware
+// FIFOs that activate tasks on push, and a task scheduler implementing the
+// activate/block/unblock semantics of the paper's Listing 1.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "wse/arch.hpp"
+#include "wse/program.hpp"
+#include "wse/routing.hpp"
+#include "wse/trace.hpp"
+
+namespace wss::wse {
+
+/// Router-side state owned by the fabric but fed by the core on injection.
+struct RouterState {
+  RoutingTable table;
+  /// Per outgoing mesh direction, per color: queued flits awaiting the link.
+  std::array<std::array<std::deque<Flit>, kNumColors>, 4> out_queues;
+  /// Per-virtual-channel input queues per incoming mesh direction — the
+  /// paper: "The router has hardware queues ... for each of a set of
+  /// virtual channels, avoiding deadlock." Without per-color separation a
+  /// blocked head flit of one color would head-of-line-block every other
+  /// color on the link (which deadlocks two concurrent reduction trees).
+  std::array<std::array<std::deque<Flit>, kNumColors>, 4> in_queues;
+  /// Round-robin pointer per outgoing direction for color arbitration.
+  std::array<int, 4> rr = {0, 0, 0, 0};
+};
+
+/// Halfword occupancy of a set of flits (wide flits count twice).
+inline int flit_halfwords(const std::deque<Flit>& q) {
+  int total = 0;
+  for (const Flit& f : q) total += f.wide ? 2 : 1;
+  return total;
+}
+
+/// Per-core activity counters for validating the performance model.
+struct CoreStats {
+  std::uint64_t instr_cycles = 0;   ///< cycles the datapath was busy
+  std::uint64_t stall_cycles = 0;   ///< datapath had work but was blocked
+  std::uint64_t idle_cycles = 0;
+  std::uint64_t elements_processed = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t words_received = 0;
+  std::uint64_t task_invocations = 0;
+};
+
+class TileCore {
+public:
+  TileCore(TileProgram program, const CS1Params& arch, const SimParams& sim);
+
+  /// Deliver a fabric word to a local channel queue; false => queue full,
+  /// word must stay in the router (backpressure).
+  bool try_deliver(int channel, std::uint32_t payload);
+
+  /// True if a word could be delivered to `channel` right now.
+  [[nodiscard]] bool can_deliver(int channel) const;
+
+  /// Advance the core by one cycle. `router` is this tile's router, used
+  /// for injection of outgoing words; `cycle` is the fabric's global cycle
+  /// (for tracing).
+  void step(RouterState& router, std::uint64_t cycle = 0);
+
+  /// Attach an execution tracer (may be nullptr to detach). The core
+  /// records task starts/ends, instruction completions, and stalls.
+  void set_tracer(Tracer* tracer, int tile_x, int tile_y) {
+    tracer_ = tracer;
+    tile_x_ = tile_x;
+    tile_y_ = tile_y;
+  }
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] const TileProgram& program() const { return prog_; }
+
+  // --- host access for loading/unloading data (the host interface of a
+  // real system; not part of the simulated cycle count) ---
+  void host_write_f16(int addr, fp16_t v) { memory_[static_cast<std::size_t>(addr)] = v.bits(); }
+  [[nodiscard]] fp16_t host_read_f16(int addr) const {
+    return fp16_t::from_bits(memory_[static_cast<std::size_t>(addr)]);
+  }
+  void host_write_f32(int addr, float v);
+  [[nodiscard]] float host_read_f32(int addr) const;
+  void host_write_scalar(int reg, float v) { scalars_[static_cast<std::size_t>(reg)] = v; }
+  [[nodiscard]] float host_read_scalar(int reg) const { return scalars_[static_cast<std::size_t>(reg)]; }
+
+  /// Reset all descriptor positions, task states, and stats so the same
+  /// program can run again (the solver re-invokes SpMV every iteration).
+  void reset_control();
+
+  /// One-line human-readable execution state (current task/step, occupied
+  /// thread slots, nonempty ramp queues) — for debugging stalled fabrics.
+  [[nodiscard]] std::string debug_state() const;
+
+private:
+  struct RunningInstr {
+    Instr instr;
+    bool from_sync = false; ///< completing unblocks the owning task's steps
+  };
+
+  // memory access
+  [[nodiscard]] fp16_t read_f16(int addr) const {
+    return fp16_t::from_bits(memory_[static_cast<std::size_t>(addr)]);
+  }
+  void write_f16(int addr, fp16_t v) { memory_[static_cast<std::size_t>(addr)] = v.bits(); }
+  [[nodiscard]] float read_f32(int addr) const;
+  void write_f32(int addr, float v);
+
+  [[nodiscard]] double read_elem(const TensorDesc& t, int i) const;
+  void write_elem(const TensorDesc& t, int i, double v);
+
+  void fire(TaskId task, TrigAction act);
+  void complete_instr(int slot, RouterState& router);
+  /// Advance instruction in `slot` by as many elements as this cycle
+  /// allows. Returns true if any forward progress was made.
+  bool advance(int slot, RouterState& router);
+  bool inject(RouterState& router, Color color, std::uint32_t payload,
+              bool wide);
+  void run_scheduler();
+
+  TileProgram prog_;
+  TileProgram pristine_; ///< initial descriptor/task state, for reset_control
+  const CS1Params* arch_;
+  SimParams sim_;
+  std::vector<std::uint16_t> memory_;
+  std::vector<float> scalars_;
+  std::vector<std::deque<std::uint32_t>> ramp_queues_;
+
+  // thread slots; index arch_->num_thread_slots is the main/sync slot
+  std::vector<std::optional<RunningInstr>> slots_;
+  int rr_slot_ = 0;
+
+  // task execution state
+  TaskId current_task_ = kNoTask;
+  std::size_t current_step_ = 0;
+  bool waiting_sync_ = false;
+
+  bool done_ = false;
+  CoreStats stats_;
+
+  // tracing
+  Tracer* tracer_ = nullptr;
+  int tile_x_ = 0;
+  int tile_y_ = 0;
+  std::uint64_t current_cycle_ = 0;
+};
+
+} // namespace wss::wse

@@ -1,0 +1,184 @@
+#include "wse/fabric.hpp"
+
+#include <stdexcept>
+
+namespace wss::wse {
+
+Fabric::Fabric(int width, int height, const CS1Params& arch,
+               const SimParams& sim)
+    : width_(width), height_(height), arch_(&arch), sim_(sim) {
+  tiles_.resize(static_cast<std::size_t>(width) *
+                static_cast<std::size_t>(height));
+}
+
+void Fabric::configure_tile(int x, int y, TileProgram program,
+                            RoutingTable routes) {
+  Tile& t = tiles_[tile_index(x, y)];
+  t.core = std::make_unique<TileCore>(std::move(program), *arch_, sim_);
+  t.router.table = std::move(routes);
+}
+
+void Fabric::route_phase() {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      Tile& t = tiles_[tile_index(x, y)];
+      for (int d = 0; d < 4; ++d) {
+        for (int c = 0; c < kNumColors; ++c) {
+          auto& q = t.router.in_queues[static_cast<std::size_t>(d)]
+                                      [static_cast<std::size_t>(c)];
+          while (!q.empty()) {
+            const Flit flit = q.front();
+            const RouteRule& rule = t.router.table.rule(flit.color);
+
+            // All-targets-or-nothing fanout with backpressure: the flit
+            // stays in its virtual-channel queue (blocking only its own
+            // color) until every forward queue and every local channel
+            // can accept a copy.
+            bool space = true;
+            for (int od = 0; od < 4 && space; ++od) {
+              if (rule.forwards_to(static_cast<Dir>(od)) &&
+                  static_cast<int>(
+                      t.router
+                          .out_queues[static_cast<std::size_t>(od)][flit.color]
+                          .size()) >= sim_.router_queue_depth) {
+                space = false;
+              }
+            }
+            for (std::size_t ci = 0;
+                 space && ci < rule.deliver_channels.size(); ++ci) {
+              if (!t.core->can_deliver(rule.deliver_channels[ci])) {
+                space = false;
+              }
+            }
+            if (!space) break;
+
+            for (int ch : rule.deliver_channels) {
+              t.core->try_deliver(ch, flit.payload);
+            }
+            for (int od = 0; od < 4; ++od) {
+              if (rule.forwards_to(static_cast<Dir>(od))) {
+                t.router.out_queues[static_cast<std::size_t>(od)][flit.color]
+                    .push_back(flit);
+              }
+            }
+            q.pop_front();
+          }
+        }
+      }
+    }
+  }
+}
+
+void Fabric::link_phase() {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      Tile& t = tiles_[tile_index(x, y)];
+      for (int d = 0; d < 4; ++d) {
+        const Dir dir = static_cast<Dir>(d);
+        const auto [dx, dy] = wse::step(dir);
+        const int nx = x + dx;
+        const int ny = y + dy;
+        if (!in_bounds(nx, ny)) continue;
+        Tile& nb = tiles_[tile_index(nx, ny)];
+        auto& in_queues =
+            nb.router.in_queues[static_cast<std::size_t>(opposite(dir))];
+        // 32-bit link: move up to one link-cycle of halfwords, choosing
+        // colors round-robin; each color lands in its own virtual-channel
+        // input queue at the neighbor.
+        int budget = sim_.link_halfwords_per_cycle;
+        auto& queues = t.router.out_queues[static_cast<std::size_t>(d)];
+        int& rr = t.router.rr[static_cast<std::size_t>(d)];
+        while (budget > 0) {
+          bool moved = false;
+          for (int k = 0; k < kNumColors; ++k) {
+            const int c = (rr + k) % kNumColors;
+            auto& q = queues[static_cast<std::size_t>(c)];
+            if (q.empty()) continue;
+            const int cost = q.front().wide ? 2 : 1;
+            if (cost > budget) continue;
+            auto& inq = in_queues[static_cast<std::size_t>(c)];
+            if (flit_halfwords(inq) + cost > 2 * sim_.link_halfwords_per_cycle) {
+              continue;
+            }
+            inq.push_back(q.front());
+            q.pop_front();
+            budget -= cost;
+            rr = (c + 1) % kNumColors;
+            ++stats_.link_transfers;
+            moved = true;
+            break;
+          }
+          if (!moved) break;
+        }
+      }
+    }
+  }
+}
+
+void Fabric::step() {
+  route_phase();
+  for (auto& t : tiles_) {
+    t.core->step(t.router, stats_.cycles);
+  }
+  link_phase();
+  ++stats_.cycles;
+}
+
+void Fabric::set_tracer(Tracer* tracer) {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      Tile& t = tiles_[tile_index(x, y)];
+      if (t.core) t.core->set_tracer(tracer, x, y);
+    }
+  }
+}
+
+std::uint64_t Fabric::run(std::uint64_t max_cycles) {
+  const std::uint64_t start = stats_.cycles;
+  while (stats_.cycles - start < max_cycles) {
+    step();
+    if (all_done()) break;
+    if (quiescent()) break;
+  }
+  return stats_.cycles - start;
+}
+
+bool Fabric::all_done() const {
+  for (const auto& t : tiles_) {
+    if (!t.core || !t.core->done()) return false;
+  }
+  return true;
+}
+
+bool Fabric::quiescent() const {
+  for (const auto& t : tiles_) {
+    if (!t.core) continue;
+    if (!t.core->quiescent()) return false;
+    for (int d = 0; d < 4; ++d) {
+      for (const auto& q : t.router.in_queues[static_cast<std::size_t>(d)]) {
+        if (!q.empty()) return false;
+      }
+      for (const auto& q :
+           t.router.out_queues[static_cast<std::size_t>(d)]) {
+        if (!q.empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Fabric::reset_control() {
+  for (auto& t : tiles_) {
+    if (t.core) t.core->reset_control();
+    for (int d = 0; d < 4; ++d) {
+      for (auto& q : t.router.in_queues[static_cast<std::size_t>(d)]) {
+        q.clear();
+      }
+      for (auto& q : t.router.out_queues[static_cast<std::size_t>(d)]) {
+        q.clear();
+      }
+    }
+  }
+}
+
+} // namespace wss::wse

@@ -1,0 +1,90 @@
+#pragma once
+
+// The fabric: a 2D array of tiles (core + router), stepped cycle by cycle.
+// Each cycle has three deterministic phases:
+//   1. route  — words in input latches are forwarded per the routing rules
+//               (multicast fanout happens here, with backpressure),
+//   2. core   — every core runs one datapath/scheduler cycle and may inject,
+//   3. link   — each output link moves one word into the neighbor's latch.
+// This yields one-word-per-link-per-cycle bandwidth and ~1 cycle/hop
+// latency, the paper's stated fabric characteristics.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wse/core.hpp"
+
+namespace wss::wse {
+
+struct FabricStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t link_transfers = 0;
+
+  [[nodiscard]] double seconds(const CS1Params& arch) const {
+    return static_cast<double>(cycles) / arch.clock_hz;
+  }
+};
+
+class Fabric {
+public:
+  Fabric(int width, int height, const CS1Params& arch, const SimParams& sim);
+
+  /// Install a tile's program and routing table. Must be called for every
+  /// tile before running. Coordinates: x east, y south.
+  void configure_tile(int x, int y, TileProgram program, RoutingTable routes);
+
+  [[nodiscard]] TileCore& core(int x, int y) {
+    return *tiles_[tile_index(x, y)].core;
+  }
+  [[nodiscard]] const TileCore& core(int x, int y) const {
+    return *tiles_[tile_index(x, y)].core;
+  }
+
+  /// Advance one cycle.
+  void step();
+
+  /// Run until every tile raised its done flag, the whole fabric went
+  /// quiescent, or `max_cycles` elapsed. Returns cycles executed.
+  std::uint64_t run(std::uint64_t max_cycles);
+
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  /// Reset per-run control state (descriptors, tasks, stats) on every tile
+  /// so the loaded data can be reused for another kernel invocation.
+  void reset_control();
+
+  /// Attach an execution tracer to every configured tile (nullptr
+  /// detaches). Use Tracer::focus to limit recording to one tile.
+  void set_tracer(Tracer* tracer);
+
+private:
+  struct Tile {
+    std::unique_ptr<TileCore> core;
+    RouterState router;
+  };
+
+  [[nodiscard]] std::size_t tile_index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+  [[nodiscard]] bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  void route_phase();
+  void link_phase();
+
+  int width_;
+  int height_;
+  const CS1Params* arch_;
+  SimParams sim_;
+  std::vector<Tile> tiles_;
+  FabricStats stats_;
+};
+
+} // namespace wss::wse

@@ -1,0 +1,140 @@
+#include "wse/route_compiler.hpp"
+
+namespace wss::wse {
+
+RoutingTable compile_spmv_routes(int x, int y, int width, int height) {
+  RoutingTable table;
+
+  // Own broadcast color: fan out to every existing neighbor, and loop back
+  // into the two local pseudo-channels (z-plus stream and main diagonal).
+  const Color own = tessellation_color(x, y);
+  RouteRule& out = table.rule(own);
+  if (y > 0) out.add_forward(Dir::North);
+  if (y + 1 < height) out.add_forward(Dir::South);
+  if (x + 1 < width) out.add_forward(Dir::East);
+  if (x > 0) out.add_forward(Dir::West);
+  out.deliver_channels = {kChanLoopZp, kChanLoopC};
+
+  // Each neighbor's color: consume into the ramp channel equal to the
+  // color. Single-hop traffic: no forwarding.
+  auto deliver_neighbor = [&](int nx, int ny) {
+    if (nx < 0 || nx >= width || ny < 0 || ny >= height) return;
+    const Color c = tessellation_color(nx, ny);
+    table.rule(c).deliver_channels.push_back(c);
+  };
+  deliver_neighbor(x + 1, y);
+  deliver_neighbor(x - 1, y);
+  deliver_neighbor(x, y + 1);
+  deliver_neighbor(x, y - 1);
+  return table;
+}
+
+AllReduceGeometry allreduce_geometry(int width, int height) {
+  AllReduceGeometry g;
+  g.cxl = (width - 2) / 2;
+  g.cxr = g.cxl + 1;
+  g.cyt = (height - 2) / 2;
+  g.cyb = g.cyt + 1;
+  return g;
+}
+
+void add_allreduce_routes(RoutingTable& table, int x, int y, int width,
+                          int height, Color color_base) {
+  const AllReduceGeometry g = allreduce_geometry(width, height);
+  const Color c_row = color_base;
+  const Color c_col = static_cast<Color>(color_base + 1);
+  const Color c_quad = static_cast<Color>(color_base + 2);
+  const Color c_final = static_cast<Color>(color_base + 3);
+  const Color c_bcast = static_cast<Color>(color_base + 4);
+
+  // Row reduction: values flow toward the center pair of columns. Center
+  // tiles consume (including their own injected value, via loopback).
+  {
+    RouteRule& r = table.rule(c_row);
+    if (x < g.cxl) {
+      r.add_forward(Dir::East);
+    } else if (x > g.cxr) {
+      r.add_forward(Dir::West);
+    } else {
+      r.deliver_channels.push_back(c_row);
+    }
+  }
+
+  // Column reduction along the two center columns.
+  if (g.is_row_center(x)) {
+    RouteRule& r = table.rule(c_col);
+    if (y < g.cyt) {
+      r.add_forward(Dir::South);
+    } else if (y > g.cyb) {
+      r.add_forward(Dir::North);
+    } else {
+      r.deliver_channels.push_back(c_col);
+    }
+  }
+
+  // 4:1 reduction: the two west-center tiles send east to their east-center
+  // partners...
+  if (g.is_col_center(y)) {
+    RouteRule& r = table.rule(c_quad);
+    if (x == g.cxl) {
+      r.add_forward(Dir::East);
+    } else if (x == g.cxr) {
+      r.deliver_channels.push_back(c_quad);
+    }
+  }
+  // ...then the north-east center sends south along the root column.
+  if (x == g.cxr) {
+    RouteRule& r = table.rule(c_final);
+    if (y >= g.cyt && y < g.cyb) {
+      r.add_forward(Dir::South);
+    } else if (y == g.cyb) {
+      r.deliver_channels.push_back(c_final);
+    }
+  }
+
+  // Broadcast from the root (cxr, cyb): along the root column both ways,
+  // fanning out across every row; every tile consumes a copy.
+  {
+    RouteRule& r = table.rule(c_bcast);
+    if (x == g.cxr) {
+      if (y < g.cyb && y > 0) r.add_forward(Dir::North);
+      if (y > g.cyb && y + 1 < height) r.add_forward(Dir::South);
+      if (y == g.cyb) {
+        // The root: seed both column directions and its own row.
+        if (y > 0) r.add_forward(Dir::North);
+        if (y + 1 < height) r.add_forward(Dir::South);
+      }
+      if (x > 0) r.add_forward(Dir::West);
+      if (x + 1 < width) r.add_forward(Dir::East);
+    } else if (x < g.cxr) {
+      if (x > 0) r.add_forward(Dir::West);
+    } else {
+      if (x + 1 < width) r.add_forward(Dir::East);
+    }
+    r.deliver_channels.push_back(c_bcast);
+  }
+}
+
+int verify_tessellation(int width, int height) {
+  int violations = 0;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const Color own = tessellation_color(x, y);
+      Color in[4];
+      int n = 0;
+      if (x + 1 < width) in[n++] = tessellation_color(x + 1, y);
+      if (x > 0) in[n++] = tessellation_color(x - 1, y);
+      if (y + 1 < height) in[n++] = tessellation_color(x, y + 1);
+      if (y > 0) in[n++] = tessellation_color(x, y - 1);
+      for (int i = 0; i < n; ++i) {
+        if (in[i] == own) ++violations;
+        for (int j = i + 1; j < n; ++j) {
+          if (in[i] == in[j]) ++violations;
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+} // namespace wss::wse

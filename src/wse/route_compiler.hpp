@@ -1,0 +1,91 @@
+#pragma once
+
+// Offline route compilation, the CS-1 way: routing is fixed before the
+// program runs. Two configurations are compiled here:
+//
+//  * The Fig. 5 tessellation for the SpMV neighbor broadcast: each tile
+//    owns one outgoing color that fans out to its four neighbors (and loops
+//    back into two local channels for the z-direction and main-diagonal
+//    terms); the five colors in any tile's closed neighborhood are pairwise
+//    distinct, so the four incoming streams arrive on four distinct
+//    channels. color(x, y) = (x + 2y) mod 5 realizes this on the grid.
+//
+//  * The Fig. 6 AllReduce: values stream along rows into a center pair of
+//    columns, partial sums stream along those columns into a center quad,
+//    a 4:1 reduction lands on a single root, and the result is broadcast
+//    back along the root column and out across every row.
+
+#include <vector>
+
+#include "wse/routing.hpp"
+#include "wse/types.hpp"
+
+namespace wss::wse {
+
+// ---------------------------------------------------------------- SpMV ----
+
+/// Number of colors in the tessellation palette.
+inline constexpr int kTessellationColors = 5;
+
+/// Loopback pseudo-channels: a tile's own broadcast is delivered locally on
+/// these two channels, feeding the z-plus multiply thread and the
+/// main-diagonal add thread without extra fabric traffic.
+inline constexpr int kChanLoopZp = 5;
+inline constexpr int kChanLoopC = 6;
+
+/// The outgoing broadcast color of tile (x, y).
+[[nodiscard]] constexpr Color tessellation_color(int x, int y) {
+  return static_cast<Color>(((x % 5) + 2 * (y % 5)) % 5);
+}
+
+/// Routing rules at tile (x, y) of a width*height fabric for the SpMV
+/// broadcast pattern (only; compose with allreduce rules as needed).
+[[nodiscard]] RoutingTable compile_spmv_routes(int x, int y, int width,
+                                               int height);
+
+// ----------------------------------------------------------- AllReduce ----
+
+/// Channels used by the reduction/broadcast tree. A tree occupies five
+/// consecutive colors starting at a base; two trees on disjoint bases can
+/// run concurrently (the fused-reduction extension).
+inline constexpr Color kAllReduceBase = 8;
+inline constexpr Color kAllReduceBase2 = 13;
+inline constexpr Color kColorRowReduce = kAllReduceBase + 0;
+inline constexpr Color kColorColReduce = kAllReduceBase + 1;
+inline constexpr Color kColorQuad = kAllReduceBase + 2;
+inline constexpr Color kColorFinal = kAllReduceBase + 3;
+inline constexpr Color kColorBcast = kAllReduceBase + 4;
+
+/// Geometry of the reduction tree on a width*height fabric.
+struct AllReduceGeometry {
+  int cxl = 0; ///< left center column
+  int cxr = 0; ///< right center column
+  int cyt = 0; ///< top center row
+  int cyb = 0; ///< bottom center row (root row)
+
+  [[nodiscard]] constexpr bool is_row_center(int x) const {
+    return x == cxl || x == cxr;
+  }
+  [[nodiscard]] constexpr bool is_col_center(int y) const {
+    return y == cyt || y == cyb;
+  }
+  /// Tiles whose row-segment reduction lands on column cxl (west half).
+  [[nodiscard]] constexpr int west_count() const { return cxl + 1; }
+  [[nodiscard]] int east_count(int width) const { return width - cxr; }
+  [[nodiscard]] constexpr int north_count() const { return cyt + 1; }
+  [[nodiscard]] int south_count(int height) const { return height - cyb; }
+};
+
+[[nodiscard]] AllReduceGeometry allreduce_geometry(int width, int height);
+
+/// Add the AllReduce rules for tile (x, y) into an existing table, using
+/// the five colors starting at `color_base`.
+void add_allreduce_routes(RoutingTable& table, int x, int y, int width,
+                          int height, Color color_base = kAllReduceBase);
+
+/// Verify the Fig. 5 tessellation property over a fabric: at every tile the
+/// outgoing color differs from all four incoming colors, and the incoming
+/// colors are pairwise distinct. Returns the number of violations (0 = ok).
+[[nodiscard]] int verify_tessellation(int width, int height);
+
+} // namespace wss::wse

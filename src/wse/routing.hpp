@@ -1,0 +1,43 @@
+#pragma once
+
+// Static routing configuration. As on the CS-1, routing is configured
+// offline ("as part of compilation"): each tile's router carries one rule
+// per color saying which mesh links a word of that color is forwarded to
+// and which local (ramp) channels receive a copy. Fanout to multiple
+// destinations happens in the router, not in software.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "wse/types.hpp"
+
+namespace wss::wse {
+
+/// Per-color routing rule at one tile.
+struct RouteRule {
+  /// Bitmask over Dir::North..Dir::West of mesh links to forward to.
+  std::uint8_t forward_mask = 0;
+  /// Local channels (ramp RX queues) that receive a copy. A word may be
+  /// delivered to more than one local channel — this is how the SpMV
+  /// program consumes the looped-back iterate twice (z-plus term and main
+  /// diagonal) without spending extra fabric bandwidth.
+  std::vector<int> deliver_channels;
+
+  [[nodiscard]] bool forwards_to(Dir d) const {
+    return (forward_mask & (1u << static_cast<int>(d))) != 0;
+  }
+  void add_forward(Dir d) {
+    forward_mask |= static_cast<std::uint8_t>(1u << static_cast<int>(d));
+  }
+};
+
+/// All rules for one tile, indexed by color.
+struct RoutingTable {
+  std::array<RouteRule, kNumColors> rules;
+
+  [[nodiscard]] const RouteRule& rule(Color c) const { return rules[c]; }
+  RouteRule& rule(Color c) { return rules[c]; }
+};
+
+} // namespace wss::wse

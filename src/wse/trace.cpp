@@ -1,0 +1,42 @@
+#include "wse/trace.hpp"
+
+#include <sstream>
+
+namespace wss::wse {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::TaskStart: return "task-start";
+    case TraceEventKind::TaskEnd: return "task-end";
+    case TraceEventKind::InstrComplete: return "instr-done";
+    case TraceEventKind::Stall: return "stall";
+  }
+  return "?";
+}
+
+std::string Tracer::render(std::size_t max_lines) const {
+  std::ostringstream out;
+  std::size_t lines = 0;
+  for (const TraceEvent& e : events_) {
+    if (lines++ >= max_lines) {
+      out << "... (" << events_.size() - max_lines << " more events)\n";
+      break;
+    }
+    out << "cycle " << e.cycle << " (" << e.tile_x << "," << e.tile_y
+        << ") " << to_string(e.kind) << " " << e.label << "\n";
+  }
+  if (dropped_ > 0) {
+    out << "[" << dropped_ << " events dropped at capacity]\n";
+  }
+  return out.str();
+}
+
+std::size_t Tracer::count(TraceEventKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+} // namespace wss::wse

@@ -1,0 +1,82 @@
+#pragma once
+
+// Execution tracing for the fabric simulator: a bounded event recorder the
+// fabric (optionally) feeds with task starts, instruction completions, and
+// per-cycle occupancy samples, plus a text renderer that shows what a tile
+// did cycle by cycle — the tool we used to find the virtual-channel
+// head-of-line deadlock, kept as a first-class debugging surface.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wse/types.hpp"
+
+namespace wss::wse {
+
+enum class TraceEventKind : std::uint8_t {
+  TaskStart,      ///< scheduler picked a task
+  TaskEnd,        ///< task body exhausted
+  InstrComplete,  ///< an instruction retired
+  Stall,          ///< datapath had work but nothing could advance
+};
+
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  int tile_x = 0;
+  int tile_y = 0;
+  TraceEventKind kind{};
+  /// Task name for task events; opcode index for instruction events.
+  std::string label;
+};
+
+/// Bounded in-memory trace. When full, new events are dropped and counted
+/// (a trace is a magnifier, not a flight recorder).
+class Tracer {
+public:
+  explicit Tracer(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void record(std::uint64_t cycle, int x, int y, TraceEventKind kind,
+              std::string label) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back({cycle, x, y, kind, std::move(label)});
+  }
+
+  /// Restrict recording to one tile (-1, -1 = all tiles).
+  void focus(int x, int y) {
+    focus_x_ = x;
+    focus_y_ = y;
+  }
+  [[nodiscard]] bool wants(int x, int y) const {
+    return (focus_x_ < 0 || focus_x_ == x) && (focus_y_ < 0 || focus_y_ == y);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Render a human-readable timeline, optionally limited to `max_lines`.
+  [[nodiscard]] std::string render(std::size_t max_lines = 200) const;
+
+  /// Events of one kind (e.g. count the task switches of a run).
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const;
+
+private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+  int focus_x_ = -1;
+  int focus_y_ = -1;
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind kind);
+
+} // namespace wss::wse

@@ -1,0 +1,83 @@
+#pragma once
+
+// Basic vocabulary of the wafer-scale-engine simulator: directions on the
+// 2D fabric, fabric word payloads, data types, and task-control actions.
+
+#include <array>
+#include <cstdint>
+
+namespace wss::wse {
+
+/// Link directions out of / into a router. Ramp is the router<->core port.
+enum class Dir : std::uint8_t { North = 0, South = 1, East = 2, West = 3, Ramp = 4 };
+inline constexpr int kNumDirs = 5;
+inline constexpr std::array<Dir, 4> kMeshDirs = {Dir::North, Dir::South,
+                                                 Dir::East, Dir::West};
+
+[[nodiscard]] constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+    case Dir::Ramp: return Dir::Ramp;
+  }
+  return Dir::Ramp;
+}
+
+[[nodiscard]] constexpr const char* to_string(Dir d) {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::South: return "S";
+    case Dir::East: return "E";
+    case Dir::West: return "W";
+    case Dir::Ramp: return "ramp";
+  }
+  return "?";
+}
+
+/// Displacement of one hop in direction d, in fabric coordinates where x
+/// grows east and y grows south.
+[[nodiscard]] constexpr std::array<int, 2> step(Dir d) {
+  switch (d) {
+    case Dir::North: return {0, -1};
+    case Dir::South: return {0, 1};
+    case Dir::East: return {1, 0};
+    case Dir::West: return {-1, 0};
+    case Dir::Ramp: return {0, 0};
+  }
+  return {0, 0};
+}
+
+/// Virtual-channel id ("color" in the paper's Fig. 5). The WSE routers
+/// support a set of virtual channels; we allow up to 24.
+using Color = std::uint8_t;
+inline constexpr int kNumColors = 24;
+
+/// A word in flight on the fabric: a raw payload (fp16 in the low half, or
+/// a full fp32 bit pattern) tagged with its color. Links are 32 bits wide
+/// (the AllReduce moves one fp32 word per cycle per link), so a `wide`
+/// fp32 flit consumes a full link-cycle while two narrow fp16 flits share
+/// one — the packing that gives the fabric its 16 B/cycle injection rate.
+struct Flit {
+  std::uint32_t payload = 0;
+  Color color = 0;
+  bool wide = false;
+};
+
+/// Element types the datapath distinguishes.
+enum class DType : std::uint8_t { F16, F32 };
+
+[[nodiscard]] constexpr int halfwords(DType t) {
+  return t == DType::F16 ? 1 : 2;
+}
+
+/// Task identifiers are indices into the tile program's task table.
+using TaskId = int;
+inline constexpr TaskId kNoTask = -1;
+
+/// What an instruction's completion (or a FIFO push) does to a task,
+/// mirroring the paper's .trig/.act descriptor fields.
+enum class TrigAction : std::uint8_t { None, Activate, Unblock };
+
+} // namespace wss::wse

@@ -1,0 +1,89 @@
+#include "wsekernels/allreduce_program.hpp"
+
+#include <stdexcept>
+
+#include "wse/route_compiler.hpp"
+#include "wsekernels/allreduce_steps.hpp"
+
+namespace wss::wsekernels {
+
+using namespace wse;
+
+namespace {
+
+// Scalar register roles on every tile.
+constexpr int kRegLocal = 0;   ///< this tile's contribution
+constexpr int kRegPartial = 1; ///< row/column partial sums
+constexpr int kRegResult = 2;  ///< the broadcast global sum
+
+} // namespace
+
+AllReduceSimulation::AllReduceSimulation(int width, int height,
+                                         const CS1Params& arch,
+                                         const SimParams& sim)
+    : width_(width), height_(height), fabric_(width, height, arch, sim) {
+  if (width < 2 || height < 2) {
+    throw std::invalid_argument("AllReduce needs a fabric of at least 2x2");
+  }
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      TileProgram prog;
+      prog.num_scalars = 3;
+
+      Task main{"allreduce", false, false, false, {}};
+      append_allreduce_steps(prog, main, x, y, width, height,
+                             {kRegLocal, kRegPartial, kRegResult});
+      main.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+
+      prog.add_task(std::move(main));
+      prog.initial_task = 0;
+
+      RoutingTable routes;
+      add_allreduce_routes(routes, x, y, width, height);
+      fabric_.configure_tile(x, y, std::move(prog), routes);
+    }
+  }
+}
+
+AllReduceResult AllReduceSimulation::run(
+    const std::vector<float>& contributions) {
+  if (contributions.size() !=
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_)) {
+    throw std::invalid_argument("one contribution per tile required");
+  }
+  fabric_.reset_control();
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      TileCore& core = fabric_.core(x, y);
+      core.host_write_scalar(kRegLocal,
+                             contributions[static_cast<std::size_t>(y) *
+                                               static_cast<std::size_t>(width_) +
+                                           static_cast<std::size_t>(x)]);
+      core.host_write_scalar(kRegPartial, 0.0f);
+      core.host_write_scalar(kRegResult, 0.0f);
+    }
+  }
+
+  const std::uint64_t before = fabric_.stats().cycles;
+  const std::uint64_t budget =
+      1000 + 20ull * static_cast<std::uint64_t>(width_ + height_);
+  fabric_.run(budget);
+  if (!fabric_.all_done()) {
+    throw std::runtime_error("AllReduce simulation did not complete");
+  }
+
+  AllReduceResult result;
+  result.cycles = fabric_.stats().cycles - before;
+  result.values.resize(contributions.size());
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      result.values[static_cast<std::size_t>(y) *
+                        static_cast<std::size_t>(width_) +
+                    static_cast<std::size_t>(x)] =
+          fabric_.core(x, y).host_read_scalar(kRegResult);
+    }
+  }
+  return result;
+}
+
+} // namespace wss::wsekernels

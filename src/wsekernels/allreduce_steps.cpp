@@ -1,0 +1,100 @@
+#include "wsekernels/allreduce_steps.hpp"
+
+namespace wss::wsekernels {
+
+using namespace wse;
+
+namespace {
+
+Instr send_scalar(TileProgram& prog, Color color, int reg, int len) {
+  Instr s{};
+  s.op = OpKind::SendScalar;
+  s.scalar = reg;
+  s.fabric =
+      prog.add_fabric({color, len, DType::F32, 0, kNoTask, TrigAction::None});
+  return s;
+}
+
+Instr recv_acc(TileProgram& prog, Color channel, int reg, int len) {
+  Instr r{};
+  r.op = OpKind::RecvAccScalar;
+  r.scalar = reg;
+  r.fabric = prog.add_fabric(
+      {channel, len, DType::F32, 0, kNoTask, TrigAction::None});
+  return r;
+}
+
+Instr zero_scalar(int reg) {
+  Instr z{};
+  z.op = OpKind::SetScalar;
+  z.scalar = reg;
+  z.imm = 0.0;
+  return z;
+}
+
+void sync(Task& task, Instr in) {
+  task.steps.push_back({TaskStep::Kind::Sync, -1, in, kNoTask});
+}
+
+} // namespace
+
+void append_allreduce_inject(TileProgram& prog, Task& task, int x, int y,
+                             int width, int height, int src_reg,
+                             Color color_base) {
+  (void)x;
+  (void)y;
+  (void)width;
+  (void)height;
+  sync(task, send_scalar(prog, color_base /* row-reduce color */, src_reg, 1));
+}
+
+void append_allreduce_complete(TileProgram& prog, Task& task, int x, int y,
+                               int width, int height,
+                               const AllReduceRegs& regs, Color color_base) {
+  const AllReduceGeometry g = allreduce_geometry(width, height);
+  const Color c_row = color_base;
+  const Color c_col = static_cast<Color>(color_base + 1);
+  const Color c_quad = static_cast<Color>(color_base + 2);
+  const Color c_final = static_cast<Color>(color_base + 3);
+  const Color c_bcast = static_cast<Color>(color_base + 4);
+
+  // Row centers accumulate their half-row, forward along the column.
+  if (g.is_row_center(x)) {
+    const int count = x == g.cxl ? g.west_count() : g.east_count(width);
+    sync(task, zero_scalar(regs.partial));
+    sync(task, recv_acc(prog, c_row, regs.partial, count));
+    sync(task, send_scalar(prog, c_col, regs.partial, 1));
+  }
+
+  // The center quad accumulates half-columns; 4:1 onto the root.
+  if (g.is_row_center(x) && g.is_col_center(y)) {
+    const int count = y == g.cyt ? g.north_count() : g.south_count(height);
+    sync(task, zero_scalar(regs.partial));
+    sync(task, recv_acc(prog, c_col, regs.partial, count));
+    if (x == g.cxl) {
+      sync(task, send_scalar(prog, c_quad, regs.partial, 1));
+    } else if (y == g.cyt) {
+      sync(task, recv_acc(prog, c_quad, regs.partial, 1));
+      sync(task, send_scalar(prog, c_final, regs.partial, 1));
+    } else {
+      sync(task, recv_acc(prog, c_quad, regs.partial, 1));
+      sync(task, recv_acc(prog, c_final, regs.partial, 1));
+      sync(task, send_scalar(prog, c_bcast, regs.partial, 1));
+    }
+  }
+
+  // Everyone receives the broadcast.
+  sync(task, zero_scalar(regs.dst));
+  sync(task, recv_acc(prog, c_bcast, regs.dst, 1));
+}
+
+void append_allreduce_steps(TileProgram& prog, Task& task, int x, int y,
+                            int width, int height, const AllReduceRegs& regs,
+                            Color color_base) {
+  append_allreduce_inject(prog, task, x, y, width, height, regs.src,
+                          color_base);
+  append_allreduce_complete(prog, task, x, y, width, height, regs,
+                            color_base);
+}
+
+} // namespace wss::wsekernels

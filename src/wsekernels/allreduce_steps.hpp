@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared builder for the Fig. 6 AllReduce as a sequence of task steps:
+// inject the local fp32 value toward the row center, role-specific
+// accumulate-and-forward along rows, columns, and the 4:1 root reduction,
+// then receive the broadcast. Because the final receive blocks until the
+// root has heard from everyone, an AllReduce is also a global barrier —
+// which is what serializes the four reductions of a BiCGStab iteration on
+// the same set of colors.
+
+#include "wse/program.hpp"
+#include "wse/route_compiler.hpp"
+
+namespace wss::wsekernels {
+
+/// Scalar-register roles the steps use.
+struct AllReduceRegs {
+  int src = 0;     ///< this tile's contribution (read only)
+  int partial = 1; ///< scratch for row/column partials (clobbered)
+  int dst = 2;     ///< receives the global sum (zeroed first)
+};
+
+/// Append the steps for tile (x, y) of a width*height fabric to `task`.
+/// The matching routes come from wse::add_allreduce_routes.
+void append_allreduce_steps(wse::TileProgram& prog, wse::Task& task, int x,
+                            int y, int width, int height,
+                            const AllReduceRegs& regs,
+                            wse::Color color_base = wse::kAllReduceBase);
+
+/// Split phases of the same tree, for running two reductions on disjoint
+/// color sets concurrently: append the injection of `src`, then later the
+/// role/receive steps. inject+complete == append_allreduce_steps.
+void append_allreduce_inject(wse::TileProgram& prog, wse::Task& task, int x,
+                             int y, int width, int height, int src_reg,
+                             wse::Color color_base);
+void append_allreduce_complete(wse::TileProgram& prog, wse::Task& task,
+                               int x, int y, int width, int height,
+                               const AllReduceRegs& regs,
+                               wse::Color color_base);
+
+} // namespace wss::wsekernels

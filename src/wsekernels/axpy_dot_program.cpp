@@ -1,0 +1,74 @@
+#include "wsekernels/axpy_dot_program.hpp"
+
+#include "common/rng.hpp"
+
+namespace wss::wsekernels {
+
+using namespace wse;
+
+namespace {
+
+LocalKernelTiming run_local(int width, int height, int z, OpKind op,
+                            const CS1Params& arch, const SimParams& sim) {
+  Fabric fabric(width, height, arch, sim);
+  Rng rng(1234);
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      TileProgram prog;
+      MemAllocator mem(arch.tile_memory_bytes);
+      const int xs = mem.allocate(z, DType::F16);
+      const int ys = mem.allocate(z, DType::F16);
+      const int t_x = prog.add_tensor({xs, z, 1, DType::F16, 0});
+      const int t_y = prog.add_tensor({ys, z, 1, DType::F16, 0});
+      prog.num_scalars = 2;
+
+      Task main{"kernel", false, false, false, {}};
+      Instr in{};
+      in.op = op;
+      if (op == OpKind::AxpyV) {
+        in.dst = t_y;
+        in.src1 = t_x;
+        in.scalar = 0;
+      } else {
+        in.src1 = t_x;
+        in.src2 = t_y;
+        in.scalar = 1;
+      }
+      main.steps.push_back({TaskStep::Kind::Sync, -1, in, kNoTask});
+      main.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+      prog.add_task(std::move(main));
+      prog.initial_task = 0;
+      prog.memory_halfwords = mem.used_halfwords();
+
+      fabric.configure_tile(x, y, std::move(prog), RoutingTable{});
+      TileCore& core = fabric.core(x, y);
+      core.host_write_scalar(0, 0.5f);
+      for (int k = 0; k < z; ++k) {
+        core.host_write_f16(xs + k, fp16_t(rng.uniform(-1.0, 1.0)));
+        core.host_write_f16(ys + k, fp16_t(rng.uniform(-1.0, 1.0)));
+      }
+    }
+  }
+
+  fabric.run(100 + 4ull * static_cast<std::uint64_t>(z));
+  LocalKernelTiming t;
+  t.cycles = fabric.stats().cycles;
+  t.cycles_per_element = static_cast<double>(t.cycles) / z;
+  return t;
+}
+
+} // namespace
+
+LocalKernelTiming time_axpy(int width, int height, int z,
+                            const CS1Params& arch, const SimParams& sim) {
+  return run_local(width, height, z, OpKind::AxpyV, arch, sim);
+}
+
+LocalKernelTiming time_dot_local(int width, int height, int z,
+                                 const CS1Params& arch,
+                                 const SimParams& sim) {
+  return run_local(width, height, z, OpKind::DotMixed, arch, sim);
+}
+
+} // namespace wss::wsekernels

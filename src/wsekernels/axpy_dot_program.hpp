@@ -1,0 +1,30 @@
+#pragma once
+
+// Local-compute timing programs: AXPY (4-way SIMD fp16 FMAC) and the mixed
+// hp-multiply/sp-accumulate dot product, run on every tile of a simulated
+// fabric. These validate the Z/4 and Z/2 cycles-per-core terms of the
+// analytic performance model; the dot variant can chain into the AllReduce
+// tree for an end-to-end inner-product latency measurement.
+
+#include <cstdint>
+
+#include "wse/fabric.hpp"
+
+namespace wss::wsekernels {
+
+struct LocalKernelTiming {
+  std::uint64_t cycles = 0;
+  double cycles_per_element = 0.0;
+};
+
+/// Time y += a*x with vectors of length z on a width*height fabric.
+LocalKernelTiming time_axpy(int width, int height, int z,
+                            const wse::CS1Params& arch,
+                            const wse::SimParams& sim);
+
+/// Time a local dot product (mixed precision) of length z on every tile.
+LocalKernelTiming time_dot_local(int width, int height, int z,
+                                 const wse::CS1Params& arch,
+                                 const wse::SimParams& sim);
+
+} // namespace wss::wsekernels

@@ -1,0 +1,336 @@
+#include "wsekernels/bicgstab_program.hpp"
+
+#include <stdexcept>
+
+#include "wse/route_compiler.hpp"
+#include "wsekernels/allreduce_steps.hpp"
+#include "wsekernels/spmv_instance.hpp"
+
+namespace wss::wsekernels {
+
+using namespace wse;
+
+namespace {
+
+// Scalar register file layout (identical on every tile).
+constexpr int kRho = 0;
+constexpr int kR0s = 1;
+constexpr int kAlpha = 2;
+constexpr int kNegAlpha = 3;
+constexpr int kQy = 4;
+constexpr int kYy = 5;
+constexpr int kOmega = 6;
+constexpr int kNegOmega = 7;
+constexpr int kRhoNext = 8;
+constexpr int kBeta = 9;
+constexpr int kT1 = 10;
+constexpr int kArLocal = 11;
+constexpr int kArPartial = 12;
+constexpr int kNumRegs = 13;
+
+// Tasks per unrolled iteration: 8 (spmv1) + 1 (phase a) + 8 (spmv2) +
+// 1 (phase b).
+constexpr int kTasksPerIteration = 18;
+
+} // namespace
+
+BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
+                                       int iterations,
+                                       const CS1Params& arch,
+                                       const SimParams& sim,
+                                       BicgstabSimOptions options)
+    : grid_(a.grid),
+      iterations_(iterations),
+      fabric_(a.grid.nx, a.grid.ny, arch, sim) {
+  if (!a.unit_diagonal) {
+    throw std::invalid_argument(
+        "BicgstabSimulation requires a diagonal-preconditioned matrix");
+  }
+  if (iterations < 1) {
+    throw std::invalid_argument("need at least one iteration");
+  }
+  const int X = grid_.nx;
+  const int Y = grid_.ny;
+  const int Z = grid_.nz;
+  layouts_.resize(static_cast<std::size_t>(X) * static_cast<std::size_t>(Y));
+
+  for (int ty = 0; ty < Y; ++ty) {
+    for (int tx = 0; tx < X; ++tx) {
+      TileProgram prog;
+      prog.num_scalars = kNumRegs;
+      MemAllocator mem(arch.tile_memory_bytes);
+      TileLayout lay;
+      lay.r0 = mem.allocate(Z, DType::F16);
+      lay.r = mem.allocate(Z, DType::F16);
+      lay.x = mem.allocate(Z, DType::F16);
+      lay.p = mem.allocate(Z + 2, DType::F16);
+      lay.q = mem.allocate(Z + 2, DType::F16);
+      lay.s = mem.allocate(Z + 1, DType::F16);
+      lay.y = mem.allocate(Z + 1, DType::F16);
+      for (int k = 0; k < 6; ++k) lay.coef[k] = mem.allocate(Z, DType::F16);
+
+      // Descriptor helpers (fresh descriptor per use: positions advance).
+      auto td = [&prog](int base, int len) {
+        return prog.add_tensor({base, len, 1, DType::F16, 0});
+      };
+      auto sync = [](Task& t, Instr in) {
+        t.steps.push_back({TaskStep::Kind::Sync, -1, in, kNoTask});
+      };
+      auto dot_into = [&](Task& t, int base_a, int base_b, int target_reg) {
+        Instr zero{};
+        zero.op = OpKind::SetScalar;
+        zero.scalar = kArLocal;
+        sync(t, zero);
+        Instr d{};
+        d.op = OpKind::DotMixed;
+        d.src1 = td(base_a, Z);
+        d.src2 = td(base_b, Z);
+        d.scalar = kArLocal;
+        sync(t, d);
+        append_allreduce_steps(prog, t, tx, ty, X, Y,
+                               {kArLocal, kArPartial, target_reg});
+      };
+      auto scalar_div = [&](Task& t, int dst, int num, int den) {
+        Instr in{};
+        in.op = OpKind::ScalarDiv;
+        in.scalar = dst;
+        in.scalar_a = num;
+        in.scalar_b = den;
+        sync(t, in);
+      };
+      auto scalar_mul = [&](Task& t, int dst, int sa, int sb) {
+        Instr in{};
+        in.op = OpKind::ScalarMul;
+        in.scalar = dst;
+        in.scalar_a = sa;
+        in.scalar_b = sb;
+        sync(t, in);
+      };
+      auto scalar_scale = [&](Task& t, int dst, int src, double f) {
+        Instr in{};
+        in.op = OpKind::ScalarMulImm;
+        in.scalar = dst;
+        in.scalar_a = src;
+        in.imm = f;
+        sync(t, in);
+      };
+      auto xpay = [&](Task& t, int dst, int src1, int src2, int scalar_reg) {
+        // dst = src1 + scalar * src2 (all element bases).
+        Instr in{};
+        in.op = OpKind::ScaleXPayV;
+        in.dst = td(dst, Z);
+        in.src1 = td(src1, Z);
+        in.src2 = td(src2, Z);
+        in.scalar = scalar_reg;
+        sync(t, in);
+      };
+      auto axpy = [&](Task& t, int dst, int src, int scalar_reg) {
+        Instr in{};
+        in.op = OpKind::AxpyV;
+        in.dst = td(dst, Z);
+        in.src1 = td(src, Z);
+        in.scalar = scalar_reg;
+        sync(t, in);
+      };
+      auto activate = [](Task& t, TaskId target) {
+        t.steps.push_back({TaskStep::Kind::Activate, -1, {}, target});
+      };
+
+      // --- Task 0: initial rho = (r0, r) ---
+      Task init{"bicg_init", false, false, false, {}};
+      dot_into(init, lay.r0, lay.r, kRho);
+      activate(init, 1); // first iteration's spmv1 entry
+
+      prog.add_task(std::move(init));
+
+      SpmvInstanceOptions spmv_opt;
+      SpmvBuffers buf_p;
+      buf_p.v = lay.p;
+      buf_p.u = lay.s;
+      for (int k = 0; k < 6; ++k) buf_p.coef[k] = lay.coef[k];
+      SpmvBuffers buf_q;
+      buf_q.v = lay.q;
+      buf_q.u = lay.y;
+      for (int k = 0; k < 6; ++k) buf_q.coef[k] = lay.coef[k];
+
+      for (int it = 0; it < iterations; ++it) {
+        const TaskId base = 1 + it * kTasksPerIteration;
+        const TaskId id_phase_a = base + 8;
+        const TaskId id_phase_b = base + 17;
+        const TaskId id_next =
+            it + 1 < iterations ? base + kTasksPerIteration : kNoTask;
+
+        // SpMV 1: s = A p, completion activates phase a.
+        const TaskId entry1 = append_spmv_instance(
+            prog, mem, buf_p, Z, tx, ty, X, Y, spmv_opt, id_phase_a);
+        if (entry1 != base) {
+          throw std::logic_error("task id layout mismatch (spmv1)");
+        }
+
+        // Phase a: alpha from (r0, s); q = r - alpha s; start SpMV 2.
+        Task phase_a{"bicg_a", false, false, false, {}};
+        dot_into(phase_a, lay.r0, lay.s + 1, kR0s);
+        scalar_div(phase_a, kAlpha, kRho, kR0s);
+        scalar_scale(phase_a, kNegAlpha, kAlpha, -1.0);
+        xpay(phase_a, lay.q + 1, lay.r, lay.s + 1, kNegAlpha);
+        activate(phase_a, base + 9); // spmv2 entry
+        prog.add_task(std::move(phase_a));
+
+        // SpMV 2: y = A q, completion activates phase b.
+        const TaskId entry2 = append_spmv_instance(
+            prog, mem, buf_q, Z, tx, ty, X, Y, spmv_opt, id_phase_b);
+        if (entry2 != base + 9) {
+          throw std::logic_error("task id layout mismatch (spmv2)");
+        }
+
+        // Phase b: omega, updates, rho/beta recurrence, p update.
+        Task phase_b{"bicg_b", false, false, false, {}};
+        if (!options.fuse_qy_yy) {
+          dot_into(phase_b, lay.q + 1, lay.y + 1, kQy);
+          dot_into(phase_b, lay.y + 1, lay.y + 1, kYy);
+        } else {
+          // Fused: both dots injected back to back into two disjoint
+          // reduction trees that flow through the fabric concurrently.
+          {
+            Instr zero{};
+            zero.op = OpKind::SetScalar;
+            zero.scalar = kArLocal;
+            sync(phase_b, zero);
+            Instr d{};
+            d.op = OpKind::DotMixed;
+            d.src1 = td(lay.q + 1, Z);
+            d.src2 = td(lay.y + 1, Z);
+            d.scalar = kArLocal;
+            sync(phase_b, d);
+            Instr zero2{};
+            zero2.op = OpKind::SetScalar;
+            zero2.scalar = kT1; // scratch for the second local dot
+            sync(phase_b, zero2);
+            Instr d2{};
+            d2.op = OpKind::DotMixed;
+            d2.src1 = td(lay.y + 1, Z);
+            d2.src2 = td(lay.y + 1, Z);
+            d2.scalar = kT1;
+            sync(phase_b, d2);
+            // Both trees injected back to back so they flow through the
+            // fabric concurrently; the center tiles' role steps then
+            // drain tree B right behind tree A.
+            append_allreduce_inject(prog, phase_b, tx, ty, X, Y, kArLocal,
+                                    kAllReduceBase);
+            append_allreduce_inject(prog, phase_b, tx, ty, X, Y, kT1,
+                                    kAllReduceBase2);
+            append_allreduce_complete(prog, phase_b, tx, ty, X, Y,
+                                      {kArLocal, kArPartial, kQy},
+                                      kAllReduceBase);
+            append_allreduce_complete(prog, phase_b, tx, ty, X, Y,
+                                      {kT1, kArPartial, kYy},
+                                      kAllReduceBase2);
+          }
+        }
+        scalar_div(phase_b, kOmega, kQy, kYy);
+        scalar_scale(phase_b, kNegOmega, kOmega, -1.0);
+        axpy(phase_b, lay.x, lay.p + 1, kAlpha);
+        axpy(phase_b, lay.x, lay.q + 1, kOmega);
+        xpay(phase_b, lay.r, lay.q + 1, lay.y + 1, kNegOmega);
+        dot_into(phase_b, lay.r0, lay.r, kRhoNext);
+        scalar_div(phase_b, kT1, kAlpha, kOmega);
+        scalar_div(phase_b, kBeta, kRhoNext, kRho);
+        scalar_mul(phase_b, kBeta, kT1, kBeta);
+        scalar_scale(phase_b, kRho, kRhoNext, 1.0);
+        xpay(phase_b, lay.s + 1, lay.p + 1, lay.s + 1, kNegOmega);
+        xpay(phase_b, lay.p + 1, lay.r, lay.s + 1, kBeta);
+        if (id_next == kNoTask) {
+          phase_b.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+        } else {
+          activate(phase_b, id_next);
+        }
+        prog.add_task(std::move(phase_b));
+      }
+
+      prog.initial_task = 0;
+      prog.memory_halfwords = mem.used_halfwords();
+      if (mem.used_bytes() > tile_memory_bytes_) {
+        tile_memory_bytes_ = mem.used_bytes();
+      }
+
+      RoutingTable routes = compile_spmv_routes(tx, ty, X, Y);
+      add_allreduce_routes(routes, tx, ty, X, Y);
+      add_allreduce_routes(routes, tx, ty, X, Y, kAllReduceBase2);
+      fabric_.configure_tile(tx, ty, std::move(prog), routes);
+      layouts_[static_cast<std::size_t>(ty) * static_cast<std::size_t>(X) +
+               static_cast<std::size_t>(tx)] = lay;
+
+      SpmvBuffers cbuf;
+      for (int k = 0; k < 6; ++k) cbuf.coef[k] = lay.coef[k];
+      write_spmv_coefficients(fabric_.core(tx, ty), a, tx, ty, cbuf);
+    }
+  }
+}
+
+BicgstabSimResult BicgstabSimulation::run(const Field3<fp16_t>& b) {
+  const int X = grid_.nx;
+  const int Y = grid_.ny;
+  const int Z = grid_.nz;
+
+  fabric_.reset_control();
+  for (int ty = 0; ty < Y; ++ty) {
+    for (int tx = 0; tx < X; ++tx) {
+      TileCore& core = fabric_.core(tx, ty);
+      const TileLayout& lay =
+          layouts_[static_cast<std::size_t>(ty) * static_cast<std::size_t>(X) +
+                   static_cast<std::size_t>(tx)];
+      // x0 = 0, r = r0 = p = b; q zeroed; s, y zeroed (pads included).
+      for (int z = 0; z < Z; ++z) {
+        const fp16_t v = b(tx, ty, z);
+        core.host_write_f16(lay.r0 + z, v);
+        core.host_write_f16(lay.r + z, v);
+        core.host_write_f16(lay.x + z, fp16_t(0.0));
+        core.host_write_f16(lay.p + 1 + z, v);
+        core.host_write_f16(lay.q + 1 + z, fp16_t(0.0));
+      }
+      for (const int base : {lay.p, lay.q}) {
+        core.host_write_f16(base, fp16_t(0.0));
+        core.host_write_f16(base + Z + 1, fp16_t(0.0));
+      }
+      for (const int base : {lay.s, lay.y}) {
+        for (int z = 0; z <= Z; ++z) {
+          core.host_write_f16(base + z, fp16_t(0.0));
+        }
+      }
+      for (int reg = 0; reg < kNumRegs; ++reg) {
+        core.host_write_scalar(reg, 0.0f);
+      }
+    }
+  }
+
+  const std::uint64_t before = fabric_.stats().cycles;
+  const std::uint64_t per_iter =
+      1000 + 60ull * static_cast<std::uint64_t>(Z) +
+      40ull * static_cast<std::uint64_t>(X + Y);
+  fabric_.run(per_iter * static_cast<std::uint64_t>(iterations_ + 1));
+  if (!fabric_.all_done()) {
+    throw std::runtime_error("BiCGStab simulation did not complete");
+  }
+
+  BicgstabSimResult result;
+  result.cycles = fabric_.stats().cycles - before;
+  result.iterations = iterations_;
+  result.x = Field3<fp16_t>(grid_);
+  result.r = Field3<fp16_t>(grid_);
+  for (int ty = 0; ty < Y; ++ty) {
+    for (int tx = 0; tx < X; ++tx) {
+      const TileCore& core = fabric_.core(tx, ty);
+      const TileLayout& lay =
+          layouts_[static_cast<std::size_t>(ty) * static_cast<std::size_t>(X) +
+                   static_cast<std::size_t>(tx)];
+      for (int z = 0; z < Z; ++z) {
+        result.x(tx, ty, z) = core.host_read_f16(lay.x + z);
+        result.r(tx, ty, z) = core.host_read_f16(lay.r + z);
+      }
+    }
+  }
+  result.rho_history.push_back(fabric_.core(0, 0).host_read_scalar(kRho));
+  return result;
+}
+
+} // namespace wss::wsekernels

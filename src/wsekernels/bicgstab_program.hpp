@@ -1,0 +1,70 @@
+#pragma once
+
+// The complete BiCGStab iteration as a dataflow program on the cycle-level
+// fabric simulator — the paper's actual artifact: per iteration, two
+// Listing-1 SpMVs, four mixed-precision local dots each followed by a
+// blocking Fig. 6 AllReduce (which also serializes the phases globally),
+// six AXPY-class vector updates, and the scalar recurrence (alpha, omega,
+// beta) computed redundantly on every tile from the broadcast reductions.
+// Iterations are unrolled at program-build time; each runs in ~the model's
+// 2*spmv + 4*(dot+allreduce) + 6*axpy cycle budget, which is how the
+// Section V performance model is validated end to end.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/field.hpp"
+#include "stencil/stencil7.hpp"
+#include "wse/fabric.hpp"
+
+namespace wss::wsekernels {
+
+struct BicgstabSimResult {
+  Field3<fp16_t> x;          ///< solution iterate after the last iteration
+  Field3<fp16_t> r;          ///< final recurrence residual vector
+  std::uint64_t cycles = 0;  ///< total cycles for all iterations
+  int iterations = 0;
+  /// Global (r0, r) after each iteration, read from any tile's rho reg.
+  std::vector<float> rho_history;
+};
+
+struct BicgstabSimOptions {
+  /// Extension (Section IV-3 notes the paper did NOT use a
+  /// communication-hiding variant): run the (q,y) and (y,y) reductions
+  /// concurrently on disjoint color trees, shaving one blocking
+  /// reduction's latency per iteration.
+  bool fuse_qy_yy = false;
+};
+
+/// Runs `iterations` BiCGStab iterations (no convergence test — the paper
+/// measures fixed-iteration timing the same way) on the simulated fabric.
+class BicgstabSimulation {
+public:
+  /// `a` must be diagonal-preconditioned; fabric is a.grid.nx x a.grid.ny.
+  BicgstabSimulation(const Stencil7<fp16_t>& a, int iterations,
+                     const wse::CS1Params& arch, const wse::SimParams& sim,
+                     BicgstabSimOptions options = {});
+
+  /// Solve starting from x0 = 0 with right-hand side `b`.
+  BicgstabSimResult run(const Field3<fp16_t>& b);
+
+  [[nodiscard]] const wse::Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] wse::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] int tile_memory_bytes() const { return tile_memory_bytes_; }
+
+private:
+  struct TileLayout {
+    int r0 = 0, r = 0, x = 0; ///< plain Z vectors
+    int p = 0, q = 0;         ///< Z+2 padded (SpMV inputs)
+    int s = 0, y = 0;         ///< Z+1 (SpMV outputs, scratch at [0])
+    int coef[6] = {0, 0, 0, 0, 0, 0};
+  };
+
+  Grid3 grid_;
+  int iterations_;
+  wse::Fabric fabric_;
+  std::vector<TileLayout> layouts_;
+  int tile_memory_bytes_ = 0;
+};
+
+} // namespace wss::wsekernels

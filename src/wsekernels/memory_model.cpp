@@ -1,0 +1,47 @@
+#include "wsekernels/memory_model.hpp"
+
+#include "wsekernels/wse_bicgstab.hpp"
+
+namespace wss::wsekernels {
+
+MeshFit check_mesh_fit(Grid3 mesh, const wse::CS1Params& arch,
+                       int fifo_depth) {
+  MeshFit fit;
+  fit.fits_fabric = mesh.nx <= arch.fabric_x && mesh.ny <= arch.fabric_y;
+  const TileMemoryBudget budget =
+      bicgstab_tile_memory(mesh.nz, fifo_depth, arch.tile_memory_bytes);
+  fit.fits_memory = budget.fits;
+  fit.tile_bytes_used = budget.total_bytes;
+  fit.tile_utilization =
+      static_cast<double>(budget.total_bytes) / arch.tile_memory_bytes;
+  fit.total_points = static_cast<std::int64_t>(mesh.size());
+  return fit;
+}
+
+int max_pencil_z(const wse::CS1Params& arch, int fifo_depth) {
+  // 10 fp16 words per z point (6 matrix diagonals + 4 vectors) plus the
+  // five FIFO buffers: 20*z + 10*fifo_depth bytes <= 48 KB.
+  return (arch.tile_memory_bytes - 10 * fifo_depth) / 20;
+}
+
+std::int64_t max_mesh_points(const wse::CS1Params& arch) {
+  return static_cast<std::int64_t>(arch.fabric_x) * arch.fabric_y *
+         max_pencil_z(arch);
+}
+
+std::int64_t TechnologyNode::max_points(const wse::CS1Params& base) const {
+  const double scale =
+      wafer_sram_gb /
+      (static_cast<double>(base.total_memory_bytes) / (1024.0 * 1024 * 1024));
+  wse::CS1Params scaled = base;
+  scaled.tile_memory_bytes =
+      static_cast<int>(base.tile_memory_bytes * scale);
+  return max_mesh_points(scaled);
+}
+
+std::array<TechnologyNode, 3> technology_roadmap() {
+  return {TechnologyNode{"16 nm (CS-1)", 18.0}, TechnologyNode{"7 nm", 40.0},
+          TechnologyNode{"5 nm", 50.0}};
+}
+
+} // namespace wss::wsekernels

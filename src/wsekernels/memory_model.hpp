@@ -1,0 +1,54 @@
+#pragma once
+
+// Capacity accounting for the 3D mapping (Section IV and VIII-B): whether a
+// given X x Y x Z mesh fits the wafer, how much of each tile's 48 KB the
+// solver uses, and the largest Z pencil a tile can hold. Also models the
+// technology-shrink capacities the discussion section projects (40 GB at
+// 7 nm, 50 GB at 5 nm).
+
+#include <array>
+#include <cstdint>
+
+#include "mesh/grid.hpp"
+#include "wse/arch.hpp"
+
+namespace wss::wsekernels {
+
+struct MeshFit {
+  bool fits_fabric = false;   ///< X x Y maps onto the fabric tiles
+  bool fits_memory = false;   ///< the Z pencil working set fits 48 KB
+  int tile_bytes_used = 0;
+  double tile_utilization = 0.0;
+  std::int64_t total_points = 0;
+
+  [[nodiscard]] bool fits() const { return fits_fabric && fits_memory; }
+};
+
+/// Check the paper's headline mapping rule: X and Y across the fabric, one
+/// Z pencil per core, 10*Z fp16 words of matrix+vector data per core
+/// (plus FIFO buffers).
+MeshFit check_mesh_fit(Grid3 mesh, const wse::CS1Params& arch,
+                       int fifo_depth = 20);
+
+/// Largest Z with the 10-words-per-point working set in 48 KB.
+int max_pencil_z(const wse::CS1Params& arch, int fifo_depth = 20);
+
+/// Total mesh points the wafer can hold under the 3D mapping.
+std::int64_t max_mesh_points(const wse::CS1Params& arch);
+
+/// Section VIII-B: projected wafer generations. "A technology shrink from
+/// the 16 nm to 7 nm technology node will provide about 40 GB of SRAM on
+/// the wafer and further increases (to 50 GB at 5 nm) will follow."
+struct TechnologyNode {
+  const char* name = "";
+  double wafer_sram_gb = 0.0;
+
+  /// Max meshpoints under the 10-words-per-point working set, assuming
+  /// per-tile memory scales with total SRAM at a fixed tile count.
+  [[nodiscard]] std::int64_t max_points(const wse::CS1Params& base) const;
+};
+
+/// The three generations the paper discusses: 16 nm (CS-1), 7 nm, 5 nm.
+std::array<TechnologyNode, 3> technology_roadmap();
+
+} // namespace wss::wsekernels

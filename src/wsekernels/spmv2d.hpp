@@ -1,0 +1,42 @@
+#pragma once
+
+// The Section IV-2 mapping: a 2D mesh with a 9-point stencil, a rectangular
+// block of the mesh per tile, all 9 multiplies done locally with FMAC, and
+// an output-halo exchange (one round per direction, avoiding diagonal
+// communication). Includes the efficiency/overhead model the paper states:
+// blocks up to 38x38 fit in tile memory (22800^2 meshes on the full
+// fabric), and even 8x8 blocks keep overhead under 20%.
+
+#include <cstdint>
+
+#include "mesh/field.hpp"
+#include "stencil/stencil9.hpp"
+
+namespace wss::wsekernels {
+
+/// u = A*v computed block-by-block in the wafer's 2D mapping: each tile
+/// computes all 9 contributions of its local v (FMAC per element), writing
+/// an output halo, then halo sums are exchanged and added — first the x
+/// rounds, then the y rounds, so corner contributions travel two hops.
+/// Numerically fp16 with FMAC rounding.
+void wse_spmv2d(const Stencil9<fp16_t>& a, const Field2<fp16_t>& v,
+                Field2<fp16_t>& u, int block_x, int block_y);
+
+/// Static cost/efficiency model for the 2D mapping.
+struct Spmv2DModel {
+  int block = 0;              ///< block edge length B
+  std::int64_t useful_ops = 0;    ///< 16 per point: 8 off-diagonal FMACs
+  std::int64_t executed_ops = 0;  ///< 18 per point + redundant halo adds
+  double overhead = 0.0;          ///< executed/useful - 1
+  int memory_bytes = 0;
+  bool fits = false;
+};
+
+/// Model a BxB block per tile. Words per point: 9 matrix coefficients + 7
+/// solver vectors (fp16), plus in/out halo rings and the FIFO buffers.
+Spmv2DModel model_spmv2d_block(int block, int tile_capacity = 48 * 1024);
+
+/// Largest square block that fits tile memory (the paper's 38).
+int max_block_2d(int tile_capacity = 48 * 1024);
+
+} // namespace wss::wsekernels

@@ -1,0 +1,124 @@
+#include "wsekernels/spmv3d_program.hpp"
+
+#include <stdexcept>
+
+#include "wse/route_compiler.hpp"
+#include "wsekernels/spmv_instance.hpp"
+
+namespace wss::wsekernels {
+
+using namespace wse;
+
+SpMV3DSimulation::SpMV3DSimulation(const Stencil7<fp16_t>& a,
+                                   const CS1Params& arch,
+                                   const SimParams& sim,
+                                   SpMV3DOptions options)
+    : grid_(a.grid), fabric_(a.grid.nx, a.grid.ny, arch, sim) {
+  if (!a.unit_diagonal) {
+    throw std::invalid_argument(
+        "SpMV3DSimulation requires a diagonal-preconditioned matrix");
+  }
+  const int X = grid_.nx;
+  const int Y = grid_.ny;
+  const int Z = grid_.nz;
+  layouts_.resize(static_cast<std::size_t>(X) * static_cast<std::size_t>(Y));
+
+  for (int ty = 0; ty < Y; ++ty) {
+    for (int tx = 0; tx < X; ++tx) {
+      TileProgram prog;
+      MemAllocator mem(arch.tile_memory_bytes);
+      SpmvBuffers buffers;
+      buffers.v = mem.allocate(Z + 2, DType::F16);
+      buffers.u = mem.allocate(Z + 1, DType::F16);
+      for (int k = 0; k < 6; ++k) {
+        buffers.coef[k] = mem.allocate(Z, DType::F16);
+      }
+
+      SpmvInstanceOptions inst;
+      inst.fifo_depth = options.fifo_depth;
+      inst.num_sum_tasks = options.num_sum_tasks;
+      const TaskId entry = append_spmv_instance(
+          prog, mem, buffers, Z, tx, ty, X, Y, inst, kNoTask);
+
+      prog.initial_task = entry;
+      prog.memory_halfwords = mem.used_halfwords();
+      prog.num_scalars = 1;
+      if (mem.used_bytes() > tile_memory_bytes_) {
+        tile_memory_bytes_ = mem.used_bytes();
+      }
+
+      fabric_.configure_tile(tx, ty, std::move(prog),
+                             compile_spmv_routes(tx, ty, X, Y));
+      TileLayout layout;
+      layout.v = buffers.v;
+      layout.u = buffers.u;
+      for (int k = 0; k < 6; ++k) layout.coef[k] = buffers.coef[k];
+      layouts_[static_cast<std::size_t>(ty) * static_cast<std::size_t>(X) +
+               static_cast<std::size_t>(tx)] = layout;
+    }
+  }
+
+  // Load the matrix coefficients once (host action, not timed).
+  for (int ty = 0; ty < Y; ++ty) {
+    for (int tx = 0; tx < X; ++tx) {
+      const TileLayout& layout =
+          layouts_[static_cast<std::size_t>(ty) * static_cast<std::size_t>(X) +
+                   static_cast<std::size_t>(tx)];
+      SpmvBuffers buffers;
+      buffers.v = layout.v;
+      buffers.u = layout.u;
+      for (int k = 0; k < 6; ++k) buffers.coef[k] = layout.coef[k];
+      write_spmv_coefficients(fabric_.core(tx, ty), a, tx, ty, buffers);
+    }
+  }
+}
+
+Field3<fp16_t> SpMV3DSimulation::run(const Field3<fp16_t>& v) {
+  const int X = grid_.nx;
+  const int Y = grid_.ny;
+  const int Z = grid_.nz;
+
+  fabric_.reset_control();
+  for (int ty = 0; ty < Y; ++ty) {
+    for (int tx = 0; tx < X; ++tx) {
+      TileCore& core = fabric_.core(tx, ty);
+      const TileLayout& layout =
+          layouts_[static_cast<std::size_t>(ty) * static_cast<std::size_t>(X) +
+                   static_cast<std::size_t>(tx)];
+      core.host_write_f16(layout.v, fp16_t(0.0)); // leading pad
+      for (int z = 0; z < Z; ++z) {
+        core.host_write_f16(layout.v + 1 + z, v(tx, ty, z));
+      }
+      core.host_write_f16(layout.v + 1 + Z, fp16_t(0.0)); // trailing pad
+      for (int z = 0; z <= Z; ++z) {
+        core.host_write_f16(layout.u + z, fp16_t(0.0));
+      }
+    }
+  }
+
+  const std::uint64_t before = fabric_.stats().cycles;
+  const std::uint64_t budget =
+      1000 + 50ull * static_cast<std::uint64_t>(Z) *
+                 static_cast<std::uint64_t>(X + Y + 8);
+  fabric_.run(budget);
+  if (!fabric_.all_done()) {
+    throw std::runtime_error("SpMV simulation did not complete (deadlock?)");
+  }
+  last_cycles_ = fabric_.stats().cycles - before;
+
+  Field3<fp16_t> u(grid_);
+  for (int ty = 0; ty < Y; ++ty) {
+    for (int tx = 0; tx < X; ++tx) {
+      const TileCore& core = fabric_.core(tx, ty);
+      const TileLayout& layout =
+          layouts_[static_cast<std::size_t>(ty) * static_cast<std::size_t>(X) +
+                   static_cast<std::size_t>(tx)];
+      for (int z = 0; z < Z; ++z) {
+        u(tx, ty, z) = core.host_read_f16(layout.u + 1 + z);
+      }
+    }
+  }
+  return u;
+}
+
+} // namespace wss::wsekernels

@@ -1,0 +1,59 @@
+#pragma once
+
+// The paper's Listing 1 / Fig. 4 SpMV as an executable program on the
+// fabric simulator. The mesh is X x Y x Z with (X, Y) mapped onto the
+// fabric and the whole Z pencil local to each tile. Each tile broadcasts
+// its iterate to its four neighbors on its tessellation color, receives
+// four neighbor streams on four distinct channels, loops its own stream
+// back for the z-plus and main-diagonal terms, multiplies streams against
+// coefficient vectors into five hardware FIFOs, and a FIFO-activated
+// summation task accumulates into the result. A tree of two-way barriers
+// (activate/unblock) detects completion.
+
+#include <cstdint>
+
+#include "mesh/field.hpp"
+#include "stencil/stencil7.hpp"
+#include "wse/fabric.hpp"
+
+namespace wss::wsekernels {
+
+struct SpMV3DOptions {
+  int fifo_depth = 20;    ///< paper: "We used a FIFO depth of 20."
+  int num_sum_tasks = 1;  ///< paper: "production code used two ... to
+                          ///< improve performance"
+};
+
+/// Owns a configured fabric for repeated SpMV runs with a fixed matrix.
+class SpMV3DSimulation {
+public:
+  /// `a` must have unit diagonal (diagonal-preconditioned), grid X x Y x Z;
+  /// the fabric is sized X x Y.
+  SpMV3DSimulation(const Stencil7<fp16_t>& a, const wse::CS1Params& arch,
+                   const wse::SimParams& sim, SpMV3DOptions options = {});
+
+  /// Run u = A*v on the simulated fabric. Returns the result field and
+  /// records the cycle count of this run.
+  Field3<fp16_t> run(const Field3<fp16_t>& v);
+
+  [[nodiscard]] std::uint64_t last_run_cycles() const { return last_cycles_; }
+  [[nodiscard]] const wse::Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] wse::Fabric& fabric() { return fabric_; }
+  /// Memory used by the program+data on the busiest tile, in bytes.
+  [[nodiscard]] int tile_memory_bytes() const { return tile_memory_bytes_; }
+
+private:
+  struct TileLayout {
+    int v = 0;   ///< iterate, Z+2 halfwords (zero pads at both ends)
+    int u = 0;   ///< result, Z+1 halfwords (scratch pad at index 0)
+    int coef[6] = {0, 0, 0, 0, 0, 0}; ///< xp, xm, yp, ym, zp', zm
+  };
+
+  Grid3 grid_;
+  wse::Fabric fabric_;
+  std::vector<TileLayout> layouts_;
+  std::uint64_t last_cycles_ = 0;
+  int tile_memory_bytes_ = 0;
+};
+
+} // namespace wss::wsekernels

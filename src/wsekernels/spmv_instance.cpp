@@ -1,0 +1,210 @@
+#include "wsekernels/spmv_instance.hpp"
+
+#include "wse/route_compiler.hpp"
+
+namespace wss::wsekernels {
+
+using namespace wse;
+
+TaskId append_spmv_instance(TileProgram& prog, MemAllocator& mem,
+                            const SpmvBuffers& buffers, int z, int tx,
+                            int ty, int fabric_x, int fabric_y,
+                            const SpmvInstanceOptions& options,
+                            TaskId on_complete) {
+  const bool has_xp = tx + 1 < fabric_x;
+  const bool has_xm = tx > 0;
+  const bool has_yp = ty + 1 < fabric_y;
+  const bool has_ym = ty > 0;
+  const int n_x_streams = (has_xp ? 1 : 0) + (has_xm ? 1 : 0);
+  const int n_y_streams = (has_yp ? 1 : 0) + (has_ym ? 1 : 0);
+
+  // --- tensor descriptors ---
+  const int t_send_src =
+      prog.add_tensor({buffers.v + 1, z, 1, DType::F16, 0});
+  const int t_zm_src = prog.add_tensor({buffers.v, z, 1, DType::F16, 0});
+  const int t_zm_coef =
+      prog.add_tensor({buffers.coef[5], z, 1, DType::F16, 0});
+  const int t_zm_dst = prog.add_tensor({buffers.u + 1, z, 1, DType::F16, 0});
+  const int t_coef[5] = {
+      prog.add_tensor({buffers.coef[0], z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.coef[1], z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.coef[2], z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.coef[3], z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.coef[4], z, 1, DType::F16, 0}),
+  };
+  // Accumulators alias u; the z-plus accumulator is shifted by one (the
+  // Listing 1 trick).
+  const int t_acc[5] = {
+      prog.add_tensor({buffers.u + 1, z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.u + 1, z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.u + 1, z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.u + 1, z, 1, DType::F16, 0}),
+      prog.add_tensor({buffers.u, z, 1, DType::F16, 0}),
+  };
+  const int t_acc_c = prog.add_tensor({buffers.u + 1, z, 1, DType::F16, 0});
+
+  // --- tasks (ids fixed by insertion order) ---
+  const TaskId id_spmv = static_cast<TaskId>(prog.tasks.size());
+  const TaskId id_sum = id_spmv + 1;
+  const TaskId id_sum2 = id_spmv + 2;
+  const TaskId id_xdone = id_spmv + 3;
+  const TaskId id_ydone = id_spmv + 4;
+  const TaskId id_cdone = id_spmv + 5;
+  const TaskId id_xydone = id_spmv + 6;
+  const TaskId id_xycdone = id_spmv + 7;
+
+  Task spmv_task{"spmv", false, false, false, {}};
+  Task sum_task{"sumtask", true, false, false, {}};
+  Task sum_task2{"sumtask2", true, false, false, {}};
+  Task xdone{"xdone", false, n_x_streams == 2, false, {}};
+  Task ydone{"ydone", false, n_y_streams == 2, false, {}};
+  Task cdone{"cdone", false, true, false, {}};
+  Task xydone{"xydone", false, true, false, {}};
+  Task xycdone{"xycdone", false, true, false, {}};
+
+  // --- FIFOs ---
+  int fifo_ids[5];
+  for (int k = 0; k < 5; ++k) {
+    const int base = mem.allocate(options.fifo_depth, DType::F16);
+    const TaskId sink = (options.num_sum_tasks >= 2 && k >= 3) ? id_sum2 : id_sum;
+    fifo_ids[k] = prog.add_fifo({base, options.fifo_depth, 0, 0, 0, sink});
+  }
+
+  // --- fabric descriptors ---
+  const int f_tx = prog.add_fabric({tessellation_color(tx, ty), z,
+                                    DType::F16, 0, kNoTask, TrigAction::None});
+  int f_rx[5] = {-1, -1, -1, -1, -1};
+  {
+    bool first = true;
+    if (has_xp) {
+      f_rx[0] = prog.add_fabric(
+          {tessellation_color(tx + 1, ty), z, DType::F16, 0, id_xdone,
+           first ? TrigAction::Activate : TrigAction::Unblock});
+      first = false;
+    }
+    if (has_xm) {
+      f_rx[1] = prog.add_fabric(
+          {tessellation_color(tx - 1, ty), z, DType::F16, 0, id_xdone,
+           first ? TrigAction::Activate : TrigAction::Unblock});
+    }
+  }
+  {
+    bool first = true;
+    if (has_yp) {
+      f_rx[2] = prog.add_fabric(
+          {tessellation_color(tx, ty + 1), z, DType::F16, 0, id_ydone,
+           first ? TrigAction::Activate : TrigAction::Unblock});
+      first = false;
+    }
+    if (has_ym) {
+      f_rx[3] = prog.add_fabric(
+          {tessellation_color(tx, ty - 1), z, DType::F16, 0, id_ydone,
+           first ? TrigAction::Activate : TrigAction::Unblock});
+    }
+  }
+  f_rx[4] = prog.add_fabric(
+      {kChanLoopZp, z, DType::F16, 0, id_cdone, TrigAction::Activate});
+  const int f_c = prog.add_fabric(
+      {kChanLoopC, z, DType::F16, 0, id_cdone, TrigAction::Unblock});
+
+  // --- spmv task body (Listing 1's order) ---
+  const int slot0 = options.first_thread_slot;
+  {
+    Instr send{};
+    send.op = OpKind::Send;
+    send.src1 = t_send_src;
+    send.fabric = f_tx;
+    spmv_task.steps.push_back({TaskStep::Kind::Launch, slot0 + 5, send, kNoTask});
+
+    Instr init{};
+    init.op = OpKind::MulVV;
+    init.dst = t_zm_dst;
+    init.src1 = t_zm_src;
+    init.src2 = t_zm_coef;
+    spmv_task.steps.push_back({TaskStep::Kind::Sync, -1, init, kNoTask});
+
+    int slot = slot0;
+    for (int k = 0; k < 5; ++k) {
+      if (f_rx[k] < 0) {
+        ++slot;
+        continue;
+      }
+      Instr m{};
+      m.op = OpKind::RecvMulToFifo;
+      m.fabric = f_rx[k];
+      m.src1 = t_coef[k];
+      m.fifo = fifo_ids[k];
+      spmv_task.steps.push_back({TaskStep::Kind::Launch, slot++, m, kNoTask});
+    }
+
+    Instr cadd{};
+    cadd.op = OpKind::RecvAddTo;
+    cadd.fabric = f_c;
+    cadd.dst = t_acc_c;
+    spmv_task.steps.push_back({TaskStep::Kind::Launch, slot0 + 6, cadd, kNoTask});
+  }
+
+  // --- summation task(s) ---
+  for (int k = 0; k < 5; ++k) {
+    Task& sink = (options.num_sum_tasks >= 2 && k >= 3) ? sum_task2 : sum_task;
+    Instr d{};
+    d.op = OpKind::FifoAddTo;
+    d.fifo = fifo_ids[k];
+    d.dst = t_acc[k];
+    sink.steps.push_back({TaskStep::Kind::Sync, -1, d, kNoTask});
+  }
+
+  // --- completion tree ---
+  xdone.steps.push_back({TaskStep::Kind::Block, -1, {}, id_xdone});
+  xdone.steps.push_back({TaskStep::Kind::Unblock, -1, {}, id_xydone});
+  ydone.steps.push_back({TaskStep::Kind::Block, -1, {}, id_ydone});
+  ydone.steps.push_back({TaskStep::Kind::Activate, -1, {}, id_xydone});
+  xydone.steps.push_back({TaskStep::Kind::Block, -1, {}, id_xydone});
+  xydone.steps.push_back({TaskStep::Kind::Unblock, -1, {}, id_xycdone});
+  cdone.steps.push_back({TaskStep::Kind::Block, -1, {}, id_cdone});
+  cdone.steps.push_back({TaskStep::Kind::Activate, -1, {}, id_xycdone});
+  xycdone.steps.push_back({TaskStep::Kind::Block, -1, {}, id_xycdone});
+  if (on_complete == kNoTask) {
+    xycdone.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+  } else {
+    xycdone.steps.push_back({TaskStep::Kind::Activate, -1, {}, on_complete});
+  }
+
+  // Degenerate fabrics: pre-fire the effects of barriers with no inputs.
+  if (n_x_streams == 0 && n_y_streams == 0) {
+    xycdone.blocked = false;
+  } else if (n_x_streams == 0) {
+    xydone.blocked = false;
+  } else if (n_y_streams == 0) {
+    xdone.steps.back() = {TaskStep::Kind::Activate, -1, {}, id_xydone};
+    xydone.blocked = false;
+  }
+
+  prog.add_task(std::move(spmv_task));
+  prog.add_task(std::move(sum_task));
+  prog.add_task(std::move(sum_task2));
+  prog.add_task(std::move(xdone));
+  prog.add_task(std::move(ydone));
+  prog.add_task(std::move(cdone));
+  prog.add_task(std::move(xydone));
+  prog.add_task(std::move(xycdone));
+  return id_spmv;
+}
+
+void write_spmv_coefficients(TileCore& core, const Stencil7<fp16_t>& a,
+                             int tx, int ty, const SpmvBuffers& buffers) {
+  const int z_extent = a.grid.nz;
+  for (int zz = 0; zz < z_extent; ++zz) {
+    core.host_write_f16(buffers.coef[0] + zz, a.xp(tx, ty, zz));
+    core.host_write_f16(buffers.coef[1] + zz, a.xm(tx, ty, zz));
+    core.host_write_f16(buffers.coef[2] + zz, a.yp(tx, ty, zz));
+    core.host_write_f16(buffers.coef[3] + zz, a.ym(tx, ty, zz));
+    // z-plus coefficients aligned to the looped-back stream: arrival k is
+    // v_k, contributing zp[k-1] * v_k to out[k-1].
+    core.host_write_f16(buffers.coef[4] + zz,
+                        zz >= 1 ? a.zp(tx, ty, zz - 1) : fp16_t(0.0));
+    core.host_write_f16(buffers.coef[5] + zz, a.zm(tx, ty, zz));
+  }
+}
+
+} // namespace wss::wsekernels

@@ -1,0 +1,51 @@
+#pragma once
+
+// Reusable builder for one Listing-1 SpMV "instance" inside a tile
+// program: the broadcast send, the in-memory z-minus initialization, the
+// five stream-multiply threads feeding FIFOs, the FIFO-activated summation
+// task(s), the main-diagonal add, and the activate/unblock completion
+// tree. SpMV3DSimulation uses one instance per tile; the full BiCGStab
+// program instantiates two per unrolled iteration (p -> s, then q -> y).
+
+#include "stencil/stencil7.hpp"
+#include "wse/core.hpp"
+#include "wse/program.hpp"
+
+namespace wss::wsekernels {
+
+/// Halfword offsets of the buffers one SpMV reads and writes.
+/// v: Z+2 elements with zero pads at both ends (data at v+1..v+Z);
+/// u: Z+1 elements with a scratch slot at u (results at u+1..u+Z);
+/// coef: xp, xm, yp, ym, zp' (stream-aligned), zm — Z elements each.
+struct SpmvBuffers {
+  int v = 0;
+  int u = 0;
+  int coef[6] = {0, 0, 0, 0, 0, 0};
+};
+
+struct SpmvInstanceOptions {
+  int fifo_depth = 20;
+  int num_sum_tasks = 1;
+  /// Thread slots used by the background threads of this instance.
+  /// Instances within one program may share slots as long as they never
+  /// run concurrently (BiCGStab's SpMVs are serialized by the reductions).
+  int first_thread_slot = 0;
+};
+
+/// Appends descriptors, FIFOs, and tasks for one SpMV to `prog`.
+/// On completion the tree fires `on_complete` (Activate), or raises the
+/// tile's done flag if `on_complete` is kNoTask. Returns the entry task
+/// to activate (directly or as prog.initial_task).
+wse::TaskId append_spmv_instance(wse::TileProgram& prog,
+                                 wse::MemAllocator& mem,
+                                 const SpmvBuffers& buffers, int z, int tx,
+                                 int ty, int fabric_x, int fabric_y,
+                                 const SpmvInstanceOptions& options,
+                                 wse::TaskId on_complete);
+
+/// Host-side load of the six coefficient arrays for tile (tx, ty),
+/// including the stream-alignment shift of the z-plus diagonal.
+void write_spmv_coefficients(wse::TileCore& core, const Stencil7<fp16_t>& a,
+                             int tx, int ty, const SpmvBuffers& buffers);
+
+} // namespace wss::wsekernels

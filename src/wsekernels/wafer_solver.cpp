@@ -1,0 +1,65 @@
+#include "wsekernels/wafer_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "solver/stencil_operator.hpp"
+#include "wsekernels/wse_bicgstab.hpp"
+
+namespace wss::wsekernels {
+
+WaferSolver::WaferSolver(const Stencil7<double>& a, WaferSolveOptions options)
+    : a64_(a), inv_diag_(a.grid), options_(options),
+      fit_(check_mesh_fit(a.grid, options.arch)),
+      model_(options.arch) {
+  if (options_.enforce_capacity && !fit_.fits()) {
+    throw std::invalid_argument(
+        "mesh does not fit the wafer (fabric extent or 48 KB/tile); see "
+        "WaferSolveOptions::enforce_capacity");
+  }
+  // Record the preconditioner, then scale the copy to a unit diagonal.
+  for (std::size_t i = 0; i < a64_.num_points(); ++i) {
+    inv_diag_[i] = 1.0 / a64_.diag[i];
+  }
+  Field3<double> dummy_rhs(a.grid, 0.0);
+  (void)precondition_jacobi(a64_, dummy_rhs);
+  a16_ = convert_stencil<fp16_t>(a64_);
+}
+
+WaferSolveReport WaferSolver::solve(const Field3<double>& b) const {
+  if (!(b.grid() == a64_.grid)) {
+    throw std::invalid_argument("rhs grid does not match the matrix");
+  }
+  WaferSolveReport report;
+  report.fit = fit_;
+
+  // Precondition and narrow the rhs.
+  Field3<fp16_t> b16(b.grid());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b16[i] = fp16_t(b[i] * inv_diag_[i]);
+  }
+
+  WseBicgstabSolver solver(a16_);
+  Field3<fp16_t> x16(b.grid(), fp16_t(0.0));
+  report.solve = solver.solve(b16, x16, options_.controls);
+
+  report.x = convert_field<double>(x16);
+
+  // True residual against the preconditioned fp64 system (the scaling by
+  // the diagonal makes this identical to the unpreconditioned relative
+  // residual in the D^{-1}-weighted norm the solver itself sees).
+  Stencil7Operator<double> op(a64_);
+  std::vector<double> xv(report.x.begin(), report.x.end());
+  std::vector<double> bv(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) bv[i] = b[i] * inv_diag_[i];
+  report.true_relative_residual = true_relative_residual<double>(
+      op, std::span<const double>(bv), std::span<const double>(xv));
+
+  report.modeled_iteration_seconds = model_.iteration_seconds(b.grid());
+  report.modeled_wall_seconds =
+      report.modeled_iteration_seconds * report.solve.iterations;
+  report.modeled_flops = model_.achieved_flops(b.grid());
+  return report;
+}
+
+} // namespace wss::wsekernels

@@ -1,0 +1,60 @@
+#pragma once
+
+// The library's front door: hand it the fp64 system your application
+// assembled (as MFIX would), and it performs the whole paper pipeline —
+// capacity check against the wafer, diagonal preconditioning, narrowing to
+// fp16 tile storage, the mixed-precision WSE-mapped BiCGStab solve, and a
+// performance projection from the validated CS-1 model — returning the
+// widened solution plus a report.
+
+#include "mesh/field.hpp"
+#include "perfmodel/cs1_model.hpp"
+#include "solver/bicgstab.hpp"
+#include "stencil/stencil7.hpp"
+#include "wsekernels/memory_model.hpp"
+
+namespace wss::wsekernels {
+
+struct WaferSolveOptions {
+  SolveControls controls{.max_iterations = 50, .tolerance = 1e-2,
+                         .stagnation_window = 6, .stagnation_factor = 0.99};
+  wse::CS1Params arch{};
+  /// Refuse meshes that do not fit the wafer (fabric extent or tile
+  /// memory); set false to solve anyway (e.g. for studies on a laptop).
+  bool enforce_capacity = true;
+};
+
+struct WaferSolveReport {
+  SolveResult solve;
+  MeshFit fit;
+  Field3<double> x; ///< solution widened to fp64
+  /// True fp64 relative residual of the returned solution against the
+  /// original (pre-preconditioning) system.
+  double true_relative_residual = 0.0;
+  /// Projections from the cycle-validated model for this mesh on the CS-1.
+  double modeled_iteration_seconds = 0.0;
+  double modeled_wall_seconds = 0.0; ///< iterations actually used x above
+  double modeled_flops = 0.0;
+};
+
+class WaferSolver {
+public:
+  /// Takes the application's system in fp64. The matrix is copied and
+  /// Jacobi-preconditioned internally; the caller's data is not modified.
+  explicit WaferSolver(const Stencil7<double>& a, WaferSolveOptions options = {});
+
+  /// Solve A x = b from a zero initial guess.
+  [[nodiscard]] WaferSolveReport solve(const Field3<double>& b) const;
+
+  [[nodiscard]] const MeshFit& fit() const { return fit_; }
+
+private:
+  Stencil7<double> a64_;          ///< preconditioned, fp64 (for residuals)
+  Field3<double> inv_diag_;       ///< the preconditioner (for the rhs)
+  Stencil7<fp16_t> a16_;          ///< what tile SRAM would hold
+  WaferSolveOptions options_;
+  MeshFit fit_;
+  perfmodel::CS1Model model_;
+};
+
+} // namespace wss::wsekernels

@@ -1,0 +1,265 @@
+#include "wsekernels/wse_bicgstab.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "wse/route_compiler.hpp"
+
+namespace wss::wsekernels {
+
+float wse_allreduce_tree(const std::vector<float>& partials, int fabric_x,
+                         int fabric_y) {
+  if (partials.size() != static_cast<std::size_t>(fabric_x) *
+                             static_cast<std::size_t>(fabric_y)) {
+    throw std::invalid_argument("one partial per tile required");
+  }
+  const auto g = wse::allreduce_geometry(fabric_x, fabric_y);
+  auto at = [&](int x, int y) -> float {
+    return partials[static_cast<std::size_t>(y) *
+                        static_cast<std::size_t>(fabric_x) +
+                    static_cast<std::size_t>(x)];
+  };
+
+  // Row reduction: each center core accumulates its half-row in arrival
+  // order (its own value first, then neighbors nearest-first).
+  std::vector<float> left(static_cast<std::size_t>(fabric_y));
+  std::vector<float> right(static_cast<std::size_t>(fabric_y));
+  for (int y = 0; y < fabric_y; ++y) {
+    float accl = 0.0f;
+    for (int x = g.cxl; x >= 0; --x) accl += at(x, y);
+    float accr = 0.0f;
+    for (int x = g.cxr; x < fabric_x; ++x) accr += at(x, y);
+    left[static_cast<std::size_t>(y)] = accl;
+    right[static_cast<std::size_t>(y)] = accr;
+  }
+
+  // Column reduction into the center quad, nearest row first.
+  auto col_reduce = [&](const std::vector<float>& col, int from, int to,
+                        int stepdir) {
+    float acc = 0.0f;
+    for (int y = from; y != to; y += stepdir) {
+      acc += col[static_cast<std::size_t>(y)];
+    }
+    return acc;
+  };
+  const float nl = col_reduce(left, g.cyt, -1, -1);
+  const float sl = col_reduce(left, g.cyb, fabric_y, +1);
+  const float nr = col_reduce(right, g.cyt, -1, -1);
+  const float sr = col_reduce(right, g.cyb, fabric_y, +1);
+
+  // 4:1 onto the root (cxr, cyb): the two west tiles send east, then the
+  // north-east tile sends south.
+  const float top = nr + nl;  // (cxr, cyt) accumulates (cxl, cyt)
+  const float bot = sr + sl;  // (cxr, cyb) accumulates (cxl, cyb)
+  return bot + top;           // root accumulates the Final word
+}
+
+void wse_spmv(const Stencil7<fp16_t>& a, const Field3<fp16_t>& v,
+              Field3<fp16_t>& u) {
+  if (!a.unit_diagonal) {
+    throw std::invalid_argument("wse_spmv requires a unit diagonal");
+  }
+  const Grid3 g = a.grid;
+  for (int x = 0; x < g.nx; ++x) {
+    for (int y = 0; y < g.ny; ++y) {
+      // 1. Initialize with the in-memory z-minus product (main thread).
+      for (int z = 0; z < g.nz; ++z) {
+        u(x, y, z) = z > 0 ? a.zm(x, y, z) * v(x, y, z - 1) : fp16_t(0.0);
+      }
+      // 2. Streamed terms in the sumtask order of Listing 1:
+      //    xp, xm, zp, yp, ym — each product rounded, each add rounded.
+      if (x + 1 < g.nx) {
+        for (int z = 0; z < g.nz; ++z) {
+          u(x, y, z) = u(x, y, z) + a.xp(x, y, z) * v(x + 1, y, z);
+        }
+      }
+      if (x > 0) {
+        for (int z = 0; z < g.nz; ++z) {
+          u(x, y, z) = u(x, y, z) + a.xm(x, y, z) * v(x - 1, y, z);
+        }
+      }
+      for (int z = 0; z + 1 < g.nz; ++z) {
+        u(x, y, z) = u(x, y, z) + a.zp(x, y, z) * v(x, y, z + 1);
+      }
+      if (y + 1 < g.ny) {
+        for (int z = 0; z < g.nz; ++z) {
+          u(x, y, z) = u(x, y, z) + a.yp(x, y, z) * v(x, y + 1, z);
+        }
+      }
+      if (y > 0) {
+        for (int z = 0; z < g.nz; ++z) {
+          u(x, y, z) = u(x, y, z) + a.ym(x, y, z) * v(x, y - 1, z);
+        }
+      }
+      // 3. Main diagonal (all ones after preconditioning): plain add.
+      for (int z = 0; z < g.nz; ++z) {
+        u(x, y, z) = u(x, y, z) + v(x, y, z);
+      }
+    }
+  }
+}
+
+float wse_dot(const Field3<fp16_t>& a, const Field3<fp16_t>& b) {
+  const Grid3 g = a.grid();
+  std::vector<float> partials(static_cast<std::size_t>(g.nx) *
+                              static_cast<std::size_t>(g.ny));
+  for (int y = 0; y < g.ny; ++y) {
+    for (int x = 0; x < g.nx; ++x) {
+      float acc = 0.0f;
+      for (int z = 0; z < g.nz; ++z) {
+        acc = mixed_fma(a(x, y, z), b(x, y, z), acc);
+      }
+      partials[static_cast<std::size_t>(y) * static_cast<std::size_t>(g.nx) +
+               static_cast<std::size_t>(x)] = acc;
+    }
+  }
+  if (g.nx < 2 || g.ny < 2) {
+    // Degenerate fabrics reduce on a single row/column; plain order.
+    float acc = 0.0f;
+    for (float p : partials) acc += p;
+    return acc;
+  }
+  return wse_allreduce_tree(partials, g.nx, g.ny);
+}
+
+TileMemoryBudget bicgstab_tile_memory(int z, int fifo_depth,
+                                      int tile_capacity) {
+  TileMemoryBudget m;
+  m.matrix_bytes = 6 * z * 2;       // six fp16 diagonals
+  m.vector_bytes = 4 * z * 2;       // x, r/p, r0, s|q / y|r reuse: 4 live
+  m.fifo_bytes = 5 * fifo_depth * 2;
+  m.total_bytes = m.matrix_bytes + m.vector_bytes + m.fifo_bytes;
+  m.fits = m.total_bytes <= tile_capacity;
+  return m;
+}
+
+WseBicgstabSolver::WseBicgstabSolver(const Stencil7<fp16_t>& a) : a_(&a) {
+  if (!a.unit_diagonal) {
+    throw std::invalid_argument(
+        "WseBicgstabSolver requires a diagonal-preconditioned matrix");
+  }
+  memory_ = bicgstab_tile_memory(a.grid.nz);
+}
+
+SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
+                                     Field3<fp16_t>& x,
+                                     const SolveControls& controls) const {
+  const Grid3 g = a_->grid;
+  const std::size_t n = g.size();
+  SolveResult result;
+  FlopCounter* fc = &result.flops;
+
+  Field3<fp16_t> r(g), r0(g), p(g), s(g), q(g), y(g), ax(g);
+
+  wse_spmv(*a_, x, ax);
+  detail::count_muls<fp16_t>(*fc, 6 * n);
+  detail::count_adds<fp16_t>(*fc, 6 * n);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+  detail::count_adds<fp16_t>(*fc, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r0[i] = r[i];
+    p[i] = r[i];
+  }
+
+  const double bnorm = std::sqrt(static_cast<double>(wse_dot(b, b)));
+  if (bnorm == 0.0) {
+    x.fill(fp16_t(0.0));
+    result.reason = StopReason::Converged;
+    result.relative_residuals.push_back(0.0);
+    return result;
+  }
+
+  float rho = wse_dot(r0, r);
+  detail::count_muls<fp16_t>(*fc, n);
+  detail::count_adds<float>(*fc, n);
+
+  auto count_dot = [&] {
+    detail::count_muls<fp16_t>(*fc, n);
+    detail::count_adds<float>(*fc, n);
+  };
+  auto count_axpy = [&] {
+    detail::count_muls<fp16_t>(*fc, n);
+    detail::count_adds<fp16_t>(*fc, n);
+  };
+  auto count_spmv = [&] {
+    detail::count_muls<fp16_t>(*fc, 6 * n);
+    detail::count_adds<fp16_t>(*fc, 6 * n);
+  };
+
+  for (int it = 0; it < controls.max_iterations; ++it) {
+    wse_spmv(*a_, p, s);
+    count_spmv();
+
+    const float r0s = wse_dot(r0, s);
+    count_dot();
+    if (r0s == 0.0f) {
+      result.reason = StopReason::Breakdown;
+      break;
+    }
+    const fp16_t alpha(rho / r0s);
+
+    for (std::size_t i = 0; i < n; ++i) q[i] = fmac(-alpha, s[i], r[i]);
+    count_axpy();
+
+    wse_spmv(*a_, q, y);
+    count_spmv();
+
+    const float qy = wse_dot(q, y);
+    const float yy = wse_dot(y, y);
+    count_dot();
+    count_dot();
+    if (yy == 0.0f) {
+      result.reason = StopReason::Breakdown;
+      break;
+    }
+    const fp16_t omega(qy / yy);
+
+    for (std::size_t i = 0; i < n; ++i) x[i] = fmac(alpha, p[i], x[i]);
+    for (std::size_t i = 0; i < n; ++i) x[i] = fmac(omega, q[i], x[i]);
+    count_axpy();
+    count_axpy();
+
+    for (std::size_t i = 0; i < n; ++i) r[i] = fmac(-omega, y[i], q[i]);
+    count_axpy();
+
+    const float rho_next = wse_dot(r0, r);
+    count_dot();
+
+    const float rr = wse_dot(r, r);
+    const double rnorm = std::sqrt(static_cast<double>(rr));
+    result.relative_residuals.push_back(rnorm / bnorm);
+    ++result.iterations;
+    if (rnorm / bnorm < controls.tolerance) {
+      result.reason = StopReason::Converged;
+      return result;
+    }
+    if (controls.stagnation_window > 0 &&
+        result.iterations > controls.stagnation_window) {
+      const double prev = result.relative_residuals[static_cast<std::size_t>(
+          result.iterations - 1 - controls.stagnation_window)];
+      if (rnorm / bnorm > prev * controls.stagnation_factor) {
+        result.reason = StopReason::Stagnation;
+        return result;
+      }
+    }
+
+    if (rho == 0.0f) {
+      result.reason = StopReason::Breakdown;
+      break;
+    }
+    const fp16_t beta(static_cast<double>(alpha.to_float() / omega.to_float()) *
+                      (static_cast<double>(rho_next) / rho));
+    rho = rho_next;
+
+    // p = r + beta (p - omega s)
+    for (std::size_t i = 0; i < n; ++i) {
+      const fp16_t t = fmac(-omega, s[i], p[i]);
+      p[i] = fmac(beta, t, r[i]);
+    }
+    count_axpy();
+    count_axpy();
+  }
+  return result;
+}
+
+} // namespace wss::wsekernels

@@ -1,0 +1,69 @@
+#pragma once
+
+// Tier-2 "numerics-faithful" WSE-mapped BiCGStab: executes the exact
+// arithmetic the wafer performs — fp16 storage and vector arithmetic with
+// FMAC rounding, per-tile mixed (hp multiply / sp accumulate) local dot
+// products, and the Fig. 6 tree order for the fp32 AllReduce — without
+// simulating cycles, so it scales to the Fig. 9 mesh (100x400x100) and
+// beyond. The cycle-level simulator (tier 1) validates that the dataflow
+// programs compute the same results at small sizes; this layer produces
+// the paper's accuracy results at full problem sizes.
+
+#include <vector>
+
+#include "mesh/field.hpp"
+#include "solver/bicgstab.hpp"
+#include "stencil/stencil7.hpp"
+
+namespace wss::wsekernels {
+
+/// Reduce one fp32 partial per tile of an X x Y fabric in the Fig. 6 tree
+/// order: half-rows into the center column pair (accumulated in order of
+/// arrival, nearest first), half-columns into the center quad, 4:1 onto the
+/// root. Returns the value the root broadcasts.
+float wse_allreduce_tree(const std::vector<float>& partials, int fabric_x,
+                         int fabric_y);
+
+/// u = A*v in the wafer's summation structure: the z-minus product
+/// initializes the result, then the five streamed terms accumulate in the
+/// sumtask order of Listing 1 (xp, xm, zp, yp, ym) followed by the
+/// main-diagonal add, every operation rounded to fp16.
+void wse_spmv(const Stencil7<fp16_t>& a, const Field3<fp16_t>& v,
+              Field3<fp16_t>& u);
+
+/// Global inner product as the wafer computes it: per-tile local dots in
+/// mixed precision over the Z pencil, then the fp32 tree AllReduce.
+float wse_dot(const Field3<fp16_t>& a, const Field3<fp16_t>& b);
+
+/// Memory footprint of the BiCGStab working set on one tile, in bytes:
+/// 6 matrix diagonals + 4 iteration vectors of Z fp16 words each — the
+/// paper's "10 Z words per core" (about 31 KB of 48 KB at Z = 1536).
+struct TileMemoryBudget {
+  int matrix_bytes = 0;
+  int vector_bytes = 0;
+  int fifo_bytes = 0;
+  int total_bytes = 0;
+  bool fits = false;
+};
+TileMemoryBudget bicgstab_tile_memory(int z, int fifo_depth = 20,
+                                      int tile_capacity = 48 * 1024);
+
+/// WSE-mapped BiCGStab solver over an X x Y fabric with Z-pencils.
+class WseBicgstabSolver {
+public:
+  /// `a` must be diagonal-preconditioned (unit diagonal).
+  explicit WseBicgstabSolver(const Stencil7<fp16_t>& a);
+
+  SolveResult solve(const Field3<fp16_t>& b, Field3<fp16_t>& x,
+                    const SolveControls& controls) const;
+
+  [[nodiscard]] const TileMemoryBudget& memory_budget() const {
+    return memory_;
+  }
+
+private:
+  const Stencil7<fp16_t>* a_;
+  TileMemoryBudget memory_;
+};
+
+} // namespace wss::wsekernels

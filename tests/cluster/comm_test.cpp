@@ -1,0 +1,112 @@
+#include "cluster/comm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::cluster {
+namespace {
+
+TEST(Comm, SendRecvPair) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> data = {1.0, 2.0, 3.0};
+      comm.send(1, 7, std::span<const double>(data));
+    } else {
+      std::vector<double> data(3);
+      comm.recv(0, 7, std::span<double>(data));
+      EXPECT_EQ(data[0], 1.0);
+      EXPECT_EQ(data[1], 2.0);
+      EXPECT_EQ(data[2], 3.0);
+    }
+  });
+}
+
+TEST(Comm, TagMatching) {
+  // Messages with different tags are matched by tag, not arrival order.
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> a = {10.0};
+      const std::vector<double> b = {20.0};
+      comm.send(1, 1, std::span<const double>(a));
+      comm.send(1, 2, std::span<const double>(b));
+    } else {
+      std::vector<double> buf(1);
+      comm.recv(0, 2, std::span<double>(buf));
+      EXPECT_EQ(buf[0], 20.0);
+      comm.recv(0, 1, std::span<double>(buf));
+      EXPECT_EQ(buf[0], 10.0);
+    }
+  });
+}
+
+TEST(Comm, FifoOrderWithinTag) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        const std::vector<double> v = {static_cast<double>(i)};
+        comm.send(1, 0, std::span<const double>(v));
+      }
+    } else {
+      std::vector<double> buf(1);
+      for (int i = 0; i < 10; ++i) {
+        comm.recv(0, 0, std::span<double>(buf));
+        EXPECT_EQ(buf[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(Comm, AllReduceSum) {
+  for (const int n : {1, 2, 3, 8}) {
+    World world(n);
+    world.run([n](Comm& comm) {
+      const double mine = static_cast<double>(comm.rank() + 1);
+      const double total = comm.allreduce_sum(mine);
+      EXPECT_EQ(total, n * (n + 1) / 2.0);
+    });
+  }
+}
+
+TEST(Comm, RepeatedAllReducesStayInSync) {
+  World world(4);
+  world.run([](Comm& comm) {
+    for (int round = 0; round < 50; ++round) {
+      const double total =
+          comm.allreduce_sum(static_cast<double>(comm.rank() + round));
+      EXPECT_EQ(total, 6.0 + 4.0 * round);
+    }
+  });
+}
+
+TEST(Comm, StatsCountTraffic) {
+  World world(2);
+  world.run([](Comm& comm) {
+    const std::vector<double> v(16, 1.0);
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::span<const double>(v));
+    } else {
+      std::vector<double> buf(16);
+      comm.recv(0, 0, std::span<double>(buf));
+    }
+    (void)comm.allreduce_sum(1.0);
+  });
+  const CommStats total = world.total_stats();
+  EXPECT_EQ(total.messages_sent, 1u);
+  EXPECT_EQ(total.bytes_sent, 16u * 8u);
+  EXPECT_EQ(total.allreduces, 2u);
+}
+
+TEST(Comm, ExceptionsPropagate) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 1) {
+                   throw std::runtime_error("rank failure");
+                 }
+               }),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace wss::cluster

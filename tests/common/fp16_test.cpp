@@ -1,0 +1,203 @@
+#include "common/fp16.hpp"
+
+#include <bit>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(fp16_t(0.0).bits(), 0x0000u);
+  EXPECT_EQ(fp16_t(-0.0).bits(), 0x8000u);
+  EXPECT_EQ(fp16_t(1.0).bits(), 0x3C00u);
+  EXPECT_EQ(fp16_t(-1.0).bits(), 0xBC00u);
+  EXPECT_EQ(fp16_t(2.0).bits(), 0x4000u);
+  EXPECT_EQ(fp16_t(0.5).bits(), 0x3800u);
+  EXPECT_EQ(fp16_t(65504.0).bits(), 0x7BFFu); // max finite
+  EXPECT_EQ(fp16_t(std::ldexp(1.0, -14)).bits(), 0x0400u); // min normal
+  EXPECT_EQ(fp16_t(std::ldexp(1.0, -24)).bits(), 0x0001u); // denorm min
+}
+
+TEST(Fp16, RoundTripAllFiniteBitPatterns) {
+  // Every finite binary16 value widens to double and narrows back exactly.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const fp16_t h = fp16_t::from_bits(static_cast<std::uint16_t>(bits));
+    if (!h.is_finite()) continue;
+    const fp16_t back(h.to_double());
+    if (h.is_zero()) {
+      EXPECT_TRUE(back.is_zero());
+      EXPECT_EQ(back.sign_bit(), h.sign_bit());
+    } else {
+      EXPECT_EQ(back.bits(), h.bits()) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Fp16, RoundToNearestEvenTies) {
+  // 1.0 + 2^-11 is exactly halfway between 1.0 and 1.0+2^-10: ties to even
+  // (1.0, whose last significand bit is 0).
+  EXPECT_EQ(fp16_t(1.0 + std::ldexp(1.0, -11)).bits(), 0x3C00u);
+  // (1.0 + 2^-10) + 2^-11 is halfway between two values whose lower one is
+  // odd: rounds up.
+  EXPECT_EQ(fp16_t(1.0 + std::ldexp(1.0, -10) + std::ldexp(1.0, -11)).bits(),
+            0x3C02u);
+  // Just above the halfway point rounds up.
+  EXPECT_EQ(fp16_t(1.0 + std::ldexp(1.0, -11) + std::ldexp(1.0, -20)).bits(),
+            0x3C01u);
+  // Just below rounds down.
+  EXPECT_EQ(fp16_t(1.0 + std::ldexp(1.0, -11) - std::ldexp(1.0, -20)).bits(),
+            0x3C00u);
+}
+
+TEST(Fp16, OverflowToInfinity) {
+  EXPECT_TRUE(fp16_t(65536.0).is_inf());
+  EXPECT_TRUE(fp16_t(1e30).is_inf());
+  EXPECT_TRUE(fp16_t(-1e30).is_inf());
+  EXPECT_TRUE(fp16_t(-1e30).sign_bit());
+  // 65504 + 15.99 still rounds down to max finite; + 16 rounds to infinity.
+  EXPECT_EQ(fp16_t(65519.0).bits(), 0x7BFFu);
+  EXPECT_TRUE(fp16_t(65520.0).is_inf());
+}
+
+TEST(Fp16, UnderflowAndSubnormals) {
+  // Below denorm_min/2 rounds to zero.
+  EXPECT_TRUE(fp16_t(std::ldexp(1.0, -26)).is_zero());
+  // Exactly denorm_min/2 ties to even (zero).
+  EXPECT_TRUE(fp16_t(std::ldexp(1.0, -25)).is_zero());
+  // 1.5 * denorm_min rounds to even (2 * 2^-24).
+  EXPECT_EQ(fp16_t(1.5 * std::ldexp(1.0, -24)).bits(), 0x0002u);
+  // Largest subnormal.
+  const double max_sub = std::ldexp(1023.0, -24);
+  EXPECT_EQ(fp16_t(max_sub).bits(), 0x03FFu);
+  EXPECT_TRUE(fp16_t(max_sub).is_subnormal());
+}
+
+TEST(Fp16, NanPropagation) {
+  const fp16_t nan = fp16_limits::quiet_nan();
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE(fp16_t(std::nan("")).is_nan());
+  EXPECT_TRUE((nan + fp16_t(1.0)).is_nan());
+  EXPECT_TRUE((nan * fp16_t(0.0)).is_nan());
+  EXPECT_FALSE(nan == nan); // IEEE semantics
+}
+
+TEST(Fp16, ArithmeticRoundsPerOperation) {
+  // 2048 + 1 = 2049 is not representable (spacing is 2 there): rounds to
+  // 2048 (ties-to-even).
+  EXPECT_EQ((fp16_t(2048.0) + fp16_t(1.0)).to_double(), 2048.0);
+  // 2048 + 2 is exact.
+  EXPECT_EQ((fp16_t(2048.0) + fp16_t(2.0)).to_double(), 2050.0);
+  // Multiplication rounding: 0.1 is inexact in fp16; product rounds once.
+  const fp16_t a(0.1);
+  const fp16_t product = a * a;
+  EXPECT_EQ(product.bits(), fp16_t(a.to_double() * a.to_double()).bits());
+}
+
+TEST(Fp16, FmacSingleRounding) {
+  // Choose a, b, c so that rounding the product before the add would give a
+  // different answer: a*b = 1 + 2^-11 (needs 12 bits), c = 2^-11.
+  const fp16_t a(1.0 + std::ldexp(1.0, -10)); // 1 + 2^-10, exact
+  const fp16_t b(1.0);
+  // product exact = a; now pick c tiny so sum needs the unrounded product.
+  const fp16_t c(std::ldexp(1.0, -24));
+  const fp16_t fused = fmac(a, b, c);
+  const double exact = a.to_double() * b.to_double() + c.to_double();
+  EXPECT_EQ(fused.bits(), fp16_t(exact).bits());
+
+  // A case distinguishing fused from separate rounding:
+  // a = 1+2^-10, b2 = 1-2^-11: a*b2 = 1 + 2^-11 - 2^-21, just below the
+  // rounding halfway point, so the rounded product is exactly 1.0 and the
+  // separate path yields 1.0 - 1.0 = 0; the fused path keeps
+  // 2^-11 - 2^-21, which is far from zero.
+  const fp16_t x(1.0 + std::ldexp(1.0, -10));
+  const fp16_t b2(1.0 - std::ldexp(1.0, -11));
+  const fp16_t minus_one(-1.0);
+  const fp16_t fused2 = fmac(x, b2, minus_one);
+  const double exact2 = x.to_double() * b2.to_double() - 1.0;
+  EXPECT_EQ(fused2.bits(), fp16_t(exact2).bits());
+  EXPECT_GT(fused2.to_double(), 0.0);
+  const fp16_t separate = (x * b2) + minus_one;
+  EXPECT_EQ(separate.to_double(), 0.0);
+  EXPECT_NE(separate.bits(), fused2.bits());
+}
+
+TEST(Fp16, MixedFmaMatchesFloatAccumulation) {
+  const fp16_t a(0.333251953125); // representable
+  const fp16_t b(1.5);
+  float acc = 10.0f;
+  const float expected = acc + a.to_float() * b.to_float();
+  EXPECT_EQ(mixed_fma(a, b, acc), expected);
+}
+
+TEST(Fp16, UlpDistance) {
+  EXPECT_EQ(fp16_ulp_distance(fp16_t(1.0), fp16_t(1.0)), 0u);
+  EXPECT_EQ(fp16_ulp_distance(fp16_t::from_bits(0x3C00),
+                              fp16_t::from_bits(0x3C01)),
+            1u);
+  // Across zero: -denorm_min to +denorm_min is 2 ulps.
+  EXPECT_EQ(fp16_ulp_distance(fp16_t::from_bits(0x8001),
+                              fp16_t::from_bits(0x0001)),
+            2u);
+  EXPECT_EQ(fp16_ulp_distance(fp16_limits::quiet_nan(), fp16_t(1.0)),
+            0xFFFFFFFFu);
+}
+
+#if defined(__FLT16_MANT_DIG__)
+TEST(Fp16, MatchesHardwareFloat16Conversion) {
+  // Golden check against the compiler's _Float16 (binary16 with RNE).
+  Rng rng(42);
+  for (int i = 0; i < 200000; ++i) {
+    double v = 0.0;
+    switch (i % 4) {
+      case 0: v = rng.uniform(-70000.0, 70000.0); break;
+      case 1: v = rng.uniform(-2.0, 2.0); break;
+      case 2: v = rng.uniform(-1e-4, 1e-4); break;
+      default: v = std::ldexp(rng.uniform(-1.0, 1.0), static_cast<int>(rng.below(60)) - 30);
+    }
+    const _Float16 hw = static_cast<_Float16>(v);
+    const std::uint16_t hw_bits = std::bit_cast<std::uint16_t>(hw);
+    EXPECT_EQ(fp16_t(v).bits(), hw_bits) << "v=" << v;
+  }
+}
+
+TEST(Fp16, ArithmeticMatchesHardwareFloat16) {
+  Rng rng(43);
+  for (int i = 0; i < 100000; ++i) {
+    const fp16_t a(rng.uniform(-100.0, 100.0));
+    const fp16_t b(rng.uniform(-100.0, 100.0));
+    const _Float16 ha = std::bit_cast<_Float16>(a.bits());
+    const _Float16 hb = std::bit_cast<_Float16>(b.bits());
+    EXPECT_EQ((a + b).bits(), std::bit_cast<std::uint16_t>(
+                                  static_cast<_Float16>(ha + hb)));
+    EXPECT_EQ((a * b).bits(), std::bit_cast<std::uint16_t>(
+                                  static_cast<_Float16>(ha * hb)));
+    EXPECT_EQ((a - b).bits(), std::bit_cast<std::uint16_t>(
+                                  static_cast<_Float16>(ha - hb)));
+  }
+}
+#endif
+
+TEST(Fp16, SqrtAndAbs) {
+  EXPECT_EQ(sqrt(fp16_t(4.0)).to_double(), 2.0);
+  EXPECT_EQ(sqrt(fp16_t(2.0)).bits(), fp16_t(std::sqrt(2.0)).bits());
+  EXPECT_EQ(abs(fp16_t(-3.5)).to_double(), 3.5);
+  EXPECT_EQ(abs(fp16_t(3.5)).to_double(), 3.5);
+}
+
+TEST(Fp16, Comparisons) {
+  EXPECT_LT(fp16_t(1.0), fp16_t(2.0));
+  EXPECT_GT(fp16_t(-1.0), fp16_t(-2.0));
+  EXPECT_LE(fp16_t(1.0), fp16_t(1.0));
+  EXPECT_EQ(fp16_t(0.0), fp16_t(-0.0)); // +0 == -0
+}
+
+TEST(Fp16, MachineEpsilonScale) {
+  // The paper: "With this precision, machine precision is about 1e-3."
+  EXPECT_NEAR(fp16_limits::epsilon().to_double(), 9.77e-4, 1e-5);
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,65 @@
+#include "common/precision.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace wss {
+namespace {
+
+TEST(Precision, ConversionsRoundTrip) {
+  EXPECT_EQ(to_double(from_double<double>(1.25)), 1.25);
+  EXPECT_EQ(to_double(from_double<float>(1.25)), 1.25);
+  EXPECT_EQ(to_double(from_double<fp16_t>(1.25)), 1.25);
+  // Inexact value rounds on narrowing.
+  EXPECT_NE(to_double(from_double<fp16_t>(0.1)), 0.1);
+  EXPECT_NEAR(to_double(from_double<fp16_t>(0.1)), 0.1, 1e-4);
+}
+
+TEST(Precision, MixedDotAccumulatesInFp32) {
+  // Summing N copies of a tiny value: fp16 accumulation loses them once the
+  // sum grows, fp32 accumulation keeps them. This is exactly why the paper
+  // uses the mixed inner product.
+  const fp16_t v(0.001);
+  const fp16_t one(1.0);
+
+  MixedPrecision::dot_acc_t mixed_acc{};
+  HalfPrecision::dot_acc_t half_acc{};
+  // Seed both with a large value, then accumulate small products.
+  mixed_acc = 8.0f;
+  half_acc = fp16_t(8.0);
+  for (int i = 0; i < 1000; ++i) {
+    MixedPrecision::dot_step(mixed_acc, v, one);
+    HalfPrecision::dot_step(half_acc, v, one);
+  }
+  const double mixed_err = std::abs(to_double(mixed_acc) - 9.0);
+  const double half_err = std::abs(to_double(half_acc) - 9.0);
+  EXPECT_LT(mixed_err, 0.05);
+  EXPECT_GT(half_err, 0.5); // fp16 accumulator absorbs almost nothing
+}
+
+TEST(Precision, FmaUpdateSemantics) {
+  // fp16: single rounding (FMAC).
+  fp16_t y(1.0);
+  const fp16_t a(1.0 + std::ldexp(1.0, -10));
+  fma_update(y, a, a);
+  EXPECT_EQ(y.bits(), fmac(a, a, fp16_t(1.0)).bits());
+
+  // float: product formed exactly in double, one rounding on the update.
+  float yf = 1.0f;
+  fma_update(yf, 0.1f, 0.1f);
+  EXPECT_EQ(yf, static_cast<float>(1.0 + static_cast<double>(0.1f) * 0.1f));
+
+  double yd = 1.0;
+  fma_update(yd, 0.5, 0.25);
+  EXPECT_EQ(yd, 1.125);
+}
+
+TEST(Precision, PolicyNames) {
+  EXPECT_EQ(MixedPrecision::name, "mixed-hp/sp");
+  EXPECT_EQ(HalfPrecision::name, "half");
+  EXPECT_EQ(SinglePrecision::name, "single");
+  EXPECT_EQ(DoublePrecision::name, "double");
+}
+
+} // namespace
+} // namespace wss

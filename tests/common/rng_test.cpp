@@ -1,0 +1,51 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Rng r(123);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+} // namespace
+} // namespace wss

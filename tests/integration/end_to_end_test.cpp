@@ -1,0 +1,121 @@
+// Cross-module integration tests — the full pipelines a user of this
+// library would run, crossing every layer boundary:
+//   MFIX assembly -> WaferSolver (fp16 wafer numerics) -> fp64 residual
+//   distributed cluster solve vs wafer solve on the same system
+//   cycle simulator -> performance model -> CFD throughput projection
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "cluster/dist_bicgstab.hpp"
+#include "mfix/momentum_system.hpp"
+#include "mfix/simple.hpp"
+#include "perfmodel/simple_model.hpp"
+#include "stencil/generators.hpp"
+#include "wsekernels/bicgstab_program.hpp"
+#include "wsekernels/wafer_solver.hpp"
+
+namespace wss {
+namespace {
+
+TEST(EndToEnd, MfixMomentumSystemSolvedOnWafer) {
+  // The exact Fig. 9 pipeline at reduced size: MFIX-style momentum
+  // assembly feeds the wafer solver; the mixed-precision answer lands at
+  // the expected precision floor.
+  const mfix::StaggeredGrid g{12, 24, 12, 0.05};
+  auto sys = mfix::make_momentum_system(g, 0.01, 11);
+
+  wsekernels::WaferSolveOptions opt;
+  opt.controls.max_iterations = 25;
+  opt.controls.tolerance = 5e-3;
+  wsekernels::WaferSolver solver(sys.a, opt);
+  const auto report = solver.solve(sys.rhs);
+
+  EXPECT_EQ(report.solve.reason, StopReason::Converged);
+  EXPECT_LT(report.true_relative_residual, 1e-2);
+  EXPECT_TRUE(report.fit.fits());
+}
+
+TEST(EndToEnd, ClusterAndWaferAgreeToMixedPrecision) {
+  // The same system solved by the fp64 distributed cluster baseline and by
+  // the wafer's mixed-precision solver: answers agree to the fp16 floor.
+  const Grid3 g(12, 12, 16);
+  const auto a = make_momentum_like7(g, 0.4, 21);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+
+  cluster::World world(4);
+  Field3<double> x_cluster(g, 0.0);
+  SolveControls c64;
+  c64.max_iterations = 200;
+  c64.tolerance = 1e-11;
+  const auto cluster_result =
+      cluster::distributed_bicgstab(world, a, b, x_cluster, c64);
+  ASSERT_EQ(cluster_result.solve.reason, StopReason::Converged);
+
+  wsekernels::WaferSolveOptions opt;
+  opt.controls.max_iterations = 30;
+  opt.controls.tolerance = 4e-3;
+  wsekernels::WaferSolver wafer(a, opt);
+  const auto report = wafer.solve(b);
+  ASSERT_EQ(report.solve.reason, StopReason::Converged);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < report.x.size(); ++i) {
+    worst = std::max(worst, std::abs(report.x[i] - x_cluster[i]));
+  }
+  EXPECT_LT(worst, 5e-2); // mixed-precision class agreement
+}
+
+TEST(EndToEnd, SimulatorModelProjectionChainIsConsistent) {
+  // One chain from cycle-level truth to application projection:
+  // (1) full BiCGStab iterations on the simulator, (2) the model matches
+  // them, (3) the SIMPLE projection built on the model reproduces the
+  // paper's throughput window.
+  const Grid3 g(6, 6, 96);
+  auto ad = make_momentum_like7(g, 0.5, 3);
+  auto bd = make_rhs(ad, make_smooth_solution(g));
+  const auto bp = precondition_jacobi(ad, bd);
+  const auto a16 = convert_stencil<fp16_t>(ad);
+  const auto b16 = convert_field<fp16_t>(bp);
+
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  wsekernels::BicgstabSimulation simulation(a16, 3, arch, sim);
+  const auto run = simulation.run(b16);
+  const double measured = static_cast<double>(run.cycles) / 3.0;
+
+  const perfmodel::CS1Model model(arch);
+  const double predicted = model.iteration_cycles(g);
+  EXPECT_NEAR(measured, predicted, 0.15 * predicted);
+
+  const perfmodel::SimpleModel app{model, perfmodel::JouleModel{}};
+  const auto projection = app.project(Grid3(600, 600, 600));
+  EXPECT_GT(projection.steps_per_second_hi, 80.0);
+  EXPECT_LT(projection.steps_per_second_lo, 125.0);
+}
+
+TEST(EndToEnd, SimpleSolverFeedsScalarAndWaferConsistently) {
+  // Run the CFD loop, then hand one of its own momentum systems to the
+  // wafer solver mid-flight — the production integration the paper's
+  // Section VI sketches (MFIX forms, the wafer solves).
+  const mfix::StaggeredGrid g{8, 8, 8, 0.125};
+  const mfix::FluidProps props{1.0, 0.05};
+  const mfix::WallMotion walls{1.0};
+  mfix::SimpleSolver solver(g, props, walls);
+  mfix::FlowState state = mfix::make_cavity_state(g, walls);
+  (void)solver.run(state, 4);
+
+  const auto sys = mfix::assemble_momentum(g, state, props,
+                                           mfix::Component::U, 0.1, 0.7,
+                                           walls);
+  wsekernels::WaferSolveOptions opt;
+  opt.controls.max_iterations = 20;
+  opt.controls.tolerance = 5e-3;
+  wsekernels::WaferSolver wafer(sys.a, opt);
+  const auto report = wafer.solve(sys.rhs);
+  EXPECT_LT(report.true_relative_residual, 2e-2);
+}
+
+} // namespace
+} // namespace wss

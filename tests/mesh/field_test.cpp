@@ -1,0 +1,46 @@
+#include "mesh/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fp16.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Field3, FillAndAccess) {
+  Field3<double> f(Grid3(2, 3, 4), 1.5);
+  EXPECT_EQ(f.size(), 24u);
+  for (const double v : f) EXPECT_EQ(v, 1.5);
+  f(1, 2, 3) = 9.0;
+  EXPECT_EQ(f(1, 2, 3), 9.0);
+  EXPECT_EQ(f[f.grid().index(1, 2, 3)], 9.0);
+}
+
+TEST(Field3, ConvertRoundsOnce) {
+  Field3<double> f(Grid3(1, 1, 3));
+  f(0, 0, 0) = 0.1;
+  f(0, 0, 1) = 1.0;
+  f(0, 0, 2) = -2048.5;
+  const auto h = convert_field<fp16_t>(f);
+  EXPECT_EQ(h(0, 0, 0).bits(), fp16_t(0.1).bits());
+  EXPECT_EQ(h(0, 0, 1).to_double(), 1.0);
+  EXPECT_EQ(h(0, 0, 2).bits(), fp16_t(-2048.5).bits());
+}
+
+TEST(Field3, ConvertBackWidens) {
+  Field3<fp16_t> h(Grid3(2, 2, 2), fp16_t(3.5));
+  const auto d = convert_field<double>(h);
+  for (const double v : d) EXPECT_EQ(v, 3.5);
+}
+
+TEST(Field2, FillAndAccess) {
+  Field2<float> f(Grid2(3, 2), 0.25f);
+  EXPECT_EQ(f.size(), 6u);
+  f(2, 1) = -1.0f;
+  EXPECT_EQ(f(2, 1), -1.0f);
+  f.fill(2.0f);
+  for (const float v : f) EXPECT_EQ(v, 2.0f);
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,66 @@
+#include "mesh/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss {
+namespace {
+
+TEST(Grid3, SizeAndIndexing) {
+  const Grid3 g(4, 5, 6);
+  EXPECT_EQ(g.size(), 120u);
+  EXPECT_EQ(g.index(0, 0, 0), 0u);
+  EXPECT_EQ(g.index(0, 0, 1), 1u); // z fastest
+  EXPECT_EQ(g.index(0, 1, 0), 6u);
+  EXPECT_EQ(g.index(1, 0, 0), 30u);
+  EXPECT_EQ(g.index(3, 4, 5), 119u);
+}
+
+TEST(Grid3, IndexIsBijective) {
+  const Grid3 g(3, 4, 5);
+  std::vector<bool> seen(g.size(), false);
+  for (int x = 0; x < g.nx; ++x) {
+    for (int y = 0; y < g.ny; ++y) {
+      for (int z = 0; z < g.nz; ++z) {
+        const std::size_t i = g.index(x, y, z);
+        ASSERT_LT(i, g.size());
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+      }
+    }
+  }
+}
+
+TEST(Grid3, Contains) {
+  const Grid3 g(2, 3, 4);
+  EXPECT_TRUE(g.contains(0, 0, 0));
+  EXPECT_TRUE(g.contains(1, 2, 3));
+  EXPECT_FALSE(g.contains(-1, 0, 0));
+  EXPECT_FALSE(g.contains(2, 0, 0));
+  EXPECT_FALSE(g.contains(0, 3, 0));
+  EXPECT_FALSE(g.contains(0, 0, 4));
+}
+
+TEST(Grid3, PaperHeadlineMesh) {
+  const Grid3 g(600, 595, 1536);
+  EXPECT_EQ(g.size(), 600ull * 595 * 1536);
+  EXPECT_EQ(g.size(), 548352000u); // ~548M meshpoints
+}
+
+TEST(Grid2, SizeAndIndexing) {
+  const Grid2 g(3, 4);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.index(0, 0), 0u);
+  EXPECT_EQ(g.index(0, 1), 1u); // y fastest
+  EXPECT_EQ(g.index(1, 0), 4u);
+  EXPECT_EQ(g.index(2, 3), 11u);
+}
+
+TEST(Grid2, Contains) {
+  const Grid2 g(2, 2);
+  EXPECT_TRUE(g.contains(1, 1));
+  EXPECT_FALSE(g.contains(2, 1));
+  EXPECT_FALSE(g.contains(-1, 0));
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,62 @@
+#include "mesh/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss {
+namespace {
+
+TEST(Split1, CoversWithoutOverlap) {
+  for (int n : {1, 7, 100, 601}) {
+    for (int p : {1, 2, 3, 8, 17}) {
+      if (p > n) continue;
+      int covered = 0;
+      int prev_end = 0;
+      for (int r = 0; r < p; ++r) {
+        const Span1 s = split1(n, p, r);
+        EXPECT_EQ(s.begin, prev_end);
+        EXPECT_GE(s.count(), n / p);
+        EXPECT_LE(s.count(), n / p + 1);
+        covered += s.count();
+        prev_end = s.end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Block3, CountsMatchMesh) {
+  const Grid3 g(10, 11, 12);
+  std::size_t total = 0;
+  for (int rx = 0; rx < 2; ++rx) {
+    for (int ry = 0; ry < 3; ++ry) {
+      for (int rz = 0; rz < 2; ++rz) {
+        total += block3(g, 2, 3, 2, rx, ry, rz).count();
+      }
+    }
+  }
+  EXPECT_EQ(total, g.size());
+}
+
+TEST(ProcessGrid, ExactFactorization) {
+  const auto pg = choose_process_grid(Grid3(600, 600, 600), 1024);
+  EXPECT_EQ(pg[0] * pg[1] * pg[2], 1024);
+}
+
+TEST(ProcessGrid, PrefersBalancedDecomposition) {
+  // For a cubic mesh and a cube-number process count the best halo area is
+  // the cubic decomposition.
+  const auto pg = choose_process_grid(Grid3(512, 512, 512), 512);
+  EXPECT_EQ(pg[0], 8);
+  EXPECT_EQ(pg[1], 8);
+  EXPECT_EQ(pg[2], 8);
+}
+
+TEST(ProcessGrid, RespectsMeshLimits) {
+  // Mesh too thin in z: no rank may exceed mesh extent.
+  const auto pg = choose_process_grid(Grid3(1000, 1000, 2), 64);
+  EXPECT_LE(pg[2], 2);
+  EXPECT_EQ(pg[0] * pg[1] * pg[2], 64);
+}
+
+} // namespace
+} // namespace wss

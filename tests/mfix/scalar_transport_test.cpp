@@ -1,0 +1,159 @@
+// Tests for the scalar (energy/species) transport extension: global
+// conservation in a closed adiabatic box, the discrete maximum principle
+// of the upwind scheme, diffusion-driven homogenization, and advection by
+// the cavity flow.
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "mfix/scalar_transport.hpp"
+#include "mfix/simple.hpp"
+
+namespace wss::mfix {
+namespace {
+
+StaggeredGrid grid8() { return {8, 8, 8, 0.125}; }
+
+Field3<double> hot_corner(const StaggeredGrid& g) {
+  Field3<double> theta(g.cells(), 0.0);
+  for (int i = 0; i < g.nx / 2; ++i)
+    for (int j = 0; j < g.ny / 2; ++j)
+      for (int k = 0; k < g.nz / 2; ++k) theta(i, j, k) = 1.0;
+  return theta;
+}
+
+TEST(ScalarTransport, ConservedInClosedBox) {
+  const StaggeredGrid g = grid8();
+  const FluidProps props{1.0, 0.05};
+  // A developed cavity flow as the carrier field.
+  SimpleSolver solver(g, props, WallMotion{1.0});
+  FlowState state = make_cavity_state(g, WallMotion{1.0});
+  (void)solver.run(state, 6);
+
+  Field3<double> theta = hot_corner(g);
+  const double before = scalar_content(g, props, theta);
+  ScalarTransportOptions opt;
+  opt.solver_iters = 50; // converge tightly so conservation is exact
+  opt.solver_tolerance = 1e-12;
+  for (int step = 0; step < 10; ++step) {
+    (void)advance_scalar(g, state, props, theta, nullptr, opt);
+    EXPECT_NEAR(scalar_content(g, props, theta), before, 1e-9 * std::abs(before) + 1e-12)
+        << "step " << step;
+  }
+}
+
+TEST(ScalarTransport, MaximumPrinciple) {
+  // First-order upwind + implicit Euler is bounded: theta stays inside its
+  // initial range without sources.
+  const StaggeredGrid g = grid8();
+  const FluidProps props{1.0, 0.05};
+  SimpleSolver solver(g, props, WallMotion{1.0});
+  FlowState state = make_cavity_state(g, WallMotion{1.0});
+  (void)solver.run(state, 6);
+
+  Field3<double> theta = hot_corner(g);
+  ScalarTransportOptions opt;
+  opt.solver_iters = 50;
+  opt.solver_tolerance = 1e-12;
+  for (int step = 0; step < 10; ++step) {
+    (void)advance_scalar(g, state, props, theta, nullptr, opt);
+    const auto [lo, hi] = std::minmax_element(theta.begin(), theta.end());
+    EXPECT_GE(*lo, -1e-9);
+    EXPECT_LE(*hi, 1.0 + 1e-9);
+  }
+}
+
+TEST(ScalarTransport, DiffusionHomogenizes) {
+  // No flow, strong diffusion: the hot corner spreads toward the uniform
+  // mean.
+  const StaggeredGrid g = grid8();
+  const FluidProps props{1.0, 0.05};
+  const FlowState state = make_cavity_state(g, WallMotion{0.0});
+
+  Field3<double> theta = hot_corner(g);
+  const double mean = scalar_content(g, props, theta) /
+                      (props.rho * g.h * g.h * g.h *
+                       static_cast<double>(g.cells().size()));
+  auto spread = [&] {
+    double v = 0.0;
+    for (const double t : theta) v += (t - mean) * (t - mean);
+    return v;
+  };
+  const double before = spread();
+  ScalarTransportOptions opt;
+  opt.gamma = 0.2;
+  opt.dt = 0.2;
+  opt.solver_iters = 60;
+  opt.solver_tolerance = 1e-12;
+  for (int step = 0; step < 8; ++step) {
+    (void)advance_scalar(g, state, props, theta, nullptr, opt);
+  }
+  EXPECT_LT(spread(), 0.25 * before);
+}
+
+TEST(ScalarTransport, AdvectionFollowsTheLid) {
+  // With the lid driving +x flow under the top wall, a scalar blob under
+  // the lid drifts in +x: its center of mass moves right.
+  const StaggeredGrid g{12, 6, 8, 1.0 / 12.0};
+  const FluidProps props{1.0, 0.05};
+  SimpleSolver solver(g, props, WallMotion{1.0});
+  FlowState state = make_cavity_state(g, WallMotion{1.0});
+  (void)solver.run(state, 10);
+
+  Field3<double> theta(g.cells(), 0.0);
+  for (int j = 0; j < g.ny; ++j) theta(2, j, g.nz - 1) = 1.0; // blob at left top
+  auto center_x = [&] {
+    double num = 0.0;
+    double den = 1e-300;
+    for (int i = 0; i < g.nx; ++i)
+      for (int j = 0; j < g.ny; ++j)
+        for (int k = 0; k < g.nz; ++k) {
+          num += i * theta(i, j, k);
+          den += theta(i, j, k);
+        }
+    return num / den;
+  };
+  const double x0 = center_x();
+  ScalarTransportOptions opt;
+  opt.gamma = 1e-4;
+  opt.dt = 0.05;
+  opt.solver_iters = 40;
+  opt.solver_tolerance = 1e-12;
+  for (int step = 0; step < 12; ++step) {
+    (void)advance_scalar(g, state, props, theta, nullptr, opt);
+  }
+  EXPECT_GT(center_x(), x0 + 0.5);
+}
+
+TEST(ScalarTransport, SourceAddsContent) {
+  const StaggeredGrid g = grid8();
+  const FluidProps props{1.0, 0.05};
+  const FlowState state = make_cavity_state(g, WallMotion{0.0});
+  Field3<double> theta(g.cells(), 0.0);
+  Field3<double> source(g.cells(), 1.0); // uniform heating
+  ScalarTransportOptions opt;
+  opt.solver_iters = 50;
+  opt.solver_tolerance = 1e-12;
+  const double before = scalar_content(g, props, theta);
+  (void)advance_scalar(g, state, props, theta, &source, opt);
+  // d(content)/dt = integral of source = volume * 1.
+  const double volume = g.h * g.h * g.h * static_cast<double>(g.cells().size());
+  EXPECT_NEAR(scalar_content(g, props, theta) - before, volume * opt.dt,
+              1e-8);
+}
+
+TEST(ScalarTransport, CensusCountsTransportOps) {
+  const StaggeredGrid g{6, 6, 6, 1.0 / 6.0};
+  const FluidProps props{1.0, 0.05};
+  const FlowState state = make_cavity_state(g, WallMotion{0.0});
+  Field3<double> theta(g.cells(), 0.0);
+  const auto sys = assemble_scalar_transport(g, state, props, theta, nullptr,
+                                             ScalarTransportOptions{});
+  EXPECT_GT(sys.census.per_point(sys.census.merges), 5.0);
+  EXPECT_GT(sys.census.per_point(sys.census.transports), 5.0);
+  EXPECT_EQ(sys.census.points, g.cells().size());
+}
+
+} // namespace
+} // namespace wss::mfix

@@ -1,0 +1,106 @@
+#include "perfmodel/cluster_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/balance.hpp"
+#include "perfmodel/cs1_model.hpp"
+
+namespace wss::perfmodel {
+namespace {
+
+TEST(JouleModel, Fig8AnchorPoints) {
+  // 600^3 mesh: ~75 ms/iter at 1024 cores, ~6 ms at 16384 (Section V-A).
+  const JouleModel model;
+  const Grid3 mesh(600, 600, 600);
+  const double t1k = model.iteration_seconds(mesh, 1024) * 1e3;
+  const double t16k = model.iteration_seconds(mesh, 16384) * 1e3;
+  EXPECT_NEAR(t1k, 75.0, 15.0);
+  EXPECT_NEAR(t16k, 6.0, 2.0);
+}
+
+TEST(JouleModel, CS1RatioAbout214x) {
+  // "about 214 times more than the 28.1 microseconds per iteration that we
+  // measured on the CS-1."
+  const JouleModel joule;
+  const CS1Model cs1;
+  const double t_joule = joule.iteration_seconds(Grid3(600, 600, 600), 16384);
+  const double t_cs1 = cs1.iteration_seconds(Grid3(600, 595, 1536));
+  const double ratio = t_joule / t_cs1;
+  EXPECT_GT(ratio, 150.0);
+  EXPECT_LT(ratio, 280.0);
+}
+
+TEST(JouleModel, Fig7SmallMeshStopsScaling) {
+  // 370^3: scaling fails beyond ~8k cores — time stops improving.
+  const JouleModel model;
+  const Grid3 mesh(370, 370, 370);
+  const double t8k = model.iteration_seconds(mesh, 8192);
+  const double t16k = model.iteration_seconds(mesh, 16384);
+  // Less than 15% improvement for doubling the cores.
+  EXPECT_GT(t16k, 0.85 * t8k);
+}
+
+TEST(JouleModel, LargeMeshKeepsScalingFurther) {
+  const JouleModel model;
+  const Grid3 mesh(600, 600, 600);
+  const double t4k = model.iteration_seconds(mesh, 4096);
+  const double t8k = model.iteration_seconds(mesh, 8192);
+  // Still a real speedup at this size.
+  EXPECT_LT(t8k, 0.7 * t4k);
+}
+
+TEST(JouleModel, EfficiencyDegradesMonotonically) {
+  const JouleModel model;
+  const Grid3 mesh(370, 370, 370);
+  double prev = 1.1;
+  for (const int cores : {1024, 2048, 4096, 8192, 16384}) {
+    const double eff = model.efficiency(mesh, cores);
+    EXPECT_LT(eff, prev) << cores;
+    prev = eff;
+  }
+}
+
+TEST(JouleModel, ComputeTermDominatesAtLowCoreCounts) {
+  const JouleModel model;
+  const auto t = model.iteration_time(Grid3(600, 600, 600), 1024);
+  EXPECT_GT(t.compute_s, 10.0 * t.allreduce_s);
+  EXPECT_GT(t.compute_s, 10.0 * t.halo_s);
+}
+
+TEST(JouleModel, CollectivesDominateAtScaleOnSmallMesh) {
+  const JouleModel model;
+  const auto t = model.iteration_time(Grid3(370, 370, 370), 16384);
+  EXPECT_GT(t.allreduce_s, t.compute_s * 0.5);
+}
+
+TEST(PerWatt, WaferBeatsClusterByAboutAnOrderOfMagnitude) {
+  // Section I: "The achieved performance per Watt ... beyond what has been
+  // reported for conventional machines on comparable problems."
+  const CS1Model cs1;
+  const JouleModel joule;
+  const double wafer = cs1.flops_per_watt(Grid3(600, 595, 1536));
+  const double cluster = joule.flops_per_watt(Grid3(600, 600, 600), 16384);
+  EXPECT_GT(wafer, 30e9);  // ~43 GF/W mixed
+  EXPECT_LT(cluster, 15e9); // fp64 memory-bound
+  EXPECT_GT(wafer / cluster, 3.0);
+}
+
+TEST(Balance, CS1MovesBytesPerFlop) {
+  // "can move three bytes to and from memory for every flop"
+  const auto cs1 = cs1_balance();
+  EXPECT_NEAR(cs1.bytes_per_flop_memory(), 3.0, 0.5);
+}
+
+TEST(Balance, ConventionalSystemsOrdersOfMagnitudeWorse) {
+  const auto survey = balance_survey();
+  ASSERT_EQ(survey.size(), 3u);
+  const auto& xeon = survey[0];
+  const auto& cs1 = survey[2];
+  EXPECT_GT(xeon.flops_per_memory_word(),
+            50.0 * cs1.flops_per_memory_word());
+  EXPECT_GT(xeon.flops_per_network_word(),
+            100.0 * cs1.flops_per_network_word());
+}
+
+} // namespace
+} // namespace wss::perfmodel

@@ -1,0 +1,123 @@
+#include "perfmodel/cs1_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stencil/generators.hpp"
+#include "wsekernels/allreduce_program.hpp"
+#include "wsekernels/axpy_dot_program.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss::perfmodel {
+namespace {
+
+TEST(CS1Model, TableIOpsPerPoint) {
+  const OpsPerPoint ops;
+  EXPECT_EQ(ops.total(), 44);
+  EXPECT_EQ(ops.fp16_ops(Mode::Mixed), 40);
+  EXPECT_EQ(ops.fp32_ops(Mode::Mixed), 4);
+  EXPECT_EQ(ops.fp32_ops(Mode::Fp32), 44);
+}
+
+TEST(CS1Model, HeadlineIterationTime) {
+  // Section V: 28.1 us per iteration, std-dev ~0.2%. The model should land
+  // within a few percent.
+  const CS1Model model;
+  const Grid3 mesh(600, 595, 1536);
+  const double us = model.iteration_seconds(mesh) * 1e6;
+  EXPECT_NEAR(us, 28.1, 1.0);
+}
+
+TEST(CS1Model, HeadlinePetaflops) {
+  const CS1Model model;
+  const Grid3 mesh(600, 595, 1536);
+  const double pflops = model.achieved_flops(mesh) / 1e15;
+  EXPECT_NEAR(pflops, 0.86, 0.04);
+}
+
+TEST(CS1Model, AboutOneThirdOfPeak) {
+  const CS1Model model;
+  const double frac = model.peak_fraction(Grid3(600, 595, 1536));
+  EXPECT_GT(frac, 0.28);
+  EXPECT_LT(frac, 0.40);
+}
+
+TEST(CS1Model, AllReduceUnderOnePointFiveMicroseconds) {
+  // Section IV-3: "under 1.5 microseconds" across ~380k cores.
+  const CS1Model model;
+  const double us = model.allreduce_seconds(602, 595) * 1e6;
+  EXPECT_LT(us, 1.75);
+  EXPECT_GT(us, 1.0); // it is diameter-bound, not free
+}
+
+TEST(CS1Model, Fp32ModeSlower) {
+  const CS1Model model;
+  const Grid3 mesh(600, 595, 1536);
+  EXPECT_GT(model.iteration_seconds(mesh, Mode::Fp32),
+            1.5 * model.iteration_seconds(mesh, Mode::Mixed));
+}
+
+TEST(CS1Model, MeshShapeSweepFavorsShallowZ) {
+  // For a fixed fabric, iteration time grows linearly in Z on top of the
+  // Z-independent AllReduce term (which is why deep pencils amortize the
+  // reductions well: 3x the Z costs only ~2.2x the time).
+  const CS1Model model;
+  const double t512 = model.iteration_seconds(Grid3(600, 595, 512));
+  const double t1536 = model.iteration_seconds(Grid3(600, 595, 1536));
+  EXPECT_GT(t1536, 1.9 * t512);
+  EXPECT_LT(t1536, 2.8 * t512);
+}
+
+// --- validation against the cycle-level simulator -------------------------
+
+TEST(CS1ModelValidation, SpmvCyclesWithin25Percent) {
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  const CS1Model model;
+  for (const int z : {32, 64, 128}) {
+    const Grid3 g(6, 6, z);
+    auto ad = make_random_dominant7(g, 0.5, 7);
+    Field3<double> b(g, 1.0);
+    (void)precondition_jacobi(ad, b);
+    const auto a = convert_stencil<fp16_t>(ad);
+    Field3<fp16_t> v(g);
+    Rng rng(3);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+
+    wsekernels::SpMV3DSimulation simulation(a, arch, sim);
+    (void)simulation.run(v);
+    const double measured = static_cast<double>(simulation.last_run_cycles());
+    const double predicted = model.spmv_cycles(z);
+    EXPECT_NEAR(measured, predicted, 0.25 * predicted) << "Z=" << z;
+  }
+}
+
+TEST(CS1ModelValidation, AllReduceCyclesWithin35Percent) {
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  const CS1Model model;
+  for (const int n : {8, 16, 32}) {
+    wsekernels::AllReduceSimulation ar(n, n, arch, sim);
+    const auto result = ar.run(
+        std::vector<float>(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 1.0f));
+    const double measured = static_cast<double>(result.cycles);
+    const double predicted = model.allreduce_cycles(n, n);
+    EXPECT_NEAR(measured, predicted, 0.15 * predicted) << n << "x" << n;
+  }
+}
+
+TEST(CS1ModelValidation, AxpyAndDotCycles) {
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  const CS1Model model;
+  const int z = 256;
+  const auto axpy = wsekernels::time_axpy(4, 4, z, arch, sim);
+  EXPECT_NEAR(static_cast<double>(axpy.cycles), model.axpy_cycles(z),
+              0.25 * model.axpy_cycles(z) + 8.0);
+  const auto dot = wsekernels::time_dot_local(4, 4, z, arch, sim);
+  EXPECT_NEAR(static_cast<double>(dot.cycles), model.dot_local_cycles(z),
+              0.25 * model.dot_local_cycles(z) + 8.0);
+}
+
+} // namespace
+} // namespace wss::perfmodel

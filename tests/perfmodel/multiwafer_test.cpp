@@ -1,0 +1,63 @@
+#include "perfmodel/multiwafer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::perfmodel {
+namespace {
+
+MultiWaferModel make(int wafers) {
+  MultiWaferParams p;
+  p.wafers = wafers;
+  return MultiWaferModel{CS1Model{}, p};
+}
+
+TEST(MultiWafer, CapacityScalesLinearly) {
+  EXPECT_EQ(make(4).max_total_z(), 4 * make(1).max_total_z());
+  // 600x595x4000 does not fit one wafer but fits two.
+  const Grid3 big(600, 595, 4000);
+  EXPECT_FALSE(make(1).fits(big));
+  EXPECT_TRUE(make(2).fits(big));
+}
+
+TEST(MultiWafer, WeakScalingNearlyFlat) {
+  // Growing Z with the wafer count keeps the slab per wafer fixed; the
+  // inter-wafer overhead must stay a small fraction of the iteration.
+  const auto t1 = make(1).iteration_time(Grid3(600, 595, 1536));
+  const auto t4 = make(4).iteration_time(Grid3(600, 595, 4 * 1536));
+  EXPECT_NEAR(t4.compute_s, t1.compute_s, 1e-9);
+  EXPECT_LT(t4.total(), 1.35 * t1.total());
+  EXPECT_GT(t4.total(), t1.total()); // overhead exists, it isn't free
+}
+
+TEST(MultiWafer, StrongScalingShrinksCompute) {
+  // Fixed headline mesh split over more wafers: compute shrinks with Z/N,
+  // overheads grow slowly; 4 wafers should still win end to end.
+  const Grid3 mesh(600, 595, 1536);
+  const double t1 = make(1).iteration_time(mesh).total();
+  const double t4 = make(4).iteration_time(mesh).total();
+  EXPECT_LT(t4, t1);
+  // But far from perfectly: the Z-independent AllReduce floor remains.
+  EXPECT_GT(t4, t1 / 4.0);
+}
+
+TEST(MultiWafer, SingleWaferMatchesBaseModel) {
+  const Grid3 mesh(600, 595, 1536);
+  const CS1Model base;
+  EXPECT_NEAR(make(1).iteration_time(mesh).total(),
+              base.iteration_seconds(mesh), 1e-12);
+  EXPECT_EQ(make(1).iteration_time(mesh).halo_s, 0.0);
+}
+
+TEST(MultiWafer, HaloCostMatchesPlaneOverLink) {
+  MultiWaferParams p;
+  p.wafers = 2;
+  p.link_bandwidth = 100e9;
+  p.link_latency = 2e-6;
+  const MultiWaferModel m{CS1Model{}, p};
+  const auto t = m.iteration_time(Grid3(600, 595, 1536));
+  const double plane = 2.0 * 600 * 595;
+  EXPECT_NEAR(t.halo_s, 2.0 * (plane / 100e9 + 2e-6), 1e-12);
+}
+
+} // namespace
+} // namespace wss::perfmodel

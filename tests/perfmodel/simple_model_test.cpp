@@ -1,0 +1,59 @@
+#include "perfmodel/simple_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::perfmodel {
+namespace {
+
+TEST(SimpleModel, TableIIRowTotals) {
+  const SimpleCycleTable t;
+  // Component sums vs the published Total column (the paper's own table is
+  // internally inconsistent by +-2 in two rows; we track both).
+  EXPECT_EQ(t.initialization.total_lo(), 45);
+  EXPECT_EQ(t.initialization.total_hi(), 64);
+  EXPECT_EQ(t.momentum.total_hi(), 213);
+  EXPECT_NEAR(t.momentum.total_lo(), t.momentum.published_total_lo, 2);
+  EXPECT_EQ(t.continuity.total_hi(), 81);
+  EXPECT_NEAR(t.continuity.total_lo(), t.continuity.published_total_lo, 2);
+  EXPECT_EQ(t.field_update.total_lo(), 4);
+  EXPECT_EQ(t.field_update.total_hi(), 6);
+}
+
+TEST(SimpleModel, Projects80To125StepsPerSecond) {
+  // Section VI-A: 600^3, 15 SIMPLE iterations per step -> 80-125 steps/s.
+  const SimpleModel model{CS1Model{}, JouleModel{}};
+  const auto p = model.project(Grid3(600, 600, 600));
+  // Our range must overlap the paper's [80, 125].
+  EXPECT_LT(p.steps_per_second_lo, 125.0);
+  EXPECT_GT(p.steps_per_second_hi, 80.0);
+  // And be in the same ballpark (tens to ~150 steps/s).
+  EXPECT_GT(p.steps_per_second_lo, 40.0);
+  EXPECT_LT(p.steps_per_second_hi, 200.0);
+}
+
+TEST(SimpleModel, Above200xFasterThanJoule16k) {
+  const SimpleModel model{CS1Model{}, JouleModel{}};
+  const auto p = model.project(Grid3(600, 600, 600));
+  EXPECT_GT(p.speedup_vs_joule_16k, 200.0);
+}
+
+TEST(SimpleModel, FewerSimpleIterationsRunFaster) {
+  const SimpleModel model{CS1Model{}, JouleModel{}};
+  SimpleRunParams five;
+  five.simple_iterations = 5;
+  SimpleRunParams twenty;
+  twenty.simple_iterations = 20;
+  const auto p5 = model.project(Grid3(600, 600, 600), five);
+  const auto p20 = model.project(Grid3(600, 600, 600), twenty);
+  EXPECT_GT(p5.steps_per_second_lo, 2.0 * p20.steps_per_second_lo);
+}
+
+TEST(SimpleModel, DeeperMeshScalesLinearly) {
+  const SimpleModel model{CS1Model{}, JouleModel{}};
+  const auto p300 = model.project(Grid3(600, 600, 300));
+  const auto p600 = model.project(Grid3(600, 600, 600));
+  EXPECT_NEAR(p300.seconds_hi / p600.seconds_hi, 0.5, 0.05);
+}
+
+} // namespace
+} // namespace wss::perfmodel

@@ -1,0 +1,179 @@
+#include "solver/bicgstab.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+
+namespace wss {
+namespace {
+
+template <typename T>
+std::vector<T> flat(const Field3<T>& f) {
+  return std::vector<T>(f.begin(), f.end());
+}
+
+TEST(Bicgstab, SolvesPoissonDouble) {
+  const Grid3 g(8, 8, 8);
+  auto a = make_poisson7(g);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+  Stencil7Operator<double> op(a);
+
+  std::vector<double> x(g.size(), 0.0);
+  const auto bvec = flat(b);
+  SolveControls c;
+  c.max_iterations = 200;
+  c.tolerance = 1e-10;
+  const auto result = bicgstab<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(bvec), std::span<double>(x), c);
+
+  EXPECT_EQ(result.reason, StopReason::Converged);
+  double max_err = 0.0;
+  const auto xr = flat(xref);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    max_err = std::max(max_err, std::abs(x[i] - xr[i]));
+  }
+  EXPECT_LT(max_err, 1e-7);
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem) {
+  // The system class BiCGStab exists for: upwinded convection-diffusion.
+  const Grid3 g(6, 6, 6);
+  auto a = make_convection_diffusion7(g, 3.0, -1.0, 0.5);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+  Stencil7Operator<double> op(a);
+
+  std::vector<double> x(g.size(), 0.0);
+  const auto bvec = flat(b);
+  SolveControls c;
+  c.max_iterations = 300;
+  c.tolerance = 1e-10;
+  const auto result = bicgstab<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(bvec), std::span<double>(x), c);
+  EXPECT_EQ(result.reason, StopReason::Converged);
+  EXPECT_LT(true_relative_residual<double>(op, std::span<const double>(bvec),
+                                           std::span<const double>(x)),
+            1e-9);
+}
+
+TEST(Bicgstab, TableIOperationCensus) {
+  // Table I: per meshpoint per iteration, with a unit diagonal:
+  //   Matvec (x2): 12 mul + 12 add ; Dot (x4): 4 + 4 ; AXPY (x6): 6 + 6
+  //   = 22 adds + 22 muls = 44 ops.
+  const Grid3 g(6, 6, 6);
+  auto a = make_random_dominant7(g, 0.4, 5);
+  Field3<double> b0(g, 1.0);
+  auto bp = precondition_jacobi(a, b0);
+  auto ah = convert_stencil<fp16_t>(a);
+  const auto bh = convert_field<fp16_t>(bp);
+  Stencil7Operator<fp16_t> op(ah);
+
+  std::vector<fp16_t> x(g.size(), fp16_t(0.0));
+  const auto bvec = flat(bh);
+  SolveControls c;
+  c.max_iterations = 3;
+  c.tolerance = 0.0; // run exactly 3 iterations
+  const auto result = bicgstab<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const fp16_t>(bvec), std::span<fp16_t>(x), c);
+
+  ASSERT_EQ(result.iterations, 3);
+  const double n = static_cast<double>(g.size());
+  const double iters = 3.0;
+  // Subtract setup costs (initial residual: 1 matvec + 1 subtract; initial
+  // dot): measured per-iteration counts.
+  FlopCounter setup;
+  setup.hp_mul = 6 * g.size();
+  setup.hp_add = 7 * g.size(); // matvec adds + residual subtract
+  setup.sp_add = g.size();     // initial (r0, r) dot accumulate
+  setup.hp_mul += g.size();    // its multiplies
+
+  const double hp_mul =
+      static_cast<double>(result.flops.hp_mul - setup.hp_mul) / (n * iters);
+  const double hp_add =
+      static_cast<double>(result.flops.hp_add - setup.hp_add) / (n * iters);
+  const double sp_add =
+      static_cast<double>(result.flops.sp_add - setup.sp_add) / (n * iters);
+
+  EXPECT_DOUBLE_EQ(hp_mul, 22.0); // 12 matvec + 4 dot + 6 axpy multiplies
+  EXPECT_DOUBLE_EQ(hp_add, 18.0); // 12 matvec + 6 axpy fp16 adds
+  EXPECT_DOUBLE_EQ(sp_add, 4.0);  // 4 dot accumulations in fp32
+  // Total ops per meshpoint per iteration = 44 (Table I).
+  EXPECT_DOUBLE_EQ(hp_mul + hp_add + sp_add, 44.0);
+}
+
+TEST(Bicgstab, ZeroRhsGivesZeroSolution) {
+  const Grid3 g(4, 4, 4);
+  auto a = make_poisson7(g);
+  Stencil7Operator<double> op(a);
+  std::vector<double> b(g.size(), 0.0);
+  std::vector<double> x(g.size(), 3.0);
+  const auto result = bicgstab<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(b), std::span<double>(x), {});
+  EXPECT_EQ(result.reason, StopReason::Converged);
+  for (const double xi : x) EXPECT_EQ(xi, 0.0);
+}
+
+TEST(Bicgstab, ResidualsMonotoneForEasySystem) {
+  const Grid3 g(5, 5, 5);
+  auto a = make_momentum_like7(g, 1.0, 8);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+  Stencil7Operator<double> op(a);
+  std::vector<double> x(g.size(), 0.0);
+  const auto bvec = flat(b);
+  SolveControls c;
+  c.max_iterations = 30;
+  c.tolerance = 1e-12;
+  const auto result = bicgstab<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(bvec), std::span<double>(x), c);
+  EXPECT_EQ(result.reason, StopReason::Converged);
+  // Strongly dominant system: convergence within a handful of iterations.
+  EXPECT_LE(result.iterations, 15);
+}
+
+TEST(Bicgstab, StagnationDetection) {
+  // Half precision on a modest system stagnates well above 1e-8.
+  const Grid3 g(6, 6, 6);
+  auto a = make_momentum_like7(g, 0.3, 77);
+  Field3<double> b0(g);
+  for (std::size_t i = 0; i < b0.size(); ++i) b0[i] = std::sin(0.17 * static_cast<double>(i));
+  auto bp = precondition_jacobi(a, b0);
+  auto ah = convert_stencil<fp16_t>(a);
+  const auto bh = convert_field<fp16_t>(bp);
+  Stencil7Operator<fp16_t> op(ah);
+
+  std::vector<fp16_t> x(g.size(), fp16_t(0.0));
+  const auto bvec = flat(bh);
+  SolveControls c;
+  c.max_iterations = 100;
+  c.tolerance = 1e-10;
+  c.stagnation_window = 5;
+  const auto result = bicgstab<HalfPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const fp16_t>(bvec), std::span<fp16_t>(x), c);
+  EXPECT_NE(result.reason, StopReason::Converged);
+  EXPECT_LT(result.iterations, 100); // stopped early, not at the cap
+}
+
+} // namespace
+} // namespace wss

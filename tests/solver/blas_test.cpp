@@ -1,0 +1,98 @@
+#include "solver/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Blas, AxpyDouble) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {10.0, 20.0, 30.0};
+  FlopCounter fc;
+  axpy(2.0, std::span<const double>(x), std::span<double>(y), &fc);
+  EXPECT_EQ(y[0], 12.0);
+  EXPECT_EQ(y[1], 24.0);
+  EXPECT_EQ(y[2], 36.0);
+  EXPECT_EQ(fc.dp_add, 3u);
+  EXPECT_EQ(fc.dp_mul, 3u);
+}
+
+TEST(Blas, AxpyFp16UsesFmacRounding) {
+  std::vector<fp16_t> x = {fp16_t(1.0 + std::ldexp(1.0, -10))};
+  std::vector<fp16_t> y = {fp16_t(-1.0)};
+  const fp16_t a = x[0];
+  axpy(a, std::span<const fp16_t>(x), std::span<fp16_t>(y));
+  EXPECT_EQ(y[0].bits(), fmac(a, a, fp16_t(-1.0)).bits());
+}
+
+TEST(Blas, XpayShape) {
+  std::vector<float> x = {1.0f, 2.0f};
+  std::vector<float> z = {10.0f, 10.0f};
+  std::vector<float> y(2);
+  xpay(std::span<const float>(x), -0.5f, std::span<const float>(z),
+       std::span<float>(y));
+  EXPECT_EQ(y[0], -4.0f);
+  EXPECT_EQ(y[1], -3.0f);
+}
+
+TEST(Blas, DotMixedCountsWidths) {
+  std::vector<fp16_t> a(8, fp16_t(1.0));
+  std::vector<fp16_t> b(8, fp16_t(2.0));
+  FlopCounter fc;
+  const float d = dot<MixedPrecision>(std::span<const fp16_t>(a),
+                                      std::span<const fp16_t>(b), &fc);
+  EXPECT_EQ(d, 16.0f);
+  EXPECT_EQ(fc.hp_mul, 8u); // fp16 multiplies
+  EXPECT_EQ(fc.sp_add, 8u); // fp32 adds — exactly Table I's mixed dot row
+  EXPECT_EQ(fc.hp_add, 0u);
+}
+
+TEST(Blas, DotDoubleMatchesReference) {
+  Rng rng(3);
+  std::vector<double> a(100), b(100);
+  double expected = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    a[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+    b[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+    expected += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(dot<DoublePrecision>(std::span<const double>(a),
+                                   std::span<const double>(b)),
+              expected, 1e-12);
+}
+
+TEST(Blas, Norm2) {
+  std::vector<double> v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2<DoublePrecision>(std::span<const double>(v)), 5.0);
+}
+
+TEST(Blas, ConvertBetweenTypes) {
+  std::vector<double> d = {0.1, 1.0, -3.5};
+  const auto h = convert<fp16_t>(std::span<const double>(d));
+  EXPECT_EQ(h[0].bits(), fp16_t(0.1).bits());
+  EXPECT_EQ(h[1].to_double(), 1.0);
+  const auto back = convert<double>(std::span<const fp16_t>(h));
+  EXPECT_EQ(back[1], 1.0);
+  EXPECT_EQ(back[2], -3.5);
+}
+
+TEST(Blas, FlopCounterAggregation) {
+  FlopCounter a;
+  a.hp_add = 1;
+  a.sp_mul = 2;
+  FlopCounter b;
+  b.hp_add = 10;
+  b.dp_add = 5;
+  a += b;
+  EXPECT_EQ(a.hp_add, 11u);
+  EXPECT_EQ(a.sp_mul, 2u);
+  EXPECT_EQ(a.dp_add, 5u);
+  EXPECT_EQ(a.total(), 18u);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,79 @@
+#include "solver/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+
+namespace wss {
+namespace {
+
+TEST(ConjugateGradient, SolvesSpdPoisson) {
+  const Grid3 g(7, 7, 7);
+  auto a = make_poisson7(g);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+  Stencil7Operator<double> op(a);
+
+  std::vector<double> x(g.size(), 0.0);
+  std::vector<double> bvec(b.begin(), b.end());
+  SolveControls c;
+  c.max_iterations = 300;
+  c.tolerance = 1e-11;
+  const auto result = conjugate_gradient<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(bvec), std::span<double>(x), c);
+  EXPECT_EQ(result.reason, StopReason::Converged);
+  EXPECT_LT(true_relative_residual<double>(op, std::span<const double>(bvec),
+                                           std::span<const double>(x)),
+            1e-10);
+}
+
+TEST(ConjugateGradient, MatchesBicgstabOnSpdSystem) {
+  const Grid3 g(5, 5, 5);
+  auto a = make_poisson7(g);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+  Stencil7Operator<double> op(a);
+  std::vector<double> bvec(b.begin(), b.end());
+
+  std::vector<double> x_cg(g.size(), 0.0);
+  std::vector<double> x_bi(g.size(), 0.0);
+  SolveControls c;
+  c.max_iterations = 300;
+  c.tolerance = 1e-12;
+  auto apply = [&](std::span<const double> v, std::span<double> y,
+                   FlopCounter* fc) { op(v, y, fc); };
+  conjugate_gradient<DoublePrecision>(apply, std::span<const double>(bvec),
+                                      std::span<double>(x_cg), c);
+  bicgstab<DoublePrecision>(apply, std::span<const double>(bvec),
+                            std::span<double>(x_bi), c);
+  for (std::size_t i = 0; i < x_cg.size(); ++i) {
+    EXPECT_NEAR(x_cg[i], x_bi[i], 1e-8);
+  }
+}
+
+TEST(ConjugateGradient, ResidualHistoryDecreasesOverall) {
+  const Grid3 g(6, 6, 6);
+  auto a = make_poisson7(g);
+  Field3<double> b(g, 1.0);
+  Stencil7Operator<double> op(a);
+  std::vector<double> bvec(b.begin(), b.end());
+  std::vector<double> x(g.size(), 0.0);
+  SolveControls c;
+  c.max_iterations = 50;
+  c.tolerance = 1e-12;
+  const auto result = conjugate_gradient<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(bvec), std::span<double>(x), c);
+  ASSERT_GE(result.relative_residuals.size(), 2u);
+  EXPECT_LT(result.relative_residuals.back(),
+            result.relative_residuals.front());
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,104 @@
+#include "solver/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+
+namespace wss {
+namespace {
+
+TEST(IterativeRefinement, RecoversAccuracyFromMixedInnerSolve) {
+  // The paper (Section VI-B) points to iterative refinement as the scheme
+  // that recovers accuracy beyond the mixed-precision plateau near 1e-2.
+  const Grid3 g(8, 8, 8);
+  auto a = make_momentum_like7(g, 0.5, 13);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+
+  // Precondition in fp64, then narrow to fp16 for the inner solver.
+  auto ap = a;
+  Field3<double> b0 = b;
+  auto bp = precondition_jacobi(ap, b0);
+  const auto ah = convert_stencil<fp16_t>(ap);
+  Stencil7Operator<fp16_t> op_lo(ah);
+  Stencil7Operator<double> op_hi(ap);
+
+  std::vector<double> bvec(bp.begin(), bp.end());
+  std::vector<double> x(g.size(), 0.0);
+
+  SolveControls inner;
+  inner.max_iterations = 12;
+  inner.tolerance = 1e-3;
+
+  const auto result = iterative_refinement<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op_lo(v, y, fc);
+      },
+      [&](std::span<const double> v, std::span<double> y) {
+        op_hi(v, y, nullptr);
+      },
+      std::span<const double>(bvec), std::span<double>(x), 1e-8, 20, inner);
+
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.outer_residuals.back(), 1e-8);
+  // The pure mixed solve alone cannot reach 1e-8 (it plateaus near 1e-2,
+  // Fig. 9), so refinement must have taken more than one outer round.
+  EXPECT_GE(result.outer_iterations, 2);
+}
+
+TEST(IterativeRefinement, OuterResidualsDecrease) {
+  const Grid3 g(6, 6, 6);
+  auto a = make_momentum_like7(g, 0.8, 31);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+  auto ap = a;
+  Field3<double> b0 = b;
+  auto bp = precondition_jacobi(ap, b0);
+  const auto ah = convert_stencil<fp16_t>(ap);
+  Stencil7Operator<fp16_t> op_lo(ah);
+  Stencil7Operator<double> op_hi(ap);
+
+  std::vector<double> bvec(bp.begin(), bp.end());
+  std::vector<double> x(g.size(), 0.0);
+  SolveControls inner;
+  inner.max_iterations = 10;
+  inner.tolerance = 1e-3;
+  const auto result = iterative_refinement<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op_lo(v, y, fc);
+      },
+      [&](std::span<const double> v, std::span<double> y) {
+        op_hi(v, y, nullptr);
+      },
+      std::span<const double>(bvec), std::span<double>(x), 1e-10, 15, inner);
+  ASSERT_GE(result.outer_residuals.size(), 2u);
+  for (std::size_t i = 1; i < result.outer_residuals.size(); ++i) {
+    EXPECT_LT(result.outer_residuals[i], result.outer_residuals[i - 1] * 1.1);
+  }
+}
+
+TEST(IterativeRefinement, ZeroRhs) {
+  const Grid3 g(3, 3, 3);
+  auto a = make_poisson7(g);
+  Field3<double> b(g, 0.0);
+  auto bp = precondition_jacobi(a, b);
+  const auto ah = convert_stencil<fp16_t>(a);
+  Stencil7Operator<fp16_t> op_lo(ah);
+  Stencil7Operator<double> op_hi(a);
+  std::vector<double> bvec(bp.begin(), bp.end());
+  std::vector<double> x(g.size(), 1.0);
+  const auto result = iterative_refinement<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op_lo(v, y, fc);
+      },
+      [&](std::span<const double> v, std::span<double> y) {
+        op_hi(v, y, nullptr);
+      },
+      std::span<const double>(bvec), std::span<double>(x), 1e-10, 5, {});
+  EXPECT_TRUE(result.converged);
+  for (const double xi : x) EXPECT_EQ(xi, 0.0);
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,77 @@
+#include "stencil/generators.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace wss {
+namespace {
+
+/// Diagonal dominance factor: min over rows of |diag| / sum |offdiag|.
+double dominance_factor(const Stencil7<double>& a) {
+  double worst = 1e300;
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    const double off = std::abs(a.xp[i]) + std::abs(a.xm[i]) +
+                       std::abs(a.yp[i]) + std::abs(a.ym[i]) +
+                       std::abs(a.zp[i]) + std::abs(a.zm[i]);
+    worst = std::min(worst, std::abs(a.diag[i]) / off);
+  }
+  return worst;
+}
+
+TEST(Generators, ConvectionDiffusionIsNonsymmetric) {
+  const Grid3 g(4, 4, 4);
+  const auto a = make_convection_diffusion7(g, 2.0, 0.0, 0.0);
+  // Upwinding loads the upstream coefficient: xm gets the convective flux.
+  EXPECT_LT(a.xm(1, 1, 1), a.xp(1, 1, 1)); // more negative upstream
+  EXPECT_NE(a.xp(1, 1, 1), a.xm(1, 1, 1));
+  // y and z untouched by this velocity.
+  EXPECT_EQ(a.yp(1, 1, 1), a.ym(1, 1, 1));
+}
+
+TEST(Generators, ConvectionDiffusionDominant) {
+  const auto a = make_convection_diffusion7(Grid3(3, 3, 3), 1.0, -2.0, 0.5);
+  EXPECT_GE(dominance_factor(a), 1.0);
+}
+
+TEST(Generators, MomentumLikeDominance) {
+  const auto a = make_momentum_like7(Grid3(5, 5, 5), 0.5, 42);
+  EXPECT_GE(dominance_factor(a), 1.49);
+}
+
+TEST(Generators, MomentumLikeDeterministic) {
+  const auto a = make_momentum_like7(Grid3(3, 3, 3), 0.2, 9);
+  const auto b = make_momentum_like7(Grid3(3, 3, 3), 0.2, 9);
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    EXPECT_EQ(a.diag[i], b.diag[i]);
+    EXPECT_EQ(a.xp[i], b.xp[i]);
+  }
+}
+
+TEST(Generators, RandomDominantRespectsFactor) {
+  const auto a = make_random_dominant7(Grid3(4, 4, 4), 0.25, 17);
+  EXPECT_GE(dominance_factor(a), 1.249);
+  EXPECT_LE(dominance_factor(a), 1.251);
+}
+
+TEST(Generators, SmoothSolutionVanishesNowhereInside) {
+  const auto u = make_smooth_solution(Grid3(5, 5, 5));
+  for (const double v : u) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Generators, RhsConsistentWithSolution) {
+  const Grid3 g(4, 4, 4);
+  const auto a = make_poisson7(g);
+  const auto x = make_smooth_solution(g);
+  const auto b = make_rhs(a, x);
+  Field3<double> ax(g);
+  spmv7(a, x, ax);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b[i], ax[i]);
+  }
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,92 @@
+#include "stencil/stencil7.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "stencil/generators.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Stencil7, PoissonRowSums) {
+  // Interior rows of the Laplacian sum to zero; boundary rows are positive
+  // (Dirichlet dominance).
+  const Grid3 g(4, 4, 4);
+  const auto a = make_poisson7(g);
+  Field3<double> ones(g, 1.0);
+  Field3<double> rowsum(g);
+  spmv7(a, ones, rowsum);
+  EXPECT_EQ(rowsum(1, 1, 1), 0.0);
+  EXPECT_EQ(rowsum(2, 2, 2), 0.0);
+  EXPECT_GT(rowsum(0, 0, 0), 0.0);
+  EXPECT_GT(rowsum(3, 3, 3), 0.0);
+}
+
+TEST(Stencil7, SpmvMatchesManualExpansion) {
+  const Grid3 g(3, 3, 3);
+  auto a = make_random_dominant7(g, 0.2, 11);
+  Field3<double> v(g);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = 0.1 * static_cast<double>(i) - 1.0;
+  Field3<double> u(g);
+  spmv7(a, v, u);
+  // Expand row (1,1,1) by hand.
+  const double expected = a.diag(1, 1, 1) * v(1, 1, 1) +
+                          a.xp(1, 1, 1) * v(2, 1, 1) +
+                          a.xm(1, 1, 1) * v(0, 1, 1) +
+                          a.yp(1, 1, 1) * v(1, 2, 1) +
+                          a.ym(1, 1, 1) * v(1, 0, 1) +
+                          a.zp(1, 1, 1) * v(1, 1, 2) +
+                          a.zm(1, 1, 1) * v(1, 1, 0);
+  EXPECT_DOUBLE_EQ(u(1, 1, 1), expected);
+}
+
+TEST(Stencil7, JacobiPreconditioningUnitDiagonal) {
+  const Grid3 g(4, 3, 5);
+  auto a = make_random_dominant7(g, 0.3, 3);
+  Field3<double> x(g);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(0.3 * static_cast<double>(i));
+  Field3<double> b = make_rhs(a, x);
+
+  // Preconditioned system has the same solution.
+  auto ap = a;
+  Field3<double> bp = precondition_jacobi(ap, b);
+  EXPECT_TRUE(ap.unit_diagonal);
+  for (std::size_t i = 0; i < ap.num_points(); ++i) {
+    EXPECT_EQ(ap.diag[i], 1.0);
+  }
+  Field3<double> r(g);
+  spmv7(ap, x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i], bp[i], 1e-12);
+  }
+  EXPECT_EQ(ap.stored_diagonals(), 6);
+  EXPECT_EQ(a.stored_diagonals(), 7);
+}
+
+TEST(Stencil7, ConvertToFp16RoundsCoefficients) {
+  const Grid3 g(2, 2, 2);
+  auto a = make_poisson7(g);
+  const auto h = convert_stencil<fp16_t>(a);
+  EXPECT_EQ(h.diag(0, 0, 0).to_double(), 6.0);
+  EXPECT_EQ(h.xp(1, 1, 1).to_double(), -1.0);
+}
+
+TEST(Stencil7, DirichletClosure) {
+  // A vector supported only at a corner: SpMV spreads to face neighbors
+  // only, never wraps around.
+  const Grid3 g(3, 3, 3);
+  const auto a = make_poisson7(g);
+  Field3<double> v(g, 0.0);
+  v(0, 0, 0) = 1.0;
+  Field3<double> u(g);
+  spmv7(a, v, u);
+  EXPECT_EQ(u(0, 0, 0), 6.0);
+  EXPECT_EQ(u(1, 0, 0), -1.0);
+  EXPECT_EQ(u(0, 1, 0), -1.0);
+  EXPECT_EQ(u(0, 0, 1), -1.0);
+  EXPECT_EQ(u(2, 0, 0), 0.0);
+  EXPECT_EQ(u(2, 2, 2), 0.0);
+}
+
+} // namespace
+} // namespace wss

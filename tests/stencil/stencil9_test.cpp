@@ -1,0 +1,60 @@
+#include "stencil/stencil9.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/generators.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Stencil9, Poisson9RowSums) {
+  const Grid2 g(5, 5);
+  const auto a = make_poisson9(g);
+  Field2<double> ones(g, 1.0);
+  Field2<double> rowsum(g);
+  spmv9(a, ones, rowsum);
+  EXPECT_NEAR(rowsum(2, 2), 0.0, 1e-14);
+  EXPECT_GT(rowsum(0, 0), 0.0);
+}
+
+TEST(Stencil9, SpmvManualExpansion) {
+  const Grid2 g(3, 3);
+  auto a = make_random_dominant9(g, 0.1, 7);
+  Field2<double> v(g);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = 0.5 * static_cast<double>(i) - 2.0;
+  Field2<double> u(g);
+  spmv9(a, v, u);
+  double expected = 0.0;
+  for (int k = 0; k < 9; ++k) {
+    const auto [dx, dy] = kStencil9Offsets[static_cast<std::size_t>(k)];
+    expected += a.coeff[static_cast<std::size_t>(k)](1, 1) * v(1 + dx, 1 + dy);
+  }
+  EXPECT_DOUBLE_EQ(u(1, 1), expected);
+}
+
+TEST(Stencil9, JacobiPreconditioning) {
+  const Grid2 g(6, 4);
+  auto a = make_random_dominant9(g, 0.5, 21);
+  Field2<double> x = make_smooth_solution(g);
+  Field2<double> b = make_rhs(a, x);
+  Field2<double> bp = precondition_jacobi(a, b);
+  EXPECT_TRUE(a.unit_diagonal);
+  Field2<double> r(g);
+  spmv9(a, x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i], bp[i], 1e-12);
+  }
+}
+
+TEST(Stencil9, OffsetTableCenterIsIndex4) {
+  EXPECT_EQ(kStencil9Offsets[4][0], 0);
+  EXPECT_EQ(kStencil9Offsets[4][1], 0);
+  // All 9 offsets distinct and within the 3x3 neighborhood.
+  for (const auto& o : kStencil9Offsets) {
+    EXPECT_LE(std::abs(o[0]), 1);
+    EXPECT_LE(std::abs(o[1]), 1);
+  }
+}
+
+} // namespace
+} // namespace wss

@@ -1,0 +1,137 @@
+#include "wse/route_compiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::wse {
+namespace {
+
+TEST(Tessellation, FiveColorPropertyHolds) {
+  // Fig. 5: at every tile the outgoing color differs from all four incoming
+  // colors and the incoming colors are pairwise distinct.
+  EXPECT_EQ(verify_tessellation(8, 8), 0);
+  EXPECT_EQ(verify_tessellation(5, 5), 0);
+  EXPECT_EQ(verify_tessellation(13, 7), 0);
+  EXPECT_EQ(verify_tessellation(602, 595), 0); // the paper's full fabric
+}
+
+TEST(Tessellation, UsesExactlyFiveColors) {
+  bool used[8] = {};
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      const Color c = tessellation_color(x, y);
+      ASSERT_LT(c, kTessellationColors);
+      used[c] = true;
+    }
+  }
+  for (int c = 0; c < kTessellationColors; ++c) EXPECT_TRUE(used[c]);
+}
+
+TEST(SpmvRoutes, InteriorTileForwardsToAllNeighbors) {
+  const auto table = compile_spmv_routes(3, 3, 8, 8);
+  const auto& own = table.rule(tessellation_color(3, 3));
+  EXPECT_TRUE(own.forwards_to(Dir::North));
+  EXPECT_TRUE(own.forwards_to(Dir::South));
+  EXPECT_TRUE(own.forwards_to(Dir::East));
+  EXPECT_TRUE(own.forwards_to(Dir::West));
+  // Loopback into the z-plus and main-diagonal channels.
+  ASSERT_EQ(own.deliver_channels.size(), 2u);
+  EXPECT_EQ(own.deliver_channels[0], kChanLoopZp);
+  EXPECT_EQ(own.deliver_channels[1], kChanLoopC);
+}
+
+TEST(SpmvRoutes, CornerTileOnlyForwardsInbounds) {
+  const auto table = compile_spmv_routes(0, 0, 8, 8);
+  const auto& own = table.rule(tessellation_color(0, 0));
+  EXPECT_FALSE(own.forwards_to(Dir::North));
+  EXPECT_FALSE(own.forwards_to(Dir::West));
+  EXPECT_TRUE(own.forwards_to(Dir::South));
+  EXPECT_TRUE(own.forwards_to(Dir::East));
+}
+
+TEST(SpmvRoutes, NeighborColorsDeliverLocally) {
+  const auto table = compile_spmv_routes(4, 4, 9, 9);
+  for (const auto [nx, ny] :
+       {std::pair{5, 4}, std::pair{3, 4}, std::pair{4, 5}, std::pair{4, 3}}) {
+    const Color c = tessellation_color(nx, ny);
+    const auto& rule = table.rule(c);
+    EXPECT_EQ(rule.forward_mask, 0);
+    ASSERT_EQ(rule.deliver_channels.size(), 1u);
+    EXPECT_EQ(rule.deliver_channels[0], static_cast<int>(c));
+  }
+}
+
+TEST(AllReduceGeometry, CenterPairAndCounts) {
+  const auto g = allreduce_geometry(8, 8);
+  EXPECT_EQ(g.cxl, 3);
+  EXPECT_EQ(g.cxr, 4);
+  EXPECT_EQ(g.cyt, 3);
+  EXPECT_EQ(g.cyb, 4);
+  EXPECT_EQ(g.west_count(), 4);
+  EXPECT_EQ(g.east_count(8), 4);
+  EXPECT_EQ(g.north_count(), 4);
+  EXPECT_EQ(g.south_count(8), 4);
+}
+
+TEST(AllReduceGeometry, OddSizes) {
+  const auto g = allreduce_geometry(7, 5);
+  EXPECT_EQ(g.cxr, g.cxl + 1);
+  EXPECT_EQ(g.west_count() + g.east_count(7), 7);
+  EXPECT_EQ(g.north_count() + g.south_count(5), 5);
+}
+
+TEST(AllReduceRoutes, RowFlowsTowardCenter) {
+  RoutingTable t0;
+  add_allreduce_routes(t0, 0, 2, 8, 8);
+  EXPECT_TRUE(t0.rule(kColorRowReduce).forwards_to(Dir::East));
+
+  RoutingTable t7;
+  add_allreduce_routes(t7, 7, 2, 8, 8);
+  EXPECT_TRUE(t7.rule(kColorRowReduce).forwards_to(Dir::West));
+
+  RoutingTable tc;
+  add_allreduce_routes(tc, 3, 2, 8, 8);
+  EXPECT_EQ(tc.rule(kColorRowReduce).forward_mask, 0);
+  ASSERT_EQ(tc.rule(kColorRowReduce).deliver_channels.size(), 1u);
+}
+
+TEST(AllReduceRoutes, BroadcastReachesEveryTileOnce) {
+  // Walk the broadcast routing as a graph from the root and check each tile
+  // is delivered exactly one copy.
+  // Each tile that processes a copy delivers locally and forwards per its
+  // rule; in a correct tree every tile processes exactly one copy. Walk
+  // copies from the root with a hop cap to catch accidental cycles.
+  const int w = 9;
+  const int h = 6;
+  const auto g = allreduce_geometry(w, h);
+  std::vector<int> delivered(static_cast<std::size_t>(w * h), 0);
+  std::vector<std::pair<int, int>> work = {{g.cxr, g.cyb}};
+  int hops = 0;
+  while (!work.empty()) {
+    ASSERT_LT(++hops, 10 * w * h) << "broadcast routing has a cycle";
+    const auto [x, y] = work.back();
+    work.pop_back();
+    RoutingTable t;
+    add_allreduce_routes(t, x, y, w, h);
+    const auto& rule = t.rule(kColorBcast);
+    delivered[static_cast<std::size_t>(y * w + x)] +=
+        static_cast<int>(rule.deliver_channels.size());
+    for (const Dir d : kMeshDirs) {
+      if (!rule.forwards_to(d)) continue;
+      const auto [dx, dy] = step(d);
+      const int nx = x + dx;
+      const int ny = y + dy;
+      ASSERT_TRUE(nx >= 0 && nx < w && ny >= 0 && ny < h)
+          << "broadcast forwards off-fabric at (" << x << "," << y << ")";
+      work.push_back({nx, ny});
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      EXPECT_EQ(delivered[static_cast<std::size_t>(y * w + x)], 1)
+          << "tile (" << x << "," << y << ")";
+    }
+  }
+}
+
+} // namespace
+} // namespace wss::wse

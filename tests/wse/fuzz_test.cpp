@@ -1,0 +1,257 @@
+// Property/fuzz tests of the fabric: randomized point-to-point routes with
+// dimension-ordered paths deliver every word in order; the SpMV and
+// AllReduce programs stay correct under pathologically small queue depths
+// (failure injection for the backpressure machinery); kernel programs are
+// deadlock-free across random fabric shapes.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stencil/generators.hpp"
+#include "wse/fabric.hpp"
+#include "wse/route_compiler.hpp"
+#include "wsekernels/allreduce_program.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss::wse {
+namespace {
+
+TileProgram sender(Color color, int len) {
+  TileProgram prog;
+  MemAllocator mem(48 * 1024);
+  const int buf = mem.allocate(len, DType::F16);
+  const int t_src = prog.add_tensor({buf, len, 1, DType::F16, 0});
+  const int f_tx =
+      prog.add_fabric({color, len, DType::F16, 0, kNoTask, TrigAction::None});
+  Task t{"send", false, false, false, {}};
+  Instr s{};
+  s.op = OpKind::Send;
+  s.src1 = t_src;
+  s.fabric = f_tx;
+  t.steps.push_back({TaskStep::Kind::Sync, -1, s, kNoTask});
+  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  prog.memory_halfwords = mem.used_halfwords();
+  return prog;
+}
+
+TileProgram receiver(int channel, int len) {
+  TileProgram prog;
+  MemAllocator mem(48 * 1024);
+  const int buf = mem.allocate(len, DType::F16);
+  const int t_dst = prog.add_tensor({buf, len, 1, DType::F16, 0});
+  const int f_rx = prog.add_fabric(
+      {channel, len, DType::F16, 0, kNoTask, TrigAction::None});
+  Task t{"recv", false, false, false, {}};
+  Instr r{};
+  r.op = OpKind::RecvToMem;
+  r.dst = t_dst;
+  r.fabric = f_rx;
+  t.steps.push_back({TaskStep::Kind::Sync, -1, r, kNoTask});
+  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  prog.memory_halfwords = mem.used_halfwords();
+  return prog;
+}
+
+TileProgram idle() {
+  TileProgram prog;
+  Task t{"idle", false, false, false, {}};
+  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  return prog;
+}
+
+/// Add an X-then-Y dimension-ordered route for `color` from src to dst.
+void add_xy_route(std::vector<std::vector<RoutingTable>>& tables, int sx,
+                  int sy, int dx, int dy, Color color) {
+  int x = sx;
+  int y = sy;
+  while (x != dx) {
+    const Dir dir = dx > x ? Dir::East : Dir::West;
+    tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]
+        .rule(color)
+        .add_forward(dir);
+    x += dx > x ? 1 : -1;
+  }
+  while (y != dy) {
+    const Dir dir = dy > y ? Dir::South : Dir::North;
+    tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]
+        .rule(color)
+        .add_forward(dir);
+    y += dy > y ? 1 : -1;
+  }
+  tables[static_cast<std::size_t>(dx)][static_cast<std::size_t>(dy)]
+      .rule(color)
+      .deliver_channels.push_back(color);
+}
+
+TEST(FabricFuzz, RandomPointToPointRoutesDeliverInOrder) {
+  // Up to kNumColors concurrent random streams on disjoint colors across a
+  // random fabric; every stream must arrive complete and in order.
+  Rng rng(2026);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int w = 3 + static_cast<int>(rng.below(6));
+    const int h = 3 + static_cast<int>(rng.below(6));
+    const int streams = 2 + static_cast<int>(rng.below(6));
+    const int len = 4 + static_cast<int>(rng.below(28));
+
+    std::vector<std::vector<RoutingTable>> tables(
+        static_cast<std::size_t>(w),
+        std::vector<RoutingTable>(static_cast<std::size_t>(h)));
+    struct Stream {
+      int sx, sy, dx, dy;
+      Color color;
+    };
+    std::vector<Stream> plan;
+    for (int s = 0; s < streams; ++s) {
+      Stream st;
+      st.color = static_cast<Color>(s);
+      st.sx = static_cast<int>(rng.below(static_cast<std::uint64_t>(w)));
+      st.sy = static_cast<int>(rng.below(static_cast<std::uint64_t>(h)));
+      do {
+        st.dx = static_cast<int>(rng.below(static_cast<std::uint64_t>(w)));
+        st.dy = static_cast<int>(rng.below(static_cast<std::uint64_t>(h)));
+      } while (st.dx == st.sx && st.dy == st.sy);
+      add_xy_route(tables, st.sx, st.sy, st.dx, st.dy, st.color);
+      plan.push_back(st);
+    }
+
+    CS1Params arch;
+    SimParams sim;
+    Fabric fabric(w, h, arch, sim);
+    // Compose per-tile programs: a tile may be the source of several
+    // streams only if colors differ; keep it simple — one stream per
+    // source tile (skip clashing sources).
+    std::vector<std::vector<int>> role(
+        static_cast<std::size_t>(w),
+        std::vector<int>(static_cast<std::size_t>(h), -1));
+    std::vector<Stream> active;
+    for (const Stream& st : plan) {
+      if (role[static_cast<std::size_t>(st.sx)][static_cast<std::size_t>(st.sy)] != -1 ||
+          role[static_cast<std::size_t>(st.dx)][static_cast<std::size_t>(st.dy)] != -1) {
+        continue;
+      }
+      role[static_cast<std::size_t>(st.sx)][static_cast<std::size_t>(st.sy)] = 0;
+      role[static_cast<std::size_t>(st.dx)][static_cast<std::size_t>(st.dy)] = 1;
+      active.push_back(st);
+    }
+    for (int x = 0; x < w; ++x) {
+      for (int y = 0; y < h; ++y) {
+        const int r = role[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)];
+        TileProgram prog = idle();
+        for (const Stream& st : active) {
+          if (st.sx == x && st.sy == y && r == 0) prog = sender(st.color, len);
+          if (st.dx == x && st.dy == y && r == 1) {
+            prog = receiver(st.color, len);
+          }
+        }
+        fabric.configure_tile(
+            x, y, std::move(prog),
+            tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]);
+      }
+    }
+    std::vector<std::vector<fp16_t>> payloads;
+    for (const Stream& st : active) {
+      std::vector<fp16_t> data(static_cast<std::size_t>(len));
+      for (auto& v : data) v = fp16_t(rng.uniform(-8.0, 8.0));
+      for (int i = 0; i < len; ++i) {
+        fabric.core(st.sx, st.sy).host_write_f16(i, data[static_cast<std::size_t>(i)]);
+      }
+      payloads.push_back(std::move(data));
+    }
+
+    fabric.run(20000);
+    ASSERT_TRUE(fabric.all_done()) << "trial " << trial;
+    for (std::size_t s = 0; s < active.size(); ++s) {
+      const Stream& st = active[s];
+      for (int i = 0; i < len; ++i) {
+        EXPECT_EQ(fabric.core(st.dx, st.dy).host_read_f16(i).bits(),
+                  payloads[s][static_cast<std::size_t>(i)].bits())
+            << "trial " << trial << " stream " << s << " word " << i;
+      }
+    }
+  }
+}
+
+TEST(FabricFuzz, SpmvCorrectUnderMinimalQueues) {
+  // Failure injection: queue depths of 1 everywhere. Only throughput may
+  // suffer; values must stay exact and the program must not deadlock.
+  const Grid3 g(4, 4, 12);
+  auto ad = make_random_dominant7(g, 0.5, 9);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  const auto a = convert_stencil<fp16_t>(ad);
+  Field3<fp16_t> v(g);
+  Rng rng(4);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+
+  CS1Params arch;
+  SimParams tight;
+  tight.router_queue_depth = 1;
+  tight.ramp_queue_depth = 1;
+  SimParams loose;
+
+  wsekernels::SpMV3DSimulation s_tight(a, arch, tight);
+  wsekernels::SpMV3DSimulation s_loose(a, arch, loose);
+  const auto u_tight = s_tight.run(v);
+  const auto u_loose = s_loose.run(v);
+  // Queue depth changes the FIFO-drain interleaving, i.e. the fp16
+  // summation order: allow reassociation noise, nothing more.
+  for (std::size_t i = 0; i < u_tight.size(); ++i) {
+    EXPECT_NEAR(u_tight[i].to_double(), u_loose[i].to_double(), 1e-2) << i;
+  }
+  EXPECT_GE(s_tight.last_run_cycles(), s_loose.last_run_cycles());
+}
+
+TEST(FabricFuzz, AllReduceCorrectUnderMinimalQueues) {
+  CS1Params arch;
+  SimParams tight;
+  tight.router_queue_depth = 1;
+  tight.ramp_queue_depth = 1;
+  wsekernels::AllReduceSimulation ar(9, 7, arch, tight);
+  std::vector<float> contrib(63);
+  for (std::size_t i = 0; i < contrib.size(); ++i) {
+    contrib[i] = static_cast<float>(i) * 0.5f - 7.0f;
+  }
+  const auto result = ar.run(contrib);
+  double exact = 0.0;
+  for (const float c : contrib) exact += static_cast<double>(c);
+  for (const float vv : result.values) EXPECT_NEAR(vv, exact, 1e-3);
+}
+
+TEST(FabricFuzz, SpmvAcrossRandomFabricShapes) {
+  Rng rng(77);
+  CS1Params arch;
+  SimParams sim;
+  for (int trial = 0; trial < 5; ++trial) {
+    const int w = 1 + static_cast<int>(rng.below(7));
+    const int h = 1 + static_cast<int>(rng.below(7));
+    const int z = 4 + static_cast<int>(rng.below(20));
+    const Grid3 g(w, h, z);
+    auto ad = make_random_dominant7(g, 0.5, 100 + static_cast<std::uint64_t>(trial));
+    Field3<double> b(g, 1.0);
+    (void)precondition_jacobi(ad, b);
+    const auto a = convert_stencil<fp16_t>(ad);
+    Field3<fp16_t> v(g);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+
+    wsekernels::SpMV3DSimulation s(a, arch, sim);
+    const auto u = s.run(v);
+
+    auto avd = convert_stencil<double>(a);
+    auto vd = convert_field<double>(v);
+    Field3<double> ud(g);
+    spmv7(avd, vd, ud);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      EXPECT_NEAR(u[i].to_double(), ud[i], 3e-2)
+          << "trial " << trial << " fabric " << w << "x" << h << " z=" << z;
+    }
+  }
+}
+
+} // namespace
+} // namespace wss::wse

@@ -1,0 +1,81 @@
+#include "wse/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stencil/generators.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss::wse {
+namespace {
+
+TEST(Trace, RecordsAndRenders) {
+  Tracer t(16);
+  t.record(3, 1, 2, TraceEventKind::TaskStart, "spmv");
+  t.record(9, 1, 2, TraceEventKind::InstrComplete, "MulVV");
+  t.record(9, 1, 2, TraceEventKind::TaskEnd, "spmv");
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.count(TraceEventKind::TaskStart), 1u);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("cycle 3 (1,2) task-start spmv"), std::string::npos);
+  EXPECT_NE(s.find("instr-done MulVV"), std::string::npos);
+}
+
+TEST(Trace, BoundedCapacityDrops) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.record(static_cast<std::uint64_t>(i), 0, 0, TraceEventKind::Stall, "");
+  }
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_NE(t.render().find("6 events dropped"), std::string::npos);
+}
+
+TEST(Trace, CapturesSpmvExecution) {
+  const Grid3 g(3, 3, 8);
+  auto ad = make_random_dominant7(g, 0.5, 7);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  const auto a = convert_stencil<fp16_t>(ad);
+  Field3<fp16_t> v(g);
+  Rng rng(3);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+
+  CS1Params arch;
+  SimParams sim;
+  wsekernels::SpMV3DSimulation s(a, arch, sim);
+
+  Tracer tracer(1 << 14);
+  tracer.focus(1, 1); // the center tile only
+  s.fabric().set_tracer(&tracer);
+  (void)s.run(v);
+  s.fabric().set_tracer(nullptr);
+
+  // The center tile ran spmv, the summation task (possibly repeatedly),
+  // and the completion tree; all recorded events belong to tile (1,1).
+  EXPECT_GT(tracer.count(TraceEventKind::TaskStart), 3u);
+  EXPECT_GT(tracer.count(TraceEventKind::InstrComplete), 5u);
+  bool saw_spmv = false;
+  bool saw_sum = false;
+  for (const auto& e : tracer.events()) {
+    EXPECT_EQ(e.tile_x, 1);
+    EXPECT_EQ(e.tile_y, 1);
+    if (e.kind == TraceEventKind::TaskStart && e.label == "spmv") saw_spmv = true;
+    if (e.kind == TraceEventKind::TaskStart && e.label == "sumtask") saw_sum = true;
+  }
+  EXPECT_TRUE(saw_spmv);
+  EXPECT_TRUE(saw_sum);
+}
+
+TEST(Trace, FocusFiltersOtherTiles) {
+  Tracer t;
+  t.focus(2, 3);
+  EXPECT_TRUE(t.wants(2, 3));
+  EXPECT_FALSE(t.wants(2, 4));
+  EXPECT_FALSE(t.wants(0, 3));
+  t.focus(-1, -1);
+  EXPECT_TRUE(t.wants(5, 5));
+}
+
+} // namespace
+} // namespace wss::wse

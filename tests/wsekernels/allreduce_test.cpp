@@ -1,0 +1,108 @@
+#include "wsekernels/allreduce_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "wsekernels/wse_bicgstab.hpp"
+
+namespace wss::wsekernels {
+namespace {
+
+std::vector<float> random_contributions(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+TEST(AllReduceSim, SumsAndBroadcasts) {
+  const int w = 8;
+  const int h = 8;
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  AllReduceSimulation ar(w, h, arch, sim);
+  const auto contrib = random_contributions(w, h, 3);
+  const auto result = ar.run(contrib);
+
+  // Every tile holds the same value.
+  for (const float v : result.values) {
+    EXPECT_EQ(v, result.values[0]);
+  }
+  // And it is the sum, up to fp32 reassociation differences.
+  double exact = 0.0;
+  for (const float v : contrib) exact += static_cast<double>(v);
+  EXPECT_NEAR(result.values[0], exact, 1e-4);
+}
+
+TEST(AllReduceSim, MatchesTreeOrderExactly) {
+  // The simulated reduction and the tier-2 tree helper apply fp32 adds in
+  // the same order, so they agree bit-for-bit.
+  const int w = 6;
+  const int h = 4;
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  AllReduceSimulation ar(w, h, arch, sim);
+  const auto contrib = random_contributions(w, h, 7);
+  const auto result = ar.run(contrib);
+  const float expected = wse_allreduce_tree(contrib, w, h);
+  EXPECT_EQ(result.values[0], expected);
+}
+
+TEST(AllReduceSim, LatencyTracksDiameter) {
+  // The paper: cycle count about 10% more than the fabric diameter. Allow
+  // our simulator some constant task-start overhead on top.
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  for (const int n : {8, 16, 32}) {
+    AllReduceSimulation ar(n, n, arch, sim);
+    const auto result =
+        ar.run(std::vector<float>(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 1.0f));
+    EXPECT_EQ(result.values[0], static_cast<float>(n * n));
+    const double diameter = 2.0 * (n - 1);
+    EXPECT_LT(static_cast<double>(result.cycles), 1.6 * diameter + 60.0)
+        << "fabric " << n << "x" << n;
+    EXPECT_GE(static_cast<double>(result.cycles), diameter);
+  }
+}
+
+TEST(AllReduceSim, RectangularFabrics) {
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  for (const auto [w, h] : {std::pair{2, 2}, std::pair{3, 2}, std::pair{9, 5},
+                            std::pair{16, 4}}) {
+    AllReduceSimulation ar(w, h, arch, sim);
+    std::vector<float> contrib(
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+    for (std::size_t i = 0; i < contrib.size(); ++i) {
+      contrib[i] = static_cast<float>(i % 5) - 2.0f;
+    }
+    const auto result = ar.run(contrib);
+    double exact = 0.0;
+    for (const float v : contrib) exact += static_cast<double>(v);
+    for (const float v : result.values) {
+      EXPECT_NEAR(v, exact, 1e-3) << w << "x" << h;
+    }
+  }
+}
+
+TEST(AllReduceSim, RepeatedRunsIndependent) {
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  AllReduceSimulation ar(4, 4, arch, sim);
+  const auto r1 = ar.run(std::vector<float>(16, 2.0f));
+  EXPECT_EQ(r1.values[0], 32.0f);
+  const auto r2 = ar.run(std::vector<float>(16, -1.0f));
+  EXPECT_EQ(r2.values[0], -16.0f);
+}
+
+TEST(AllReduceTree, DegenerateAndExactCases) {
+  // Powers of two sum exactly in any order.
+  std::vector<float> v(64, 1.0f);
+  EXPECT_EQ(wse_allreduce_tree(v, 8, 8), 64.0f);
+  std::vector<float> w(12);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i);
+  EXPECT_EQ(wse_allreduce_tree(w, 4, 3), 66.0f);
+}
+
+} // namespace
+} // namespace wss::wsekernels

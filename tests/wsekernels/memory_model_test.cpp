@@ -1,0 +1,43 @@
+#include "wsekernels/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::wsekernels {
+namespace {
+
+TEST(MemoryModel, HeadlineMeshFits) {
+  const wse::CS1Params arch;
+  const auto fit = check_mesh_fit(Grid3(600, 595, 1536), arch);
+  EXPECT_TRUE(fit.fits_fabric);
+  EXPECT_TRUE(fit.fits_memory);
+  EXPECT_TRUE(fit.fits());
+  // "about 31KB out of 48KB": utilization near 64%.
+  EXPECT_NEAR(fit.tile_utilization, 0.64, 0.03);
+  EXPECT_EQ(fit.total_points, 548352000);
+}
+
+TEST(MemoryModel, FabricBoundRejectsWideMeshes) {
+  const wse::CS1Params arch;
+  EXPECT_FALSE(check_mesh_fit(Grid3(700, 595, 64), arch).fits_fabric);
+  EXPECT_FALSE(check_mesh_fit(Grid3(600, 700, 64), arch).fits_fabric);
+  EXPECT_TRUE(check_mesh_fit(Grid3(602, 595, 64), arch).fits_fabric);
+}
+
+TEST(MemoryModel, PencilDepthLimit) {
+  const wse::CS1Params arch;
+  const int zmax = max_pencil_z(arch);
+  EXPECT_GT(zmax, 1536); // the paper's mesh leaves headroom
+  EXPECT_LT(zmax, 2600);
+  EXPECT_TRUE(check_mesh_fit(Grid3(10, 10, zmax), arch).fits_memory);
+  EXPECT_FALSE(check_mesh_fit(Grid3(10, 10, zmax + 40), arch).fits_memory);
+}
+
+TEST(MemoryModel, TotalCapacityIsWaferScale) {
+  const wse::CS1Params arch;
+  // ~600x600 fabric x ~2400 deep: close to a billion points.
+  EXPECT_GT(max_mesh_points(arch), 800'000'000);
+  EXPECT_LT(max_mesh_points(arch), 1'000'000'000);
+}
+
+} // namespace
+} // namespace wss::wsekernels

@@ -1,0 +1,127 @@
+#include "wsekernels/spmv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/bicgstab.hpp"
+#include "stencil/generators.hpp"
+
+namespace wss::wsekernels {
+namespace {
+
+TEST(WseSpmv2D, MatchesReferenceAcrossBlockSizes) {
+  const Grid2 g(20, 17);
+  auto ad = make_random_dominant9(g, 0.4, 3);
+  Field2<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  Stencil9<fp16_t> a(g);
+  for (int k = 0; k < 9; ++k) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      a.coeff[static_cast<std::size_t>(k)][i] =
+          fp16_t(ad.coeff[static_cast<std::size_t>(k)][i]);
+    }
+  }
+  a.unit_diagonal = true;
+
+  Field2<fp16_t> v(g);
+  Rng rng(4);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+
+  Field2<double> vd(g), ud(g);
+  for (std::size_t i = 0; i < v.size(); ++i) vd[i] = v[i].to_double();
+  Stencil9<double> adv(g);
+  for (int k = 0; k < 9; ++k) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      adv.coeff[static_cast<std::size_t>(k)][i] =
+          a.coeff[static_cast<std::size_t>(k)][i].to_double();
+    }
+  }
+  spmv9(adv, vd, ud);
+
+  for (const auto [bx, by] : {std::pair{4, 4}, std::pair{8, 8},
+                              std::pair{7, 5}, std::pair{20, 17}}) {
+    Field2<fp16_t> u(g);
+    wse_spmv2d(a, v, u, bx, by);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      EXPECT_NEAR(u[i].to_double(), ud[i], 5e-2)
+          << "block " << bx << "x" << by;
+    }
+  }
+}
+
+TEST(Spmv2DModel, MaxBlockIs38) {
+  // Section IV-2: "local memory ... sufficient to ... hold a sub-block
+  // up-to 38x38 in size, corresponding to geometries of 22800x22800".
+  EXPECT_EQ(max_block_2d(), 38);
+  // 38 tiles * 600-wide fabric edge ~ 22800.
+  EXPECT_EQ(38 * 600, 22800);
+}
+
+TEST(Spmv2DModel, OverheadUnder20PercentAt8x8) {
+  const auto m = model_spmv2d_block(8);
+  EXPECT_LT(m.overhead, 0.20);
+  EXPECT_GT(m.overhead, 0.10); // nontrivial, as the paper notes
+}
+
+TEST(Spmv2DModel, OverheadShrinksWithBlockSize) {
+  double prev = 1e9;
+  for (const int b : {4, 8, 16, 32, 38}) {
+    const auto m = model_spmv2d_block(b);
+    EXPECT_LT(m.overhead, prev);
+    prev = m.overhead;
+  }
+}
+
+TEST(WseSpmv2D, EndToEndMixedPrecisionSolve) {
+  // Section IV-2 end to end: a 2D 9-point system solved by BiCGStab in
+  // mixed precision through the block-mapped SpMV, converging to the same
+  // ~1e-2 class floor as the 3D mapping.
+  const Grid2 g(24, 20);
+  auto ad = make_random_dominant9(g, 0.6, 17);
+  const auto xref = make_smooth_solution(g);
+  auto b = make_rhs(ad, xref);
+  const Field2<double> bp = precondition_jacobi(ad, b);
+
+  Stencil9<fp16_t> a(g);
+  for (int k = 0; k < 9; ++k) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      a.coeff[static_cast<std::size_t>(k)][i] =
+          fp16_t(ad.coeff[static_cast<std::size_t>(k)][i]);
+    }
+  }
+  a.unit_diagonal = true;
+  Field2<fp16_t> bh(g);
+  for (std::size_t i = 0; i < bp.size(); ++i) bh[i] = fp16_t(bp[i]);
+
+  // BiCGStab over the block-mapped 2D SpMV (8x8 blocks per tile).
+  std::vector<fp16_t> bv(bh.begin(), bh.end());
+  std::vector<fp16_t> x(g.size(), fp16_t(0.0));
+  SolveControls c;
+  c.max_iterations = 40;
+  c.tolerance = 8e-3;
+  const auto result = bicgstab<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter*) {
+        Field2<fp16_t> vf(g), uf(g);
+        for (std::size_t i = 0; i < v.size(); ++i) vf[i] = v[i];
+        wse_spmv2d(a, vf, uf, 8, 8);
+        for (std::size_t i = 0; i < y.size(); ++i) y[i] = uf[i];
+      },
+      std::span<const fp16_t>(bv), std::span<fp16_t>(x), c);
+  EXPECT_EQ(result.reason, StopReason::Converged);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(x[i].to_double() - xref[i]));
+  }
+  EXPECT_LT(worst, 5e-2);
+}
+
+TEST(Spmv2DModel, MemoryGrowsQuadratically) {
+  const auto m8 = model_spmv2d_block(8);
+  const auto m16 = model_spmv2d_block(16);
+  EXPECT_GT(m16.memory_bytes, 3 * m8.memory_bytes);
+  EXPECT_LT(m16.memory_bytes, 5 * m8.memory_bytes);
+}
+
+} // namespace
+} // namespace wss::wsekernels

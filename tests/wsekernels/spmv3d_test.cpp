@@ -1,0 +1,175 @@
+#include "wsekernels/spmv3d_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stencil/generators.hpp"
+#include "wsekernels/wse_bicgstab.hpp"
+
+namespace wss::wsekernels {
+namespace {
+
+/// Preconditioned fp16 stencil + iterate for a given mesh.
+struct Case {
+  Stencil7<fp16_t> a;
+  Field3<fp16_t> v;
+};
+
+Case make_case(Grid3 g, std::uint64_t seed) {
+  auto ad = make_random_dominant7(g, 0.5, seed);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  Case c;
+  c.a = convert_stencil<fp16_t>(ad);
+  c.v = Field3<fp16_t>(g);
+  Rng rng(seed + 1);
+  for (std::size_t i = 0; i < c.v.size(); ++i) {
+    c.v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+  }
+  return c;
+}
+
+/// Max elementwise |simulated - reference| where reference is the fp64
+/// SpMV of the (fp16-held) coefficients. fp16 rounding noise only.
+double max_error_vs_fp64(const Stencil7<fp16_t>& a, const Field3<fp16_t>& v,
+                         const Field3<fp16_t>& u) {
+  auto ad = convert_stencil<double>(a);
+  auto vd = convert_field<double>(v);
+  Field3<double> ud(a.grid);
+  spmv7(ad, vd, ud);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    worst = std::max(worst, std::abs(u[i].to_double() - ud[i]));
+  }
+  return worst;
+}
+
+TEST(SpMV3DSim, MatchesReferenceOnSmallFabric) {
+  const Grid3 g(4, 4, 8);
+  Case c = make_case(g, 11);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DSimulation simulation(c.a, arch, sim);
+  const auto u = simulation.run(c.v);
+  // fp16 epsilon ~1e-3; row sums of ~7 O(1) terms: tolerance a few e-2.
+  EXPECT_LT(max_error_vs_fp64(c.a, c.v, u), 3e-2);
+  EXPECT_GT(simulation.last_run_cycles(), 0u);
+}
+
+TEST(SpMV3DSim, MatchesTier2WaferOrderClosely) {
+  // The cycle simulator and the tier-2 kernel use the same per-term
+  // rounding; only the interleaving of FIFO drains differs, so results
+  // agree to within a couple of fp16 ulps.
+  const Grid3 g(3, 5, 6);
+  Case c = make_case(g, 23);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DSimulation simulation(c.a, arch, sim);
+  const auto u_sim = simulation.run(c.v);
+  Field3<fp16_t> u_t2(g);
+  wse_spmv(c.a, c.v, u_t2);
+  for (std::size_t i = 0; i < u_sim.size(); ++i) {
+    EXPECT_LE(fp16_ulp_distance(u_sim[i], u_t2[i]), 8u) << i;
+  }
+}
+
+TEST(SpMV3DSim, SingleTileFabric) {
+  // 1x1 fabric: no neighbors, only z coupling and the diagonal.
+  const Grid3 g(1, 1, 16);
+  Case c = make_case(g, 31);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DSimulation simulation(c.a, arch, sim);
+  const auto u = simulation.run(c.v);
+  EXPECT_LT(max_error_vs_fp64(c.a, c.v, u), 1e-2);
+}
+
+TEST(SpMV3DSim, SingleRowFabric) {
+  const Grid3 g(5, 1, 8);
+  Case c = make_case(g, 37);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DSimulation simulation(c.a, arch, sim);
+  const auto u = simulation.run(c.v);
+  EXPECT_LT(max_error_vs_fp64(c.a, c.v, u), 3e-2);
+}
+
+TEST(SpMV3DSim, RepeatedRunsAreConsistent) {
+  const Grid3 g(3, 3, 8);
+  Case c = make_case(g, 41);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DSimulation simulation(c.a, arch, sim);
+  const auto u1 = simulation.run(c.v);
+  const auto u2 = simulation.run(c.v);
+  for (std::size_t i = 0; i < u1.size(); ++i) {
+    EXPECT_EQ(u1[i].bits(), u2[i].bits());
+  }
+}
+
+TEST(SpMV3DSim, CyclesScaleLinearlyInZ) {
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  std::uint64_t cycles_z16 = 0;
+  std::uint64_t cycles_z64 = 0;
+  {
+    Case c = make_case(Grid3(4, 4, 16), 51);
+    SpMV3DSimulation s(c.a, arch, sim);
+    (void)s.run(c.v);
+    cycles_z16 = s.last_run_cycles();
+  }
+  {
+    Case c = make_case(Grid3(4, 4, 64), 52);
+    SpMV3DSimulation s(c.a, arch, sim);
+    (void)s.run(c.v);
+    cycles_z64 = s.last_run_cycles();
+  }
+  const double ratio = static_cast<double>(cycles_z64) /
+                       static_cast<double>(cycles_z16);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(SpMV3DSim, ShallowFifoStillCorrect) {
+  const Grid3 g(3, 3, 12);
+  Case c = make_case(g, 61);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DOptions opt;
+  opt.fifo_depth = 2; // pathological depth: correctness must not depend on it
+  SpMV3DSimulation simulation(c.a, arch, sim, opt);
+  const auto u = simulation.run(c.v);
+  EXPECT_LT(max_error_vs_fp64(c.a, c.v, u), 3e-2);
+}
+
+TEST(SpMV3DSim, TwoSumTasksMatchOne) {
+  const Grid3 g(4, 3, 8);
+  Case c = make_case(g, 71);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DOptions one;
+  SpMV3DOptions two;
+  two.num_sum_tasks = 2;
+  SpMV3DSimulation s1(c.a, arch, sim, one);
+  SpMV3DSimulation s2(c.a, arch, sim, two);
+  const auto u1 = s1.run(c.v);
+  const auto u2 = s2.run(c.v);
+  for (std::size_t i = 0; i < u1.size(); ++i) {
+    EXPECT_LE(fp16_ulp_distance(u1[i], u2[i]), 8u);
+  }
+}
+
+TEST(SpMV3DSim, MemoryAccountingWithinSram) {
+  const Grid3 g(2, 2, 1536); // the paper's Z
+  Case c = make_case(g, 81);
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  SpMV3DSimulation simulation(c.a, arch, sim);
+  EXPECT_LE(simulation.tile_memory_bytes(), arch.tile_memory_bytes);
+  // The SpMV working set alone (8 Z-vectors + FIFOs) is about 25 KB at
+  // Z=1536, consistent with the paper's 31 KB for the full solver set.
+  EXPECT_GT(simulation.tile_memory_bytes(), 20 * 1024);
+}
+
+} // namespace
+} // namespace wss::wsekernels

@@ -1,0 +1,81 @@
+#include "wsekernels/wafer_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/generators.hpp"
+
+namespace wss::wsekernels {
+namespace {
+
+TEST(WaferSolver, SolvesAndReports) {
+  const Grid3 g(16, 16, 32);
+  const auto a = make_momentum_like7(g, 0.3, 5);
+  const auto xref = make_smooth_solution(g);
+  const auto b = make_rhs(a, xref);
+
+  WaferSolver solver(a);
+  const auto report = solver.solve(b);
+
+  EXPECT_EQ(report.solve.reason, StopReason::Converged);
+  EXPECT_LT(report.true_relative_residual, 2e-2);
+  EXPECT_TRUE(report.fit.fits());
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < report.x.size(); ++i) {
+    max_err = std::max(max_err, std::abs(report.x[i] - xref[i]));
+  }
+  EXPECT_LT(max_err, 5e-2); // mixed-precision class accuracy
+
+  // Model projections are populated and self-consistent.
+  EXPECT_GT(report.modeled_iteration_seconds, 0.0);
+  EXPECT_NEAR(report.modeled_wall_seconds,
+              report.modeled_iteration_seconds * report.solve.iterations,
+              1e-12);
+  EXPECT_GT(report.modeled_flops, 0.0);
+}
+
+TEST(WaferSolver, CallerDataUntouched) {
+  const Grid3 g(6, 6, 8);
+  const auto a = make_momentum_like7(g, 0.5, 9);
+  const double diag_before = a.diag(2, 2, 2);
+  const auto b = make_rhs(a, make_smooth_solution(g));
+  WaferSolver solver(a);
+  (void)solver.solve(b);
+  EXPECT_EQ(a.diag(2, 2, 2), diag_before);
+  EXPECT_FALSE(a.unit_diagonal);
+}
+
+TEST(WaferSolver, RejectsOversizedMeshes) {
+  const Grid3 too_wide(700, 10, 8);
+  const auto a = make_poisson7(too_wide);
+  EXPECT_THROW(WaferSolver{a}, std::invalid_argument);
+
+  WaferSolveOptions relaxed;
+  relaxed.enforce_capacity = false;
+  EXPECT_NO_THROW(WaferSolver(a, relaxed));
+}
+
+TEST(WaferSolver, RejectsMismatchedRhs) {
+  const auto a = make_poisson7(Grid3(4, 4, 4));
+  WaferSolver solver(a);
+  Field3<double> wrong(Grid3(4, 4, 5), 1.0);
+  EXPECT_THROW((void)solver.solve(wrong), std::invalid_argument);
+}
+
+TEST(WaferSolver, HeadlineMeshProjection) {
+  // The facade reproduces the paper's numbers for the headline shape
+  // without running the (infeasible) full-size solve: capacity + model.
+  WaferSolveOptions opt;
+  opt.enforce_capacity = true;
+  const Grid3 g(600, 595, 1536);
+  // Constructing the full matrix (3.8 GB in fp64 fields) is excessive for
+  // a unit test; check the capacity/model path through a slab instead and
+  // the fit logic directly.
+  const auto fit = check_mesh_fit(g, opt.arch);
+  EXPECT_TRUE(fit.fits());
+  const perfmodel::CS1Model model(opt.arch);
+  EXPECT_NEAR(model.iteration_seconds(g) * 1e6, 28.1, 1.0);
+}
+
+} // namespace
+} // namespace wss::wsekernels

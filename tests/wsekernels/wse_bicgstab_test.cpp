@@ -1,0 +1,164 @@
+#include "wsekernels/wse_bicgstab.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+
+namespace wss::wsekernels {
+namespace {
+
+struct System {
+  Stencil7<fp16_t> a;
+  Field3<fp16_t> b;
+  Stencil7<double> ad; ///< the same (post-preconditioning) matrix in fp64
+  Field3<double> bd;
+};
+
+System make_system(Grid3 g, std::uint64_t seed, double dominance = 0.6) {
+  auto ad = make_momentum_like7(g, dominance, seed);
+  const auto xref = make_smooth_solution(g);
+  auto bd = make_rhs(ad, xref);
+  bd = [&] {
+    auto copy = bd;
+    return copy;
+  }();
+  Field3<double> b_pre = precondition_jacobi(ad, bd);
+  System s;
+  s.a = convert_stencil<fp16_t>(ad);
+  s.b = convert_field<fp16_t>(b_pre);
+  s.ad = ad;
+  s.bd = b_pre;
+  return s;
+}
+
+TEST(WseSpmv, MatchesFp64ReferenceWithinFp16Noise) {
+  const Grid3 g(6, 5, 7);
+  System s = make_system(g, 5);
+  Field3<fp16_t> v(g);
+  Rng rng(6);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+  Field3<fp16_t> u(g);
+  wse_spmv(s.a, v, u);
+
+  auto acc = convert_stencil<double>(s.a);
+  auto vd = convert_field<double>(v);
+  Field3<double> ud(g);
+  spmv7(acc, vd, ud);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(u[i].to_double(), ud[i], 3e-2);
+  }
+}
+
+TEST(WseSpmv, RequiresUnitDiagonal) {
+  auto ad = make_poisson7(Grid3(2, 2, 2));
+  const auto a = convert_stencil<fp16_t>(ad);
+  Field3<fp16_t> v(a.grid), u(a.grid);
+  EXPECT_THROW(wse_spmv(a, v, u), std::invalid_argument);
+}
+
+TEST(WseDot, CloseToFp64Dot) {
+  const Grid3 g(8, 8, 16);
+  Rng rng(11);
+  Field3<fp16_t> a(g), b(g);
+  double exact = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = fp16_t(rng.uniform(-1.0, 1.0));
+    b[i] = fp16_t(rng.uniform(-1.0, 1.0));
+    exact += a[i].to_double() * b[i].to_double();
+  }
+  EXPECT_NEAR(static_cast<double>(wse_dot(a, b)), exact, 5e-3 * std::sqrt(static_cast<double>(g.size())));
+}
+
+TEST(WseBicgstab, ConvergesToFp16Floor) {
+  const Grid3 g(8, 8, 10);
+  System s = make_system(g, 21);
+  WseBicgstabSolver solver(s.a);
+  Field3<fp16_t> x(g, fp16_t(0.0));
+  SolveControls c;
+  c.max_iterations = 30;
+  c.tolerance = 5e-3;
+  const auto result = solver.solve(s.b, x, c);
+  EXPECT_EQ(result.reason, StopReason::Converged);
+
+  // True fp64 residual lands near the mixed-precision floor (~1e-2), the
+  // Fig. 9 plateau.
+  Stencil7Operator<double> op(s.ad);
+  std::vector<double> xv(x.size()), bv(s.bd.begin(), s.bd.end());
+  for (std::size_t i = 0; i < x.size(); ++i) xv[i] = x[i].to_double();
+  const double res = true_relative_residual<double>(
+      op, std::span<const double>(bv), std::span<const double>(xv));
+  EXPECT_LT(res, 5e-2);
+}
+
+TEST(WseBicgstab, MatchesGenericMixedSolverBehaviour) {
+  // The WSE-mapped solver and the generic mixed-precision BiCGStab follow
+  // the same algorithm; their residual histories agree in the early
+  // iterations to within fp16 reassociation noise.
+  const Grid3 g(6, 6, 8);
+  System s = make_system(g, 33);
+  WseBicgstabSolver solver(s.a);
+  Field3<fp16_t> x1(g, fp16_t(0.0));
+  SolveControls c;
+  c.max_iterations = 4;
+  c.tolerance = 0.0;
+  const auto r1 = solver.solve(s.b, x1, c);
+
+  Stencil7Operator<fp16_t> op(s.a);
+  std::vector<fp16_t> x2(g.size(), fp16_t(0.0));
+  std::vector<fp16_t> bv(s.b.begin(), s.b.end());
+  const auto r2 = bicgstab<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const fp16_t>(bv), std::span<fp16_t>(x2), c);
+
+  ASSERT_EQ(r1.iterations, r2.iterations);
+  for (int i = 0; i < r1.iterations; ++i) {
+    const double a = r1.relative_residuals[static_cast<std::size_t>(i)];
+    const double b = r2.relative_residuals[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(std::log10(a + 1e-12), std::log10(b + 1e-12), 0.5) << i;
+  }
+}
+
+TEST(WseBicgstab, OperationCensusMatchesTableI) {
+  const Grid3 g(5, 5, 6);
+  System s = make_system(g, 44);
+  WseBicgstabSolver solver(s.a);
+  Field3<fp16_t> x(g, fp16_t(0.0));
+  SolveControls c;
+  c.max_iterations = 2;
+  c.tolerance = 0.0;
+  const auto result = solver.solve(s.b, x, c);
+  ASSERT_EQ(result.iterations, 2);
+  const double n = static_cast<double>(g.size());
+  // Setup: one matvec (6 mul + 6 add) + subtract (1 add) + initial dot.
+  const double hp_mul =
+      (static_cast<double>(result.flops.hp_mul) - 7 * n) / (2 * n);
+  const double hp_add =
+      (static_cast<double>(result.flops.hp_add) - 7 * n) / (2 * n);
+  const double sp_add =
+      (static_cast<double>(result.flops.sp_add) - n) / (2 * n);
+  EXPECT_DOUBLE_EQ(hp_mul, 22.0);
+  EXPECT_DOUBLE_EQ(hp_add, 18.0);
+  EXPECT_DOUBLE_EQ(sp_add, 4.0);
+}
+
+TEST(TileMemory, PaperAccountingAtHeadlineZ) {
+  // Z = 1536: 10 Z fp16 words = 30720 bytes ~ "about 31 KB out of 48 KB".
+  const auto m = bicgstab_tile_memory(1536);
+  EXPECT_EQ(m.matrix_bytes + m.vector_bytes, 10 * 1536 * 2);
+  EXPECT_GT(m.total_bytes, 30000);
+  EXPECT_LT(m.total_bytes, 32000);
+  EXPECT_TRUE(m.fits);
+}
+
+TEST(TileMemory, CapacityWall) {
+  EXPECT_TRUE(bicgstab_tile_memory(2400).fits);
+  EXPECT_FALSE(bicgstab_tile_memory(2500).fits);
+}
+
+} // namespace
+} // namespace wss::wsekernels
