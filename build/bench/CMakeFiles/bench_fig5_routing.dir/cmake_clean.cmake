@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_routing.dir/fig5_routing.cpp.o"
+  "CMakeFiles/bench_fig5_routing.dir/fig5_routing.cpp.o.d"
+  "bench_fig5_routing"
+  "bench_fig5_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cluster370.dir/fig7_cluster370.cpp.o"
+  "CMakeFiles/bench_fig7_cluster370.dir/fig7_cluster370.cpp.o.d"
+  "bench_fig7_cluster370"
+  "bench_fig7_cluster370.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cluster370.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

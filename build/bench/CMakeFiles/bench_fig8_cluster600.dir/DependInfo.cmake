@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_cluster600.cpp" "bench/CMakeFiles/bench_fig8_cluster600.dir/fig8_cluster600.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_cluster600.dir/fig8_cluster600.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wss_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/wss_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/wse/CMakeFiles/wss_wse.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsekernels/CMakeFiles/wss_wsekernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mfix/CMakeFiles/wss_mfix.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/wss_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

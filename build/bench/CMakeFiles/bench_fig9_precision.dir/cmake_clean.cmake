@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_precision.dir/fig9_precision.cpp.o"
+  "CMakeFiles/bench_fig9_precision.dir/fig9_precision.cpp.o.d"
+  "bench_fig9_precision"
+  "bench_fig9_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listing1_spmv.dir/listing1_spmv.cpp.o"
+  "CMakeFiles/bench_listing1_spmv.dir/listing1_spmv.cpp.o.d"
+  "bench_listing1_spmv"
+  "bench_listing1_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listing1_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secVI_timesteps.dir/secVI_timesteps.cpp.o"
+  "CMakeFiles/bench_secVI_timesteps.dir/secVI_timesteps.cpp.o.d"
+  "bench_secVI_timesteps"
+  "bench_secVI_timesteps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secVI_timesteps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

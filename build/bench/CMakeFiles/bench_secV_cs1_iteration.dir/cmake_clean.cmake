@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secV_cs1_iteration.dir/secV_cs1_iteration.cpp.o"
+  "CMakeFiles/bench_secV_cs1_iteration.dir/secV_cs1_iteration.cpp.o.d"
+  "bench_secV_cs1_iteration"
+  "bench_secV_cs1_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secV_cs1_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmv2d_efficiency.dir/spmv2d_efficiency.cpp.o"
+  "CMakeFiles/bench_spmv2d_efficiency.dir/spmv2d_efficiency.cpp.o.d"
+  "bench_spmv2d_efficiency"
+  "bench_spmv2d_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmv2d_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_simple.dir/table2_simple.cpp.o"
+  "CMakeFiles/bench_table2_simple.dir/table2_simple.cpp.o.d"
+  "bench_table2_simple"
+  "bench_table2_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_wake.dir/realtime_wake.cpp.o"
+  "CMakeFiles/realtime_wake.dir/realtime_wake.cpp.o.d"
+  "realtime_wake"
+  "realtime_wake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_wake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_cluster.dir/comm.cpp.o"
+  "CMakeFiles/wss_cluster.dir/comm.cpp.o.d"
+  "CMakeFiles/wss_cluster.dir/dist_bicgstab.cpp.o"
+  "CMakeFiles/wss_cluster.dir/dist_bicgstab.cpp.o.d"
+  "libwss_cluster.a"
+  "libwss_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_common.dir/fp16.cpp.o"
+  "CMakeFiles/wss_common.dir/fp16.cpp.o.d"
+  "libwss_common.a"
+  "libwss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

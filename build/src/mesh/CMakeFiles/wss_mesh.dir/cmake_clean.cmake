@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_mesh.dir/partition.cpp.o"
+  "CMakeFiles/wss_mesh.dir/partition.cpp.o.d"
+  "libwss_mesh.a"
+  "libwss_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mfix/assembly.cpp" "src/mfix/CMakeFiles/wss_mfix.dir/assembly.cpp.o" "gcc" "src/mfix/CMakeFiles/wss_mfix.dir/assembly.cpp.o.d"
+  "/root/repo/src/mfix/momentum_system.cpp" "src/mfix/CMakeFiles/wss_mfix.dir/momentum_system.cpp.o" "gcc" "src/mfix/CMakeFiles/wss_mfix.dir/momentum_system.cpp.o.d"
+  "/root/repo/src/mfix/scalar_transport.cpp" "src/mfix/CMakeFiles/wss_mfix.dir/scalar_transport.cpp.o" "gcc" "src/mfix/CMakeFiles/wss_mfix.dir/scalar_transport.cpp.o.d"
+  "/root/repo/src/mfix/simple.cpp" "src/mfix/CMakeFiles/wss_mfix.dir/simple.cpp.o" "gcc" "src/mfix/CMakeFiles/wss_mfix.dir/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wss_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/wss_stencil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

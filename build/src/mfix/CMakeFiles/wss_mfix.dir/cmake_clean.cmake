@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_mfix.dir/assembly.cpp.o"
+  "CMakeFiles/wss_mfix.dir/assembly.cpp.o.d"
+  "CMakeFiles/wss_mfix.dir/momentum_system.cpp.o"
+  "CMakeFiles/wss_mfix.dir/momentum_system.cpp.o.d"
+  "CMakeFiles/wss_mfix.dir/scalar_transport.cpp.o"
+  "CMakeFiles/wss_mfix.dir/scalar_transport.cpp.o.d"
+  "CMakeFiles/wss_mfix.dir/simple.cpp.o"
+  "CMakeFiles/wss_mfix.dir/simple.cpp.o.d"
+  "libwss_mfix.a"
+  "libwss_mfix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_mfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

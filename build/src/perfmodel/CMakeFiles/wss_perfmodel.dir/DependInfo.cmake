@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/balance.cpp" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/balance.cpp.o" "gcc" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/balance.cpp.o.d"
+  "/root/repo/src/perfmodel/cluster_model.cpp" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/cluster_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/cluster_model.cpp.o.d"
+  "/root/repo/src/perfmodel/cs1_model.cpp" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/cs1_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/cs1_model.cpp.o.d"
+  "/root/repo/src/perfmodel/multiwafer.cpp" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/multiwafer.cpp.o" "gcc" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/multiwafer.cpp.o.d"
+  "/root/repo/src/perfmodel/simple_model.cpp" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/simple_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/wss_perfmodel.dir/simple_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wss_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/wse/CMakeFiles/wss_wse.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/wss_stencil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_perfmodel.dir/balance.cpp.o"
+  "CMakeFiles/wss_perfmodel.dir/balance.cpp.o.d"
+  "CMakeFiles/wss_perfmodel.dir/cluster_model.cpp.o"
+  "CMakeFiles/wss_perfmodel.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/wss_perfmodel.dir/cs1_model.cpp.o"
+  "CMakeFiles/wss_perfmodel.dir/cs1_model.cpp.o.d"
+  "CMakeFiles/wss_perfmodel.dir/multiwafer.cpp.o"
+  "CMakeFiles/wss_perfmodel.dir/multiwafer.cpp.o.d"
+  "CMakeFiles/wss_perfmodel.dir/simple_model.cpp.o"
+  "CMakeFiles/wss_perfmodel.dir/simple_model.cpp.o.d"
+  "libwss_perfmodel.a"
+  "libwss_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

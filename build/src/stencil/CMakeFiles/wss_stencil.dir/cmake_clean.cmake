@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_stencil.dir/generators.cpp.o"
+  "CMakeFiles/wss_stencil.dir/generators.cpp.o.d"
+  "libwss_stencil.a"
+  "libwss_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwss_stencil.a"
+)

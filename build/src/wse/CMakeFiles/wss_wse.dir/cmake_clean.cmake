@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_wse.dir/core.cpp.o"
+  "CMakeFiles/wss_wse.dir/core.cpp.o.d"
+  "CMakeFiles/wss_wse.dir/fabric.cpp.o"
+  "CMakeFiles/wss_wse.dir/fabric.cpp.o.d"
+  "CMakeFiles/wss_wse.dir/route_compiler.cpp.o"
+  "CMakeFiles/wss_wse.dir/route_compiler.cpp.o.d"
+  "CMakeFiles/wss_wse.dir/trace.cpp.o"
+  "CMakeFiles/wss_wse.dir/trace.cpp.o.d"
+  "libwss_wse.a"
+  "libwss_wse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

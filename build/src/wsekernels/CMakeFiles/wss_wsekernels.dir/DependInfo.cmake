@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsekernels/allreduce_program.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/allreduce_program.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/allreduce_program.cpp.o.d"
+  "/root/repo/src/wsekernels/allreduce_steps.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/allreduce_steps.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/allreduce_steps.cpp.o.d"
+  "/root/repo/src/wsekernels/axpy_dot_program.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/axpy_dot_program.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/axpy_dot_program.cpp.o.d"
+  "/root/repo/src/wsekernels/bicgstab_program.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/bicgstab_program.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/bicgstab_program.cpp.o.d"
+  "/root/repo/src/wsekernels/memory_model.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/memory_model.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/memory_model.cpp.o.d"
+  "/root/repo/src/wsekernels/spmv2d.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/spmv2d.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/spmv2d.cpp.o.d"
+  "/root/repo/src/wsekernels/spmv3d_program.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/spmv3d_program.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/spmv3d_program.cpp.o.d"
+  "/root/repo/src/wsekernels/spmv_instance.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/spmv_instance.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/spmv_instance.cpp.o.d"
+  "/root/repo/src/wsekernels/wafer_solver.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/wafer_solver.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/wafer_solver.cpp.o.d"
+  "/root/repo/src/wsekernels/wse_bicgstab.cpp" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/wse_bicgstab.cpp.o" "gcc" "src/wsekernels/CMakeFiles/wss_wsekernels.dir/wse_bicgstab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wss_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/wss_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/wse/CMakeFiles/wss_wse.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/wss_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wss_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_wsekernels.dir/allreduce_program.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/allreduce_program.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/allreduce_steps.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/allreduce_steps.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/axpy_dot_program.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/axpy_dot_program.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/bicgstab_program.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/bicgstab_program.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/memory_model.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/memory_model.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/spmv2d.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/spmv2d.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/spmv3d_program.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/spmv3d_program.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/spmv_instance.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/spmv_instance.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/wafer_solver.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/wafer_solver.cpp.o.d"
+  "CMakeFiles/wss_wsekernels.dir/wse_bicgstab.cpp.o"
+  "CMakeFiles/wss_wsekernels.dir/wse_bicgstab.cpp.o.d"
+  "libwss_wsekernels.a"
+  "libwss_wsekernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_wsekernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

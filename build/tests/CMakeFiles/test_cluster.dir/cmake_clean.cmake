@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/comm_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/comm_test.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/dist_bicgstab_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/dist_bicgstab_test.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/fuzz_test.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/fuzz_test.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

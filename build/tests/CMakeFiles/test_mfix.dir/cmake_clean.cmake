@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfix.dir/mfix/assembly_test.cpp.o"
+  "CMakeFiles/test_mfix.dir/mfix/assembly_test.cpp.o.d"
+  "CMakeFiles/test_mfix.dir/mfix/conservation_test.cpp.o"
+  "CMakeFiles/test_mfix.dir/mfix/conservation_test.cpp.o.d"
+  "CMakeFiles/test_mfix.dir/mfix/scalar_transport_test.cpp.o"
+  "CMakeFiles/test_mfix.dir/mfix/scalar_transport_test.cpp.o.d"
+  "CMakeFiles/test_mfix.dir/mfix/simple_test.cpp.o"
+  "CMakeFiles/test_mfix.dir/mfix/simple_test.cpp.o.d"
+  "test_mfix"
+  "test_mfix.pdb"
+  "test_mfix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

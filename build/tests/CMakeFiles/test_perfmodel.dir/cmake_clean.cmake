@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/perfmodel/cluster_model_test.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/cluster_model_test.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/cs1_model_test.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/cs1_model_test.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/multiwafer_test.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/multiwafer_test.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/simple_model_test.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/simple_model_test.cpp.o.d"
+  "test_perfmodel"
+  "test_perfmodel.pdb"
+  "test_perfmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

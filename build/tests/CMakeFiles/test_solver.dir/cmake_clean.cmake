@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver.dir/solver/bicgstab_test.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/bicgstab_test.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/blas_test.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/blas_test.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/cg_test.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/cg_test.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/policy_sweep_test.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/policy_sweep_test.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/refinement_test.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/refinement_test.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/robustness_test.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/robustness_test.cpp.o.d"
+  "test_solver"
+  "test_solver.pdb"
+  "test_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

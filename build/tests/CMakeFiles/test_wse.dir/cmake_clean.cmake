@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse.dir/wse/core_test.cpp.o"
+  "CMakeFiles/test_wse.dir/wse/core_test.cpp.o.d"
+  "CMakeFiles/test_wse.dir/wse/fabric_test.cpp.o"
+  "CMakeFiles/test_wse.dir/wse/fabric_test.cpp.o.d"
+  "CMakeFiles/test_wse.dir/wse/fp_route_test.cpp.o"
+  "CMakeFiles/test_wse.dir/wse/fp_route_test.cpp.o.d"
+  "CMakeFiles/test_wse.dir/wse/fuzz_test.cpp.o"
+  "CMakeFiles/test_wse.dir/wse/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_wse.dir/wse/trace_test.cpp.o"
+  "CMakeFiles/test_wse.dir/wse/trace_test.cpp.o.d"
+  "test_wse"
+  "test_wse.pdb"
+  "test_wse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

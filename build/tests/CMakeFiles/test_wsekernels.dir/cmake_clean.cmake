@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsekernels.dir/wsekernels/allreduce_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/allreduce_test.cpp.o.d"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/bicgstab_program_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/bicgstab_program_test.cpp.o.d"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/fused_reduction_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/fused_reduction_test.cpp.o.d"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/memory_model_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/memory_model_test.cpp.o.d"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/spmv2d_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/spmv2d_test.cpp.o.d"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/spmv3d_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/spmv3d_test.cpp.o.d"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/wafer_solver_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/wafer_solver_test.cpp.o.d"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/wse_bicgstab_test.cpp.o"
+  "CMakeFiles/test_wsekernels.dir/wsekernels/wse_bicgstab_test.cpp.o.d"
+  "test_wsekernels"
+  "test_wsekernels.pdb"
+  "test_wsekernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsekernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
