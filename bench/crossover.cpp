@@ -24,7 +24,7 @@ int main() {
 
   std::printf("%-16s %14s %16s %16s %10s %8s\n", "mesh", "CS-1 us/iter",
               "Joule@4k ms", "Joule@16k ms", "ratio@16k", "fits");
-  for (const auto [x, y, z] :
+  for (const auto& [x, y, z] :
        {std::tuple{128, 128, 128}, std::tuple{256, 256, 256},
         std::tuple{370, 370, 370}, std::tuple{512, 512, 512},
         std::tuple{600, 595, 1536}, std::tuple{600, 600, 2400},

@@ -26,7 +26,7 @@ int main() {
   std::printf("\n");
 
   std::printf("%-14s %12s\n", "fabric", "violations");
-  for (const auto [w, h] : {std::pair{8, 8}, std::pair{51, 89},
+  for (const auto& [w, h] : {std::pair{8, 8}, std::pair{51, 89},
                             std::pair{357, 595}, std::pair{602, 595}}) {
     std::printf("%5dx%-8d %12d\n", w, h, verify_tessellation(w, h));
   }

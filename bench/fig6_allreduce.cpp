@@ -62,8 +62,7 @@ int main() {
   std::printf("%-12s %16s %16s %12s\n", "fabric,Z", "blocking cyc/it",
               "fused cyc/it", "saved");
   {
-    const wse::SimParams sim;
-    for (const auto [n, z] : {std::pair{8, 32}, std::pair{16, 16},
+    for (const auto& [n, z] : {std::pair{8, 32}, std::pair{16, 16},
                               std::pair{24, 8}, std::pair{32, 8}}) {
       const Grid3 g(n, n, z);
       auto ad = make_momentum_like7(g, 0.5, 7);

@@ -11,6 +11,9 @@
 #include "common/rng.hpp"
 #include "perfmodel/cs1_model.hpp"
 #include "stencil/generators.hpp"
+#include "telemetry/global.hpp"
+#include "telemetry/heatmap.hpp"
+#include "wse/trace.hpp"
 #include "wsekernels/spmv3d_program.hpp"
 
 namespace {
@@ -61,12 +64,44 @@ int main() {
   std::printf("%-10s %10s %12s %12s %10s\n", "fabric", "Z", "cycles",
               "cycles/Z", "max |err|");
   for (const int z : {32, 64, 128, 256, 512}) {
+    auto span = telemetry::global_tracer().scope(
+        "spmv_z" + std::to_string(z), "bench");
     Case c = make_case(Grid3(6, 6, z), 7);
     wsekernels::SpMV3DSimulation s(c.a, arch, sim);
-    const auto u = s.run(c.v);
-    std::printf("%-10s %10d %12llu %12.2f %10.2e\n", "6x6", z,
-                static_cast<unsigned long long>(s.last_run_cycles()),
-                static_cast<double>(s.last_run_cycles()) / z, max_err(c, u));
+    if (z == 512) {
+      if (telemetry::trace_requested()) {
+        wse::Tracer& fabric_trace = telemetry::exit_scoped_fabric_tracer(
+            1 << 20, arch.clock_hz, "cs1-sim");
+        s.fabric().set_tracer(&fabric_trace);
+      }
+      const auto u = s.run(c.v);
+      s.fabric().set_tracer(nullptr);
+      std::printf("%-10s %10d %12llu %12.2f %10.2e\n", "6x6", z,
+                  static_cast<unsigned long long>(s.last_run_cycles()),
+                  static_cast<double>(s.last_run_cycles()) / z,
+                  max_err(c, u));
+
+      // Per-tile activity of the deepest run: ASCII triage map here,
+      // full CSV grids under WSS_CSV_DIR for plotting.
+      const auto maps = telemetry::collect_heatmaps(s.fabric());
+      std::printf("\n%s\n", maps.instr_cycles.ascii().c_str());
+      std::printf("%s\n", maps.stall_cycles.ascii().c_str());
+      if (const char* dir = std::getenv("WSS_CSV_DIR")) {
+        std::string error;
+        if (telemetry::write_heatmap_csvs(maps, dir, "spmv_6x6_z512",
+                                          &error)) {
+          std::printf("  [heatmaps: wrote %s/spmv_6x6_z512_*.csv]\n", dir);
+        } else {
+          std::printf("  [heatmaps: %s]\n", error.c_str());
+        }
+      }
+    } else {
+      const auto u = s.run(c.v);
+      std::printf("%-10s %10d %12llu %12.2f %10.2e\n", "6x6", z,
+                  static_cast<unsigned long long>(s.last_run_cycles()),
+                  static_cast<double>(s.last_run_cycles()) / z,
+                  max_err(c, u));
+    }
   }
   bench::row("model cycles/Z (mixed)", 0.0, model.spmv_cycles(512) / 512.0,
              "cyc/Z");

@@ -9,8 +9,11 @@
 #include "bench_util.hpp"
 #include "perfmodel/cs1_model.hpp"
 #include "stencil/generators.hpp"
+#include "telemetry/global.hpp"
+#include "wse/trace.hpp"
 #include "wsekernels/bicgstab_program.hpp"
 #include "wsekernels/memory_model.hpp"
+#include "wsekernels/wse_bicgstab.hpp"
 
 int main() {
   using namespace wss;
@@ -20,23 +23,30 @@ int main() {
                 "28.1 us/iteration on 600x595x1536 -> 0.86 PFLOPS (~1/3 of "
                 "peak)");
 
+  // WSS_TRACE_JSON=<file> records the phases of this bench (and, below,
+  // the fabric simulator's task stream) as a Perfetto-loadable trace.
+  telemetry::SpanTracer& spans = telemetry::global_tracer();
+
   const CS1Model model;
   const Grid3 mesh(600, 595, 1536);
 
-  const auto fit = wsekernels::check_mesh_fit(mesh, model.arch());
-  bench::row("meshpoints", 548352000.0, static_cast<double>(fit.total_points),
-             "");
-  bench::row("tile memory used", 31.0,
-             static_cast<double>(fit.tile_bytes_used) / 1024.0, "KB");
+  {
+    auto span = spans.scope("model_tables", "bench");
+    const auto fit = wsekernels::check_mesh_fit(mesh, model.arch());
+    bench::row("meshpoints", 548352000.0,
+               static_cast<double>(fit.total_points), "");
+    bench::row("tile memory used", 31.0,
+               static_cast<double>(fit.tile_bytes_used) / 1024.0, "KB");
 
-  bench::row("iteration time", 28.1, model.iteration_seconds(mesh) * 1e6,
-             "us");
-  bench::row("achieved", 0.86, model.achieved_flops(mesh) / 1e15, "PFLOPS");
-  bench::row("fraction of fp16 peak", 0.333, model.peak_fraction(mesh), "");
-  bench::row("ops per meshpoint per iter", 44.0,
-             static_cast<double>(OpsPerPoint{}.total()), "");
-  bench::row("performance per Watt (20 kW)", 0.0,
-             model.flops_per_watt(mesh) / 1e9, "GF/W");
+    bench::row("iteration time", 28.1, model.iteration_seconds(mesh) * 1e6,
+               "us");
+    bench::row("achieved", 0.86, model.achieved_flops(mesh) / 1e15, "PFLOPS");
+    bench::row("fraction of fp16 peak", 0.333, model.peak_fraction(mesh), "");
+    bench::row("ops per meshpoint per iter", 44.0,
+               static_cast<double>(OpsPerPoint{}.total()), "");
+    bench::row("performance per Watt (20 kW)", 0.0,
+               model.flops_per_watt(mesh) / 1e9, "GF/W");
+  }
 
   std::printf("\nper-iteration cycle budget (model, per core):\n");
   std::printf("  2 x SpMV        : %8.0f cycles\n",
@@ -53,11 +63,14 @@ int main() {
   std::printf("\nmesh shape sweep (fixed 600x595 fabric):\n");
   std::printf("%8s %14s %12s %12s\n", "Z", "us/iteration", "PFLOPS",
               "peak frac");
-  for (const int z : {256, 512, 1024, 1536, 2048, 2447}) {
-    const Grid3 m(600, 595, z);
-    std::printf("%8d %14.2f %12.3f %12.3f\n", z,
-                model.iteration_seconds(m) * 1e6,
-                model.achieved_flops(m) / 1e15, model.peak_fraction(m));
+  {
+    auto span = spans.scope("mesh_sweep", "bench");
+    for (const int z : {256, 512, 1024, 1536, 2048, 2447}) {
+      const Grid3 m(600, 595, z);
+      std::printf("%8d %14.2f %12.3f %12.3f\n", z,
+                  model.iteration_seconds(m) * 1e6,
+                  model.achieved_flops(m) / 1e15, model.peak_fraction(m));
+    }
   }
 
   std::printf("\nfp32 mode comparison (same mesh):\n");
@@ -72,7 +85,10 @@ int main() {
   std::printf("%8s %18s %14s %8s\n", "Z", "measured cyc/iter", "model",
               "ratio");
   const wse::SimParams sim;
+  // With WSS_TRACE_JSON set, record the smallest run's per-tile task
+  // stream and merge it (cycles -> us at the CS-1 clock) into the trace.
   for (const int z : {32, 64, 128, 256}) {
+    auto span = spans.scope("simulate_z" + std::to_string(z), "bench");
     const Grid3 g(6, 6, z);
     auto ad = make_momentum_like7(g, 0.5, 7);
     auto bd = make_rhs(ad, make_smooth_solution(g));
@@ -80,7 +96,13 @@ int main() {
     const auto a16 = convert_stencil<fp16_t>(ad);
     const auto b16 = convert_field<fp16_t>(bp);
     wsekernels::BicgstabSimulation simulation(a16, 3, model.arch(), sim);
+    if (z == 32 && telemetry::trace_requested()) {
+      wse::Tracer& fabric_trace = telemetry::exit_scoped_fabric_tracer(
+          1 << 20, model.arch().clock_hz, "cs1-sim");
+      simulation.fabric().set_tracer(&fabric_trace);
+    }
     const auto r = simulation.run(b16);
+    simulation.fabric().set_tracer(nullptr);
     const double measured = static_cast<double>(r.cycles) / 3.0;
     const double predicted = model.iteration_cycles(g);
     std::printf("%8d %18.1f %14.1f %8.3f\n", z, measured, predicted,
@@ -88,5 +110,30 @@ int main() {
   }
   bench::note("agreement within ~4% validates extrapolating the model to "
               "the full wafer");
+
+  // Functional mixed-precision BiCGStab with solver probes attached: the
+  // per-phase spans (spmv / dot+allreduce / axpy) and iteration metrics
+  // land in the same trace / report as everything above.
+  {
+    auto span = spans.scope("host_validation_solve", "bench");
+    const Grid3 g(6, 6, 64);
+    auto ad = make_momentum_like7(g, 0.5, 7);
+    auto bd = make_rhs(ad, make_smooth_solution(g));
+    const auto bp = precondition_jacobi(ad, bd);
+    const auto a16 = convert_stencil<fp16_t>(ad);
+    const auto b16 = convert_field<fp16_t>(bp);
+    wsekernels::WseBicgstabSolver solver(a16);
+    Field3<fp16_t> x(g);
+    SolveControls controls;
+    controls.max_iterations = 20;
+    controls.tolerance = 1e-4;
+    controls.metrics = &telemetry::global_registry();
+    controls.spans = &spans;
+    controls.probe_name = "wse_bicgstab";
+    const auto r = solver.solve(b16, x, controls);
+    bench::row("validation solve iterations", 0.0,
+               static_cast<double>(r.iterations), "");
+    bench::row("validation final residual", 0.0, r.final_residual(), "");
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "telemetry/probe.hpp"
+
 namespace wss::cluster {
 
 namespace {
@@ -174,6 +176,13 @@ DistSolveResult distributed_bicgstab(World& world, const Stencil7<double>& a,
   const auto pgrid = choose_process_grid(mesh, world.size());
   DistSolveResult result;
 
+  // The probe lives on the host thread only: ranks run concurrently inside
+  // world.run and the telemetry sinks are not thread-safe, so we bracket
+  // the whole distributed solve and record the rank-0 result afterwards.
+  telemetry::SolverProbe probe(controls.metrics, controls.spans,
+                               controls.probe_name);
+  auto solve_span = probe.phase("dist_bicgstab");
+
   world.run([&](Comm& comm) {
     const LocalBlock blk(mesh, pgrid, comm.rank());
     const std::size_t padded = blk.padded();
@@ -313,6 +322,24 @@ DistSolveResult distributed_bicgstab(World& world, const Stencil7<double>& a,
   });
 
   result.comm = world.total_stats();
+  for (std::size_t i = 0; i < result.solve.relative_residuals.size(); ++i) {
+    probe.iteration(static_cast<int>(i) + 1, result.solve.relative_residuals[i],
+                    result.solve.flops.total());
+  }
+  probe.finish(to_string(result.solve.reason), result.solve.iterations,
+               result.solve.final_residual());
+  if (controls.metrics != nullptr) {
+    const std::string prefix =
+        controls.probe_name != nullptr ? controls.probe_name : "solver";
+    controls.metrics->gauge(prefix + ".comm.messages_sent")
+        .set(static_cast<double>(result.comm.messages_sent));
+    controls.metrics->gauge(prefix + ".comm.bytes_sent")
+        .set(static_cast<double>(result.comm.bytes_sent));
+    controls.metrics->gauge(prefix + ".comm.allreduces")
+        .set(static_cast<double>(result.comm.allreduces));
+    controls.metrics->gauge(prefix + ".comm.barriers")
+        .set(static_cast<double>(result.comm.barriers));
+  }
   return result;
 }
 

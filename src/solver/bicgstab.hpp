@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "solver/blas.hpp"
+#include "telemetry/probe.hpp"
 
 namespace wss {
 
@@ -56,6 +57,14 @@ struct SolveControls {
   /// this factor over `stagnation_window` iterations (0 disables).
   int stagnation_window = 0;
   double stagnation_factor = 0.99;
+
+  /// Optional telemetry sinks (both null by default: zero overhead).
+  /// With `metrics` set, iteration counts / flops / residual gauges land
+  /// in the registry under `probe_name.*`; with `spans` set, spmv / dot /
+  /// iteration phases are recorded as nested trace spans.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::SpanTracer* spans = nullptr;
+  const char* probe_name = "solver";
 };
 
 /// Optional per-iteration observer: called with the iteration index and
@@ -80,11 +89,17 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
 
   SolveResult result;
   FlopCounter* fc = &result.flops;
+  telemetry::SolverProbe probe(controls.metrics, controls.spans,
+                               controls.probe_name);
+  auto solve_span = probe.phase("bicgstab");
 
   std::vector<T> r(n), r0(n), p(n), s(n), y(n), q(n), ax(n);
 
   // r0 = b - A*x0; with the usual x0 = 0 this is r0 = b (Algorithm 1 line 2).
-  apply(std::span<const T>(x), std::span<T>(ax), fc);
+  {
+    auto span = probe.phase("setup");
+    apply(std::span<const T>(x), std::span<T>(ax), fc);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = b[i] - ax[i];
   }
@@ -97,16 +112,26 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     for (auto& xi : x) xi = T{};
     result.reason = StopReason::Converged;
     result.relative_residuals.push_back(0.0);
+    probe.finish(to_string(result.reason), result.iterations,
+                 result.final_residual());
     return result;
   }
 
   Acc rho = dot<P>(std::span<const T>(r0), std::span<const T>(r), fc);
 
   for (int it = 0; it < controls.max_iterations; ++it) {
+    auto iteration_span = probe.phase("iteration");
     // s = A p
-    apply(std::span<const T>(p), std::span<T>(s), fc);
+    {
+      auto span = probe.phase("spmv");
+      apply(std::span<const T>(p), std::span<T>(s), fc);
+    }
 
-    const Acc r0s = dot<P>(std::span<const T>(r0), std::span<const T>(s), fc);
+    Acc r0s{};
+    {
+      auto span = probe.phase("dot");
+      r0s = dot<P>(std::span<const T>(r0), std::span<const T>(s), fc);
+    }
     if (to_double(r0s) == 0.0) {
       result.reason = StopReason::Breakdown;
       break;
@@ -118,23 +143,33 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
          std::span<T>(q), fc);
 
     // y = A q
-    apply(std::span<const T>(q), std::span<T>(y), fc);
-
-    const Acc qy = dot<P>(std::span<const T>(q), std::span<const T>(y), fc);
-    const Acc yy = dot<P>(std::span<const T>(y), std::span<const T>(y), fc);
+    Acc qy{};
+    Acc yy{};
+    {
+      auto span = probe.phase("spmv");
+      apply(std::span<const T>(q), std::span<T>(y), fc);
+    }
+    {
+      auto span = probe.phase("dot");
+      qy = dot<P>(std::span<const T>(q), std::span<const T>(y), fc);
+      yy = dot<P>(std::span<const T>(y), std::span<const T>(y), fc);
+    }
     if (to_double(yy) == 0.0) {
       result.reason = StopReason::Breakdown;
       break;
     }
     const T omega = from_double<T>(to_double(qy) / to_double(yy));
 
-    // x = x + alpha p + omega q
-    axpy(alpha, std::span<const T>(p), std::span<T>(x), fc);
-    axpy(omega, std::span<const T>(q), std::span<T>(x), fc);
+    {
+      auto span = probe.phase("axpy");
+      // x = x + alpha p + omega q
+      axpy(alpha, std::span<const T>(p), std::span<T>(x), fc);
+      axpy(omega, std::span<const T>(q), std::span<T>(x), fc);
 
-    // r_{i+1} = q - omega y
-    xpay(std::span<const T>(q), -omega, std::span<const T>(y),
-         std::span<T>(r), fc);
+      // r_{i+1} = q - omega y
+      xpay(std::span<const T>(q), -omega, std::span<const T>(y),
+           std::span<T>(r), fc);
+    }
 
     const Acc rho_next =
         dot<P>(std::span<const T>(r0), std::span<const T>(r), fc);
@@ -154,12 +189,15 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     }
     result.relative_residuals.push_back(rnorm / bnorm);
     ++result.iterations;
+    probe.iteration(result.iterations, rnorm / bnorm, result.flops.total());
     if (observer != nullptr) {
       (*observer)(result.iterations, std::span<const T>(x));
     }
 
     if (rnorm / bnorm < controls.tolerance) {
       result.reason = StopReason::Converged;
+      probe.finish(to_string(result.reason), result.iterations,
+                   result.final_residual());
       return result;
     }
     if (controls.stagnation_window > 0 &&
@@ -169,6 +207,8 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
               result.iterations - 1 - controls.stagnation_window)];
       if (rnorm / bnorm > prev * controls.stagnation_factor) {
         result.reason = StopReason::Stagnation;
+        probe.finish(to_string(result.reason), result.iterations,
+                     result.final_residual());
         return result;
       }
     }
@@ -198,6 +238,8 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       result.iterations == controls.max_iterations) {
     result.reason = StopReason::MaxIterations;
   }
+  probe.finish(to_string(result.reason), result.iterations,
+               result.final_residual());
   return result;
 }
 

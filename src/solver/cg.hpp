@@ -25,6 +25,9 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
 
   SolveResult result;
   FlopCounter* fc = &result.flops;
+  telemetry::SolverProbe probe(controls.metrics, controls.spans,
+                               controls.probe_name);
+  auto solve_span = probe.phase("cg");
 
   std::vector<T> r(n), p(n), ap(n);
 
@@ -40,30 +43,46 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
     for (auto& xi : x) xi = T{};
     result.reason = StopReason::Converged;
     result.relative_residuals.push_back(0.0);
+    probe.finish(to_string(result.reason), result.iterations,
+                 result.final_residual());
     return result;
   }
 
   Acc rr = dot<P>(std::span<const T>(r), std::span<const T>(r), fc);
 
   for (int it = 0; it < controls.max_iterations; ++it) {
-    apply(std::span<const T>(p), std::span<T>(ap), fc);
-    const Acc pap = dot<P>(std::span<const T>(p), std::span<const T>(ap), fc);
+    auto iteration_span = probe.phase("iteration");
+    Acc pap{};
+    {
+      auto span = probe.phase("spmv");
+      apply(std::span<const T>(p), std::span<T>(ap), fc);
+    }
+    {
+      auto span = probe.phase("dot");
+      pap = dot<P>(std::span<const T>(p), std::span<const T>(ap), fc);
+    }
     if (to_double(pap) == 0.0) {
       result.reason = StopReason::Breakdown;
       break;
     }
     const T alpha = from_double<T>(to_double(rr) / to_double(pap));
 
-    axpy(alpha, std::span<const T>(p), std::span<T>(x), fc);
-    axpy(-alpha, std::span<const T>(ap), std::span<T>(r), fc);
+    {
+      auto span = probe.phase("axpy");
+      axpy(alpha, std::span<const T>(p), std::span<T>(x), fc);
+      axpy(-alpha, std::span<const T>(ap), std::span<T>(r), fc);
+    }
 
     const Acc rr_next = dot<P>(std::span<const T>(r), std::span<const T>(r), fc);
     const double rnorm = std::sqrt(to_double(rr_next));
     result.relative_residuals.push_back(rnorm / bnorm);
     ++result.iterations;
+    probe.iteration(result.iterations, rnorm / bnorm, result.flops.total());
 
     if (rnorm / bnorm < controls.tolerance) {
       result.reason = StopReason::Converged;
+      probe.finish(to_string(result.reason), result.iterations,
+                   result.final_residual());
       return result;
     }
 
@@ -79,6 +98,8 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
     detail::count_adds<T>(*fc, n);
     detail::count_muls<T>(*fc, n);
   }
+  probe.finish(to_string(result.reason), result.iterations,
+               result.final_residual());
   return result;
 }
 

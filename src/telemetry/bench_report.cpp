@@ -1,0 +1,121 @@
+#include "telemetry/bench_report.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "telemetry/global.hpp"
+#include "telemetry/io.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace wss::telemetry {
+
+const char* json_out_dir() { return std::getenv("WSS_JSON_OUT"); }
+
+std::string default_report_name(const std::string& fallback) {
+  std::string raw;
+#ifdef __linux__
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  if (cmdline) {
+    std::getline(cmdline, raw, '\0'); // argv[0]
+    const std::size_t slash = raw.find_last_of('/');
+    if (slash != std::string::npos) raw = raw.substr(slash + 1);
+  }
+#endif
+  if (raw.empty()) raw = fallback;
+  std::string out;
+  for (const char ch : raw) {
+    const auto u = static_cast<unsigned char>(ch);
+    if (std::isalnum(u) || ch == '_' || ch == '-' || ch == '.') {
+      out += ch;
+    } else if (ch == ' ' || ch == ':') {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "bench";
+  return out;
+}
+
+std::string BenchReport::to_json(const MetricsRegistry* attach) const {
+  json::Writer w;
+  w.begin_object();
+  w.key("bench").value(name_.empty() ? default_report_name("bench") : name_);
+  w.key("experiment").value(experiment_);
+  w.key("paper_ref").value(paper_ref_);
+  w.key("claim").value(claim_);
+  const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  w.key("generated_unix_ms").value(static_cast<std::int64_t>(now_ms));
+  w.key("rows").begin_array();
+  for (const Row& r : rows_) {
+    w.begin_object();
+    w.key("label").value(r.label);
+    if (r.has_paper()) {
+      w.key("paper").value(r.paper);
+      w.key("deviation_pct").value(r.deviation_pct());
+    } else {
+      w.key("paper").null();
+    }
+    w.key("measured").value(r.measured);
+    w.key("unit").value(r.unit);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("notes").begin_array();
+  for (const std::string& n : notes_) w.value(n);
+  w.end_array();
+  if (attach != nullptr && !attach->empty()) {
+    w.key("metrics").raw(attach->to_json());
+  }
+  w.end_object();
+  return w.str();
+}
+
+bool BenchReport::write(const std::string& dir, const MetricsRegistry* attach,
+                        std::string* error) const {
+  if (!ensure_directory(dir, error)) return false;
+  const std::string base = name_.empty() ? default_report_name("bench") : name_;
+  return write_text_file(dir + "/" + base + ".json", to_json(attach), error);
+}
+
+namespace {
+
+void flush_global_report() {
+  const char* dir = json_out_dir();
+  if (dir == nullptr) return;
+  BenchReport& report = BenchReport::global();
+  if (report.empty()) return;
+  std::string error;
+  if (!report.write(dir, &global_registry(), &error)) {
+    std::fprintf(stderr, "[telemetry: %s]\n", error.c_str());
+  } else {
+    std::fprintf(stderr, "[telemetry: wrote report %s/%s.json]\n", dir,
+                 report.name().empty()
+                     ? default_report_name("bench").c_str()
+                     : report.name().c_str());
+  }
+}
+
+} // namespace
+
+BenchReport& BenchReport::global() {
+  // Construct the report BEFORE registering the atexit hook so the flush
+  // (which runs earlier in the termination sequence than the destructor
+  // of anything constructed before it) reads a live object.
+  static BenchReport report;
+  static const bool registered = [] {
+    // Touch the sinks the flush will use so they are also constructed
+    // ahead of the hook and therefore outlive it.
+    (void)global_registry();
+    std::atexit(flush_global_report);
+    return true;
+  }();
+  (void)registered;
+  return report;
+}
+
+} // namespace wss::telemetry

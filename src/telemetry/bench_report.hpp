@@ -1,0 +1,81 @@
+#pragma once
+
+// Machine-readable bench output: every bench binary's paper-vs-measured
+// rows collected into one structured JSON document and written to
+// $WSS_JSON_OUT/<bench>.json at exit. The bench harness (bench/
+// bench_util.hpp) feeds the global report from the same header()/row()
+// calls that print the human tables, so no bench needs to change to be
+// CI-diffable; the global MetricsRegistry snapshot is attached so solver
+// probes and fabric counters land in the same document.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wss::telemetry {
+
+class MetricsRegistry;
+
+class BenchReport {
+public:
+  struct Row {
+    std::string label;
+    double paper = 0.0;    ///< <= 0 means "no paper value"
+    double measured = 0.0;
+    std::string unit;
+
+    [[nodiscard]] bool has_paper() const { return paper > 0.0; }
+    [[nodiscard]] double deviation_pct() const {
+      return has_paper() ? 100.0 * (measured - paper) / paper : 0.0;
+    }
+  };
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_experiment(std::string experiment) {
+    experiment_ = std::move(experiment);
+  }
+  void set_paper_ref(std::string r) { paper_ref_ = std::move(r); }
+  void set_claim(std::string c) { claim_ = std::move(c); }
+
+  void add_row(std::string label, double paper, double measured,
+               std::string unit) {
+    rows_.push_back({std::move(label), paper, measured, std::move(unit)});
+  }
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  [[nodiscard]] bool empty() const {
+    return rows_.empty() && experiment_.empty();
+  }
+
+  /// The full document; `attach` (may be null) contributes a "metrics"
+  /// section from its current snapshot.
+  [[nodiscard]] std::string to_json(const MetricsRegistry* attach) const;
+
+  /// Write `<dir>/<name>.json` (creating `dir`). Returns false + `*error`
+  /// on failure.
+  bool write(const std::string& dir, const MetricsRegistry* attach,
+             std::string* error = nullptr) const;
+
+  /// Process-wide report; first use arms an atexit flush to $WSS_JSON_OUT
+  /// (no-op when the variable is unset or the report is empty).
+  static BenchReport& global();
+
+private:
+  std::string name_;
+  std::string experiment_;
+  std::string paper_ref_;
+  std::string claim_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// $WSS_JSON_OUT or nullptr.
+const char* json_out_dir();
+
+/// Best-effort bench name: basename of /proc/self/cmdline argv[0], else
+/// `fallback` sanitized to [A-Za-z0-9_-].
+std::string default_report_name(const std::string& fallback);
+
+} // namespace wss::telemetry

@@ -1,0 +1,92 @@
+#include "telemetry/global.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "wse/trace.hpp"
+
+namespace wss::telemetry {
+
+namespace {
+
+std::vector<FabricTraceSource>& fabric_sources() {
+  static std::vector<FabricTraceSource> sources;
+  return sources;
+}
+
+bool& flushed_flag() {
+  static bool flushed = false;
+  return flushed;
+}
+
+void flush_at_exit() { (void)flush_global_trace(); }
+
+void ensure_exit_hook() {
+  static const bool registered = [] {
+    // Construct everything the flush reads before registering the hook,
+    // so the termination sequence destroys them after the flush runs.
+    (void)fabric_sources();
+    (void)flushed_flag();
+    std::atexit(flush_at_exit);
+    return true;
+  }();
+  (void)registered;
+}
+
+} // namespace
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+SpanTracer& global_tracer() {
+  // Construct the tracer BEFORE registering the atexit hook: statics are
+  // destroyed in reverse construction order and atexit callbacks are
+  // interleaved into that sequence, so this ordering guarantees the flush
+  // still has a live tracer to read.
+  static SpanTracer tracer;
+  ensure_exit_hook();
+  return tracer;
+}
+
+const char* trace_json_path() { return std::getenv("WSS_TRACE_JSON"); }
+
+bool trace_requested() {
+  static const bool on = trace_json_path() != nullptr;
+  return on;
+}
+
+void attach_fabric_trace(const wse::Tracer* tracer, double clock_hz,
+                         std::string name) {
+  (void)global_tracer(); // construct tracer + arm the exit hook, in order
+  fabric_sources().push_back({tracer, clock_hz, std::move(name)});
+}
+
+wse::Tracer& exit_scoped_fabric_tracer(std::size_t capacity, double clock_hz,
+                                       std::string name) {
+  // Deliberately leaked: a function-local `static wse::Tracer` at a call
+  // site is constructed after the exit hook is armed and therefore
+  // destroyed before the flush reads it (use-after-free). Heap storage
+  // with no delete sidesteps the static-destruction ordering entirely.
+  auto* tracer = new wse::Tracer(capacity);
+  attach_fabric_trace(tracer, clock_hz, std::move(name));
+  return *tracer;
+}
+
+bool flush_global_trace() {
+  const char* path = trace_json_path();
+  if (path == nullptr || flushed_flag()) return false;
+  flushed_flag() = true;
+  std::string error;
+  if (!write_chrome_trace(path, &global_tracer(), fabric_sources(),
+                          &error)) {
+    std::fprintf(stderr, "[telemetry: %s]\n", error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "[telemetry: wrote trace %s]\n", path);
+  return true;
+}
+
+} // namespace wss::telemetry

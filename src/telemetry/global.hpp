@@ -1,0 +1,56 @@
+#pragma once
+
+// Process-wide telemetry entry points, driven by environment variables so
+// every bench/example gets observability without plumbing:
+//
+//   WSS_TRACE_JSON=<file>  write a Chrome trace-event JSON (Perfetto) of
+//                          the global SpanTracer — plus any fabric tracer
+//                          attached via attach_fabric_trace — at exit.
+//   WSS_JSON_OUT=<dir>     (consumed by telemetry/bench_report.hpp) write
+//                          one structured JSON document per bench.
+//
+// Everything is opt-in: when the variables are unset the globals are inert
+// objects nobody pays for beyond a pointer test at probe sites.
+
+#include <cstddef>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span_tracer.hpp"
+#include "telemetry/trace_adapter.hpp"
+
+namespace wss::telemetry {
+
+/// The process-wide registry bench reports attach to their JSON output.
+MetricsRegistry& global_registry();
+
+/// The process-wide span tracer flushed to $WSS_TRACE_JSON at exit.
+SpanTracer& global_tracer();
+
+/// True iff WSS_TRACE_JSON is set (cached). Use to skip expensive
+/// trace-only work (e.g. attaching a fabric tracer to a large run).
+bool trace_requested();
+
+/// $WSS_TRACE_JSON or nullptr.
+const char* trace_json_path();
+
+/// Register a simulated-fabric tracer to be merged into the exit flush.
+/// The tracer must outlive the flush. CAUTION: a function-local static at
+/// the call site does NOT qualify — it is constructed after the exit hook
+/// is armed and destroyed before the flush runs. Prefer
+/// exit_scoped_fabric_tracer() below.
+void attach_fabric_trace(const wse::Tracer* tracer, double clock_hz,
+                         std::string name = "fabric");
+
+/// Allocate a tracer that is guaranteed to outlive the exit flush
+/// (deliberately leaked) and attach it. The safe one-liner for benches:
+///   auto& t = exit_scoped_fabric_tracer(1 << 20, arch.clock_hz, "sim");
+///   fabric.set_tracer(&t);
+wse::Tracer& exit_scoped_fabric_tracer(std::size_t capacity, double clock_hz,
+                                       std::string name = "fabric");
+
+/// Write the combined trace now (idempotent; also runs via atexit once
+/// global_tracer()/attach_fabric_trace has been touched). Returns false
+/// if disabled or on I/O error.
+bool flush_global_trace();
+
+} // namespace wss::telemetry

@@ -1,0 +1,124 @@
+#include "telemetry/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/io.hpp"
+#include "wse/fabric.hpp"
+
+namespace wss::telemetry {
+
+double Heatmap::max_value() const {
+  double m = 0.0;
+  for (const double v : cells) m = std::max(m, v);
+  return m;
+}
+
+double Heatmap::min_value() const {
+  if (cells.empty()) return 0.0;
+  double m = cells.front();
+  for (const double v : cells) m = std::min(m, v);
+  return m;
+}
+
+std::string Heatmap::to_csv() const {
+  std::ostringstream out;
+  out << "# " << name << "," << width << "," << height << "\n";
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x > 0) out << ",";
+      const double v = at(x, y);
+      // Counters are integral in practice; print them without noise.
+      if (v == static_cast<double>(static_cast<long long>(v))) {
+        out << static_cast<long long>(v);
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out << buf;
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Heatmap::ascii(int max_cols) const {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2; // top index
+  std::ostringstream out;
+  const double top = max_value();
+  const int stride = std::max(1, (width + max_cols - 1) / max_cols);
+  out << name << " (max " << top << ", " << width << "x" << height;
+  if (stride > 1) out << ", every " << stride << "th column";
+  out << ")\n";
+  for (int y = 0; y < height; ++y) {
+    out << "  ";
+    for (int x = 0; x < width; x += stride) {
+      if (top <= 0.0) {
+        out << kRamp[0];
+        continue;
+      }
+      const int level = std::clamp(
+          static_cast<int>(at(x, y) / top * kLevels + 0.5), 0, kLevels);
+      out << kRamp[level];
+    }
+    out << "\n";
+  }
+  out << "  scale: '" << kRamp[0] << "'=0 .. '" << kRamp[kLevels]
+      << "'=" << top << "\n";
+  return out.str();
+}
+
+std::vector<const Heatmap*> FabricHeatmaps::all() const {
+  return {&instr_cycles,   &stall_cycles,   &idle_cycles, &task_invocations,
+          &elements,       &words_sent,     &words_received,
+          &fifo_highwater, &ramp_highwater, &router_forwards,
+          &router_highwater};
+}
+
+FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
+  const int w = fabric.width();
+  const int h = fabric.height();
+  FabricHeatmaps maps{
+      Heatmap("instr_cycles", w, h),    Heatmap("stall_cycles", w, h),
+      Heatmap("idle_cycles", w, h),     Heatmap("task_invocations", w, h),
+      Heatmap("elements", w, h),        Heatmap("words_sent", w, h),
+      Heatmap("words_received", w, h),  Heatmap("fifo_highwater", w, h),
+      Heatmap("ramp_highwater", w, h),  Heatmap("router_forwards", w, h),
+      Heatmap("router_highwater", w, h)};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!fabric.has_core(x, y)) continue;
+      const wse::CoreStats& cs = fabric.core(x, y).stats();
+      maps.instr_cycles.at(x, y) = static_cast<double>(cs.instr_cycles);
+      maps.stall_cycles.at(x, y) = static_cast<double>(cs.stall_cycles);
+      maps.idle_cycles.at(x, y) = static_cast<double>(cs.idle_cycles);
+      maps.task_invocations.at(x, y) =
+          static_cast<double>(cs.task_invocations);
+      maps.elements.at(x, y) = static_cast<double>(cs.elements_processed);
+      maps.words_sent.at(x, y) = static_cast<double>(cs.words_sent);
+      maps.words_received.at(x, y) = static_cast<double>(cs.words_received);
+      maps.fifo_highwater.at(x, y) = static_cast<double>(cs.fifo_highwater);
+      maps.ramp_highwater.at(x, y) = static_cast<double>(cs.ramp_highwater);
+      const wse::RouterStats& rs = fabric.router_stats(x, y);
+      maps.router_forwards.at(x, y) =
+          static_cast<double>(rs.flits_forwarded);
+      maps.router_highwater.at(x, y) =
+          static_cast<double>(rs.queue_highwater);
+    }
+  }
+  return maps;
+}
+
+bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
+                        const std::string& prefix, std::string* error) {
+  if (!ensure_directory(dir, error)) return false;
+  for (const Heatmap* m : maps.all()) {
+    const std::string path = dir + "/" + prefix + "_" + m->name + ".csv";
+    if (!write_text_file(path, m->to_csv(), error)) return false;
+  }
+  return true;
+}
+
+} // namespace wss::telemetry

@@ -1,0 +1,79 @@
+#pragma once
+
+// Per-tile fabric heatmaps: 2D grids of per-core / per-router activity
+// counters (instructions retired, stall/idle cycles, FIFO and ramp-queue
+// high-water marks, link transfers) harvested from a simulated
+// wse::Fabric after a run. Exported as CSV grids (one row per fabric row,
+// for plotting) and as quick ASCII intensity maps for terminal triage —
+// the "which column of tiles is starving?" question should not require
+// leaving the shell.
+
+#include <string>
+#include <vector>
+
+namespace wss::wse {
+class Fabric;
+}
+
+namespace wss::telemetry {
+
+struct Heatmap {
+  std::string name;
+  int width = 0;
+  int height = 0;
+  std::vector<double> cells; ///< row-major: cells[y*width + x]
+
+  Heatmap() = default;
+  Heatmap(std::string n, int w, int h)
+      : name(std::move(n)), width(w), height(h),
+        cells(static_cast<std::size_t>(w) * static_cast<std::size_t>(h),
+              0.0) {}
+
+  [[nodiscard]] double& at(int x, int y) {
+    return cells[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] double at(int x, int y) const {
+    return cells[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double min_value() const;
+
+  /// `height` lines of `width` comma-separated values, with a leading
+  /// `# name,width,height` comment line.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Terminal intensity map (10-level ramp, linearly scaled to max) with a
+  /// legend; fabrics wider than `max_cols` are column-subsampled.
+  [[nodiscard]] std::string ascii(int max_cols = 100) const;
+};
+
+/// Everything harvested from one fabric.
+struct FabricHeatmaps {
+  Heatmap instr_cycles;      ///< datapath-busy cycles per tile
+  Heatmap stall_cycles;      ///< blocked-with-work cycles per tile
+  Heatmap idle_cycles;       ///< nothing-to-do cycles per tile
+  Heatmap task_invocations;  ///< scheduler task starts per tile
+  Heatmap elements;          ///< tensor elements processed per tile
+  Heatmap words_sent;        ///< fabric words injected per tile
+  Heatmap words_received;    ///< fabric words delivered per tile
+  Heatmap fifo_highwater;    ///< max software-FIFO occupancy per tile
+  Heatmap ramp_highwater;    ///< max ramp-queue occupancy per tile
+  Heatmap router_forwards;   ///< flits forwarded through the router
+  Heatmap router_highwater;  ///< max router output-queue occupancy
+
+  [[nodiscard]] std::vector<const Heatmap*> all() const;
+};
+
+/// Read every per-tile counter out of a fabric (cheap: the counters are
+/// maintained during the run regardless; this only copies them).
+[[nodiscard]] FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric);
+
+/// Write one `<dir>/<prefix>_<name>.csv` per heatmap, creating `dir` if
+/// needed. Returns false + `*error` on the first failure.
+bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
+                        const std::string& prefix,
+                        std::string* error = nullptr);
+
+} // namespace wss::telemetry

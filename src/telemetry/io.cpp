@@ -1,0 +1,46 @@
+#include "telemetry/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace wss::telemetry {
+
+bool ensure_directory(const std::string& path, std::string* error) {
+  if (path.empty()) {
+    if (error != nullptr) *error = "empty directory path";
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create directory " + path + ": " + ec.message();
+    }
+    return false;
+  }
+  return true;
+}
+
+bool write_text_file(const std::string& path, std::string_view content,
+                     std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "short write to " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+} // namespace wss::telemetry

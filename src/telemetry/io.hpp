@@ -1,0 +1,21 @@
+#pragma once
+
+// Filesystem helpers shared by the telemetry exporters and the bench
+// harness: create-output-directory-if-missing and write-whole-file, both
+// reporting *why* they failed (errno text) instead of failing silently.
+
+#include <string>
+#include <string_view>
+
+namespace wss::telemetry {
+
+/// Create `path` (and parents) if missing. Returns false and fills
+/// `*error` (if non-null) with a strerror-style message on failure.
+bool ensure_directory(const std::string& path, std::string* error = nullptr);
+
+/// Write `content` to `path`, truncating. Returns false and fills
+/// `*error` with path + strerror on failure.
+bool write_text_file(const std::string& path, std::string_view content,
+                     std::string* error = nullptr);
+
+} // namespace wss::telemetry

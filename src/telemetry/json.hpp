@@ -1,0 +1,155 @@
+#pragma once
+
+// Minimal JSON emission used by every telemetry exporter (metrics
+// snapshots, Chrome trace events, bench reports). Deliberately tiny: a
+// comma-tracking writer over a std::string, correct escaping, and `%.17g`
+// round-trippable doubles. No reflection, no DOM — exporters know their
+// own shape. (Parsing, needed only by the tests to assert
+// well-formedness, lives in the test helper, not here.)
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wss::telemetry::json {
+
+/// JSON-escape `s` (quotes, backslash, control characters).
+inline std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Format a double as a JSON number token (NaN/Inf become null, which
+/// JSON cannot represent).
+inline std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Streaming writer with automatic comma insertion. Usage:
+///   Writer w;
+///   w.begin_object().key("a").value(1.0).key("b").begin_array()
+///    .value("x").end_array().end_object();
+///   w.str();
+class Writer {
+public:
+  Writer& begin_object() {
+    item();
+    out_ += '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+  Writer& end_object() {
+    out_ += '}';
+    fresh_.pop_back();
+    return *this;
+  }
+  Writer& begin_array() {
+    item();
+    out_ += '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+  Writer& end_array() {
+    out_ += ']';
+    fresh_.pop_back();
+    return *this;
+  }
+  Writer& key(std::string_view k) {
+    item();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+  Writer& value(std::string_view v) {
+    item();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+  }
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(double v) {
+    item();
+    out_ += number(v);
+    return *this;
+  }
+  Writer& value(std::uint64_t v) {
+    item();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(std::int64_t v) {
+    item();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool v) {
+    item();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  Writer& null() {
+    item();
+    out_ += "null";
+    return *this;
+  }
+  /// Splice a pre-rendered JSON fragment (must itself be valid JSON).
+  Writer& raw(std::string_view fragment) {
+    item();
+    out_ += fragment;
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+private:
+  void item() {
+    if (pending_value_) {
+      // value directly after a key: no comma handling
+      pending_value_ = false;
+      return;
+    }
+    if (!fresh_.empty()) {
+      if (!fresh_.back()) {
+        out_ += ',';
+      }
+      fresh_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;
+  bool pending_value_ = false;
+};
+
+} // namespace wss::telemetry::json

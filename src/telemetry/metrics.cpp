@@ -1,0 +1,192 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace wss::telemetry {
+
+void Histogram::observe(double v) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    return std::isfinite(v) ? 0 : kNumBuckets - 1;
+  }
+  // ilogb(v) = floor(log2(v)); v in [2^e, 2^(e+1)).
+  const int e = std::ilogb(v);
+  const int idx = e - kMinExp + 1;
+  return std::clamp(idx, 0, kNumBuckets - 1);
+}
+
+double Histogram::bucket_lower_edge(int i) {
+  if (i <= 0) return 0.0;
+  return std::ldexp(1.0, kMinExp + i - 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target && seen > 0) return bucket_lower_edge(i);
+  }
+  return bucket_lower_edge(kNumBuckets - 1);
+}
+
+Histogram Histogram::minus(const Histogram& earlier) const {
+  Histogram out = *this;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const auto j = static_cast<std::size_t>(i);
+    out.buckets_[j] =
+        buckets_[j] >= earlier.buckets_[j] ? buckets_[j] - earlier.buckets_[j]
+                                           : 0;
+  }
+  out.count_ = count_ >= earlier.count_ ? count_ - earlier.count_ : 0;
+  out.sum_ = sum_ - earlier.sum_;
+  // min/max of the difference window are unknowable from totals; keep the
+  // later window's observed extremes as the best available bound.
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace(name, c.value);
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g.value);
+  for (const auto& [name, h] : histograms_) s.histograms.emplace(name, h);
+  return s;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::diff(const Snapshot& before,
+                                                const Snapshot& after) {
+  Snapshot d;
+  for (const auto& [name, v] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    d.counters.emplace(name, v >= base ? v - base : 0);
+  }
+  d.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    const auto it = before.histograms.find(name);
+    d.histograms.emplace(
+        name, it == before.histograms.end() ? h : h.minus(it->second));
+  }
+  return d;
+}
+
+std::string MetricsRegistry::Snapshot::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("min").value(h.min());
+    w.key("max").value(h.max());
+    w.key("mean").value(h.mean());
+    w.key("p50").value(h.quantile(0.5));
+    w.key("p99").value(h.quantile(0.99));
+    w.key("buckets").begin_array();
+    // Sparse encoding: [lower_edge, count] pairs for nonempty buckets.
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      w.begin_array()
+          .value(Histogram::bucket_lower_edge(i))
+          .value(h.bucket(i))
+          .end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsRegistry::Snapshot::pretty() const {
+  std::ostringstream out;
+  auto line = [&](const std::string& name, const std::string& v) {
+    out << "  " << name;
+    for (std::size_t i = name.size(); i < 40; ++i) out << ' ';
+    out << ' ' << v << '\n';
+  };
+  if (!counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, v] : counters) line(name, std::to_string(v));
+  }
+  if (!gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, v] : gauges) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      line(name, buf);
+    }
+  }
+  if (!histograms.empty()) {
+    out << "histograms:\n";
+    for (const auto& [name, h] : histograms) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "n=%llu mean=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g",
+                    static_cast<unsigned long long>(h.count()), h.mean(),
+                    h.min(), h.quantile(0.5), h.quantile(0.99), h.max());
+      line(name, buf);
+    }
+  }
+  return out.str();
+}
+
+} // namespace wss::telemetry

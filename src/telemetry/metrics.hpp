@@ -1,0 +1,115 @@
+#pragma once
+
+// The metrics registry: named counters, gauges, and log-scale histograms
+// shared by the solver probes, the fabric heatmap collector, and the bench
+// reporter. Designed for cheap hot paths: callers resolve a metric once
+// (`registry.counter("solver.iterations")` returns a stable reference —
+// std::map nodes never move) and then increment a plain integer. Snapshots
+// are value copies; diffing two snapshots isolates one phase of a run.
+// Export is JSON (machines) or aligned text (humans). Instances are not
+// thread-safe — one registry per thread of control, merge snapshots if
+// needed.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace wss::telemetry {
+
+/// Monotone event count.
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t n = 1) { value += n; }
+};
+
+/// Last-write-wins instantaneous value.
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// Log2-bucketed histogram over positive doubles, spanning 2^-32 .. 2^64.
+///
+/// Bucket 0 collects non-positive values and underflow (< 2^kMinExp);
+/// bucket i >= 1 covers [2^(kMinExp+i-1), 2^(kMinExp+i)) — an exact power
+/// of two lands in the bucket whose *lower* edge it is. The last bucket
+/// additionally absorbs overflow. Exact min/max/sum/count ride along so
+/// the mean is not quantized.
+class Histogram {
+public:
+  static constexpr int kMinExp = -32;
+  static constexpr int kNumBuckets = 98; // underflow + exponents -32..64
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+
+  /// Bucket index `v` falls into (see class comment for edge semantics).
+  [[nodiscard]] static int bucket_index(double v);
+  /// Inclusive lower edge of bucket i (i >= 1); bucket 0 has none.
+  [[nodiscard]] static double bucket_lower_edge(int i);
+
+  /// Approximate quantile (q in [0,1]) from the bucket boundaries:
+  /// returns the lower edge of the bucket containing the q-th sample.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Bucket-wise subtraction (for snapshot diffs); saturates at zero.
+  [[nodiscard]] Histogram minus(const Histogram& earlier) const;
+
+private:
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+public:
+  /// Find-or-create. References remain valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// Point-in-time value copy of every metric.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+
+    [[nodiscard]] std::string to_json() const;
+    [[nodiscard]] std::string pretty() const;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// after - before: counters/histograms subtract (absent-in-before means
+  /// the full after value), gauges keep their `after` reading.
+  [[nodiscard]] static Snapshot diff(const Snapshot& before,
+                                     const Snapshot& after);
+
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+  [[nodiscard]] std::string pretty() const { return snapshot().pretty(); }
+
+private:
+  // std::less<> enables lookup by string_view without allocating.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+} // namespace wss::telemetry

@@ -1,0 +1,78 @@
+#pragma once
+
+// Solver-side telemetry probe: one object per solve that feeds the
+// MetricsRegistry (per-iteration residual gauge + histogram, flop counter,
+// breakdown/stagnation/convergence events) and the SpanTracer (nested
+// solver-phase spans: spmv, dot, axpy, allreduce, iteration). Header-only
+// and null-tolerant: with both sinks nullptr every call collapses to a
+// pointer test, so instrumented solvers cost nothing unless a caller
+// opts in via SolveControls.
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span_tracer.hpp"
+
+namespace wss::telemetry {
+
+class SolverProbe {
+public:
+  SolverProbe(MetricsRegistry* metrics, SpanTracer* spans, const char* name)
+      : spans_(spans), name_(name != nullptr ? name : "solver") {
+    if (metrics != nullptr) {
+      iterations_ = &metrics->counter(name_ + ".iterations");
+      flops_ = &metrics->counter(name_ + ".flops");
+      residual_ = &metrics->gauge(name_ + ".residual");
+      residual_hist_ = &metrics->histogram(name_ + ".residual");
+      metrics_ = metrics;
+    }
+  }
+
+  [[nodiscard]] bool active() const {
+    return metrics_ != nullptr || spans_ != nullptr;
+  }
+
+  /// RAII span for one solver phase; no-op without a tracer.
+  [[nodiscard]] SpanTracer::Scoped phase(const char* phase_name) const {
+    return SpanTracer::Scoped(spans_, phase_name, "solver");
+  }
+
+  /// Record the end of iteration `it` (1-based): recurrence relative
+  /// residual and cumulative flop count so far.
+  void iteration(int it, double relative_residual,
+                 std::uint64_t flops_total) {
+    if (metrics_ == nullptr) return;
+    iterations_->add(1);
+    residual_->set(relative_residual);
+    residual_hist_->observe(relative_residual);
+    flops_->add(flops_total >= last_flops_ ? flops_total - last_flops_ : 0);
+    last_flops_ = flops_total;
+    (void)it;
+  }
+
+  /// Record why the solve stopped ("converged", "breakdown", ...) plus the
+  /// final state. Safe to call once at the end of the solve.
+  void finish(const char* reason, int iterations, double final_residual) {
+    if (spans_ != nullptr) {
+      spans_->instant(name_ + ".stop." + reason, "solver");
+    }
+    if (metrics_ == nullptr) return;
+    metrics_->counter(name_ + ".stop." + reason).add(1);
+    metrics_->gauge(name_ + ".final_iterations")
+        .set(static_cast<double>(iterations));
+    metrics_->gauge(name_ + ".final_residual").set(final_residual);
+  }
+
+private:
+  MetricsRegistry* metrics_ = nullptr;
+  SpanTracer* spans_ = nullptr;
+  std::string name_;
+  Counter* iterations_ = nullptr;
+  Counter* flops_ = nullptr;
+  Gauge* residual_ = nullptr;
+  Histogram* residual_hist_ = nullptr;
+  std::uint64_t last_flops_ = 0;
+};
+
+} // namespace wss::telemetry

@@ -1,0 +1,69 @@
+#include "telemetry/span_tracer.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace wss::telemetry {
+
+double SpanTracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch_)
+      .count();
+}
+
+void SpanTracer::begin(std::string name, std::string category) {
+  open_.push_back({std::move(name), std::move(category), now_us()});
+}
+
+void SpanTracer::end() {
+  if (open_.empty()) return;
+  Open o = std::move(open_.back());
+  open_.pop_back();
+  spans_.push_back({std::move(o.name), std::move(o.category), o.ts_us,
+                    now_us() - o.ts_us, static_cast<int>(open_.size())});
+}
+
+void SpanTracer::instant(std::string name, std::string category) {
+  instants_.push_back({std::move(name), std::move(category), now_us()});
+}
+
+void SpanTracer::clear() {
+  open_.clear();
+  spans_.clear();
+  instants_.clear();
+}
+
+std::string SpanTracer::to_chrome_json() const {
+  json::Writer w;
+  w.begin_object().key("traceEvents").begin_array();
+  w.begin_object()
+      .key("name").value("process_name")
+      .key("ph").value("M")
+      .key("pid").value(0)
+      .key("args").begin_object().key("name").value("host").end_object()
+      .end_object();
+  for (const Span& s : spans_) {
+    w.begin_object()
+        .key("name").value(s.name)
+        .key("cat").value(s.category)
+        .key("ph").value("X")
+        .key("ts").value(s.ts_us)
+        .key("dur").value(s.dur_us)
+        .key("pid").value(0)
+        .key("tid").value(0)
+        .end_object();
+  }
+  for (const Instant& i : instants_) {
+    w.begin_object()
+        .key("name").value(i.name)
+        .key("cat").value(i.category)
+        .key("ph").value("i")
+        .key("s").value("t")
+        .key("ts").value(i.ts_us)
+        .key("pid").value(0)
+        .key("tid").value(0)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+} // namespace wss::telemetry

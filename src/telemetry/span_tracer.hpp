@@ -1,0 +1,92 @@
+#pragma once
+
+// Host-side wall-clock span tracing: nested timed regions (solver phases —
+// SpMV, dot, AXPY, AllReduce — bench stages, fabric-simulation epochs)
+// recorded against a steady clock and exported as Chrome trace-event JSON
+// that loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// The fabric simulator's cycle-stamped wse::Tracer stream is merged into
+// the same file by telemetry/trace_adapter.hpp so host spans and per-tile
+// task timelines land in one view.
+//
+// Hot-path cost when tracing is off is one pointer test: every probe site
+// holds a `SpanTracer*` that is nullptr unless someone opted in.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wss::telemetry {
+
+class SpanTracer {
+public:
+  struct Span {
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;  ///< start, microseconds since tracer construction
+    double dur_us = 0.0; ///< duration in microseconds
+    int depth = 0;       ///< nesting depth at begin time
+  };
+  struct Instant {
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;
+  };
+
+  SpanTracer() : epoch_(clock::now()) {}
+
+  /// Open a span; close with end(). Spans must nest (LIFO).
+  void begin(std::string name, std::string category = "host");
+  /// Close the innermost open span. No-op if none is open.
+  void end();
+  /// Zero-duration marker.
+  void instant(std::string name, std::string category = "host");
+
+  /// RAII guard; tolerant of a null tracer so call sites need no branch.
+  class Scoped {
+  public:
+    Scoped(SpanTracer* t, std::string name, std::string category = "host")
+        : t_(t) {
+      if (t_ != nullptr) t_->begin(std::move(name), std::move(category));
+    }
+    ~Scoped() {
+      if (t_ != nullptr) t_->end();
+    }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+    Scoped(Scoped&& o) noexcept : t_(o.t_) { o.t_ = nullptr; }
+    Scoped& operator=(Scoped&&) = delete;
+
+  private:
+    SpanTracer* t_;
+  };
+  [[nodiscard]] Scoped scope(std::string name, std::string category = "host") {
+    return Scoped(this, std::move(name), std::move(category));
+  }
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<Instant>& instants() const {
+    return instants_;
+  }
+  [[nodiscard]] std::size_t open_depth() const { return open_.size(); }
+  [[nodiscard]] double now_us() const;
+  void clear();
+
+  /// Chrome trace-event JSON for the host spans alone. For a combined
+  /// host + fabric file use telemetry/trace_adapter.hpp.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+private:
+  using clock = std::chrono::steady_clock;
+  struct Open {
+    std::string name;
+    std::string category;
+    double ts_us;
+  };
+  clock::time_point epoch_;
+  std::vector<Open> open_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+};
+
+} // namespace wss::telemetry

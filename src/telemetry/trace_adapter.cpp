@@ -1,0 +1,158 @@
+#include "telemetry/trace_adapter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "telemetry/io.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/span_tracer.hpp"
+#include "wse/trace.hpp"
+
+namespace wss::telemetry {
+
+namespace {
+
+void emit_process_meta(json::Writer& w, int pid, const std::string& name) {
+  w.begin_object()
+      .key("name").value("process_name")
+      .key("ph").value("M")
+      .key("pid").value(pid)
+      .key("args").begin_object().key("name").value(name).end_object()
+      .end_object();
+}
+
+void emit_thread_meta(json::Writer& w, int pid, int tid,
+                      const std::string& name) {
+  w.begin_object()
+      .key("name").value("thread_name")
+      .key("ph").value("M")
+      .key("pid").value(pid)
+      .key("tid").value(tid)
+      .key("args").begin_object().key("name").value(name).end_object()
+      .end_object();
+}
+
+void emit_complete(json::Writer& w, const std::string& name,
+                   const char* category, double ts_us, double dur_us, int pid,
+                   int tid) {
+  w.begin_object()
+      .key("name").value(name)
+      .key("cat").value(category)
+      .key("ph").value("X")
+      .key("ts").value(ts_us)
+      .key("dur").value(dur_us)
+      .key("pid").value(pid)
+      .key("tid").value(tid)
+      .end_object();
+}
+
+void emit_instant(json::Writer& w, const std::string& name,
+                  const char* category, double ts_us, int pid, int tid) {
+  w.begin_object()
+      .key("name").value(name)
+      .key("cat").value(category)
+      .key("ph").value("i")
+      .key("s").value("t")
+      .key("ts").value(ts_us)
+      .key("pid").value(pid)
+      .key("tid").value(tid)
+      .end_object();
+}
+
+void emit_fabric(json::Writer& w, const FabricTraceSource& src, int pid) {
+  emit_process_meta(w, pid, src.name);
+  const double us_per_cycle = 1e6 / src.clock_hz;
+
+  // Stable per-tile thread ids in first-appearance order.
+  std::map<std::pair<int, int>, int> tids;
+  auto tid_of = [&](int x, int y) {
+    const auto key = std::make_pair(y, x);
+    auto it = tids.find(key);
+    if (it == tids.end()) {
+      const int tid = static_cast<int>(tids.size());
+      it = tids.emplace(key, tid).first;
+      emit_thread_meta(w, pid, tid,
+                       "tile (" + std::to_string(x) + "," +
+                           std::to_string(y) + ")");
+    }
+    return it->second;
+  };
+
+  // Per-tile stack of open tasks (TaskStart without a TaskEnd yet).
+  std::map<std::pair<int, int>, std::vector<wse::TraceEvent>> open;
+  std::uint64_t last_cycle = 0;
+  for (const wse::TraceEvent& e : src.tracer->events()) {
+    last_cycle = std::max(last_cycle, e.cycle);
+    const int tid = tid_of(e.tile_x, e.tile_y);
+    const double ts = static_cast<double>(e.cycle) * us_per_cycle;
+    switch (e.kind) {
+      case wse::TraceEventKind::TaskStart:
+        open[{e.tile_x, e.tile_y}].push_back(e);
+        break;
+      case wse::TraceEventKind::TaskEnd: {
+        auto& stack = open[{e.tile_x, e.tile_y}];
+        if (!stack.empty()) {
+          const wse::TraceEvent b = stack.back();
+          stack.pop_back();
+          const double ts0 = static_cast<double>(b.cycle) * us_per_cycle;
+          emit_complete(w, b.label, "task", ts0, ts - ts0, pid, tid);
+        } else {
+          emit_instant(w, e.label + " (end)", "task", ts, pid, tid);
+        }
+        break;
+      }
+      case wse::TraceEventKind::InstrComplete:
+        emit_instant(w, e.label, "instr", ts, pid, tid);
+        break;
+      case wse::TraceEventKind::Stall:
+        emit_instant(w, "stall", "stall", ts, pid, tid);
+        break;
+    }
+  }
+  // Tasks still open when the trace ended (e.g. a bounded tracer filled
+  // up): close them at the last observed cycle so the slice is visible.
+  const double end_ts = static_cast<double>(last_cycle) * us_per_cycle;
+  for (auto& [tile, stack] : open) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      const double ts0 = static_cast<double>(it->cycle) * us_per_cycle;
+      emit_complete(w, it->label + " (unterminated)", "task", ts0,
+                    end_ts - ts0, pid, tid_of(tile.first, tile.second));
+    }
+  }
+}
+
+} // namespace
+
+std::string chrome_trace_json(const SpanTracer* host,
+                              const std::vector<FabricTraceSource>& fabrics) {
+  json::Writer w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ns");
+  w.key("traceEvents").begin_array();
+  if (host != nullptr) {
+    emit_process_meta(w, 0, "host");
+    emit_thread_meta(w, 0, 0, "solver");
+    for (const SpanTracer::Span& s : host->spans()) {
+      emit_complete(w, s.name, s.category.c_str(), s.ts_us, s.dur_us, 0, 0);
+    }
+    for (const SpanTracer::Instant& i : host->instants()) {
+      emit_instant(w, i.name, i.category.c_str(), i.ts_us, 0, 0);
+    }
+  }
+  int pid = 1;
+  for (const FabricTraceSource& src : fabrics) {
+    if (src.tracer == nullptr) continue;
+    emit_fabric(w, src, pid++);
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+bool write_chrome_trace(const std::string& path, const SpanTracer* host,
+                        const std::vector<FabricTraceSource>& fabrics,
+                        std::string* error) {
+  return write_text_file(path, chrome_trace_json(host, fabrics), error);
+}
+
+} // namespace wss::telemetry

@@ -1,0 +1,43 @@
+#pragma once
+
+// Bridges the fabric simulator's cycle-stamped wse::Tracer stream and the
+// host-side SpanTracer into one Chrome trace-event JSON file (Perfetto /
+// chrome://tracing). Host spans render as pid 0 ("host"); each fabric
+// tracer renders as its own pid with one thread track per tile, with
+// TaskStart/TaskEnd pairs converted to complete ("X") slices, stalls and
+// instruction retirements to instant events. Cycles convert to trace
+// microseconds through the architecture clock so the simulator timeline
+// and host wall-clock spans share one time axis (they are different
+// clocks; the shared axis is for shape, not cross-correlation).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wss::wse {
+class Tracer;
+}
+
+namespace wss::telemetry {
+
+class SpanTracer;
+
+/// One simulated-fabric event stream to merge into a trace file.
+struct FabricTraceSource {
+  const wse::Tracer* tracer = nullptr;
+  double clock_hz = 1e9;   ///< cycle -> time conversion
+  std::string name = "fabric"; ///< Perfetto process name
+};
+
+/// Render a combined Chrome trace-event JSON document. Either side may be
+/// null/empty.
+[[nodiscard]] std::string chrome_trace_json(
+    const SpanTracer* host, const std::vector<FabricTraceSource>& fabrics);
+
+/// Write chrome_trace_json(...) to `path`. Returns false + `*error` on
+/// I/O failure.
+bool write_chrome_trace(const std::string& path, const SpanTracer* host,
+                        const std::vector<FabricTraceSource>& fabrics,
+                        std::string* error = nullptr);
+
+} // namespace wss::telemetry

@@ -1,5 +1,6 @@
 #include "wse/core.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
@@ -81,6 +82,8 @@ bool TileCore::try_deliver(int channel, std::uint32_t payload) {
   }
   q.push_back(payload);
   ++stats_.words_received;
+  stats_.ramp_highwater =
+      std::max(stats_.ramp_highwater, static_cast<std::uint64_t>(q.size()));
   return true;
 }
 
@@ -144,12 +147,18 @@ bool TileCore::inject(RouterState& router, Color color,
   }
   for (int d = 0; d < 4; ++d) {
     if (rule.forwards_to(static_cast<Dir>(d))) {
-      router.out_queues[static_cast<std::size_t>(d)][color].push_back(
-          Flit{payload, color, wide});
+      auto& q = router.out_queues[static_cast<std::size_t>(d)][color];
+      q.push_back(Flit{payload, color, wide});
+      ++router.stats.flits_forwarded;
+      router.stats.queue_highwater = std::max(
+          router.stats.queue_highwater, static_cast<std::uint64_t>(q.size()));
     }
   }
   for (int ch : rule.deliver_channels) {
-    ramp_queues_[static_cast<std::size_t>(ch)].push_back(payload);
+    auto& q = ramp_queues_[static_cast<std::size_t>(ch)];
+    q.push_back(payload);
+    stats_.ramp_highwater =
+        std::max(stats_.ramp_highwater, static_cast<std::uint64_t>(q.size()));
   }
   ++stats_.words_sent;
   return true;
@@ -356,6 +365,8 @@ bool TileCore::advance(int slot, RouterState& router) {
         memory_[static_cast<std::size_t>(fifo.base + fifo.tail)] = prod.bits();
         fifo.tail = (fifo.tail + 1) % fifo.capacity;
         ++fifo.count;
+        stats_.fifo_highwater = std::max(
+            stats_.fifo_highwater, static_cast<std::uint64_t>(fifo.count));
         fire(fifo.on_push, TrigAction::Activate);
         ++s.pos;
         ++f.pos;

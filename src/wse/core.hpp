@@ -21,9 +21,18 @@
 
 namespace wss::wse {
 
+/// Per-router activity counters (telemetry: the fabric heatmaps). Kept as
+/// plain always-on increments — the same cost class as the CoreStats the
+/// simulator has always maintained.
+struct RouterStats {
+  std::uint64_t flits_forwarded = 0;  ///< flits pushed into output queues
+  std::uint64_t queue_highwater = 0;  ///< max output-queue occupancy seen
+};
+
 /// Router-side state owned by the fabric but fed by the core on injection.
 struct RouterState {
   RoutingTable table;
+  RouterStats stats;
   /// Per outgoing mesh direction, per color: queued flits awaiting the link.
   std::array<std::array<std::deque<Flit>, kNumColors>, 4> out_queues;
   /// Per-virtual-channel input queues per incoming mesh direction — the
@@ -52,6 +61,8 @@ struct CoreStats {
   std::uint64_t words_sent = 0;
   std::uint64_t words_received = 0;
   std::uint64_t task_invocations = 0;
+  std::uint64_t fifo_highwater = 0;  ///< max software-FIFO occupancy
+  std::uint64_t ramp_highwater = 0;  ///< max ramp-queue occupancy
 };
 
 class TileCore {

@@ -1,5 +1,6 @@
 #include "wse/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wss::wse {
@@ -57,8 +58,14 @@ void Fabric::route_phase() {
             }
             for (int od = 0; od < 4; ++od) {
               if (rule.forwards_to(static_cast<Dir>(od))) {
-                t.router.out_queues[static_cast<std::size_t>(od)][flit.color]
-                    .push_back(flit);
+                auto& oq =
+                    t.router.out_queues[static_cast<std::size_t>(od)]
+                                       [flit.color];
+                oq.push_back(flit);
+                ++t.router.stats.flits_forwarded;
+                t.router.stats.queue_highwater =
+                    std::max(t.router.stats.queue_highwater,
+                             static_cast<std::uint64_t>(oq.size()));
               }
             }
             q.pop_front();

@@ -40,6 +40,14 @@ public:
   [[nodiscard]] const TileCore& core(int x, int y) const {
     return *tiles_[tile_index(x, y)].core;
   }
+  /// True once configure_tile was called for (x, y).
+  [[nodiscard]] bool has_core(int x, int y) const {
+    return tiles_[tile_index(x, y)].core != nullptr;
+  }
+  /// Per-router activity counters (telemetry heatmaps).
+  [[nodiscard]] const RouterStats& router_stats(int x, int y) const {
+    return tiles_[tile_index(x, y)].router.stats;
+  }
 
   /// Advance one cycle.
   void step();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/probe.hpp"
 #include "wse/route_compiler.hpp"
 
 namespace wss::wsekernels {
@@ -148,6 +149,9 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
   const std::size_t n = g.size();
   SolveResult result;
   FlopCounter* fc = &result.flops;
+  telemetry::SolverProbe probe(controls.metrics, controls.spans,
+                               controls.probe_name);
+  auto solve_span = probe.phase("wse_bicgstab");
 
   Field3<fp16_t> r(g), r0(g), p(g), s(g), q(g), y(g), ax(g);
 
@@ -166,6 +170,8 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
     x.fill(fp16_t(0.0));
     result.reason = StopReason::Converged;
     result.relative_residuals.push_back(0.0);
+    probe.finish(to_string(result.reason), result.iterations,
+                 result.final_residual());
     return result;
   }
 
@@ -187,50 +193,79 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
   };
 
   for (int it = 0; it < controls.max_iterations; ++it) {
-    wse_spmv(*a_, p, s);
-    count_spmv();
+    auto iteration_span = probe.phase("iteration");
+    {
+      auto span = probe.phase("spmv");
+      wse_spmv(*a_, p, s);
+      count_spmv();
+    }
 
-    const float r0s = wse_dot(r0, s);
-    count_dot();
+    float r0s = 0.0f;
+    {
+      auto span = probe.phase("dot+allreduce");
+      r0s = wse_dot(r0, s);
+      count_dot();
+    }
     if (r0s == 0.0f) {
       result.reason = StopReason::Breakdown;
       break;
     }
     const fp16_t alpha(rho / r0s);
 
-    for (std::size_t i = 0; i < n; ++i) q[i] = fmac(-alpha, s[i], r[i]);
-    count_axpy();
+    {
+      auto span = probe.phase("axpy");
+      for (std::size_t i = 0; i < n; ++i) q[i] = fmac(-alpha, s[i], r[i]);
+      count_axpy();
+    }
 
-    wse_spmv(*a_, q, y);
-    count_spmv();
+    {
+      auto span = probe.phase("spmv");
+      wse_spmv(*a_, q, y);
+      count_spmv();
+    }
 
-    const float qy = wse_dot(q, y);
-    const float yy = wse_dot(y, y);
-    count_dot();
-    count_dot();
+    float qy = 0.0f;
+    float yy = 0.0f;
+    {
+      auto span = probe.phase("dot+allreduce");
+      qy = wse_dot(q, y);
+      yy = wse_dot(y, y);
+      count_dot();
+      count_dot();
+    }
     if (yy == 0.0f) {
       result.reason = StopReason::Breakdown;
       break;
     }
     const fp16_t omega(qy / yy);
 
-    for (std::size_t i = 0; i < n; ++i) x[i] = fmac(alpha, p[i], x[i]);
-    for (std::size_t i = 0; i < n; ++i) x[i] = fmac(omega, q[i], x[i]);
-    count_axpy();
-    count_axpy();
+    {
+      auto span = probe.phase("axpy");
+      for (std::size_t i = 0; i < n; ++i) x[i] = fmac(alpha, p[i], x[i]);
+      for (std::size_t i = 0; i < n; ++i) x[i] = fmac(omega, q[i], x[i]);
+      count_axpy();
+      count_axpy();
 
-    for (std::size_t i = 0; i < n; ++i) r[i] = fmac(-omega, y[i], q[i]);
-    count_axpy();
+      for (std::size_t i = 0; i < n; ++i) r[i] = fmac(-omega, y[i], q[i]);
+      count_axpy();
+    }
 
-    const float rho_next = wse_dot(r0, r);
-    count_dot();
-
-    const float rr = wse_dot(r, r);
+    float rho_next = 0.0f;
+    float rr = 0.0f;
+    {
+      auto span = probe.phase("dot+allreduce");
+      rho_next = wse_dot(r0, r);
+      count_dot();
+      rr = wse_dot(r, r);
+    }
     const double rnorm = std::sqrt(static_cast<double>(rr));
     result.relative_residuals.push_back(rnorm / bnorm);
     ++result.iterations;
+    probe.iteration(result.iterations, rnorm / bnorm, result.flops.total());
     if (rnorm / bnorm < controls.tolerance) {
       result.reason = StopReason::Converged;
+      probe.finish(to_string(result.reason), result.iterations,
+                   result.final_residual());
       return result;
     }
     if (controls.stagnation_window > 0 &&
@@ -239,6 +274,8 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
           result.iterations - 1 - controls.stagnation_window)];
       if (rnorm / bnorm > prev * controls.stagnation_factor) {
         result.reason = StopReason::Stagnation;
+        probe.finish(to_string(result.reason), result.iterations,
+                     result.final_residual());
         return result;
       }
     }
@@ -259,6 +296,8 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
     count_axpy();
     count_axpy();
   }
+  probe.finish(to_string(result.reason), result.iterations,
+               result.final_residual());
   return result;
 }
 

@@ -99,8 +99,8 @@ TEST_P(CavitySizes, MassResidualDropsAtAnyResolution) {
 
 INSTANTIATE_TEST_SUITE_P(Resolutions, CavitySizes,
                          ::testing::Values(4, 6, 8, 12),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 } // namespace

@@ -103,9 +103,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{Problem::Momentum, 10},
                       SweepCase{Problem::Random, 6},
                       SweepCase{Problem::Random, 8}),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      return std::string(name(info.param.problem)) + "_n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return std::string(name(param_info.param.problem)) + "_n" +
+             std::to_string(param_info.param.n);
     });
 
 // Mesh-shape parameterized sweep of the WSE tier-2 solver: pencil-shaped,
@@ -129,10 +129,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(4, 4, 64), std::make_tuple(16, 16, 2),
                       std::make_tuple(2, 32, 8), std::make_tuple(8, 8, 8),
                       std::make_tuple(1, 1, 128), std::make_tuple(32, 1, 4)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
-      return std::to_string(std::get<0>(info.param)) + "x" +
-             std::to_string(std::get<1>(info.param)) + "x" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& param_info) {
+      return std::to_string(std::get<0>(param_info.param)) + "x" +
+             std::to_string(std::get<1>(param_info.param)) + "x" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 } // namespace

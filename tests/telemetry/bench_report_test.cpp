@@ -1,0 +1,148 @@
+#include "telemetry/bench_report.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "json_check.hpp"
+#include "telemetry/io.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace wss::telemetry {
+namespace {
+
+TEST(BenchReport, JsonParsesBackWithDeviation) {
+  BenchReport r;
+  r.set_name("fig7");
+  r.set_experiment("cluster scaling");
+  r.set_paper_ref("Fig. 7");
+  r.set_claim("strong scaling to 370 nodes");
+  r.add_row("cycles/iter", 100.0, 110.0, "cycles");
+  r.add_row("no-baseline", 0.0, 3.5, "s");
+  r.add_note("simulated, not measured on hardware");
+
+  bool ok = false;
+  const auto doc = testjson::parse(r.to_json(nullptr), &ok);
+  ASSERT_TRUE(ok) << r.to_json(nullptr);
+  EXPECT_EQ(doc.at("bench").str(), "fig7");
+  EXPECT_EQ(doc.at("experiment").str(), "cluster scaling");
+  EXPECT_EQ(doc.at("paper_ref").str(), "Fig. 7");
+  EXPECT_TRUE(doc.has("generated_unix_ms"));
+
+  const auto& rows = doc.at("rows").array();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].at("label").str(), "cycles/iter");
+  EXPECT_DOUBLE_EQ(rows[0].at("paper").number(), 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].at("measured").number(), 110.0);
+  EXPECT_NEAR(rows[0].at("deviation_pct").number(), 10.0, 1e-12);
+  // Rows without a paper value carry an explicit null and no deviation.
+  EXPECT_TRUE(rows[1].at("paper").is_null());
+  EXPECT_FALSE(rows[1].has("deviation_pct"));
+
+  ASSERT_EQ(doc.at("notes").array().size(), 1u);
+  // No registry attached: no metrics section.
+  EXPECT_FALSE(doc.has("metrics"));
+}
+
+TEST(BenchReport, AttachesMetricsSnapshot) {
+  BenchReport r;
+  r.set_name("x");
+  r.add_row("t", 0.0, 1.0, "s");
+  MetricsRegistry reg;
+  reg.counter("solver.iterations").add(12);
+
+  bool ok = false;
+  const auto doc = testjson::parse(r.to_json(&reg), &ok);
+  ASSERT_TRUE(ok) << r.to_json(&reg);
+  EXPECT_DOUBLE_EQ(
+      doc.at("metrics").at("counters").at("solver.iterations").number(), 12.0);
+
+  // An empty registry is omitted rather than serialized as clutter.
+  MetricsRegistry empty;
+  ok = false;
+  const auto doc2 = testjson::parse(r.to_json(&empty), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_FALSE(doc2.has("metrics"));
+}
+
+TEST(BenchReport, WriteCreatesDirectoryAndFile) {
+  BenchReport r;
+  r.set_name("unit_test_report");
+  r.add_row("a", 1.0, 1.0, "x");
+
+  const std::string dir = ::testing::TempDir() + "wss_bench_report_" +
+                          std::to_string(static_cast<unsigned>(::getpid())) +
+                          "/nested";
+  std::string error;
+  ASSERT_TRUE(r.write(dir, nullptr, &error)) << error;
+
+  const std::string path = dir + "/unit_test_report.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  bool ok = false;
+  const auto doc = testjson::parse(text, &ok);
+  ASSERT_TRUE(ok) << text;
+  EXPECT_EQ(doc.at("bench").str(), "unit_test_report");
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, WriteReportsWhyItFailed) {
+  BenchReport r;
+  r.set_name("x");
+  r.add_row("a", 0.0, 1.0, "x");
+  std::string error;
+  EXPECT_FALSE(r.write("/proc/not/a/real/dir", nullptr, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("/proc"), std::string::npos) << error;
+}
+
+TEST(BenchReport, DefaultNameIsSanitized) {
+  // On Linux this resolves to this test binary's basename; either way the
+  // result must be filesystem-safe.
+  const std::string name = default_report_name("fig 7: cluster/370");
+  EXPECT_FALSE(name.empty());
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(std::isalnum(u) || c == '_' || c == '-' || c == '.')
+        << "bad char in " << name;
+  }
+  EXPECT_EQ(name.find('/'), std::string::npos);
+  EXPECT_EQ(name.find(' '), std::string::npos);
+}
+
+TEST(BenchReport, EmptyReportIsEmpty) {
+  BenchReport r;
+  EXPECT_TRUE(r.empty());
+  r.set_experiment("warming up");
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(IoHelpers, EnsureDirectoryIsIdempotent) {
+  const std::string dir = ::testing::TempDir() + "wss_io_test_" +
+                          std::to_string(static_cast<unsigned>(::getpid()));
+  std::string error;
+  EXPECT_TRUE(ensure_directory(dir, &error)) << error;
+  EXPECT_TRUE(ensure_directory(dir, &error)) << error; // already exists: ok
+  EXPECT_TRUE(write_text_file(dir + "/f.txt", "hello", &error)) << error;
+  std::ifstream in(dir + "/f.txt");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, "hello");
+  std::remove((dir + "/f.txt").c_str());
+}
+
+TEST(IoHelpers, WriteTextFileExplainsFailure) {
+  std::string error;
+  EXPECT_FALSE(write_text_file("/proc/no_such_dir/f.txt", "x", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("f.txt"), std::string::npos) << error;
+}
+
+} // namespace
+} // namespace wss::telemetry

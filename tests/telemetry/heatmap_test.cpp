@@ -1,0 +1,151 @@
+#include "telemetry/heatmap.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stencil/generators.hpp"
+#include "wse/fabric.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss::telemetry {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+int commas_in(const std::string& line) {
+  int n = 0;
+  for (const char c : line) {
+    if (c == ',') ++n;
+  }
+  return n;
+}
+
+TEST(Heatmap, CsvShapeMatchesDimensions) {
+  Heatmap h("busy", 3, 2);
+  h.at(0, 0) = 1.0;
+  h.at(2, 0) = 4.0;
+  h.at(1, 1) = 2.5;
+  const auto lines = lines_of(h.to_csv());
+  // One comment line + `height` data rows.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "# busy,3,2");
+  // Each data row carries `width` comma-separated values.
+  EXPECT_EQ(commas_in(lines[1]), 2);
+  EXPECT_EQ(commas_in(lines[2]), 2);
+  // Integral values print without a decimal point; 2.5 keeps one.
+  EXPECT_EQ(lines[1], "1,0,4");
+  EXPECT_NE(lines[2].find("2.5"), std::string::npos);
+  EXPECT_DOUBLE_EQ(h.max_value(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min_value(), 0.0);
+}
+
+TEST(Heatmap, AsciiRenderHasNameAndLegend) {
+  Heatmap h("stall", 4, 2);
+  h.at(3, 1) = 10.0;
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find("stall"), std::string::npos);
+  EXPECT_NE(art.find("max"), std::string::npos);
+  // The hottest cell renders as the top of the ramp.
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(Heatmap, AsciiSubsamplesWideFabrics) {
+  Heatmap h("wide", 400, 1);
+  for (int x = 0; x < 400; ++x) h.at(x, 0) = 1.0;
+  const auto lines = lines_of(h.ascii(/*max_cols=*/50));
+  for (const auto& line : lines) {
+    EXPECT_LE(line.size(), 120u) << line;
+  }
+}
+
+TEST(FabricHeatmaps, CollectMatchesFabricDims) {
+  const Grid3 g(3, 3, 8);
+  auto ad = make_random_dominant7(g, 0.5, 11);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  const auto a = convert_stencil<fp16_t>(ad);
+  Field3<fp16_t> v(g);
+  Rng rng(5);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+  }
+
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  wsekernels::SpMV3DSimulation s(a, arch, sim);
+  (void)s.run(v);
+
+  const FabricHeatmaps maps = collect_heatmaps(s.fabric());
+  const auto all = maps.all();
+  ASSERT_EQ(all.size(), 11u);
+  for (const Heatmap* m : all) {
+    EXPECT_EQ(m->width, 3) << m->name;
+    EXPECT_EQ(m->height, 3) << m->name;
+    EXPECT_EQ(m->cells.size(), 9u) << m->name;
+    EXPECT_FALSE(m->name.empty());
+  }
+  // A real run leaves footprints: every tile retired instructions and
+  // invoked tasks, and the FIFO-based SpMV exercised the software FIFOs.
+  EXPECT_GT(maps.instr_cycles.min_value(), 0.0);
+  EXPECT_GT(maps.task_invocations.min_value(), 0.0);
+  EXPECT_GT(maps.fifo_highwater.max_value(), 0.0);
+  EXPECT_GT(maps.words_sent.max_value(), 0.0);
+  EXPECT_GT(maps.words_received.max_value(), 0.0);
+}
+
+TEST(FabricHeatmaps, WriteCsvsCreatesOneFilePerMap) {
+  const Grid3 g(2, 2, 4);
+  auto ad = make_random_dominant7(g, 0.5, 3);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  const auto a = convert_stencil<fp16_t>(ad);
+  Field3<fp16_t> v(g, fp16_t(1.0F));
+
+  wse::CS1Params arch;
+  wse::SimParams sim;
+  wsekernels::SpMV3DSimulation s(a, arch, sim);
+  (void)s.run(v);
+  const FabricHeatmaps maps = collect_heatmaps(s.fabric());
+
+  const std::string dir =
+      ::testing::TempDir() + "wss_heatmap_test_" +
+      std::to_string(static_cast<unsigned>(::getpid()));
+  std::string error;
+  ASSERT_TRUE(write_heatmap_csvs(maps, dir, "spmv", &error)) << error;
+  for (const Heatmap* m : maps.all()) {
+    const std::string path = dir + "/spmv_" + m->name + ".csv";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    const auto lines = lines_of(std::string(
+        std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()));
+    ASSERT_EQ(lines.size(), 3u) << path; // header + 2 fabric rows
+    EXPECT_EQ(commas_in(lines[1]), 1) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FabricHeatmaps, WriteCsvsReportsUnwritableDirectory) {
+  FabricHeatmaps maps;
+  maps.instr_cycles = Heatmap("instr_cycles", 1, 1);
+  std::string error;
+  EXPECT_FALSE(write_heatmap_csvs(maps, "/proc/definitely/not/writable",
+                                  "x", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace wss::telemetry

@@ -1,0 +1,249 @@
+#pragma once
+
+// Test-only minimal JSON parser: just enough recursive descent to assert
+// that exporter output is well-formed and to fish out values by path.
+// Deliberately strict (no trailing commas, no NaN tokens) so the tests
+// catch exporter bugs a lenient consumer would mask.
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace wss::testjson {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Object>, std::shared_ptr<Array>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<Object>>(v);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<Array>>(v);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] const Object& object() const {
+    return *std::get<std::shared_ptr<Object>>(v);
+  }
+  [[nodiscard]] const Array& array() const {
+    return *std::get<std::shared_ptr<Array>>(v);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    return object().at(key);
+  }
+  [[nodiscard]] const Value& at(std::size_t i) const { return array().at(i); }
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  /// Parse the full document; `*ok` false on any syntax error or
+  /// trailing garbage.
+  Value parse(bool* ok) {
+    ok_ = true;
+    pos_ = 0;
+    Value v = value();
+    ws();
+    if (pos_ != s_.size()) ok_ = false;
+    *ok = ok_;
+    return v;
+  }
+
+private:
+  void ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool lit(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) == 0) {
+      pos_ += w.size();
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  Value value() {
+    ws();
+    if (pos_ >= s_.size()) {
+      ok_ = false;
+      return {};
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Value{string()};
+    if (c == 't') {
+      lit("true");
+      return Value{true};
+    }
+    if (c == 'f') {
+      lit("false");
+      return Value{false};
+    }
+    if (c == 'n') {
+      lit("null");
+      return Value{nullptr};
+    }
+    return number();
+  }
+
+  Value object() {
+    auto obj = std::make_shared<Object>();
+    if (!eat('{')) {
+      ok_ = false;
+      return {};
+    }
+    ws();
+    if (eat('}')) return Value{obj};
+    while (ok_) {
+      ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        ok_ = false;
+        break;
+      }
+      std::string key = string();
+      if (!eat(':')) {
+        ok_ = false;
+        break;
+      }
+      (*obj)[std::move(key)] = value();
+      if (eat(',')) continue;
+      if (eat('}')) return Value{obj};
+      ok_ = false;
+    }
+    return {};
+  }
+
+  Value array() {
+    auto arr = std::make_shared<Array>();
+    if (!eat('[')) {
+      ok_ = false;
+      return {};
+    }
+    ws();
+    if (eat(']')) return Value{arr};
+    while (ok_) {
+      arr->push_back(value());
+      if (eat(',')) continue;
+      if (eat(']')) return Value{arr};
+      ok_ = false;
+    }
+    return {};
+  }
+
+  std::string string() {
+    std::string out;
+    ++pos_; // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              ok_ = false;
+              return out;
+            }
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + static_cast<std::size_t>(i)]))) {
+                ok_ = false;
+                return out;
+              }
+            }
+            out += '?'; // tests only check well-formedness here
+            pos_ += 4;
+            break;
+          }
+          default:
+            ok_ = false;
+            return out;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        ok_ = false; // raw control character: invalid JSON
+        return out;
+      } else {
+        out += c;
+      }
+    }
+    ok_ = false; // unterminated
+    return out;
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ok_ = false;
+      return {};
+    }
+    try {
+      return Value{std::stod(s_.substr(start, pos_ - start))};
+    } catch (...) {
+      ok_ = false;
+      return {};
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Parse-or-fail helper for tests.
+inline Value parse(const std::string& text, bool* ok) {
+  Parser p(text);
+  return p.parse(ok);
+}
+
+} // namespace wss::testjson

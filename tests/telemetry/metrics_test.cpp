@@ -1,0 +1,129 @@
+#include "telemetry/metrics.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "json_check.hpp"
+
+namespace wss::telemetry {
+namespace {
+
+TEST(Counter, AccumulatesAndSnapshots) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("solver.iterations");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(reg.counter("solver.iterations").value, 42u);
+  // Reference stability: resolving again yields the same object.
+  EXPECT_EQ(&c, &reg.counter("solver.iterations"));
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("solver.iterations"), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry reg;
+  reg.gauge("residual").set(1.0);
+  reg.gauge("residual").set(1e-3);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("residual"), 1e-3);
+}
+
+TEST(Histogram, BucketEdgesArePowersOfTwo) {
+  // An exact power of two lands in the bucket whose LOWER edge it is.
+  const int i1 = Histogram::bucket_index(1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_edge(i1), 1.0);
+  const int i2 = Histogram::bucket_index(2.0);
+  EXPECT_EQ(i2, i1 + 1);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_edge(i2), 2.0);
+  // Just below the edge stays in the lower bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::nextafter(2.0, 0.0)), i1);
+  // Half-open: 1.999... and 1.0 share a bucket; 3.9 sits with 2.0.
+  EXPECT_EQ(Histogram::bucket_index(1.5), i1);
+  EXPECT_EQ(Histogram::bucket_index(3.9), i2);
+}
+
+TEST(Histogram, UnderflowOverflowAndNonPositive) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0);
+  // Below 2^kMinExp underflows into bucket 0.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMinExp - 3)),
+            0);
+  // Huge values clamp into the top bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kNumBuckets - 1);
+
+  Histogram h;
+  h.observe(0.0);
+  h.observe(1e300);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, StatsAndQuantiles) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1.0); // all in one bucket
+  h.observe(1024.0);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1024.0);
+  EXPECT_NEAR(h.mean(), (100.0 + 1024.0) / 101.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);
+}
+
+TEST(Registry, DiffIsolatesAWindow) {
+  MetricsRegistry reg;
+  reg.counter("spmv.calls").add(10);
+  reg.histogram("res").observe(0.5);
+  const auto before = reg.snapshot();
+
+  reg.counter("spmv.calls").add(7);
+  reg.counter("new.counter").add(3);
+  reg.gauge("g").set(9.0);
+  reg.histogram("res").observe(0.25);
+  const auto after = reg.snapshot();
+
+  const auto d = MetricsRegistry::diff(before, after);
+  EXPECT_EQ(d.counters.at("spmv.calls"), 7u);
+  EXPECT_EQ(d.counters.at("new.counter"), 3u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("g"), 9.0);
+  EXPECT_EQ(d.histograms.at("res").count(), 1u);
+  EXPECT_EQ(d.histograms.at("res").bucket(Histogram::bucket_index(0.25)), 1u);
+}
+
+TEST(Registry, JsonExportParsesBack) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(5);
+  reg.gauge("b \"quoted\"\n").set(-2.5);
+  reg.histogram("c").observe(4.0);
+  reg.histogram("c").observe(4.5);
+
+  bool ok = false;
+  const auto doc = testjson::parse(reg.to_json(), &ok);
+  ASSERT_TRUE(ok) << reg.to_json();
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("a.count").number(), 5.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("b \"quoted\"\n").number(), -2.5);
+  const auto& hist = doc.at("histograms").at("c");
+  EXPECT_DOUBLE_EQ(hist.at("count").number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").number(), 4.5);
+  // Sparse bucket encoding: one [lower_edge, count] pair at edge 4.
+  ASSERT_EQ(hist.at("buckets").array().size(), 1u);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").at(0).at(0).number(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").at(0).at(1).number(), 2.0);
+}
+
+TEST(Registry, PrettyMentionsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("iterations").add(3);
+  reg.gauge("residual").set(0.125);
+  reg.histogram("spmv_us").observe(10.0);
+  const std::string text = reg.pretty();
+  EXPECT_NE(text.find("iterations"), std::string::npos);
+  EXPECT_NE(text.find("residual"), std::string::npos);
+  EXPECT_NE(text.find("spmv_us"), std::string::npos);
+}
+
+} // namespace
+} // namespace wss::telemetry

@@ -1,0 +1,148 @@
+#include "telemetry/span_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json_check.hpp"
+#include "telemetry/trace_adapter.hpp"
+#include "wse/trace.hpp"
+
+namespace wss::telemetry {
+namespace {
+
+TEST(SpanTracer, SpansNestAndClose) {
+  SpanTracer t;
+  t.begin("solve");
+  t.begin("spmv");
+  t.end();
+  t.begin("dot");
+  t.end();
+  t.end();
+  ASSERT_EQ(t.spans().size(), 3u);
+  EXPECT_EQ(t.open_depth(), 0u);
+  // Inner spans close first and carry depth 1; the outer carries depth 0.
+  EXPECT_EQ(t.spans()[0].name, "spmv");
+  EXPECT_EQ(t.spans()[0].depth, 1);
+  EXPECT_EQ(t.spans()[2].name, "solve");
+  EXPECT_EQ(t.spans()[2].depth, 0);
+  // Containment: the outer span brackets the inner ones.
+  EXPECT_LE(t.spans()[2].ts_us, t.spans()[0].ts_us);
+  EXPECT_GE(t.spans()[2].ts_us + t.spans()[2].dur_us,
+            t.spans()[1].ts_us + t.spans()[1].dur_us);
+}
+
+TEST(SpanTracer, ScopedGuardTolerantOfNull) {
+  {
+    SpanTracer::Scoped guard(nullptr, "noop"); // must not crash
+  }
+  SpanTracer t;
+  {
+    auto guard = t.scope("outer");
+    auto inner = t.scope("inner");
+  }
+  EXPECT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.open_depth(), 0u);
+}
+
+TEST(SpanTracer, EndWithoutBeginIsNoop) {
+  SpanTracer t;
+  t.end();
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(SpanTracer, ChromeJsonIsWellFormed) {
+  SpanTracer t;
+  t.begin("phase \"one\"", "solver");
+  t.end();
+  t.instant("marker", "solver");
+  bool ok = false;
+  const auto doc = testjson::parse(t.to_chrome_json(), &ok);
+  ASSERT_TRUE(ok) << t.to_chrome_json();
+  const auto& events = doc.at("traceEvents").array();
+  // process_name metadata + 1 span + 1 instant.
+  ASSERT_EQ(events.size(), 3u);
+  bool saw_span = false;
+  bool saw_instant = false;
+  for (const auto& e : events) {
+    if (e.at("ph").str() == "X") {
+      saw_span = true;
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_TRUE(e.has("dur"));
+      EXPECT_GE(e.at("dur").number(), 0.0);
+    }
+    if (e.at("ph").str() == "i") saw_instant = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(TraceAdapter, ConvertsFabricTaskPairsToSlices) {
+  wse::Tracer fabric_trace;
+  fabric_trace.record(100, 2, 3, wse::TraceEventKind::TaskStart, "spmv");
+  fabric_trace.record(150, 2, 3, wse::TraceEventKind::InstrComplete, "MulVV");
+  fabric_trace.record(180, 2, 3, wse::TraceEventKind::Stall, "");
+  fabric_trace.record(200, 2, 3, wse::TraceEventKind::TaskEnd, "spmv");
+  fabric_trace.record(210, 2, 3, wse::TraceEventKind::TaskStart, "open_end");
+
+  SpanTracer host;
+  host.begin("solve");
+  host.end();
+
+  const double clock_hz = 1e6; // 1 cycle == 1 us for easy numbers
+  const std::string text =
+      chrome_trace_json(&host, {{&fabric_trace, clock_hz, "sim"}});
+  bool ok = false;
+  const auto doc = testjson::parse(text, &ok);
+  ASSERT_TRUE(ok) << text;
+
+  bool saw_task_slice = false;
+  bool saw_stall = false;
+  bool saw_instr = false;
+  bool saw_unterminated = false;
+  bool saw_host = false;
+  for (const auto& e : doc.at("traceEvents").array()) {
+    const std::string& name = e.at("name").str();
+    const std::string& ph = e.at("ph").str();
+    if (ph == "X" && name == "spmv") {
+      saw_task_slice = true;
+      EXPECT_DOUBLE_EQ(e.at("ts").number(), 100.0);
+      EXPECT_DOUBLE_EQ(e.at("dur").number(), 100.0);
+      EXPECT_DOUBLE_EQ(e.at("pid").number(), 1.0); // fabric pid
+    }
+    if (ph == "i" && name == "stall") saw_stall = true;
+    if (ph == "i" && name == "MulVV") saw_instr = true;
+    if (ph == "X" && name == "open_end (unterminated)") {
+      saw_unterminated = true;
+    }
+    if (ph == "X" && name == "solve") {
+      saw_host = true;
+      EXPECT_DOUBLE_EQ(e.at("pid").number(), 0.0); // host pid
+    }
+  }
+  EXPECT_TRUE(saw_task_slice);
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_instr);
+  EXPECT_TRUE(saw_unterminated);
+  EXPECT_TRUE(saw_host);
+}
+
+TEST(TraceAdapter, EmitsTileThreadMetadata) {
+  wse::Tracer fabric_trace;
+  fabric_trace.record(0, 4, 5, wse::TraceEventKind::TaskStart, "a");
+  fabric_trace.record(1, 4, 5, wse::TraceEventKind::TaskEnd, "a");
+  const std::string text =
+      chrome_trace_json(nullptr, {{&fabric_trace, 1e9, "sim"}});
+  bool ok = false;
+  const auto doc = testjson::parse(text, &ok);
+  ASSERT_TRUE(ok) << text;
+  bool saw_tile_name = false;
+  for (const auto& e : doc.at("traceEvents").array()) {
+    if (e.at("name").str() == "thread_name" &&
+        e.at("args").at("name").str() == "tile (4,5)") {
+      saw_tile_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_tile_name);
+}
+
+} // namespace
+} // namespace wss::telemetry

@@ -50,7 +50,7 @@ TEST(SpmvRoutes, CornerTileOnlyForwardsInbounds) {
 
 TEST(SpmvRoutes, NeighborColorsDeliverLocally) {
   const auto table = compile_spmv_routes(4, 4, 9, 9);
-  for (const auto [nx, ny] :
+  for (const auto& [nx, ny] :
        {std::pair{5, 4}, std::pair{3, 4}, std::pair{4, 5}, std::pair{4, 3}}) {
     const Color c = tessellation_color(nx, ny);
     const auto& rule = table.rule(c);

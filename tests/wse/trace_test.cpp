@@ -67,6 +67,42 @@ TEST(Trace, CapturesSpmvExecution) {
   EXPECT_TRUE(saw_sum);
 }
 
+TEST(Trace, RenderHonorsLineLimit) {
+  Tracer t(1 << 10);
+  for (int i = 0; i < 50; ++i) {
+    t.record(static_cast<std::uint64_t>(i), 0, 0,
+             TraceEventKind::InstrComplete, "FmacV");
+  }
+  const std::string s = t.render(/*max_lines=*/10);
+  std::size_t lines = 0;
+  for (const char c : s) {
+    if (c == '\n') ++lines;
+  }
+  // 10 event lines plus (at most) a truncation/summary footer.
+  EXPECT_LE(lines, 12u) << s;
+  EXPECT_NE(s.find("cycle 0"), std::string::npos);
+  // The 11th event must not be rendered.
+  EXPECT_EQ(s.find("cycle 10 "), std::string::npos) << s;
+}
+
+TEST(Trace, CountsEveryKindIndependently) {
+  Tracer t;
+  t.record(0, 0, 0, TraceEventKind::TaskStart, "a");
+  t.record(1, 0, 0, TraceEventKind::InstrComplete, "MulVV");
+  t.record(2, 0, 0, TraceEventKind::InstrComplete, "AddV");
+  t.record(3, 0, 0, TraceEventKind::Stall, "");
+  t.record(4, 0, 0, TraceEventKind::Stall, "");
+  t.record(5, 0, 0, TraceEventKind::Stall, "");
+  t.record(6, 0, 0, TraceEventKind::TaskEnd, "a");
+  EXPECT_EQ(t.count(TraceEventKind::TaskStart), 1u);
+  EXPECT_EQ(t.count(TraceEventKind::TaskEnd), 1u);
+  EXPECT_EQ(t.count(TraceEventKind::InstrComplete), 2u);
+  EXPECT_EQ(t.count(TraceEventKind::Stall), 3u);
+  t.clear();
+  EXPECT_EQ(t.count(TraceEventKind::Stall), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
 TEST(Trace, FocusFiltersOtherTiles) {
   Tracer t;
   t.focus(2, 3);

@@ -68,7 +68,7 @@ TEST(AllReduceSim, LatencyTracksDiameter) {
 TEST(AllReduceSim, RectangularFabrics) {
   wse::CS1Params arch;
   wse::SimParams sim;
-  for (const auto [w, h] : {std::pair{2, 2}, std::pair{3, 2}, std::pair{9, 5},
+  for (const auto& [w, h] : {std::pair{2, 2}, std::pair{3, 2}, std::pair{9, 5},
                             std::pair{16, 4}}) {
     AllReduceSimulation ar(w, h, arch, sim);
     std::vector<float> contrib(

@@ -43,7 +43,7 @@ TEST(FusedReduction, BitIdenticalResults) {
 TEST(FusedReduction, NeverSlower) {
   wse::CS1Params arch;
   wse::SimParams sim;
-  for (const auto [n, z] : {std::pair{8, 32}, std::pair{16, 16}}) {
+  for (const auto& [n, z] : {std::pair{8, 32}, std::pair{16, 16}}) {
     System s = make_system(Grid3(n, n, z), 7);
     BicgstabSimulation blocking(s.a, 2, arch, sim);
     BicgstabSimOptions opt;

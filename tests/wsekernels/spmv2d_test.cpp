@@ -38,7 +38,7 @@ TEST(WseSpmv2D, MatchesReferenceAcrossBlockSizes) {
   }
   spmv9(adv, vd, ud);
 
-  for (const auto [bx, by] : {std::pair{4, 4}, std::pair{8, 8},
+  for (const auto& [bx, by] : {std::pair{4, 4}, std::pair{8, 8},
                               std::pair{7, 5}, std::pair{20, 17}}) {
     Field2<fp16_t> u(g);
     wse_spmv2d(a, v, u, bx, by);
