@@ -19,6 +19,7 @@ int main() {
   bench::header("E5: AllReduce latency", "Fig. 6, Section IV-3",
                 "cycle count ~10% over the fabric diameter; < 1.5 us for "
                 "~380k cores");
+  bench::sim_threads_note();
 
   const wse::CS1Params arch;
   const wse::SimParams sim;

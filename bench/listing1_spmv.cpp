@@ -56,6 +56,7 @@ int main() {
                 "Listing 1, Fig. 4",
                 "streamed 7-point SpMV via FIFOs + summation task; "
                 "validated values and cycles");
+  bench::sim_threads_note();
 
   const wse::CS1Params arch;
   const wse::SimParams sim;
@@ -88,9 +89,11 @@ int main() {
       std::printf("%s\n", maps.stall_cycles.ascii().c_str());
       if (const char* dir = std::getenv("WSS_CSV_DIR")) {
         std::string error;
+        std::string used_prefix;
         if (telemetry::write_heatmap_csvs(maps, dir, "spmv_6x6_z512",
-                                          &error)) {
-          std::printf("  [heatmaps: wrote %s/spmv_6x6_z512_*.csv]\n", dir);
+                                          &error, &used_prefix)) {
+          std::printf("  [heatmaps: wrote %s/%s_*.csv]\n", dir,
+                      used_prefix.c_str());
         } else {
           std::printf("  [heatmaps: %s]\n", error.c_str());
         }

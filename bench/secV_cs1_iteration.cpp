@@ -22,6 +22,7 @@ int main() {
   bench::header("E6: CS-1 BiCGStab headline", "Section V",
                 "28.1 us/iteration on 600x595x1536 -> 0.86 PFLOPS (~1/3 of "
                 "peak)");
+  bench::sim_threads_note();
 
   // WSS_TRACE_JSON=<file> records the phases of this bench (and, below,
   // the fabric simulator's task stream) as a Perfetto-loadable trace.

@@ -112,10 +112,17 @@ FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
 }
 
 bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
-                        const std::string& prefix, std::string* error) {
+                        const std::string& prefix, std::string* error,
+                        std::string* actual_prefix) {
   if (!ensure_directory(dir, error)) return false;
+  // Claim the full stem (dir + prefix) once per fabric, so every CSV of
+  // one fabric shares one suffix and a second fabric using the same
+  // prefix lands on `<prefix>_2_*` instead of clobbering the first.
+  const std::string stem = claim_output_stem(dir + "/" + prefix);
+  const std::string used_prefix = stem.substr(dir.size() + 1);
+  if (actual_prefix != nullptr) *actual_prefix = used_prefix;
   for (const Heatmap* m : maps.all()) {
-    const std::string path = dir + "/" + prefix + "_" + m->name + ".csv";
+    const std::string path = stem + "_" + m->name + ".csv";
     if (!write_text_file(path, m->to_csv(), error)) return false;
   }
   return true;

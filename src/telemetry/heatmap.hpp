@@ -72,8 +72,16 @@ struct FabricHeatmaps {
 
 /// Write one `<dir>/<prefix>_<name>.csv` per heatmap, creating `dir` if
 /// needed. Returns false + `*error` on the first failure.
+///
+/// The prefix is claimed process-wide (telemetry::claim_output_stem): if a
+/// previous call in this process already wrote heatmaps under the same
+/// `<dir>/<prefix>`, this call transparently writes under `<prefix>_2`
+/// (`_3`, ...) instead, so two fabrics simulated in one process never
+/// cross-contaminate each other's CSV grids. `*actual_prefix` (if
+/// non-null) receives the prefix actually used.
 bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
                         const std::string& prefix,
-                        std::string* error = nullptr);
+                        std::string* error = nullptr,
+                        std::string* actual_prefix = nullptr);
 
 } // namespace wss::telemetry

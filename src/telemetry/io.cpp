@@ -4,8 +4,44 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <unordered_map>
 
 namespace wss::telemetry {
+
+namespace {
+
+std::mutex& stem_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, int>& stem_claims() {
+  static std::unordered_map<std::string, int> claims;
+  return claims;
+}
+
+} // namespace
+
+std::string claim_output_stem(const std::string& stem) {
+  std::lock_guard<std::mutex> lk(stem_mutex());
+  auto& claims = stem_claims();
+  if (claims.emplace(stem, 1).second) return stem;
+  // Also register the disambiguated name, so an explicit later claim of
+  // e.g. "spmv_2" cannot collide with the expansion of "spmv".
+  for (int n = claims[stem] + 1;; ++n) {
+    const std::string candidate = stem + "_" + std::to_string(n);
+    if (claims.emplace(candidate, 1).second) {
+      claims[stem] = n;
+      return candidate;
+    }
+  }
+}
+
+void reset_output_stem_claims() {
+  std::lock_guard<std::mutex> lk(stem_mutex());
+  stem_claims().clear();
+}
 
 bool ensure_directory(const std::string& path, std::string* error) {
   if (path.empty()) {

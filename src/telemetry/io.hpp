@@ -18,4 +18,15 @@ bool ensure_directory(const std::string& path, std::string* error = nullptr);
 bool write_text_file(const std::string& path, std::string_view content,
                      std::string* error = nullptr);
 
+/// Per-process claim registry for output stems (a stem is a path or path
+/// prefix before any suffix/extension). The first claim of `stem` returns
+/// it unchanged; later claims of the same stem return `stem_2`, `stem_3`,
+/// ... — so two fabrics (or two benches) writing telemetry with the same
+/// name in one process get disjoint files instead of silently clobbering
+/// each other. Thread-safe.
+std::string claim_output_stem(const std::string& stem);
+
+/// Forget all claims (test isolation).
+void reset_output_stem_claims();
+
 } // namespace wss::telemetry

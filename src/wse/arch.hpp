@@ -58,6 +58,12 @@ struct SimParams {
   int fifo_default_depth = 20; ///< paper: "We used a FIFO depth of 20."
   /// 32-bit links: two packed fp16 words (or one fp32 word) per cycle.
   int link_halfwords_per_cycle = 2;
+  /// Host-side simulation parallelism (NOT a property of the modeled
+  /// machine): worker threads Fabric::step() shards its row bands over.
+  /// 0 = consult the WSS_SIM_THREADS environment variable (default 1 =
+  /// serial). Any value yields bit-identical results — see
+  /// docs/SIMULATOR.md "Parallel simulation".
+  int sim_threads = 0;
 };
 
 } // namespace wss::wse

@@ -1,28 +1,56 @@
 #include "wse/fabric.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace wss::wse {
 
 Fabric::Fabric(int width, int height, const CS1Params& arch,
                const SimParams& sim)
-    : width_(width), height_(height), arch_(&arch), sim_(sim) {
+    : width_(width), height_(height), arch_(&arch), sim_(sim),
+      threads_(resolve_sim_threads(sim.sim_threads)) {
   tiles_.resize(static_cast<std::size_t>(width) *
                 static_cast<std::size_t>(height));
 }
+
+Fabric::~Fabric() = default;
 
 void Fabric::configure_tile(int x, int y, TileProgram program,
                             RoutingTable routes) {
   Tile& t = tiles_[tile_index(x, y)];
   t.core = std::make_unique<TileCore>(std::move(program), *arch_, sim_);
   t.router.table = std::move(routes);
+  if (user_tracer_ != nullptr) t.core->set_tracer(user_tracer_, x, y);
 }
 
-void Fabric::route_phase() {
-  for (int y = 0; y < height_; ++y) {
+void Fabric::set_threads(int threads) {
+  threads_ = std::clamp(threads, 1, 256);
+}
+
+int Fabric::band_count() const {
+  return std::max(1, std::min(threads_, height_));
+}
+
+std::pair<int, int> Fabric::band_rows(int band, int bands) const {
+  // Contiguous bands, balanced to within one row. Using the same formula
+  // for every thread count keeps the tile->band mapping deterministic.
+  const int first = band * height_ / bands;
+  const int last = (band + 1) * height_ / bands;
+  return {first, last};
+}
+
+void Fabric::ensure_pool(int bands) {
+  if (!pool_ || pool_->threads() != bands) {
+    pool_ = std::make_unique<SimThreadPool>(bands);
+  }
+}
+
+void Fabric::route_phase(int y0, int y1) {
+  for (int y = y0; y < y1; ++y) {
     for (int x = 0; x < width_; ++x) {
       Tile& t = tiles_[tile_index(x, y)];
+      if (t.core == nullptr) continue;
       for (int d = 0; d < 4; ++d) {
         for (int c = 0; c < kNumColors; ++c) {
           auto& q = t.router.in_queues[static_cast<std::size_t>(d)]
@@ -76,8 +104,25 @@ void Fabric::route_phase() {
   }
 }
 
-void Fabric::link_phase() {
-  for (int y = 0; y < height_; ++y) {
+void Fabric::core_phase(int y0, int y1, Tracer* tracer) {
+  for (int y = y0; y < y1; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      Tile& t = tiles_[tile_index(x, y)];
+      if (t.core == nullptr) continue;
+      if (user_tracer_ != nullptr) t.core->set_tracer(tracer, x, y);
+      t.core->step(t.router, stats_.cycles);
+    }
+  }
+}
+
+std::uint64_t Fabric::link_phase(int y0, int y1) {
+  // Cross-tile mutation lives here and only here: tile (x, y) moves flits
+  // from its own out_queues[d] into neighbor (x+dx, y+dy)'s
+  // in_queues[opposite(d)]. That queue has exactly one writer (this tile)
+  // and no reader during the link phase, so bands — which shard over the
+  // *source* tile — never race, including across band boundaries.
+  std::uint64_t transfers = 0;
+  for (int y = y0; y < y1; ++y) {
     for (int x = 0; x < width_; ++x) {
       Tile& t = tiles_[tile_index(x, y)];
       for (int d = 0; d < 4; ++d) {
@@ -111,7 +156,7 @@ void Fabric::link_phase() {
             q.pop_front();
             budget -= cost;
             rr = (c + 1) % kNumColors;
-            ++stats_.link_transfers;
+            ++transfers;
             moved = true;
             break;
           }
@@ -120,24 +165,82 @@ void Fabric::link_phase() {
       }
     }
   }
+  return transfers;
+}
+
+void Fabric::merge_staged_trace_events() {
+  // Band-order merge reproduces the serial (row-major) event order; the
+  // user tracer's own capacity accounting then drops exactly the same
+  // events a serial run would drop. Focus filtering happens here because
+  // the staging tracers record unconditionally.
+  for (auto& staged : trace_staging_) {
+    if (!staged) continue;
+    for (const TraceEvent& ev : staged->events()) {
+      if (user_tracer_->wants(ev.tile_x, ev.tile_y)) {
+        user_tracer_->record(ev.cycle, ev.tile_x, ev.tile_y, ev.kind,
+                             ev.label);
+      }
+    }
+    staged->clear();
+  }
 }
 
 void Fabric::step() {
-  route_phase();
-  for (auto& t : tiles_) {
-    t.core->step(t.router, stats_.cycles);
+  const int bands = band_count();
+  if (bands <= 1) {
+    route_phase(0, height_);
+    // core_phase rebinds tracers to `user_tracer_` so a serial step after
+    // a parallel one (set_threads) never leaves cores pointing at stale
+    // per-band staging buffers.
+    core_phase(0, height_, user_tracer_);
+    stats_.link_transfers += link_phase(0, height_);
+    ++stats_.cycles;
+    return;
   }
-  link_phase();
+
+  ensure_pool(bands);
+  if (user_tracer_ != nullptr) {
+    trace_staging_.resize(static_cast<std::size_t>(bands));
+    for (auto& staged : trace_staging_) {
+      if (!staged) {
+        staged = std::make_unique<Tracer>(
+            std::numeric_limits<std::size_t>::max());
+      }
+    }
+  }
+
+  pool_->run([&](int band) {
+    const auto [y0, y1] = band_rows(band, bands);
+    route_phase(y0, y1);
+  });
+  pool_->run([&](int band) {
+    const auto [y0, y1] = band_rows(band, bands);
+    Tracer* staged = user_tracer_ != nullptr
+                         ? trace_staging_[static_cast<std::size_t>(band)].get()
+                         : nullptr;
+    core_phase(y0, y1, staged);
+  });
+  if (user_tracer_ != nullptr) merge_staged_trace_events();
+  band_link_transfers_.assign(static_cast<std::size_t>(bands), 0);
+  pool_->run([&](int band) {
+    const auto [y0, y1] = band_rows(band, bands);
+    band_link_transfers_[static_cast<std::size_t>(band)] = link_phase(y0, y1);
+  });
+  for (const std::uint64_t n : band_link_transfers_) {
+    stats_.link_transfers += n;
+  }
   ++stats_.cycles;
 }
 
 void Fabric::set_tracer(Tracer* tracer) {
+  user_tracer_ = tracer;
   for (int y = 0; y < height_; ++y) {
     for (int x = 0; x < width_; ++x) {
       Tile& t = tiles_[tile_index(x, y)];
       if (t.core) t.core->set_tracer(tracer, x, y);
     }
   }
+  if (tracer == nullptr) trace_staging_.clear();
 }
 
 std::uint64_t Fabric::run(std::uint64_t max_cycles) {

@@ -8,12 +8,26 @@
 //   3. link   — each output link moves one word into the neighbor's latch.
 // This yields one-word-per-link-per-cycle bandwidth and ~1 cycle/hop
 // latency, the paper's stated fabric characteristics.
+//
+// Host-side parallelism: within each phase, every tile reads only its own
+// state plus queues it uniquely owns (the link phase writes a neighbor's
+// per-direction input queue, which no other tile — including the neighbor
+// itself — touches during that phase), so the phases are data-parallel over
+// tiles. step() shards the grid into contiguous row bands across a
+// persistent thread pool with a barrier between phases; fabric-global
+// counters are accumulated per band and reduced in band order, and tracer
+// events are staged per band and merged in band order, so a parallel run is
+// bit-identical to a serial one for any thread count (the determinism
+// contract in docs/SIMULATOR.md, enforced by
+// tests/wse/parallel_conformance_test.cpp).
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "wse/core.hpp"
+#include "wse/sim_pool.hpp"
 
 namespace wss::wse {
 
@@ -29,6 +43,11 @@ struct FabricStats {
 class Fabric {
 public:
   Fabric(int width, int height, const CS1Params& arch, const SimParams& sim);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+  Fabric(Fabric&&) noexcept = default;
+  Fabric& operator=(Fabric&&) noexcept = default;
 
   /// Install a tile's program and routing table. Must be called for every
   /// tile before running. Coordinates: x east, y south.
@@ -67,8 +86,18 @@ public:
   void reset_control();
 
   /// Attach an execution tracer to every configured tile (nullptr
-  /// detaches). Use Tracer::focus to limit recording to one tile.
+  /// detaches). Use Tracer::focus to limit recording to one tile. When the
+  /// fabric steps in parallel, core events are staged into per-band
+  /// buffers and merged into `tracer` in serial (row-major) order at the
+  /// end of each core phase, so the recorded stream — including capacity
+  /// drops — is bit-identical to a serial run.
   void set_tracer(Tracer* tracer);
+
+  /// Override the host-side simulation thread count (see
+  /// SimParams::sim_threads). Clamped to [1, 256]; bands never exceed the
+  /// fabric height. Any value produces bit-identical results.
+  void set_threads(int threads);
+  [[nodiscard]] int threads() const { return threads_; }
 
 private:
   struct Tile {
@@ -84,8 +113,20 @@ private:
     return x >= 0 && x < width_ && y >= 0 && y < height_;
   }
 
-  void route_phase();
-  void link_phase();
+  // Per-phase row-band workers. Each operates on rows [y0, y1) and, for
+  // the link phase, returns the number of link transfers it performed so
+  // the global counter can be reduced deterministically at the barrier.
+  void route_phase(int y0, int y1);
+  void core_phase(int y0, int y1, Tracer* tracer);
+  [[nodiscard]] std::uint64_t link_phase(int y0, int y1);
+
+  /// Bands actually used this step: min(threads_, height_), at least 1.
+  [[nodiscard]] int band_count() const;
+  /// Row range [first, last) of `band` out of `bands` (contiguous,
+  /// balanced to within one row).
+  [[nodiscard]] std::pair<int, int> band_rows(int band, int bands) const;
+  void ensure_pool(int bands);
+  void merge_staged_trace_events();
 
   int width_;
   int height_;
@@ -93,6 +134,13 @@ private:
   SimParams sim_;
   std::vector<Tile> tiles_;
   FabricStats stats_;
+
+  // Host-side parallel stepping (no effect on simulated behaviour).
+  int threads_ = 1;
+  std::unique_ptr<SimThreadPool> pool_;
+  Tracer* user_tracer_ = nullptr;
+  std::vector<std::unique_ptr<Tracer>> trace_staging_; ///< one per band
+  std::vector<std::uint64_t> band_link_transfers_;
 };
 
 } // namespace wss::wse

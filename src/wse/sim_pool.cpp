@@ -1,0 +1,93 @@
+#include "wse/sim_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace wss::wse {
+
+int resolve_sim_threads(int requested) {
+  if (requested > 0) return std::min(requested, 256);
+  if (const char* env = std::getenv("WSS_SIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) {
+      return static_cast<int>(std::min<long>(v, 256));
+    }
+  }
+  return 1;
+}
+
+SimThreadPool::SimThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  errors_.resize(static_cast<std::size_t>(n));
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int band = 1; band < n; ++band) {
+    workers_.emplace_back([this, band] { worker(band); });
+  }
+}
+
+SimThreadPool::~SimThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void SimThreadPool::run(const std::function<void(int)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    pending_ = static_cast<int>(workers_.size());
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  try {
+    fn(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  for (auto& err : errors_) {
+    if (err) {
+      const std::exception_ptr first = err;
+      std::fill(errors_.begin(), errors_.end(), nullptr);
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+void SimThreadPool::worker(int band) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(band);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err) errors_[static_cast<std::size_t>(band)] = err;
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+} // namespace wss::wse

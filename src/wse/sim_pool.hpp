@@ -1,0 +1,73 @@
+#pragma once
+
+// A persistent barrier-style thread pool for the fabric simulator. The
+// fabric's three per-cycle phases (route, core, link) are each data-parallel
+// over tiles once cross-tile mutation is confined to uniquely-owned queues,
+// so Fabric::step() shards the tile grid into contiguous row bands and runs
+// each phase as one pool dispatch: every band executes the same phase
+// function, and run() returns only after all bands finished (a barrier).
+// Workers are spawned once and reused across cycles — a simulated run is
+// millions of dispatches, so thread creation must not be on the per-cycle
+// path.
+//
+// Determinism contract: the pool adds no ordering of its own. Each band
+// touches disjoint state within a phase (see fabric.cpp), and any global
+// counters are accumulated per band and reduced in band order at the
+// barrier, so a parallel run is bit-identical to a serial one for any
+// thread count (asserted by tests/wse/parallel_conformance_test.cpp).
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wss::wse {
+
+/// Resolve the simulator worker-thread count: `requested` when positive,
+/// else the WSS_SIM_THREADS environment variable when set to a positive
+/// integer, else 1 (serial). Values are clamped to [1, 256].
+int resolve_sim_threads(int requested);
+
+class SimThreadPool {
+public:
+  /// Spawns `threads - 1` workers; band 0 always runs on the caller.
+  explicit SimThreadPool(int threads);
+  ~SimThreadPool();
+  SimThreadPool(const SimThreadPool&) = delete;
+  SimThreadPool& operator=(const SimThreadPool&) = delete;
+
+  /// Invoke `fn(band)` for every band in [0, threads()), band 0 on the
+  /// calling thread, and block until all bands complete. `fn` must be safe
+  /// to call concurrently for distinct bands. If any invocation throws,
+  /// the first exception (in band order) is rethrown here after the
+  /// barrier, so the fabric is never left mid-phase.
+  void run(const std::function<void(int)>& fn);
+
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Physical concurrency of this host (>= 1); what speedup is bounded by.
+  [[nodiscard]] static unsigned hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1u : n;
+  }
+
+private:
+  void worker(int band);
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_; ///< one slot per band
+  std::vector<std::thread> workers_;
+};
+
+} // namespace wss::wse

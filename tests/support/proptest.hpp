@@ -1,0 +1,167 @@
+#pragma once
+
+// Minimal seeded property-testing support for the repository's fuzz-style
+// tests. Promotes the ad-hoc "Rng rng(2026); for (trial...)" loops into a
+// harness that:
+//
+//   * derives an independent, reproducible seed per case from a base seed,
+//   * exposes a `scale` in [1, 100] that Case::size() uses to shrink sized
+//     choices (fabric extents, vector lengths, stream counts),
+//   * on the first failing case, replays the same seed at smaller scales
+//     and reports the smallest (seed, scale) pair that still fails, plus
+//     the WSS_PROPTEST_SEED / WSS_PROPTEST_SCALE environment variables
+//     that replay exactly that case in isolation.
+//
+// Usage:
+//
+//   proptest::check("routes deliver in order", [](proptest::Case& c) {
+//     const int w = c.size(3, 8);          // shrinks with the case scale
+//     const int len = c.size(4, 31);
+//     Rng& rng = c.rng();                  // reproducible per-case stream
+//     ... EXPECT_*/ASSERT_* as usual ...
+//   }, {.cases = 6, .seed = 2026});
+//
+// Reproduce a reported failure with:
+//   WSS_PROPTEST_SEED=<seed> [WSS_PROPTEST_SCALE=<scale>] ./test_binary ...
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace wss::proptest {
+
+struct Params {
+  int cases = 8;            ///< random cases to run when no seed is pinned
+  std::uint64_t seed = 1;   ///< base seed; per-case seeds derive from it
+};
+
+/// One property-test case: a deterministic RNG stream plus a shrink scale.
+class Case {
+public:
+  Case(std::uint64_t seed, int scale)
+      : rng_(seed), seed_(seed), scale_(std::clamp(scale, 1, 100)) {}
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] int scale() const { return scale_; }
+
+  /// Random integer in [lo, hi], with the upper end shrunk toward `lo` as
+  /// the scale decreases (scale 100 = full range, scale 1 ~ lo). Use for
+  /// every "how big" decision so failing cases minimize automatically.
+  [[nodiscard]] int size(int lo, int hi) {
+    const int span = std::max(0, hi - lo);
+    const int scaled = span * scale_ / 100;
+    return lo + static_cast<int>(rng_.below(static_cast<std::uint64_t>(scaled) + 1));
+  }
+
+  /// Uniform double in [lo, hi) (not scale-dependent).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return rng_.uniform(lo, hi);
+  }
+
+private:
+  Rng rng_;
+  std::uint64_t seed_;
+  int scale_;
+};
+
+namespace detail {
+
+/// SplitMix64 — decorrelates per-case seeds from consecutive indices.
+inline std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Run `body` capturing gtest failures instead of reporting them.
+/// Returns true if the case failed.
+inline bool failed_quietly(const std::function<void(Case&)>& body,
+                           std::uint64_t seed, int scale,
+                           std::string* first_message) {
+  ::testing::TestPartResultArray results;
+  {
+    ::testing::ScopedFakeTestPartResultReporter reporter(
+        ::testing::ScopedFakeTestPartResultReporter::
+            INTERCEPT_ALL_THREADS,
+        &results);
+    Case c(seed, scale);
+    body(c);
+  }
+  for (int i = 0; i < results.size(); ++i) {
+    if (results.GetTestPartResult(i).failed()) {
+      if (first_message != nullptr) {
+        *first_message = results.GetTestPartResult(i).message();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+inline const char* env_or_null(const char* name) { return std::getenv(name); }
+
+} // namespace detail
+
+/// Run `body` over `p.cases` derived seeds. On the first failure, shrink
+/// (replay the same seed at decreasing scales), then re-run the minimal
+/// failing case with normal gtest reporting and emit a reproduction line.
+/// If WSS_PROPTEST_SEED is set, run exactly that case instead (scale from
+/// WSS_PROPTEST_SCALE, default 100).
+inline void check(const std::string& name,
+                  const std::function<void(Case&)>& body, Params p = {}) {
+  if (const char* pinned = detail::env_or_null("WSS_PROPTEST_SEED")) {
+    const std::uint64_t seed = std::strtoull(pinned, nullptr, 0);
+    int scale = 100;
+    if (const char* s = detail::env_or_null("WSS_PROPTEST_SCALE")) {
+      scale = std::clamp(std::atoi(s), 1, 100);
+    }
+    SCOPED_TRACE("property '" + name + "' pinned case: seed=" +
+                 std::to_string(seed) + " scale=" + std::to_string(scale));
+    Case c(seed, scale);
+    body(c);
+    return;
+  }
+
+  for (int i = 0; i < p.cases; ++i) {
+    const std::uint64_t seed = detail::mix(p.seed + static_cast<std::uint64_t>(i));
+    std::string message;
+    if (!detail::failed_quietly(body, seed, 100, &message)) continue;
+
+    // Shrink: same seed, smaller sized choices. Keep the smallest scale
+    // that still fails.
+    int failing_scale = 100;
+    for (const int scale : {50, 25, 12, 6, 3, 1}) {
+      if (detail::failed_quietly(body, seed, scale, nullptr)) {
+        failing_scale = scale;
+      }
+    }
+
+    // Replay the minimal case with real reporting so the underlying
+    // EXPECT/ASSERT failures land in the test output.
+    {
+      SCOPED_TRACE("property '" + name + "' minimal failing case: seed=" +
+                   std::to_string(seed) +
+                   " scale=" + std::to_string(failing_scale));
+      Case c(seed, failing_scale);
+      body(c);
+    }
+    ADD_FAILURE() << "property '" << name << "' failed (case " << i + 1
+                  << " of " << p.cases << ").\n  reproduce with: "
+                  << "WSS_PROPTEST_SEED=" << seed
+                  << " WSS_PROPTEST_SCALE=" << failing_scale
+                  << "\n  first failure at full scale was:\n"
+                  << message;
+    return; // stop at the first failing case
+  }
+}
+
+} // namespace wss::proptest

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "telemetry/io.hpp"
 #include "stencil/generators.hpp"
 #include "wse/fabric.hpp"
 #include "wsekernels/spmv3d_program.hpp"
@@ -136,6 +138,76 @@ TEST(FabricHeatmaps, WriteCsvsCreatesOneFilePerMap) {
     EXPECT_EQ(commas_in(lines[1]), 1) << path;
     std::remove(path.c_str());
   }
+}
+
+// Regression: two fabrics simulated in one process and exported with the
+// same prefix used to silently clobber each other's CSV grids. The second
+// writer must now land on a disambiguated prefix and the first fabric's
+// files must be byte-identical to what it wrote.
+TEST(FabricHeatmaps, TwoFabricsSamePrefixDoNotCrossContaminate) {
+  reset_output_stem_claims();
+  auto run_spmv = [](int n, std::uint64_t seed) {
+    const Grid3 g(n, n, 4);
+    auto ad = make_random_dominant7(g, 0.5, seed);
+    Field3<double> b(g, 1.0);
+    (void)precondition_jacobi(ad, b);
+    const auto a = convert_stencil<fp16_t>(ad);
+    Field3<fp16_t> v(g, fp16_t(1.0F));
+    wse::CS1Params arch;
+    wse::SimParams sim;
+    auto s = std::make_unique<wsekernels::SpMV3DSimulation>(a, arch, sim);
+    (void)s->run(v);
+    return s;
+  };
+
+  // Two different fabrics (2x2 and 3x3) — their heatmaps cannot agree.
+  auto s1 = run_spmv(2, 21);
+  auto s2 = run_spmv(3, 22);
+  const FabricHeatmaps maps1 = collect_heatmaps(s1->fabric());
+  const FabricHeatmaps maps2 = collect_heatmaps(s2->fabric());
+
+  const std::string dir =
+      ::testing::TempDir() + "wss_heatmap_collision_" +
+      std::to_string(static_cast<unsigned>(::getpid()));
+  std::string error;
+  std::string prefix1;
+  std::string prefix2;
+  ASSERT_TRUE(write_heatmap_csvs(maps1, dir, "fab", &error, &prefix1))
+      << error;
+  ASSERT_TRUE(write_heatmap_csvs(maps2, dir, "fab", &error, &prefix2))
+      << error;
+  EXPECT_EQ(prefix1, "fab");
+  EXPECT_NE(prefix2, prefix1);
+
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  for (const Heatmap* m : maps1.all()) {
+    const std::string p1 = dir + "/" + prefix1 + "_" + m->name + ".csv";
+    const std::string p2 = dir + "/" + prefix2 + "_" + m->name + ".csv";
+    // First fabric's file still holds the first fabric's data (2x2 grid),
+    // second writer's file holds the 3x3 grid.
+    EXPECT_EQ(read_file(p1), m->to_csv()) << p1;
+    EXPECT_NE(read_file(p2), read_file(p1)) << p2;
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+  }
+  reset_output_stem_claims();
+}
+
+TEST(FabricHeatmaps, ClaimOutputStemDisambiguatesAndAvoidsChains) {
+  reset_output_stem_claims();
+  EXPECT_EQ(claim_output_stem("/tmp/x/run"), "/tmp/x/run");
+  EXPECT_EQ(claim_output_stem("/tmp/x/run"), "/tmp/x/run_2");
+  // An explicit claim of the already-expanded name must not collide.
+  EXPECT_EQ(claim_output_stem("/tmp/x/run_2"), "/tmp/x/run_2_2");
+  EXPECT_EQ(claim_output_stem("/tmp/x/run"), "/tmp/x/run_3");
+  reset_output_stem_claims();
+  EXPECT_EQ(claim_output_stem("/tmp/x/run"), "/tmp/x/run");
+  reset_output_stem_claims();
 }
 
 TEST(FabricHeatmaps, WriteCsvsReportsUnwritableDirectory) {

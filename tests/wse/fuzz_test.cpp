@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "stencil/generators.hpp"
+#include "support/proptest.hpp"
 #include "wse/fabric.hpp"
 #include "wse/route_compiler.hpp"
 #include "wsekernels/allreduce_program.hpp"
@@ -92,12 +93,13 @@ void add_xy_route(std::vector<std::vector<RoutingTable>>& tables, int sx,
 TEST(FabricFuzz, RandomPointToPointRoutesDeliverInOrder) {
   // Up to kNumColors concurrent random streams on disjoint colors across a
   // random fabric; every stream must arrive complete and in order.
-  Rng rng(2026);
-  for (int trial = 0; trial < 6; ++trial) {
-    const int w = 3 + static_cast<int>(rng.below(6));
-    const int h = 3 + static_cast<int>(rng.below(6));
-    const int streams = 2 + static_cast<int>(rng.below(6));
-    const int len = 4 + static_cast<int>(rng.below(28));
+  proptest::check("random point-to-point routes deliver in order",
+                  [](proptest::Case& pc) {
+    Rng& rng = pc.rng();
+    const int w = pc.size(3, 8);
+    const int h = pc.size(3, 8);
+    const int streams = pc.size(2, 7);
+    const int len = pc.size(4, 31);
 
     std::vector<std::vector<RoutingTable>> tables(
         static_cast<std::size_t>(w),
@@ -165,16 +167,16 @@ TEST(FabricFuzz, RandomPointToPointRoutesDeliverInOrder) {
     }
 
     fabric.run(20000);
-    ASSERT_TRUE(fabric.all_done()) << "trial " << trial;
+    ASSERT_TRUE(fabric.all_done());
     for (std::size_t s = 0; s < active.size(); ++s) {
       const Stream& st = active[s];
       for (int i = 0; i < len; ++i) {
         EXPECT_EQ(fabric.core(st.dx, st.dy).host_read_f16(i).bits(),
                   payloads[s][static_cast<std::size_t>(i)].bits())
-            << "trial " << trial << " stream " << s << " word " << i;
+            << "stream " << s << " word " << i;
       }
     }
-  }
+  }, {.cases = 6, .seed = 2026});
 }
 
 TEST(FabricFuzz, SpmvCorrectUnderMinimalQueues) {
@@ -224,15 +226,16 @@ TEST(FabricFuzz, AllReduceCorrectUnderMinimalQueues) {
 }
 
 TEST(FabricFuzz, SpmvAcrossRandomFabricShapes) {
-  Rng rng(77);
   CS1Params arch;
   SimParams sim;
-  for (int trial = 0; trial < 5; ++trial) {
-    const int w = 1 + static_cast<int>(rng.below(7));
-    const int h = 1 + static_cast<int>(rng.below(7));
-    const int z = 4 + static_cast<int>(rng.below(20));
+  proptest::check("SpMV stays correct across random fabric shapes",
+                  [&](proptest::Case& pc) {
+    Rng& rng = pc.rng();
+    const int w = pc.size(1, 7);
+    const int h = pc.size(1, 7);
+    const int z = pc.size(4, 23);
     const Grid3 g(w, h, z);
-    auto ad = make_random_dominant7(g, 0.5, 100 + static_cast<std::uint64_t>(trial));
+    auto ad = make_random_dominant7(g, 0.5, 100 + pc.seed());
     Field3<double> b(g, 1.0);
     (void)precondition_jacobi(ad, b);
     const auto a = convert_stencil<fp16_t>(ad);
@@ -248,9 +251,9 @@ TEST(FabricFuzz, SpmvAcrossRandomFabricShapes) {
     spmv7(avd, vd, ud);
     for (std::size_t i = 0; i < u.size(); ++i) {
       EXPECT_NEAR(u[i].to_double(), ud[i], 3e-2)
-          << "trial " << trial << " fabric " << w << "x" << h << " z=" << z;
+          << "fabric " << w << "x" << h << " z=" << z;
     }
-  }
+  }, {.cases = 5, .seed = 77});
 }
 
 } // namespace

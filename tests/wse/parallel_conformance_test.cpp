@@ -1,0 +1,372 @@
+// Differential conformance suite for the parallel fabric simulator: the
+// determinism contract (docs/SIMULATOR.md, "Parallel simulation") says a
+// fabric stepped with ANY host thread count is bit-identical to serial —
+// result vectors, cycle counts, router stats, per-tile core counters, and
+// heatmap grids. This suite runs the SpMV, AllReduce, and full BiCGStab
+// dataflow programs on randomized fabric shapes/seeds with 1, 2, and 8
+// threads and asserts exact equality, plus the Fabric::run() edge cases
+// the parallel path must preserve (max_cycles == 0, deadlocked programs
+// returning instead of hanging, reset_control between back-to-back runs).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stencil/generators.hpp"
+#include "support/proptest.hpp"
+#include "telemetry/heatmap.hpp"
+#include "wse/fabric.hpp"
+#include "wsekernels/allreduce_program.hpp"
+#include "wsekernels/bicgstab_program.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss::wse {
+namespace {
+
+constexpr int kThreadCounts[] = {2, 8};
+
+/// Assert every observable counter of `got` matches `want`: fabric stats,
+/// per-tile core stats, per-tile router stats, and the telemetry heatmaps
+/// harvested from them. `label` names the parallel configuration.
+void expect_fabric_state_identical(const Fabric& want, const Fabric& got,
+                                   const std::string& label) {
+  ASSERT_EQ(want.width(), got.width());
+  ASSERT_EQ(want.height(), got.height());
+  EXPECT_EQ(want.stats().cycles, got.stats().cycles) << label;
+  EXPECT_EQ(want.stats().link_transfers, got.stats().link_transfers) << label;
+
+  for (int y = 0; y < want.height(); ++y) {
+    for (int x = 0; x < want.width(); ++x) {
+      ASSERT_EQ(want.has_core(x, y), got.has_core(x, y)) << label;
+      if (!want.has_core(x, y)) continue;
+      const std::string at =
+          label + " tile (" + std::to_string(x) + "," + std::to_string(y) + ")";
+      const CoreStats& a = want.core(x, y).stats();
+      const CoreStats& b = got.core(x, y).stats();
+      EXPECT_EQ(a.instr_cycles, b.instr_cycles) << at;
+      EXPECT_EQ(a.stall_cycles, b.stall_cycles) << at;
+      EXPECT_EQ(a.idle_cycles, b.idle_cycles) << at;
+      EXPECT_EQ(a.elements_processed, b.elements_processed) << at;
+      EXPECT_EQ(a.words_sent, b.words_sent) << at;
+      EXPECT_EQ(a.words_received, b.words_received) << at;
+      EXPECT_EQ(a.task_invocations, b.task_invocations) << at;
+      EXPECT_EQ(a.fifo_highwater, b.fifo_highwater) << at;
+      EXPECT_EQ(a.ramp_highwater, b.ramp_highwater) << at;
+      const RouterStats& ra = want.router_stats(x, y);
+      const RouterStats& rb = got.router_stats(x, y);
+      EXPECT_EQ(ra.flits_forwarded, rb.flits_forwarded) << at;
+      EXPECT_EQ(ra.queue_highwater, rb.queue_highwater) << at;
+      EXPECT_EQ(want.core(x, y).done(), got.core(x, y).done()) << at;
+    }
+  }
+
+  // The telemetry layer must see the same world: heatmap grids are the
+  // race-prone collection path (merged per-thread in the parallel run).
+  const auto maps_want = telemetry::collect_heatmaps(want);
+  const auto maps_got = telemetry::collect_heatmaps(got);
+  const auto all_want = maps_want.all();
+  const auto all_got = maps_got.all();
+  ASSERT_EQ(all_want.size(), all_got.size());
+  for (std::size_t m = 0; m < all_want.size(); ++m) {
+    EXPECT_EQ(all_want[m]->cells, all_got[m]->cells)
+        << label << " heatmap " << all_want[m]->name;
+  }
+}
+
+struct SpmvCase {
+  Stencil7<fp16_t> a;
+  Field3<fp16_t> v;
+};
+
+SpmvCase make_spmv_case(const Grid3& g, std::uint64_t seed) {
+  auto ad = make_random_dominant7(g, 0.5, seed);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  SpmvCase c{convert_stencil<fp16_t>(ad), Field3<fp16_t>(g)};
+  Rng rng(seed + 1);
+  for (std::size_t i = 0; i < c.v.size(); ++i) {
+    c.v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+  }
+  return c;
+}
+
+TEST(ParallelConformance, SpmvBitExactAcrossThreadCounts) {
+  const CS1Params arch;
+  proptest::check("SpMV parallel == serial", [&](proptest::Case& pc) {
+    const int w = pc.size(2, 7);
+    const int h = pc.size(2, 7);
+    const int z = pc.size(4, 20);
+    const SpmvCase c = make_spmv_case(Grid3(w, h, z), pc.seed());
+
+    SimParams serial;
+    serial.sim_threads = 1;
+    wsekernels::SpMV3DSimulation ref(c.a, arch, serial);
+    const auto u_ref = ref.run(c.v);
+
+    for (const int threads : kThreadCounts) {
+      SimParams par;
+      par.sim_threads = threads;
+      wsekernels::SpMV3DSimulation s(c.a, arch, par);
+      const auto u = s.run(c.v);
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " fabric " + std::to_string(w) + "x" +
+                                std::to_string(h) + " z=" + std::to_string(z);
+      ASSERT_EQ(u.size(), u_ref.size());
+      for (std::size_t i = 0; i < u.size(); ++i) {
+        ASSERT_EQ(u[i].bits(), u_ref[i].bits()) << label << " element " << i;
+      }
+      EXPECT_EQ(s.last_run_cycles(), ref.last_run_cycles()) << label;
+      expect_fabric_state_identical(ref.fabric(), s.fabric(), label);
+    }
+  }, {.cases = 4, .seed = 20260806});
+}
+
+TEST(ParallelConformance, AllReduceBitExactAcrossThreadCounts) {
+  const CS1Params arch;
+  proptest::check("AllReduce parallel == serial", [&](proptest::Case& pc) {
+    const int w = pc.size(2, 11);
+    const int h = pc.size(2, 11);
+    std::vector<float> contrib(static_cast<std::size_t>(w) *
+                               static_cast<std::size_t>(h));
+    for (auto& v : contrib) {
+      v = static_cast<float>(pc.uniform(-4.0, 4.0));
+    }
+
+    SimParams serial;
+    serial.sim_threads = 1;
+    wsekernels::AllReduceSimulation ref(w, h, arch, serial);
+    const auto r_ref = ref.run(contrib);
+
+    for (const int threads : kThreadCounts) {
+      SimParams par;
+      par.sim_threads = threads;
+      wsekernels::AllReduceSimulation ar(w, h, arch, par);
+      const auto r = ar.run(contrib);
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " fabric " + std::to_string(w) + "x" +
+                                std::to_string(h);
+      EXPECT_EQ(r.cycles, r_ref.cycles) << label;
+      ASSERT_EQ(r.values.size(), r_ref.values.size());
+      for (std::size_t i = 0; i < r.values.size(); ++i) {
+        // Bit-exact fp32: compare the representation, not a tolerance.
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(r.values[i]),
+                  std::bit_cast<std::uint32_t>(r_ref.values[i]))
+            << label << " tile " << i;
+      }
+      expect_fabric_state_identical(ref.fabric(), ar.fabric(), label);
+    }
+  }, {.cases = 4, .seed = 424242});
+}
+
+TEST(ParallelConformance, BicgstabBitExactAcrossThreadCounts) {
+  const CS1Params arch;
+  proptest::check("BiCGStab parallel == serial", [&](proptest::Case& pc) {
+    const int w = pc.size(2, 4);
+    const int h = pc.size(2, 4);
+    const int z = pc.size(4, 10);
+    const int iterations = pc.size(1, 2);
+    const Grid3 g(w, h, z);
+    auto ad = make_random_dominant7(g, 0.5, pc.seed());
+    Field3<double> bd(g, 1.0);
+    (void)precondition_jacobi(ad, bd);
+    const auto a = convert_stencil<fp16_t>(ad);
+    const auto b = convert_field<fp16_t>(bd);
+
+    SimParams serial;
+    serial.sim_threads = 1;
+    wsekernels::BicgstabSimulation ref(a, iterations, arch, serial);
+    const auto r_ref = ref.run(b);
+
+    for (const int threads : kThreadCounts) {
+      SimParams par;
+      par.sim_threads = threads;
+      wsekernels::BicgstabSimulation s(a, iterations, arch, par);
+      const auto r = s.run(b);
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " fabric " + std::to_string(w) + "x" +
+                                std::to_string(h) + " z=" + std::to_string(z);
+      EXPECT_EQ(r.cycles, r_ref.cycles) << label;
+      EXPECT_EQ(r.iterations, r_ref.iterations) << label;
+      ASSERT_EQ(r.x.size(), r_ref.x.size());
+      for (std::size_t i = 0; i < r.x.size(); ++i) {
+        ASSERT_EQ(r.x[i].bits(), r_ref.x[i].bits()) << label << " x[" << i << "]";
+        ASSERT_EQ(r.r[i].bits(), r_ref.r[i].bits()) << label << " r[" << i << "]";
+      }
+      ASSERT_EQ(r.rho_history.size(), r_ref.rho_history.size()) << label;
+      for (std::size_t i = 0; i < r.rho_history.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(r.rho_history[i]),
+                  std::bit_cast<std::uint32_t>(r_ref.rho_history[i]))
+            << label << " rho[" << i << "]";
+      }
+      expect_fabric_state_identical(ref.fabric(), s.fabric(), label);
+    }
+  }, {.cases = 3, .seed = 911});
+}
+
+// --- Fabric::run() edge cases the parallel path must preserve ---
+
+TileProgram never_done_receiver() {
+  // A task synchronously waiting on a fabric word that never arrives:
+  // neither done nor quiescent -> run() must hit max_cycles, not hang.
+  TileProgram prog;
+  MemAllocator mem(48 * 1024);
+  const int buf = mem.allocate(4, DType::F16);
+  const int t_dst = prog.add_tensor({buf, 4, 1, DType::F16, 0});
+  const int f_rx =
+      prog.add_fabric({0, 4, DType::F16, 0, kNoTask, TrigAction::None});
+  Task t{"starve", false, false, false, {}};
+  Instr r{};
+  r.op = OpKind::RecvToMem;
+  r.dst = t_dst;
+  r.fabric = f_rx;
+  t.steps.push_back({TaskStep::Kind::Sync, -1, r, kNoTask});
+  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  prog.memory_halfwords = mem.used_halfwords();
+  return prog;
+}
+
+Fabric make_starving_fabric(int threads) {
+  SimParams sim;
+  sim.sim_threads = threads;
+  static const CS1Params arch;
+  Fabric fabric(3, 3, arch, sim);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      fabric.configure_tile(x, y, never_done_receiver(), RoutingTable{});
+    }
+  }
+  return fabric;
+}
+
+TEST(ParallelConformance, RunWithZeroMaxCyclesIsANoOp) {
+  for (const int threads : {1, 2, 8}) {
+    Fabric fabric = make_starving_fabric(threads);
+    EXPECT_EQ(fabric.run(0), 0u) << "threads=" << threads;
+    EXPECT_EQ(fabric.stats().cycles, 0u) << "threads=" << threads;
+    EXPECT_EQ(fabric.stats().link_transfers, 0u) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelConformance, DeadlockedProgramReturnsAtMaxCycles) {
+  std::vector<std::uint64_t> stall_cycles;
+  for (const int threads : {1, 2, 8}) {
+    Fabric fabric = make_starving_fabric(threads);
+    // Must return (not hang) after exactly max_cycles.
+    EXPECT_EQ(fabric.run(500), 500u) << "threads=" << threads;
+    EXPECT_FALSE(fabric.all_done()) << "threads=" << threads;
+    EXPECT_FALSE(fabric.quiescent()) << "threads=" << threads;
+    stall_cycles.push_back(fabric.core(1, 1).stats().stall_cycles);
+  }
+  // The deadlocked state must also be identical across thread counts.
+  EXPECT_EQ(stall_cycles[1], stall_cycles[0]);
+  EXPECT_EQ(stall_cycles[2], stall_cycles[0]);
+}
+
+TEST(ParallelConformance, ResetControlBetweenBackToBackRunsIsReproducible) {
+  const CS1Params arch;
+  const SpmvCase c = make_spmv_case(Grid3(3, 3, 8), 5);
+  for (const int threads : {1, 2, 8}) {
+    SimParams sim;
+    sim.sim_threads = threads;
+    wsekernels::SpMV3DSimulation s(c.a, arch, sim);
+    // SpMV3DSimulation::run() calls Fabric::reset_control() before each
+    // invocation — back-to-back runs on the same fabric must agree bit
+    // for bit and cycle for cycle.
+    const auto u1 = s.run(c.v);
+    const std::uint64_t cycles1 = s.last_run_cycles();
+    const auto u2 = s.run(c.v);
+    EXPECT_EQ(s.last_run_cycles(), cycles1) << "threads=" << threads;
+    ASSERT_EQ(u1.size(), u2.size());
+    for (std::size_t i = 0; i < u1.size(); ++i) {
+      ASSERT_EQ(u1[i].bits(), u2[i].bits())
+          << "threads=" << threads << " element " << i;
+    }
+  }
+}
+
+TEST(ParallelConformance, UnconfiguredTilesAreSkippedNotDereferenced) {
+  // A fabric with holes (only one configured tile) must step without
+  // touching the null cores — serial and parallel alike.
+  static const CS1Params arch;
+  for (const int threads : {1, 4}) {
+    SimParams sim;
+    sim.sim_threads = threads;
+    Fabric fabric(4, 4, arch, sim);
+    fabric.configure_tile(1, 2, never_done_receiver(), RoutingTable{});
+    EXPECT_EQ(fabric.run(50), 50u) << "threads=" << threads;
+    EXPECT_FALSE(fabric.all_done());
+  }
+}
+
+TEST(ParallelConformance, SetThreadsMidRunKeepsDeterminism) {
+  // Switching the thread count between runs (or mid-run) must not change
+  // results: the banding is a host-side execution detail only.
+  const CS1Params arch;
+  const SpmvCase c = make_spmv_case(Grid3(4, 4, 8), 17);
+  SimParams serial;
+  serial.sim_threads = 1;
+  wsekernels::SpMV3DSimulation ref(c.a, arch, serial);
+  const auto u_ref = ref.run(c.v);
+
+  SimParams par;
+  par.sim_threads = 3; // odd band split on a 4-row fabric
+  wsekernels::SpMV3DSimulation s(c.a, arch, par);
+  const auto u1 = s.run(c.v);
+  s.fabric().set_threads(8);
+  const auto u2 = s.run(c.v);
+  s.fabric().set_threads(1);
+  const auto u3 = s.run(c.v);
+  for (std::size_t i = 0; i < u_ref.size(); ++i) {
+    ASSERT_EQ(u1[i].bits(), u_ref[i].bits()) << i;
+    ASSERT_EQ(u2[i].bits(), u_ref[i].bits()) << i;
+    ASSERT_EQ(u3[i].bits(), u_ref[i].bits()) << i;
+  }
+}
+
+TEST(ParallelConformance, TracerStreamMatchesSerialOrder) {
+  // The per-band staged tracer must reproduce the serial event stream —
+  // same events, same order, same capacity-drop accounting.
+  const CS1Params arch;
+  const SpmvCase c = make_spmv_case(Grid3(3, 3, 6), 23);
+
+  auto traced_run = [&](int threads, std::size_t capacity) {
+    SimParams sim;
+    sim.sim_threads = threads;
+    wsekernels::SpMV3DSimulation s(c.a, arch, sim);
+    auto tracer = std::make_unique<Tracer>(capacity);
+    s.fabric().set_tracer(tracer.get());
+    (void)s.run(c.v);
+    s.fabric().set_tracer(nullptr);
+    return tracer;
+  };
+
+  for (const std::size_t capacity : {std::size_t{1} << 16, std::size_t{64}}) {
+    const auto serial = traced_run(1, capacity);
+    for (const int threads : {2, 8}) {
+      const auto parallel = traced_run(threads, capacity);
+      ASSERT_EQ(parallel->events().size(), serial->events().size())
+          << "threads=" << threads << " capacity=" << capacity;
+      EXPECT_EQ(parallel->dropped(), serial->dropped())
+          << "threads=" << threads << " capacity=" << capacity;
+      for (std::size_t i = 0; i < serial->events().size(); ++i) {
+        const TraceEvent& a = serial->events()[i];
+        const TraceEvent& b = parallel->events()[i];
+        ASSERT_EQ(a.cycle, b.cycle) << "event " << i;
+        ASSERT_EQ(a.tile_x, b.tile_x) << "event " << i;
+        ASSERT_EQ(a.tile_y, b.tile_y) << "event " << i;
+        ASSERT_EQ(a.kind, b.kind) << "event " << i;
+        ASSERT_EQ(a.label, b.label) << "event " << i;
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace wss::wse
