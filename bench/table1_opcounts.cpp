@@ -39,14 +39,14 @@ int main() {
       std::span<const fp16_t>(bvec), std::span<fp16_t>(x), c);
 
   const double n = static_cast<double>(g.size());
-  // Setup (initial residual + initial dot) measured separately: 7 hp_mul,
-  // 7 hp_add, 1 sp_add per point.
+  // Setup (initial residual + ||b|| dot + initial (r0, r) dot) measured
+  // separately: 8 hp_mul, 7 hp_add, 2 sp_add per point.
   const double hp_mul =
-      (static_cast<double>(result.flops.hp_mul) - 7 * n) / (n * iters);
+      (static_cast<double>(result.flops.hp_mul) - 8 * n) / (n * iters);
   const double hp_add =
       (static_cast<double>(result.flops.hp_add) - 7 * n) / (n * iters);
   const double sp_add =
-      (static_cast<double>(result.flops.sp_add) - n) / (n * iters);
+      (static_cast<double>(result.flops.sp_add) - 2 * n) / (n * iters);
 
   std::printf("%-22s %8s %8s %8s\n", "operation class", "paper", "ours", "");
   std::printf("%-22s %8d %8.1f\n", "hp multiplies", 22, hp_mul);

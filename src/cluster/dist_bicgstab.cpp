@@ -264,10 +264,23 @@ DistSolveResult distributed_bicgstab(World& world, const Stencil7<double>& a,
 
     if (bnorm > 0.0) {
       for (int it = 0; it < controls.max_iterations; ++it) {
+        // rho divides alpha and beta: check it before either, per
+        // Algorithm 1 (ranks all see the same allreduced scalars, so the
+        // break is collective).
+        if (rho == 0.0 || !std::isfinite(rho)) {
+          local_result.reason = StopReason::Breakdown;
+          local_result.breakdown = std::isfinite(rho)
+                                       ? BreakdownKind::RhoZero
+                                       : BreakdownKind::NonFiniteScalar;
+          break;
+        }
         spmv(vp, vs);
         const double r0s = dot(vr0, vs);
-        if (r0s == 0.0) {
+        if (r0s == 0.0 || !std::isfinite(r0s)) {
           local_result.reason = StopReason::Breakdown;
+          local_result.breakdown = std::isfinite(r0s)
+                                       ? BreakdownKind::R0SZero
+                                       : BreakdownKind::NonFiniteScalar;
           break;
         }
         const double alpha = rho / r0s;
@@ -275,8 +288,16 @@ DistSolveResult distributed_bicgstab(World& world, const Stencil7<double>& a,
         spmv(vq, vy);
         const double qy = dot(vq, vy);
         const double yy = dot(vy, vy);
-        if (yy == 0.0) {
+        // Both zeros are omega breakdowns: yy == 0 leaves omega
+        // undefined, qy == 0 zeroes it and beta = alpha/omega * ...
+        // would divide by zero.
+        if (yy == 0.0 || qy == 0.0 || !std::isfinite(qy) ||
+            !std::isfinite(yy)) {
           local_result.reason = StopReason::Breakdown;
+          local_result.breakdown =
+              (std::isfinite(qy) && std::isfinite(yy))
+                  ? BreakdownKind::OmegaZero
+                  : BreakdownKind::NonFiniteScalar;
           break;
         }
         const double omega = qy / yy;
@@ -286,6 +307,11 @@ DistSolveResult distributed_bicgstab(World& world, const Stencil7<double>& a,
         });
         const double rho_next = dot(vr0, vr);
         const double rnorm = std::sqrt(dot(vr, vr));
+        if (!std::isfinite(rnorm)) {
+          local_result.reason = StopReason::Breakdown;
+          local_result.breakdown = BreakdownKind::NonFiniteResidual;
+          break;
+        }
         local_result.relative_residuals.push_back(rnorm / bnorm);
         ++local_result.iterations;
         if (rnorm / bnorm < controls.tolerance) {

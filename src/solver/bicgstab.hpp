@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -23,7 +24,8 @@ namespace wss {
 enum class StopReason {
   Converged,      ///< relative residual reached the tolerance
   MaxIterations,  ///< iteration budget exhausted
-  Breakdown,      ///< (r0, s) or (y, y) vanished — restart needed
+  Breakdown,      ///< a recurrence scalar vanished or went non-finite
+                  ///< (see SolveResult::breakdown for the classification)
   Stagnation,     ///< residual stopped decreasing (precision floor)
 };
 
@@ -37,9 +39,38 @@ enum class StopReason {
   return "unknown";
 }
 
+/// Fine-grained classification of a StopReason::Breakdown (Algorithm 1's
+/// failure modes, the paper's Fig. 9 fp16 fragility made explicit).
+/// `None` on any other stop; also `None` after a *healed* breakdown (a
+/// restart recovered and the solve went on to stop for another reason).
+enum class BreakdownKind : std::uint8_t {
+  None,              ///< no (unhealed) breakdown
+  RhoZero,           ///< rho = (r0, r) vanished — r0 orthogonal to r
+  R0SZero,           ///< (r0, s) vanished (CG: (p, A p) — A not SPD)
+  OmegaZero,         ///< omega = (q,y)/(y,y) vanished or undefined
+  NonFiniteScalar,   ///< NaN/Inf reached a recurrence scalar
+  NonFiniteResidual, ///< NaN/Inf reached the residual norm
+};
+
+[[nodiscard]] constexpr const char* to_string(BreakdownKind k) {
+  switch (k) {
+    case BreakdownKind::None: return "none";
+    case BreakdownKind::RhoZero: return "rho-zero";
+    case BreakdownKind::R0SZero: return "r0s-zero";
+    case BreakdownKind::OmegaZero: return "omega-zero";
+    case BreakdownKind::NonFiniteScalar: return "non-finite-scalar";
+    case BreakdownKind::NonFiniteResidual: return "non-finite-residual";
+  }
+  return "unknown";
+}
+
 struct SolveResult {
   StopReason reason = StopReason::MaxIterations;
+  /// What broke, when reason == Breakdown (None otherwise).
+  BreakdownKind breakdown = BreakdownKind::None;
   int iterations = 0;
+  /// Restarts actually performed (<= SolveControls::max_restarts).
+  int restarts = 0;
   /// True residual norms ||b - A*x|| / ||b|| recorded per iteration in the
   /// solve's own arithmetic (recurrence residual, as the hardware sees it).
   std::vector<double> relative_residuals;
@@ -57,6 +88,13 @@ struct SolveControls {
   /// this factor over `stagnation_window` iterations (0 disables).
   int stagnation_window = 0;
   double stagnation_factor = 0.99;
+  /// Breakdown recovery budget (0 = report Breakdown immediately). Each
+  /// recovery re-seeds the Krylov space from the current iterate: r = b -
+  /// A*x, r0 = p = r — van der Vorst's restarted BiCGStab. A restart
+  /// consumes one slot of `max_iterations` so a pathological system still
+  /// terminates. Only meaningful when the current iterate is finite;
+  /// otherwise the breakdown is reported as-is.
+  int max_restarts = 0;
 
   /// Optional telemetry sinks (both null by default: zero overhead).
   /// With `metrics` set, iteration counts / flops / residual gauges land
@@ -107,7 +145,9 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
   copy(std::span<const T>(r), std::span<T>(r0));
   copy(std::span<const T>(r), std::span<T>(p));
 
-  const double bnorm = norm2<P>(b);
+  // Setup dots belong to the Table I census too (the wafer computes
+  // ||b|| with the same reduction hardware as every other dot).
+  const double bnorm = norm2<P>(b, fc);
   if (bnorm == 0.0) {
     for (auto& xi : x) xi = T{};
     result.reason = StopReason::Converged;
@@ -116,11 +156,62 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
                  result.final_residual());
     return result;
   }
+  if (!std::isfinite(bnorm)) {
+    // A non-finite right-hand side cannot be solved or restarted around.
+    result.reason = StopReason::Breakdown;
+    result.breakdown = BreakdownKind::NonFiniteResidual;
+    probe.finish(to_string(result.reason), result.iterations,
+                 result.final_residual());
+    return result;
+  }
 
   Acc rho = dot<P>(std::span<const T>(r0), std::span<const T>(r), fc);
 
+  // Breakdown recovery: re-seed the Krylov space from the current iterate
+  // (r = b - A*x, r0 = p = r — restarted BiCGStab). Returns true when the
+  // solve can continue; false leaves `result` describing the breakdown.
+  auto try_restart = [&](BreakdownKind kind) -> bool {
+    result.breakdown = kind;
+    result.reason = StopReason::Breakdown;
+    if (result.restarts >= controls.max_restarts) return false;
+    for (const T& xi : x) {
+      if (!std::isfinite(to_double(xi))) return false;  // nothing to save
+    }
+    {
+      auto span = probe.phase("restart");
+      apply(std::span<const T>(x), std::span<T>(ax), fc);
+      for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - ax[i];
+      }
+      detail::count_adds<T>(*fc, n);
+      copy(std::span<const T>(r), std::span<T>(r0));
+      copy(std::span<const T>(r), std::span<T>(p));
+      rho = dot<P>(std::span<const T>(r0), std::span<const T>(r), fc);
+    }
+    const double rho_d = to_double(rho);
+    if (rho_d == 0.0 || !std::isfinite(rho_d)) return false;
+    ++result.restarts;
+    result.breakdown = BreakdownKind::None;  // healed
+    result.reason = StopReason::MaxIterations;
+    return true;
+  };
+
   for (int it = 0; it < controls.max_iterations; ++it) {
     auto iteration_span = probe.phase("iteration");
+
+    // Algorithm 1 checks rho *before* anything divides by it (alpha here,
+    // beta below) — a vanished or poisoned rho is a breakdown now, not a
+    // silent NaN in the next iterate. A restart consumes this slot.
+    const double rho_d = to_double(rho);
+    if (!std::isfinite(rho_d)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
+      break;
+    }
+    if (rho_d == 0.0) {
+      if (try_restart(BreakdownKind::RhoZero)) continue;
+      break;
+    }
+
     // s = A p
     {
       auto span = probe.phase("spmv");
@@ -132,11 +223,21 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       auto span = probe.phase("dot");
       r0s = dot<P>(std::span<const T>(r0), std::span<const T>(s), fc);
     }
-    if (to_double(r0s) == 0.0) {
-      result.reason = StopReason::Breakdown;
+    const double r0s_d = to_double(r0s);
+    if (!std::isfinite(r0s_d)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
     }
-    const T alpha = from_double<T>(to_double(rho) / to_double(r0s));
+    if (r0s_d == 0.0) {
+      if (try_restart(BreakdownKind::R0SZero)) continue;
+      break;
+    }
+    const double alpha_d = rho_d / r0s_d;
+    if (!std::isfinite(alpha_d)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
+      break;
+    }
+    const T alpha = from_double<T>(alpha_d);
 
     // q = r - alpha s
     xpay(std::span<const T>(r), -alpha, std::span<const T>(s),
@@ -154,11 +255,29 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       qy = dot<P>(std::span<const T>(q), std::span<const T>(y), fc);
       yy = dot<P>(std::span<const T>(y), std::span<const T>(y), fc);
     }
-    if (to_double(yy) == 0.0) {
-      result.reason = StopReason::Breakdown;
+    const double qy_d = to_double(qy);
+    const double yy_d = to_double(yy);
+    if (!std::isfinite(qy_d) || !std::isfinite(yy_d)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
     }
-    const T omega = from_double<T>(to_double(qy) / to_double(yy));
+    // omega = (q,y)/(y,y). BOTH zeros are breakdowns: yy == 0 makes omega
+    // undefined, qy == 0 makes omega exactly 0 and beta = alpha/omega
+    // divides by it — the fp16 NaN-poisoning path this PR closes.
+    if (yy_d == 0.0 || qy_d == 0.0) {
+      if (try_restart(BreakdownKind::OmegaZero)) continue;
+      break;
+    }
+    const double omega_d = qy_d / yy_d;
+    if (!std::isfinite(omega_d) || omega_d == 0.0) {
+      // qy/yy can still underflow to 0 (or overflow) in double.
+      if (try_restart(omega_d == 0.0 ? BreakdownKind::OmegaZero
+                                     : BreakdownKind::NonFiniteScalar)) {
+        continue;
+      }
+      break;
+    }
+    const T omega = from_double<T>(omega_d);
 
     {
       auto span = probe.phase("axpy");
@@ -187,6 +306,10 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       }
       rnorm = std::sqrt(to_double(acc));
     }
+    if (!std::isfinite(rnorm)) {
+      if (try_restart(BreakdownKind::NonFiniteResidual)) continue;
+      break;
+    }
     result.relative_residuals.push_back(rnorm / bnorm);
     ++result.iterations;
     probe.iteration(result.iterations, rnorm / bnorm, result.flops.total());
@@ -213,12 +336,13 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       }
     }
 
-    if (to_double(rho) == 0.0) {
-      result.reason = StopReason::Breakdown;
+    // beta = (alpha/omega)(rho_next/rho); rho and omega were guarded
+    // nonzero and finite above, but the quotient can still blow up.
+    const double beta_d = (alpha_d / omega_d) * (to_double(rho_next) / rho_d);
+    if (!std::isfinite(beta_d)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
     }
-    const double beta_d = (to_double(alpha) / to_double(omega)) *
-                          (to_double(rho_next) / to_double(rho));
     const T beta = from_double<T>(beta_d);
     rho = rho_next;
 
@@ -234,10 +358,6 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     detail::count_muls<T>(*fc, 2 * n);
   }
 
-  if (result.reason == StopReason::MaxIterations &&
-      result.iterations == controls.max_iterations) {
-    result.reason = StopReason::MaxIterations;
-  }
   probe.finish(to_string(result.reason), result.iterations,
                result.final_residual());
   return result;

@@ -38,7 +38,8 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
   detail::count_adds<T>(*fc, n);
   copy(std::span<const T>(r), std::span<T>(p));
 
-  const double bnorm = norm2<P>(b);
+  // Setup dot joins the census, mirroring bicgstab's accounting.
+  const double bnorm = norm2<P>(b, fc);
   if (bnorm == 0.0) {
     for (auto& xi : x) xi = T{};
     result.reason = StopReason::Converged;
@@ -47,11 +48,35 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
                  result.final_residual());
     return result;
   }
+  if (!std::isfinite(bnorm)) {
+    result.reason = StopReason::Breakdown;
+    result.breakdown = BreakdownKind::NonFiniteResidual;
+    probe.finish(to_string(result.reason), result.iterations,
+                 result.final_residual());
+    return result;
+  }
 
   Acc rr = dot<P>(std::span<const T>(r), std::span<const T>(r), fc);
 
+  auto give_up = [&](BreakdownKind kind) {
+    result.reason = StopReason::Breakdown;
+    result.breakdown = kind;
+  };
+
   for (int it = 0; it < controls.max_iterations; ++it) {
     auto iteration_span = probe.phase("iteration");
+
+    // rr divides alpha and beta below; check it first (Algorithm order).
+    const double rr_d = to_double(rr);
+    if (!std::isfinite(rr_d)) {
+      give_up(BreakdownKind::NonFiniteScalar);
+      break;
+    }
+    if (rr_d == 0.0) {
+      give_up(BreakdownKind::RhoZero);
+      break;
+    }
+
     Acc pap{};
     {
       auto span = probe.phase("spmv");
@@ -61,11 +86,21 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
       auto span = probe.phase("dot");
       pap = dot<P>(std::span<const T>(p), std::span<const T>(ap), fc);
     }
-    if (to_double(pap) == 0.0) {
-      result.reason = StopReason::Breakdown;
+    const double pap_d = to_double(pap);
+    if (!std::isfinite(pap_d)) {
+      give_up(BreakdownKind::NonFiniteScalar);
       break;
     }
-    const T alpha = from_double<T>(to_double(rr) / to_double(pap));
+    if (pap_d == 0.0) {
+      give_up(BreakdownKind::R0SZero);  // (p, A p) = 0: A not SPD here
+      break;
+    }
+    const double alpha_d = rr_d / pap_d;
+    if (!std::isfinite(alpha_d)) {
+      give_up(BreakdownKind::NonFiniteScalar);
+      break;
+    }
+    const T alpha = from_double<T>(alpha_d);
 
     {
       auto span = probe.phase("axpy");
@@ -75,6 +110,10 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
 
     const Acc rr_next = dot<P>(std::span<const T>(r), std::span<const T>(r), fc);
     const double rnorm = std::sqrt(to_double(rr_next));
+    if (!std::isfinite(rnorm)) {
+      give_up(BreakdownKind::NonFiniteResidual);
+      break;
+    }
     result.relative_residuals.push_back(rnorm / bnorm);
     ++result.iterations;
     probe.iteration(result.iterations, rnorm / bnorm, result.flops.total());
@@ -86,7 +125,12 @@ SolveResult conjugate_gradient(ApplyFn&& apply,
       return result;
     }
 
-    const T beta = from_double<T>(to_double(rr_next) / to_double(rr));
+    const double beta_d = to_double(rr_next) / rr_d;  // rr_d nonzero, finite
+    if (!std::isfinite(beta_d)) {
+      give_up(BreakdownKind::NonFiniteScalar);
+      break;
+    }
+    const T beta = from_double<T>(beta_d);
     rr = rr_next;
 
     // p = r + beta p

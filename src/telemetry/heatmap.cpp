@@ -74,7 +74,7 @@ std::vector<const Heatmap*> FabricHeatmaps::all() const {
   return {&instr_cycles,   &stall_cycles,   &idle_cycles, &task_invocations,
           &elements,       &words_sent,     &words_received,
           &fifo_highwater, &ramp_highwater, &router_forwards,
-          &router_highwater};
+          &router_highwater, &fault_events};
 }
 
 FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
@@ -86,7 +86,7 @@ FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
       Heatmap("elements", w, h),        Heatmap("words_sent", w, h),
       Heatmap("words_received", w, h),  Heatmap("fifo_highwater", w, h),
       Heatmap("ramp_highwater", w, h),  Heatmap("router_forwards", w, h),
-      Heatmap("router_highwater", w, h)};
+      Heatmap("router_highwater", w, h), Heatmap("fault_events", w, h)};
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
       if (!fabric.has_core(x, y)) continue;
@@ -106,6 +106,8 @@ FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
           static_cast<double>(rs.flits_forwarded);
       maps.router_highwater.at(x, y) =
           static_cast<double>(rs.queue_highwater);
+      maps.fault_events.at(x, y) =
+          static_cast<double>(fabric.fault_injections(x, y));
     }
   }
   return maps;

@@ -62,6 +62,7 @@ struct FabricHeatmaps {
   Heatmap ramp_highwater;    ///< max ramp-queue occupancy per tile
   Heatmap router_forwards;   ///< flits forwarded through the router
   Heatmap router_highwater;  ///< max router output-queue occupancy
+  Heatmap fault_events;      ///< injected faults per tile (fault plans)
 
   [[nodiscard]] std::vector<const Heatmap*> all() const;
 };

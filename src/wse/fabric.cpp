@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace wss::wse {
 
@@ -46,11 +47,127 @@ void Fabric::ensure_pool(int bands) {
   }
 }
 
-void Fabric::route_phase(int y0, int y1) {
+// --- fault injection ----------------------------------------------------
+
+void Fabric::set_fault_plan(const FaultPlan* plan) {
+  if (plan == nullptr) {
+    faults_.reset();  // stats, log and per-tile injections survive
+    return;
+  }
+  auto check = [&](int x, int y, const char* what) {
+    if (!in_bounds(x, y)) {
+      throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                  " out of bounds");
+    }
+  };
+  for (const LinkFault& f : plan->link_faults) {
+    check(f.x, f.y, "link fault");
+    if (f.dir == Dir::Ramp) {
+      throw std::invalid_argument(
+          "FaultPlan: link fault dir must be a mesh direction");
+    }
+    if (f.kind != FaultKind::DropWavelet &&
+        f.kind != FaultKind::CorruptWavelet) {
+      throw std::invalid_argument(
+          "FaultPlan: link fault kind must be drop or corrupt");
+    }
+  }
+  for (const RouterStallFault& f : plan->router_stalls) {
+    check(f.x, f.y, "router stall");
+  }
+  for (const DeadTileFault& f : plan->dead_tiles) check(f.x, f.y, "dead tile");
+
+  auto st = std::make_unique<FaultState>();
+  st->plan = plan;
+  st->tiles.resize(tiles_.size());
+  for (const LinkFault& f : plan->link_faults) {
+    st->tiles[tile_index(f.x, f.y)]
+        .links[static_cast<std::size_t>(f.dir) % 4]
+        .push_back(f);
+  }
+  for (const RouterStallFault& f : plan->router_stalls) {
+    st->tiles[tile_index(f.x, f.y)].stall_windows.emplace_back(f.from_cycle,
+                                                               f.until_cycle);
+  }
+  for (const DeadTileFault& f : plan->dead_tiles) {
+    auto& dead = st->tiles[tile_index(f.x, f.y)].dead_from;
+    dead = std::min(dead, f.from_cycle);
+  }
+  if (fault_injections_.size() != tiles_.size()) {
+    fault_injections_.assign(tiles_.size(), 0);
+  }
+  faults_ = std::move(st);
+}
+
+std::uint64_t Fabric::fault_injections(int x, int y) const {
+  if (!in_bounds(x, y)) throw std::invalid_argument("tile out of bounds");
+  if (fault_injections_.empty()) return 0;
+  return fault_injections_[tile_index(x, y)];
+}
+
+bool Fabric::router_stalled(const TileFaults& tf, std::uint64_t cycle) const {
+  for (const auto& [from, until] : tf.stall_windows) {
+    if (cycle >= from && cycle < until) return true;
+  }
+  return false;
+}
+
+void Fabric::stage_fault_event(int band, const FaultEvent& ev) {
+  faults_->band_events[static_cast<std::size_t>(band)].push_back(ev);
+  ++fault_injections_[tile_index(ev.x, ev.y)];
+}
+
+void Fabric::merge_fault_bands(int bands) {
+  // Band-order reduction, mirroring the trace-event merge: the global
+  // stats, the bounded log (including which events hit the capacity
+  // drop) and any emitted tracer events come out identical to a serial
+  // run for every thread count.
+  for (int b = 0; b < bands; ++b) {
+    auto& bs = faults_->band_stats[static_cast<std::size_t>(b)];
+    fault_stats_ += bs;
+    bs = FaultStats{};
+    auto& evs = faults_->band_events[static_cast<std::size_t>(b)];
+    for (const FaultEvent& ev : evs) {
+      if (fault_log_.size() < kFaultLogCapacity) {
+        fault_log_.push_back(ev);
+      } else {
+        ++fault_log_dropped_;
+      }
+      if (user_tracer_ != nullptr && user_tracer_->wants(ev.x, ev.y)) {
+        user_tracer_->record(ev.cycle, ev.x, ev.y, TraceEventKind::Fault,
+                             to_string(ev.kind));
+      }
+    }
+    evs.clear();
+  }
+}
+
+// ------------------------------------------------------------------------
+
+void Fabric::route_phase(int y0, int y1, int band) {
   for (int y = y0; y < y1; ++y) {
     for (int x = 0; x < width_; ++x) {
       Tile& t = tiles_[tile_index(x, y)];
       if (t.core == nullptr) continue;
+      if (faults_ != nullptr) {
+        const TileFaults& tf = faults_->tiles[tile_index(x, y)];
+        if (!tf.stall_windows.empty() &&
+            router_stalled(tf, stats_.cycles)) {
+          // Forward nothing this cycle; arriving wavelets stay queued
+          // (backpressure), nothing is lost.
+          auto& bs = faults_->band_stats[static_cast<std::size_t>(band)];
+          ++bs.router_stall_cycles;
+          for (const auto& [from, until] : tf.stall_windows) {
+            if (stats_.cycles == from) {
+              stage_fault_event(band, FaultEvent{stats_.cycles, x, y,
+                                                 Dir::Ramp,
+                                                 FaultKind::StallRouter, 0,
+                                                 0});
+            }
+          }
+          continue;
+        }
+      }
       for (int d = 0; d < 4; ++d) {
         for (int c = 0; c < kNumColors; ++c) {
           auto& q = t.router.in_queues[static_cast<std::size_t>(d)]
@@ -104,18 +221,33 @@ void Fabric::route_phase(int y0, int y1) {
   }
 }
 
-void Fabric::core_phase(int y0, int y1, Tracer* tracer) {
+void Fabric::core_phase(int y0, int y1, Tracer* tracer, int band) {
   for (int y = y0; y < y1; ++y) {
     for (int x = 0; x < width_; ++x) {
       Tile& t = tiles_[tile_index(x, y)];
       if (t.core == nullptr) continue;
       if (user_tracer_ != nullptr) t.core->set_tracer(tracer, x, y);
+      if (faults_ != nullptr) {
+        const TileFaults& tf = faults_->tiles[tile_index(x, y)];
+        if (stats_.cycles >= tf.dead_from) {
+          // Datapath death: the core stops executing but its router keeps
+          // forwarding (handled by route/link phases as usual).
+          ++faults_->band_stats[static_cast<std::size_t>(band)]
+                .dead_tile_cycles;
+          if (stats_.cycles == tf.dead_from) {
+            stage_fault_event(band,
+                              FaultEvent{stats_.cycles, x, y, Dir::Ramp,
+                                         FaultKind::DeadTile, 0, 0});
+          }
+          continue;
+        }
+      }
       t.core->step(t.router, stats_.cycles);
     }
   }
 }
 
-std::uint64_t Fabric::link_phase(int y0, int y1) {
+std::uint64_t Fabric::link_phase(int y0, int y1, int band) {
   // Cross-tile mutation lives here and only here: tile (x, y) moves flits
   // from its own out_queues[d] into neighbor (x+dx, y+dy)'s
   // in_queues[opposite(d)]. That queue has exactly one writer (this tile)
@@ -152,12 +284,62 @@ std::uint64_t Fabric::link_phase(int y0, int y1) {
             if (flit_halfwords(inq) + cost > 2 * sim_.link_halfwords_per_cycle) {
               continue;
             }
-            inq.push_back(q.front());
+            Flit flit = q.front();
             q.pop_front();
             budget -= cost;
             rr = (c + 1) % kNumColors;
-            ++transfers;
             moved = true;
+            // Link faults fire at the instant the wavelet traverses the
+            // link. The decision is a pure hash of (plan seed, source
+            // tile, dir, per-link ordinal) — all owned by the source
+            // tile's band — so it is thread-count independent. A drop
+            // still consumes link budget (the word was transmitted, then
+            // lost) but is not counted as a transfer; corruption XORs the
+            // payload in flight and delivers it.
+            bool dropped = false;
+            if (faults_ != nullptr) {
+              TileFaults& tf = faults_->tiles[tile_index(x, y)];
+              auto& lf = tf.links[static_cast<std::size_t>(d)];
+              if (!lf.empty()) {
+                const std::uint64_t ordinal =
+                    tf.link_ordinal[static_cast<std::size_t>(d)]++;
+                auto& bs =
+                    faults_->band_stats[static_cast<std::size_t>(band)];
+                for (std::size_t fi = 0; fi < lf.size(); ++fi) {
+                  const LinkFault& f = lf[fi];
+                  if (stats_.cycles < f.from_cycle ||
+                      stats_.cycles >= f.until_cycle) {
+                    continue;
+                  }
+                  if (fault_roll(faults_->plan->seed + fi, x, y, dir,
+                                 ordinal) >= f.probability) {
+                    continue;
+                  }
+                  if (f.kind == FaultKind::DropWavelet) {
+                    ++bs.wavelets_dropped;
+                    stage_fault_event(
+                        band, FaultEvent{stats_.cycles, x, y, dir,
+                                         FaultKind::DropWavelet,
+                                         flit.payload, 0});
+                    dropped = true;
+                    break;
+                  }
+                  if (f.kind == FaultKind::CorruptWavelet) {
+                    const std::uint32_t before = flit.payload;
+                    flit.payload ^= f.corrupt_mask;
+                    ++bs.wavelets_corrupted;
+                    stage_fault_event(
+                        band, FaultEvent{stats_.cycles, x, y, dir,
+                                         FaultKind::CorruptWavelet, before,
+                                         flit.payload});
+                  }
+                }
+              }
+            }
+            if (!dropped) {
+              inq.push_back(flit);
+              ++transfers;
+            }
             break;
           }
           if (!moved) break;
@@ -187,13 +369,24 @@ void Fabric::merge_staged_trace_events() {
 
 void Fabric::step() {
   const int bands = band_count();
+  if (faults_ != nullptr) {
+    // (Re)size the per-band fault staging. Merging happens after *each*
+    // phase so the global event order is phase-major then row-major —
+    // exactly the serial order — at any thread count.
+    faults_->band_stats.assign(static_cast<std::size_t>(bands),
+                               FaultStats{});
+    faults_->band_events.resize(static_cast<std::size_t>(bands));
+  }
   if (bands <= 1) {
-    route_phase(0, height_);
+    route_phase(0, height_, 0);
+    if (faults_ != nullptr) merge_fault_bands(1);
     // core_phase rebinds tracers to `user_tracer_` so a serial step after
     // a parallel one (set_threads) never leaves cores pointing at stale
     // per-band staging buffers.
-    core_phase(0, height_, user_tracer_);
-    stats_.link_transfers += link_phase(0, height_);
+    core_phase(0, height_, user_tracer_, 0);
+    if (faults_ != nullptr) merge_fault_bands(1);
+    stats_.link_transfers += link_phase(0, height_, 0);
+    if (faults_ != nullptr) merge_fault_bands(1);
     ++stats_.cycles;
     return;
   }
@@ -211,24 +404,28 @@ void Fabric::step() {
 
   pool_->run([&](int band) {
     const auto [y0, y1] = band_rows(band, bands);
-    route_phase(y0, y1);
+    route_phase(y0, y1, band);
   });
+  if (faults_ != nullptr) merge_fault_bands(bands);
   pool_->run([&](int band) {
     const auto [y0, y1] = band_rows(band, bands);
     Tracer* staged = user_tracer_ != nullptr
                          ? trace_staging_[static_cast<std::size_t>(band)].get()
                          : nullptr;
-    core_phase(y0, y1, staged);
+    core_phase(y0, y1, staged, band);
   });
   if (user_tracer_ != nullptr) merge_staged_trace_events();
+  if (faults_ != nullptr) merge_fault_bands(bands);
   band_link_transfers_.assign(static_cast<std::size_t>(bands), 0);
   pool_->run([&](int band) {
     const auto [y0, y1] = band_rows(band, bands);
-    band_link_transfers_[static_cast<std::size_t>(band)] = link_phase(y0, y1);
+    band_link_transfers_[static_cast<std::size_t>(band)] =
+        link_phase(y0, y1, band);
   });
   for (const std::uint64_t n : band_link_transfers_) {
     stats_.link_transfers += n;
   }
+  if (faults_ != nullptr) merge_fault_bands(bands);
   ++stats_.cycles;
 }
 

@@ -21,12 +21,14 @@
 // contract in docs/SIMULATOR.md, enforced by
 // tests/wse/parallel_conformance_test.cpp).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "wse/core.hpp"
+#include "wse/fault.hpp"
 #include "wse/sim_pool.hpp"
 
 namespace wss::wse {
@@ -99,6 +101,28 @@ public:
   void set_threads(int threads);
   [[nodiscard]] int threads() const { return threads_; }
 
+  // --- seeded fault injection (docs/ROBUSTNESS.md) ---
+
+  /// Attach a deterministic fault plan (nullptr detaches). The plan must
+  /// outlive its attachment and its coordinates must be in bounds
+  /// (std::invalid_argument otherwise). With no plan attached the fault
+  /// hooks are a single null-pointer test per phase band — zero cost
+  /// (bench_fault_overhead proves it); an attached *empty* plan changes
+  /// nothing about the simulated behaviour. Accumulated fault stats and
+  /// the event log survive detachment.
+  void set_fault_plan(const FaultPlan* plan);
+  [[nodiscard]] bool has_fault_plan() const { return faults_ != nullptr; }
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+  /// Bounded band-order-deterministic log of injected faults.
+  [[nodiscard]] const std::vector<FaultEvent>& fault_log() const {
+    return fault_log_;
+  }
+  [[nodiscard]] std::size_t fault_log_dropped() const {
+    return fault_log_dropped_;
+  }
+  /// Injected-fault count at tile (x, y) — the telemetry heatmap source.
+  [[nodiscard]] std::uint64_t fault_injections(int x, int y) const;
+
 private:
   struct Tile {
     std::unique_ptr<TileCore> core;
@@ -116,9 +140,10 @@ private:
   // Per-phase row-band workers. Each operates on rows [y0, y1) and, for
   // the link phase, returns the number of link transfers it performed so
   // the global counter can be reduced deterministically at the barrier.
-  void route_phase(int y0, int y1);
-  void core_phase(int y0, int y1, Tracer* tracer);
-  [[nodiscard]] std::uint64_t link_phase(int y0, int y1);
+  // `band` indexes the per-band fault staging buffers.
+  void route_phase(int y0, int y1, int band);
+  void core_phase(int y0, int y1, Tracer* tracer, int band);
+  [[nodiscard]] std::uint64_t link_phase(int y0, int y1, int band);
 
   /// Bands actually used this step: min(threads_, height_), at least 1.
   [[nodiscard]] int band_count() const;
@@ -141,6 +166,46 @@ private:
   Tracer* user_tracer_ = nullptr;
   std::vector<std::unique_ptr<Tracer>> trace_staging_; ///< one per band
   std::vector<std::uint64_t> band_link_transfers_;
+
+  // --- fault injection (allocated only while a plan is attached) ---
+
+  /// Per-tile compiled view of the plan plus per-link ordinal counters.
+  /// All of it is owned by the tile's row band: the route/core hooks read
+  /// the tile's own entry, and the link hooks advance the *source* tile's
+  /// ordinals — exactly the ownership the banded determinism contract
+  /// already guarantees for router queues.
+  struct TileFaults {
+    std::vector<LinkFault> links[4];  ///< faults on each outgoing dir
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> stall_windows;
+    std::uint64_t dead_from = kFaultForever;
+    std::uint64_t link_ordinal[4] = {0, 0, 0, 0};
+  };
+  struct FaultState {
+    const FaultPlan* plan = nullptr;
+    std::vector<TileFaults> tiles;
+    // Staged per band during a step, merged in band order afterwards.
+    std::vector<FaultStats> band_stats;
+    std::vector<std::vector<FaultEvent>> band_events;
+  };
+
+  /// True if the tile at (x, y) is inside a router-stall window.
+  [[nodiscard]] bool router_stalled(const TileFaults& tf,
+                                    std::uint64_t cycle) const;
+  /// Append `ev` to `band`'s staging buffer (serial: band 0).
+  void stage_fault_event(int band, const FaultEvent& ev);
+  /// Reduce per-band fault stats/events into the fabric-global log, in
+  /// band order, emitting tracer events when a tracer is attached.
+  void merge_fault_bands(int bands);
+
+  static constexpr std::size_t kFaultLogCapacity = 4096;
+
+  std::unique_ptr<FaultState> faults_;
+  FaultStats fault_stats_;
+  std::vector<FaultEvent> fault_log_;
+  std::size_t fault_log_dropped_ = 0;
+  /// Per-tile injected-fault counts (lazily sized width*height on first
+  /// plan attach; like fault_stats_, survives plan detachment).
+  std::vector<std::uint64_t> fault_injections_;
 };
 
 } // namespace wss::wse

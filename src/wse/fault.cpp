@@ -1,0 +1,37 @@
+#include "wse/fault.hpp"
+
+namespace wss::wse {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::DropWavelet: return "drop-wavelet";
+    case FaultKind::CorruptWavelet: return "corrupt-wavelet";
+    case FaultKind::StallRouter: return "stall-router";
+    case FaultKind::DeadTile: return "dead-tile";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+} // namespace
+
+double fault_roll(std::uint64_t seed, int x, int y, Dir dir,
+                  std::uint64_t ordinal) {
+  std::uint64_t h = splitmix(seed);
+  h = splitmix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x))
+                    << 32 |
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(y))));
+  h = splitmix(h ^ static_cast<std::uint64_t>(dir));
+  h = splitmix(h ^ ordinal);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace wss::wse

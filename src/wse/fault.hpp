@@ -1,0 +1,130 @@
+#pragma once
+
+// Seeded, deterministic fault injection for the fabric simulator: a
+// FaultPlan describes link faults (dropped or bit-corrupted wavelets),
+// transiently stalled routers, and dead tiles; the Fabric executes the
+// plan during its route/core/link phases, counts every injection
+// (FaultStats + per-tile counters feeding the telemetry heatmaps), and
+// keeps a bounded, band-order-deterministic event log.
+//
+// Determinism contract (the PR-2 banded contract extended to faults): a
+// fault decision depends only on (plan seed, link coordinates, per-link
+// wavelet ordinal, cycle window) — all state owned by the source tile's
+// row band — so an injected run is bit-reproducible at any host thread
+// count, including the fault log and every trace event. See
+// docs/ROBUSTNESS.md.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "wse/types.hpp"
+
+namespace wss::wse {
+
+/// Sentinel for "window never closes" / "tile never dies".
+inline constexpr std::uint64_t kFaultForever =
+    std::numeric_limits<std::uint64_t>::max();
+
+enum class FaultKind : std::uint8_t {
+  DropWavelet,     ///< a wavelet leaves the source link and never arrives
+  CorruptWavelet,  ///< payload bits are XOR-flipped in flight
+  StallRouter,     ///< router forwards nothing during the window
+  DeadTile,        ///< core stops executing from a given cycle on
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// A fault on one outgoing link (source tile (x, y), direction `dir`).
+/// Each wavelet that traverses the link during [from_cycle, until_cycle)
+/// is dropped/corrupted with `probability`, decided by a deterministic
+/// per-wavelet roll derived from the plan seed (see fault_roll).
+struct LinkFault {
+  int x = 0;
+  int y = 0;
+  Dir dir = Dir::East;
+  FaultKind kind = FaultKind::DropWavelet;  ///< DropWavelet or CorruptWavelet
+  double probability = 1.0;
+  std::uint64_t from_cycle = 0;
+  std::uint64_t until_cycle = kFaultForever;  ///< exclusive
+  /// XOR mask applied to the 32-bit payload for CorruptWavelet. The
+  /// default flips the top mantissa bit of an fp16 in the low halfword.
+  std::uint32_t corrupt_mask = 0x0200u;
+};
+
+/// Router at (x, y) forwards nothing during [from_cycle, until_cycle):
+/// arriving wavelets queue up (backpressure), nothing is lost.
+struct RouterStallFault {
+  int x = 0;
+  int y = 0;
+  std::uint64_t from_cycle = 0;
+  std::uint64_t until_cycle = kFaultForever;  ///< exclusive
+};
+
+/// Core at (x, y) stops executing from `from_cycle` on. Its router keeps
+/// forwarding (a datapath death, not a routing death).
+struct DeadTileFault {
+  int x = 0;
+  int y = 0;
+  std::uint64_t from_cycle = 0;
+};
+
+/// A deterministic, seeded fault-injection plan for one fabric.
+/// Attach with Fabric::set_fault_plan; the plan must outlive its use.
+struct FaultPlan {
+  std::uint64_t seed = 1;  ///< drives every probabilistic link-fault roll
+  std::vector<LinkFault> link_faults;
+  std::vector<RouterStallFault> router_stalls;
+  std::vector<DeadTileFault> dead_tiles;
+
+  [[nodiscard]] bool empty() const {
+    return link_faults.empty() && router_stalls.empty() &&
+           dead_tiles.empty();
+  }
+};
+
+/// Fabric-wide injection counters (cheap always-on increments while a
+/// plan is attached; untouched otherwise).
+struct FaultStats {
+  std::uint64_t wavelets_dropped = 0;
+  std::uint64_t wavelets_corrupted = 0;
+  std::uint64_t router_stall_cycles = 0;  ///< stalled-router tile-cycles
+  std::uint64_t dead_tile_cycles = 0;     ///< dead-core tile-cycles
+
+  [[nodiscard]] std::uint64_t total() const {
+    return wavelets_dropped + wavelets_corrupted + router_stall_cycles +
+           dead_tile_cycles;
+  }
+  FaultStats& operator+=(const FaultStats& o) {
+    wavelets_dropped += o.wavelets_dropped;
+    wavelets_corrupted += o.wavelets_corrupted;
+    router_stall_cycles += o.router_stall_cycles;
+    dead_tile_cycles += o.dead_tile_cycles;
+    return *this;
+  }
+  bool operator==(const FaultStats&) const = default;
+};
+
+/// One injected fault occurrence. Stall/dead faults log a single event at
+/// window start; per-wavelet faults log one event each (until the bounded
+/// log fills; see Fabric::fault_log_dropped).
+struct FaultEvent {
+  std::uint64_t cycle = 0;
+  int x = 0;
+  int y = 0;
+  Dir dir = Dir::Ramp;  ///< Ramp for non-link faults
+  FaultKind kind{};
+  std::uint32_t payload_before = 0;  ///< link faults only
+  std::uint32_t payload_after = 0;   ///< corrupted payload (0 for drops)
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Deterministic per-wavelet roll in [0, 1): a pure SplitMix64-style hash
+/// of (seed, x, y, dir, ordinal). Host-thread-count independent because
+/// the ordinal is the wavelet's position in its own link's traffic, which
+/// only the source tile's band observes.
+[[nodiscard]] double fault_roll(std::uint64_t seed, int x, int y, Dir dir,
+                                std::uint64_t ordinal);
+
+} // namespace wss::wse

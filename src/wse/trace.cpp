@@ -10,6 +10,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::TaskEnd: return "task-end";
     case TraceEventKind::InstrComplete: return "instr-done";
     case TraceEventKind::Stall: return "stall";
+    case TraceEventKind::Fault: return "fault";
   }
   return "?";
 }

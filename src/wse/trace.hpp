@@ -19,6 +19,7 @@ enum class TraceEventKind : std::uint8_t {
   TaskEnd,        ///< task body exhausted
   InstrComplete,  ///< an instruction retired
   Stall,          ///< datapath had work but nothing could advance
+  Fault,          ///< an injected fault fired (see wse/fault.hpp)
 };
 
 struct TraceEvent {

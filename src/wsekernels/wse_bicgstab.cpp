@@ -165,20 +165,6 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
     p[i] = r[i];
   }
 
-  const double bnorm = std::sqrt(static_cast<double>(wse_dot(b, b)));
-  if (bnorm == 0.0) {
-    x.fill(fp16_t(0.0));
-    result.reason = StopReason::Converged;
-    result.relative_residuals.push_back(0.0);
-    probe.finish(to_string(result.reason), result.iterations,
-                 result.final_residual());
-    return result;
-  }
-
-  float rho = wse_dot(r0, r);
-  detail::count_muls<fp16_t>(*fc, n);
-  detail::count_adds<float>(*fc, n);
-
   auto count_dot = [&] {
     detail::count_muls<fp16_t>(*fc, n);
     detail::count_adds<float>(*fc, n);
@@ -192,8 +178,72 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
     detail::count_adds<fp16_t>(*fc, 6 * n);
   };
 
+  // The ||b|| dot rides the same AllReduce hardware as every other dot;
+  // it belongs to the Table I census (setup column) like the rho dot.
+  const double bnorm = std::sqrt(static_cast<double>(wse_dot(b, b)));
+  count_dot();
+  if (bnorm == 0.0) {
+    x.fill(fp16_t(0.0));
+    result.reason = StopReason::Converged;
+    result.relative_residuals.push_back(0.0);
+    probe.finish(to_string(result.reason), result.iterations,
+                 result.final_residual());
+    return result;
+  }
+  if (!std::isfinite(bnorm)) {
+    result.reason = StopReason::Breakdown;
+    result.breakdown = BreakdownKind::NonFiniteResidual;
+    probe.finish(to_string(result.reason), result.iterations,
+                 result.final_residual());
+    return result;
+  }
+
+  float rho = wse_dot(r0, r);
+  count_dot();
+
+  // Breakdown recovery (mirrors solver/bicgstab.hpp): re-seed the Krylov
+  // space from the current iterate with the wafer's own kernels.
+  auto try_restart = [&](BreakdownKind kind) -> bool {
+    result.breakdown = kind;
+    result.reason = StopReason::Breakdown;
+    if (result.restarts >= controls.max_restarts) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x[i].is_nan() || x[i].is_inf()) return false;  // nothing to save
+    }
+    {
+      auto span = probe.phase("restart");
+      wse_spmv(*a_, x, ax);
+      count_spmv();
+      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+      detail::count_adds<fp16_t>(*fc, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        r0[i] = r[i];
+        p[i] = r[i];
+      }
+      rho = wse_dot(r0, r);
+      count_dot();
+    }
+    if (rho == 0.0f || !std::isfinite(rho)) return false;
+    ++result.restarts;
+    result.breakdown = BreakdownKind::None;  // healed
+    result.reason = StopReason::MaxIterations;
+    return true;
+  };
+
   for (int it = 0; it < controls.max_iterations; ++it) {
     auto iteration_span = probe.phase("iteration");
+
+    // rho divides alpha and beta; Algorithm 1 checks it before either
+    // (a restart consumes this iteration slot).
+    if (!std::isfinite(rho)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
+      break;
+    }
+    if (rho == 0.0f) {
+      if (try_restart(BreakdownKind::RhoZero)) continue;
+      break;
+    }
+
     {
       auto span = probe.phase("spmv");
       wse_spmv(*a_, p, s);
@@ -206,11 +256,20 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
       r0s = wse_dot(r0, s);
       count_dot();
     }
-    if (r0s == 0.0f) {
-      result.reason = StopReason::Breakdown;
+    if (!std::isfinite(r0s)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
     }
-    const fp16_t alpha(rho / r0s);
+    if (r0s == 0.0f) {
+      if (try_restart(BreakdownKind::R0SZero)) continue;
+      break;
+    }
+    const float alpha_f = rho / r0s;
+    if (!std::isfinite(alpha_f)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
+      break;
+    }
+    const fp16_t alpha(alpha_f);
 
     {
       auto span = probe.phase("axpy");
@@ -233,11 +292,30 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
       count_dot();
       count_dot();
     }
-    if (yy == 0.0f) {
-      result.reason = StopReason::Breakdown;
+    if (!std::isfinite(qy) || !std::isfinite(yy)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
+      break;
+    }
+    // omega = (q,y)/(y,y): BOTH zeros break the recurrence — yy == 0
+    // leaves omega undefined, qy == 0 makes omega == 0 and beta =
+    // (alpha/omega)(...) divides by it. This is the silent fp16
+    // NaN-poisoning path the old `yy == 0` guard missed.
+    if (yy == 0.0f || qy == 0.0f) {
+      if (try_restart(BreakdownKind::OmegaZero)) continue;
       break;
     }
     const fp16_t omega(qy / yy);
+    // The wafer computes beta from the fp16-rounded omega (it never holds
+    // the float quotient): a quotient below the fp16 subnormal floor is an
+    // omega breakdown on hardware even though qy != 0 in fp32.
+    if (omega.to_float() == 0.0f) {
+      if (try_restart(BreakdownKind::OmegaZero)) continue;
+      break;
+    }
+    if (omega.is_nan() || omega.is_inf()) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
+      break;
+    }
 
     {
       auto span = probe.phase("axpy");
@@ -259,6 +337,10 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
       rr = wse_dot(r, r);
     }
     const double rnorm = std::sqrt(static_cast<double>(rr));
+    if (!std::isfinite(rnorm)) {
+      if (try_restart(BreakdownKind::NonFiniteResidual)) continue;
+      break;
+    }
     result.relative_residuals.push_back(rnorm / bnorm);
     ++result.iterations;
     probe.iteration(result.iterations, rnorm / bnorm, result.flops.total());
@@ -280,12 +362,17 @@ SolveResult WseBicgstabSolver::solve(const Field3<fp16_t>& b,
       }
     }
 
-    if (rho == 0.0f) {
-      result.reason = StopReason::Breakdown;
+    // rho and omega were guarded nonzero and finite above (Algorithm 1's
+    // ordering: the old post-hoc `rho == 0` check ran only after rho had
+    // already divided alpha); the quotient can still blow up in fp16.
+    const double beta_d =
+        static_cast<double>(alpha.to_float() / omega.to_float()) *
+        (static_cast<double>(rho_next) / rho);
+    if (!std::isfinite(beta_d)) {
+      if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
     }
-    const fp16_t beta(static_cast<double>(alpha.to_float() / omega.to_float()) *
-                      (static_cast<double>(rho_next) / rho));
+    const fp16_t beta(beta_d);
     rho = rho_next;
 
     // p = r + beta (p - omega s)

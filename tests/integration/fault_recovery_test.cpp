@@ -1,0 +1,329 @@
+// Differential fault-recovery harness: the mixed-precision BiCGStab
+// driven by matvecs executed on the *simulated fabric* (the Listing-1
+// SpMV program), with seeded faults injected underneath. The contract
+// under test, end to end:
+//
+//   under any injected fault the solver either recovers to the
+//   fault-free answer or reports a truthful failure — it never returns
+//   a silently wrong "Converged".
+//
+// A matvec whose dataflow program deadlocks (dropped wavelets, dead
+// tile) cannot produce a result; the harness surfaces that to the solver
+// as a NaN-filled product, which the breakdown classifier must turn into
+// StopReason::Breakdown — and, when the fault is transient, heal through
+// the restart path once the fabric delivers clean matvecs again.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "mesh/field.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+#include "wse/fabric.hpp"
+#include "wse/fault.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss {
+namespace {
+
+struct System {
+  Stencil7<fp16_t> a;        ///< unit-diagonal (Jacobi-preconditioned)
+  std::vector<fp16_t> b;
+  Stencil7<double> ad;       ///< same matrix in fp64 for truth checks
+  std::vector<double> bd;
+};
+
+System make_system(const Grid3& g, std::uint64_t seed) {
+  auto ad = make_momentum_like7(g, 0.6, seed);
+  const auto xref = make_smooth_solution(g);
+  const auto bd = make_rhs(ad, xref);
+  auto bd_copy = bd;
+  const Field3<double> b_pre = precondition_jacobi(ad, bd_copy);
+  System s;
+  s.a = convert_stencil<fp16_t>(ad);
+  const auto bh = convert_field<fp16_t>(b_pre);
+  s.b.assign(bh.begin(), bh.end());
+  s.ad = ad;
+  s.bd.assign(b_pre.begin(), b_pre.end());
+  return s;
+}
+
+/// y = A*v computed by the cycle-accurate fabric simulation. A deadlocked
+/// program (the observable face of drop/dead faults) yields a NaN-filled
+/// product: the harness never invents data the fabric did not deliver.
+class SimulatedOperator {
+public:
+  SimulatedOperator(const Stencil7<fp16_t>& a, int threads)
+      : grid_(a.grid), sim_(a, arch_, make_params(threads)) {}
+
+  void operator()(std::span<const fp16_t> v, std::span<fp16_t> y,
+                  FlopCounter* fc) {
+    Field3<fp16_t> vf(grid_);
+    std::copy(v.begin(), v.end(), vf.begin());
+    try {
+      const Field3<fp16_t> uf = sim_.run(vf);
+      std::copy(uf.begin(), uf.end(), y.begin());
+    } catch (const std::runtime_error&) {
+      ++deadlocks_;
+      for (auto& yi : y) yi = fp16_limits::quiet_nan();
+    }
+    if (fc != nullptr) {  // census parity with Stencil7Operator (unit diag)
+      fc->hp_mul += 6 * grid_.size();
+      fc->hp_add += 6 * grid_.size();
+    }
+  }
+
+  [[nodiscard]] wse::Fabric& fabric() { return sim_.fabric(); }
+  [[nodiscard]] int deadlocks() const { return deadlocks_; }
+
+private:
+  static wse::SimParams make_params(int threads) {
+    wse::SimParams p;
+    p.sim_threads = threads;
+    return p;
+  }
+
+  wse::CS1Params arch_;
+  Grid3 grid_;
+  wsekernels::SpMV3DSimulation sim_;
+  int deadlocks_ = 0;
+};
+
+SolveControls controls(int max_restarts) {
+  SolveControls c;
+  c.max_iterations = 40;
+  c.tolerance = 5e-3;
+  c.stagnation_window = 8;
+  c.max_restarts = max_restarts;
+  return c;
+}
+
+SolveResult solve_on(SimulatedOperator& op, const System& s,
+                     std::vector<fp16_t>& x, const SolveControls& c) {
+  return bicgstab<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const fp16_t>(s.b), std::span<fp16_t>(x), c);
+}
+
+const Grid3 kGrid(3, 3, 6);
+
+TEST(FaultRecovery, BaselineFabricSolveConverges) {
+  const System s = make_system(kGrid, 101);
+  SimulatedOperator op(s.a, 1);
+  std::vector<fp16_t> x(s.b.size(), fp16_t(0.0));
+  const auto r = solve_on(op, s, x, controls(0));
+  ASSERT_EQ(r.reason, StopReason::Converged);
+  EXPECT_EQ(op.deadlocks(), 0);
+
+  // The converged iterate solves the original fp64 system to the mixed-
+  // precision floor.
+  Stencil7Operator<double> opd(s.ad);
+  std::vector<double> xd(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xd[i] = x[i].to_double();
+  EXPECT_LT(true_relative_residual<double>(
+                opd, std::span<const double>(s.bd),
+                std::span<const double>(xd)),
+            5e-2);
+}
+
+TEST(FaultRecovery, RouterStallIsInvisibleToTheSolver) {
+  // A transient stall loses nothing: the faulted solve must be
+  // bit-identical to the fault-free one — iterate, iteration count, and
+  // the full residual history.
+  const System s = make_system(kGrid, 102);
+
+  SimulatedOperator clean(s.a, 1);
+  std::vector<fp16_t> x_ref(s.b.size(), fp16_t(0.0));
+  const auto r_ref = solve_on(clean, s, x_ref, controls(0));
+  ASSERT_EQ(r_ref.reason, StopReason::Converged);
+
+  SimulatedOperator op(s.a, 1);
+  wse::FaultPlan plan;
+  plan.router_stalls.push_back(
+      {.x = 1, .y = 1, .from_cycle = 0, .until_cycle = 600});
+  op.fabric().set_fault_plan(&plan);
+  std::vector<fp16_t> x(s.b.size(), fp16_t(0.0));
+  const auto r = solve_on(op, s, x, controls(0));
+
+  EXPECT_EQ(r.reason, r_ref.reason);
+  EXPECT_EQ(r.iterations, r_ref.iterations);
+  ASSERT_EQ(r.relative_residuals.size(), r_ref.relative_residuals.size());
+  for (std::size_t i = 0; i < r.relative_residuals.size(); ++i) {
+    EXPECT_EQ(r.relative_residuals[i], r_ref.relative_residuals[i]) << i;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].bits(), x_ref[i].bits()) << i;
+  }
+  EXPECT_EQ(op.fabric().fault_stats().router_stall_cycles, 600u);
+}
+
+TEST(FaultRecovery, PermanentLinkDropReportsBreakdownNotConvergence) {
+  const System s = make_system(kGrid, 103);
+  SimulatedOperator op(s.a, 1);
+  wse::FaultPlan plan;
+  plan.link_faults.push_back({.x = 0,
+                              .y = 0,
+                              .dir = wse::Dir::East,
+                              .kind = wse::FaultKind::DropWavelet,
+                              .probability = 1.0});
+  op.fabric().set_fault_plan(&plan);
+  std::vector<fp16_t> x(s.b.size(), fp16_t(0.0));
+  const auto r = solve_on(op, s, x, controls(3));
+
+  EXPECT_EQ(r.reason, StopReason::Breakdown);
+  EXPECT_NE(r.breakdown, BreakdownKind::None);
+  EXPECT_GT(op.deadlocks(), 0);
+  // The restart path probed the fabric again and found it still broken —
+  // the budget must not be burned on an unhealable fault at x0 = 0.
+  EXPECT_EQ(r.restarts, 0);
+  // Truthfulness: no residual history entry is NaN, and x was never
+  // poisoned into a fake answer.
+  for (const double res : r.relative_residuals) {
+    EXPECT_TRUE(std::isfinite(res));
+  }
+}
+
+TEST(FaultRecovery, DeadTileReportsBreakdownNotConvergence) {
+  const System s = make_system(kGrid, 104);
+  SimulatedOperator op(s.a, 1);
+  wse::FaultPlan plan;
+  plan.dead_tiles.push_back({.x = 1, .y = 2, .from_cycle = 0});
+  op.fabric().set_fault_plan(&plan);
+  std::vector<fp16_t> x(s.b.size(), fp16_t(0.0));
+  const auto r = solve_on(op, s, x, controls(2));
+  EXPECT_EQ(r.reason, StopReason::Breakdown);
+  EXPECT_GT(op.fabric().fault_stats().dead_tile_cycles, 0u);
+}
+
+TEST(FaultRecovery, TransientLinkOutageHealedByRestart) {
+  // The drop window covers exactly the first matvec (the run budget
+  // exceeds the window, so the deadlocked first run uses it up). The
+  // solver sees one NaN product, classifies the breakdown, restarts —
+  // and the restarted trajectory from x0 = 0 is bit-identical to a
+  // fault-free solve.
+  const System s = make_system(kGrid, 105);
+
+  SimulatedOperator clean(s.a, 1);
+  std::vector<fp16_t> x_ref(s.b.size(), fp16_t(0.0));
+  const auto r_ref = solve_on(clean, s, x_ref, controls(0));
+  ASSERT_EQ(r_ref.reason, StopReason::Converged);
+
+  SimulatedOperator op(s.a, 1);
+  wse::FaultPlan plan;
+  plan.link_faults.push_back({.x = 0,
+                              .y = 0,
+                              .dir = wse::Dir::East,
+                              .kind = wse::FaultKind::DropWavelet,
+                              .probability = 1.0,
+                              .from_cycle = 0,
+                              .until_cycle = 2000});
+  op.fabric().set_fault_plan(&plan);
+  std::vector<fp16_t> x(s.b.size(), fp16_t(0.0));
+  const auto r = solve_on(op, s, x, controls(2));
+
+  EXPECT_EQ(r.reason, StopReason::Converged);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(op.deadlocks(), 1);
+  EXPECT_EQ(r.iterations, r_ref.iterations);
+  ASSERT_EQ(r.relative_residuals.size(), r_ref.relative_residuals.size());
+  for (std::size_t i = 0; i < r.relative_residuals.size(); ++i) {
+    EXPECT_EQ(r.relative_residuals[i], r_ref.relative_residuals[i]) << i;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].bits(), x_ref[i].bits()) << i;
+  }
+}
+
+TEST(FaultRecovery, PersistentCorruptionNeverConvergesSilentlyWrong) {
+  // probability = 1.0 makes the corrupted operator A' consistent across
+  // matvecs, so the solve is a legitimate solve of A'. Whatever the
+  // outcome, the reported result must be truthful: if the solver claims
+  // Converged, the claim must hold against an independent residual
+  // evaluation through the same faulted fabric.
+  const System s = make_system(kGrid, 106);
+  SimulatedOperator op(s.a, 1);
+  wse::FaultPlan plan;
+  plan.link_faults.push_back({.x = 1,
+                              .y = 1,
+                              .dir = wse::Dir::East,
+                              .kind = wse::FaultKind::CorruptWavelet,
+                              .probability = 1.0,
+                              .corrupt_mask = 0x0200u});
+  op.fabric().set_fault_plan(&plan);
+  std::vector<fp16_t> x(s.b.size(), fp16_t(0.0));
+  const SolveControls c = controls(2);
+  const auto r = solve_on(op, s, x, c);
+
+  EXPECT_GT(op.fabric().fault_stats().wavelets_corrupted, 0u);
+  for (const double res : r.relative_residuals) {
+    EXPECT_TRUE(std::isfinite(res));
+  }
+  if (r.reason == StopReason::Converged) {
+    // Independent check: r = b - A'x through one more faulted matvec.
+    std::vector<fp16_t> ax(x.size());
+    op(std::span<const fp16_t>(x), std::span<fp16_t>(ax), nullptr);
+    double rn = 0.0;
+    double bn = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double ri = s.b[i].to_double() - ax[i].to_double();
+      rn += ri * ri;
+      bn += s.b[i].to_double() * s.b[i].to_double();
+    }
+    EXPECT_LT(std::sqrt(rn / bn), 5e-2)
+        << "solver claimed convergence on the faulted operator but the "
+           "independently evaluated residual disagrees";
+  } else {
+    // Truthful failure: a named stop reason, finite history, no fake x.
+    EXPECT_NE(r.reason, StopReason::Converged);
+  }
+}
+
+TEST(FaultRecovery, FaultedSolveBitIdenticalAcrossThreadCounts) {
+  // The whole pipeline — faulted fabric matvecs + breakdown-safe solver —
+  // is deterministic in the host thread count: identical SolveResult and
+  // iterate, serial vs 8 bands.
+  const System s = make_system(kGrid, 107);
+  wse::FaultPlan plan;
+  plan.seed = 99;
+  plan.link_faults.push_back({.x = 0,
+                              .y = 1,
+                              .dir = wse::Dir::South,
+                              .kind = wse::FaultKind::CorruptWavelet,
+                              .probability = 0.6,
+                              .corrupt_mask = 0x0040u});
+  plan.router_stalls.push_back(
+      {.x = 2, .y = 0, .from_cycle = 100, .until_cycle = 400});
+
+  auto run = [&](int threads) {
+    SimulatedOperator op(s.a, threads);
+    op.fabric().set_fault_plan(&plan);
+    std::vector<fp16_t> x(s.b.size(), fp16_t(0.0));
+    const auto r = solve_on(op, s, x, controls(2));
+    return std::make_pair(r, x);
+  };
+  const auto [r1, x1] = run(1);
+  const auto [r8, x8] = run(8);
+
+  EXPECT_EQ(r8.reason, r1.reason);
+  EXPECT_EQ(r8.breakdown, r1.breakdown);
+  EXPECT_EQ(r8.iterations, r1.iterations);
+  EXPECT_EQ(r8.restarts, r1.restarts);
+  ASSERT_EQ(r8.relative_residuals.size(), r1.relative_residuals.size());
+  for (std::size_t i = 0; i < r1.relative_residuals.size(); ++i) {
+    EXPECT_EQ(r8.relative_residuals[i], r1.relative_residuals[i]) << i;
+  }
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_EQ(x8[i].bits(), x1[i].bits()) << i;
+  }
+}
+
+} // namespace
+} // namespace wss

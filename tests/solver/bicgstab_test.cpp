@@ -91,13 +91,13 @@ TEST(Bicgstab, TableIOperationCensus) {
   ASSERT_EQ(result.iterations, 3);
   const double n = static_cast<double>(g.size());
   const double iters = 3.0;
-  // Subtract setup costs (initial residual: 1 matvec + 1 subtract; initial
-  // dot): measured per-iteration counts.
+  // Subtract setup costs (initial residual: 1 matvec + 1 subtract; ||b||
+  // dot; initial (r0, r) dot): measured per-iteration counts.
   FlopCounter setup;
   setup.hp_mul = 6 * g.size();
-  setup.hp_add = 7 * g.size(); // matvec adds + residual subtract
-  setup.sp_add = g.size();     // initial (r0, r) dot accumulate
-  setup.hp_mul += g.size();    // its multiplies
+  setup.hp_add = 7 * g.size();  // matvec adds + residual subtract
+  setup.sp_add = 2 * g.size();  // ||b|| and (r0, r) dot accumulates
+  setup.hp_mul += 2 * g.size(); // their multiplies
 
   const double hp_mul =
       static_cast<double>(result.flops.hp_mul - setup.hp_mul) / (n * iters);

@@ -1,0 +1,376 @@
+// Breakdown classification and restart-recovery tests for BiCGStab and CG
+// (Algorithm 1's failure modes made explicit). Covers:
+//   * the crafted fp16 omega == 0 systems: Breakdown/OmegaZero with
+//     restarts disabled (never a NaN-poisoned "Converged"), Converged with
+//     the restart budget enabled — for both the reference mixed-precision
+//     solver and the WSE-mapped solver;
+//   * exact classification of rho/(r0,s)/omega/NaN breakdowns on small
+//     analytic operators;
+//   * the bounded restart budget (a breakdown at iteration 0 from x0 = 0
+//     re-seeds an identical Krylov state, so the budget must exhaust
+//     deterministically rather than loop);
+//   * the CG per-iteration operation census by differencing two runs;
+//   * seeded property coverage of the StopReason / BreakdownKind contract
+//     across all four precision policies, including NaN/Inf injection.
+//
+// The crafted systems were found by seeded brute-force search over tiny
+// unit-diagonal fp16 tridiagonal systems (Grid3(1,1,2), coefficients in
+// {k/8}): the listed values reproduce omega == 0 exactly in fp16/mixed
+// arithmetic at iteration >= 1, which the pre-fix solver turned into
+// beta = alpha/omega = inf and a silently NaN-poisoned iterate.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "solver/bicgstab.hpp"
+#include "solver/cg.hpp"
+#include "solver/stencil_operator.hpp"
+#include "stencil/generators.hpp"
+#include "support/proptest.hpp"
+#include "wsekernels/wse_bicgstab.hpp"
+
+namespace wss {
+namespace {
+
+template <typename T>
+std::vector<T> flat(const Field3<T>& f) {
+  return std::vector<T>(f.begin(), f.end());
+}
+
+template <typename T>
+bool all_finite(std::span<const T> v) {
+  for (const T& x : v) {
+    if (!std::isfinite(to_double(x))) return false;
+  }
+  return true;
+}
+
+/// The crafted reference-solver system: unit-diagonal fp16 tridiagonal on
+/// Grid3(1,1,2) with zp(0) = 1, zm(1) = -0.875, b = (2, -2). In mixed
+/// precision the second iteration's (q, y) dot cancels to exactly 0.
+struct CraftedOmegaSystem {
+  Stencil7<fp16_t> a{Grid3(1, 1, 2)};
+  std::vector<fp16_t> b;
+
+  CraftedOmegaSystem() {
+    a.unit_diagonal = true;
+    a.diag(0, 0, 0) = fp16_t(1.0);
+    a.diag(0, 0, 1) = fp16_t(1.0);
+    a.zp(0, 0, 0) = fp16_t(1.0);
+    a.zm(0, 0, 1) = fp16_t(-0.875);
+    b = {fp16_t(2.0), fp16_t(-2.0)};
+  }
+};
+
+SolveResult solve_crafted(const CraftedOmegaSystem& s, int max_restarts,
+                          std::vector<fp16_t>& x) {
+  Stencil7Operator<fp16_t> op(s.a);
+  SolveControls c;
+  c.max_iterations = 30;
+  c.tolerance = 1e-3;
+  c.max_restarts = max_restarts;
+  return bicgstab<MixedPrecision>(
+      [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const fp16_t>(s.b), std::span<fp16_t>(x), c);
+}
+
+TEST(Breakdown, CraftedOmegaZeroReportedTruthfullyWithoutRestarts) {
+  CraftedOmegaSystem s;
+  std::vector<fp16_t> x(2, fp16_t(0.0));
+  const auto r = solve_crafted(s, /*max_restarts=*/0, x);
+  EXPECT_EQ(r.reason, StopReason::Breakdown);
+  EXPECT_EQ(r.breakdown, BreakdownKind::OmegaZero);
+  EXPECT_GE(r.iterations, 1);
+  // The fix's whole point: no NaN ever reaches the iterate or the
+  // residual history.
+  EXPECT_TRUE(all_finite(std::span<const fp16_t>(x)));
+  for (const double res : r.relative_residuals) {
+    EXPECT_TRUE(std::isfinite(res));
+  }
+}
+
+TEST(Breakdown, CraftedOmegaZeroHealedByRestart) {
+  CraftedOmegaSystem s;
+  std::vector<fp16_t> x(2, fp16_t(0.0));
+  const auto r = solve_crafted(s, /*max_restarts=*/3, x);
+  EXPECT_EQ(r.reason, StopReason::Converged);
+  EXPECT_EQ(r.breakdown, BreakdownKind::None);  // healed, not reported
+  EXPECT_GE(r.restarts, 1);
+  EXPECT_LE(r.restarts, 3);
+  EXPECT_LT(r.final_residual(), 1e-3);
+}
+
+/// Same property for the WSE-mapped solver with its own crafted system
+/// (zp(0) = 1, zm(1) = 0.625, b = (-2.5, 2.5)): the fabric-ordered
+/// reductions cancel differently, so it needs its own coefficients.
+TEST(Breakdown, WseSolverCraftedOmegaZeroAndRecovery) {
+  const Grid3 g(1, 1, 2);
+  Stencil7<fp16_t> a(g);
+  a.unit_diagonal = true;
+  a.diag(0, 0, 0) = fp16_t(1.0);
+  a.diag(0, 0, 1) = fp16_t(1.0);
+  a.zp(0, 0, 0) = fp16_t(1.0);
+  a.zm(0, 0, 1) = fp16_t(0.625);
+  Field3<fp16_t> b(g);
+  b(0, 0, 0) = fp16_t(-2.5);
+  b(0, 0, 1) = fp16_t(2.5);
+
+  wsekernels::WseBicgstabSolver solver(a);
+  SolveControls c;
+  c.max_iterations = 30;
+  c.tolerance = 1e-3;
+
+  c.max_restarts = 0;
+  Field3<fp16_t> x1(g, fp16_t(0.0));
+  const auto r1 = solver.solve(b, x1, c);
+  EXPECT_EQ(r1.reason, StopReason::Breakdown);
+  EXPECT_EQ(r1.breakdown, BreakdownKind::OmegaZero);
+  EXPECT_GE(r1.iterations, 1);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_FALSE(x1[i].is_nan());
+    EXPECT_FALSE(x1[i].is_inf());
+  }
+
+  c.max_restarts = 3;
+  Field3<fp16_t> x2(g, fp16_t(0.0));
+  const auto r2 = solver.solve(b, x2, c);
+  EXPECT_EQ(r2.reason, StopReason::Converged);
+  EXPECT_GE(r2.restarts, 1);
+  EXPECT_LT(r2.final_residual(), 1e-3);
+}
+
+/// Plane rotation y = (-v1, v0): (r0, A r0) = 0 for every r0, so BiCGStab
+/// breaks with R0SZero before completing a single iteration, and CG (for
+/// which (p, A p) = 0 certifies "not SPD") reports the same kind.
+void rotation_apply(std::span<const double> v, std::span<double> y,
+                    FlopCounter* fc) {
+  y[0] = -v[1];
+  y[1] = v[0];
+  if (fc != nullptr) fc->dp_add += 2;
+}
+
+TEST(Breakdown, RotationOperatorClassifiedR0SZero) {
+  const std::vector<double> b = {1.0, 0.0};
+  std::vector<double> x(2, 0.0);
+  SolveControls c;
+  c.max_iterations = 10;
+  const auto r = bicgstab<DoublePrecision>(
+      rotation_apply, std::span<const double>(b), std::span<double>(x), c);
+  EXPECT_EQ(r.reason, StopReason::Breakdown);
+  EXPECT_EQ(r.breakdown, BreakdownKind::R0SZero);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_EQ(r.restarts, 0);
+}
+
+TEST(Breakdown, RestartBudgetExhaustsDeterministicallyAtIterationZero) {
+  // Restarting from x = x0 = 0 regenerates the identical Krylov state, so
+  // recovery CANNOT heal an iteration-0 breakdown: each restart succeeds
+  // (rho = (b, b) != 0), consumes one iteration slot, and hits the same
+  // (r0, s) = 0 again. The budget must drain exactly, then report.
+  const std::vector<double> b = {1.0, 0.0};
+  std::vector<double> x(2, 0.0);
+  SolveControls c;
+  c.max_iterations = 20;
+  c.max_restarts = 5;
+  const auto r = bicgstab<DoublePrecision>(
+      rotation_apply, std::span<const double>(b), std::span<double>(x), c);
+  EXPECT_EQ(r.reason, StopReason::Breakdown);
+  EXPECT_EQ(r.breakdown, BreakdownKind::R0SZero);
+  EXPECT_EQ(r.restarts, 5);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Breakdown, NonFiniteRhsReportedBeforeAnyIteration) {
+  auto a = make_poisson7(Grid3(3, 3, 3));
+  Stencil7Operator<double> op(a);
+  std::vector<double> b(a.grid.size(), 1.0);
+  b[5] = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x(b.size(), 0.0);
+  SolveControls c;
+  c.max_restarts = 3;  // nothing to restart around: x0 never left zero
+  const auto r = bicgstab<DoublePrecision>(
+      [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const double>(b), std::span<double>(x), c);
+  EXPECT_EQ(r.reason, StopReason::Breakdown);
+  EXPECT_EQ(r.breakdown, BreakdownKind::NonFiniteResidual);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_EQ(r.restarts, 0);
+}
+
+TEST(Breakdown, NaNProducingOperatorCannotBeHealed) {
+  // An operator that emits NaN poisons every restart's re-seeded residual
+  // too; the solver must report NonFiniteScalar with zero restarts used,
+  // not burn the budget or claim convergence.
+  auto nan_apply = [](std::span<const double>, std::span<double> y,
+                      FlopCounter*) {
+    for (double& yi : y) yi = std::numeric_limits<double>::quiet_NaN();
+  };
+  const std::vector<double> b = {1.0, 2.0};
+  std::vector<double> x(2, 0.0);
+  SolveControls c;
+  c.max_iterations = 10;
+  c.max_restarts = 4;
+  const auto r = bicgstab<DoublePrecision>(
+      nan_apply, std::span<const double>(b), std::span<double>(x), c);
+  EXPECT_EQ(r.reason, StopReason::Breakdown);
+  EXPECT_EQ(r.breakdown, BreakdownKind::NonFiniteScalar);
+  EXPECT_EQ(r.restarts, 0);
+  EXPECT_TRUE(all_finite(std::span<const double>(x)));  // x untouched
+}
+
+TEST(Breakdown, CgClassifiesNonSpdAndNonFiniteInputs) {
+  {
+    const std::vector<double> b = {1.0, 0.0};
+    std::vector<double> x(2, 0.0);
+    const auto r = conjugate_gradient<DoublePrecision>(
+        rotation_apply, std::span<const double>(b), std::span<double>(x), {});
+    EXPECT_EQ(r.reason, StopReason::Breakdown);
+    EXPECT_EQ(r.breakdown, BreakdownKind::R0SZero);
+    EXPECT_EQ(r.iterations, 0);
+  }
+  {
+    auto a = make_poisson7(Grid3(3, 3, 3));
+    Stencil7Operator<double> op(a);
+    std::vector<double> b(a.grid.size(), 1.0);
+    b[0] = std::numeric_limits<double>::infinity();
+    std::vector<double> x(b.size(), 0.0);
+    const auto r = conjugate_gradient<DoublePrecision>(
+        [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
+          op(v, y, fc);
+        },
+        std::span<const double>(b), std::span<double>(x), {});
+    EXPECT_EQ(r.reason, StopReason::Breakdown);
+    EXPECT_EQ(r.breakdown, BreakdownKind::NonFiniteResidual);
+    EXPECT_EQ(r.iterations, 0);
+  }
+}
+
+TEST(Breakdown, CgOperationCensusPerIteration) {
+  // Census by differencing: run 1 and 3 full iterations with tolerance 0;
+  // the difference is exactly two steady-state iterations, with no setup
+  // accounting to subtract. Per meshpoint per CG iteration on a unit
+  // diagonal: 1 matvec (6 + 6) + 2 dots (2 + 2) + 2 AXPYs + 1 fused
+  // p-update (3 + 3) = 22 ops — exactly half of BiCGStab's Table I 44.
+  const Grid3 g(5, 5, 6);
+  auto a = make_random_dominant7(g, 0.4, 9);
+  Field3<double> b0(g, 1.0);
+  auto bp = precondition_jacobi(a, b0);
+  auto ah = convert_stencil<fp16_t>(a);
+  const auto bh = convert_field<fp16_t>(bp);
+  Stencil7Operator<fp16_t> op(ah);
+  const auto bvec = flat(bh);
+
+  auto run = [&](int iters) {
+    std::vector<fp16_t> x(g.size(), fp16_t(0.0));
+    SolveControls c;
+    c.max_iterations = iters;
+    c.tolerance = 0.0;
+    const auto r = conjugate_gradient<MixedPrecision>(
+        [&](std::span<const fp16_t> v, std::span<fp16_t> y, FlopCounter* fc) {
+          op(v, y, fc);
+        },
+        std::span<const fp16_t>(bvec), std::span<fp16_t>(x), c);
+    EXPECT_EQ(r.iterations, iters);
+    return r.flops;
+  };
+
+  const auto f1 = run(1);
+  const auto f3 = run(3);
+  const double n = static_cast<double>(g.size());
+  EXPECT_DOUBLE_EQ(static_cast<double>(f3.hp_mul - f1.hp_mul) / (2 * n), 11.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(f3.hp_add - f1.hp_add) / (2 * n), 9.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(f3.sp_add - f1.sp_add) / (2 * n), 2.0);
+  // 11 + 9 + 2 = 22 ops/meshpoint/iteration.
+}
+
+// ---------------------------------------------------------------------------
+// Property coverage: the StopReason / BreakdownKind contract holds for all
+// four precision policies on randomized (sometimes NaN/Inf-poisoned)
+// diagonally-dominant systems.
+// ---------------------------------------------------------------------------
+
+template <typename P>
+void check_stop_reason_contract(proptest::Case& pc, bool poison_rhs) {
+  using T = typename P::storage_t;
+  const int e = pc.size(2, 5);
+  const int z = pc.size(2, 7);
+  const Grid3 g(e, e, z);
+  auto ad = make_random_dominant7(g, pc.uniform(0.2, 0.8), pc.seed() ^ 0x5bd1);
+  Field3<double> b0(g);
+  for (std::size_t i = 0; i < b0.size(); ++i) b0[i] = pc.uniform(-1.0, 1.0);
+  const auto bp = precondition_jacobi(ad, b0);
+  const auto a = convert_stencil<T>(ad);
+  const auto bf = convert_field<T>(bp);
+  std::vector<T> b(bf.begin(), bf.end());
+  if (poison_rhs) {
+    const auto at = static_cast<std::size_t>(
+        pc.rng().below(static_cast<std::uint64_t>(b.size())));
+    b[at] = from_double<T>(std::numeric_limits<double>::quiet_NaN());
+  }
+  Stencil7Operator<T> op(a);
+
+  SolveControls c;
+  c.max_iterations = pc.size(1, 25);
+  c.tolerance = pc.uniform(1e-12, 1e-2);
+  c.max_restarts = pc.size(0, 3);
+  c.stagnation_window = pc.size(0, 6);
+  std::vector<T> x(b.size(), T{});
+  const auto r = bicgstab<P>(
+      [&](std::span<const T> v, std::span<T> y, FlopCounter* fc) {
+        op(v, y, fc);
+      },
+      std::span<const T>(b), std::span<T>(x), c);
+
+  // Budget invariants.
+  EXPECT_LE(r.iterations, c.max_iterations);
+  EXPECT_GE(r.iterations, 0);
+  EXPECT_LE(r.restarts, c.max_restarts);
+  EXPECT_EQ(r.relative_residuals.size(),
+            static_cast<std::size_t>(r.iterations) +
+                (r.reason == StopReason::Converged && r.iterations == 0 ? 1
+                                                                        : 0));
+  // Classification invariant: Breakdown <=> a named kind.
+  EXPECT_EQ(r.reason == StopReason::Breakdown,
+            r.breakdown != BreakdownKind::None);
+  // Every recorded residual is finite — NaNs stop the solve, they are
+  // never logged as history.
+  for (const double res : r.relative_residuals) {
+    EXPECT_TRUE(std::isfinite(res)) << "policy residual history has NaN/Inf";
+  }
+  // No silent wrong answer: Converged implies a finite iterate meeting
+  // the tolerance.
+  if (r.reason == StopReason::Converged) {
+    EXPECT_TRUE(all_finite(std::span<const T>(x)));
+    EXPECT_LT(r.final_residual(), c.tolerance);
+  }
+  // A poisoned right-hand side can never be "solved".
+  if (poison_rhs) {
+    EXPECT_EQ(r.reason, StopReason::Breakdown);
+    EXPECT_EQ(r.breakdown, BreakdownKind::NonFiniteResidual);
+    EXPECT_EQ(r.iterations, 0);
+  }
+}
+
+TEST(BreakdownProperty, StopReasonContractAcrossPolicies) {
+  proptest::check(
+      "StopReason/BreakdownKind contract, all policies",
+      [](proptest::Case& pc) {
+        const bool poison = pc.uniform(0.0, 1.0) < 0.25;
+        check_stop_reason_contract<HalfPrecision>(pc, poison);
+        check_stop_reason_contract<MixedPrecision>(pc, poison);
+        check_stop_reason_contract<SinglePrecision>(pc, poison);
+        check_stop_reason_contract<DoublePrecision>(pc, poison);
+      },
+      {.cases = 8, .seed = 2026});
+}
+
+} // namespace
+} // namespace wss

@@ -93,7 +93,7 @@ TEST(FabricHeatmaps, CollectMatchesFabricDims) {
 
   const FabricHeatmaps maps = collect_heatmaps(s.fabric());
   const auto all = maps.all();
-  ASSERT_EQ(all.size(), 11u);
+  ASSERT_EQ(all.size(), 12u);
   for (const Heatmap* m : all) {
     EXPECT_EQ(m->width, 3) << m->name;
     EXPECT_EQ(m->height, 3) << m->name;

@@ -1,0 +1,382 @@
+// Unit tests for the seeded fault-injection subsystem (wse/fault.hpp,
+// Fabric::set_fault_plan): plan validation, the per-fault-kind observable
+// behaviours on the Listing-1 SpMV dataflow program, telemetry (stats,
+// bounded log, per-tile injection counts, heatmap and tracer surfaces),
+// and the determinism contract — an injected run is bit-identical at any
+// host thread count, including its fault log.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stencil/generators.hpp"
+#include "support/proptest.hpp"
+#include "telemetry/heatmap.hpp"
+#include "wse/fabric.hpp"
+#include "wse/fault.hpp"
+#include "wse/trace.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss::wse {
+namespace {
+
+struct SpmvCase {
+  Stencil7<fp16_t> a;
+  Field3<fp16_t> v;
+};
+
+SpmvCase make_spmv_case(const Grid3& g, std::uint64_t seed) {
+  auto ad = make_random_dominant7(g, 0.5, seed);
+  Field3<double> b(g, 1.0);
+  (void)precondition_jacobi(ad, b);
+  SpmvCase c{convert_stencil<fp16_t>(ad), Field3<fp16_t>(g)};
+  Rng rng(seed + 1);
+  for (std::size_t i = 0; i < c.v.size(); ++i) {
+    c.v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+  }
+  return c;
+}
+
+wsekernels::SpMV3DSimulation make_sim(const SpmvCase& c, int threads = 1) {
+  // The fabric keeps a pointer to the architecture params; give them
+  // static storage so returned simulations stay valid.
+  static const CS1Params arch;
+  SimParams sim;
+  sim.sim_threads = threads;
+  return wsekernels::SpMV3DSimulation(c.a, arch, sim);
+}
+
+TEST(FaultPlanValidation, RejectsMalformedPlans) {
+  const CS1Params arch;
+  Fabric f(3, 3, arch, SimParams{});
+
+  FaultPlan oob;
+  oob.link_faults.push_back({.x = 3, .y = 0});
+  EXPECT_THROW(f.set_fault_plan(&oob), std::invalid_argument);
+
+  FaultPlan ramp;
+  ramp.link_faults.push_back({.x = 0, .y = 0, .dir = Dir::Ramp});
+  EXPECT_THROW(f.set_fault_plan(&ramp), std::invalid_argument);
+
+  FaultPlan wrong_kind;
+  wrong_kind.link_faults.push_back(
+      {.x = 0, .y = 0, .dir = Dir::East, .kind = FaultKind::StallRouter});
+  EXPECT_THROW(f.set_fault_plan(&wrong_kind), std::invalid_argument);
+
+  FaultPlan oob_stall;
+  oob_stall.router_stalls.push_back({.x = -1, .y = 0});
+  EXPECT_THROW(f.set_fault_plan(&oob_stall), std::invalid_argument);
+
+  FaultPlan oob_dead;
+  oob_dead.dead_tiles.push_back({.x = 0, .y = 7});
+  EXPECT_THROW(f.set_fault_plan(&oob_dead), std::invalid_argument);
+
+  // A failed attach leaves the fabric plan-free.
+  EXPECT_FALSE(f.has_fault_plan());
+}
+
+TEST(FaultRoll, DeterministicAndUniformish) {
+  // Same arguments, same roll; distinct ordinals decorrelate.
+  EXPECT_EQ(fault_roll(7, 1, 2, Dir::East, 5),
+            fault_roll(7, 1, 2, Dir::East, 5));
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double r = fault_roll(42, 3, 4, Dir::South, i);
+    ASSERT_GE(r, 0.0);
+    ASSERT_LT(r, 1.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(FaultInjection, AttachedEmptyPlanChangesNothing) {
+  const Grid3 g(3, 3, 6);
+  const SpmvCase c = make_spmv_case(g, 11);
+
+  auto ref = make_sim(c);
+  const auto u_ref = ref.run(c.v);
+
+  auto sim = make_sim(c);
+  FaultPlan empty;
+  sim.fabric().set_fault_plan(&empty);
+  EXPECT_TRUE(sim.fabric().has_fault_plan());
+  const auto u = sim.run(c.v);
+
+  ASSERT_EQ(u.size(), u_ref.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(u[i].bits(), u_ref[i].bits()) << i;
+  }
+  EXPECT_EQ(sim.last_run_cycles(), ref.last_run_cycles());
+  EXPECT_EQ(sim.fabric().fault_stats().total(), 0u);
+  EXPECT_TRUE(sim.fabric().fault_log().empty());
+}
+
+TEST(FaultInjection, DroppedWaveletsDeadlockInsteadOfWrongAnswer) {
+  // Dropping every eastbound wavelet out of (0,0) starves (1,0)'s west
+  // stream: the dataflow program can never complete, and the simulation
+  // must report that (budget exhausted) rather than return a result.
+  const Grid3 g(3, 3, 6);
+  const SpmvCase c = make_spmv_case(g, 12);
+  auto sim = make_sim(c);
+  FaultPlan plan;
+  plan.link_faults.push_back({.x = 0,
+                              .y = 0,
+                              .dir = Dir::East,
+                              .kind = FaultKind::DropWavelet,
+                              .probability = 1.0});
+  sim.fabric().set_fault_plan(&plan);
+  EXPECT_THROW(sim.run(c.v), std::runtime_error);
+
+  const FaultStats& s = sim.fabric().fault_stats();
+  EXPECT_GT(s.wavelets_dropped, 0u);
+  EXPECT_EQ(s.wavelets_corrupted, 0u);
+  // Every injection happened at the source tile and was logged there.
+  EXPECT_EQ(sim.fabric().fault_injections(0, 0), s.wavelets_dropped);
+  for (const FaultEvent& ev : sim.fabric().fault_log()) {
+    EXPECT_EQ(ev.kind, FaultKind::DropWavelet);
+    EXPECT_EQ(ev.x, 0);
+    EXPECT_EQ(ev.y, 0);
+    EXPECT_EQ(ev.dir, Dir::East);
+  }
+}
+
+TEST(FaultInjection, CorruptedWaveletsPerturbExactlyTheTargetStream) {
+  const Grid3 g(3, 3, 6);
+  const SpmvCase c = make_spmv_case(g, 13);
+
+  auto ref = make_sim(c);
+  const auto u_ref = ref.run(c.v);
+
+  auto sim = make_sim(c);
+  FaultPlan plan;
+  plan.link_faults.push_back({.x = 1,
+                              .y = 1,
+                              .dir = Dir::East,
+                              .kind = FaultKind::CorruptWavelet,
+                              .probability = 1.0,
+                              .corrupt_mask = 0x0200u});
+  sim.fabric().set_fault_plan(&plan);
+  const auto u = sim.run(c.v);
+
+  // Still completes (payloads were delivered, just wrong), differs from
+  // the fault-free run, and the log records before/after payloads related
+  // by exactly the XOR mask.
+  const FaultStats& s = sim.fabric().fault_stats();
+  EXPECT_GT(s.wavelets_corrupted, 0u);
+  EXPECT_EQ(s.wavelets_dropped, 0u);
+  bool differs = false;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (u[i].bits() != u_ref[i].bits()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  ASSERT_FALSE(sim.fabric().fault_log().empty());
+  for (const FaultEvent& ev : sim.fabric().fault_log()) {
+    EXPECT_EQ(ev.kind, FaultKind::CorruptWavelet);
+    EXPECT_EQ(ev.payload_after, ev.payload_before ^ 0x0200u);
+  }
+  // Heatmap surface: the injection counter shows up at the source tile.
+  const auto maps = telemetry::collect_heatmaps(sim.fabric());
+  EXPECT_EQ(maps.fault_events.at(1, 1),
+            static_cast<double>(s.wavelets_corrupted));
+  EXPECT_EQ(maps.fault_events.at(0, 0), 0.0);
+}
+
+TEST(FaultInjection, RouterStallDelaysButPreservesTheAnswer) {
+  // A transient stall reorders nothing and loses nothing (wavelets queue
+  // under backpressure): the program takes longer but computes the same
+  // bits — the recoverable-fault scenario the solver harness builds on.
+  const Grid3 g(3, 3, 6);
+  const SpmvCase c = make_spmv_case(g, 14);
+
+  auto ref = make_sim(c);
+  const auto u_ref = ref.run(c.v);
+
+  auto sim = make_sim(c);
+  FaultPlan plan;
+  plan.router_stalls.push_back(
+      {.x = 1, .y = 1, .from_cycle = 0, .until_cycle = 200});
+  sim.fabric().set_fault_plan(&plan);
+  const auto u = sim.run(c.v);
+
+  ASSERT_EQ(u.size(), u_ref.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(u[i].bits(), u_ref[i].bits()) << i;
+  }
+  EXPECT_GT(sim.last_run_cycles(), ref.last_run_cycles());
+  EXPECT_EQ(sim.fabric().fault_stats().router_stall_cycles, 200u);
+  // One log entry at window start, not one per stalled cycle.
+  ASSERT_EQ(sim.fabric().fault_log().size(), 1u);
+  EXPECT_EQ(sim.fabric().fault_log()[0].kind, FaultKind::StallRouter);
+  EXPECT_EQ(sim.fabric().fault_log()[0].cycle, 0u);
+}
+
+TEST(FaultInjection, DeadTileNeverYieldsASilentResult) {
+  const Grid3 g(3, 3, 6);
+  const SpmvCase c = make_spmv_case(g, 15);
+  auto sim = make_sim(c);
+  FaultPlan plan;
+  plan.dead_tiles.push_back({.x = 2, .y = 1, .from_cycle = 0});
+  sim.fabric().set_fault_plan(&plan);
+  EXPECT_THROW(sim.run(c.v), std::runtime_error);
+  EXPECT_GT(sim.fabric().fault_stats().dead_tile_cycles, 0u);
+  EXPECT_GT(sim.fabric().fault_injections(2, 1), 0u);
+}
+
+TEST(FaultInjection, StatsAndLogSurviveDetachAndStopAccumulating) {
+  const Grid3 g(3, 3, 6);
+  const SpmvCase c = make_spmv_case(g, 16);
+  auto sim = make_sim(c);
+  FaultPlan plan;
+  plan.link_faults.push_back({.x = 0,
+                              .y = 1,
+                              .dir = Dir::East,
+                              .kind = FaultKind::CorruptWavelet,
+                              .probability = 1.0,
+                              .corrupt_mask = 0x0001u});
+  sim.fabric().set_fault_plan(&plan);
+  (void)sim.run(c.v);
+  const FaultStats after_run = sim.fabric().fault_stats();
+  const std::size_t log_size = sim.fabric().fault_log().size();
+  EXPECT_GT(after_run.wavelets_corrupted, 0u);
+
+  sim.fabric().set_fault_plan(nullptr);
+  EXPECT_FALSE(sim.fabric().has_fault_plan());
+  (void)sim.run(c.v);  // fault-free second run
+  EXPECT_EQ(sim.fabric().fault_stats(), after_run);
+  EXPECT_EQ(sim.fabric().fault_log().size(), log_size);
+  EXPECT_EQ(sim.fabric().fault_injections(0, 1),
+            after_run.wavelets_corrupted);
+}
+
+TEST(FaultInjection, EventLogIsBoundedWithDroppedCount) {
+  // corrupt_mask = 0 is the observability trick: every wavelet on every
+  // link "corrupts" (logged + counted) without changing any payload, so
+  // the program still completes while generating thousands of events.
+  const Grid3 g(4, 4, 8);
+  const SpmvCase c = make_spmv_case(g, 17);
+  auto sim = make_sim(c);
+  FaultPlan plan;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      for (const Dir d : {Dir::East, Dir::West, Dir::North, Dir::South}) {
+        plan.link_faults.push_back({.x = x,
+                                    .y = y,
+                                    .dir = d,
+                                    .kind = FaultKind::CorruptWavelet,
+                                    .probability = 1.0,
+                                    .corrupt_mask = 0x0000u});
+      }
+    }
+  }
+  sim.fabric().set_fault_plan(&plan);
+  Field3<fp16_t> u(g);
+  for (int rep = 0; rep < 16 && sim.fabric().fault_log_dropped() == 0;
+       ++rep) {
+    u = sim.run(c.v);
+  }
+  // Identity corruption: the answer is still the fault-free answer.
+  auto ref = make_sim(c);
+  const auto u_ref = ref.run(c.v);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(u[i].bits(), u_ref[i].bits()) << i;
+  }
+
+  const std::size_t capacity = sim.fabric().fault_log().size();
+  EXPECT_EQ(capacity, 4096u);  // full, bounded
+  EXPECT_GT(sim.fabric().fault_log_dropped(), 0u);
+  EXPECT_EQ(sim.fabric().fault_stats().wavelets_corrupted,
+            capacity + sim.fabric().fault_log_dropped());
+}
+
+TEST(FaultInjection, TracerReceivesFaultEvents) {
+  const Grid3 g(3, 3, 6);
+  const SpmvCase c = make_spmv_case(g, 18);
+  auto sim = make_sim(c);
+  Tracer tracer(1 << 16);
+  tracer.focus(1, 0);
+  sim.fabric().set_tracer(&tracer);
+  FaultPlan plan;
+  plan.link_faults.push_back({.x = 1,
+                              .y = 0,
+                              .dir = Dir::South,
+                              .kind = FaultKind::CorruptWavelet,
+                              .probability = 1.0,
+                              .corrupt_mask = 0x0100u});
+  sim.fabric().set_fault_plan(&plan);
+  (void)sim.run(c.v);
+  EXPECT_EQ(tracer.count(TraceEventKind::Fault),
+            sim.fabric().fault_stats().wavelets_corrupted);
+}
+
+TEST(FaultInjection, InjectedRunsBitIdenticalAcrossThreadCounts) {
+  // The acceptance gate: a faulted run — result bits, cycle counts,
+  // fault stats, the entire event log, and the heatmap surface — is
+  // bit-identical between serial and 8-thread stepping.
+  proptest::check(
+      "fault injection parallel == serial",
+      [](proptest::Case& pc) {
+        const int w = pc.size(2, 5);
+        const int h = pc.size(2, 5);
+        const int z = pc.size(4, 12);
+        const Grid3 g(w, h, z);
+        const SpmvCase c = make_spmv_case(g, pc.seed());
+
+        FaultPlan plan;
+        plan.seed = pc.seed() ^ 0x9e37u;
+        // Probabilistic identity-mask corruption on every link plus a
+        // transient stall: heavy logging traffic, guaranteed completion.
+        for (int y = 0; y < h; ++y) {
+          for (int x = 0; x < w; ++x) {
+            plan.link_faults.push_back(
+                {.x = x,
+                 .y = y,
+                 .dir = Dir::East,
+                 .kind = FaultKind::CorruptWavelet,
+                 .probability = pc.uniform(0.2, 0.9),
+                 .corrupt_mask = 0x0000u});
+          }
+        }
+        plan.router_stalls.push_back(
+            {.x = w / 2,
+             .y = h / 2,
+             .from_cycle = 0,
+             .until_cycle = static_cast<std::uint64_t>(pc.size(10, 120))});
+
+        auto ref = make_sim(c, 1);
+        ref.fabric().set_fault_plan(&plan);
+        const auto u_ref = ref.run(c.v);
+
+        auto par = make_sim(c, 8);
+        par.fabric().set_fault_plan(&plan);
+        const auto u = par.run(c.v);
+
+        ASSERT_EQ(u.size(), u_ref.size());
+        for (std::size_t i = 0; i < u.size(); ++i) {
+          EXPECT_EQ(u[i].bits(), u_ref[i].bits()) << i;
+        }
+        EXPECT_EQ(par.last_run_cycles(), ref.last_run_cycles());
+        EXPECT_EQ(par.fabric().fault_stats(), ref.fabric().fault_stats());
+        const auto& log_ref = ref.fabric().fault_log();
+        const auto& log_par = par.fabric().fault_log();
+        ASSERT_EQ(log_par.size(), log_ref.size());
+        for (std::size_t i = 0; i < log_ref.size(); ++i) {
+          EXPECT_EQ(log_par[i], log_ref[i]) << "fault log entry " << i;
+        }
+        EXPECT_EQ(par.fabric().fault_log_dropped(),
+                  ref.fabric().fault_log_dropped());
+        for (int y = 0; y < h; ++y) {
+          for (int x = 0; x < w; ++x) {
+            EXPECT_EQ(par.fabric().fault_injections(x, y),
+                      ref.fabric().fault_injections(x, y))
+                << "(" << x << "," << y << ")";
+          }
+        }
+      },
+      {.cases = 6, .seed = 2027});
+}
+
+} // namespace
+} // namespace wss::wse
