@@ -1,0 +1,465 @@
+// Paper-anchored performance regression gate (docs/PROFILING.md).
+//
+// Every bench binary writes a machine-readable report to
+// $WSS_JSON_OUT/<bench>.json (telemetry/bench_report.hpp). This tool
+// compares those reports against checked-in baselines in
+// bench/baselines/<bench>.json and fails (exit 1) when any gated metric
+// drifts outside its tolerance — so a change that silently slows the
+// simulated iteration, breaks a model table, or changes solver behaviour
+// turns CI red instead of rotting EXPERIMENTS.md.
+//
+//   check_regression --baselines bench/baselines --reports out/
+//       check every baseline against the matching report
+//   check_regression ... --write
+//       (re)generate baselines from the current reports, preserving
+//       per-metric tolerances where a baseline already exists
+//   check_regression ... --report out/regression_report.json
+//       additionally write a machine-readable verdict (CI artifact)
+//
+// Baseline format (insertion-ordered, human-editable):
+//   { "bench": "bench_fig6_allreduce",
+//     "metrics": [ { "label": "...", "unit": "us",
+//                    "expect": 1.23, "rel_tol": 1e-6, "abs_tol": 0 } ] }
+//
+// A metric passes when |measured - expect| <= abs_tol + rel_tol*|expect|.
+// The fabric simulator and the Section V model are deterministic, so the
+// default tolerance is tight (1e-6 relative); loosen per metric in the
+// baseline file when a metric is legitimately environment-dependent.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/json_parse.hpp"
+
+namespace fs = std::filesystem;
+namespace jp = wss::telemetry::jsonparse;
+
+namespace {
+
+constexpr double kDefaultRelTol = 1e-6;
+
+struct MetricBaseline {
+  std::string label;
+  std::string unit;
+  double expect = 0.0;
+  double rel_tol = kDefaultRelTol;
+  double abs_tol = 0.0;
+};
+
+struct Baseline {
+  std::string bench;
+  std::vector<MetricBaseline> metrics;
+};
+
+struct ReportRow {
+  std::string label;
+  std::string unit;
+  double measured = 0.0;
+};
+
+struct MetricVerdict {
+  MetricBaseline baseline;
+  std::optional<double> measured; ///< nullopt: row missing from report
+  bool ok = false;
+  std::string detail;
+};
+
+struct BenchVerdict {
+  std::string bench;
+  bool report_found = false;
+  std::vector<MetricVerdict> metrics;
+  [[nodiscard]] bool ok() const {
+    if (!report_found) return false;
+    return std::all_of(metrics.begin(), metrics.end(),
+                       [](const MetricVerdict& m) { return m.ok; });
+  }
+};
+
+std::optional<std::string> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return os.str();
+}
+
+double num_or(const jp::Value* v, double fallback) {
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string str_or(const jp::Value* v, std::string fallback) {
+  return (v != nullptr && v->is_string()) ? v->string : std::move(fallback);
+}
+
+std::optional<Baseline> parse_baseline(const fs::path& path,
+                                       std::string* error) {
+  const auto text = slurp(path);
+  if (!text) {
+    *error = "could not read " + path.string();
+    return std::nullopt;
+  }
+  const jp::ParseResult r = jp::parse(*text);
+  if (!r.ok()) {
+    *error = path.string() + ": " + r.error;
+    return std::nullopt;
+  }
+  Baseline b;
+  b.bench = str_or(r.value->find("bench"), path.stem().string());
+  const jp::Value* metrics = r.value->find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    *error = path.string() + ": missing \"metrics\" array";
+    return std::nullopt;
+  }
+  for (const jp::Value& m : *metrics->array) {
+    MetricBaseline mb;
+    mb.label = str_or(m.find("label"), "");
+    if (mb.label.empty()) {
+      *error = path.string() + ": metric without a \"label\"";
+      return std::nullopt;
+    }
+    mb.unit = str_or(m.find("unit"), "");
+    const jp::Value* expect = m.find("expect");
+    if (expect == nullptr || !expect->is_number()) {
+      *error = path.string() + ": metric \"" + mb.label +
+               "\" missing numeric \"expect\"";
+      return std::nullopt;
+    }
+    mb.expect = expect->number;
+    mb.rel_tol = num_or(m.find("rel_tol"), kDefaultRelTol);
+    mb.abs_tol = num_or(m.find("abs_tol"), 0.0);
+    b.metrics.push_back(std::move(mb));
+  }
+  return b;
+}
+
+std::optional<std::vector<ReportRow>> parse_report_rows(const fs::path& path,
+                                                        std::string* error) {
+  const auto text = slurp(path);
+  if (!text) {
+    *error = "could not read " + path.string();
+    return std::nullopt;
+  }
+  const jp::ParseResult r = jp::parse(*text);
+  if (!r.ok()) {
+    *error = path.string() + ": " + r.error;
+    return std::nullopt;
+  }
+  const jp::Value* rows = r.value->find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    *error = path.string() + ": missing \"rows\" array";
+    return std::nullopt;
+  }
+  std::vector<ReportRow> out;
+  for (const jp::Value& row : *rows->array) {
+    ReportRow rr;
+    rr.label = str_or(row.find("label"), "");
+    rr.unit = str_or(row.find("unit"), "");
+    const jp::Value* measured = row.find("measured");
+    if (rr.label.empty() || measured == nullptr || !measured->is_number()) {
+      continue; // tolerate benches adding free-form rows
+    }
+    rr.measured = measured->number;
+    out.push_back(std::move(rr));
+  }
+  return out;
+}
+
+const ReportRow* find_row(const std::vector<ReportRow>& rows,
+                          const std::string& label) {
+  for (const ReportRow& r : rows) {
+    if (r.label == label) return &r;
+  }
+  return nullptr;
+}
+
+BenchVerdict check_bench(const Baseline& baseline, const fs::path& report) {
+  BenchVerdict v;
+  v.bench = baseline.bench;
+  std::string error;
+  const auto rows = parse_report_rows(report, &error);
+  if (!rows) {
+    v.report_found = false;
+    MetricVerdict mv;
+    mv.detail = error;
+    v.metrics.push_back(std::move(mv));
+    return v;
+  }
+  v.report_found = true;
+  for (const MetricBaseline& mb : baseline.metrics) {
+    MetricVerdict mv;
+    mv.baseline = mb;
+    const ReportRow* row = find_row(*rows, mb.label);
+    if (row == nullptr) {
+      mv.ok = false;
+      mv.detail = "row not found in report";
+      v.metrics.push_back(std::move(mv));
+      continue;
+    }
+    mv.measured = row->measured;
+    const double tol = mb.abs_tol + mb.rel_tol * std::fabs(mb.expect);
+    const double delta = row->measured - mb.expect;
+    mv.ok = std::isfinite(row->measured) && std::fabs(delta) <= tol;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "measured %.9g expect %.9g (tol %.3g)",
+                  row->measured, mb.expect, tol);
+    mv.detail = buf;
+    if (!mb.unit.empty() && row->unit != mb.unit) {
+      mv.ok = false;
+      mv.detail += " [unit changed: '" + row->unit + "' vs baseline '" +
+                   mb.unit + "']";
+    }
+    v.metrics.push_back(std::move(mv));
+  }
+  return v;
+}
+
+/// --write: regenerate `<baselines>/<bench>.json` from the report,
+/// preserving per-metric tolerances (and metric selection!) when a
+/// baseline already exists. A fresh baseline gates every report row.
+bool write_baseline(const fs::path& baseline_path, const fs::path& report,
+                    std::string* error) {
+  const auto rows = parse_report_rows(report, error);
+  if (!rows) return false;
+  std::optional<Baseline> existing;
+  if (fs::exists(baseline_path)) {
+    std::string ignored;
+    existing = parse_baseline(baseline_path, &ignored);
+  }
+  Baseline out;
+  out.bench = report.stem().string();
+  if (existing) {
+    // Keep the existing metric list and tolerances, refresh expects.
+    for (MetricBaseline mb : existing->metrics) {
+      const ReportRow* row = find_row(*rows, mb.label);
+      if (row == nullptr) {
+        *error = "baseline metric \"" + mb.label +
+                 "\" no longer present in " + report.string();
+        return false;
+      }
+      mb.expect = row->measured;
+      mb.unit = row->unit;
+      out.metrics.push_back(std::move(mb));
+    }
+  } else {
+    for (const ReportRow& row : *rows) {
+      MetricBaseline mb;
+      mb.label = row.label;
+      mb.unit = row.unit;
+      mb.expect = row.measured;
+      out.metrics.push_back(std::move(mb));
+    }
+  }
+  wss::telemetry::json::Writer w;
+  w.begin_object();
+  w.key("bench").value(out.bench);
+  w.key("metrics").begin_array();
+  for (const MetricBaseline& mb : out.metrics) {
+    w.begin_object();
+    w.key("label").value(mb.label);
+    w.key("unit").value(mb.unit);
+    w.key("expect").value(mb.expect);
+    w.key("rel_tol").value(mb.rel_tol);
+    w.key("abs_tol").value(mb.abs_tol);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream outf(baseline_path, std::ios::binary | std::ios::trunc);
+  if (!outf) {
+    *error = "could not open " + baseline_path.string();
+    return false;
+  }
+  outf << w.str() << "\n";
+  outf.flush();
+  if (!outf) {
+    *error = "short write to " + baseline_path.string();
+    return false;
+  }
+  return true;
+}
+
+std::string verdicts_json(const std::vector<BenchVerdict>& verdicts) {
+  wss::telemetry::json::Writer w;
+  w.begin_object();
+  bool all_ok = true;
+  for (const BenchVerdict& v : verdicts) all_ok = all_ok && v.ok();
+  w.key("ok").value(all_ok);
+  w.key("benches").begin_array();
+  for (const BenchVerdict& v : verdicts) {
+    w.begin_object();
+    w.key("bench").value(v.bench);
+    w.key("report_found").value(v.report_found);
+    w.key("ok").value(v.ok());
+    w.key("metrics").begin_array();
+    for (const MetricVerdict& m : v.metrics) {
+      w.begin_object();
+      w.key("label").value(m.baseline.label);
+      w.key("unit").value(m.baseline.unit);
+      w.key("expect").value(m.baseline.expect);
+      if (m.measured) {
+        w.key("measured").value(*m.measured);
+      } else {
+        w.key("measured").null();
+      }
+      w.key("rel_tol").value(m.baseline.rel_tol);
+      w.key("abs_tol").value(m.baseline.abs_tol);
+      w.key("ok").value(m.ok);
+      w.key("detail").value(m.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --baselines <dir> --reports <dir> [--write] "
+      "[--report <path>]\n"
+      "  compares $WSS_JSON_OUT bench reports against checked-in "
+      "baselines;\n"
+      "  exit 0 = all gated metrics within tolerance, 1 = regression,\n"
+      "  2 = usage/io error. --write regenerates baselines from the "
+      "reports.\n",
+      argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string baselines_dir;
+  std::string reports_dir;
+  std::string report_out;
+  bool write = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baselines") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      baselines_dir = v;
+    } else if (arg == "--reports") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      reports_dir = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      report_out = v;
+    } else if (arg == "--write") {
+      write = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (baselines_dir.empty() || reports_dir.empty()) return usage(argv[0]);
+
+  std::error_code ec;
+  if (write) {
+    fs::create_directories(baselines_dir, ec);
+    int written = 0;
+    for (const auto& entry : fs::directory_iterator(reports_dir, ec)) {
+      if (entry.path().extension() != ".json") continue;
+      const fs::path baseline =
+          fs::path(baselines_dir) / entry.path().filename();
+      std::string error;
+      if (!write_baseline(baseline, entry.path(), &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+      std::printf("wrote %s\n", baseline.string().c_str());
+      ++written;
+    }
+    if (ec) {
+      std::fprintf(stderr, "error: cannot list %s: %s\n",
+                   reports_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    if (written == 0) {
+      std::fprintf(stderr, "error: no *.json reports in %s\n",
+                   reports_dir.c_str());
+      return 2;
+    }
+    return 0;
+  }
+
+  std::vector<fs::path> baseline_files;
+  for (const auto& entry : fs::directory_iterator(baselines_dir, ec)) {
+    if (entry.path().extension() == ".json") {
+      baseline_files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "error: cannot list %s: %s\n", baselines_dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  std::sort(baseline_files.begin(), baseline_files.end());
+  if (baseline_files.empty()) {
+    std::fprintf(stderr, "error: no baselines in %s\n", baselines_dir.c_str());
+    return 2;
+  }
+
+  std::vector<BenchVerdict> verdicts;
+  for (const fs::path& bf : baseline_files) {
+    std::string error;
+    const auto baseline = parse_baseline(bf, &error);
+    if (!baseline) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    const fs::path report = fs::path(reports_dir) / bf.filename();
+    verdicts.push_back(check_bench(*baseline, report));
+  }
+
+  int failures = 0;
+  for (const BenchVerdict& v : verdicts) {
+    std::printf("%s %s\n", v.ok() ? "PASS" : "FAIL", v.bench.c_str());
+    if (!v.report_found) {
+      std::printf("  missing report: %s\n",
+                  v.metrics.empty() ? "?" : v.metrics.front().detail.c_str());
+      ++failures;
+      continue;
+    }
+    for (const MetricVerdict& m : v.metrics) {
+      std::printf("  %s %-34s %s\n", m.ok ? "ok  " : "FAIL",
+                  m.baseline.label.c_str(), m.detail.c_str());
+      if (!m.ok) ++failures;
+    }
+  }
+
+  if (!report_out.empty()) {
+    std::ofstream out(report_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: could not open %s\n", report_out.c_str());
+      return 2;
+    }
+    out << verdicts_json(verdicts) << "\n";
+  }
+
+  if (failures > 0) {
+    std::printf("regression gate: %d metric(s) out of tolerance\n", failures);
+    return 1;
+  }
+  std::printf("regression gate: all %zu bench(es) within tolerance\n",
+              verdicts.size());
+  return 0;
+}

@@ -15,9 +15,10 @@ int main() {
   using namespace wss;
   using namespace wss::perfmodel;
 
-  bench::header("E13: CS-1 vs cluster crossover", "Section V-A",
-                "~214x at the paper's configurations; the advantage holds "
-                "wherever the problem fits on-wafer");
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E13: CS-1 vs cluster crossover", "Section V-A",
+      "~214x at the paper's configurations; the advantage holds "
+      "wherever the problem fits on-wafer");
 
   const CS1Model cs1;
   const JouleModel joule;

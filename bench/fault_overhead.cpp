@@ -87,10 +87,11 @@ bool bits_equal(const wss::Field3<wss::fp16_t>& a,
 int main() {
   using namespace wss;
 
-  bench::header("Fault-injection overhead", "docs/ROBUSTNESS.md",
-                "no plan attached => fault hooks are free; identity-mask "
-                "injection leaves results bit-identical");
-  bench::sim_threads_note();
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "Fault-injection overhead", "docs/ROBUSTNESS.md",
+      "no plan attached => fault hooks are free; identity-mask "
+      "injection leaves results bit-identical",
+      /*simulated=*/true);
 
   const Grid3 g(12, 12, 24);
   const wse::CS1Params arch;

@@ -12,9 +12,10 @@ int main() {
   using namespace wss;
   using namespace wss::perfmodel;
 
-  bench::header("E1: machine balance survey", "Fig. 1 (after McCalpin)",
-                "CS-1 moves ~3 bytes/flop; CPU/GPU nodes sit at hundreds of "
-                "flops per memory word");
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E1: machine balance survey", "Fig. 1 (after McCalpin)",
+      "CS-1 moves ~3 bytes/flop; CPU/GPU nodes sit at hundreds of "
+      "flops per memory word");
 
   std::printf("%-28s %14s %14s %14s\n", "machine", "flops/mem word",
               "flops/net word", "bytes/flop mem");

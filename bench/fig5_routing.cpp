@@ -12,9 +12,10 @@ int main() {
   using namespace wss;
   using namespace wss::wse;
 
-  bench::header("E4: tessellation routing pattern", "Fig. 5",
-                "single outgoing channel per tile fans to 4 neighbors; all "
-                "five channels distinct at every tile");
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E4: tessellation routing pattern", "Fig. 5",
+      "single outgoing channel per tile fans to 4 neighbors; all "
+      "five channels distinct at every tile");
 
   std::printf("sample of the color tessellation (8x8 corner):\n  ");
   for (int y = 0; y < 8; ++y) {

@@ -16,10 +16,11 @@
 int main() {
   using namespace wss;
 
-  bench::header("E5: AllReduce latency", "Fig. 6, Section IV-3",
-                "cycle count ~10% over the fabric diameter; < 1.5 us for "
-                "~380k cores");
-  bench::sim_threads_note();
+  const bench::BenchEnv env = bench::bench_env(
+      "E5: AllReduce latency", "Fig. 6, Section IV-3",
+      "cycle count ~10% over the fabric diameter; < 1.5 us for "
+      "~380k cores",
+      /*simulated=*/true);
 
   const wse::CS1Params arch;
   const wse::SimParams sim;
@@ -44,8 +45,8 @@ int main() {
                         static_cast<double>(diameter),
                         model.allreduce_cycles(n, n)});
   }
-  bench::write_csv("fig6_allreduce", "fabric_n,cycles,diameter,model_cycles",
-                   csv_rows);
+  bench::write_csv(env, "fig6_allreduce",
+                   "fabric_n,cycles,diameter,model_cycles", csv_rows);
 
   const double us_full = model.allreduce_seconds(602, 595) * 1e6;
   std::printf("\n");

@@ -16,8 +16,9 @@ int main() {
   using namespace wss;
   using namespace wss::perfmodel;
 
-  bench::header("E7: cluster strong scaling, 370^3 mesh", "Fig. 7",
-                "failure to scale beyond 8K cores on the smaller mesh");
+  const bench::BenchEnv env = bench::bench_env(
+      "E7: cluster strong scaling, 370^3 mesh", "Fig. 7",
+      "failure to scale beyond 8K cores on the smaller mesh");
 
   const JouleModel model;
   const Grid3 mesh(370, 370, 370);
@@ -38,7 +39,7 @@ int main() {
   }
   (void)prev;
 
-  bench::write_csv("fig7_cluster370",
+  bench::write_csv(env, "fig7_cluster370",
                    "cores,ms_per_iter,compute_ms,halo_ms,allreduce_ms,efficiency",
                    csv_rows);
 

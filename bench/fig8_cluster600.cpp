@@ -14,8 +14,9 @@ int main() {
   using namespace wss;
   using namespace wss::perfmodel;
 
-  bench::header("E8: cluster strong scaling, 600^3 mesh", "Fig. 8, Sec. V-A",
-                "75 ms @1024 cores -> ~6 ms @16K; CS-1 is ~214x faster");
+  const bench::BenchEnv env = bench::bench_env(
+      "E8: cluster strong scaling, 600^3 mesh", "Fig. 8, Sec. V-A",
+      "75 ms @1024 cores -> ~6 ms @16K; CS-1 is ~214x faster");
 
   const JouleModel model;
   const Grid3 mesh(600, 600, 600);
@@ -33,7 +34,7 @@ int main() {
                         t.allreduce_s * 1e3, model.efficiency(mesh, cores)});
   }
 
-  bench::write_csv("fig8_cluster600",
+  bench::write_csv(env, "fig8_cluster600",
                    "cores,ms_per_iter,compute_ms,halo_ms,allreduce_ms,efficiency",
                    csv_rows);
 

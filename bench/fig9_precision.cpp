@@ -61,9 +61,10 @@ std::vector<double> residual_curve(const Stencil7<double>& a_pre,
 } // namespace
 
 int main(int argc, char** argv) {
-  bench::header("E11: mixed-precision residual study", "Fig. 9",
-                "mixed sp/hp tracks fp32 until ~iteration 7, then plateaus "
-                "near 1e-2");
+  const bench::BenchEnv env = bench::bench_env(
+      "E11: mixed-precision residual study", "Fig. 9",
+      "mixed sp/hp tracks fp32 until ~iteration 7, then plateaus "
+      "near 1e-2");
 
   int nx = 100, ny = 400, nz = 100;
   double dt = 0.008;
@@ -97,7 +98,8 @@ int main(int argc, char** argv) {
                         i < mixed.size() ? mixed[i] : 0.0,
                         i < half.size() ? half[i] : 0.0});
   }
-  bench::write_csv("fig9_precision", "iteration,fp32,mixed,half", csv_rows);
+  bench::write_csv(env, "fig9_precision", "iteration,fp32,mixed,half",
+                   csv_rows);
 
   // Plateau metrics.
   const double mixed_floor = *std::min_element(mixed.begin(), mixed.end());

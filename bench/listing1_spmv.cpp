@@ -52,11 +52,11 @@ double max_err(const Case& c, const wss::Field3<wss::fp16_t>& u) {
 int main() {
   using namespace wss;
 
-  bench::header("E3: Listing 1 SpMV on the fabric simulator",
-                "Listing 1, Fig. 4",
-                "streamed 7-point SpMV via FIFOs + summation task; "
-                "validated values and cycles");
-  bench::sim_threads_note();
+  const bench::BenchEnv env = bench::bench_env(
+      "E3: Listing 1 SpMV on the fabric simulator", "Listing 1, Fig. 4",
+      "streamed 7-point SpMV via FIFOs + summation task; "
+      "validated values and cycles",
+      /*simulated=*/true);
 
   const wse::CS1Params arch;
   const wse::SimParams sim;
@@ -65,12 +65,11 @@ int main() {
   std::printf("%-10s %10s %12s %12s %10s\n", "fabric", "Z", "cycles",
               "cycles/Z", "max |err|");
   for (const int z : {32, 64, 128, 256, 512}) {
-    auto span = telemetry::global_tracer().scope(
-        "spmv_z" + std::to_string(z), "bench");
+    auto span = env.spans->scope("spmv_z" + std::to_string(z), "bench");
     Case c = make_case(Grid3(6, 6, z), 7);
     wsekernels::SpMV3DSimulation s(c.a, arch, sim);
     if (z == 512) {
-      if (telemetry::trace_requested()) {
+      if (env.trace) {
         wse::Tracer& fabric_trace = telemetry::exit_scoped_fabric_tracer(
             1 << 20, arch.clock_hz, "cs1-sim");
         s.fabric().set_tracer(&fabric_trace);
@@ -87,12 +86,12 @@ int main() {
       const auto maps = telemetry::collect_heatmaps(s.fabric());
       std::printf("\n%s\n", maps.instr_cycles.ascii().c_str());
       std::printf("%s\n", maps.stall_cycles.ascii().c_str());
-      if (const char* dir = std::getenv("WSS_CSV_DIR")) {
+      if (env.csv_dir != nullptr) {
         std::string error;
         std::string used_prefix;
-        if (telemetry::write_heatmap_csvs(maps, dir, "spmv_6x6_z512",
+        if (telemetry::write_heatmap_csvs(maps, env.csv_dir, "spmv_6x6_z512",
                                           &error, &used_prefix)) {
-          std::printf("  [heatmaps: wrote %s/%s_*.csv]\n", dir,
+          std::printf("  [heatmaps: wrote %s/%s_*.csv]\n", env.csv_dir,
                       used_prefix.c_str());
         } else {
           std::printf("  [heatmaps: %s]\n", error.c_str());

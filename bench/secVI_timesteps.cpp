@@ -12,8 +12,9 @@ int main() {
   using namespace wss;
   using namespace wss::perfmodel;
 
-  bench::header("E10: CFD timestep throughput projection", "Section VI-A",
-                "80-125 timesteps/s at 600^3; >200x faster than Joule@16k");
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E10: CFD timestep throughput projection", "Section VI-A",
+      "80-125 timesteps/s at 600^3; >200x faster than Joule@16k");
 
   const SimpleModel model{CS1Model{}, JouleModel{}};
   const Grid3 mesh(600, 600, 600);

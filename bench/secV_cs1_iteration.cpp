@@ -8,8 +8,11 @@
 
 #include "bench_util.hpp"
 #include "perfmodel/cs1_model.hpp"
+#include "perfmodel/perf_report.hpp"
 #include "stencil/generators.hpp"
 #include "telemetry/global.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/profiler.hpp"
 #include "wse/trace.hpp"
 #include "wsekernels/bicgstab_program.hpp"
 #include "wsekernels/memory_model.hpp"
@@ -19,14 +22,15 @@ int main() {
   using namespace wss;
   using namespace wss::perfmodel;
 
-  bench::header("E6: CS-1 BiCGStab headline", "Section V",
-                "28.1 us/iteration on 600x595x1536 -> 0.86 PFLOPS (~1/3 of "
-                "peak)");
-  bench::sim_threads_note();
+  const bench::BenchEnv env = bench::bench_env(
+      "E6: CS-1 BiCGStab headline", "Section V",
+      "28.1 us/iteration on 600x595x1536 -> 0.86 PFLOPS (~1/3 of "
+      "peak)",
+      /*simulated=*/true);
 
   // WSS_TRACE_JSON=<file> records the phases of this bench (and, below,
   // the fabric simulator's task stream) as a Perfetto-loadable trace.
-  telemetry::SpanTracer& spans = telemetry::global_tracer();
+  telemetry::SpanTracer& spans = *env.spans;
 
   const CS1Model model;
   const Grid3 mesh(600, 595, 1536);
@@ -86,6 +90,12 @@ int main() {
   std::printf("%8s %18s %14s %8s\n", "Z", "measured cyc/iter", "model",
               "ratio");
   const wse::SimParams sim;
+  // The cycle-attribution profiler rides along on the Z=64 run: every
+  // tile-cycle lands in a (phase, category) bin, and the perf report
+  // below joins the measurement against the Section V model.
+  telemetry::Profiler profiler(6, 6);
+  constexpr int kProfiledZ = 64;
+  constexpr int kIterations = 3;
   // With WSS_TRACE_JSON set, record the smallest run's per-tile task
   // stream and merge it (cycles -> us at the CS-1 clock) into the trace.
   for (const int z : {32, 64, 128, 256}) {
@@ -96,21 +106,61 @@ int main() {
     const auto bp = precondition_jacobi(ad, bd);
     const auto a16 = convert_stencil<fp16_t>(ad);
     const auto b16 = convert_field<fp16_t>(bp);
-    wsekernels::BicgstabSimulation simulation(a16, 3, model.arch(), sim);
-    if (z == 32 && telemetry::trace_requested()) {
+    wsekernels::BicgstabSimulation simulation(a16, kIterations, model.arch(),
+                                              sim);
+    if (z == 32 && env.trace) {
       wse::Tracer& fabric_trace = telemetry::exit_scoped_fabric_tracer(
           1 << 20, model.arch().clock_hz, "cs1-sim");
       simulation.fabric().set_tracer(&fabric_trace);
     }
+    if (z == kProfiledZ) simulation.fabric().set_profiler(&profiler);
     const auto r = simulation.run(b16);
     simulation.fabric().set_tracer(nullptr);
-    const double measured = static_cast<double>(r.cycles) / 3.0;
+    simulation.fabric().set_profiler(nullptr);
+    const double measured =
+        static_cast<double>(r.cycles) / static_cast<double>(kIterations);
     const double predicted = model.iteration_cycles(g);
     std::printf("%8d %18.1f %14.1f %8.3f\n", z, measured, predicted,
                 measured / predicted);
   }
   bench::note("agreement within ~4% validates extrapolating the model to "
               "the full wafer");
+
+  // Where the cycles went: per-phase measured-vs-model deltas and the
+  // paper-anchored wafer projection (docs/PROFILING.md).
+  {
+    const PerfReport report =
+        make_perf_report(profiler, kProfiledZ, kIterations, model);
+    std::printf("\n%s", report.pretty().c_str());
+    bench::row("profiled cycles/iter (6x6, Z=64)", 0.0,
+               report.measured_cycles_per_iter, "cyc");
+    bench::row("profiled model cycles/iter", 0.0,
+               report.model_cycles_per_iter, "cyc");
+    bench::row("wafer projection", 28.1, report.wafer_us_per_iter, "us");
+    bench::row("wafer projection PFLOPS", 0.86, report.wafer_pflops,
+               "PFLOPS");
+    std::string prof_path;
+    std::string prof_error;
+    if (maybe_write_prof_json(profiler, &report, &prof_path, &prof_error)) {
+      std::printf("  [profiler: wrote %s]\n", prof_path.c_str());
+    } else if (!prof_error.empty()) {
+      std::printf("  [profiler: %s]\n", prof_error.c_str());
+    }
+    // Per-category attribution maps next to the fabric-counter heatmaps.
+    if (env.csv_dir != nullptr) {
+      const auto cat_maps = telemetry::profiler_heatmaps(profiler);
+      std::string error;
+      std::string used_prefix;
+      if (telemetry::write_heatmap_csvs(cat_maps, env.csv_dir,
+                                        "secV_prof_6x6_z64", &error,
+                                        &used_prefix)) {
+        std::printf("  [profiler heatmaps: wrote %s/%s_*.csv]\n",
+                    env.csv_dir, used_prefix.c_str());
+      } else {
+        std::printf("  [profiler heatmaps: %s]\n", error.c_str());
+      }
+    }
+  }
 
   // Functional mixed-precision BiCGStab with solver probes attached: the
   // per-phase spans (spmv / dot+allreduce / axpy) and iteration metrics

@@ -74,11 +74,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::header("E12: simulator throughput (banded parallel stepping)",
-                "host-side, not a paper figure",
-                "parallel Fabric::step() is bit-identical to serial and "
-                "scales tile-cycles/sec with host threads");
-  bench::sim_threads_note();
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E12: simulator throughput (banded parallel stepping)",
+      "host-side, not a paper figure",
+      "parallel Fabric::step() is bit-identical to serial and "
+      "scales tile-cycles/sec with host threads",
+      /*simulated=*/true);
   std::printf("  [hardware threads available: %u]\n",
               wse::SimThreadPool::hardware_threads());
 

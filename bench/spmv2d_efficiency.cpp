@@ -15,8 +15,9 @@ int main() {
   using namespace wss;
   using namespace wss::wsekernels;
 
-  bench::header("E12: 2D 9-point mapping efficiency", "Section IV-2",
-                "blocks up to 38x38 fit; <20% overhead at 8x8");
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E12: 2D 9-point mapping efficiency", "Section IV-2",
+      "blocks up to 38x38 fit; <20% overhead at 8x8");
 
   std::printf("%8s %14s %12s %12s %8s\n", "block", "memory KB", "overhead",
               "useful ops", "fits");

@@ -15,8 +15,9 @@
 int main() {
   using namespace wss;
 
-  bench::header("E2: BiCGStab operation census", "Table I",
-                "44 ops/meshpoint/iteration; mixed mode: 40 hp + 4 sp");
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E2: BiCGStab operation census", "Table I",
+      "44 ops/meshpoint/iteration; mixed mode: 40 hp + 4 sp");
 
   const Grid3 g(12, 12, 16);
   auto a = make_random_dominant7(g, 0.4, 5);

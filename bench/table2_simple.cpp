@@ -13,9 +13,10 @@ int main() {
   using namespace wss;
   using namespace wss::perfmodel;
 
-  bench::header("E9: SIMPLE cycle census", "Table II",
-                "cycles/meshpoint for matrix formation, excluding the "
-                "solver");
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "E9: SIMPLE cycle census", "Table II",
+      "cycles/meshpoint for matrix formation, excluding the "
+      "solver");
 
   const SimpleCycleTable table;
   std::printf("%-16s %10s %10s %6s %6s %6s %12s\n", "step", "merge", "flop",

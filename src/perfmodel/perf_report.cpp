@@ -1,0 +1,197 @@
+#include "perfmodel/perf_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "telemetry/io.hpp"
+#include "telemetry/json.hpp"
+
+namespace wss::perfmodel {
+
+namespace {
+
+/// Map our ProgPhase bins onto CS1Model per-iteration predictions.
+double model_phase_cycles(const CS1Model& model, wse::ProgPhase phase, int z,
+                          int fabric_x, int fabric_y) {
+  switch (phase) {
+    case wse::ProgPhase::SpMV:
+      return 2.0 * model.spmv_cycles(z);
+    case wse::ProgPhase::Dot:
+      return 4.0 * model.dot_local_cycles(z);
+    case wse::ProgPhase::Axpy:
+      return 6.0 * model.axpy_cycles(z);
+    case wse::ProgPhase::AllReduce:
+      return 4.0 * model.allreduce_cycles(fabric_x, fabric_y);
+    case wse::ProgPhase::Control:
+      return model.overheads().iteration;
+  }
+  return 0.0;
+}
+
+} // namespace
+
+PerfReport make_perf_report(const telemetry::Profiler& prof, int z,
+                            int iterations, const CS1Model& model) {
+  PerfReport r;
+  r.fabric_x = prof.width();
+  r.fabric_y = prof.height();
+  r.z = z;
+  r.iterations = iterations;
+
+  const telemetry::PhaseCatMatrix m = prof.totals();
+  const double tiles = static_cast<double>(prof.configured_tiles());
+  const double denom =
+      tiles * static_cast<double>(iterations > 0 ? iterations : 1);
+
+  for (int p = 0; p < wse::kNumProgPhases; ++p) {
+    std::uint64_t phase_cycles = 0;
+    for (const std::uint64_t v : m[static_cast<std::size_t>(p)]) {
+      phase_cycles += v;
+    }
+    PhaseRow row;
+    row.phase = wse::to_string(static_cast<wse::ProgPhase>(p));
+    row.measured_cycles =
+        denom > 0.0 ? static_cast<double>(phase_cycles) / denom : 0.0;
+    row.model_cycles = model_phase_cycles(
+        model, static_cast<wse::ProgPhase>(p), z, r.fabric_x, r.fabric_y);
+    r.measured_cycles_per_iter += row.measured_cycles;
+    r.model_cycles_per_iter += row.model_cycles;
+    r.phases.push_back(std::move(row));
+  }
+
+  const double clock = model.arch().clock_hz;
+  r.us_per_iter = r.measured_cycles_per_iter / clock * 1e6;
+
+  const OpsPerPoint ops;
+  const double meshpoints = static_cast<double>(r.fabric_x) *
+                            static_cast<double>(r.fabric_y) *
+                            static_cast<double>(z);
+  if (r.us_per_iter > 0.0) {
+    r.achieved_flops =
+        static_cast<double>(ops.total()) * meshpoints / (r.us_per_iter * 1e-6);
+  }
+
+  // Full-wafer projection: the Section V model evaluated at the paper's
+  // mesh, scaled by this run's measured/model ratio — i.e. "if the same
+  // relative overheads held at 600 x 595 x 1536".
+  const double ratio = r.model_cycles_per_iter > 0.0
+                           ? r.measured_cycles_per_iter /
+                                 r.model_cycles_per_iter
+                           : 1.0;
+  r.wafer_us_per_iter =
+      model.iteration_seconds(r.paper_mesh) * 1e6 * ratio;
+  if (r.wafer_us_per_iter > 0.0) {
+    r.wafer_pflops = static_cast<double>(ops.total()) *
+                     static_cast<double>(r.paper_mesh.size()) /
+                     (r.wafer_us_per_iter * 1e-6) / 1e15;
+  }
+
+  for (const telemetry::CriticalPath& p :
+       telemetry::per_iteration_critical_paths(prof)) {
+    r.critical_paths.push_back(
+        {p.length_cycles(), p.tile_hops(), p.truncated});
+  }
+  return r;
+}
+
+std::string PerfReport::pretty() const {
+  std::ostringstream os;
+  char buf[200];
+  os << "perf report: " << fabric_x << "x" << fabric_y << " fabric, Z=" << z
+     << ", " << iterations << " iterations\n";
+  std::snprintf(buf, sizeof(buf), "  %-10s %12s %12s %8s\n", "phase",
+                "measured", "model", "delta");
+  os << buf;
+  for (const PhaseRow& p : phases) {
+    std::snprintf(buf, sizeof(buf), "  %-10s %12.1f %12.1f %+7.1f%%\n",
+                  p.phase.c_str(), p.measured_cycles, p.model_cycles,
+                  p.delta_pct());
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-10s %12.1f %12.1f  cycles/iter\n",
+                "total", measured_cycles_per_iter, model_cycles_per_iter);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  measured: %.3f us/iter, %.3f TFLOPS on this fabric\n",
+                us_per_iter, achieved_flops / 1e12);
+  os << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  wafer projection (%dx%dx%d): %.1f us/iter, %.2f PFLOPS  "
+      "[paper: %.1f us, %.2f PFLOPS]\n",
+      paper_mesh.nx, paper_mesh.ny, paper_mesh.nz, wafer_us_per_iter,
+      wafer_pflops, paper_us_per_iter, paper_pflops);
+  os << buf;
+  if (!critical_paths.empty()) {
+    os << "  critical path per iteration:";
+    for (const PathSummary& p : critical_paths) {
+      std::snprintf(buf, sizeof(buf), " %llu cyc/%zu hops%s",
+                    static_cast<unsigned long long>(p.length_cycles),
+                    p.tile_hops, p.truncated ? "(trunc)" : "");
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string PerfReport::to_json() const {
+  telemetry::json::Writer w;
+  w.begin_object();
+  w.key("fabric_x").value(fabric_x);
+  w.key("fabric_y").value(fabric_y);
+  w.key("z").value(z);
+  w.key("iterations").value(iterations);
+  w.key("phases").begin_array();
+  for (const PhaseRow& p : phases) {
+    w.begin_object();
+    w.key("phase").value(p.phase);
+    w.key("measured_cycles").value(p.measured_cycles);
+    w.key("model_cycles").value(p.model_cycles);
+    w.key("delta_pct").value(p.delta_pct());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("measured_cycles_per_iter").value(measured_cycles_per_iter);
+  w.key("model_cycles_per_iter").value(model_cycles_per_iter);
+  w.key("us_per_iter").value(us_per_iter);
+  w.key("achieved_flops").value(achieved_flops);
+  w.key("paper_mesh").begin_array();
+  w.value(paper_mesh.nx).value(paper_mesh.ny).value(paper_mesh.nz);
+  w.end_array();
+  w.key("wafer_us_per_iter").value(wafer_us_per_iter);
+  w.key("wafer_pflops").value(wafer_pflops);
+  w.key("paper_us_per_iter").value(paper_us_per_iter);
+  w.key("paper_pflops").value(paper_pflops);
+  w.key("critical_paths").begin_array();
+  for (const PathSummary& p : critical_paths) {
+    w.begin_object();
+    w.key("length_cycles").value(static_cast<std::uint64_t>(p.length_cycles));
+    w.key("tile_hops").value(static_cast<std::uint64_t>(p.tile_hops));
+    w.key("truncated").value(p.truncated);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool maybe_write_prof_json(const telemetry::Profiler& prof,
+                           const PerfReport* report, std::string* path_out,
+                           std::string* error) {
+  const char* path = std::getenv("WSS_PROF_JSON");
+  if (path == nullptr || path[0] == '\0') return false;
+  telemetry::json::Writer w;
+  w.begin_object();
+  w.key("profile").raw(prof.to_json());
+  if (report != nullptr) {
+    w.key("perf_report").raw(report->to_json());
+  }
+  w.end_object();
+  if (!telemetry::write_text_file(path, w.str(), error)) return false;
+  if (path_out != nullptr) *path_out = path;
+  return true;
+}
+
+} // namespace wss::perfmodel

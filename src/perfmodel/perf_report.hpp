@@ -1,0 +1,86 @@
+#pragma once
+
+// Paper-anchored performance report (docs/PROFILING.md): joins the cycle
+// profiler's measured per-phase cycles against the Section V CS1Model
+// predictions and the Table I flop census, then projects the run to the
+// paper's headline configuration (600 x 595 x 1536 mesh, 28.1 us per
+// BiCGStab iteration, 0.86 PFLOPS) so every profiled simulation prints its
+// distance from the reproduction target.
+
+#include <string>
+#include <vector>
+
+#include "mesh/grid.hpp"
+#include "perfmodel/cs1_model.hpp"
+#include "telemetry/profiler.hpp"
+
+namespace wss::perfmodel {
+
+/// One phase of the iteration: measured (profiler) vs modeled (CS1Model)
+/// cycles per tile per iteration.
+struct PhaseRow {
+  std::string phase;
+  double measured_cycles = 0.0;
+  double model_cycles = 0.0;
+  /// (measured - model) / model * 100; 0 when the model predicts 0.
+  [[nodiscard]] double delta_pct() const {
+    return model_cycles > 0.0
+               ? (measured_cycles - model_cycles) / model_cycles * 100.0
+               : 0.0;
+  }
+};
+
+struct PerfReport {
+  // run shape
+  int fabric_x = 0;
+  int fabric_y = 0;
+  int z = 0;
+  int iterations = 0;
+
+  std::vector<PhaseRow> phases; ///< spmv, dot, axpy, allreduce, control
+
+  // measured totals (per tile per iteration, averaged over tiles)
+  double measured_cycles_per_iter = 0.0;
+  double model_cycles_per_iter = 0.0;
+  double us_per_iter = 0.0;      ///< measured cycles at the modeled clock
+  double achieved_flops = 0.0;   ///< Table I census over measured time
+
+  // full-wafer projection: model at the paper mesh, scaled by the
+  // measured/model ratio observed on this run
+  Grid3 paper_mesh{600, 595, 1536};
+  double wafer_us_per_iter = 0.0;
+  double wafer_pflops = 0.0;
+
+  // the reproduction anchors (paper Sec. V, Table I)
+  double paper_us_per_iter = 28.1;
+  double paper_pflops = 0.86;
+
+  // critical-path summary (per completed iteration window)
+  struct PathSummary {
+    std::uint64_t length_cycles = 0;
+    std::size_t tile_hops = 0;
+    bool truncated = false;
+  };
+  std::vector<PathSummary> critical_paths;
+
+  [[nodiscard]] std::string pretty() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Build the report from a profiled BiCGStab simulation run. `z` is the
+/// per-tile pencil length and `iterations` the solver iterations executed
+/// (phase bins include the initial rho and drain cycles, which show up as
+/// small positive deltas at low iteration counts).
+[[nodiscard]] PerfReport make_perf_report(const telemetry::Profiler& prof,
+                                          int z, int iterations,
+                                          const CS1Model& model = CS1Model{});
+
+/// If WSS_PROF_JSON is set, write `{"profile": ..., "perf_report": ...}`
+/// to that path (report may be null: profile only). Returns true if a file
+/// was written; on failure returns false with `*error` set.
+bool maybe_write_prof_json(const telemetry::Profiler& prof,
+                           const PerfReport* report,
+                           std::string* path_out = nullptr,
+                           std::string* error = nullptr);
+
+} // namespace wss::perfmodel

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "telemetry/io.hpp"
+#include "telemetry/profiler.hpp"
 #include "wse/fabric.hpp"
 
 namespace wss::telemetry {
@@ -113,9 +114,33 @@ FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
   return maps;
 }
 
-bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
-                        const std::string& prefix, std::string* error,
-                        std::string* actual_prefix) {
+std::vector<Heatmap> profiler_heatmaps(const Profiler& prof) {
+  const int w = prof.width();
+  const int h = prof.height();
+  std::vector<Heatmap> maps;
+  maps.reserve(kNumCycleCats);
+  for (int c = 0; c < kNumCycleCats; ++c) {
+    maps.emplace_back(
+        std::string("prof_") + to_string(static_cast<CycleCat>(c)), w, h);
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const TileProfile& t = prof.tile(x, y);
+      if (!t.configured) continue;
+      for (int c = 0; c < kNumCycleCats; ++c) {
+        maps[static_cast<std::size_t>(c)].at(x, y) =
+            static_cast<double>(t.cat_total(c));
+      }
+    }
+  }
+  return maps;
+}
+
+namespace {
+
+bool write_heatmap_list(const std::vector<const Heatmap*>& maps,
+                        const std::string& dir, const std::string& prefix,
+                        std::string* error, std::string* actual_prefix) {
   if (!ensure_directory(dir, error)) return false;
   // Claim the full stem (dir + prefix) once per fabric, so every CSV of
   // one fabric shares one suffix and a second fabric using the same
@@ -123,11 +148,28 @@ bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
   const std::string stem = claim_output_stem(dir + "/" + prefix);
   const std::string used_prefix = stem.substr(dir.size() + 1);
   if (actual_prefix != nullptr) *actual_prefix = used_prefix;
-  for (const Heatmap* m : maps.all()) {
+  for (const Heatmap* m : maps) {
     const std::string path = stem + "_" + m->name + ".csv";
     if (!write_text_file(path, m->to_csv(), error)) return false;
   }
   return true;
+}
+
+} // namespace
+
+bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
+                        const std::string& prefix, std::string* error,
+                        std::string* actual_prefix) {
+  return write_heatmap_list(maps.all(), dir, prefix, error, actual_prefix);
+}
+
+bool write_heatmap_csvs(const std::vector<Heatmap>& maps,
+                        const std::string& dir, const std::string& prefix,
+                        std::string* error, std::string* actual_prefix) {
+  std::vector<const Heatmap*> ptrs;
+  ptrs.reserve(maps.size());
+  for (const Heatmap& m : maps) ptrs.push_back(&m);
+  return write_heatmap_list(ptrs, dir, prefix, error, actual_prefix);
 }
 
 } // namespace wss::telemetry

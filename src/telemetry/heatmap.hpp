@@ -71,6 +71,15 @@ struct FabricHeatmaps {
 /// maintained during the run regardless; this only copies them).
 [[nodiscard]] FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric);
 
+class Profiler;
+
+/// One heatmap per cycle-attribution category of a telemetry::Profiler
+/// (docs/PROFILING.md), summed over program phases: `prof_compute`,
+/// `prof_send_blocked`, `prof_recv_starved`, `prof_router_stall`,
+/// `prof_fault_stall`, `prof_idle`. Unconfigured tiles read 0, so the
+/// maps drop straight onto the fabric-counter layers above.
+[[nodiscard]] std::vector<Heatmap> profiler_heatmaps(const Profiler& prof);
+
 /// Write one `<dir>/<prefix>_<name>.csv` per heatmap, creating `dir` if
 /// needed. Returns false + `*error` on the first failure.
 ///
@@ -82,6 +91,12 @@ struct FabricHeatmaps {
 /// non-null) receives the prefix actually used.
 bool write_heatmap_csvs(const FabricHeatmaps& maps, const std::string& dir,
                         const std::string& prefix,
+                        std::string* error = nullptr,
+                        std::string* actual_prefix = nullptr);
+
+/// Same contract for an ad-hoc list of heatmaps (e.g. profiler_heatmaps).
+bool write_heatmap_csvs(const std::vector<Heatmap>& maps,
+                        const std::string& dir, const std::string& prefix,
                         std::string* error = nullptr,
                         std::string* actual_prefix = nullptr);
 

@@ -1,0 +1,256 @@
+#include "telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace wss::telemetry {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+Profiler::iteration_windows() const {
+  // A mark (k, c) means "this tile entered iteration k at cycle c". The
+  // global window of iteration k opens when the *first* tile enters k and
+  // closes when the first tile enters k+1 (the last window closes at the
+  // profiler's observation horizon).
+  std::map<std::uint64_t, std::uint64_t> entry; // iteration -> min cycle
+  for (const TileProfile& t : tiles_) {
+    for (const IterMark& m : t.iter_marks) {
+      auto [it, inserted] = entry.emplace(m.iteration, m.cycle);
+      if (!inserted) it->second = std::min(it->second, m.cycle);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> windows;
+  for (auto it = entry.begin(); it != entry.end(); ++it) {
+    auto next = std::next(it);
+    const std::uint64_t hi =
+        next != entry.end() ? next->second : observed_cycles_;
+    if (hi > it->second) windows.emplace_back(it->second, hi);
+  }
+  return windows;
+}
+
+namespace {
+
+/// Latest compute cycle of `t` inside [lo, hi], or nullopt.
+std::optional<std::uint64_t> last_compute_in(const TileProfile& t,
+                                             std::uint64_t lo,
+                                             std::uint64_t hi) {
+  // Intervals are ascending and disjoint: scan from the back.
+  for (auto it = t.compute_intervals.rbegin();
+       it != t.compute_intervals.rend(); ++it) {
+    const std::uint64_t first = (*it)[0];
+    const std::uint64_t last = (*it)[1];
+    if (first > hi) continue;
+    const std::uint64_t cand = std::min(last, hi);
+    if (cand < lo) return std::nullopt; // earlier intervals only get older
+    return cand;
+  }
+  return std::nullopt;
+}
+
+/// Start of the compute interval of `t` containing `cycle` (the tile ran
+/// continuously from the returned cycle through `cycle`), or `cycle` when
+/// no interval contains it.
+std::uint64_t interval_start_containing(const TileProfile& t,
+                                        std::uint64_t cycle) {
+  for (auto it = t.compute_intervals.rbegin();
+       it != t.compute_intervals.rend(); ++it) {
+    const std::uint64_t first = (*it)[0];
+    const std::uint64_t last = (*it)[1];
+    if (first > cycle) continue;
+    return cycle <= last ? first : cycle;
+  }
+  return cycle;
+}
+
+/// Latest recv record of `t` with recv_cycle <= cycle, or nullptr.
+const RecvRecord* last_recv_at_or_before(const TileProfile& t,
+                                         std::uint64_t cycle) {
+  auto it = std::upper_bound(
+      t.recvs.begin(), t.recvs.end(), cycle,
+      [](std::uint64_t c, const RecvRecord& r) { return c < r.recv_cycle; });
+  if (it == t.recvs.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+} // namespace
+
+CriticalPath critical_path(const Profiler& prof, std::uint64_t window_lo,
+                           std::uint64_t window_hi, std::size_t max_hops) {
+  CriticalPath path;
+  if (window_hi <= window_lo) return path;
+  const std::uint64_t hi = window_hi - 1;
+
+  // Start at the tile whose last compute cycle in the window is latest —
+  // the tile that finished the window's work. Ties break row-major
+  // (smallest y, then x), which is what makes the walk deterministic.
+  int sx = -1;
+  int sy = -1;
+  std::uint64_t s_cycle = 0;
+  for (int y = 0; y < prof.height(); ++y) {
+    for (int x = 0; x < prof.width(); ++x) {
+      const TileProfile& t = prof.tile(x, y);
+      if (!t.configured) continue;
+      const auto c = last_compute_in(t, window_lo, hi);
+      if (!c) continue;
+      if (sx < 0 || *c > s_cycle) {
+        sx = x;
+        sy = y;
+        s_cycle = *c;
+      }
+    }
+  }
+  if (sx < 0) return path; // nothing computed in the window
+
+  path.end_cycle = s_cycle;
+  int cx = sx;
+  int cy = sy;
+  std::uint64_t cursor = s_cycle;
+  // Backward walk: the enabling dependency of the work that ended at
+  // `cursor` is taken to be the most recent wavelet that arrived at or
+  // before it; hop to its sender at the injection cycle. send_cycle <
+  // recv_cycle <= cursor makes the cursor strictly decrease, so the walk
+  // terminates.
+  std::vector<PathHop> rev;
+  while (true) {
+    const TileProfile& t = prof.tile(cx, cy);
+    if (t.recvs_dropped > 0) path.truncated = true;
+    if (rev.size() >= max_hops) {
+      path.truncated = true;
+      rev.push_back(PathHop{cx, cy, cursor, cursor});
+      break;
+    }
+    const RecvRecord* r = last_recv_at_or_before(t, cursor);
+    if (r == nullptr || r->recv_cycle < window_lo ||
+        r->send_cycle < window_lo || r->send_cycle >= r->recv_cycle) {
+      // Chain origin: this tile's segment began with local work. Extend
+      // back to the start of the contiguous compute interval that ends
+      // the segment, clamped to the window.
+      const std::uint64_t last =
+          last_compute_in(t, window_lo, cursor).value_or(cursor);
+      const std::uint64_t from =
+          std::max(window_lo, interval_start_containing(t, last));
+      rev.push_back(PathHop{cx, cy, std::min(from, cursor), cursor});
+      break;
+    }
+    rev.push_back(PathHop{cx, cy, r->recv_cycle, cursor});
+    cx = r->src_x;
+    cy = r->src_y;
+    cursor = r->send_cycle;
+  }
+  path.hops.assign(rev.rbegin(), rev.rend());
+  path.start_cycle = path.hops.front().from_cycle;
+  return path;
+}
+
+std::vector<CriticalPath> per_iteration_critical_paths(const Profiler& prof,
+                                                       std::size_t max_hops) {
+  std::vector<CriticalPath> out;
+  for (const auto& [lo, hi] : prof.iteration_windows()) {
+    out.push_back(critical_path(prof, lo, hi, max_hops));
+  }
+  return out;
+}
+
+std::string CriticalPath::pretty() const {
+  std::ostringstream os;
+  os << "critical path: " << length_cycles() << " cycles over "
+     << tile_hops() << " tile hops [" << start_cycle << ", " << end_cycle
+     << "]" << (truncated ? " (truncated)" : "") << "\n";
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const PathHop& h = hops[i];
+    os << "  " << (i == 0 ? "start" : "  -> ") << " (" << h.x << "," << h.y
+       << ") cycles " << h.from_cycle << ".." << h.until_cycle << "\n";
+  }
+  return os.str();
+}
+
+std::string Profiler::to_json() const {
+  const PhaseCatMatrix m = totals();
+  std::uint64_t grand = 0;
+  for (const auto& row : m) {
+    for (const std::uint64_t v : row) grand += v;
+  }
+  const auto expected =
+      observed_cycles_ * static_cast<std::uint64_t>(configured_tiles());
+
+  json::Writer w;
+  w.begin_object();
+  w.key("width").value(width_);
+  w.key("height").value(height_);
+  w.key("configured_tiles").value(configured_tiles());
+  w.key("observed_cycles").value(observed_cycles_);
+  w.key("attributed_tile_cycles").value(grand);
+  w.key("expected_tile_cycles").value(expected);
+  w.key("conserved").value(grand == expected);
+  w.key("phases").begin_object();
+  for (int p = 0; p < wse::kNumProgPhases; ++p) {
+    w.key(wse::to_string(static_cast<wse::ProgPhase>(p))).begin_object();
+    for (int c = 0; c < kNumCycleCats; ++c) {
+      w.key(to_string(static_cast<CycleCat>(c)))
+          .value(m[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)]);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.key("categories").begin_object();
+  for (int c = 0; c < kNumCycleCats; ++c) {
+    std::uint64_t t = 0;
+    for (int p = 0; p < wse::kNumProgPhases; ++p) {
+      t += m[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)];
+    }
+    w.key(to_string(static_cast<CycleCat>(c))).value(t);
+  }
+  w.end_object();
+  w.key("iteration_windows").begin_array();
+  for (const auto& [lo, hi] : iteration_windows()) {
+    w.begin_array().value(lo).value(hi).end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string Profiler::pretty() const {
+  const PhaseCatMatrix m = totals();
+  std::uint64_t grand = 0;
+  for (const auto& row : m) {
+    for (const std::uint64_t v : row) grand += v;
+  }
+  std::ostringstream os;
+  os << "cycle attribution (" << configured_tiles() << " tiles, "
+     << observed_cycles_ << " cycles)\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-10s", "phase");
+  os << buf;
+  for (int c = 0; c < kNumCycleCats; ++c) {
+    std::snprintf(buf, sizeof(buf), " %13s",
+                  to_string(static_cast<CycleCat>(c)));
+    os << buf;
+  }
+  os << "\n";
+  for (int p = 0; p < wse::kNumProgPhases; ++p) {
+    std::snprintf(buf, sizeof(buf), "  %-10s",
+                  wse::to_string(static_cast<wse::ProgPhase>(p)));
+    os << buf;
+    for (int c = 0; c < kNumCycleCats; ++c) {
+      const std::uint64_t v =
+          m[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)];
+      const double pct =
+          grand > 0 ? 100.0 * static_cast<double>(v) /
+                          static_cast<double>(grand)
+                    : 0.0;
+      std::snprintf(buf, sizeof(buf), " %7llu %4.1f%%",
+                    static_cast<unsigned long long>(v), pct);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+} // namespace wss::telemetry

@@ -1,0 +1,275 @@
+#pragma once
+
+// Cycle-attribution profiler for the fabric simulator (docs/PROFILING.md).
+//
+// When a Profiler is attached (Fabric::set_profiler), every cycle of every
+// configured tile is attributed to exactly one CycleCat — compute,
+// send-blocked, recv-starved, router-stall, fault-stall, or idle — and
+// binned by the program phase the tile last declared with a SetPhase marker
+// (SpMV, local dots, AXPY, AllReduce, control). The conservation invariant
+//   sum over phases and categories of tile (x, y)'s bins
+//     == cycles stepped while the profiler was attached
+// holds per tile by construction and is asserted by
+// tests/telemetry/profiler_test.cpp.
+//
+// Determinism: all recording methods write only state owned by the tile
+// being recorded, and the fabric calls them from the row band that owns
+// that tile — the same ownership discipline that makes counters and traces
+// bit-identical under WSS_SIM_THREADS (docs/SIMULATOR.md). The profiler
+// therefore needs no per-band staging: profiles are bit-identical at any
+// thread count (tests/wse/profiler_conformance_test.cpp).
+//
+// The recording surface is header-only on purpose: wss_wse does not link
+// wss_telemetry, so fabric.cpp may include this header and call the inline
+// recorders without creating a library cycle. Analysis (critical path,
+// JSON/pretty reports) lives in profiler.cpp inside wss_telemetry.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wse/types.hpp"
+
+namespace wss::telemetry {
+
+/// Where a tile-cycle went. Exactly one per tile per cycle.
+enum class CycleCat : std::uint8_t {
+  Compute = 0,      ///< the datapath advanced an instruction
+  SendBlocked = 1,  ///< work present, blocked on fabric injection /
+                    ///< downstream FIFO backpressure
+  RecvStarved = 2,  ///< work present, waiting on fabric words
+  RouterStall = 3,  ///< an injected router-stall fault froze the tile's
+                    ///< router this cycle while the core had stalled work
+  FaultStall = 4,   ///< the core is dead (DeadTileFault) — cycles the
+                    ///< fault, not the program, is spending
+  Idle = 5,         ///< no runnable or in-flight work
+};
+inline constexpr int kNumCycleCats = 6;
+
+[[nodiscard]] constexpr const char* to_string(CycleCat c) {
+  switch (c) {
+    case CycleCat::Compute: return "compute";
+    case CycleCat::SendBlocked: return "send_blocked";
+    case CycleCat::RecvStarved: return "recv_starved";
+    case CycleCat::RouterStall: return "router_stall";
+    case CycleCat::FaultStall: return "fault_stall";
+    case CycleCat::Idle: return "idle";
+  }
+  return "?";
+}
+
+/// One wavelet dependency edge: tile (src_x, src_y) injected a word at
+/// send_cycle that reached this tile's core at recv_cycle. The raw material
+/// of the critical-path walk.
+struct RecvRecord {
+  std::uint32_t recv_cycle = 0;
+  std::uint32_t send_cycle = 0;
+  std::int16_t src_x = -1;
+  std::int16_t src_y = -1;
+};
+
+/// A tile entered iteration `iteration` at fabric cycle `cycle`.
+struct IterMark {
+  std::uint64_t iteration = 0;
+  std::uint64_t cycle = 0;
+};
+
+/// Phase × category cycle matrix plus dependency logs for one tile.
+struct TileProfile {
+  std::array<std::array<std::uint64_t, kNumCycleCats>, wse::kNumProgPhases>
+      cycles{};
+  /// Closed [first, last] cycle ranges in which the tile computed,
+  /// run-length compressed (consecutive compute cycles share an interval).
+  std::vector<std::array<std::uint32_t, 2>> compute_intervals;
+  std::vector<RecvRecord> recvs;       ///< ascending recv_cycle
+  std::vector<IterMark> iter_marks;    ///< ascending cycle
+  std::uint64_t recvs_dropped = 0;     ///< recvs beyond the per-tile cap
+  std::uint64_t last_seen_iteration = 0;
+  bool configured = false;
+
+  [[nodiscard]] std::uint64_t total_cycles() const {
+    std::uint64_t t = 0;
+    for (const auto& row : cycles) {
+      for (const std::uint64_t v : row) t += v;
+    }
+    return t;
+  }
+  [[nodiscard]] std::uint64_t phase_total(int phase) const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t v : cycles[static_cast<std::size_t>(phase)]) {
+      t += v;
+    }
+    return t;
+  }
+  [[nodiscard]] std::uint64_t cat_total(int cat) const {
+    std::uint64_t t = 0;
+    for (const auto& row : cycles) t += row[static_cast<std::size_t>(cat)];
+    return t;
+  }
+};
+
+/// Aggregate phase × category matrix over all tiles.
+using PhaseCatMatrix =
+    std::array<std::array<std::uint64_t, kNumCycleCats>, wse::kNumProgPhases>;
+
+class Profiler {
+public:
+  /// Per-tile wavelet-edge log cap. Bounds memory on long runs; the
+  /// critical-path walk degrades gracefully (reports truncation) when a
+  /// tile overflows. 1<<16 records ≈ 768 KB/tile worst case.
+  static constexpr std::size_t kMaxRecvRecords = std::size_t{1} << 16;
+
+  Profiler(int width, int height)
+      : width_(width), height_(height),
+        tiles_(static_cast<std::size_t>(width) *
+               static_cast<std::size_t>(height)) {}
+
+  // --- recording (inline; called by the fabric under band ownership) ---
+
+  void mark_configured(int x, int y) { tile_mut(x, y).configured = true; }
+
+  /// Attribute one cycle of tile (x, y). `cycle` feeds the compute-interval
+  /// compression used by the critical-path walk.
+  void record_cycle(int x, int y, wse::ProgPhase phase, CycleCat cat,
+                    std::uint64_t cycle) {
+    TileProfile& t = tile_mut(x, y);
+    ++t.cycles[static_cast<std::size_t>(phase)][static_cast<std::size_t>(cat)];
+    if (cat == CycleCat::Compute) {
+      const auto c32 = static_cast<std::uint32_t>(cycle);
+      if (!t.compute_intervals.empty() &&
+          t.compute_intervals.back()[1] + 1 == c32) {
+        t.compute_intervals.back()[1] = c32;
+      } else {
+        t.compute_intervals.push_back({c32, c32});
+      }
+    }
+  }
+
+  /// Record a wavelet dependency edge on ramp delivery at tile (x, y).
+  /// Flits without provenance (host-preloaded words) are skipped.
+  void record_recv(int x, int y, std::uint64_t recv_cycle,
+                   const wse::Flit& flit) {
+    if (flit.src_x < 0 || flit.src_y < 0) return;
+    TileProfile& t = tile_mut(x, y);
+    if (t.recvs.size() >= kMaxRecvRecords) {
+      ++t.recvs_dropped;
+      return;
+    }
+    t.recvs.push_back(RecvRecord{static_cast<std::uint32_t>(recv_cycle),
+                                 flit.src_cycle, flit.src_x, flit.src_y});
+  }
+
+  /// Record the tile's iteration counter after a core step; appends a mark
+  /// only when the counter changed, so the call is cheap in steady state.
+  void record_iteration(int x, int y, std::uint64_t iteration,
+                        std::uint64_t cycle) {
+    TileProfile& t = tile_mut(x, y);
+    if (iteration == t.last_seen_iteration) return;
+    t.last_seen_iteration = iteration;
+    t.iter_marks.push_back(IterMark{iteration, cycle});
+  }
+
+  /// One fabric step elapsed with this profiler attached. Called from the
+  /// serial section of Fabric::step().
+  void add_observed_cycle() { ++observed_cycles_; }
+
+  // --- inspection ---
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::uint64_t observed_cycles() const {
+    return observed_cycles_;
+  }
+  [[nodiscard]] const TileProfile& tile(int x, int y) const {
+    return tiles_[index(x, y)];
+  }
+  [[nodiscard]] int configured_tiles() const {
+    int n = 0;
+    for (const TileProfile& t : tiles_) n += t.configured ? 1 : 0;
+    return n;
+  }
+
+  /// Sum the phase × category matrix over all tiles.
+  [[nodiscard]] PhaseCatMatrix totals() const {
+    PhaseCatMatrix m{};
+    for (const TileProfile& t : tiles_) {
+      for (int p = 0; p < wse::kNumProgPhases; ++p) {
+        for (int c = 0; c < kNumCycleCats; ++c) {
+          m[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)] +=
+              t.cycles[static_cast<std::size_t>(p)]
+                      [static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    return m;
+  }
+
+  /// Global iteration windows: iteration k spans
+  /// [min over tiles of mark(k).cycle, min over tiles of mark(k+1).cycle).
+  /// Implemented in profiler.cpp.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  iteration_windows() const;
+
+  /// Machine-readable profile: observed cycles, per-phase per-category
+  /// totals, per-category grand totals, conservation check.
+  [[nodiscard]] std::string to_json() const;
+  /// Terminal-friendly phase × category table with percentages.
+  [[nodiscard]] std::string pretty() const;
+
+private:
+  [[nodiscard]] std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+  [[nodiscard]] TileProfile& tile_mut(int x, int y) {
+    return tiles_[index(x, y)];
+  }
+
+  int width_;
+  int height_;
+  std::vector<TileProfile> tiles_;
+  std::uint64_t observed_cycles_ = 0;
+};
+
+// --- critical-path analysis (profiler.cpp) ------------------------------
+
+/// One hop of a critical path: the program was at tile (x, y) from cycle
+/// `from_cycle` until `until_cycle`, then followed a wavelet edge to the
+/// next hop (the previous element in the vector; hops are reported in
+/// chronological order, source first).
+struct PathHop {
+  int x = 0;
+  int y = 0;
+  std::uint64_t from_cycle = 0;
+  std::uint64_t until_cycle = 0;
+};
+
+struct CriticalPath {
+  std::vector<PathHop> hops;    ///< chronological, earliest first
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;  ///< last compute cycle reached in window
+  bool truncated = false;       ///< hit the hop cap or a recv-log overflow
+  [[nodiscard]] std::uint64_t length_cycles() const {
+    return end_cycle - start_cycle;
+  }
+  [[nodiscard]] std::size_t tile_hops() const {
+    return hops.empty() ? 0 : hops.size() - 1;
+  }
+  [[nodiscard]] std::string pretty() const;
+};
+
+/// Walk the recorded wavelet/compute dependency chain backwards from the
+/// latest compute cycle in [window_lo, window_hi) and report the longest
+/// tile→tile chain — the simulator's analogue of the paper's diameter-bound
+/// AllReduce argument (Fig. 6). Deterministic: ties break row-major.
+[[nodiscard]] CriticalPath critical_path(const Profiler& prof,
+                                         std::uint64_t window_lo,
+                                         std::uint64_t window_hi,
+                                         std::size_t max_hops = 4096);
+
+/// Critical path of each completed iteration window.
+[[nodiscard]] std::vector<CriticalPath> per_iteration_critical_paths(
+    const Profiler& prof, std::size_t max_hops = 4096);
+
+} // namespace wss::telemetry

@@ -108,6 +108,10 @@ void emit_fabric(json::Writer& w, const FabricTraceSource& src, int pid) {
       case wse::TraceEventKind::Stall:
         emit_instant(w, "stall", "stall", ts, pid, tid);
         break;
+      case wse::TraceEventKind::Fault:
+        emit_instant(w, e.label.empty() ? "fault" : e.label, "fault", ts,
+                     pid, tid);
+        break;
     }
   }
   // Tasks still open when the trace ended (e.g. a bounded tracer filled

@@ -145,10 +145,15 @@ bool TileCore::inject(RouterState& router, Color color,
       return false;
     }
   }
+  // Stamp provenance (injecting tile + cycle) for the critical-path
+  // analyzer; simulator metadata only, invisible to the modeled hardware.
+  Flit out{payload, color, wide, static_cast<std::int16_t>(tile_x_),
+           static_cast<std::int16_t>(tile_y_),
+           static_cast<std::uint32_t>(current_cycle_)};
   for (int d = 0; d < 4; ++d) {
     if (rule.forwards_to(static_cast<Dir>(d))) {
       auto& q = router.out_queues[static_cast<std::size_t>(d)][color];
-      q.push_back(Flit{payload, color, wide});
+      q.push_back(out);
       ++router.stats.flits_forwarded;
       router.stats.queue_highwater = std::max(
           router.stats.queue_highwater, static_cast<std::uint64_t>(q.size()));
@@ -544,6 +549,14 @@ void TileCore::run_scheduler() {
         case TaskStep::Kind::SetDone:
           done_ = true;
           break;
+        case TaskStep::Kind::SetPhase:
+          // Profiler annotation: free, like all control steps, so marked
+          // and unmarked programs have identical timing.
+          phase_ = static_cast<ProgPhase>(step.target);
+          break;
+        case TaskStep::Kind::MarkIteration:
+          ++iteration_;
+          break;
         default:
           break;
       }
@@ -557,7 +570,7 @@ void TileCore::run_scheduler() {
   current_task_ = kNoTask; // task body exhausted; next pick next cycle
 }
 
-void TileCore::step(RouterState& router, std::uint64_t cycle) {
+StepOutcome TileCore::step(RouterState& router, std::uint64_t cycle) {
   current_cycle_ = cycle;
   run_scheduler();
 
@@ -567,6 +580,8 @@ void TileCore::step(RouterState& router, std::uint64_t cycle) {
   // not occupy the datapath: the hardware retires them in the scheduler.
   const int nslots = static_cast<int>(slots_.size());
   bool any_busy = false;
+  bool saw_send = false;
+  bool saw_recv = false;
   for (int k = 0; k < nslots; ++k) {
     const int slot = (rr_slot_ + k) % nslots;
     if (!slots_[static_cast<std::size_t>(slot)].has_value()) continue;
@@ -574,11 +589,40 @@ void TileCore::step(RouterState& router, std::uint64_t cycle) {
     if (advance(slot, router)) {
       rr_slot_ = (slot + 1) % nslots;
       ++stats_.instr_cycles;
-      return;
+      return StepOutcome::Compute;
     }
     // No element progress: either stalled (slot still occupied — try the
     // next thread) or retired with zero work (slot freed — also try the
-    // next thread without charging the datapath).
+    // next thread without charging the datapath). For stalled slots,
+    // classify the blocking port for the cycle-attribution profiler.
+    auto& held = slots_[static_cast<std::size_t>(slot)];
+    if (!held.has_value()) continue;
+    switch (held->instr.op) {
+      case OpKind::Send:
+      case OpKind::SendScalar:
+        saw_send = true;
+        break;
+      case OpKind::RecvToMem:
+      case OpKind::RecvAddTo:
+      case OpKind::RecvAccScalar:
+        saw_recv = true;
+        break;
+      case OpKind::RecvMulToFifo: {
+        // Two ways to make zero progress: the ramp channel is dry
+        // (recv-starved) or the software FIFO behind it is full (output
+        // backpressure — the summation task downstream can't keep up).
+        const FabricDesc& f =
+            prog_.fabrics[static_cast<std::size_t>(held->instr.fabric)];
+        if (ramp_queues_[static_cast<std::size_t>(f.channel)].empty()) {
+          saw_recv = true;
+        } else {
+          saw_send = true;
+        }
+        break;
+      }
+      default:
+        break; // local ops never stall while occupied
+    }
   }
   if (any_busy) {
     ++stats_.stall_cycles;
@@ -586,9 +630,14 @@ void TileCore::step(RouterState& router, std::uint64_t cycle) {
       tracer_->record(current_cycle_, tile_x_, tile_y_,
                       TraceEventKind::Stall, "");
     }
-  } else {
-    ++stats_.idle_cycles;
+    // Send-blocked outranks recv-starved: the tile that cannot drain its
+    // output is the upstream cause; its starving receives are the effect.
+    if (saw_send) return StepOutcome::StallSend;
+    if (saw_recv) return StepOutcome::StallRecv;
+    return StepOutcome::StallOther;
   }
+  ++stats_.idle_cycles;
+  return StepOutcome::Idle;
 }
 
 std::string TileCore::debug_state() const {
@@ -649,6 +698,8 @@ void TileCore::reset_control() {
   current_step_ = 0;
   waiting_sync_ = false;
   done_ = false;
+  phase_ = ProgPhase::Control;
+  iteration_ = 0;
   if (prog_.initial_task != kNoTask) {
     prog_.tasks[static_cast<std::size_t>(prog_.initial_task)].activated = true;
   }

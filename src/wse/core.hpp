@@ -65,6 +65,27 @@ struct CoreStats {
   std::uint64_t ramp_highwater = 0;  ///< max ramp-queue occupancy
 };
 
+/// What one core cycle amounted to, for the cycle-attribution profiler
+/// (docs/PROFILING.md). Exactly one outcome per step():
+///   Compute   — the datapath advanced an instruction,
+///   StallSend — work present, blocked injecting into the fabric (router
+///               out-queue / ramp backpressure, or a full software FIFO
+///               behind a RecvMulToFifo — output backpressure either way),
+///   StallRecv — work present, waiting on fabric words that have not
+///               arrived (empty ramp queue),
+///   StallOther— work present but neither port implicated (e.g. the only
+///               occupied slot retired with zero work this cycle),
+///   Idle      — no occupied thread slot.
+/// StallSend takes precedence over StallRecv when both are present: an
+/// outbound-blocked tile is the upstream cause, the starved ops its effect.
+enum class StepOutcome : std::uint8_t {
+  Idle = 0,
+  Compute,
+  StallSend,
+  StallRecv,
+  StallOther,
+};
+
 class TileCore {
 public:
   TileCore(TileProgram program, const CS1Params& arch, const SimParams& sim);
@@ -78,8 +99,8 @@ public:
 
   /// Advance the core by one cycle. `router` is this tile's router, used
   /// for injection of outgoing words; `cycle` is the fabric's global cycle
-  /// (for tracing).
-  void step(RouterState& router, std::uint64_t cycle = 0);
+  /// (for tracing). Returns the cycle's attribution outcome.
+  StepOutcome step(RouterState& router, std::uint64_t cycle = 0);
 
   /// Attach an execution tracer (may be nullptr to detach). The core
   /// records task starts/ends, instruction completions, and stalls.
@@ -88,6 +109,20 @@ public:
     tile_x_ = tile_x;
     tile_y_ = tile_y;
   }
+
+  /// Fabric coordinates, stamped onto injected flits as provenance for the
+  /// critical-path analyzer. Set once by Fabric::configure_tile (set_tracer
+  /// also sets them, for cores driven without a fabric).
+  void set_position(int tile_x, int tile_y) {
+    tile_x_ = tile_x;
+    tile_y_ = tile_y;
+  }
+
+  /// Sticky program phase (last SetPhase marker executed; Control before
+  /// any marker) and iteration counter (MarkIteration steps seen) — the
+  /// profiler's binning keys. Both reset with reset_control().
+  [[nodiscard]] ProgPhase phase() const { return phase_; }
+  [[nodiscard]] std::uint64_t iteration() const { return iteration_; }
 
   [[nodiscard]] bool done() const { return done_; }
   [[nodiscard]] bool quiescent() const;
@@ -158,6 +193,10 @@ private:
 
   bool done_ = false;
   CoreStats stats_;
+
+  // profiler annotations (docs/PROFILING.md)
+  ProgPhase phase_ = ProgPhase::Control;
+  std::uint64_t iteration_ = 0;
 
   // tracing
   Tracer* tracer_ = nullptr;

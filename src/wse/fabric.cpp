@@ -5,7 +5,39 @@
 #include <stdexcept>
 #include <string>
 
+// Header-only recording surface; creates no link dependency on
+// wss_telemetry (analysis lives there, the fabric only records).
+#include "telemetry/profiler.hpp"
+
 namespace wss::wse {
+
+namespace {
+
+/// Map a core step outcome (plus fault context) to a profiler category.
+telemetry::CycleCat categorize(StepOutcome outcome, bool router_faulted) {
+  switch (outcome) {
+    case StepOutcome::Compute:
+      return telemetry::CycleCat::Compute;
+    case StepOutcome::Idle:
+      return telemetry::CycleCat::Idle;
+    case StepOutcome::StallSend:
+    case StepOutcome::StallRecv:
+    case StepOutcome::StallOther:
+      // A stalled core under an injected router-stall window is the
+      // fault's doing, whatever port the core blames.
+      if (router_faulted) return telemetry::CycleCat::RouterStall;
+      if (outcome == StepOutcome::StallSend) {
+        return telemetry::CycleCat::SendBlocked;
+      }
+      // StallOther (e.g. the only busy slot retired with zero work while
+      // waiting for upstream data) counts as recv-starved: the tile had
+      // work it could not feed.
+      return telemetry::CycleCat::RecvStarved;
+  }
+  return telemetry::CycleCat::Idle;
+}
+
+} // namespace
 
 Fabric::Fabric(int width, int height, const CS1Params& arch,
                const SimParams& sim)
@@ -21,8 +53,26 @@ void Fabric::configure_tile(int x, int y, TileProgram program,
                             RoutingTable routes) {
   Tile& t = tiles_[tile_index(x, y)];
   t.core = std::make_unique<TileCore>(std::move(program), *arch_, sim_);
+  t.core->set_position(x, y); // flit provenance for the critical path
   t.router.table = std::move(routes);
   if (user_tracer_ != nullptr) t.core->set_tracer(user_tracer_, x, y);
+  if (profiler_ != nullptr) profiler_->mark_configured(x, y);
+}
+
+void Fabric::set_profiler(telemetry::Profiler* profiler) {
+  if (profiler != nullptr &&
+      (profiler->width() != width_ || profiler->height() != height_)) {
+    throw std::invalid_argument("profiler dimensions must match the fabric");
+  }
+  profiler_ = profiler;
+  if (profiler_ == nullptr) return;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      if (tiles_[tile_index(x, y)].core != nullptr) {
+        profiler_->mark_configured(x, y);
+      }
+    }
+  }
 }
 
 void Fabric::set_threads(int threads) {
@@ -198,6 +248,12 @@ void Fabric::route_phase(int y0, int y1, int band) {
             }
             if (!space) break;
 
+            if (profiler_ != nullptr && !rule.deliver_channels.empty()) {
+              // Wavelet dependency edge for the critical-path analyzer:
+              // one edge per delivered flit (multicast to several local
+              // channels is still one arrival).
+              profiler_->record_recv(x, y, stats_.cycles, flit);
+            }
             for (int ch : rule.deliver_channels) {
               t.core->try_deliver(ch, flit.payload);
             }
@@ -227,6 +283,7 @@ void Fabric::core_phase(int y0, int y1, Tracer* tracer, int band) {
       Tile& t = tiles_[tile_index(x, y)];
       if (t.core == nullptr) continue;
       if (user_tracer_ != nullptr) t.core->set_tracer(tracer, x, y);
+      bool router_faulted = false;
       if (faults_ != nullptr) {
         const TileFaults& tf = faults_->tiles[tile_index(x, y)];
         if (stats_.cycles >= tf.dead_from) {
@@ -239,10 +296,26 @@ void Fabric::core_phase(int y0, int y1, Tracer* tracer, int band) {
                               FaultEvent{stats_.cycles, x, y, Dir::Ramp,
                                          FaultKind::DeadTile, 0, 0});
           }
+          if (profiler_ != nullptr) {
+            // The cycle belongs to the fault, not the program: the core
+            // never stepped, so the attribution happens here.
+            profiler_->record_cycle(x, y, t.core->phase(),
+                                    telemetry::CycleCat::FaultStall,
+                                    stats_.cycles);
+          }
           continue;
         }
+        router_faulted =
+            !tf.stall_windows.empty() && router_stalled(tf, stats_.cycles);
       }
-      t.core->step(t.router, stats_.cycles);
+      const StepOutcome outcome = t.core->step(t.router, stats_.cycles);
+      if (profiler_ != nullptr) {
+        profiler_->record_cycle(x, y, t.core->phase(),
+                                categorize(outcome, router_faulted),
+                                stats_.cycles);
+        profiler_->record_iteration(x, y, t.core->iteration(),
+                                    stats_.cycles);
+      }
     }
   }
 }
@@ -387,6 +460,7 @@ void Fabric::step() {
     if (faults_ != nullptr) merge_fault_bands(1);
     stats_.link_transfers += link_phase(0, height_, 0);
     if (faults_ != nullptr) merge_fault_bands(1);
+    if (profiler_ != nullptr) profiler_->add_observed_cycle();
     ++stats_.cycles;
     return;
   }
@@ -426,6 +500,7 @@ void Fabric::step() {
     stats_.link_transfers += n;
   }
   if (faults_ != nullptr) merge_fault_bands(bands);
+  if (profiler_ != nullptr) profiler_->add_observed_cycle();
   ++stats_.cycles;
 }
 

@@ -31,6 +31,10 @@
 #include "wse/fault.hpp"
 #include "wse/sim_pool.hpp"
 
+namespace wss::telemetry {
+class Profiler; // telemetry/profiler.hpp (header-only recording surface)
+}
+
 namespace wss::wse {
 
 struct FabricStats {
@@ -101,6 +105,16 @@ public:
   void set_threads(int threads);
   [[nodiscard]] int threads() const { return threads_; }
 
+  /// Attach a cycle-attribution profiler (nullptr detaches; see
+  /// docs/PROFILING.md). The profiler must outlive its attachment and
+  /// match the fabric dimensions (std::invalid_argument otherwise). With
+  /// none attached the hooks are a null-pointer test per tile per phase.
+  /// All recording writes tile-owned state from the band that owns the
+  /// tile, so — like counters and traces — profiles are bit-identical at
+  /// any thread count.
+  void set_profiler(telemetry::Profiler* profiler);
+  [[nodiscard]] telemetry::Profiler* profiler() const { return profiler_; }
+
   // --- seeded fault injection (docs/ROBUSTNESS.md) ---
 
   /// Attach a deterministic fault plan (nullptr detaches). The plan must
@@ -164,6 +178,7 @@ private:
   int threads_ = 1;
   std::unique_ptr<SimThreadPool> pool_;
   Tracer* user_tracer_ = nullptr;
+  telemetry::Profiler* profiler_ = nullptr;
   std::vector<std::unique_ptr<Tracer>> trace_staging_; ///< one per band
   std::vector<std::uint64_t> band_link_transfers_;
 

@@ -112,6 +112,9 @@ struct Instr {
 /// thread slot and continues; Sync runs one on the main thread to
 /// completion; the control steps manipulate task scheduling state exactly
 /// like the paper's block()/unblock()/activate() special instructions.
+/// SetPhase / MarkIteration are profiler annotations (docs/PROFILING.md):
+/// free control steps that never cost a datapath cycle, so instrumented and
+/// uninstrumented programs have bit-identical timing.
 struct TaskStep {
   enum class Kind : std::uint8_t {
     Launch,
@@ -120,12 +123,30 @@ struct TaskStep {
     Unblock,
     Activate,
     SetDone, ///< raise the tile's completion flag (stand-in for `bicg`)
+    SetPhase,      ///< set the core's sticky ProgPhase (target = phase value)
+    MarkIteration, ///< bump the core's iteration counter (profiler windows)
   };
   Kind kind{};
   int thread_slot = -1;
   Instr instr{};
   TaskId target = kNoTask;
 };
+
+/// Phase-marker step: annotates all following cycles (until the next
+/// marker) as belonging to `phase`.
+[[nodiscard]] inline TaskStep set_phase_step(ProgPhase phase) {
+  TaskStep s;
+  s.kind = TaskStep::Kind::SetPhase;
+  s.target = static_cast<int>(phase);
+  return s;
+}
+
+/// Iteration-boundary marker step (one per solver iteration, on every tile).
+[[nodiscard]] inline TaskStep mark_iteration_step() {
+  TaskStep s;
+  s.kind = TaskStep::Kind::MarkIteration;
+  return s;
+}
 
 struct Task {
   std::string name;

@@ -59,10 +59,18 @@ inline constexpr int kNumColors = 24;
 /// (the AllReduce moves one fp32 word per cycle per link), so a `wide`
 /// fp32 flit consumes a full link-cycle while two narrow fp16 flits share
 /// one — the packing that gives the fabric its 16 B/cycle injection rate.
+///
+/// Each flit also carries its provenance — the tile and cycle at which the
+/// core injected it. The simulator (not the modeled hardware) uses this to
+/// record wavelet dependency edges for the critical-path analyzer
+/// (docs/PROFILING.md); it has no effect on simulated behaviour.
 struct Flit {
   std::uint32_t payload = 0;
   Color color = 0;
   bool wide = false;
+  std::int16_t src_x = -1;      ///< injecting tile (simulator provenance)
+  std::int16_t src_y = -1;
+  std::uint32_t src_cycle = 0;  ///< fabric cycle of injection
 };
 
 /// Element types the datapath distinguishes.
@@ -79,5 +87,32 @@ inline constexpr TaskId kNoTask = -1;
 /// What an instruction's completion (or a FIFO push) does to a task,
 /// mirroring the paper's .trig/.act descriptor fields.
 enum class TrigAction : std::uint8_t { None, Activate, Unblock };
+
+/// Program phase, for cycle attribution (docs/PROFILING.md). Tile programs
+/// declare their current phase with free TaskStep::Kind::SetPhase control
+/// steps; the core keeps the value sticky until the next marker, so every
+/// cycle — compute, stall, or idle — lands in exactly one phase bin. The
+/// bins mirror the paper's per-iteration breakdown: streamed SpMV, local
+/// dot products, AXPY-family vector updates, the fabric AllReduce, and
+/// everything else (scalar recurrence, task bookkeeping) as Control.
+enum class ProgPhase : std::uint8_t {
+  Control = 0,
+  SpMV = 1,
+  Dot = 2,
+  Axpy = 3,
+  AllReduce = 4,
+};
+inline constexpr int kNumProgPhases = 5;
+
+[[nodiscard]] constexpr const char* to_string(ProgPhase p) {
+  switch (p) {
+    case ProgPhase::Control: return "control";
+    case ProgPhase::SpMV: return "spmv";
+    case ProgPhase::Dot: return "dot";
+    case ProgPhase::Axpy: return "axpy";
+    case ProgPhase::AllReduce: return "allreduce";
+  }
+  return "?";
+}
 
 } // namespace wss::wse

@@ -45,12 +45,16 @@ void append_allreduce_inject(TileProgram& prog, Task& task, int x, int y,
   (void)y;
   (void)width;
   (void)height;
+  // Free profiler phase marker (docs/PROFILING.md): cycles from here bin
+  // as AllReduce until the caller's next marker.
+  task.steps.push_back(set_phase_step(ProgPhase::AllReduce));
   sync(task, send_scalar(prog, color_base /* row-reduce color */, src_reg, 1));
 }
 
 void append_allreduce_complete(TileProgram& prog, Task& task, int x, int y,
                                int width, int height,
                                const AllReduceRegs& regs, Color color_base) {
+  task.steps.push_back(set_phase_step(ProgPhase::AllReduce));
   const AllReduceGeometry g = allreduce_geometry(width, height);
   const Color c_row = color_base;
   const Color c_col = static_cast<Color>(color_base + 1);

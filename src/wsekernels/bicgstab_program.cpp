@@ -76,7 +76,14 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
       auto sync = [](Task& t, Instr in) {
         t.steps.push_back({TaskStep::Kind::Sync, -1, in, kNoTask});
       };
+      // Free profiler phase markers (docs/PROFILING.md): each helper
+      // declares the phase its cycles belong to; the value is sticky
+      // until the next marker, so every cycle bins exactly once.
+      auto mark = [](Task& t, ProgPhase p) {
+        t.steps.push_back(set_phase_step(p));
+      };
       auto dot_into = [&](Task& t, int base_a, int base_b, int target_reg) {
+        mark(t, ProgPhase::Dot);
         Instr zero{};
         zero.op = OpKind::SetScalar;
         zero.scalar = kArLocal;
@@ -91,6 +98,7 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
                                {kArLocal, kArPartial, target_reg});
       };
       auto scalar_div = [&](Task& t, int dst, int num, int den) {
+        mark(t, ProgPhase::Control);
         Instr in{};
         in.op = OpKind::ScalarDiv;
         in.scalar = dst;
@@ -99,6 +107,7 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
         sync(t, in);
       };
       auto scalar_mul = [&](Task& t, int dst, int sa, int sb) {
+        mark(t, ProgPhase::Control);
         Instr in{};
         in.op = OpKind::ScalarMul;
         in.scalar = dst;
@@ -107,6 +116,7 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
         sync(t, in);
       };
       auto scalar_scale = [&](Task& t, int dst, int src, double f) {
+        mark(t, ProgPhase::Control);
         Instr in{};
         in.op = OpKind::ScalarMulImm;
         in.scalar = dst;
@@ -116,6 +126,7 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
       };
       auto xpay = [&](Task& t, int dst, int src1, int src2, int scalar_reg) {
         // dst = src1 + scalar * src2 (all element bases).
+        mark(t, ProgPhase::Axpy);
         Instr in{};
         in.op = OpKind::ScaleXPayV;
         in.dst = td(dst, Z);
@@ -125,6 +136,7 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
         sync(t, in);
       };
       auto axpy = [&](Task& t, int dst, int src, int scalar_reg) {
+        mark(t, ProgPhase::Axpy);
         Instr in{};
         in.op = OpKind::AxpyV;
         in.dst = td(dst, Z);
@@ -139,6 +151,8 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
       // --- Task 0: initial rho = (r0, r) ---
       Task init{"bicg_init", false, false, false, {}};
       dot_into(init, lay.r0, lay.r, kRho);
+      // Iteration window marker: the tile is entering iteration 1.
+      init.steps.push_back(mark_iteration_step());
       activate(init, 1); // first iteration's spmv1 entry
 
       prog.add_task(std::move(init));
@@ -192,6 +206,7 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
           // Fused: both dots injected back to back into two disjoint
           // reduction trees that flow through the fabric concurrently.
           {
+            mark(phase_b, ProgPhase::Dot);
             Instr zero{};
             zero.op = OpKind::SetScalar;
             zero.scalar = kArLocal;
@@ -239,6 +254,9 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
         scalar_scale(phase_b, kRho, kRhoNext, 1.0);
         xpay(phase_b, lay.s + 1, lay.p + 1, lay.s + 1, kNegOmega);
         xpay(phase_b, lay.p + 1, lay.r, lay.s + 1, kBeta);
+        // Iteration boundary: the tile is entering the next iteration (or
+        // the drain window, for the last one).
+        phase_b.steps.push_back(mark_iteration_step());
         if (id_next == kNoTask) {
           phase_b.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
         } else {

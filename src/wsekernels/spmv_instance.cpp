@@ -110,6 +110,11 @@ TaskId append_spmv_instance(TileProgram& prog, MemAllocator& mem,
   // --- spmv task body (Listing 1's order) ---
   const int slot0 = options.first_thread_slot;
   {
+    // Free profiler phase marker: all cycles of the streamed SpMV —
+    // including the priority summation tasks its FIFO pushes activate —
+    // bin as SpMV until the completion tree hands off to the caller.
+    spmv_task.steps.push_back(set_phase_step(ProgPhase::SpMV));
+
     Instr send{};
     send.op = OpKind::Send;
     send.src1 = t_send_src;

@@ -1,0 +1,198 @@
+// Tests for the paper-anchored performance report (docs/PROFILING.md):
+// make_perf_report joins a profiled BiCGStab simulation against the
+// Section V CS1Model per-phase predictions and projects to the paper's
+// 600x595x1536 / 28.1 us / 0.86 PFLOPS headline. Also covers the
+// WSS_PROF_JSON escape hatch (maybe_write_prof_json).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "perfmodel/cs1_model.hpp"
+#include "perfmodel/perf_report.hpp"
+#include "stencil/generators.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/profiler.hpp"
+#include "wse/fabric.hpp"
+#include "wsekernels/bicgstab_program.hpp"
+
+namespace wss::perfmodel {
+namespace {
+
+namespace jp = telemetry::jsonparse;
+
+struct ProfiledRun {
+  telemetry::Profiler prof;
+  int z = 0;
+  int iterations = 0;
+};
+
+ProfiledRun run_profiled(int nx, int ny, int z, int iterations) {
+  const Grid3 g(nx, ny, z);
+  auto ad = make_momentum_like7(g, 0.5, 7);
+  auto bd = make_rhs(ad, make_smooth_solution(g));
+  const auto bp = precondition_jacobi(ad, bd);
+  const auto a16 = convert_stencil<fp16_t>(ad);
+  const auto b16 = convert_field<fp16_t>(bp);
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  ProfiledRun run{telemetry::Profiler(nx, ny), z, iterations};
+  wsekernels::BicgstabSimulation s(a16, iterations, arch, sim);
+  s.fabric().set_profiler(&run.prof);
+  (void)s.run(b16);
+  s.fabric().set_profiler(nullptr);
+  return run;
+}
+
+TEST(PerfReport, JoinsMeasuredAgainstModelPhases) {
+  const ProfiledRun run = run_profiled(4, 4, 16, 2);
+  const CS1Model model;
+  const PerfReport r =
+      make_perf_report(run.prof, run.z, run.iterations, model);
+
+  EXPECT_EQ(r.fabric_x, 4);
+  EXPECT_EQ(r.fabric_y, 4);
+  EXPECT_EQ(r.z, 16);
+  EXPECT_EQ(r.iterations, 2);
+
+  // One row per program phase, with the documented model mapping.
+  ASSERT_EQ(r.phases.size(),
+            static_cast<std::size_t>(wse::kNumProgPhases));
+  double measured_sum = 0.0;
+  double model_sum = 0.0;
+  for (const PhaseRow& p : r.phases) {
+    EXPECT_GE(p.measured_cycles, 0.0) << p.phase;
+    measured_sum += p.measured_cycles;
+    model_sum += p.model_cycles;
+    if (p.phase == "spmv") {
+      EXPECT_DOUBLE_EQ(p.model_cycles, 2.0 * model.spmv_cycles(run.z));
+    } else if (p.phase == "dot") {
+      EXPECT_DOUBLE_EQ(p.model_cycles, 4.0 * model.dot_local_cycles(run.z));
+    } else if (p.phase == "axpy") {
+      EXPECT_DOUBLE_EQ(p.model_cycles, 6.0 * model.axpy_cycles(run.z));
+    } else if (p.phase == "allreduce") {
+      EXPECT_DOUBLE_EQ(p.model_cycles, 4.0 * model.allreduce_cycles(4, 4));
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.measured_cycles_per_iter, measured_sum);
+  EXPECT_DOUBLE_EQ(r.model_cycles_per_iter, model_sum);
+
+  // Totals tie back to the profiler: every attributed tile-cycle lands in
+  // some phase row (measured rows partition observed cycles).
+  const double attributed =
+      r.measured_cycles_per_iter *
+      static_cast<double>(run.prof.configured_tiles()) *
+      static_cast<double>(run.iterations);
+  const double observed =
+      static_cast<double>(run.prof.observed_cycles()) *
+      static_cast<double>(run.prof.configured_tiles());
+  EXPECT_NEAR(attributed, observed, 1e-6 * observed);
+
+  // Derived rates are consistent with the modeled clock and Table I.
+  EXPECT_NEAR(r.us_per_iter,
+              r.measured_cycles_per_iter / model.arch().clock_hz * 1e6,
+              1e-12);
+  EXPECT_GT(r.achieved_flops, 0.0);
+}
+
+TEST(PerfReport, WaferProjectionScalesTheSectionVModel) {
+  const ProfiledRun run = run_profiled(4, 4, 16, 2);
+  const CS1Model model;
+  const PerfReport r =
+      make_perf_report(run.prof, run.z, run.iterations, model);
+
+  const double ratio = r.measured_cycles_per_iter / r.model_cycles_per_iter;
+  EXPECT_NEAR(r.wafer_us_per_iter,
+              model.iteration_seconds(r.paper_mesh) * 1e6 * ratio, 1e-9);
+  // The anchors carried on every report are the paper's headline numbers.
+  EXPECT_DOUBLE_EQ(r.paper_us_per_iter, 28.1);
+  EXPECT_DOUBLE_EQ(r.paper_pflops, 0.86);
+  EXPECT_GT(r.wafer_pflops, 0.0);
+  // A faithful simulation should land within 2x of the paper's headline
+  // (the bench itself asserts ~4% agreement; this is a sanity floor).
+  EXPECT_GT(r.wafer_us_per_iter, r.paper_us_per_iter / 2.0);
+  EXPECT_LT(r.wafer_us_per_iter, r.paper_us_per_iter * 2.0);
+
+  // One critical-path summary per completed iteration window.
+  EXPECT_GE(r.critical_paths.size(),
+            static_cast<std::size_t>(run.iterations));
+}
+
+TEST(PerfReport, PrettyAndJsonCarryTheAnchors) {
+  const ProfiledRun run = run_profiled(3, 3, 12, 1);
+  const PerfReport r = make_perf_report(run.prof, run.z, run.iterations);
+
+  const std::string text = r.pretty();
+  EXPECT_NE(text.find("perf report: 3x3 fabric, Z=12"), std::string::npos);
+  EXPECT_NE(text.find("wafer projection (600x595x1536)"), std::string::npos);
+  EXPECT_NE(text.find("paper: 28.1 us, 0.86 PFLOPS"), std::string::npos);
+
+  const jp::ParseResult parsed = jp::parse(r.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const jp::Value& v = *parsed.value;
+  EXPECT_DOUBLE_EQ(v.find("paper_us_per_iter")->number, 28.1);
+  EXPECT_DOUBLE_EQ(v.find("paper_pflops")->number, 0.86);
+  ASSERT_NE(v.find("phases"), nullptr);
+  EXPECT_EQ(v.find("phases")->array->size(),
+            static_cast<std::size_t>(wse::kNumProgPhases));
+  ASSERT_NE(v.find("critical_paths"), nullptr);
+  EXPECT_EQ(v.find("critical_paths")->array->size(),
+            r.critical_paths.size());
+}
+
+TEST(PerfReport, MaybeWriteProfJsonHonorsTheEnvVar) {
+  const ProfiledRun run = run_profiled(3, 3, 8, 1);
+  const PerfReport r = make_perf_report(run.prof, run.z, run.iterations);
+
+  // Unset: a no-op that reports false without touching the filesystem.
+  ::unsetenv("WSS_PROF_JSON");
+  std::string path_out;
+  std::string error;
+  EXPECT_FALSE(maybe_write_prof_json(run.prof, &r, &path_out, &error));
+  EXPECT_TRUE(error.empty());
+
+  // Set: writes {"profile": ..., "perf_report": ...} to the named file.
+  const std::string path =
+      ::testing::TempDir() + "/wss_perf_report_test_prof.json";
+  ASSERT_EQ(::setenv("WSS_PROF_JSON", path.c_str(), 1), 0);
+  EXPECT_TRUE(maybe_write_prof_json(run.prof, &r, &path_out, &error))
+      << error;
+  EXPECT_EQ(path_out, path);
+  ::unsetenv("WSS_PROF_JSON");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const jp::ParseResult parsed = jp::parse(ss.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_NE(parsed.value->find("profile"), nullptr);
+  ASSERT_NE(parsed.value->find("perf_report"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      parsed.value->find("profile")->find("observed_cycles")->number,
+      static_cast<double>(run.prof.observed_cycles()));
+  std::remove(path.c_str());
+
+  // Report pointer may be null: profile-only document.
+  ASSERT_EQ(::setenv("WSS_PROF_JSON", path.c_str(), 1), 0);
+  EXPECT_TRUE(maybe_write_prof_json(run.prof, nullptr, &path_out, &error))
+      << error;
+  ::unsetenv("WSS_PROF_JSON");
+  std::ifstream in2(path);
+  ASSERT_TRUE(in2.good());
+  std::ostringstream ss2;
+  ss2 << in2.rdbuf();
+  const jp::ParseResult parsed2 = jp::parse(ss2.str());
+  ASSERT_TRUE(parsed2.ok()) << parsed2.error;
+  ASSERT_NE(parsed2.value->find("profile"), nullptr);
+  EXPECT_EQ(parsed2.value->find("perf_report"), nullptr);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace wss::perfmodel

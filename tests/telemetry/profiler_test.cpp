@@ -1,0 +1,324 @@
+// Cycle-attribution profiler (docs/PROFILING.md): conservation invariant
+// (every tile-cycle lands in exactly one phase x category bin), agreement
+// with the core's stall/idle counters (and therefore the stall/idle
+// heatmap layers), phase coverage on a real BiCGStab dataflow run,
+// iteration windows, crafted-fabric critical-path recovery, and the
+// profiler-category heatmap layers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stencil/generators.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/profiler.hpp"
+#include "wse/fabric.hpp"
+#include "wsekernels/bicgstab_program.hpp"
+#include "wsekernels/spmv3d_program.hpp"
+
+namespace wss::telemetry {
+namespace {
+
+struct ProfiledRun {
+  Profiler prof;
+  std::uint64_t cycles = 0;
+  wsekernels::BicgstabSimulation sim;
+};
+
+/// Run `iterations` of the BiCGStab dataflow on an nx x ny fabric with a
+/// profiler attached for the whole run.
+ProfiledRun run_profiled_bicgstab(int nx, int ny, int z, int iterations,
+                                  std::uint64_t seed = 7) {
+  const Grid3 g(nx, ny, z);
+  auto ad = make_momentum_like7(g, 0.5, seed);
+  auto bd = make_rhs(ad, make_smooth_solution(g));
+  const auto bp = precondition_jacobi(ad, bd);
+  const auto a16 = convert_stencil<fp16_t>(ad);
+  const auto b16 = convert_field<fp16_t>(bp);
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  ProfiledRun r{Profiler(nx, ny), 0,
+                wsekernels::BicgstabSimulation(a16, iterations, arch, sim)};
+  r.sim.fabric().set_profiler(&r.prof);
+  r.cycles = r.sim.run(b16).cycles;
+  r.sim.fabric().set_profiler(nullptr);
+  return r;
+}
+
+TEST(ProfilerConservation, EveryTileCycleAttributedExactlyOnce) {
+  ProfiledRun r = run_profiled_bicgstab(5, 4, 12, 3);
+  ASSERT_GT(r.prof.observed_cycles(), 0u);
+  EXPECT_EQ(r.prof.observed_cycles(), r.cycles);
+  ASSERT_EQ(r.prof.configured_tiles(), 5 * 4);
+
+  // Per tile: the phase x category matrix sums to the observed cycles.
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      const TileProfile& t = r.prof.tile(x, y);
+      ASSERT_TRUE(t.configured);
+      EXPECT_EQ(t.total_cycles(), r.prof.observed_cycles())
+          << "tile (" << x << "," << y << ")";
+      // Per phase: category bins partition the phase's cycles.
+      std::uint64_t phases = 0;
+      for (int p = 0; p < wse::kNumProgPhases; ++p) {
+        phases += t.phase_total(p);
+      }
+      EXPECT_EQ(phases, t.total_cycles());
+    }
+  }
+
+  // Aggregate: totals() over tiles conserves too, and to_json agrees.
+  const PhaseCatMatrix m = r.prof.totals();
+  std::uint64_t grand = 0;
+  for (const auto& row : m) {
+    for (const std::uint64_t v : row) grand += v;
+  }
+  EXPECT_EQ(grand, r.prof.observed_cycles() *
+                       static_cast<std::uint64_t>(r.prof.configured_tiles()));
+
+  const auto doc = jsonparse::parse(r.prof.to_json());
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  const jsonparse::Value* conserved = doc.value->find("conserved");
+  ASSERT_NE(conserved, nullptr);
+  EXPECT_TRUE(conserved->boolean);
+}
+
+TEST(ProfilerConservation, CategoriesMatchCoreStallIdleCounters) {
+  // On a fault-free run the attribution must reproduce the core's own
+  // counters exactly: Compute == instr_cycles, SendBlocked + RecvStarved
+  // == stall_cycles, Idle == idle_cycles — which also pins the profiler
+  // to the stall/idle heatmap layers harvested from the same counters.
+  ProfiledRun r = run_profiled_bicgstab(4, 4, 10, 2);
+  const FabricHeatmaps maps = collect_heatmaps(r.sim.fabric());
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      const TileProfile& t = r.prof.tile(x, y);
+      const wse::CoreStats& cs = r.sim.fabric().core(x, y).stats();
+      const std::string at =
+          "tile (" + std::to_string(x) + "," + std::to_string(y) + ")";
+      EXPECT_EQ(t.cat_total(static_cast<int>(CycleCat::Compute)),
+                cs.instr_cycles)
+          << at;
+      EXPECT_EQ(t.cat_total(static_cast<int>(CycleCat::SendBlocked)) +
+                    t.cat_total(static_cast<int>(CycleCat::RecvStarved)),
+                cs.stall_cycles)
+          << at;
+      EXPECT_EQ(t.cat_total(static_cast<int>(CycleCat::Idle)),
+                cs.idle_cycles)
+          << at;
+      EXPECT_EQ(t.cat_total(static_cast<int>(CycleCat::RouterStall)), 0u)
+          << at;
+      EXPECT_EQ(t.cat_total(static_cast<int>(CycleCat::FaultStall)), 0u)
+          << at;
+      // ... and the heatmap layers see the same numbers.
+      EXPECT_EQ(maps.stall_cycles.at(x, y),
+                static_cast<double>(cs.stall_cycles))
+          << at;
+      EXPECT_EQ(maps.idle_cycles.at(x, y),
+                static_cast<double>(cs.idle_cycles))
+          << at;
+    }
+  }
+}
+
+TEST(ProfilerPhases, BicgstabRunTouchesEveryProgramPhase) {
+  ProfiledRun r = run_profiled_bicgstab(6, 6, 16, 3);
+  const PhaseCatMatrix m = r.prof.totals();
+  for (const wse::ProgPhase p :
+       {wse::ProgPhase::SpMV, wse::ProgPhase::Dot, wse::ProgPhase::Axpy,
+        wse::ProgPhase::AllReduce, wse::ProgPhase::Control}) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : m[static_cast<std::size_t>(p)]) total += v;
+    EXPECT_GT(total, 0u) << "phase " << wse::to_string(p);
+  }
+  // The solve phases must also show real compute, not just stalls.
+  for (const wse::ProgPhase p : {wse::ProgPhase::SpMV, wse::ProgPhase::Dot,
+                                 wse::ProgPhase::Axpy}) {
+    EXPECT_GT(m[static_cast<std::size_t>(p)]
+               [static_cast<std::size_t>(CycleCat::Compute)],
+              0u)
+        << "phase " << wse::to_string(p);
+  }
+}
+
+TEST(ProfilerIterations, WindowsMatchIterationCount) {
+  const int iterations = 4;
+  ProfiledRun r = run_profiled_bicgstab(4, 4, 8, iterations);
+  const auto windows = r.prof.iteration_windows();
+  // The program marks each iteration entry plus the final drain window.
+  ASSERT_GE(windows.size(), static_cast<std::size_t>(iterations));
+  std::uint64_t prev_hi = 0;
+  for (const auto& [lo, hi] : windows) {
+    EXPECT_LT(lo, hi);
+    EXPECT_GE(lo, prev_hi);
+    prev_hi = hi;
+  }
+  EXPECT_LE(windows.back().second, r.prof.observed_cycles());
+
+  // Every completed window yields a critical path inside the window.
+  for (const CriticalPath& p : per_iteration_critical_paths(r.prof)) {
+    if (p.hops.empty()) continue; // drain window may hold no compute
+    EXPECT_GE(p.end_cycle, p.start_cycle);
+    EXPECT_FALSE(p.truncated);
+    EXPECT_FALSE(p.pretty().empty());
+  }
+}
+
+// --- crafted-fabric critical path ---------------------------------------
+
+/// Build a 3x1 chain by hand: tile 0 computes [0,9] and its cycle-9 word
+/// reaches tile 1 at 12; tile 1 computes [12,19], reaches tile 2 at 22;
+/// tile 2 computes [22,29]. The walk must recover exactly this chain.
+Profiler crafted_chain() {
+  Profiler prof(3, 1);
+  for (int x = 0; x < 3; ++x) prof.mark_configured(x, 0);
+  auto compute = [&](int x, std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t c = lo; c <= hi; ++c) {
+      prof.record_cycle(x, 0, wse::ProgPhase::SpMV, CycleCat::Compute, c);
+    }
+  };
+  auto recv = [&](int x, std::uint64_t at, int src_x, std::uint32_t sent) {
+    wse::Flit f;
+    f.src_x = static_cast<std::int16_t>(src_x);
+    f.src_y = 0;
+    f.src_cycle = sent;
+    prof.record_recv(x, 0, at, f);
+  };
+  compute(0, 0, 9);
+  recv(1, 12, 0, 9);
+  compute(1, 12, 19);
+  recv(2, 22, 1, 19);
+  compute(2, 22, 29);
+  for (std::uint64_t c = 0; c < 30; ++c) prof.add_observed_cycle();
+  return prof;
+}
+
+TEST(CriticalPath, CraftedChainRecoveredExactly) {
+  const Profiler prof = crafted_chain();
+  const CriticalPath p = critical_path(prof, 0, 30);
+  EXPECT_FALSE(p.truncated);
+  EXPECT_EQ(p.start_cycle, 0u);
+  EXPECT_EQ(p.end_cycle, 29u);
+  EXPECT_EQ(p.length_cycles(), 29u);
+  ASSERT_EQ(p.hops.size(), 3u);
+  EXPECT_EQ(p.tile_hops(), 2u);
+  // Chronological: source tile first.
+  EXPECT_EQ(p.hops[0].x, 0);
+  EXPECT_EQ(p.hops[0].from_cycle, 0u);
+  EXPECT_EQ(p.hops[0].until_cycle, 9u);
+  EXPECT_EQ(p.hops[1].x, 1);
+  EXPECT_EQ(p.hops[1].from_cycle, 12u);
+  EXPECT_EQ(p.hops[1].until_cycle, 19u);
+  EXPECT_EQ(p.hops[2].x, 2);
+  EXPECT_EQ(p.hops[2].from_cycle, 22u);
+  EXPECT_EQ(p.hops[2].until_cycle, 29u);
+}
+
+TEST(CriticalPath, WindowRestrictsTheWalk) {
+  const Profiler prof = crafted_chain();
+  // A window starting after tile 0's send must cut the chain at tile 1.
+  const CriticalPath p = critical_path(prof, 10, 30);
+  ASSERT_EQ(p.hops.size(), 2u);
+  EXPECT_EQ(p.hops[0].x, 1);
+  EXPECT_EQ(p.hops[1].x, 2);
+  EXPECT_EQ(p.end_cycle, 29u);
+  // An empty window yields an empty path.
+  EXPECT_TRUE(critical_path(prof, 30, 30).hops.empty());
+}
+
+TEST(CriticalPath, HopCapSetsTruncatedFlag) {
+  const Profiler prof = crafted_chain();
+  const CriticalPath p = critical_path(prof, 0, 30, /*max_hops=*/1);
+  EXPECT_TRUE(p.truncated);
+  EXPECT_LE(p.hops.size(), 2u);
+}
+
+TEST(CriticalPath, RecvLogOverflowSetsTruncatedFlag) {
+  Profiler prof(1, 1);
+  prof.mark_configured(0, 0);
+  wse::Flit f;
+  f.src_x = 0;
+  f.src_y = 0;
+  f.src_cycle = 0;
+  for (std::size_t i = 0; i < Profiler::kMaxRecvRecords + 3; ++i) {
+    prof.record_recv(0, 0, i + 1, f);
+  }
+  EXPECT_EQ(prof.tile(0, 0).recvs.size(), Profiler::kMaxRecvRecords);
+  EXPECT_EQ(prof.tile(0, 0).recvs_dropped, 3u);
+  prof.record_cycle(0, 0, wse::ProgPhase::SpMV, CycleCat::Compute, 5);
+  prof.add_observed_cycle();
+  const CriticalPath p = critical_path(prof, 0, 10);
+  EXPECT_TRUE(p.truncated);
+}
+
+// --- profiler-category heatmap layers -----------------------------------
+
+TEST(ProfilerHeatmaps, OneLayerPerCategoryMatchingTotals) {
+  ProfiledRun r = run_profiled_bicgstab(4, 3, 8, 2);
+  const std::vector<Heatmap> maps = profiler_heatmaps(r.prof);
+  ASSERT_EQ(maps.size(), static_cast<std::size_t>(kNumCycleCats));
+  for (int c = 0; c < kNumCycleCats; ++c) {
+    const Heatmap& m = maps[static_cast<std::size_t>(c)];
+    EXPECT_EQ(m.name,
+              std::string("prof_") + to_string(static_cast<CycleCat>(c)));
+    EXPECT_EQ(m.width, 4);
+    EXPECT_EQ(m.height, 3);
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        EXPECT_EQ(m.at(x, y),
+                  static_cast<double>(r.prof.tile(x, y).cat_total(c)));
+      }
+    }
+    EXPECT_FALSE(m.to_csv().empty());
+    EXPECT_FALSE(m.ascii().empty());
+  }
+  // The category layers partition the observed cycles tile-by-tile.
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      double sum = 0.0;
+      for (const Heatmap& m : maps) sum += m.at(x, y);
+      EXPECT_EQ(sum, static_cast<double>(r.prof.observed_cycles()));
+    }
+  }
+}
+
+TEST(ProfilerJson, ReportsShapeAndWindows) {
+  ProfiledRun r = run_profiled_bicgstab(4, 4, 8, 2);
+  const auto doc = jsonparse::parse(r.prof.to_json());
+  ASSERT_TRUE(doc.ok()) << doc.error;
+  EXPECT_EQ(doc.value->find("width")->number, 4.0);
+  EXPECT_EQ(doc.value->find("height")->number, 4.0);
+  EXPECT_EQ(doc.value->find("configured_tiles")->number, 16.0);
+  const jsonparse::Value* phases = doc.value->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_TRUE(phases->is_object());
+  EXPECT_EQ(phases->object->size(),
+            static_cast<std::size_t>(wse::kNumProgPhases));
+  const jsonparse::Value* windows = doc.value->find("iteration_windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_TRUE(windows->is_array());
+  EXPECT_GE(windows->array->size(), 2u);
+  EXPECT_FALSE(r.prof.pretty().empty());
+}
+
+TEST(ProfilerAttach, DimensionMismatchThrows) {
+  const Grid3 g(3, 3, 4);
+  auto ad = make_momentum_like7(g, 0.5, 3);
+  Field3<double> dummy(g, 1.0);
+  (void)precondition_jacobi(ad, dummy); // normalize the diagonal in place
+  const auto a16 = convert_stencil<fp16_t>(ad);
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  wsekernels::SpMV3DSimulation s(a16, arch, sim);
+  Profiler wrong(2, 3);
+  EXPECT_THROW(s.fabric().set_profiler(&wrong), std::invalid_argument);
+  Profiler right(3, 3);
+  EXPECT_NO_THROW(s.fabric().set_profiler(&right));
+  s.fabric().set_profiler(nullptr);
+}
+
+} // namespace
+} // namespace wss::telemetry
