@@ -5,20 +5,91 @@
 // transfers, per-core datapath occupancy.
 //
 //   ./wafer_explorer [fabric_n] [z]
+//   ./wafer_explorer --postmortem <bundle.json>
+//
+// The second form replays a black-box post-mortem bundle (written under
+// $WSS_POSTMORTEM_DIR when a run deadlocks or breaks down; see
+// docs/POSTMORTEM.md): the bundle summary, then the recorded flight
+// events of every tile merged into one chronological timeline — the last
+// moments of the run, in fabric order.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "stencil/generators.hpp"
+#include "telemetry/postmortem.hpp"
 #include "wse/route_compiler.hpp"
 #include "wse/trace.hpp"
 #include "wsekernels/allreduce_program.hpp"
 #include "wsekernels/spmv3d_program.hpp"
 
+namespace {
+
+/// Replay mode: pretty-print the bundle, then merge every tile's ring
+/// into one cycle-ordered timeline (ties broken row-major, the same order
+/// the serial simulator would have executed them).
+int replay_postmortem(const char* path) {
+  using wss::telemetry::Bundle;
+  wss::telemetry::Bundle bundle;
+  std::string error;
+  if (!wss::telemetry::load_bundle(path, &bundle, &error)) {
+    std::fprintf(stderr, "wafer_explorer: %s\n", error.c_str());
+    return 2;
+  }
+  std::fputs(wss::telemetry::pretty_bundle(bundle).c_str(), stdout);
+
+  struct Line {
+    std::uint64_t cycle;
+    int y, x;
+    std::string text;
+  };
+  std::vector<Line> timeline;
+  for (const auto& tile : bundle.tiles) {
+    for (const auto& ev : tile.events) {
+      std::string text = "(";
+      text += std::to_string(tile.x);
+      text += ',';
+      text += std::to_string(tile.y);
+      text += ") ";
+      text += ev.summary();
+      timeline.push_back({ev.cycle, tile.y, tile.x, std::move(text)});
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const Line& a, const Line& b) {
+                     if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                     if (a.y != b.y) return a.y < b.y;
+                     return a.x < b.x;
+                   });
+  constexpr std::size_t kMaxLines = 64;
+  const std::size_t start =
+      timeline.size() > kMaxLines ? timeline.size() - kMaxLines : 0;
+  std::printf("\nmerged replay timeline (last %zu of %zu recorded events):\n",
+              timeline.size() - start, timeline.size());
+  for (std::size_t i = start; i < timeline.size(); ++i) {
+    std::printf("  %s\n", timeline[i].text.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
   using namespace wss;
+
+  if (argc >= 2 && std::strcmp(argv[1], "--postmortem") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr,
+                   "usage: wafer_explorer --postmortem <bundle.json>\n");
+      return 1;
+    }
+    return replay_postmortem(argv[2]);
+  }
 
   int n = 8;
   int z = 64;

@@ -1,0 +1,100 @@
+#pragma once
+
+// Strict environment-variable parsing for every WSS_* knob. Historically
+// each consumer called getenv + strtol and *silently ignored* garbage
+// ("WSS_SIM_THREADS=fast" ran serial with no hint why) — a forensics
+// hazard: a run you believed was parallel, or watched by a watchdog, was
+// not. These helpers fail loudly instead, naming the offending variable
+// and value, so a typo dies at startup rather than corrupting a long run.
+//
+// Conventions:
+//  * unset        -> the caller's fallback (env vars stay opt-in),
+//  * set to junk  -> std::runtime_error naming variable, value and reason,
+//  * below min    -> error (a nonsensical request, e.g. 0 threads),
+//  * above max    -> clamped (matches the documented clamp semantics of
+//                    e.g. Fabric::set_threads).
+//
+// Header-only so the simulator core (wss_wse), the telemetry layer, the
+// bench harness and the tests all share one parser without new link deps.
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace wss::env {
+
+[[noreturn]] inline void fail(const char* name, const char* value,
+                              const std::string& why) {
+  throw std::runtime_error(std::string("invalid ") + name + "='" +
+                           (value != nullptr ? value : "") + "': " + why);
+}
+
+/// Raw lookup: nullptr when unset.
+[[nodiscard]] inline const char* raw(const char* name) {
+  return std::getenv(name);
+}
+
+/// True iff `name` is set (even to the empty string).
+[[nodiscard]] inline bool is_set(const char* name) {
+  return std::getenv(name) != nullptr;
+}
+
+/// Signed integer knob in [min_value, max_value]. Unset -> fallback;
+/// non-numeric / trailing junk / empty / below min -> error naming the
+/// variable; above max -> clamped to max.
+[[nodiscard]] inline long long parse_int(const char* name, long long fallback,
+                                         long long min_value,
+                                         long long max_value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  if (*text == '\0') fail(name, text, "empty value (unset it instead)");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') fail(name, text, "not an integer");
+  if (errno == ERANGE) fail(name, text, "out of range");
+  if (v < min_value) {
+    fail(name, text, "must be >= " + std::to_string(min_value));
+  }
+  return v > max_value ? max_value : v;
+}
+
+/// Unsigned 64-bit knob (e.g. seeds, cycle thresholds). Same contract as
+/// parse_int; explicitly rejects negative input instead of wrapping.
+[[nodiscard]] inline std::uint64_t parse_u64(const char* name,
+                                             std::uint64_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  if (*text == '\0') fail(name, text, "empty value (unset it instead)");
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '-') fail(name, text, "must be non-negative");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') fail(name, text, "not an integer");
+  if (errno == ERANGE) fail(name, text, "out of range");
+  return static_cast<std::uint64_t>(v);
+}
+
+/// String knob (paths, directories). Unset -> empty string; set-but-empty
+/// is an error (an empty output directory is never what was meant).
+[[nodiscard]] inline std::string parse_string(const char* name) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return {};
+  if (*text == '\0') fail(name, text, "empty value (unset it instead)");
+  return text;
+}
+
+/// Same contract as parse_string for callers that keep the C-string shape
+/// (nullptr = unset): validates loudly, then returns getenv's pointer.
+[[nodiscard]] inline const char* parse_cstr(const char* name) {
+  const char* text = std::getenv(name);
+  if (text != nullptr && *text == '\0') {
+    fail(name, text, "empty value (unset it instead)");
+  }
+  return text;
+}
+
+} // namespace wss::env

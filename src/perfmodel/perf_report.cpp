@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/env.hpp"
 #include "telemetry/io.hpp"
 #include "telemetry/json.hpp"
 
@@ -180,7 +181,7 @@ std::string PerfReport::to_json() const {
 bool maybe_write_prof_json(const telemetry::Profiler& prof,
                            const PerfReport* report, std::string* path_out,
                            std::string* error) {
-  const char* path = std::getenv("WSS_PROF_JSON");
+  const char* path = env::parse_cstr("WSS_PROF_JSON");
   if (path == nullptr || path[0] == '\0') return false;
   telemetry::json::Writer w;
   w.begin_object();

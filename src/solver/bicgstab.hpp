@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "solver/blas.hpp"
+#include "telemetry/postmortem.hpp"
 #include "telemetry/probe.hpp"
 
 namespace wss {
@@ -103,6 +104,12 @@ struct SolveControls {
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::SpanTracer* spans = nullptr;
   const char* probe_name = "solver";
+  /// Optional scalar flight recorder (docs/POSTMORTEM.md): with this set,
+  /// every iteration's rho / alpha / omega / beta / residual lands in the
+  /// bounded history, and a breakdown or NaN stop snapshots it into a
+  /// post-mortem bundle when WSS_POSTMORTEM_DIR is set — the host-side
+  /// "cycles leading up to the NaN". Null = zero overhead.
+  telemetry::ScalarHistory* scalars = nullptr;
 };
 
 /// Optional per-iteration observer: called with the iteration index and
@@ -130,6 +137,33 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
   telemetry::SolverProbe probe(controls.metrics, controls.spans,
                                controls.probe_name);
   auto solve_span = probe.phase("bicgstab");
+
+  // Null-tolerant scalar history (one pointer test per record) and the
+  // host-side anomaly trigger: breakdowns and NaN stops snapshot the
+  // recorded scalars into a post-mortem bundle (inert unless
+  // WSS_POSTMORTEM_DIR is set; see telemetry/postmortem.hpp).
+  const auto record_scalar = [&](std::uint64_t it, const char* name,
+                                 double value) {
+    if (controls.scalars != nullptr) {
+      controls.scalars->record(it, name, value);
+    }
+  };
+  const auto report_breakdown = [&]() {
+    if (result.reason != StopReason::Breakdown) return;
+    telemetry::AnomalyInfo anomaly;
+    anomaly.kind = (result.breakdown == BreakdownKind::NonFiniteScalar ||
+                    result.breakdown == BreakdownKind::NonFiniteResidual)
+                       ? telemetry::AnomalyInfo::Kind::NanScalar
+                       : telemetry::AnomalyInfo::Kind::Breakdown;
+    anomaly.cycle = static_cast<std::uint64_t>(result.iterations);
+    anomaly.detail = std::string("bicgstab breakdown: ") +
+                     to_string(result.breakdown) + " at iteration " +
+                     std::to_string(result.iterations);
+    telemetry::PostmortemInputs inputs;
+    inputs.scalars = controls.scalars;
+    inputs.program = controls.probe_name;
+    (void)telemetry::maybe_write_postmortem(anomaly, inputs);
+  };
 
   std::vector<T> r(n), r0(n), p(n), s(n), y(n), q(n), ax(n);
 
@@ -162,6 +196,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     result.breakdown = BreakdownKind::NonFiniteResidual;
     probe.finish(to_string(result.reason), result.iterations,
                  result.final_residual());
+    report_breakdown();
     return result;
   }
 
@@ -203,6 +238,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     // beta below) — a vanished or poisoned rho is a breakdown now, not a
     // silent NaN in the next iterate. A restart consumes this slot.
     const double rho_d = to_double(rho);
+    record_scalar(static_cast<std::uint64_t>(it), "rho", rho_d);
     if (!std::isfinite(rho_d)) {
       if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
@@ -237,6 +273,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
     }
+    record_scalar(static_cast<std::uint64_t>(it), "alpha", alpha_d);
     const T alpha = from_double<T>(alpha_d);
 
     // q = r - alpha s
@@ -277,6 +314,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       }
       break;
     }
+    record_scalar(static_cast<std::uint64_t>(it), "omega", omega_d);
     const T omega = from_double<T>(omega_d);
 
     {
@@ -310,6 +348,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       if (try_restart(BreakdownKind::NonFiniteResidual)) continue;
       break;
     }
+    record_scalar(static_cast<std::uint64_t>(it), "residual", rnorm / bnorm);
     result.relative_residuals.push_back(rnorm / bnorm);
     ++result.iterations;
     probe.iteration(result.iterations, rnorm / bnorm, result.flops.total());
@@ -343,6 +382,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       if (try_restart(BreakdownKind::NonFiniteScalar)) continue;
       break;
     }
+    record_scalar(static_cast<std::uint64_t>(it), "beta", beta_d);
     const T beta = from_double<T>(beta_d);
     rho = rho_next;
 
@@ -360,6 +400,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
 
   probe.finish(to_string(result.reason), result.iterations,
                result.final_residual());
+  report_breakdown();
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/env.hpp"
 #include "telemetry/global.hpp"
 #include "telemetry/io.hpp"
 #include "telemetry/json.hpp"
@@ -13,7 +14,7 @@
 
 namespace wss::telemetry {
 
-const char* json_out_dir() { return std::getenv("WSS_JSON_OUT"); }
+const char* json_out_dir() { return env::parse_cstr("WSS_JSON_OUT"); }
 
 std::string default_report_name(const std::string& fallback) {
   std::string raw;

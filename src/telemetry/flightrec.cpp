@@ -1,0 +1,78 @@
+#include "telemetry/flightrec.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wss::telemetry {
+
+bool flight_event_kind_from_string(const std::string& name,
+                                   FlightEventKind* out) {
+  for (int k = 0; k < kNumFlightEventKinds; ++k) {
+    const auto kind = static_cast<FlightEventKind>(k);
+    if (name == to_string(kind)) {
+      if (out != nullptr) *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format_flight_event(const FlightEvent& ev) {
+  std::string out = "c";
+  out += std::to_string(ev.cycle);
+  out += ' ';
+  out += to_string(ev.kind);
+  switch (ev.kind) {
+    case FlightEventKind::WaveletDelivered: {
+      out += " color=" + std::to_string(ev.a);
+      char hex[16];
+      std::snprintf(hex, sizeof(hex), "0x%08x",
+                    static_cast<unsigned>(ev.b));
+      out += " payload=" + std::string(hex);
+      if (ev.c >= 0) {
+        out += " from (" + std::to_string(packed_tile_x(ev.c)) + "," +
+               std::to_string(packed_tile_y(ev.c)) + ")@" +
+               std::to_string(ev.d);
+      }
+      break;
+    }
+    case FlightEventKind::TaskActivate:
+    case FlightEventKind::TaskUnblock:
+    case FlightEventKind::TaskBlock:
+    case FlightEventKind::TaskStart:
+    case FlightEventKind::TaskEnd:
+      out += " task=" + std::to_string(ev.a);
+      break;
+    case FlightEventKind::FifoHighwater:
+      out += " fifo=" + std::to_string(ev.a) +
+             " occupancy=" + std::to_string(ev.b);
+      break;
+    case FlightEventKind::PhaseMark:
+      out += " ";
+      out += wse::to_string(static_cast<wse::ProgPhase>(ev.a));
+      break;
+    case FlightEventKind::IterationMark:
+      out += " iter=" + std::to_string(ev.a);
+      break;
+  }
+  return out;
+}
+
+std::string FlightRecorder::pretty_tile(int x, int y,
+                                        std::size_t last_k) const {
+  const auto evs = events(x, y);
+  const std::uint64_t lost = dropped_events(x, y);
+  std::string out = "tile (" + std::to_string(x) + "," + std::to_string(y) +
+                    "): " + std::to_string(total_events(x, y)) + " events";
+  if (lost > 0) out += " (" + std::to_string(lost) + " overwritten)";
+  out += "\n";
+  const std::size_t n = evs.size();
+  const std::size_t first = n > last_k ? n - last_k : 0;
+  if (first > 0) out += "  ... " + std::to_string(first) + " earlier\n";
+  for (std::size_t i = first; i < n; ++i) {
+    out += "  " + format_flight_event(evs[i]) + "\n";
+  }
+  return out;
+}
+
+} // namespace wss::telemetry

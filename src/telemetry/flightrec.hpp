@@ -1,0 +1,240 @@
+#pragma once
+
+// Black-box flight recorder for the fabric simulator (docs/POSTMORTEM.md).
+//
+// When attached (Fabric::set_flight_recorder), every configured tile keeps
+// a bounded ring buffer of its last `depth` forensic events: wavelet
+// deliveries off the ramp, task state transitions (activate / block /
+// unblock / start / end), software-FIFO high-water advances, ProgPhase
+// marks, and iteration marks. On an anomaly (deadlock watchdog, NaN
+// scalar, solver breakdown, fault storm) the post-mortem writer
+// (telemetry/postmortem.hpp) snapshots these rings into a versioned JSON
+// bundle — the last moments before the anomaly, per tile.
+//
+// Determinism and non-perturbation are both by construction:
+//  * every recording call writes only state owned by the tile being
+//    recorded, and the fabric/core call it from the row band that owns the
+//    tile — the same ownership discipline that makes counters, traces and
+//    profiles bit-identical under WSS_SIM_THREADS (docs/SIMULATOR.md), so
+//    recorded rings are bit-identical at any host thread count;
+//  * the recorder only *observes*: no hook feeds a value back into the
+//    simulation, so attaching one cannot change a single simulated bit
+//    (tests/telemetry/flightrec_test.cpp proves result bits, cycle counts,
+//    heatmaps and traces are identical with the recorder on and off).
+//
+// Like telemetry/profiler.hpp, the recording surface is header-only on
+// purpose: wss_wse does not link wss_telemetry, so fabric.cpp / core.cpp
+// may include this header and call the inline recorders without creating a
+// library cycle. Analysis and JSON emission live in flightrec.cpp /
+// postmortem.cpp inside wss_telemetry.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wse/types.hpp"
+
+namespace wss::telemetry {
+
+/// What happened. The a/b/c/d payload fields are kind-specific (see each
+/// enumerator); unused fields are zero.
+enum class FlightEventKind : std::uint8_t {
+  /// A wavelet left the router's virtual-channel queue and was delivered
+  /// to this tile's core. a = color, b = payload bits (as int32),
+  /// c = packed source tile ((src_x << 16) | (src_y & 0xffff), -1 when the
+  /// flit has no provenance), d = injection cycle at the source.
+  WaveletDelivered = 0,
+  /// A task became activated (instruction/FIFO trigger or control step).
+  /// a = task id.
+  TaskActivate = 1,
+  /// A task's blocked flag was cleared. a = task id.
+  TaskUnblock = 2,
+  /// A task's blocked flag was set (control step). a = task id.
+  TaskBlock = 3,
+  /// The scheduler picked a task to run. a = task id.
+  TaskStart = 4,
+  /// A task's step list was exhausted. a = task id.
+  TaskEnd = 5,
+  /// A software FIFO reached a new per-core occupancy high-water mark.
+  /// a = fifo index, b = new high-water occupancy.
+  FifoHighwater = 6,
+  /// A SetPhase control step executed. a = new ProgPhase.
+  PhaseMark = 7,
+  /// A MarkIteration control step executed. a = new iteration (low 32).
+  IterationMark = 8,
+};
+inline constexpr int kNumFlightEventKinds = 9;
+
+[[nodiscard]] constexpr const char* to_string(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::WaveletDelivered: return "wavelet";
+    case FlightEventKind::TaskActivate: return "activate";
+    case FlightEventKind::TaskUnblock: return "unblock";
+    case FlightEventKind::TaskBlock: return "block";
+    case FlightEventKind::TaskStart: return "task_start";
+    case FlightEventKind::TaskEnd: return "task_end";
+    case FlightEventKind::FifoHighwater: return "fifo_highwater";
+    case FlightEventKind::PhaseMark: return "phase";
+    case FlightEventKind::IterationMark: return "iteration";
+  }
+  return "?";
+}
+
+/// Parse the wire name back to a kind (bundle loading); false on unknown.
+[[nodiscard]] bool flight_event_kind_from_string(const std::string& name,
+                                                 FlightEventKind* out);
+
+struct FlightEvent {
+  std::uint64_t cycle = 0;
+  FlightEventKind kind = FlightEventKind::WaveletDelivered;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t d = 0;
+
+  [[nodiscard]] bool operator==(const FlightEvent& o) const {
+    return cycle == o.cycle && kind == o.kind && a == o.a && b == o.b &&
+           c == o.c && d == o.d;
+  }
+};
+
+/// Pack / unpack the WaveletDelivered source-tile field.
+[[nodiscard]] constexpr std::int32_t pack_tile(int x, int y) {
+  return static_cast<std::int32_t>((static_cast<std::uint32_t>(x) << 16) |
+                                   (static_cast<std::uint32_t>(y) & 0xffffu));
+}
+[[nodiscard]] constexpr int packed_tile_x(std::int32_t packed) {
+  return static_cast<int>(static_cast<std::uint32_t>(packed) >> 16);
+}
+[[nodiscard]] constexpr int packed_tile_y(std::int32_t packed) {
+  return static_cast<int>(static_cast<std::uint32_t>(packed) & 0xffffu);
+}
+
+/// One tile's bounded ring. `ring` has capacity slots; `head` is the next
+/// write index; `total` counts every event ever recorded (so
+/// total - size() is the number overwritten).
+struct TileFlightLog {
+  std::vector<FlightEvent> ring;
+  std::size_t head = 0;
+  std::uint64_t total = 0;
+  bool configured = false;
+
+  [[nodiscard]] std::size_t size(std::size_t capacity) const {
+    return total < capacity ? static_cast<std::size_t>(total) : capacity;
+  }
+};
+
+class FlightRecorder {
+public:
+  static constexpr std::size_t kDefaultDepth = 256;
+  static constexpr std::size_t kMaxDepth = std::size_t{1} << 20;
+
+  /// `depth` = events retained per tile (clamped to [1, kMaxDepth]).
+  FlightRecorder(int width, int height, std::size_t depth = kDefaultDepth)
+      : width_(width), height_(height),
+        depth_(depth < 1 ? 1 : (depth > kMaxDepth ? kMaxDepth : depth)),
+        tiles_(static_cast<std::size_t>(width) *
+               static_cast<std::size_t>(height)) {}
+
+  // --- recording (inline; called by fabric/core under band ownership) ---
+
+  void mark_configured(int x, int y) { tile_mut(x, y).configured = true; }
+
+  void record(int x, int y, std::uint64_t cycle, FlightEventKind kind,
+              std::int32_t a = 0, std::int32_t b = 0, std::int32_t c = 0,
+              std::int32_t d = 0) {
+    TileFlightLog& t = tile_mut(x, y);
+    const FlightEvent ev{cycle, kind, a, b, c, d};
+    if (t.ring.size() < depth_) {
+      t.ring.push_back(ev);
+    } else {
+      t.ring[t.head] = ev;
+    }
+    t.head = (t.head + 1) % depth_;
+    ++t.total;
+  }
+
+  /// Wavelet-delivery convenience used by the fabric's route phase.
+  void record_wavelet(int x, int y, std::uint64_t cycle,
+                      const wse::Flit& flit) {
+    record(x, y, cycle, FlightEventKind::WaveletDelivered,
+           static_cast<std::int32_t>(flit.color),
+           static_cast<std::int32_t>(flit.payload),
+           flit.src_x < 0 || flit.src_y < 0
+               ? std::int32_t{-1}
+               : pack_tile(flit.src_x, flit.src_y),
+           static_cast<std::int32_t>(flit.src_cycle));
+  }
+
+  // --- inspection ---
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] const TileFlightLog& tile(int x, int y) const {
+    return tiles_[index(x, y)];
+  }
+  /// Retained events of tile (x, y) in chronological order.
+  [[nodiscard]] std::vector<FlightEvent> events(int x, int y) const {
+    const TileFlightLog& t = tiles_[index(x, y)];
+    std::vector<FlightEvent> out;
+    const std::size_t n = t.size(depth_);
+    out.reserve(n);
+    // Oldest retained event sits at `head` once the ring has wrapped.
+    const std::size_t start = t.total > depth_ ? t.head : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(t.ring[(start + i) % depth_]);
+    }
+    return out;
+  }
+  /// Events recorded at (x, y) over the whole run (including overwritten).
+  [[nodiscard]] std::uint64_t total_events(int x, int y) const {
+    return tiles_[index(x, y)].total;
+  }
+  /// Events overwritten (lost off the back of the ring) at (x, y).
+  [[nodiscard]] std::uint64_t dropped_events(int x, int y) const {
+    const TileFlightLog& t = tiles_[index(x, y)];
+    return t.total > depth_ ? t.total - depth_ : 0;
+  }
+  [[nodiscard]] std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const TileFlightLog& t : tiles_) n += t.total;
+    return n;
+  }
+  [[nodiscard]] int configured_tiles() const {
+    int n = 0;
+    for (const TileFlightLog& t : tiles_) n += t.configured ? 1 : 0;
+    return n;
+  }
+
+  void clear() {
+    for (TileFlightLog& t : tiles_) {
+      t.ring.clear();
+      t.head = 0;
+      t.total = 0;
+    }
+  }
+
+  /// Human-readable last-K events of one tile (flightrec.cpp).
+  [[nodiscard]] std::string pretty_tile(int x, int y,
+                                        std::size_t last_k = 16) const;
+
+private:
+  [[nodiscard]] std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+  [[nodiscard]] TileFlightLog& tile_mut(int x, int y) {
+    return tiles_[index(x, y)];
+  }
+
+  int width_;
+  int height_;
+  std::size_t depth_;
+  std::vector<TileFlightLog> tiles_;
+};
+
+/// One-line rendering of an event ("c123 wavelet color=2 from (0,1)@98").
+[[nodiscard]] std::string format_flight_event(const FlightEvent& ev);
+
+} // namespace wss::telemetry

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/env.hpp"
 #include "wse/trace.hpp"
 
 namespace wss::telemetry {
@@ -51,7 +52,7 @@ SpanTracer& global_tracer() {
   return tracer;
 }
 
-const char* trace_json_path() { return std::getenv("WSS_TRACE_JSON"); }
+const char* trace_json_path() { return env::parse_cstr("WSS_TRACE_JSON"); }
 
 bool trace_requested() {
   static const bool on = trace_json_path() != nullptr;

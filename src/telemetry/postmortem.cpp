@@ -1,0 +1,1080 @@
+// Post-mortem forensics: wait-for graph construction, bundle emission,
+// bundle loading, pretty-printing and run diffing. See postmortem.hpp and
+// docs/POSTMORTEM.md for the schema and the investigation workflow.
+
+#include "telemetry/postmortem.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/env.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/io.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/profiler.hpp"
+#include "wse/fabric.hpp"
+
+namespace wss::telemetry {
+
+const char* to_string(AnomalyInfo::Kind kind) {
+  switch (kind) {
+    case AnomalyInfo::Kind::Deadlock: return "deadlock";
+    case AnomalyInfo::Kind::NanScalar: return "nan_scalar";
+    case AnomalyInfo::Kind::Breakdown: return "breakdown";
+    case AnomalyInfo::Kind::FaultStorm: return "fault_storm";
+    case AnomalyInfo::Kind::Manual: return "manual";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] bool known_anomaly_kind(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(AnomalyInfo::Kind::Manual); ++k) {
+    if (name == to_string(static_cast<AnomalyInfo::Kind>(k))) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] std::string tile_name(int x, int y) {
+  std::string out = "(";
+  out += std::to_string(x);
+  out += ',';
+  out += std::to_string(y);
+  out += ')';
+  return out;
+}
+
+} // namespace
+
+// --- wait-for graph -----------------------------------------------------
+
+namespace {
+
+struct EdgeKey {
+  int from_x, from_y, to_x, to_y, color;
+  [[nodiscard]] bool operator<(const EdgeKey& o) const {
+    return std::tie(from_x, from_y, to_x, to_y, color) <
+           std::tie(o.from_x, o.from_y, o.to_x, o.to_y, o.color);
+  }
+};
+
+/// DFS cycle extraction over the blocked-tile subgraph. Nodes are packed
+/// (x, y); adjacency carries the awaited color for naming.
+struct CycleFinder {
+  static constexpr std::size_t kMaxCycles = 16;
+
+  std::map<std::pair<int, int>, std::vector<std::pair<std::pair<int, int>, int>>>
+      adj; ///< node -> [(successor, color)]
+  std::set<std::pair<int, int>> done_nodes;
+  std::set<std::vector<std::pair<int, int>>> seen; ///< canonical tile loops
+  std::vector<WaitForCycle> cycles;
+
+  void emit(const std::vector<std::pair<int, int>>& path,
+            const std::vector<int>& colors, std::size_t start) {
+    // Rotate the loop so the smallest (y, x) tile leads — a canonical form
+    // that dedupes the same loop discovered from different entry points.
+    std::vector<std::pair<int, int>> loop(path.begin() +
+                                              static_cast<std::ptrdiff_t>(start),
+                                          path.end());
+    std::vector<int> loop_colors(colors.begin() +
+                                     static_cast<std::ptrdiff_t>(start),
+                                 colors.end());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < loop.size(); ++i) {
+      if (std::make_pair(loop[i].second, loop[i].first) <
+          std::make_pair(loop[best].second, loop[best].first)) {
+        best = i;
+      }
+    }
+    std::rotate(loop.begin(), loop.begin() + static_cast<std::ptrdiff_t>(best),
+                loop.end());
+    std::rotate(loop_colors.begin(),
+                loop_colors.begin() + static_cast<std::ptrdiff_t>(best),
+                loop_colors.end());
+    if (!seen.insert(loop).second) return;
+    if (cycles.size() >= kMaxCycles) return;
+
+    WaitForCycle c;
+    c.tiles = loop;
+    std::string name;
+    for (std::size_t i = 0; i < loop.size(); ++i) {
+      name += tile_name(loop[i].first, loop[i].second);
+      const int color = loop_colors[i];
+      name += color >= 0 ? " --c" + std::to_string(color) + "--> "
+                         : " --fifo--> ";
+    }
+    name += tile_name(loop[0].first, loop[0].second);
+    c.name = std::move(name);
+    cycles.push_back(std::move(c));
+  }
+
+  void dfs(std::pair<int, int> root) {
+    // Iterative DFS with an explicit path stack; `on_path` gives O(log n)
+    // back-edge detection.
+    struct Frame {
+      std::pair<int, int> node;
+      std::size_t next_edge = 0;
+    };
+    std::vector<Frame> stack;
+    std::vector<std::pair<int, int>> path;
+    std::vector<int> path_colors; ///< color of edge leaving path[i]
+    std::map<std::pair<int, int>, std::size_t> on_path;
+
+    stack.push_back({root, 0});
+    path.push_back(root);
+    path_colors.push_back(-1);
+    on_path[root] = 0;
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto it = adj.find(f.node);
+      if (it == adj.end() || f.next_edge >= it->second.size()) {
+        done_nodes.insert(f.node);
+        on_path.erase(f.node);
+        path.pop_back();
+        path_colors.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const auto [succ, color] = it->second[f.next_edge++];
+      path_colors.back() = color;
+      const auto hit = on_path.find(succ);
+      if (hit != on_path.end()) {
+        emit(path, path_colors, hit->second);
+        continue;
+      }
+      if (done_nodes.count(succ) != 0) continue;
+      stack.push_back({succ, 0});
+      path.push_back(succ);
+      path_colors.push_back(-1);
+      on_path[succ] = path.size() - 1;
+    }
+  }
+};
+
+} // namespace
+
+WaitForGraph build_wait_for_graph(const wse::Fabric& fabric) {
+  using wse::Color;
+  using wse::Dir;
+  using wse::kMeshDirs;
+  using wse::kNumColors;
+
+  WaitForGraph g;
+  const auto blocked = fabric.blocked_tiles();
+  const int width = fabric.width();
+  const int height = fabric.height();
+  const auto in_bounds = [&](int x, int y) {
+    return x >= 0 && x < width && y >= 0 && y < height;
+  };
+  const int queue_depth = fabric.sim_params().router_queue_depth;
+
+  std::set<EdgeKey> edge_keys;
+  const auto add_edge = [&](const WaitForEdge& e) {
+    const EdgeKey key{e.from_x, e.from_y, e.to_x, e.to_y, e.color};
+    if (edge_keys.insert(key).second) g.edges.push_back(e);
+  };
+
+  for (const auto& [x, y] : blocked) {
+    if (!fabric.has_core(x, y)) continue;
+    const wse::TileCore& core = fabric.core(x, y);
+
+    // Report row for this tile.
+    WaitForGraph::TileState st;
+    st.x = x;
+    st.y = y;
+    const wse::TaskId task = core.current_task();
+    st.task = (task >= 0 && static_cast<std::size_t>(task) <
+                                core.program().tasks.size())
+                  ? core.program().tasks[static_cast<std::size_t>(task)].name
+                  : "-";
+    st.state = core.debug_state();
+    g.blocked.push_back(std::move(st));
+
+    const wse::RouterState& router = fabric.router_state(x, y);
+    for (const wse::CoreWait& w : core.waits()) {
+      switch (w.kind) {
+        case wse::CoreWait::Kind::RecvChannel: {
+          // A dry ramp channel: the tile waits on every upstream neighbor
+          // whose routing rules can still forward a color that this tile's
+          // rules deliver to the channel.
+          for (int ci = 0; ci < kNumColors; ++ci) {
+            const auto c = static_cast<Color>(ci);
+            const wse::RouteRule& rule = router.table.rule(c);
+            const bool delivers =
+                std::find(rule.deliver_channels.begin(),
+                          rule.deliver_channels.end(),
+                          w.id) != rule.deliver_channels.end();
+            if (!delivers) continue;
+            for (const Dir d : kMeshDirs) {
+              const auto [dx, dy] = wse::step(d);
+              const int ux = x + dx;
+              const int uy = y + dy;
+              if (!in_bounds(ux, uy) || !fabric.has_core(ux, uy)) continue;
+              const wse::RouterState& up = fabric.router_state(ux, uy);
+              if (!up.table.rule(c).forwards_to(wse::opposite(d))) continue;
+              add_edge({x, y, ux, uy, ci,
+                        "recv ch" + std::to_string(w.id) + " starved: awaits c" +
+                            std::to_string(ci) + " from " + tile_name(ux, uy)});
+            }
+            // The tile's own injections can loop back via the ramp (the
+            // SpMV iterate loopback); represent that as a self-edge so a
+            // wedged self-feeding tile is visibly its own suspect.
+            if (rule.forward_mask == 0 && !rule.deliver_channels.empty()) {
+              // delivery-only rule: the color originates locally or
+              // upstream; upstream case handled above, local = self.
+              bool upstream_source = false;
+              for (const Dir d : kMeshDirs) {
+                const auto [dx, dy] = wse::step(d);
+                const int ux = x + dx;
+                const int uy = y + dy;
+                if (in_bounds(ux, uy) && fabric.has_core(ux, uy) &&
+                    fabric.router_state(ux, uy).table.rule(c).forwards_to(
+                        wse::opposite(d))) {
+                  upstream_source = true;
+                  break;
+                }
+              }
+              if (!upstream_source) {
+                add_edge({x, y, x, y, ci,
+                          "recv ch" + std::to_string(w.id) +
+                              " starved: c" + std::to_string(ci) +
+                              " only self-injected"});
+              }
+            }
+          }
+          break;
+        }
+        case wse::CoreWait::Kind::SendColor: {
+          // Injection blocked: the full output queues point at the
+          // downstream tiles that are not draining.
+          const auto c = static_cast<Color>(w.id);
+          const wse::RouteRule& rule = router.table.rule(c);
+          for (const Dir d : kMeshDirs) {
+            if (!rule.forwards_to(d)) continue;
+            const auto& q =
+                router.out_queues[static_cast<std::size_t>(d)]
+                                 [static_cast<std::size_t>(w.id)];
+            if (static_cast<int>(q.size()) < queue_depth) continue;
+            const auto [dx, dy] = wse::step(d);
+            const int tx = x + dx;
+            const int ty = y + dy;
+            if (!in_bounds(tx, ty)) continue;
+            add_edge({x, y, tx, ty, w.id,
+                      "send c" + std::to_string(w.id) + " blocked: " +
+                          wse::to_string(d) + " queue full toward " +
+                          tile_name(tx, ty)});
+          }
+          break;
+        }
+        case wse::CoreWait::Kind::FifoFull: {
+          // A full software FIFO waits on this tile's own drain task.
+          add_edge({x, y, x, y, -1,
+                    "fifo " + std::to_string(w.id) +
+                        " full: awaits local drain task"});
+          break;
+        }
+      }
+    }
+  }
+
+  // Terminals: blocked tiles with no outgoing edge — where stall chains
+  // drain to (e.g. a dead tile that stopped consuming).
+  std::set<std::pair<int, int>> has_out;
+  for (const WaitForEdge& e : g.edges) has_out.insert({e.from_x, e.from_y});
+  for (const auto& t : blocked) {
+    if (has_out.count(t) == 0) g.terminals.push_back(t);
+  }
+
+  // Deadlock loops.
+  CycleFinder finder;
+  for (const WaitForEdge& e : g.edges) {
+    finder.adj[{e.from_x, e.from_y}].push_back({{e.to_x, e.to_y}, e.color});
+  }
+  for (const auto& [node, _] : finder.adj) {
+    if (finder.done_nodes.count(node) == 0) finder.dfs(node);
+  }
+  g.cycles = std::move(finder.cycles);
+  return g;
+}
+
+// --- bundle writing -----------------------------------------------------
+
+namespace {
+
+void emit_heatmap(json::Writer& w, const Heatmap& h) {
+  w.begin_object();
+  w.key("name").value(h.name);
+  w.key("width").value(h.width);
+  w.key("height").value(h.height);
+  w.key("cells").begin_array();
+  for (const double v : h.cells) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
+void emit_tile_pair_array(json::Writer& w, const char* name,
+                          const std::vector<std::pair<int, int>>& tiles) {
+  w.key(name).begin_array();
+  for (const auto& [x, y] : tiles) {
+    w.begin_array().value(x).value(y).end_array();
+  }
+  w.end_array();
+}
+
+} // namespace
+
+std::string build_postmortem_json(const AnomalyInfo& anomaly,
+                                  const PostmortemInputs& in) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value(kPostmortemSchema);
+
+  w.key("anomaly").begin_object();
+  w.key("kind").value(to_string(anomaly.kind));
+  w.key("cycle").value(anomaly.cycle);
+  w.key("detail").value(anomaly.detail);
+  w.end_object();
+
+  w.key("program").value(in.program);
+
+  if (in.fabric != nullptr) {
+    const wse::Fabric& f = *in.fabric;
+    w.key("fabric").begin_object();
+    w.key("width").value(f.width());
+    w.key("height").value(f.height());
+    w.key("cycles").value(f.stats().cycles);
+    w.key("link_transfers").value(f.stats().link_transfers);
+    w.key("threads").value(f.threads());
+    w.end_object();
+  }
+
+  if (in.stop != nullptr) {
+    const wse::StopInfo& s = *in.stop;
+    w.key("stop").begin_object();
+    w.key("reason").value(wse::StopInfo::to_string(s.reason));
+    w.key("cycles").value(s.cycles);
+    w.key("deadlock").value(s.deadlock);
+    w.key("stalled_cycles").value(s.stalled_cycles);
+    emit_tile_pair_array(w, "blocked_tiles", s.blocked_tiles);
+    w.key("report").value(s.report);
+    w.end_object();
+  }
+
+  if (in.fabric != nullptr) {
+    const WaitForGraph g = build_wait_for_graph(*in.fabric);
+    w.key("wait_for").begin_object();
+    w.key("edges").begin_array();
+    for (const WaitForEdge& e : g.edges) {
+      w.begin_object();
+      w.key("from").begin_array().value(e.from_x).value(e.from_y).end_array();
+      w.key("to").begin_array().value(e.to_x).value(e.to_y).end_array();
+      w.key("color").value(e.color);
+      w.key("why").value(e.why);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("cycles").begin_array();
+    for (const WaitForCycle& c : g.cycles) w.value(c.name);
+    w.end_array();
+    emit_tile_pair_array(w, "terminals", g.terminals);
+    w.key("blocked").begin_array();
+    for (const auto& t : g.blocked) {
+      w.begin_object();
+      w.key("x").value(t.x);
+      w.key("y").value(t.y);
+      w.key("task").value(t.task);
+      w.key("state").value(t.state);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  if (in.recorder != nullptr) {
+    const FlightRecorder& rec = *in.recorder;
+    w.key("flight").begin_object();
+    w.key("depth").value(static_cast<std::uint64_t>(rec.depth()));
+    w.key("tiles").begin_array();
+    for (int y = 0; y < rec.height(); ++y) {
+      for (int x = 0; x < rec.width(); ++x) {
+        if (rec.total_events(x, y) == 0) continue;
+        w.begin_object();
+        w.key("x").value(x);
+        w.key("y").value(y);
+        w.key("total").value(rec.total_events(x, y));
+        w.key("dropped").value(rec.dropped_events(x, y));
+        w.key("events").begin_array();
+        for (const FlightEvent& ev : rec.events(x, y)) {
+          w.begin_object();
+          w.key("cycle").value(ev.cycle);
+          w.key("kind").value(to_string(ev.kind));
+          w.key("a").value(ev.a);
+          w.key("b").value(ev.b);
+          w.key("c").value(ev.c);
+          w.key("d").value(ev.d);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  if (in.fabric != nullptr) {
+    const FabricHeatmaps maps = collect_heatmaps(*in.fabric);
+    w.key("heatmaps").begin_array();
+    for (const Heatmap* h : maps.all()) emit_heatmap(w, *h);
+    if (in.profiler != nullptr) {
+      for (const Heatmap& h : profiler_heatmaps(*in.profiler)) {
+        emit_heatmap(w, h);
+      }
+    }
+    w.end_array();
+  }
+
+  if (in.profiler != nullptr) {
+    w.key("profiler").raw(in.profiler->to_json());
+  }
+
+  if (in.scalars != nullptr) {
+    w.key("scalars").begin_array();
+    for (const ScalarSample& s : in.scalars->samples()) {
+      w.begin_object();
+      w.key("iteration").value(s.iteration);
+      w.key("name").value(s.name);
+      w.key("value").value(s.value);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("scalars_dropped").value(in.scalars->dropped());
+  }
+
+  if (in.fabric != nullptr) {
+    const wse::FaultStats& fs = in.fabric->fault_stats();
+    w.key("faults").begin_object();
+    w.key("total").value(fs.total());
+    w.key("wavelets_dropped").value(fs.wavelets_dropped);
+    w.key("wavelets_corrupted").value(fs.wavelets_corrupted);
+    w.key("router_stall_cycles").value(fs.router_stall_cycles);
+    w.key("dead_tile_cycles").value(fs.dead_tile_cycles);
+    w.key("log_dropped")
+        .value(static_cast<std::uint64_t>(in.fabric->fault_log_dropped()));
+    w.key("log").begin_array();
+    for (const wse::FaultEvent& ev : in.fabric->fault_log()) {
+      w.begin_object();
+      w.key("cycle").value(ev.cycle);
+      w.key("x").value(ev.x);
+      w.key("y").value(ev.y);
+      w.key("dir").value(wse::to_string(ev.dir));
+      w.key("kind").value(static_cast<int>(ev.kind));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+bool write_postmortem(const std::string& dir, const AnomalyInfo& anomaly,
+                      const PostmortemInputs& in, std::string* path_out,
+                      std::string* error) {
+  if (!ensure_directory(dir, error)) return false;
+  const std::string stem =
+      claim_output_stem(dir + "/postmortem_" + to_string(anomaly.kind));
+  const std::string path = stem + ".json";
+  if (!write_text_file(path, build_postmortem_json(anomaly, in), error)) {
+    return false;
+  }
+  if (path_out != nullptr) *path_out = path;
+  return true;
+}
+
+std::string postmortem_dir() { return env::parse_string("WSS_POSTMORTEM_DIR"); }
+
+std::string maybe_write_postmortem(const AnomalyInfo& anomaly,
+                                   const PostmortemInputs& in) {
+  const std::string dir = postmortem_dir();
+  if (dir.empty()) return {};
+  std::string path;
+  std::string error;
+  if (!write_postmortem(dir, anomaly, in, &path, &error)) {
+    std::fprintf(stderr, "wss: post-mortem bundle write failed: %s\n",
+                 error.c_str());
+    return {};
+  }
+  std::fprintf(stderr, "wss: post-mortem bundle written: %s\n", path.c_str());
+  return path;
+}
+
+std::uint64_t fault_storm_threshold() {
+  return env::parse_u64("WSS_FAULT_STORM", 0);
+}
+
+std::size_t flightrec_depth() {
+  return static_cast<std::size_t>(env::parse_int(
+      "WSS_FLIGHTREC_DEPTH",
+      static_cast<long long>(FlightRecorder::kDefaultDepth), 1,
+      static_cast<long long>(FlightRecorder::kMaxDepth)));
+}
+
+// --- env-driven forensic attachment -------------------------------------
+
+RunForensics::RunForensics(wse::Fabric& fabric, std::string program)
+    : fabric_(fabric), program_(std::move(program)) {
+  if (fabric_.flight_recorder() != nullptr) return; // respect the caller's
+  if (postmortem_dir().empty()) return;             // forensics disabled
+  owned_ = std::make_unique<FlightRecorder>(fabric_.width(), fabric_.height(),
+                                            flightrec_depth());
+  fabric_.set_flight_recorder(owned_.get());
+  attached_ = true;
+}
+
+RunForensics::~RunForensics() {
+  if (attached_) fabric_.set_flight_recorder(nullptr);
+}
+
+FlightRecorder* RunForensics::recorder() const {
+  return fabric_.flight_recorder();
+}
+
+std::string RunForensics::deadlock(const wse::StopInfo& stop,
+                                   const std::string& what) {
+  AnomalyInfo anomaly;
+  anomaly.kind = AnomalyInfo::Kind::Deadlock;
+  anomaly.cycle = fabric_.stats().cycles;
+  anomaly.detail = what;
+
+  PostmortemInputs in;
+  in.fabric = &fabric_;
+  in.recorder = fabric_.flight_recorder();
+  in.profiler = fabric_.profiler();
+  in.stop = &stop;
+  in.program = program_;
+  const std::string path = maybe_write_postmortem(anomaly, in);
+
+  std::string msg = what;
+  if (!stop.report.empty()) {
+    msg += "\n";
+    msg += stop.report;
+  }
+  if (!path.empty()) {
+    msg += "\npost-mortem bundle: ";
+    msg += path;
+  }
+  return msg;
+}
+
+void RunForensics::finished() {
+  const std::uint64_t threshold = fault_storm_threshold();
+  if (threshold == 0) return;
+  const std::uint64_t total = fabric_.fault_stats().total();
+  if (total < threshold) return;
+  AnomalyInfo anomaly;
+  anomaly.kind = AnomalyInfo::Kind::FaultStorm;
+  anomaly.cycle = fabric_.stats().cycles;
+  anomaly.detail = std::to_string(total) + " injected faults >= threshold " +
+                   std::to_string(threshold);
+  PostmortemInputs in;
+  in.fabric = &fabric_;
+  in.recorder = fabric_.flight_recorder();
+  in.profiler = fabric_.profiler();
+  in.program = program_;
+  (void)maybe_write_postmortem(anomaly, in);
+}
+
+// --- bundle loading -----------------------------------------------------
+
+namespace {
+
+using jsonparse::Value;
+
+[[nodiscard]] std::string get_string(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_string() ? m->string : std::string{};
+}
+[[nodiscard]] double get_number(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_number() ? m->number : 0.0;
+}
+[[nodiscard]] std::uint64_t get_u64(const Value* v, const char* key) {
+  return static_cast<std::uint64_t>(get_number(v, key));
+}
+[[nodiscard]] int get_int(const Value* v, const char* key) {
+  return static_cast<int>(get_number(v, key));
+}
+[[nodiscard]] std::int64_t get_i64(const Value* v, const char* key) {
+  return static_cast<std::int64_t>(get_number(v, key));
+}
+[[nodiscard]] bool get_bool(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->kind == jsonparse::Kind::Bool && m->boolean;
+}
+
+[[nodiscard]] std::vector<std::pair<int, int>> get_tile_pairs(
+    const Value* v, const char* key) {
+  std::vector<std::pair<int, int>> out;
+  const Value* arr = v != nullptr ? v->find(key) : nullptr;
+  if (arr == nullptr || !arr->is_array()) return out;
+  for (const Value& e : *arr->array) {
+    if (!e.is_array() || e.array->size() != 2) continue;
+    const Value& x = (*e.array)[0];
+    const Value& y = (*e.array)[1];
+    if (!x.is_number() || !y.is_number()) continue;
+    out.emplace_back(static_cast<int>(x.number), static_cast<int>(y.number));
+  }
+  return out;
+}
+
+} // namespace
+
+std::string BundleEvent::summary() const {
+  FlightEventKind k;
+  if (flight_event_kind_from_string(kind, &k)) {
+    FlightEvent ev;
+    ev.cycle = cycle;
+    ev.kind = k;
+    ev.a = static_cast<std::int32_t>(a);
+    ev.b = static_cast<std::int32_t>(b);
+    ev.c = static_cast<std::int32_t>(c);
+    ev.d = static_cast<std::int32_t>(d);
+    return format_flight_event(ev);
+  }
+  return "c" + std::to_string(cycle) + " " + kind + " a=" + std::to_string(a) +
+         " b=" + std::to_string(b) + " c=" + std::to_string(c) +
+         " d=" + std::to_string(d);
+}
+
+bool load_bundle(const std::string& path, Bundle* out, std::string* error) {
+  const auto set_error = [&](const std::string& why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return false;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return set_error("cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return set_error("read error");
+  const std::string text = buf.str();
+
+  const jsonparse::ParseResult parsed = jsonparse::parse(text);
+  if (!parsed.ok()) return set_error("JSON error: " + parsed.error);
+  const Value& root = *parsed.value;
+  if (!root.is_object()) return set_error("top level is not an object");
+
+  Bundle b;
+  b.schema = get_string(&root, "schema");
+  if (b.schema != kPostmortemSchema) {
+    return set_error("schema mismatch: got '" + b.schema + "', want '" +
+                     kPostmortemSchema + "'");
+  }
+
+  const Value* anomaly = root.find("anomaly");
+  b.anomaly_kind = get_string(anomaly, "kind");
+  b.anomaly_cycle = get_u64(anomaly, "cycle");
+  b.anomaly_detail = get_string(anomaly, "detail");
+  b.program = get_string(&root, "program");
+
+  if (const Value* fabric = root.find("fabric"); fabric != nullptr) {
+    b.width = get_int(fabric, "width");
+    b.height = get_int(fabric, "height");
+    b.cycles = get_u64(fabric, "cycles");
+    b.threads = get_int(fabric, "threads");
+  }
+
+  if (const Value* stop = root.find("stop"); stop != nullptr) {
+    b.stop_reason = get_string(stop, "reason");
+    b.deadlock = get_bool(stop, "deadlock");
+    b.stalled_cycles = get_u64(stop, "stalled_cycles");
+    b.blocked_tiles = get_tile_pairs(stop, "blocked_tiles");
+    b.stop_report = get_string(stop, "report");
+  }
+
+  if (const Value* wf = root.find("wait_for"); wf != nullptr) {
+    if (const Value* edges = wf->find("edges");
+        edges != nullptr && edges->is_array()) {
+      for (const Value& e : *edges->array) {
+        WaitForEdge edge;
+        const Value* from = e.find("from");
+        const Value* to = e.find("to");
+        if (from != nullptr && from->is_array() && from->array->size() == 2) {
+          edge.from_x = static_cast<int>((*from->array)[0].number);
+          edge.from_y = static_cast<int>((*from->array)[1].number);
+        }
+        if (to != nullptr && to->is_array() && to->array->size() == 2) {
+          edge.to_x = static_cast<int>((*to->array)[0].number);
+          edge.to_y = static_cast<int>((*to->array)[1].number);
+        }
+        edge.color = get_int(&e, "color");
+        edge.why = get_string(&e, "why");
+        b.wait_edges.push_back(std::move(edge));
+      }
+    }
+    if (const Value* cycles = wf->find("cycles");
+        cycles != nullptr && cycles->is_array()) {
+      for (const Value& c : *cycles->array) {
+        if (c.is_string()) b.wait_cycles.push_back(c.string);
+      }
+    }
+    b.wait_terminals = get_tile_pairs(wf, "terminals");
+  }
+
+  if (const Value* flight = root.find("flight"); flight != nullptr) {
+    b.flight_depth = get_u64(flight, "depth");
+    if (const Value* tiles = flight->find("tiles");
+        tiles != nullptr && tiles->is_array()) {
+      for (const Value& t : *tiles->array) {
+        BundleTile tile;
+        tile.x = get_int(&t, "x");
+        tile.y = get_int(&t, "y");
+        tile.total = get_u64(&t, "total");
+        tile.dropped = get_u64(&t, "dropped");
+        if (const Value* events = t.find("events");
+            events != nullptr && events->is_array()) {
+          for (const Value& e : *events->array) {
+            BundleEvent ev;
+            ev.cycle = get_u64(&e, "cycle");
+            ev.kind = get_string(&e, "kind");
+            ev.a = get_i64(&e, "a");
+            ev.b = get_i64(&e, "b");
+            ev.c = get_i64(&e, "c");
+            ev.d = get_i64(&e, "d");
+            tile.events.push_back(std::move(ev));
+          }
+        }
+        b.tiles.push_back(std::move(tile));
+      }
+    }
+  }
+
+  if (const Value* maps = root.find("heatmaps");
+      maps != nullptr && maps->is_array()) {
+    for (const Value& m : *maps->array) {
+      Heatmap h;
+      h.name = get_string(&m, "name");
+      h.width = get_int(&m, "width");
+      h.height = get_int(&m, "height");
+      if (const Value* cells = m.find("cells");
+          cells != nullptr && cells->is_array()) {
+        h.cells.reserve(cells->array->size());
+        for (const Value& c : *cells->array) {
+          h.cells.push_back(c.is_number() ? c.number : 0.0);
+        }
+      }
+      b.heatmaps.push_back(std::move(h));
+    }
+  }
+
+  if (const Value* scalars = root.find("scalars");
+      scalars != nullptr && scalars->is_array()) {
+    for (const Value& s : *scalars->array) {
+      ScalarSample sample;
+      sample.iteration = get_u64(&s, "iteration");
+      sample.name = get_string(&s, "name");
+      sample.value = get_number(&s, "value");
+      b.scalars.push_back(std::move(sample));
+    }
+  }
+
+  if (const Value* faults = root.find("faults"); faults != nullptr) {
+    b.fault_total = get_u64(faults, "total");
+  }
+
+  *out = std::move(b);
+  return true;
+}
+
+// --- pretty-printing ----------------------------------------------------
+
+std::string pretty_bundle(const Bundle& bundle, std::size_t last_k) {
+  std::ostringstream out;
+  out << "post-mortem bundle (" << bundle.schema << ")\n";
+  out << "  anomaly: " << bundle.anomaly_kind << " at cycle "
+      << bundle.anomaly_cycle;
+  if (!bundle.anomaly_detail.empty()) out << " — " << bundle.anomaly_detail;
+  out << "\n";
+  if (!bundle.program.empty()) out << "  program: " << bundle.program << "\n";
+  if (bundle.width > 0) {
+    out << "  fabric:  " << bundle.width << "x" << bundle.height << ", cycle "
+        << bundle.cycles << ", " << bundle.threads << " sim thread(s)\n";
+  }
+  if (!bundle.stop_reason.empty()) {
+    out << "  stop:    " << bundle.stop_reason
+        << (bundle.deadlock ? " (deadlock)" : "");
+    if (bundle.stalled_cycles > 0) {
+      out << ", no progress for " << bundle.stalled_cycles << " cycles";
+    }
+    out << "\n";
+  }
+  if (bundle.fault_total > 0) {
+    out << "  faults:  " << bundle.fault_total << " injected\n";
+  }
+
+  if (!bundle.blocked_tiles.empty()) {
+    out << "\nblocked tiles (" << bundle.blocked_tiles.size() << "):";
+    const std::size_t shown = std::min<std::size_t>(
+        bundle.blocked_tiles.size(), 16);
+    for (std::size_t i = 0; i < shown; ++i) {
+      out << " " << tile_name(bundle.blocked_tiles[i].first,
+                              bundle.blocked_tiles[i].second);
+    }
+    if (shown < bundle.blocked_tiles.size()) {
+      out << " ... " << bundle.blocked_tiles.size() - shown << " more";
+    }
+    out << "\n";
+  }
+
+  if (!bundle.wait_cycles.empty()) {
+    out << "\nwait-for cycles (deadlock loops):\n";
+    for (const std::string& c : bundle.wait_cycles) {
+      out << "  " << c << "\n";
+    }
+  }
+  if (!bundle.wait_terminals.empty()) {
+    out << "wait-for terminals (stall chains drain here):";
+    for (const auto& [x, y] : bundle.wait_terminals) {
+      out << " " << tile_name(x, y);
+    }
+    out << "\n";
+  }
+  if (!bundle.wait_edges.empty()) {
+    out << "wait-for edges (" << bundle.wait_edges.size() << "):\n";
+    const std::size_t shown =
+        std::min<std::size_t>(bundle.wait_edges.size(), 16);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const WaitForEdge& e = bundle.wait_edges[i];
+      out << "  " << tile_name(e.from_x, e.from_y) << " -> "
+          << tile_name(e.to_x, e.to_y);
+      if (e.color >= 0) out << " (c" << e.color << ")";
+      if (!e.why.empty()) out << ": " << e.why;
+      out << "\n";
+    }
+    if (shown < bundle.wait_edges.size()) {
+      out << "  ... " << bundle.wait_edges.size() - shown << " more\n";
+    }
+  }
+
+  if (!bundle.tiles.empty()) {
+    // Busiest + blocked tiles first: sort by (blocked?, total) descending.
+    std::set<std::pair<int, int>> blocked(bundle.blocked_tiles.begin(),
+                                          bundle.blocked_tiles.end());
+    std::vector<const BundleTile*> order;
+    order.reserve(bundle.tiles.size());
+    for (const BundleTile& t : bundle.tiles) order.push_back(&t);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const BundleTile* a, const BundleTile* c) {
+                       const bool ab = blocked.count({a->x, a->y}) != 0;
+                       const bool cb = blocked.count({c->x, c->y}) != 0;
+                       if (ab != cb) return ab;
+                       return a->total > c->total;
+                     });
+    const std::size_t shown = std::min<std::size_t>(order.size(), 8);
+    out << "\nflight rings (" << bundle.tiles.size() << " tiles recorded, depth "
+        << bundle.flight_depth << "):\n";
+    for (std::size_t i = 0; i < shown; ++i) {
+      const BundleTile& t = *order[i];
+      out << "tile " << tile_name(t.x, t.y) << ": " << t.total << " events";
+      if (t.dropped > 0) out << " (" << t.dropped << " overwritten)";
+      if (blocked.count({t.x, t.y}) != 0) out << " [blocked]";
+      out << "\n";
+      const std::size_t n = t.events.size();
+      const std::size_t start = n > last_k ? n - last_k : 0;
+      if (start > 0) out << "  ... " << start << " earlier\n";
+      for (std::size_t j = start; j < n; ++j) {
+        out << "  " << t.events[j].summary() << "\n";
+      }
+    }
+    if (shown < order.size()) {
+      out << "... " << order.size() - shown << " more tiles\n";
+    }
+  }
+
+  if (!bundle.scalars.empty()) {
+    out << "\nsolver scalars (last " << std::min<std::size_t>(
+        bundle.scalars.size(), last_k) << " of " << bundle.scalars.size()
+        << "):\n";
+    const std::size_t start =
+        bundle.scalars.size() > last_k ? bundle.scalars.size() - last_k : 0;
+    for (std::size_t i = start; i < bundle.scalars.size(); ++i) {
+      const ScalarSample& s = bundle.scalars[i];
+      out << "  it " << s.iteration << " " << s.name << " = " << s.value
+          << "\n";
+    }
+  }
+
+  if (!bundle.stop_report.empty()) {
+    out << "\nstop report:\n" << bundle.stop_report;
+    if (bundle.stop_report.back() != '\n') out << "\n";
+  }
+  return out.str();
+}
+
+// --- diffing ------------------------------------------------------------
+
+Divergence first_divergence(const Bundle& a, const Bundle& b) {
+  Divergence best;
+  if (a.program != b.program) {
+    best.note = "warning: program mismatch ('" + a.program + "' vs '" +
+                b.program + "') — divergence below may be meaningless";
+  }
+
+  std::map<std::pair<int, int>, const BundleTile*> b_tiles;
+  for (const BundleTile& t : b.tiles) b_tiles[{t.x, t.y}] = &t;
+  std::set<std::pair<int, int>> coords;
+  for (const BundleTile& t : a.tiles) coords.insert({t.x, t.y});
+  for (const BundleTile& t : b.tiles) coords.insert({t.x, t.y});
+
+  std::map<std::pair<int, int>, const BundleTile*> a_tiles;
+  for (const BundleTile& t : a.tiles) a_tiles[{t.x, t.y}] = &t;
+
+  bool have = false;
+  std::uint64_t best_cycle = 0;
+  std::pair<int, int> best_tile{0, 0}; ///< (y, x) for ordering
+
+  for (const auto& [x, y] : coords) {
+    const auto ai = a_tiles.find({x, y});
+    const auto bi = b_tiles.find({x, y});
+    const BundleTile* ta = ai != a_tiles.end() ? ai->second : nullptr;
+    const BundleTile* tb = bi != b_tiles.end() ? bi->second : nullptr;
+    const std::size_t na = ta != nullptr ? ta->events.size() : 0;
+    const std::size_t nb = tb != nullptr ? tb->events.size() : 0;
+
+    // Rings may have wrapped differently; compare only from the first
+    // retained event both sides share nothing about — a straight pairwise
+    // walk is the honest comparison when both rings are complete, and a
+    // conservative earliest-difference when one has dropped events.
+    const std::size_t n = std::min(na, nb);
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+      if (!(ta->events[i] == tb->events[i])) break;
+    }
+    if (i == n && na == nb) continue; // identical streams
+
+    const BundleEvent* ea = i < na ? &ta->events[i] : nullptr;
+    const BundleEvent* eb = i < nb ? &tb->events[i] : nullptr;
+    std::uint64_t cycle = 0;
+    if (ea != nullptr && eb != nullptr) {
+      cycle = std::min(ea->cycle, eb->cycle);
+    } else if (ea != nullptr) {
+      cycle = ea->cycle;
+    } else if (eb != nullptr) {
+      cycle = eb->cycle;
+    }
+
+    const std::pair<int, int> yx{y, x};
+    if (!have || cycle < best_cycle ||
+        (cycle == best_cycle && yx < best_tile)) {
+      have = true;
+      best_cycle = cycle;
+      best_tile = yx;
+      best.found = true;
+      best.cycle = cycle;
+      best.x = x;
+      best.y = y;
+      best.a_event = ea != nullptr ? ea->summary() : "-";
+      best.b_event = eb != nullptr ? eb->summary() : "-";
+    }
+  }
+  return best;
+}
+
+std::string pretty_divergence(const Divergence& d) {
+  std::ostringstream out;
+  if (!d.note.empty()) out << d.note << "\n";
+  if (!d.found) {
+    out << "no divergence: recorded event streams are identical\n";
+    return out.str();
+  }
+  out << "first divergence at cycle " << d.cycle << ", tile "
+      << tile_name(d.x, d.y) << ":\n";
+  out << "  A: " << d.a_event << "\n";
+  out << "  B: " << d.b_event << "\n";
+  return out.str();
+}
+
+// --- self-check ---------------------------------------------------------
+
+bool self_check_bundle(const Bundle& bundle, std::string* error) {
+  const auto fail_with = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (bundle.schema != kPostmortemSchema) {
+    return fail_with("schema mismatch: '" + bundle.schema + "'");
+  }
+  if (!known_anomaly_kind(bundle.anomaly_kind)) {
+    return fail_with("unknown anomaly kind: '" + bundle.anomaly_kind + "'");
+  }
+  const bool has_fabric = bundle.width > 0 && bundle.height > 0;
+  if ((!bundle.tiles.empty() || !bundle.heatmaps.empty()) && !has_fabric) {
+    return fail_with("tile/heatmap data without fabric dimensions");
+  }
+  const auto in_bounds = [&](int x, int y) {
+    return x >= 0 && x < bundle.width && y >= 0 && y < bundle.height;
+  };
+  for (const BundleTile& t : bundle.tiles) {
+    if (!in_bounds(t.x, t.y)) {
+      return fail_with("flight tile " + tile_name(t.x, t.y) +
+                       " out of bounds");
+    }
+    if (t.events.size() > bundle.flight_depth) {
+      return fail_with("flight tile " + tile_name(t.x, t.y) +
+                       " holds more events than the ring depth");
+    }
+    if (static_cast<std::uint64_t>(t.events.size()) + t.dropped != t.total) {
+      return fail_with("flight tile " + tile_name(t.x, t.y) +
+                       " events+dropped != total");
+    }
+    for (std::size_t i = 1; i < t.events.size(); ++i) {
+      if (t.events[i].cycle < t.events[i - 1].cycle) {
+        return fail_with("flight tile " + tile_name(t.x, t.y) +
+                         " events not chronological");
+      }
+    }
+    for (const BundleEvent& e : t.events) {
+      FlightEventKind k;
+      if (!flight_event_kind_from_string(e.kind, &k)) {
+        return fail_with("unknown flight event kind: '" + e.kind + "'");
+      }
+    }
+  }
+  for (const Heatmap& h : bundle.heatmaps) {
+    if (h.width != bundle.width || h.height != bundle.height) {
+      return fail_with("heatmap '" + h.name + "' dimensions mismatch fabric");
+    }
+    if (h.cells.size() != static_cast<std::size_t>(h.width) *
+                              static_cast<std::size_t>(h.height)) {
+      return fail_with("heatmap '" + h.name + "' cell count mismatch");
+    }
+  }
+  for (const WaitForEdge& e : bundle.wait_edges) {
+    if (has_fabric &&
+        (!in_bounds(e.from_x, e.from_y) || !in_bounds(e.to_x, e.to_y))) {
+      return fail_with("wait-for edge endpoint out of bounds");
+    }
+    if (e.color < -1 || e.color >= wse::kNumColors) {
+      return fail_with("wait-for edge color out of range");
+    }
+  }
+  for (const auto& [x, y] : bundle.blocked_tiles) {
+    if (has_fabric && !in_bounds(x, y)) {
+      return fail_with("blocked tile " + tile_name(x, y) + " out of bounds");
+    }
+  }
+  return true;
+}
+
+} // namespace wss::telemetry

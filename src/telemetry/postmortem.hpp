@@ -1,0 +1,293 @@
+#pragma once
+
+// Post-mortem forensics (docs/POSTMORTEM.md): when a run goes wrong —
+// deadlock watchdog, NaN/Inf solver scalar, breakdown restart, fault
+// storm — snapshot everything an investigation needs into one versioned
+// JSON bundle:
+//
+//   * the flight-recorder rings (last events per tile, flightrec.hpp),
+//   * a blocked-task wait-for graph: tile -> awaited color/FIFO ->
+//     upstream tile, with cycle detection that names deadlock loops in
+//     fabric (Fig. 5) coordinates,
+//   * the per-tile heatmap counters and profiler category layers,
+//   * solver scalar history (rho/alpha/omega/residual per iteration),
+//   * the fault-injection stats and event log when a plan was attached.
+//
+// Bundles are written under $WSS_POSTMORTEM_DIR (or an explicit dir),
+// emitted with telemetry/json.hpp and loaded back with json_parse.hpp —
+// `wss_inspect` pretty-prints one bundle or diffs two from runs of the
+// same program to localize the first divergence (earliest differing
+// cycle/tile/event triple), e.g. a fault-injected run against its clean
+// twin.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/flightrec.hpp"
+#include "telemetry/heatmap.hpp"
+
+namespace wss::wse {
+class Fabric;
+struct StopInfo;
+}
+
+namespace wss::telemetry {
+
+class Profiler;
+
+/// Bundle schema identifier; bump on breaking layout changes.
+inline constexpr const char* kPostmortemSchema = "wss.postmortem/1";
+
+// --- anomaly triggers ---------------------------------------------------
+
+struct AnomalyInfo {
+  enum class Kind : std::uint8_t {
+    Deadlock = 0,   ///< watchdog / quiescent-with-work stop
+    NanScalar = 1,  ///< non-finite scalar observed by a solver probe
+    Breakdown = 2,  ///< BiCGStab breakdown / restart (docs/ROBUSTNESS.md)
+    FaultStorm = 3, ///< injected-fault count crossed WSS_FAULT_STORM
+    Manual = 4,     ///< explicitly requested snapshot (e.g. a clean twin)
+  };
+  Kind kind = Kind::Manual;
+  std::uint64_t cycle = 0; ///< fabric cycle (or iteration) at detection
+  std::string detail;      ///< human-readable: what tripped, where
+};
+
+[[nodiscard]] const char* to_string(AnomalyInfo::Kind kind);
+
+// --- solver scalar history ----------------------------------------------
+
+/// Bounded history of named solver scalars (rho, alpha, omega, residual,
+/// ...) per iteration — the "cycles leading up to the NaN" on the host
+/// side. Null-tolerant recording mirrors SolverProbe: pass a nullptr and
+/// every call is a pointer test.
+struct ScalarSample {
+  std::uint64_t iteration = 0;
+  std::string name;
+  double value = 0.0;
+};
+
+class ScalarHistory {
+public:
+  static constexpr std::size_t kMaxSamples = 8192;
+
+  void record(std::uint64_t iteration, std::string name, double value) {
+    if (samples_.size() >= kMaxSamples) {
+      ++dropped_;
+      return;
+    }
+    samples_.push_back({iteration, std::move(name), value});
+  }
+  [[nodiscard]] const std::vector<ScalarSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    samples_.clear();
+    dropped_ = 0;
+  }
+
+private:
+  std::vector<ScalarSample> samples_;
+  std::uint64_t dropped_ = 0;
+};
+
+// --- wait-for graph -----------------------------------------------------
+
+/// One blocked-on relation: tile `from` cannot progress until tile `to`
+/// moves (color = the awaited virtual channel; -1 for non-color waits,
+/// e.g. a self-edge on a full software FIFO).
+struct WaitForEdge {
+  int from_x = 0, from_y = 0;
+  int to_x = 0, to_y = 0;
+  int color = -1;
+  std::string why;
+};
+
+struct WaitForCycle {
+  std::vector<std::pair<int, int>> tiles; ///< loop order, first = entry
+  std::string name; ///< "(0,0) --c2--> (1,0) --c1--> (0,0)"
+};
+
+struct WaitForGraph {
+  std::vector<WaitForEdge> edges;
+  std::vector<WaitForCycle> cycles; ///< deadlock loops, Fig. 5 coordinates
+  /// Blocked tiles with no outgoing edge — the terminal suspects a stall
+  /// chain drains into (e.g. a dead tile that stopped consuming).
+  std::vector<std::pair<int, int>> terminals;
+  /// Per blocked tile: current task / wait summary for the report.
+  struct TileState {
+    int x = 0, y = 0;
+    std::string task;  ///< current task name ("-" when between tasks)
+    std::string state; ///< TileCore::debug_state()
+  };
+  std::vector<TileState> blocked;
+};
+
+/// Build the wait-for graph of a (presumed stuck) fabric: read-only
+/// introspection of core waits, routing rules and queue occupancy.
+[[nodiscard]] WaitForGraph build_wait_for_graph(const wse::Fabric& fabric);
+
+// --- bundle writing -----------------------------------------------------
+
+/// Everything the writer may snapshot. Only `program` is required; every
+/// pointer is optional (host-side solver anomalies have no fabric).
+struct PostmortemInputs {
+  const wse::Fabric* fabric = nullptr;
+  const FlightRecorder* recorder = nullptr;
+  const Profiler* profiler = nullptr;
+  const ScalarHistory* scalars = nullptr;
+  const wse::StopInfo* stop = nullptr;
+  /// Program identity (name + shape), used by `wss_inspect diff` to check
+  /// two bundles are comparable.
+  std::string program;
+};
+
+/// Render the bundle JSON (telemetry/json.hpp emit).
+[[nodiscard]] std::string build_postmortem_json(const AnomalyInfo& anomaly,
+                                                const PostmortemInputs& in);
+
+/// Write a bundle under `dir` (created if needed) as
+/// `<dir>/postmortem_<kind>[ _2, _3, ...].json` (claim_output_stem keeps
+/// bundles from clobbering each other in one process). Returns false +
+/// `*error` on I/O failure; `*path_out` receives the path written.
+bool write_postmortem(const std::string& dir, const AnomalyInfo& anomaly,
+                      const PostmortemInputs& in,
+                      std::string* path_out = nullptr,
+                      std::string* error = nullptr);
+
+/// $WSS_POSTMORTEM_DIR or "" (strict parse; see common/env.hpp).
+[[nodiscard]] std::string postmortem_dir();
+
+/// Write a bundle iff WSS_POSTMORTEM_DIR is set. Returns the path written
+/// ("" when disabled); I/O failures are reported on stderr, not thrown —
+/// forensics must never turn a diagnosed failure into a different one.
+std::string maybe_write_postmortem(const AnomalyInfo& anomaly,
+                                   const PostmortemInputs& in);
+
+/// WSS_FAULT_STORM threshold (0 = disabled): total injected faults at or
+/// above this count trigger a FaultStorm bundle even on a finished run.
+[[nodiscard]] std::uint64_t fault_storm_threshold();
+
+/// WSS_FLIGHTREC_DEPTH (default FlightRecorder::kDefaultDepth).
+[[nodiscard]] std::size_t flightrec_depth();
+
+/// Env-driven forensic attachment shared by every fabric-owning kernel
+/// simulation: when WSS_POSTMORTEM_DIR is set (and the fabric has no
+/// recorder already), construct a FlightRecorder sized to the fabric
+/// (depth WSS_FLIGHTREC_DEPTH) and attach it for the scope's lifetime.
+/// Carries the two anomaly triggers every kernel shares:
+///  * deadlock(): a failed run — writes a Deadlock bundle and returns the
+///    error message enriched with the stop report and bundle path,
+///  * finished(): a successful run — writes a FaultStorm bundle when the
+///    injected-fault total crossed WSS_FAULT_STORM.
+/// With WSS_POSTMORTEM_DIR unset this is inert (no recorder, no bundles),
+/// and attaching a recorder never perturbs simulation (flightrec.hpp).
+class RunForensics {
+public:
+  RunForensics(wse::Fabric& fabric, std::string program);
+  ~RunForensics();
+  RunForensics(const RunForensics&) = delete;
+  RunForensics& operator=(const RunForensics&) = delete;
+
+  /// The recorder observing the fabric (ours or a pre-attached one);
+  /// nullptr when forensics are disabled.
+  [[nodiscard]] FlightRecorder* recorder() const;
+
+  /// Failed run: write a Deadlock bundle (if enabled) and return `what`
+  /// enriched with the stop report (and bundle path when one was written).
+  [[nodiscard]] std::string deadlock(const wse::StopInfo& stop,
+                                     const std::string& what);
+
+  /// Successful run: fault-storm trigger (see fault_storm_threshold).
+  void finished();
+
+private:
+  wse::Fabric& fabric_;
+  std::string program_;
+  std::unique_ptr<FlightRecorder> owned_;
+  bool attached_ = false;
+};
+
+// --- bundle loading / inspection ----------------------------------------
+
+struct BundleEvent {
+  std::uint64_t cycle = 0;
+  std::string kind;
+  std::int64_t a = 0, b = 0, c = 0, d = 0;
+
+  [[nodiscard]] bool operator==(const BundleEvent& o) const {
+    return cycle == o.cycle && kind == o.kind && a == o.a && b == o.b &&
+           c == o.c && d == o.d;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+struct BundleTile {
+  int x = 0, y = 0;
+  std::uint64_t total = 0;
+  std::uint64_t dropped = 0;
+  std::vector<BundleEvent> events; ///< chronological
+};
+
+struct Bundle {
+  std::string schema;
+  std::string anomaly_kind;
+  std::uint64_t anomaly_cycle = 0;
+  std::string anomaly_detail;
+  std::string program;
+  int width = 0, height = 0;
+  std::uint64_t cycles = 0;
+  int threads = 0;
+  // stop info (absent for host-side bundles)
+  std::string stop_reason;
+  bool deadlock = false;
+  std::uint64_t stalled_cycles = 0;
+  std::vector<std::pair<int, int>> blocked_tiles;
+  std::string stop_report;
+  // wait-for graph
+  std::vector<WaitForEdge> wait_edges;
+  std::vector<std::string> wait_cycles; ///< rendered names
+  std::vector<std::pair<int, int>> wait_terminals;
+  // flight rings
+  std::uint64_t flight_depth = 0;
+  std::vector<BundleTile> tiles;
+  // heatmaps
+  std::vector<Heatmap> heatmaps;
+  // scalar history
+  std::vector<ScalarSample> scalars;
+  // fault summary (zero when no plan was attached)
+  std::uint64_t fault_total = 0;
+};
+
+/// Parse a bundle file. Returns false + `*error` (with context) on
+/// unreadable files, JSON errors, or schema mismatch.
+bool load_bundle(const std::string& path, Bundle* out,
+                 std::string* error = nullptr);
+
+/// Terminal rendering: anomaly, stop reason, top blocked tiles, wait-for
+/// cycles, last `last_k` events of the busiest/blocked tiles, scalars.
+[[nodiscard]] std::string pretty_bundle(const Bundle& bundle,
+                                        std::size_t last_k = 8);
+
+/// First divergence between two bundles of the same program: the earliest
+/// (cycle, tile, event) at which the recorded streams differ.
+struct Divergence {
+  bool found = false;
+  std::uint64_t cycle = 0;
+  int x = 0, y = 0;
+  std::string a_event; ///< what bundle A recorded ("-" when absent)
+  std::string b_event; ///< what bundle B recorded
+  std::string note;    ///< e.g. program-mismatch warning
+};
+
+[[nodiscard]] Divergence first_divergence(const Bundle& a, const Bundle& b);
+[[nodiscard]] std::string pretty_divergence(const Divergence& d);
+
+/// Schema guard for CI: checks the schema tag and the structural
+/// invariants wss_inspect depends on. Returns false + `*error` on drift.
+bool self_check_bundle(const Bundle& bundle, std::string* error = nullptr);
+
+} // namespace wss::telemetry

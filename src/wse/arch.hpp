@@ -64,6 +64,11 @@ struct SimParams {
   /// serial). Any value yields bit-identical results — see
   /// docs/SIMULATOR.md "Parallel simulation".
   int sim_threads = 0;
+  /// No-progress watchdog window in cycles for Fabric::run (see
+  /// docs/POSTMORTEM.md). 0 = consult the WSS_WATCHDOG_CYCLES environment
+  /// variable (default 0 = disabled). Observation only — never changes
+  /// simulated behaviour, just when run() gives up on a stalled fabric.
+  std::uint64_t watchdog_cycles = 0;
 };
 
 } // namespace wss::wse

@@ -5,6 +5,10 @@
 #include <cassert>
 #include <stdexcept>
 
+// Header-only recording surface; creates no link dependency on
+// wss_telemetry (analysis lives there, the core only records).
+#include "telemetry/flightrec.hpp"
+
 namespace wss::wse {
 
 namespace {
@@ -121,8 +125,18 @@ void TileCore::fire(TaskId task, TrigAction act) {
   if (task == kNoTask || act == TrigAction::None) return;
   Task& t = prog_.tasks[static_cast<std::size_t>(task)];
   if (act == TrigAction::Activate) {
+    // Flight-recorder taps record *state transitions* only (not repeated
+    // fires), so rings hold the forensic story, not FIFO-push noise.
+    if (flightrec_ != nullptr && !t.activated) {
+      flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                         telemetry::FlightEventKind::TaskActivate, task);
+    }
     t.activated = true;
   } else {
+    if (flightrec_ != nullptr && t.blocked) {
+      flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                         telemetry::FlightEventKind::TaskUnblock, task);
+    }
     t.blocked = false;
   }
 }
@@ -370,8 +384,14 @@ bool TileCore::advance(int slot, RouterState& router) {
         memory_[static_cast<std::size_t>(fifo.base + fifo.tail)] = prod.bits();
         fifo.tail = (fifo.tail + 1) % fifo.capacity;
         ++fifo.count;
-        stats_.fifo_highwater = std::max(
-            stats_.fifo_highwater, static_cast<std::uint64_t>(fifo.count));
+        if (static_cast<std::uint64_t>(fifo.count) > stats_.fifo_highwater) {
+          stats_.fifo_highwater = static_cast<std::uint64_t>(fifo.count);
+          if (flightrec_ != nullptr) {
+            flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                               telemetry::FlightEventKind::FifoHighwater,
+                               in.fifo, fifo.count);
+          }
+        }
         fire(fifo.on_push, TrigAction::Activate);
         ++s.pos;
         ++f.pos;
@@ -516,6 +536,10 @@ void TileCore::run_scheduler() {
                       TraceEventKind::TaskStart,
                       prog_.tasks[static_cast<std::size_t>(pick)].name);
     }
+    if (flightrec_ != nullptr) {
+      flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                         telemetry::FlightEventKind::TaskStart, pick);
+    }
   }
 
   if (waiting_sync_) return;
@@ -537,15 +561,36 @@ void TileCore::run_scheduler() {
       return;
     } else {
       switch (step.kind) {
-        case TaskStep::Kind::Block:
-          prog_.tasks[static_cast<std::size_t>(step.target)].blocked = true;
+        case TaskStep::Kind::Block: {
+          Task& target = prog_.tasks[static_cast<std::size_t>(step.target)];
+          if (flightrec_ != nullptr && !target.blocked) {
+            flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                               telemetry::FlightEventKind::TaskBlock,
+                               step.target);
+          }
+          target.blocked = true;
           break;
-        case TaskStep::Kind::Unblock:
-          prog_.tasks[static_cast<std::size_t>(step.target)].blocked = false;
+        }
+        case TaskStep::Kind::Unblock: {
+          Task& target = prog_.tasks[static_cast<std::size_t>(step.target)];
+          if (flightrec_ != nullptr && target.blocked) {
+            flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                               telemetry::FlightEventKind::TaskUnblock,
+                               step.target);
+          }
+          target.blocked = false;
           break;
-        case TaskStep::Kind::Activate:
-          prog_.tasks[static_cast<std::size_t>(step.target)].activated = true;
+        }
+        case TaskStep::Kind::Activate: {
+          Task& target = prog_.tasks[static_cast<std::size_t>(step.target)];
+          if (flightrec_ != nullptr && !target.activated) {
+            flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                               telemetry::FlightEventKind::TaskActivate,
+                               step.target);
+          }
+          target.activated = true;
           break;
+        }
         case TaskStep::Kind::SetDone:
           done_ = true;
           break;
@@ -553,9 +598,20 @@ void TileCore::run_scheduler() {
           // Profiler annotation: free, like all control steps, so marked
           // and unmarked programs have identical timing.
           phase_ = static_cast<ProgPhase>(step.target);
+          if (flightrec_ != nullptr) {
+            flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                               telemetry::FlightEventKind::PhaseMark,
+                               step.target);
+          }
           break;
         case TaskStep::Kind::MarkIteration:
           ++iteration_;
+          if (flightrec_ != nullptr) {
+            flightrec_->record(
+                tile_x_, tile_y_, current_cycle_,
+                telemetry::FlightEventKind::IterationMark,
+                static_cast<std::int32_t>(iteration_ & 0x7fffffffu));
+          }
           break;
         default:
           break;
@@ -566,6 +622,10 @@ void TileCore::run_scheduler() {
   if (tracer_ != nullptr && tracer_->wants(tile_x_, tile_y_)) {
     tracer_->record(current_cycle_, tile_x_, tile_y_, TraceEventKind::TaskEnd,
                     t.name);
+  }
+  if (flightrec_ != nullptr) {
+    flightrec_->record(tile_x_, tile_y_, current_cycle_,
+                       telemetry::FlightEventKind::TaskEnd, current_task_);
   }
   current_task_ = kNoTask; // task body exhausted; next pick next cycle
 }
@@ -668,6 +728,53 @@ std::string TileCore::debug_state() const {
     }
   }
   if (done_) out += " DONE";
+  return out;
+}
+
+std::vector<CoreWait> TileCore::waits() const {
+  // Read-only port introspection for the post-mortem wait-for graph:
+  // which fabric resource would have to move for each occupied slot to
+  // make progress? Mirrors the stall classification in step().
+  std::vector<CoreWait> out;
+  for (const auto& slot : slots_) {
+    if (!slot.has_value()) continue;
+    const Instr& in = slot->instr;
+    switch (in.op) {
+      case OpKind::Send:
+      case OpKind::SendScalar: {
+        const FabricDesc& f =
+            prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+        if (!f.exhausted()) {
+          out.push_back({CoreWait::Kind::SendColor, f.channel});
+        }
+        break;
+      }
+      case OpKind::RecvToMem:
+      case OpKind::RecvAddTo:
+      case OpKind::RecvAccScalar: {
+        const FabricDesc& f =
+            prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+        if (!f.exhausted() &&
+            ramp_queues_[static_cast<std::size_t>(f.channel)].empty()) {
+          out.push_back({CoreWait::Kind::RecvChannel, f.channel});
+        }
+        break;
+      }
+      case OpKind::RecvMulToFifo: {
+        const FabricDesc& f =
+            prog_.fabrics[static_cast<std::size_t>(in.fabric)];
+        if (f.exhausted()) break;
+        if (ramp_queues_[static_cast<std::size_t>(f.channel)].empty()) {
+          out.push_back({CoreWait::Kind::RecvChannel, f.channel});
+        } else if (prog_.fifos[static_cast<std::size_t>(in.fifo)].full()) {
+          out.push_back({CoreWait::Kind::FifoFull, in.fifo});
+        }
+        break;
+      }
+      default:
+        break; // local ops never wait on the fabric
+    }
+  }
   return out;
 }
 

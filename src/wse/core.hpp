@@ -19,6 +19,10 @@
 #include "wse/routing.hpp"
 #include "wse/trace.hpp"
 
+namespace wss::telemetry {
+class FlightRecorder; // telemetry/flightrec.hpp (header-only recording)
+}
+
 namespace wss::wse {
 
 /// Per-router activity counters (telemetry: the fabric heatmaps). Kept as
@@ -86,6 +90,22 @@ enum class StepOutcome : std::uint8_t {
   StallOther,
 };
 
+/// What an occupied thread slot is waiting on *right now* — the raw
+/// material of the post-mortem wait-for graph (telemetry/postmortem.hpp).
+/// Read-only introspection of the core's stalled ports:
+///   RecvChannel — a receive op's ramp channel is dry: the tile waits on
+///                 upstream wavelets of the colors routed to that channel,
+///   SendColor   — a send op cannot inject color `id` (router out-queue /
+///                 local ramp backpressure): the tile waits on downstream
+///                 drain,
+///   FifoFull    — a RecvMulToFifo is blocked on its own software FIFO
+///                 (index `id`): the tile waits on its own drain task.
+struct CoreWait {
+  enum class Kind : std::uint8_t { RecvChannel, SendColor, FifoFull };
+  Kind kind = Kind::RecvChannel;
+  int id = 0;
+};
+
 class TileCore {
 public:
   TileCore(TileProgram program, const CS1Params& arch, const SimParams& sim);
@@ -118,6 +138,14 @@ public:
     tile_y_ = tile_y;
   }
 
+  /// Attach a flight recorder (nullptr detaches; docs/POSTMORTEM.md). The
+  /// core records task state transitions, FIFO high-water advances, and
+  /// phase/iteration marks into the recorder's per-tile ring. Recording is
+  /// observe-only: attachment cannot change simulated behaviour.
+  void set_flight_recorder(telemetry::FlightRecorder* rec) {
+    flightrec_ = rec;
+  }
+
   /// Sticky program phase (last SetPhase marker executed; Control before
   /// any marker) and iteration counter (MarkIteration steps seen) — the
   /// profiler's binning keys. Both reset with reset_control().
@@ -128,6 +156,15 @@ public:
   [[nodiscard]] bool quiescent() const;
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   [[nodiscard]] const TileProgram& program() const { return prog_; }
+
+  /// Task the scheduler is currently executing (kNoTask between tasks) and
+  /// whether it is parked on a Sync step — post-mortem introspection.
+  [[nodiscard]] TaskId current_task() const { return current_task_; }
+  [[nodiscard]] bool waiting_sync() const { return waiting_sync_; }
+
+  /// What every occupied thread slot is blocked on right now (empty when
+  /// nothing is stalled). Read-only; feeds the post-mortem wait-for graph.
+  [[nodiscard]] std::vector<CoreWait> waits() const;
 
   // --- host access for loading/unloading data (the host interface of a
   // real system; not part of the simulated cycle count) ---
@@ -203,6 +240,9 @@ private:
   int tile_x_ = 0;
   int tile_y_ = 0;
   std::uint64_t current_cycle_ = 0;
+
+  // black-box flight recorder (docs/POSTMORTEM.md); observe-only
+  telemetry::FlightRecorder* flightrec_ = nullptr;
 };
 
 } // namespace wss::wse

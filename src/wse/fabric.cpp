@@ -5,8 +5,10 @@
 #include <stdexcept>
 #include <string>
 
-// Header-only recording surface; creates no link dependency on
+// Header-only recording surfaces; create no link dependency on
 // wss_telemetry (analysis lives there, the fabric only records).
+#include "common/env.hpp"
+#include "telemetry/flightrec.hpp"
 #include "telemetry/profiler.hpp"
 
 namespace wss::wse {
@@ -37,12 +39,20 @@ telemetry::CycleCat categorize(StepOutcome outcome, bool router_faulted) {
   return telemetry::CycleCat::Idle;
 }
 
+/// SimParams::watchdog_cycles, or WSS_WATCHDOG_CYCLES when 0 (strict
+/// parse), or 0 = disabled — mirroring resolve_sim_threads.
+std::uint64_t resolve_watchdog_cycles(std::uint64_t requested) {
+  if (requested != 0) return requested;
+  return env::parse_u64("WSS_WATCHDOG_CYCLES", 0);
+}
+
 } // namespace
 
 Fabric::Fabric(int width, int height, const CS1Params& arch,
                const SimParams& sim)
     : width_(width), height_(height), arch_(&arch), sim_(sim),
-      threads_(resolve_sim_threads(sim.sim_threads)) {
+      threads_(resolve_sim_threads(sim.sim_threads)),
+      watchdog_cycles_(resolve_watchdog_cycles(sim.watchdog_cycles)) {
   tiles_.resize(static_cast<std::size_t>(width) *
                 static_cast<std::size_t>(height));
 }
@@ -57,6 +67,27 @@ void Fabric::configure_tile(int x, int y, TileProgram program,
   t.router.table = std::move(routes);
   if (user_tracer_ != nullptr) t.core->set_tracer(user_tracer_, x, y);
   if (profiler_ != nullptr) profiler_->mark_configured(x, y);
+  if (flightrec_ != nullptr) {
+    t.core->set_flight_recorder(flightrec_);
+    flightrec_->mark_configured(x, y);
+  }
+}
+
+void Fabric::set_flight_recorder(telemetry::FlightRecorder* rec) {
+  if (rec != nullptr &&
+      (rec->width() != width_ || rec->height() != height_)) {
+    throw std::invalid_argument(
+        "flight recorder dimensions must match the fabric");
+  }
+  flightrec_ = rec;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      Tile& t = tiles_[tile_index(x, y)];
+      if (t.core == nullptr) continue;
+      t.core->set_flight_recorder(rec);
+      if (rec != nullptr) rec->mark_configured(x, y);
+    }
+  }
 }
 
 void Fabric::set_profiler(telemetry::Profiler* profiler) {
@@ -253,6 +284,11 @@ void Fabric::route_phase(int y0, int y1, int band) {
               // one edge per delivered flit (multicast to several local
               // channels is still one arrival).
               profiler_->record_recv(x, y, stats_.cycles, flit);
+            }
+            if (flightrec_ != nullptr && !rule.deliver_channels.empty()) {
+              // Flight-recorder tap: the same band owns the tile, so the
+              // ring is bit-identical at any thread count.
+              flightrec_->record_wavelet(x, y, stats_.cycles, flit);
             }
             for (int ch : rule.deliver_channels) {
               t.core->try_deliver(ch, flit.payload);
@@ -515,14 +551,120 @@ void Fabric::set_tracer(Tracer* tracer) {
   if (tracer == nullptr) trace_staging_.clear();
 }
 
-std::uint64_t Fabric::run(std::uint64_t max_cycles) {
+std::uint64_t Fabric::progress_signature() const {
+  // Any forward progress moves at least one of these monotone counters:
+  // a computing core bumps instr_cycles, a moving wavelet bumps
+  // link_transfers or flits_forwarded or words_received, a waking task
+  // bumps task_invocations. Stall/idle counters are deliberately absent —
+  // they advance on a wedged fabric too.
+  std::uint64_t sig = stats_.link_transfers;
+  for (const auto& t : tiles_) {
+    sig += t.router.stats.flits_forwarded;
+    if (t.core == nullptr) continue;
+    const CoreStats& cs = t.core->stats();
+    sig += cs.instr_cycles + cs.words_received + cs.task_invocations +
+           cs.elements_processed;
+  }
+  return sig;
+}
+
+std::vector<std::pair<int, int>> Fabric::blocked_tiles(
+    std::size_t cap) const {
+  std::vector<std::pair<int, int>> out;
+  // First pass: tiles with in-flight work that cannot move (the usual
+  // deadlock participants).
+  for (int y = 0; y < height_ && out.size() < cap; ++y) {
+    for (int x = 0; x < width_ && out.size() < cap; ++x) {
+      const auto& t = tiles_[tile_index(x, y)];
+      if (t.core == nullptr || t.core->done()) continue;
+      if (!t.core->quiescent()) out.emplace_back(x, y);
+    }
+  }
+  if (!out.empty()) return out;
+  // Fallback: everything went quiescent with unfinished work — tiles
+  // waiting on an activation that will never come.
+  for (int y = 0; y < height_ && out.size() < cap; ++y) {
+    for (int x = 0; x < width_ && out.size() < cap; ++x) {
+      const auto& t = tiles_[tile_index(x, y)];
+      if (t.core != nullptr && !t.core->done()) out.emplace_back(x, y);
+    }
+  }
+  return out;
+}
+
+StopInfo Fabric::run(std::uint64_t max_cycles) {
+  StopInfo info;
   const std::uint64_t start = stats_.cycles;
+  const std::uint64_t wd = watchdog_cycles_;
+  // Watchdog bookkeeping is read-only (counter snapshots), so enabling it
+  // cannot perturb the simulation — it only decides when run() returns.
+  std::uint64_t last_sig = wd != 0 ? progress_signature() : 0;
+  std::uint64_t last_progress_cycle = stats_.cycles;
+  bool all_done_stop = false;
+  bool quiescent_stop = false;
+  bool watchdog_stop = false;
   while (stats_.cycles - start < max_cycles) {
     step();
-    if (all_done()) break;
-    if (quiescent()) break;
+    if (all_done()) {
+      all_done_stop = true;
+      break;
+    }
+    if (quiescent()) {
+      quiescent_stop = true;
+      break;
+    }
+    if (wd != 0 && (stats_.cycles - start) % wd == 0) {
+      const std::uint64_t sig = progress_signature();
+      if (sig != last_sig) {
+        last_sig = sig;
+        last_progress_cycle = stats_.cycles;
+      } else if (stats_.cycles - last_progress_cycle >= wd) {
+        watchdog_stop = true;
+        break;
+      }
+    }
   }
-  return stats_.cycles - start;
+  info.cycles = stats_.cycles - start;
+  if (all_done_stop || all_done()) {
+    info.reason = StopInfo::Reason::AllDone;
+    return info;
+  }
+  if (watchdog_stop) {
+    info.reason = StopInfo::Reason::Watchdog;
+    info.deadlock = true;
+    info.stalled_cycles = stats_.cycles - last_progress_cycle;
+  } else if (quiescent_stop) {
+    // Totally silent with unfinished work: nothing can ever wake it.
+    info.reason = StopInfo::Reason::Quiescent;
+    info.deadlock = true;
+  } else {
+    info.reason = StopInfo::Reason::MaxCycles;
+    return info; // budget ran out mid-flight; no verdict, no forensics
+  }
+  info.blocked_tiles = blocked_tiles();
+  std::string report = "stopped at cycle " + std::to_string(stats_.cycles) +
+                       " (" + StopInfo::to_string(info.reason) + ", " +
+                       std::to_string(info.blocked_tiles.size()) +
+                       " blocked tiles";
+  if (info.stalled_cycles > 0) {
+    report += ", no progress for " + std::to_string(info.stalled_cycles) +
+              " cycles";
+  }
+  report += ")\n";
+  constexpr std::size_t kReportTiles = 8;
+  for (std::size_t i = 0;
+       i < info.blocked_tiles.size() && i < kReportTiles; ++i) {
+    const auto [x, y] = info.blocked_tiles[i];
+    report += "  (" + std::to_string(x) + "," + std::to_string(y) + ") " +
+              tiles_[tile_index(x, y)].core->debug_state() + "\n";
+  }
+  if (info.blocked_tiles.size() > kReportTiles) {
+    report += "  ... " +
+              std::to_string(info.blocked_tiles.size() - kReportTiles) +
+              " more\n";
+  }
+  info.report = std::move(report);
+  return info;
 }
 
 bool Fabric::all_done() const {

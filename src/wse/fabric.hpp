@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,7 +33,8 @@
 #include "wse/sim_pool.hpp"
 
 namespace wss::telemetry {
-class Profiler; // telemetry/profiler.hpp (header-only recording surface)
+class Profiler;       // telemetry/profiler.hpp (header-only surface)
+class FlightRecorder; // telemetry/flightrec.hpp (header-only surface)
 }
 
 namespace wss::wse {
@@ -43,6 +45,42 @@ struct FabricStats {
 
   [[nodiscard]] double seconds(const CS1Params& arch) const {
     return static_cast<double>(cycles) / arch.clock_hz;
+  }
+};
+
+/// Why Fabric::run returned, with the forensics a deadlock investigation
+/// needs. run() used to return a bare cycle count, losing the reason —
+/// a deadlocked fabric and a finished one looked identical to the caller.
+struct StopInfo {
+  enum class Reason : std::uint8_t {
+    AllDone = 0,   ///< every tile raised its done flag
+    Quiescent = 1, ///< nothing left in flight (but not all done: stuck)
+    MaxCycles = 2, ///< the cycle budget elapsed
+    Watchdog = 3,  ///< the no-progress watchdog fired (see set_watchdog)
+  };
+  Reason reason = Reason::MaxCycles;
+  /// Cycles executed by this run() call.
+  std::uint64_t cycles = 0;
+  /// True when the fabric stopped with unfinished work it can (Watchdog,
+  /// Quiescent) or may (stalled at MaxCycles) never finish.
+  bool deadlock = false;
+  /// Cycles since the last observed progress (watchdog stops only).
+  std::uint64_t stalled_cycles = 0;
+  /// Tiles with unfinished work at stop time, row-major, capped at
+  /// kMaxBlockedTiles (deadlock stops only).
+  std::vector<std::pair<int, int>> blocked_tiles;
+  /// Human-readable watchdog report: per-tile debug_state() of the first
+  /// blocked tiles (deadlock stops only).
+  std::string report;
+
+  [[nodiscard]] static const char* to_string(Reason r) {
+    switch (r) {
+      case Reason::AllDone: return "all_done";
+      case Reason::Quiescent: return "quiescent";
+      case Reason::MaxCycles: return "max_cycles";
+      case Reason::Watchdog: return "watchdog";
+    }
+    return "?";
   }
 };
 
@@ -73,17 +111,25 @@ public:
   [[nodiscard]] const RouterStats& router_stats(int x, int y) const {
     return tiles_[tile_index(x, y)].router.stats;
   }
+  /// Full router-side state of tile (x, y) — read-only introspection for
+  /// the post-mortem wait-for graph (queue occupancy + routing rules).
+  [[nodiscard]] const RouterState& router_state(int x, int y) const {
+    return tiles_[tile_index(x, y)].router;
+  }
 
   /// Advance one cycle.
   void step();
 
   /// Run until every tile raised its done flag, the whole fabric went
-  /// quiescent, or `max_cycles` elapsed. Returns cycles executed.
-  std::uint64_t run(std::uint64_t max_cycles);
+  /// quiescent, the no-progress watchdog fired (see set_watchdog), or
+  /// `max_cycles` elapsed. The StopInfo says which, with blocked-tile
+  /// forensics attached on deadlock stops.
+  StopInfo run(std::uint64_t max_cycles);
 
   [[nodiscard]] bool all_done() const;
   [[nodiscard]] bool quiescent() const;
   [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  [[nodiscard]] const SimParams& sim_params() const { return sim_; }
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int height() const { return height_; }
 
@@ -114,6 +160,37 @@ public:
   /// any thread count.
   void set_profiler(telemetry::Profiler* profiler);
   [[nodiscard]] telemetry::Profiler* profiler() const { return profiler_; }
+
+  /// Attach a black-box flight recorder (nullptr detaches; see
+  /// docs/POSTMORTEM.md). The recorder must outlive its attachment and
+  /// match the fabric dimensions (std::invalid_argument otherwise). With
+  /// none attached the taps are a null-pointer test; with one attached the
+  /// simulation is still bit-identical — recording only observes, and all
+  /// writes are tile-owned under the banded determinism contract, so rings
+  /// are bit-identical at any thread count too.
+  void set_flight_recorder(telemetry::FlightRecorder* rec);
+  [[nodiscard]] telemetry::FlightRecorder* flight_recorder() const {
+    return flightrec_;
+  }
+
+  /// No-progress watchdog: when nonzero, run() samples a monotone
+  /// progress signature (instructions retired, words moved, tasks started)
+  /// every `cycles` cycles and stops with StopInfo::Reason::Watchdog once
+  /// a full window passes with no change — a routing deadlock or a wedged
+  /// task tree can then be examined instead of burning the whole cycle
+  /// budget. 0 disables (the default; SimParams::watchdog_cycles or
+  /// WSS_WATCHDOG_CYCLES seed the initial value). Observation only: the
+  /// watchdog never changes simulated state, just when run() returns.
+  void set_watchdog(std::uint64_t cycles) { watchdog_cycles_ = cycles; }
+  [[nodiscard]] std::uint64_t watchdog() const { return watchdog_cycles_; }
+
+  /// Tiles with unfinished work right now (row-major, capped at `cap`):
+  /// active-but-stalled tiles first; if none, not-done quiescent tiles
+  /// (wedged waiting for an activation that will never come).
+  [[nodiscard]] std::vector<std::pair<int, int>> blocked_tiles(
+      std::size_t cap = kMaxBlockedTiles) const;
+
+  static constexpr std::size_t kMaxBlockedTiles = 256;
 
   // --- seeded fault injection (docs/ROBUSTNESS.md) ---
 
@@ -179,8 +256,15 @@ private:
   std::unique_ptr<SimThreadPool> pool_;
   Tracer* user_tracer_ = nullptr;
   telemetry::Profiler* profiler_ = nullptr;
+  telemetry::FlightRecorder* flightrec_ = nullptr;
+  std::uint64_t watchdog_cycles_ = 0;
   std::vector<std::unique_ptr<Tracer>> trace_staging_; ///< one per band
   std::vector<std::uint64_t> band_link_transfers_;
+
+  /// Monotone counter over everything that constitutes forward progress
+  /// (instructions, deliveries, task starts, link movement). Read-only —
+  /// the watchdog compares snapshots without touching simulated state.
+  [[nodiscard]] std::uint64_t progress_signature() const;
 
   // --- fault injection (allocated only while a plan is attached) ---
 

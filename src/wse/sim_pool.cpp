@@ -1,20 +1,16 @@
 #include "wse/sim_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/env.hpp"
 
 namespace wss::wse {
 
 int resolve_sim_threads(int requested) {
   if (requested > 0) return std::min(requested, 256);
-  if (const char* env = std::getenv("WSS_SIM_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) {
-      return static_cast<int>(std::min<long>(v, 256));
-    }
-  }
-  return 1;
+  // Strict: WSS_SIM_THREADS=garbage used to be silently ignored (the run
+  // quietly went serial); now it fails loudly naming the variable.
+  return static_cast<int>(env::parse_int("WSS_SIM_THREADS", 1, 1, 256));
 }
 
 SimThreadPool::SimThreadPool(int threads) {

@@ -1,7 +1,9 @@
 #include "wsekernels/allreduce_program.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "telemetry/postmortem.hpp"
 #include "wse/route_compiler.hpp"
 #include "wsekernels/allreduce_steps.hpp"
 
@@ -67,10 +69,15 @@ AllReduceResult AllReduceSimulation::run(
   const std::uint64_t before = fabric_.stats().cycles;
   const std::uint64_t budget =
       1000 + 20ull * static_cast<std::uint64_t>(width_ + height_);
-  fabric_.run(budget);
+  telemetry::RunForensics forensics(
+      fabric_, "allreduce " + std::to_string(width_) + "x" +
+                   std::to_string(height_));
+  const StopInfo stop = fabric_.run(budget);
   if (!fabric_.all_done()) {
-    throw std::runtime_error("AllReduce simulation did not complete");
+    throw std::runtime_error(
+        forensics.deadlock(stop, "AllReduce simulation did not complete"));
   }
+  forensics.finished();
 
   AllReduceResult result;
   result.cycles = fabric_.stats().cycles - before;

@@ -1,5 +1,7 @@
 #include "wsekernels/axpy_dot_program.hpp"
 
+#include <stdexcept>
+
 #include "common/rng.hpp"
 
 namespace wss::wsekernels {
@@ -51,7 +53,11 @@ LocalKernelTiming run_local(int width, int height, int z, OpKind op,
     }
   }
 
-  fabric.run(100 + 4ull * static_cast<std::uint64_t>(z));
+  const StopInfo stop = fabric.run(100 + 4ull * static_cast<std::uint64_t>(z));
+  if (!fabric.all_done()) {
+    throw std::runtime_error("local kernel timing did not complete\n" +
+                             stop.report);
+  }
   LocalKernelTiming t;
   t.cycles = fabric.stats().cycles;
   t.cycles_per_element = static_cast<double>(t.cycles) / z;

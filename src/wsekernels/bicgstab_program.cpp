@@ -1,7 +1,9 @@
 #include "wsekernels/bicgstab_program.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "telemetry/postmortem.hpp"
 #include "wse/route_compiler.hpp"
 #include "wsekernels/allreduce_steps.hpp"
 #include "wsekernels/spmv_instance.hpp"
@@ -325,10 +327,16 @@ BicgstabSimResult BicgstabSimulation::run(const Field3<fp16_t>& b) {
   const std::uint64_t per_iter =
       1000 + 60ull * static_cast<std::uint64_t>(Z) +
       40ull * static_cast<std::uint64_t>(X + Y);
-  fabric_.run(per_iter * static_cast<std::uint64_t>(iterations_ + 1));
+  telemetry::RunForensics forensics(
+      fabric_, "bicgstab " + std::to_string(grid_.nx) + "x" +
+                   std::to_string(grid_.ny) + "x" + std::to_string(grid_.nz));
+  const StopInfo stop =
+      fabric_.run(per_iter * static_cast<std::uint64_t>(iterations_ + 1));
   if (!fabric_.all_done()) {
-    throw std::runtime_error("BiCGStab simulation did not complete");
+    throw std::runtime_error(
+        forensics.deadlock(stop, "BiCGStab simulation did not complete"));
   }
+  forensics.finished();
 
   BicgstabSimResult result;
   result.cycles = fabric_.stats().cycles - before;

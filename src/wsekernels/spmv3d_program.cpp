@@ -1,7 +1,9 @@
 #include "wsekernels/spmv3d_program.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "telemetry/postmortem.hpp"
 #include "wse/route_compiler.hpp"
 #include "wsekernels/spmv_instance.hpp"
 
@@ -100,10 +102,15 @@ Field3<fp16_t> SpMV3DSimulation::run(const Field3<fp16_t>& v) {
   const std::uint64_t budget =
       1000 + 50ull * static_cast<std::uint64_t>(Z) *
                  static_cast<std::uint64_t>(X + Y + 8);
-  fabric_.run(budget);
+  telemetry::RunForensics forensics(
+      fabric_, "spmv3d " + std::to_string(grid_.nx) + "x" +
+                   std::to_string(grid_.ny) + "x" + std::to_string(grid_.nz));
+  const StopInfo stop = fabric_.run(budget);
   if (!fabric_.all_done()) {
-    throw std::runtime_error("SpMV simulation did not complete (deadlock?)");
+    throw std::runtime_error(forensics.deadlock(
+        stop, "SpMV simulation did not complete (deadlock?)"));
   }
+  forensics.finished();
   last_cycles_ = fabric_.stats().cycles - before;
 
   Field3<fp16_t> u(grid_);

@@ -1,0 +1,232 @@
+// Strict WSS_* environment parsing (common/env.hpp). Historically a typo
+// like WSS_SIM_THREADS=fast was silently ignored — the run quietly went
+// serial. These tests pin the new contract for every knob: unset falls
+// back, garbage fails loudly naming the variable, below-minimum errors,
+// above-maximum clamps.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/env.hpp"
+#include "telemetry/flightrec.hpp"
+#include "telemetry/postmortem.hpp"
+#include "wse/fabric.hpp"
+#include "wse/sim_pool.hpp"
+
+namespace wss {
+namespace {
+
+/// Restores one environment variable on scope exit.
+class EnvGuard {
+public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* cur = std::getenv(name);
+    if (cur != nullptr) {
+      had_ = true;
+      saved_ = cur;
+    }
+    ::unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+  void set(const char* value) { ::setenv(name_, value, 1); }
+  void unset() { ::unsetenv(name_); }
+
+private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// The thrown message must name the variable and echo the bad value, so a
+/// failing ten-hour run says *which* knob was mistyped.
+template <typename Fn>
+void expect_strict_failure(const char* name, const char* value, Fn fn) {
+  try {
+    fn();
+    FAIL() << name << "='" << value << "' should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(name), std::string::npos) << what;
+    EXPECT_NE(what.find(value), std::string::npos) << what;
+  }
+}
+
+// --- the primitives ------------------------------------------------------
+
+TEST(EnvParse, IntFallbackJunkMinAndClamp) {
+  EnvGuard g("WSS_TEST_INT");
+  EXPECT_EQ(env::parse_int("WSS_TEST_INT", 42, 1, 100), 42); // unset
+  g.set("7");
+  EXPECT_EQ(env::parse_int("WSS_TEST_INT", 42, 1, 100), 7);
+  g.set("100");
+  EXPECT_EQ(env::parse_int("WSS_TEST_INT", 42, 1, 100), 100);
+  g.set("101"); // above max: clamped, not an error
+  EXPECT_EQ(env::parse_int("WSS_TEST_INT", 42, 1, 100), 100);
+  for (const char* bad : {"fast", "7x", "", "0", "-3", "1e3"}) {
+    g.set(bad);
+    expect_strict_failure("WSS_TEST_INT", bad, [] {
+      (void)env::parse_int("WSS_TEST_INT", 42, 1, 100);
+    });
+  }
+}
+
+TEST(EnvParse, U64RejectsNegativeAndJunk) {
+  EnvGuard g("WSS_TEST_U64");
+  EXPECT_EQ(env::parse_u64("WSS_TEST_U64", 9), 9u); // unset
+  g.set("18446744073709551615");
+  EXPECT_EQ(env::parse_u64("WSS_TEST_U64", 9),
+            18446744073709551615ull);
+  for (const char* bad : {"-1", "nope", "", "12 "}) {
+    g.set(bad);
+    expect_strict_failure("WSS_TEST_U64", bad,
+                          [] { (void)env::parse_u64("WSS_TEST_U64", 9); });
+  }
+}
+
+TEST(EnvParse, StringAndCstrRejectEmpty) {
+  EnvGuard g("WSS_TEST_STR");
+  EXPECT_EQ(env::parse_string("WSS_TEST_STR"), "");
+  EXPECT_EQ(env::parse_cstr("WSS_TEST_STR"), nullptr);
+  g.set("/tmp/out");
+  EXPECT_EQ(env::parse_string("WSS_TEST_STR"), "/tmp/out");
+  EXPECT_STREQ(env::parse_cstr("WSS_TEST_STR"), "/tmp/out");
+  g.set("");
+  EXPECT_THROW((void)env::parse_string("WSS_TEST_STR"), std::runtime_error);
+  EXPECT_THROW((void)env::parse_cstr("WSS_TEST_STR"), std::runtime_error);
+}
+
+// --- one test per consumer-facing WSS_* variable -------------------------
+
+TEST(EnvKnobs, SimThreads) {
+  EnvGuard g("WSS_SIM_THREADS");
+  EXPECT_EQ(wse::resolve_sim_threads(0), 1); // unset -> serial
+  g.set("4");
+  EXPECT_EQ(wse::resolve_sim_threads(0), 4);
+  EXPECT_EQ(wse::resolve_sim_threads(2), 2); // explicit request wins
+  g.set("9999");
+  EXPECT_EQ(wse::resolve_sim_threads(0), 256); // clamp
+  for (const char* bad : {"fast", "0", "-2", ""}) {
+    g.set(bad);
+    expect_strict_failure("WSS_SIM_THREADS", bad,
+                          [] { (void)wse::resolve_sim_threads(0); });
+  }
+}
+
+TEST(EnvKnobs, WatchdogCycles) {
+  EnvGuard g("WSS_WATCHDOG_CYCLES");
+  const wse::CS1Params arch;
+  {
+    wse::Fabric f(1, 1, arch, wse::SimParams{});
+    EXPECT_EQ(f.watchdog(), 0u); // unset -> disabled
+  }
+  g.set("5000");
+  {
+    wse::Fabric f(1, 1, arch, wse::SimParams{});
+    EXPECT_EQ(f.watchdog(), 5000u);
+  }
+  {
+    wse::SimParams sim;
+    sim.watchdog_cycles = 77; // explicit request wins over the env
+    wse::Fabric f(1, 1, arch, sim);
+    EXPECT_EQ(f.watchdog(), 77u);
+  }
+  for (const char* bad : {"soon", "-1", ""}) {
+    g.set(bad);
+    expect_strict_failure("WSS_WATCHDOG_CYCLES", bad, [&arch] {
+      wse::Fabric f(1, 1, arch, wse::SimParams{});
+    });
+  }
+}
+
+TEST(EnvKnobs, FlightrecDepth) {
+  EnvGuard g("WSS_FLIGHTREC_DEPTH");
+  EXPECT_EQ(telemetry::flightrec_depth(),
+            telemetry::FlightRecorder::kDefaultDepth);
+  g.set("64");
+  EXPECT_EQ(telemetry::flightrec_depth(), 64u);
+  g.set("999999999");
+  EXPECT_EQ(telemetry::flightrec_depth(),
+            telemetry::FlightRecorder::kMaxDepth); // clamp
+  for (const char* bad : {"deep", "0", "-8", ""}) {
+    g.set(bad);
+    expect_strict_failure("WSS_FLIGHTREC_DEPTH", bad,
+                          [] { (void)telemetry::flightrec_depth(); });
+  }
+}
+
+TEST(EnvKnobs, FaultStorm) {
+  EnvGuard g("WSS_FAULT_STORM");
+  EXPECT_EQ(telemetry::fault_storm_threshold(), 0u); // unset -> disabled
+  g.set("250");
+  EXPECT_EQ(telemetry::fault_storm_threshold(), 250u);
+  for (const char* bad : {"lots", "-5", ""}) {
+    g.set(bad);
+    expect_strict_failure("WSS_FAULT_STORM", bad, [] {
+      (void)telemetry::fault_storm_threshold();
+    });
+  }
+}
+
+TEST(EnvKnobs, PostmortemDir) {
+  EnvGuard g("WSS_POSTMORTEM_DIR");
+  EXPECT_EQ(telemetry::postmortem_dir(), "");
+  g.set("/tmp/pm");
+  EXPECT_EQ(telemetry::postmortem_dir(), "/tmp/pm");
+  g.set("");
+  expect_strict_failure("WSS_POSTMORTEM_DIR", "",
+                        [] { (void)telemetry::postmortem_dir(); });
+}
+
+// WSS_TRACE_JSON / WSS_JSON_OUT / WSS_CSV_DIR / WSS_PROF_JSON are
+// path-valued knobs whose consumers (telemetry/global.cpp,
+// telemetry/bench_report.cpp, bench/bench_util.hpp, perfmodel/
+// perf_report.cpp) all route through env::parse_cstr; pin the contract
+// per variable name so a rename or a parser regression is caught here.
+TEST(EnvKnobs, PathKnobsRejectEmptyValues) {
+  for (const char* name :
+       {"WSS_TRACE_JSON", "WSS_JSON_OUT", "WSS_CSV_DIR", "WSS_PROF_JSON"}) {
+    EnvGuard g(name);
+    EXPECT_EQ(env::parse_cstr(name), nullptr) << name;
+    g.set("out.json");
+    EXPECT_STREQ(env::parse_cstr(name), "out.json") << name;
+    g.set("");
+    expect_strict_failure(name, "", [name] { (void)env::parse_cstr(name); });
+  }
+}
+
+TEST(EnvKnobs, ProptestSeedAndScale) {
+  EnvGuard seed("WSS_PROPTEST_SEED");
+  EnvGuard scale("WSS_PROPTEST_SCALE");
+  EXPECT_FALSE(env::is_set("WSS_PROPTEST_SEED"));
+  seed.set("12345");
+  EXPECT_TRUE(env::is_set("WSS_PROPTEST_SEED"));
+  EXPECT_EQ(env::parse_u64("WSS_PROPTEST_SEED", 0), 12345u);
+  seed.set("0xbeef"); // hex was never documented; now it fails loudly
+  expect_strict_failure("WSS_PROPTEST_SEED", "0xbeef", [] {
+    (void)env::parse_u64("WSS_PROPTEST_SEED", 0);
+  });
+
+  EXPECT_EQ(env::parse_int("WSS_PROPTEST_SCALE", 100, 1, 100), 100);
+  scale.set("25");
+  EXPECT_EQ(env::parse_int("WSS_PROPTEST_SCALE", 100, 1, 100), 25);
+  scale.set("400");
+  EXPECT_EQ(env::parse_int("WSS_PROPTEST_SCALE", 100, 1, 100), 100); // clamp
+  scale.set("0");
+  expect_strict_failure("WSS_PROPTEST_SCALE", "0", [] {
+    (void)env::parse_int("WSS_PROPTEST_SCALE", 100, 1, 100);
+  });
+}
+
+} // namespace
+} // namespace wss

@@ -33,6 +33,7 @@
 #include <functional>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
 
 namespace wss::proptest {
@@ -107,8 +108,6 @@ inline bool failed_quietly(const std::function<void(Case&)>& body,
   return false;
 }
 
-inline const char* env_or_null(const char* name) { return std::getenv(name); }
-
 } // namespace detail
 
 /// Run `body` over `p.cases` derived seeds. On the first failure, shrink
@@ -118,12 +117,10 @@ inline const char* env_or_null(const char* name) { return std::getenv(name); }
 /// WSS_PROPTEST_SCALE, default 100).
 inline void check(const std::string& name,
                   const std::function<void(Case&)>& body, Params p = {}) {
-  if (const char* pinned = detail::env_or_null("WSS_PROPTEST_SEED")) {
-    const std::uint64_t seed = std::strtoull(pinned, nullptr, 0);
-    int scale = 100;
-    if (const char* s = detail::env_or_null("WSS_PROPTEST_SCALE")) {
-      scale = std::clamp(std::atoi(s), 1, 100);
-    }
+  if (wss::env::is_set("WSS_PROPTEST_SEED")) {
+    const std::uint64_t seed = wss::env::parse_u64("WSS_PROPTEST_SEED", 0);
+    const int scale =
+        static_cast<int>(wss::env::parse_int("WSS_PROPTEST_SCALE", 100, 1, 100));
     SCOPED_TRACE("property '" + name + "' pinned case: seed=" +
                  std::to_string(seed) + " scale=" + std::to_string(scale));
     Case c(seed, scale);

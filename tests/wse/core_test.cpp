@@ -18,7 +18,7 @@ struct SingleTile {
   }
   TileCore& core() { return fabric.core(0, 0); }
   std::uint64_t run() {
-    const auto cycles = fabric.run(100000);
+    const auto cycles = fabric.run(100000).cycles;
     EXPECT_TRUE(fabric.all_done());
     return cycles;
   }

@@ -117,7 +117,7 @@ TEST(Fabric, MultiHopLatencyIsAboutOneCyclePerHop) {
                         recv_routes);
   fabric.core(0, 0).host_write_f16(0, fp16_t(7.0));
 
-  const std::uint64_t cycles = fabric.run(1000);
+  const std::uint64_t cycles = fabric.run(1000).cycles;
   ASSERT_TRUE(fabric.all_done());
   EXPECT_EQ(fabric.core(n - 1, 0).host_read_f16(buf).to_double(), 7.0);
   // n-1 hops; allow a small constant for task start and ramp traversal.

@@ -248,7 +248,7 @@ Fabric make_starving_fabric(int threads) {
 TEST(ParallelConformance, RunWithZeroMaxCyclesIsANoOp) {
   for (const int threads : {1, 2, 8}) {
     Fabric fabric = make_starving_fabric(threads);
-    EXPECT_EQ(fabric.run(0), 0u) << "threads=" << threads;
+    EXPECT_EQ(fabric.run(0).cycles, 0u) << "threads=" << threads;
     EXPECT_EQ(fabric.stats().cycles, 0u) << "threads=" << threads;
     EXPECT_EQ(fabric.stats().link_transfers, 0u) << "threads=" << threads;
   }
@@ -259,7 +259,7 @@ TEST(ParallelConformance, DeadlockedProgramReturnsAtMaxCycles) {
   for (const int threads : {1, 2, 8}) {
     Fabric fabric = make_starving_fabric(threads);
     // Must return (not hang) after exactly max_cycles.
-    EXPECT_EQ(fabric.run(500), 500u) << "threads=" << threads;
+    EXPECT_EQ(fabric.run(500).cycles, 500u) << "threads=" << threads;
     EXPECT_FALSE(fabric.all_done()) << "threads=" << threads;
     EXPECT_FALSE(fabric.quiescent()) << "threads=" << threads;
     stall_cycles.push_back(fabric.core(1, 1).stats().stall_cycles);
@@ -300,7 +300,7 @@ TEST(ParallelConformance, UnconfiguredTilesAreSkippedNotDereferenced) {
     sim.sim_threads = threads;
     Fabric fabric(4, 4, arch, sim);
     fabric.configure_tile(1, 2, never_done_receiver(), RoutingTable{});
-    EXPECT_EQ(fabric.run(50), 50u) << "threads=" << threads;
+    EXPECT_EQ(fabric.run(50).cycles, 50u) << "threads=" << threads;
     EXPECT_FALSE(fabric.all_done());
   }
 }

@@ -1,0 +1,121 @@
+// wss_inspect — post-mortem bundle forensics CLI (docs/POSTMORTEM.md).
+//
+//   wss_inspect print <bundle.json> [--last N]
+//     Pretty-print one bundle: anomaly, stop reason, wait-for cycles,
+//     blocked tiles, last-N flight events of the busiest/blocked tiles,
+//     solver scalars.
+//
+//   wss_inspect diff <a.json> <b.json>
+//     First divergence between two bundles of the same program — the
+//     earliest (cycle, tile, event) at which the recorded streams differ,
+//     e.g. a fault-injected run against its clean twin. Exit 0 when the
+//     streams are identical, 3 when they diverge.
+//
+//   wss_inspect self-check <bundle.json> [...]
+//     Schema/invariant guard for CI: verifies each bundle loads, carries
+//     the expected schema tag, and satisfies the structural invariants the
+//     other subcommands depend on. Exit 0 iff every bundle passes.
+//
+// Exit codes: 0 success, 1 usage error, 2 unreadable/invalid bundle,
+// 3 divergence found (diff only).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "telemetry/postmortem.hpp"
+
+namespace {
+
+using wss::telemetry::Bundle;
+using wss::telemetry::Divergence;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wss_inspect print <bundle.json> [--last N]\n"
+               "       wss_inspect diff <a.json> <b.json>\n"
+               "       wss_inspect self-check <bundle.json> [...]\n");
+  return 1;
+}
+
+bool load_or_complain(const std::string& path, Bundle* out) {
+  std::string error;
+  if (!wss::telemetry::load_bundle(path, out, &error)) {
+    std::fprintf(stderr, "wss_inspect: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_print(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string path = argv[0];
+  std::size_t last_k = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 1) {
+        std::fprintf(stderr, "wss_inspect: --last wants a positive count\n");
+        return 1;
+      }
+      last_k = static_cast<std::size_t>(v);
+    } else {
+      return usage();
+    }
+  }
+  Bundle bundle;
+  if (!load_or_complain(path, &bundle)) return 2;
+  const std::string rendered = wss::telemetry::pretty_bundle(bundle, last_k);
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc != 2) return usage();
+  Bundle a;
+  Bundle b;
+  if (!load_or_complain(argv[0], &a)) return 2;
+  if (!load_or_complain(argv[1], &b)) return 2;
+  const Divergence d = wss::telemetry::first_divergence(a, b);
+  const std::string rendered = wss::telemetry::pretty_divergence(d);
+  std::fputs(rendered.c_str(), stdout);
+  return d.found ? 3 : 0;
+}
+
+int cmd_self_check(int argc, char** argv) {
+  if (argc < 1) return usage();
+  int failures = 0;
+  for (int i = 0; i < argc; ++i) {
+    Bundle bundle;
+    if (!load_or_complain(argv[i], &bundle)) {
+      ++failures;
+      continue;
+    }
+    std::string error;
+    if (!wss::telemetry::self_check_bundle(bundle, &error)) {
+      std::fprintf(stderr, "wss_inspect: %s: self-check failed: %s\n",
+                   argv[i], error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%s, %zu tiles, %zu heatmaps)\n", argv[i],
+                bundle.anomaly_kind.c_str(), bundle.tiles.size(),
+                bundle.heatmaps.size());
+  }
+  return failures == 0 ? 0 : 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "print") return cmd_print(argc - 2, argv + 2);
+  if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+  if (cmd == "self-check") return cmd_self_check(argc - 2, argv + 2);
+  if (cmd == "--help" || cmd == "-h") {
+    usage();
+    return 0;
+  }
+  return usage();
+}
