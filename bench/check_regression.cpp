@@ -15,6 +15,13 @@
 //       per-metric tolerances where a baseline already exists
 //   check_regression ... --report out/regression_report.json
 //       additionally write a machine-readable verdict (CI artifact)
+//   check_regression ... --history-dir bench/history [--sha <gitsha>]
+//       append this gate run — run ID, git sha (or $WSS_GIT_SHA), verdict,
+//       and every measured metric — as one `wss.benchhistory/1` JSONL
+//       line to <dir>/history.jsonl (the bench trajectory ledger)
+//   check_regression ... --trajectory out/BENCH_trajectory.json
+//       emit a `wss.benchtrajectory/1` trend report (per metric: points
+//       across history, min/max/mean/latest) from the history ledger
 //
 // Baseline format (insertion-ordered, human-editable):
 //   { "bench": "bench_fig6_allreduce",
@@ -37,8 +44,11 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/json_parse.hpp"
+#include "telemetry/ledger.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace fs = std::filesystem;
 namespace jp = wss::telemetry::jsonparse;
@@ -325,16 +335,218 @@ std::string verdicts_json(const std::vector<BenchVerdict>& verdicts) {
   return w.str();
 }
 
+// --- bench trajectory (docs/TIMESERIES.md) ------------------------------
+//
+// Every gate run can be appended, with a run ID and git sha, to an
+// append-only `wss.benchhistory/1` JSONL ledger; the trajectory report
+// trends each gated metric across that history so CI exposes drift as a
+// curve, not just the latest pass/fail bit.
+
+constexpr const char* kBenchHistorySchema = "wss.benchhistory/1";
+constexpr const char* kBenchTrajectorySchema = "wss.benchtrajectory/1";
+
+std::string resolve_sha(const std::string& cli_sha) {
+  if (!cli_sha.empty()) return cli_sha;
+  const std::string env_sha = wss::env::parse_string("WSS_GIT_SHA");
+  return env_sha.empty() ? "unknown" : env_sha;
+}
+
+std::string history_line(const std::string& run_id, const std::string& sha,
+                         const std::vector<BenchVerdict>& verdicts) {
+  wss::telemetry::json::Writer w;
+  w.begin_object();
+  w.key("schema").value(kBenchHistorySchema);
+  w.key("run_id").value(run_id);
+  w.key("sha").value(sha);
+  bool all_ok = true;
+  for (const BenchVerdict& v : verdicts) all_ok = all_ok && v.ok();
+  w.key("ok").value(all_ok);
+  w.key("benches").begin_array();
+  for (const BenchVerdict& v : verdicts) {
+    w.begin_object();
+    w.key("bench").value(v.bench);
+    w.key("ok").value(v.ok());
+    w.key("metrics").begin_array();
+    for (const MetricVerdict& m : v.metrics) {
+      if (!m.measured) continue; // missing rows carry no trend point
+      w.begin_object();
+      w.key("label").value(m.baseline.label);
+      w.key("unit").value(m.baseline.unit);
+      w.key("measured").value(*m.measured);
+      w.key("ok").value(m.ok);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool append_history(const std::string& dir, const std::string& run_id,
+                    const std::string& sha,
+                    const std::vector<BenchVerdict>& verdicts,
+                    std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path path = fs::path(dir) / "history.jsonl";
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    *error = "could not open " + path.string();
+    return false;
+  }
+  out << history_line(run_id, sha, verdicts) << "\n";
+  out.flush();
+  if (!out) {
+    *error = "short write to " + path.string();
+    return false;
+  }
+  return true;
+}
+
+/// One history entry, flattened to (bench/label, unit, measured) triples.
+struct HistoryEntry {
+  std::string run_id;
+  std::string sha;
+  bool ok = false;
+  struct Point {
+    std::string bench;
+    std::string label;
+    std::string unit;
+    double measured = 0.0;
+  };
+  std::vector<Point> points;
+};
+
+std::optional<std::vector<HistoryEntry>> load_history(const std::string& dir,
+                                                      std::string* error) {
+  const fs::path path = fs::path(dir) / "history.jsonl";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "could not read " + path.string();
+    return std::nullopt;
+  }
+  std::vector<HistoryEntry> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const jp::ParseResult r = jp::parse(line);
+    if (!r.ok()) continue; // torn/partial trailing line: skip, keep history
+    if (str_or(r.value->find("schema"), "") != kBenchHistorySchema) continue;
+    HistoryEntry e;
+    e.run_id = str_or(r.value->find("run_id"), "");
+    e.sha = str_or(r.value->find("sha"), "unknown");
+    const jp::Value* ok = r.value->find("ok");
+    e.ok = ok != nullptr && ok->kind == jp::Kind::Bool && ok->boolean;
+    const jp::Value* benches = r.value->find("benches");
+    if (benches != nullptr && benches->is_array()) {
+      for (const jp::Value& bench : *benches->array) {
+        const std::string bench_name = str_or(bench.find("bench"), "");
+        const jp::Value* metrics = bench.find("metrics");
+        if (metrics == nullptr || !metrics->is_array()) continue;
+        for (const jp::Value& m : *metrics->array) {
+          HistoryEntry::Point p;
+          p.bench = bench_name;
+          p.label = str_or(m.find("label"), "");
+          p.unit = str_or(m.find("unit"), "");
+          const jp::Value* measured = m.find("measured");
+          if (p.label.empty() || measured == nullptr ||
+              !measured->is_number()) {
+            continue;
+          }
+          p.measured = measured->number;
+          e.points.push_back(std::move(p));
+        }
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string trajectory_json(const std::vector<HistoryEntry>& history) {
+  // Metric identity = (bench, label), in first-seen order across history.
+  struct Series {
+    std::string bench;
+    std::string label;
+    std::string unit;
+    std::vector<double> points;
+  };
+  std::vector<Series> series;
+  auto find_series = [&](const std::string& bench,
+                         const std::string& label) -> Series* {
+    for (Series& s : series) {
+      if (s.bench == bench && s.label == label) return &s;
+    }
+    return nullptr;
+  };
+  for (const HistoryEntry& e : history) {
+    for (const HistoryEntry::Point& p : e.points) {
+      Series* s = find_series(p.bench, p.label);
+      if (s == nullptr) {
+        series.push_back({p.bench, p.label, p.unit, {}});
+        s = &series.back();
+      }
+      s->points.push_back(p.measured);
+    }
+  }
+  wss::telemetry::json::Writer w;
+  w.begin_object();
+  w.key("schema").value(kBenchTrajectorySchema);
+  w.key("entries").value(static_cast<std::uint64_t>(history.size()));
+  if (!history.empty()) {
+    w.key("latest_run").value(history.back().run_id);
+    w.key("latest_sha").value(history.back().sha);
+    w.key("latest_ok").value(history.back().ok);
+  }
+  w.key("metrics").begin_array();
+  for (const Series& s : series) {
+    double lo = s.points.front();
+    double hi = s.points.front();
+    double sum = 0.0;
+    for (const double v : s.points) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    w.begin_object();
+    w.key("bench").value(s.bench);
+    w.key("label").value(s.label);
+    w.key("unit").value(s.unit);
+    w.key("min").value(lo);
+    w.key("max").value(hi);
+    w.key("mean").value(sum / static_cast<double>(s.points.size()));
+    w.key("latest").value(s.points.back());
+    w.key("spark").value(
+        wss::telemetry::sparkline(s.points, std::min<std::size_t>(
+                                                s.points.size(), 60)));
+    w.key("points").begin_array();
+    for (const double v : s.points) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --baselines <dir> --reports <dir> [--write] "
       "[--report <path>]\n"
+      "          [--history-dir <dir>] [--sha <gitsha>] "
+      "[--trajectory <path>]\n"
       "  compares $WSS_JSON_OUT bench reports against checked-in "
       "baselines;\n"
       "  exit 0 = all gated metrics within tolerance, 1 = regression,\n"
       "  2 = usage/io error. --write regenerates baselines from the "
-      "reports.\n",
+      "reports.\n"
+      "  --history-dir appends this run to <dir>/history.jsonl "
+      "(wss.benchhistory/1);\n"
+      "  --trajectory emits a trend report over that history "
+      "(wss.benchtrajectory/1).\n",
       argv0);
   return 2;
 }
@@ -345,6 +557,9 @@ int main(int argc, char** argv) {
   std::string baselines_dir;
   std::string reports_dir;
   std::string report_out;
+  std::string history_dir;
+  std::string trajectory_out;
+  std::string sha;
   bool write = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -363,6 +578,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       report_out = v;
+    } else if (arg == "--history-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      history_dir = v;
+    } else if (arg == "--trajectory") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      trajectory_out = v;
+    } else if (arg == "--sha") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sha = v;
     } else if (arg == "--write") {
       write = true;
     } else {
@@ -453,6 +680,40 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << verdicts_json(verdicts) << "\n";
+  }
+
+  if (!history_dir.empty()) {
+    const std::string run_id = wss::telemetry::next_run_id("bench-gate");
+    std::string error;
+    if (!append_history(history_dir, run_id, resolve_sha(sha), verdicts,
+                        &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("appended %s to %s/history.jsonl\n", run_id.c_str(),
+                history_dir.c_str());
+  }
+
+  if (!trajectory_out.empty()) {
+    if (history_dir.empty()) {
+      std::fprintf(stderr, "error: --trajectory needs --history-dir\n");
+      return 2;
+    }
+    std::string error;
+    const auto history = load_history(history_dir, &error);
+    if (!history) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::ofstream out(trajectory_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: could not open %s\n",
+                   trajectory_out.c_str());
+      return 2;
+    }
+    out << trajectory_json(*history) << "\n";
+    std::printf("wrote %s (%zu history entr%s)\n", trajectory_out.c_str(),
+                history->size(), history->size() == 1 ? "y" : "ies");
   }
 
   if (failures > 0) {

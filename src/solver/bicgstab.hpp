@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "solver/blas.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/postmortem.hpp"
 #include "telemetry/probe.hpp"
 
@@ -148,6 +149,24 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       controls.scalars->record(it, name, value);
     }
   };
+  // Run ledger (docs/TIMESERIES.md): host-side solves are runs too — when
+  // WSS_LEDGER_DIR is set, every stop path appends one manifest recording
+  // the outcome and the convergence metrics. Inert otherwise.
+  const auto record_ledger = [&]() {
+    if (telemetry::ledger_dir().empty()) return;
+    telemetry::RunManifest m;
+    m.run_id = telemetry::next_run_id(controls.probe_name);
+    m.program = controls.probe_name;
+    m.outcome = to_string(result.reason);
+    m.env = telemetry::wss_environment();
+    m.add_metric("iterations", static_cast<double>(result.iterations));
+    m.add_metric("residual", result.final_residual());
+    m.add_metric("flops", static_cast<double>(result.flops.total()));
+    if (result.restarts > 0) {
+      m.add_metric("restarts", static_cast<double>(result.restarts));
+    }
+    (void)telemetry::maybe_append_run_manifest(m);
+  };
   const auto report_breakdown = [&]() {
     if (result.reason != StopReason::Breakdown) return;
     telemetry::AnomalyInfo anomaly;
@@ -188,6 +207,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     result.relative_residuals.push_back(0.0);
     probe.finish(to_string(result.reason), result.iterations,
                  result.final_residual());
+    record_ledger();
     return result;
   }
   if (!std::isfinite(bnorm)) {
@@ -196,6 +216,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     result.breakdown = BreakdownKind::NonFiniteResidual;
     probe.finish(to_string(result.reason), result.iterations,
                  result.final_residual());
+    record_ledger();
     report_breakdown();
     return result;
   }
@@ -360,6 +381,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
       result.reason = StopReason::Converged;
       probe.finish(to_string(result.reason), result.iterations,
                    result.final_residual());
+      record_ledger();
       return result;
     }
     if (controls.stagnation_window > 0 &&
@@ -371,6 +393,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
         result.reason = StopReason::Stagnation;
         probe.finish(to_string(result.reason), result.iterations,
                      result.final_residual());
+        record_ledger();
         return result;
       }
     }
@@ -400,6 +423,7 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
 
   probe.finish(to_string(result.reason), result.iterations,
                result.final_residual());
+  record_ledger();
   report_breakdown();
   return result;
 }

@@ -18,6 +18,7 @@
 #include "telemetry/io.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/json_parse.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/profiler.hpp"
 #include "wse/fabric.hpp"
 
@@ -460,6 +461,26 @@ std::string build_postmortem_json(const AnomalyInfo& anomaly,
     w.key("scalars_dropped").value(in.scalars->dropped());
   }
 
+  if (in.timeseries != nullptr) {
+    // The lead-up trajectory: the last frames of the active time series.
+    // The full series lives in its own artifact (docs/TIMESERIES.md).
+    const TimeSeriesSampler& ts = *in.timeseries;
+    w.key("timeseries").begin_object();
+    w.key("sample_cycles").value(ts.interval());
+    w.key("frames_total")
+        .value(static_cast<std::uint64_t>(ts.frames().size()) +
+               ts.frames_dropped());
+    w.key("frames").begin_array();
+    const std::size_t n = ts.frames().size();
+    const std::size_t start =
+        n > kPostmortemTimeseriesTail ? n - kPostmortemTimeseriesTail : 0;
+    for (std::size_t i = start; i < n; ++i) {
+      emit_timeseries_frame(w, ts.frames()[i]);
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   if (in.fabric != nullptr) {
     const wse::FaultStats& fs = in.fabric->fault_stats();
     w.key("faults").begin_object();
@@ -534,24 +555,104 @@ std::size_t flightrec_depth() {
 
 RunForensics::RunForensics(wse::Fabric& fabric, std::string program)
     : fabric_(fabric), program_(std::move(program)) {
-  if (fabric_.flight_recorder() != nullptr) return; // respect the caller's
-  if (postmortem_dir().empty()) return;             // forensics disabled
-  owned_ = std::make_unique<FlightRecorder>(fabric_.width(), fabric_.height(),
-                                            flightrec_depth());
-  fabric_.set_flight_recorder(owned_.get());
-  attached_ = true;
+  if (fabric_.flight_recorder() == nullptr && !postmortem_dir().empty()) {
+    owned_ = std::make_unique<FlightRecorder>(
+        fabric_.width(), fabric_.height(), flightrec_depth());
+    fabric_.set_flight_recorder(owned_.get());
+    attached_ = true;
+  }
+  const std::uint64_t interval = sample_cycles();
+  if (fabric_.sampler() == nullptr && interval > 0) {
+    owned_sampler_ = std::make_unique<TimeSeriesSampler>(interval);
+    owned_sampler_->set_program(program_);
+    fabric_.set_sampler(owned_sampler_.get());
+    sampler_attached_ = true;
+  }
+  if (!ledger_dir().empty() || fabric_.sampler() != nullptr) {
+    run_id_ = next_run_id(program_);
+  }
 }
 
 RunForensics::~RunForensics() {
   if (attached_) fabric_.set_flight_recorder(nullptr);
+  if (sampler_attached_) fabric_.set_sampler(nullptr);
 }
 
 FlightRecorder* RunForensics::recorder() const {
   return fabric_.flight_recorder();
 }
 
+TimeSeriesSampler* RunForensics::sampler() const { return fabric_.sampler(); }
+
+void RunForensics::finalize(const std::string& outcome, bool deadlock,
+                            const std::string& postmortem_path) {
+  if (finalized_) return; // one artifact set + ledger line per run
+  finalized_ = true;
+
+  // Close the final (possibly partial) sampling window so the summed
+  // per-window deltas equal the end-of-run totals exactly.
+  fabric_.sample_now();
+
+  TimeSeriesSampler* ts = fabric_.sampler();
+  std::string ts_path;
+  if (ts != nullptr) {
+    ts_path = timeseries_out();
+    if (ts_path.empty() && !ledger_dir().empty() && !run_id_.empty()) {
+      ts_path = ledger_dir() + "/" + run_id_ + ".timeseries.json";
+    }
+    if (!ts_path.empty()) {
+      // Claim the stem so two fabrics flushing the same WSS_TIMESERIES_OUT
+      // in one process get disjoint files instead of clobbering.
+      std::string stem = ts_path;
+      constexpr const char* kExt = ".json";
+      if (stem.size() > 5 && stem.compare(stem.size() - 5, 5, kExt) == 0) {
+        stem.resize(stem.size() - 5);
+      }
+      ts_path = claim_output_stem(stem) + kExt;
+      std::string error;
+      if (!write_timeseries(ts_path, *ts, scalars_, &error)) {
+        std::fprintf(stderr, "wss: time-series write failed: %s\n",
+                     error.c_str());
+        ts_path.clear();
+      }
+    }
+  }
+
+  if (ledger_dir().empty()) return;
+  RunManifest m;
+  m.run_id = run_id_.empty() ? next_run_id(program_) : run_id_;
+  m.program = program_;
+  m.width = fabric_.width();
+  m.height = fabric_.height();
+  m.threads = fabric_.threads();
+  m.cycles = fabric_.stats().cycles;
+  m.outcome = outcome;
+  m.deadlock = deadlock;
+  m.fault_total = fabric_.fault_stats().total();
+  m.env = wss_environment();
+  m.add_metric("cycles", static_cast<double>(fabric_.stats().cycles));
+  m.add_metric("link_transfers",
+               static_cast<double>(fabric_.stats().link_transfers));
+  if (m.fault_total > 0) {
+    m.add_metric("fault_total", static_cast<double>(m.fault_total));
+  }
+  if (ts != nullptr) {
+    m.add_metric("timeseries_frames",
+                 static_cast<double>(ts->frames().size()));
+  }
+  if (!ts_path.empty()) m.add_artifact("timeseries", ts_path);
+  if (!postmortem_path.empty()) {
+    m.add_artifact("postmortem", postmortem_path);
+  }
+  (void)maybe_append_run_manifest(m);
+}
+
 std::string RunForensics::deadlock(const wse::StopInfo& stop,
                                    const std::string& what) {
+  // Close the sampling window before snapshotting so the bundle's
+  // embedded tail reaches the stop cycle.
+  fabric_.sample_now();
+
   AnomalyInfo anomaly;
   anomaly.kind = AnomalyInfo::Kind::Deadlock;
   anomaly.cycle = fabric_.stats().cycles;
@@ -561,9 +662,13 @@ std::string RunForensics::deadlock(const wse::StopInfo& stop,
   in.fabric = &fabric_;
   in.recorder = fabric_.flight_recorder();
   in.profiler = fabric_.profiler();
+  in.scalars = scalars_;
   in.stop = &stop;
+  in.timeseries = fabric_.sampler();
   in.program = program_;
   const std::string path = maybe_write_postmortem(anomaly, in);
+
+  finalize(wse::StopInfo::to_string(stop.reason), stop.deadlock, path);
 
   std::string msg = what;
   if (!stop.report.empty()) {
@@ -577,22 +682,29 @@ std::string RunForensics::deadlock(const wse::StopInfo& stop,
   return msg;
 }
 
-void RunForensics::finished() {
+void RunForensics::finished(const wse::StopInfo* stop) {
+  std::string bundle_path;
   const std::uint64_t threshold = fault_storm_threshold();
-  if (threshold == 0) return;
   const std::uint64_t total = fabric_.fault_stats().total();
-  if (total < threshold) return;
-  AnomalyInfo anomaly;
-  anomaly.kind = AnomalyInfo::Kind::FaultStorm;
-  anomaly.cycle = fabric_.stats().cycles;
-  anomaly.detail = std::to_string(total) + " injected faults >= threshold " +
-                   std::to_string(threshold);
-  PostmortemInputs in;
-  in.fabric = &fabric_;
-  in.recorder = fabric_.flight_recorder();
-  in.profiler = fabric_.profiler();
-  in.program = program_;
-  (void)maybe_write_postmortem(anomaly, in);
+  if (threshold != 0 && total >= threshold) {
+    fabric_.sample_now(); // bundle tail reaches the final cycle
+    AnomalyInfo anomaly;
+    anomaly.kind = AnomalyInfo::Kind::FaultStorm;
+    anomaly.cycle = fabric_.stats().cycles;
+    anomaly.detail = std::to_string(total) + " injected faults >= threshold " +
+                     std::to_string(threshold);
+    PostmortemInputs in;
+    in.fabric = &fabric_;
+    in.recorder = fabric_.flight_recorder();
+    in.profiler = fabric_.profiler();
+    in.scalars = scalars_;
+    in.timeseries = fabric_.sampler();
+    in.program = program_;
+    bundle_path = maybe_write_postmortem(anomaly, in);
+  }
+  finalize(stop != nullptr ? wse::StopInfo::to_string(stop->reason)
+                           : "finished",
+           stop != nullptr && stop->deadlock, bundle_path);
 }
 
 // --- bundle loading -----------------------------------------------------
@@ -789,6 +901,18 @@ bool load_bundle(const std::string& path, Bundle* out, std::string* error) {
     }
   }
 
+  if (const Value* ts = root.find("timeseries"); ts != nullptr) {
+    b.ts_sample_cycles = get_u64(ts, "sample_cycles");
+    b.ts_frames_total = get_u64(ts, "frames_total");
+    if (const Value* frames = ts->find("frames");
+        frames != nullptr && frames->is_array()) {
+      for (const Value& fv : *frames->array) {
+        TimeSeriesFrame f;
+        if (parse_timeseries_frame(fv, &f)) b.ts_frames.push_back(f);
+      }
+    }
+  }
+
   if (const Value* faults = root.find("faults"); faults != nullptr) {
     b.fault_total = get_u64(faults, "total");
   }
@@ -912,6 +1036,25 @@ std::string pretty_bundle(const Bundle& bundle, std::size_t last_k) {
       const ScalarSample& s = bundle.scalars[i];
       out << "  it " << s.iteration << " " << s.name << " = " << s.value
           << "\n";
+    }
+  }
+
+  if (!bundle.ts_frames.empty()) {
+    out << "\ntime-series tail (" << bundle.ts_frames.size() << " of "
+        << bundle.ts_frames_total << " frames, every "
+        << bundle.ts_sample_cycles << " cycles):\n";
+    std::vector<double> compute;
+    compute.reserve(bundle.ts_frames.size());
+    for (const TimeSeriesFrame& f : bundle.ts_frames) {
+      compute.push_back(static_cast<double>(f.instr_cycles) /
+                        static_cast<double>(f.window_cycles));
+    }
+    out << "  compute/cyc |" << sparkline(compute, 48) << "|\n";
+    const std::size_t shown =
+        std::min<std::size_t>(bundle.ts_frames.size(), last_k);
+    const std::size_t first = bundle.ts_frames.size() - shown;
+    for (std::size_t i = first; i < bundle.ts_frames.size(); ++i) {
+      out << "  " << summarize_frame(bundle.ts_frames[i]) << "\n";
     }
   }
 
@@ -1072,6 +1215,22 @@ bool self_check_bundle(const Bundle& bundle, std::string* error) {
   for (const auto& [x, y] : bundle.blocked_tiles) {
     if (has_fabric && !in_bounds(x, y)) {
       return fail_with("blocked tile " + tile_name(x, y) + " out of bounds");
+    }
+  }
+  if (bundle.ts_frames.size() > kPostmortemTimeseriesTail) {
+    return fail_with("time-series tail exceeds the retention cap");
+  }
+  if (bundle.ts_frames.size() >
+      static_cast<std::size_t>(bundle.ts_frames_total)) {
+    return fail_with("time-series tail holds more frames than frames_total");
+  }
+  for (std::size_t i = 0; i < bundle.ts_frames.size(); ++i) {
+    const TimeSeriesFrame& f = bundle.ts_frames[i];
+    if (f.window_cycles == 0) {
+      return fail_with("time-series frame with zero-cycle window");
+    }
+    if (i > 0 && f.cycle <= bundle.ts_frames[i - 1].cycle) {
+      return fail_with("time-series frames not chronological");
     }
   }
   return true;

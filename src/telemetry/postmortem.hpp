@@ -27,6 +27,7 @@
 
 #include "telemetry/flightrec.hpp"
 #include "telemetry/heatmap.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace wss::wse {
 class Fabric;
@@ -140,10 +141,18 @@ struct PostmortemInputs {
   const Profiler* profiler = nullptr;
   const ScalarHistory* scalars = nullptr;
   const wse::StopInfo* stop = nullptr;
+  /// When set, the bundle embeds the tail of the active time series (last
+  /// kPostmortemTimeseriesTail frames) — the lead-up trajectory, not just
+  /// the final state.
+  const TimeSeriesSampler* timeseries = nullptr;
   /// Program identity (name + shape), used by `wss_inspect diff` to check
   /// two bundles are comparable.
   std::string program;
 };
+
+/// Time-series frames a bundle retains (the trajectory leading up to the
+/// anomaly; the full series lives in its own artifact).
+inline constexpr std::size_t kPostmortemTimeseriesTail = 32;
 
 /// Render the bundle JSON (telemetry/json.hpp emit).
 [[nodiscard]] std::string build_postmortem_json(const AnomalyInfo& anomaly,
@@ -174,17 +183,26 @@ std::string maybe_write_postmortem(const AnomalyInfo& anomaly,
 /// WSS_FLIGHTREC_DEPTH (default FlightRecorder::kDefaultDepth).
 [[nodiscard]] std::size_t flightrec_depth();
 
-/// Env-driven forensic attachment shared by every fabric-owning kernel
-/// simulation: when WSS_POSTMORTEM_DIR is set (and the fabric has no
-/// recorder already), construct a FlightRecorder sized to the fabric
-/// (depth WSS_FLIGHTREC_DEPTH) and attach it for the scope's lifetime.
+/// Env-driven observability attachment shared by every fabric-owning
+/// kernel simulation. Three independent env switches compose:
+///  * WSS_POSTMORTEM_DIR: when set (and the fabric has no recorder
+///    already), construct a FlightRecorder sized to the fabric (depth
+///    WSS_FLIGHTREC_DEPTH) and attach it for the scope's lifetime;
+///  * WSS_SAMPLE_CYCLES: when nonzero (and the fabric has no sampler
+///    already), attach an owned TimeSeriesSampler and, at the end of the
+///    run (finished() or deadlock()), close the final window and flush the
+///    series to WSS_TIMESERIES_OUT (or `<ledger_dir>/<run_id>.timeseries.
+///    json` when only the ledger is configured);
+///  * WSS_LEDGER_DIR: when set, mint a run ID and append a RunManifest
+///    (outcome, metrics, artifact paths) to the ledger at end of run.
 /// Carries the two anomaly triggers every kernel shares:
 ///  * deadlock(): a failed run — writes a Deadlock bundle and returns the
 ///    error message enriched with the stop report and bundle path,
 ///  * finished(): a successful run — writes a FaultStorm bundle when the
 ///    injected-fault total crossed WSS_FAULT_STORM.
-/// With WSS_POSTMORTEM_DIR unset this is inert (no recorder, no bundles),
-/// and attaching a recorder never perturbs simulation (flightrec.hpp).
+/// With all three unset this is inert (no recorder, no sampler, no
+/// bundles, no ledger), and every attachment only observes
+/// (flightrec.hpp, timeseries.hpp).
 class RunForensics {
 public:
   RunForensics(wse::Fabric& fabric, std::string program);
@@ -196,19 +214,45 @@ public:
   /// nullptr when forensics are disabled.
   [[nodiscard]] FlightRecorder* recorder() const;
 
-  /// Failed run: write a Deadlock bundle (if enabled) and return `what`
-  /// enriched with the stop report (and bundle path when one was written).
+  /// The sampler observing the fabric (ours or a pre-attached one);
+  /// nullptr when sampling is disabled.
+  [[nodiscard]] TimeSeriesSampler* sampler() const;
+
+  /// This run's ledger identity ("" when neither ledger nor sampler is
+  /// active).
+  [[nodiscard]] const std::string& run_id() const { return run_id_; }
+
+  /// Optional host-side scalar history to embed in the flushed time
+  /// series (rho/omega/residual per iteration). Must outlive this scope.
+  void set_scalars(const ScalarHistory* scalars) { scalars_ = scalars; }
+
+  /// Failed run: write a Deadlock bundle (if enabled), flush the time
+  /// series, append the ledger entry, and return `what` enriched with the
+  /// stop report (and bundle path when one was written).
   [[nodiscard]] std::string deadlock(const wse::StopInfo& stop,
                                      const std::string& what);
 
-  /// Successful run: fault-storm trigger (see fault_storm_threshold).
-  void finished();
+  /// Successful run: fault-storm trigger (see fault_storm_threshold),
+  /// time-series flush and ledger append. Pass the StopInfo when you have
+  /// it so the ledger records the real outcome ("finished" otherwise).
+  void finished(const wse::StopInfo* stop = nullptr);
 
 private:
+  /// Close the sampling window, write the series artifact, append the
+  /// ledger manifest. `outcome`/`deadlock` describe the run's end;
+  /// `postmortem_path` links the bundle artifact when one was written.
+  void finalize(const std::string& outcome, bool deadlock,
+                const std::string& postmortem_path);
+
   wse::Fabric& fabric_;
   std::string program_;
   std::unique_ptr<FlightRecorder> owned_;
   bool attached_ = false;
+  std::unique_ptr<TimeSeriesSampler> owned_sampler_;
+  bool sampler_attached_ = false;
+  std::string run_id_;
+  const ScalarHistory* scalars_ = nullptr;
+  bool finalized_ = false;
 };
 
 // --- bundle loading / inspection ----------------------------------------
@@ -258,6 +302,10 @@ struct Bundle {
   std::vector<Heatmap> heatmaps;
   // scalar history
   std::vector<ScalarSample> scalars;
+  // time-series tail (empty when no sampler was attached)
+  std::uint64_t ts_sample_cycles = 0;
+  std::uint64_t ts_frames_total = 0; ///< frames the sampler held in all
+  std::vector<TimeSeriesFrame> ts_frames; ///< last retained frames
   // fault summary (zero when no plan was attached)
   std::uint64_t fault_total = 0;
 };

@@ -1,0 +1,529 @@
+// Time-series analysis: JSON emission/loading, the CI self-check, frame
+// diffing and terminal rendering (sparklines). The recording half lives in
+// timeseries.hpp (header-only, included by the fabric); see
+// docs/TIMESERIES.md for the schema and the monitoring workflow.
+
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "telemetry/io.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/postmortem.hpp"
+
+namespace wss::telemetry {
+
+std::uint64_t sample_cycles() {
+  return env::parse_u64("WSS_SAMPLE_CYCLES", 0);
+}
+
+std::string timeseries_out() {
+  return env::parse_string("WSS_TIMESERIES_OUT");
+}
+
+// --- emission ------------------------------------------------------------
+
+void emit_timeseries_frame(json::Writer& w, const TimeSeriesFrame& f) {
+  w.begin_object();
+  w.key("cycle").value(f.cycle);
+  w.key("window").value(f.window_cycles);
+  w.key("link_transfers").value(f.link_transfers);
+  w.key("flits_forwarded").value(f.flits_forwarded);
+  w.key("words_sent").value(f.words_sent);
+  w.key("words_received").value(f.words_received);
+  w.key("instr").value(f.instr_cycles);
+  w.key("stall").value(f.stall_cycles);
+  w.key("idle").value(f.idle_cycles);
+  w.key("tasks").value(f.task_invocations);
+  w.key("faults").value(f.faults);
+  w.key("queued").value(f.router_queued_flits);
+  w.key("queue_peak").value(f.router_queue_peak);
+  w.key("fifo_hw").value(f.fifo_highwater);
+  w.key("ramp_hw").value(f.ramp_highwater);
+  w.key("iteration").value(f.max_iteration);
+  w.key("done_tiles").value(static_cast<std::uint64_t>(f.done_tiles));
+  w.key("phase_tiles").begin_array();
+  for (const std::uint32_t n : f.phase_tiles) {
+    w.value(static_cast<std::uint64_t>(n));
+  }
+  w.end_array();
+  if (f.has_profiler) {
+    w.key("prof_phase").begin_array();
+    for (const std::uint64_t n : f.prof_phase) w.value(n);
+    w.end_array();
+    w.key("prof_cat").begin_array();
+    for (const std::uint64_t n : f.prof_cat) w.value(n);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+std::string build_timeseries_json(const TimeSeriesSampler& sampler,
+                                  const ScalarHistory* scalars) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value(kTimeseriesSchema);
+  w.key("program").value(sampler.program());
+  w.key("width").value(sampler.width());
+  w.key("height").value(sampler.height());
+  w.key("threads").value(sampler.threads());
+  w.key("sample_cycles").value(sampler.interval());
+  w.key("frames_dropped").value(sampler.frames_dropped());
+  w.key("frames").begin_array();
+  for (const TimeSeriesFrame& f : sampler.frames()) {
+    emit_timeseries_frame(w, f);
+  }
+  w.end_array();
+  if (scalars != nullptr) {
+    w.key("scalars").begin_array();
+    for (const ScalarSample& s : scalars->samples()) {
+      w.begin_object();
+      w.key("iteration").value(s.iteration);
+      w.key("name").value(s.name);
+      w.key("value").value(s.value);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("scalars_dropped").value(scalars->dropped());
+  }
+  w.end_object();
+  return w.str();
+}
+
+bool write_timeseries(const std::string& path,
+                      const TimeSeriesSampler& sampler,
+                      const ScalarHistory* scalars, std::string* error) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    if (!ensure_directory(path.substr(0, slash), error)) return false;
+  }
+  return write_text_file(path, build_timeseries_json(sampler, scalars),
+                         error);
+}
+
+// --- loading -------------------------------------------------------------
+
+namespace {
+
+using jsonparse::Value;
+
+[[nodiscard]] std::string get_string(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_string() ? m->string : std::string{};
+}
+[[nodiscard]] double get_number(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_number() ? m->number : 0.0;
+}
+[[nodiscard]] std::uint64_t get_u64(const Value* v, const char* key) {
+  return static_cast<std::uint64_t>(get_number(v, key));
+}
+[[nodiscard]] int get_int(const Value* v, const char* key) {
+  return static_cast<int>(get_number(v, key));
+}
+
+template <typename T, std::size_t N>
+void get_u64_array(const Value* v, const char* key, std::array<T, N>* out) {
+  const Value* arr = v != nullptr ? v->find(key) : nullptr;
+  if (arr == nullptr || !arr->is_array()) return;
+  const std::size_t n = std::min(N, arr->array->size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value& e = (*arr->array)[i];
+    if (e.is_number()) (*out)[i] = static_cast<T>(e.number);
+  }
+}
+
+} // namespace
+
+bool parse_timeseries_frame(const jsonparse::Value& v, TimeSeriesFrame* out) {
+  if (!v.is_object()) return false;
+  TimeSeriesFrame f;
+  f.cycle = get_u64(&v, "cycle");
+  f.window_cycles = get_u64(&v, "window");
+  f.link_transfers = get_u64(&v, "link_transfers");
+  f.flits_forwarded = get_u64(&v, "flits_forwarded");
+  f.words_sent = get_u64(&v, "words_sent");
+  f.words_received = get_u64(&v, "words_received");
+  f.instr_cycles = get_u64(&v, "instr");
+  f.stall_cycles = get_u64(&v, "stall");
+  f.idle_cycles = get_u64(&v, "idle");
+  f.task_invocations = get_u64(&v, "tasks");
+  f.faults = get_u64(&v, "faults");
+  f.router_queued_flits = get_u64(&v, "queued");
+  f.router_queue_peak = get_u64(&v, "queue_peak");
+  f.fifo_highwater = get_u64(&v, "fifo_hw");
+  f.ramp_highwater = get_u64(&v, "ramp_hw");
+  f.max_iteration = get_u64(&v, "iteration");
+  f.done_tiles = static_cast<std::uint32_t>(get_u64(&v, "done_tiles"));
+  get_u64_array(&v, "phase_tiles", &f.phase_tiles);
+  f.has_profiler = v.find("prof_phase") != nullptr;
+  if (f.has_profiler) {
+    get_u64_array(&v, "prof_phase", &f.prof_phase);
+    get_u64_array(&v, "prof_cat", &f.prof_cat);
+  }
+  *out = f;
+  return true;
+}
+
+bool load_timeseries(const std::string& path, TimeSeries* out,
+                     std::string* error) {
+  const auto set_error = [&](const std::string& why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return false;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return set_error("cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return set_error("read error");
+  const std::string text = buf.str();
+
+  const jsonparse::ParseResult parsed = jsonparse::parse(text);
+  if (!parsed.ok()) return set_error("JSON error: " + parsed.error);
+  const Value& root = *parsed.value;
+  if (!root.is_object()) return set_error("top level is not an object");
+
+  TimeSeries ts;
+  ts.schema = get_string(&root, "schema");
+  if (ts.schema != kTimeseriesSchema) {
+    return set_error("schema mismatch: got '" + ts.schema + "', want '" +
+                     kTimeseriesSchema + "'");
+  }
+  ts.program = get_string(&root, "program");
+  ts.width = get_int(&root, "width");
+  ts.height = get_int(&root, "height");
+  ts.threads = get_int(&root, "threads");
+  ts.sample_cycles = get_u64(&root, "sample_cycles");
+  ts.frames_dropped = get_u64(&root, "frames_dropped");
+
+  if (const Value* frames = root.find("frames");
+      frames != nullptr && frames->is_array()) {
+    ts.frames.reserve(frames->array->size());
+    for (const Value& fv : *frames->array) {
+      TimeSeriesFrame f;
+      if (!parse_timeseries_frame(fv, &f)) {
+        return set_error("frame is not an object");
+      }
+      ts.frames.push_back(f);
+    }
+  }
+  if (const Value* scalars = root.find("scalars");
+      scalars != nullptr && scalars->is_array()) {
+    for (const Value& sv : *scalars->array) {
+      TimeSeriesScalar s;
+      s.iteration = get_u64(&sv, "iteration");
+      s.name = get_string(&sv, "name");
+      s.value = get_number(&sv, "value");
+      ts.scalars.push_back(std::move(s));
+    }
+  }
+  ts.scalars_dropped = get_u64(&root, "scalars_dropped");
+
+  *out = std::move(ts);
+  return true;
+}
+
+// --- self-check ----------------------------------------------------------
+
+bool self_check_timeseries(const TimeSeries& ts, std::string* error) {
+  const auto fail_with = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (ts.schema != kTimeseriesSchema) {
+    return fail_with("schema mismatch: '" + ts.schema + "'");
+  }
+  if (ts.width < 0 || ts.height < 0) {
+    return fail_with("negative fabric dimensions");
+  }
+  const std::uint64_t tiles = static_cast<std::uint64_t>(ts.width) *
+                              static_cast<std::uint64_t>(ts.height);
+  std::uint64_t prev_cycle = 0;
+  for (std::size_t i = 0; i < ts.frames.size(); ++i) {
+    const TimeSeriesFrame& f = ts.frames[i];
+    const std::string at = "frame " + std::to_string(i);
+    if (f.window_cycles == 0) return fail_with(at + ": zero-cycle window");
+    if (i > 0 && f.cycle <= prev_cycle) {
+      return fail_with(at + ": cycles not strictly increasing");
+    }
+    prev_cycle = f.cycle;
+    if (tiles > 0) {
+      std::uint64_t phase_sum = 0;
+      for (const std::uint32_t n : f.phase_tiles) phase_sum += n;
+      if (phase_sum > tiles) {
+        return fail_with(at + ": phase tile counts exceed the fabric");
+      }
+      if (f.done_tiles > tiles) {
+        return fail_with(at + ": done tile count exceeds the fabric");
+      }
+    }
+    if (f.has_profiler) {
+      // The profiler's conservation invariant, per window: every
+      // attributed cycle has exactly one phase and one category, so the
+      // two delta breakdowns sum to the same total.
+      std::uint64_t by_phase = 0;
+      std::uint64_t by_cat = 0;
+      for (const std::uint64_t n : f.prof_phase) by_phase += n;
+      for (const std::uint64_t n : f.prof_cat) by_cat += n;
+      if (by_phase != by_cat) {
+        return fail_with(at + ": profiler phase/category sums disagree (" +
+                         std::to_string(by_phase) + " vs " +
+                         std::to_string(by_cat) + ")");
+      }
+    }
+  }
+  for (std::size_t i = 1; i < ts.scalars.size(); ++i) {
+    if (ts.scalars[i].iteration < ts.scalars[i - 1].iteration) {
+      return fail_with("scalar samples not iteration-ordered");
+    }
+  }
+  return true;
+}
+
+// --- diffing -------------------------------------------------------------
+
+std::string summarize_frame(const TimeSeriesFrame& f) {
+  std::ostringstream out;
+  out << "c" << f.cycle << " w" << f.window_cycles << " instr="
+      << f.instr_cycles << " stall=" << f.stall_cycles << " idle="
+      << f.idle_cycles << " links=" << f.link_transfers << " queued="
+      << f.router_queued_flits << " it=" << f.max_iteration << " done="
+      << f.done_tiles;
+  if (f.faults > 0) out << " faults=" << f.faults;
+  return out.str();
+}
+
+FrameDivergence first_frame_divergence(const TimeSeries& a,
+                                       const TimeSeries& b) {
+  FrameDivergence d;
+  if (a.program != b.program) {
+    d.note = "warning: program mismatch ('" + a.program + "' vs '" +
+             b.program + "') — divergence below may be meaningless";
+  } else if (a.sample_cycles != b.sample_cycles) {
+    d.note = "warning: sample interval mismatch (" +
+             std::to_string(a.sample_cycles) + " vs " +
+             std::to_string(b.sample_cycles) +
+             ") — frames cover different windows";
+  }
+  const std::size_t n = std::min(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.frames[i] == b.frames[i]) continue;
+    d.found = true;
+    d.index = i;
+    d.cycle = std::min(a.frames[i].cycle, b.frames[i].cycle);
+    d.a_frame = summarize_frame(a.frames[i]);
+    d.b_frame = summarize_frame(b.frames[i]);
+    return d;
+  }
+  if (a.frames.size() != b.frames.size()) {
+    d.found = true;
+    d.index = n;
+    const bool a_longer = a.frames.size() > n;
+    d.cycle = a_longer ? a.frames[n].cycle : b.frames[n].cycle;
+    d.a_frame = a_longer ? summarize_frame(a.frames[n]) : "-";
+    d.b_frame = a_longer ? "-" : summarize_frame(b.frames[n]);
+  }
+  return d;
+}
+
+std::string pretty_frame_divergence(const FrameDivergence& d) {
+  std::ostringstream out;
+  if (!d.note.empty()) out << d.note << "\n";
+  if (!d.found) {
+    out << "no divergence: recorded frame streams are identical\n";
+    return out.str();
+  }
+  out << "first divergent frame at index " << d.index << " (cycle " << d.cycle
+      << "):\n";
+  out << "  A: " << d.a_frame << "\n";
+  out << "  B: " << d.b_frame << "\n";
+  return out.str();
+}
+
+// --- rendering -----------------------------------------------------------
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static constexpr const char kRamp[] = " .:-=+*#%@";
+  static constexpr std::size_t kLevels = sizeof(kRamp) - 2; // top index
+  if (width == 0) return {};
+  if (values.empty()) return std::string(width, ' ');
+  // Resample to `width` columns (bucket means), scale to the series max.
+  std::vector<double> cols(width, 0.0);
+  const std::size_t shown = std::min(width, values.size());
+  for (std::size_t col = 0; col < shown; ++col) {
+    const std::size_t lo = col * values.size() / shown;
+    const std::size_t hi =
+        std::max(lo + 1, (col + 1) * values.size() / shown);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi && i < values.size(); ++i) {
+      sum += values[i];
+    }
+    cols[col] = sum / static_cast<double>(hi - lo);
+  }
+  double maxv = 0.0;
+  for (std::size_t col = 0; col < shown; ++col) {
+    if (std::isfinite(cols[col])) maxv = std::max(maxv, cols[col]);
+  }
+  std::string out(width, ' ');
+  for (std::size_t col = 0; col < shown; ++col) {
+    const double v = std::isfinite(cols[col]) ? std::max(0.0, cols[col]) : 0.0;
+    std::size_t level = 0;
+    if (maxv > 0.0 && v > 0.0) {
+      level = 1 + static_cast<std::size_t>(v / maxv *
+                                           static_cast<double>(kLevels - 1));
+      level = std::min(level, kLevels);
+    }
+    out[col] = kRamp[level];
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::size_t kSparkWidth = 60;
+
+void spark_row(std::ostringstream& out, const char* label,
+               const std::vector<double>& values) {
+  double maxv = 0.0;
+  for (const double v : values) {
+    if (std::isfinite(v)) maxv = std::max(maxv, v);
+  }
+  if (maxv <= 0.0) return; // nothing happened on this axis: skip the row
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%-12s", label);
+  out << "  " << buf << "|" << sparkline(values, kSparkWidth) << "| max "
+      << json::number(maxv) << "\n";
+}
+
+} // namespace
+
+std::string pretty_timeseries(const TimeSeries& ts, std::size_t last_k) {
+  std::ostringstream out;
+  out << "time series (" << ts.schema << ")\n";
+  if (!ts.program.empty()) out << "  program: " << ts.program << "\n";
+  if (ts.width > 0) {
+    out << "  fabric:  " << ts.width << "x" << ts.height << ", "
+        << ts.threads << " sim thread(s)\n";
+  }
+  out << "  frames:  " << ts.frames.size() << " (every " << ts.sample_cycles
+      << " cycles";
+  if (ts.frames_dropped > 0) out << ", " << ts.frames_dropped << " dropped";
+  out << ")";
+  if (!ts.frames.empty()) {
+    out << ", cycles " << ts.frames.front().cycle << ".."
+        << ts.frames.back().cycle;
+  }
+  out << "\n";
+  if (ts.frames.empty()) return out.str();
+
+  const auto column = [&](auto&& field) {
+    std::vector<double> vs;
+    vs.reserve(ts.frames.size());
+    for (const TimeSeriesFrame& f : ts.frames) {
+      vs.push_back(static_cast<double>(field(f)) /
+                   static_cast<double>(f.window_cycles));
+    }
+    return vs;
+  };
+
+  out << "\nper-cycle rates over the run:\n";
+  spark_row(out, "compute", column([](const TimeSeriesFrame& f) {
+              return f.instr_cycles;
+            }));
+  spark_row(out, "stall", column([](const TimeSeriesFrame& f) {
+              return f.stall_cycles;
+            }));
+  spark_row(out, "idle", column([](const TimeSeriesFrame& f) {
+              return f.idle_cycles;
+            }));
+  spark_row(out, "links", column([](const TimeSeriesFrame& f) {
+              return f.link_transfers;
+            }));
+  spark_row(out, "tasks", column([](const TimeSeriesFrame& f) {
+              return f.task_invocations;
+            }));
+  spark_row(out, "faults", column([](const TimeSeriesFrame& f) {
+              return f.faults;
+            }));
+
+  // Gauges render raw (they are already instantaneous).
+  const auto gauge = [&](auto&& field) {
+    std::vector<double> vs;
+    vs.reserve(ts.frames.size());
+    for (const TimeSeriesFrame& f : ts.frames) {
+      vs.push_back(static_cast<double>(field(f)));
+    }
+    return vs;
+  };
+  out << "\nqueue / FIFO pressure (instantaneous):\n";
+  spark_row(out, "queued", gauge([](const TimeSeriesFrame& f) {
+              return f.router_queued_flits;
+            }));
+  spark_row(out, "queue peak", gauge([](const TimeSeriesFrame& f) {
+              return f.router_queue_peak;
+            }));
+  spark_row(out, "fifo hw", gauge([](const TimeSeriesFrame& f) {
+              return f.fifo_highwater;
+            }));
+  spark_row(out, "ramp hw", gauge([](const TimeSeriesFrame& f) {
+              return f.ramp_highwater;
+            }));
+
+  bool any_profiler = false;
+  for (const TimeSeriesFrame& f : ts.frames) any_profiler |= f.has_profiler;
+  if (any_profiler) {
+    out << "\nprofiler cycles per simulated cycle, by program phase:\n";
+    for (int p = 0; p < wse::kNumProgPhases; ++p) {
+      spark_row(out, wse::to_string(static_cast<wse::ProgPhase>(p)),
+                column([p](const TimeSeriesFrame& f) {
+                  return f.prof_phase[static_cast<std::size_t>(p)];
+                }));
+    }
+  } else {
+    out << "\ntiles per program phase:\n";
+    for (int p = 0; p < wse::kNumProgPhases; ++p) {
+      spark_row(out, wse::to_string(static_cast<wse::ProgPhase>(p)),
+                gauge([p](const TimeSeriesFrame& f) {
+                  return f.phase_tiles[static_cast<std::size_t>(p)];
+                }));
+    }
+  }
+
+  if (!ts.scalars.empty()) {
+    std::vector<double> residuals;
+    for (const TimeSeriesScalar& s : ts.scalars) {
+      if (s.name == "residual") residuals.push_back(s.value);
+    }
+    if (!residuals.empty()) {
+      // Convergence spans orders of magnitude; sparkline -log10 so the
+      // ramp rises as the residual falls.
+      std::vector<double> logs;
+      logs.reserve(residuals.size());
+      for (const double r : residuals) {
+        logs.push_back(r > 0.0 && std::isfinite(r) ? -std::log10(r) : 0.0);
+      }
+      const double shift =
+          *std::min_element(logs.begin(), logs.end());
+      for (double& v : logs) v -= shift;
+      out << "\nresidual convergence (-log10, " << residuals.size()
+          << " iterations, last " << json::number(residuals.back()) << "):\n";
+      out << "  residual    |" << sparkline(logs, kSparkWidth) << "|\n";
+    }
+  }
+
+  const std::size_t n = ts.frames.size();
+  const std::size_t start = n > last_k ? n - last_k : 0;
+  out << "\nlast " << (n - start) << " of " << n << " frames:\n";
+  for (std::size_t i = start; i < n; ++i) {
+    out << "  " << summarize_frame(ts.frames[i]) << "\n";
+  }
+  return out.str();
+}
+
+} // namespace wss::telemetry

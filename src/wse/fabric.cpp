@@ -10,6 +10,7 @@
 #include "common/env.hpp"
 #include "telemetry/flightrec.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace wss::wse {
 
@@ -104,6 +105,79 @@ void Fabric::set_profiler(telemetry::Profiler* profiler) {
       }
     }
   }
+}
+
+void Fabric::set_sampler(telemetry::TimeSeriesSampler* sampler) {
+  sampler_ = sampler;
+  if (sampler_ == nullptr) return;
+  // Baseline at the current cycle: frames record activity since this
+  // attachment, so a profiler attached alongside sums exactly (the frame
+  // deltas add up to its end-of-run totals).
+  telemetry::TimeSeriesSample baseline;
+  collect_sample(&baseline);
+  sampler_->on_attach(width_, height_, baseline);
+}
+
+void Fabric::sample_now() {
+  if (sampler_ == nullptr) return;
+  if (stats_.cycles == sampler_->last_cycle()) return; // nothing new
+  telemetry::TimeSeriesSample s;
+  collect_sample(&s);
+  sampler_->record(s);
+}
+
+void Fabric::collect_sample(telemetry::TimeSeriesSample* out) const {
+  telemetry::TimeSeriesSample s;
+  s.cycle = stats_.cycles;
+  s.threads = threads_;
+  s.link_transfers = stats_.link_transfers;
+  s.fault_total = fault_stats_.total();
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Tile& t = tiles_[tile_index(x, y)];
+      s.flits_forwarded += t.router.stats.flits_forwarded;
+      std::uint64_t queued = 0;
+      for (int d = 0; d < 4; ++d) {
+        for (const auto& q :
+             t.router.in_queues[static_cast<std::size_t>(d)]) {
+          queued += q.size();
+        }
+        for (const auto& q :
+             t.router.out_queues[static_cast<std::size_t>(d)]) {
+          queued += q.size();
+        }
+      }
+      s.router_queued_flits += queued;
+      s.router_queue_peak = std::max(s.router_queue_peak, queued);
+      if (t.core == nullptr) continue;
+      const CoreStats& cs = t.core->stats();
+      s.words_sent += cs.words_sent;
+      s.words_received += cs.words_received;
+      s.instr_cycles += cs.instr_cycles;
+      s.stall_cycles += cs.stall_cycles;
+      s.idle_cycles += cs.idle_cycles;
+      s.task_invocations += cs.task_invocations;
+      s.fifo_highwater = std::max(s.fifo_highwater, cs.fifo_highwater);
+      s.ramp_highwater = std::max(s.ramp_highwater, cs.ramp_highwater);
+      s.max_iteration =
+          std::max(s.max_iteration,
+                   static_cast<std::uint64_t>(t.core->iteration()));
+      if (t.core->done()) ++s.done_tiles;
+      const auto phase = static_cast<std::size_t>(t.core->phase());
+      if (phase < s.phase_tiles.size()) ++s.phase_tiles[phase];
+    }
+  }
+  if (profiler_ != nullptr) {
+    s.has_profiler = true;
+    const telemetry::PhaseCatMatrix totals = profiler_->totals();
+    for (std::size_t p = 0; p < totals.size(); ++p) {
+      for (std::size_t c = 0; c < totals[p].size(); ++c) {
+        s.prof_phase[p] += totals[p][c];
+        s.prof_cat[c] += totals[p][c];
+      }
+    }
+  }
+  *out = s;
 }
 
 void Fabric::set_threads(int threads) {
@@ -498,6 +572,14 @@ void Fabric::step() {
     if (faults_ != nullptr) merge_fault_bands(1);
     if (profiler_ != nullptr) profiler_->add_observed_cycle();
     ++stats_.cycles;
+    // Sampling happens in this serial tail on both stepping paths: every
+    // band has merged, the fabric is quiescent, so a frame reads the same
+    // state a serial run would see — bit-identical at any thread count.
+    if (sampler_ != nullptr && sampler_->due(stats_.cycles)) {
+      telemetry::TimeSeriesSample s;
+      collect_sample(&s);
+      sampler_->record(s);
+    }
     return;
   }
 
@@ -538,6 +620,12 @@ void Fabric::step() {
   if (faults_ != nullptr) merge_fault_bands(bands);
   if (profiler_ != nullptr) profiler_->add_observed_cycle();
   ++stats_.cycles;
+  // Same serial-tail sampling as the bands<=1 path (see comment there).
+  if (sampler_ != nullptr && sampler_->due(stats_.cycles)) {
+    telemetry::TimeSeriesSample s;
+    collect_sample(&s);
+    sampler_->record(s);
+  }
 }
 
 void Fabric::set_tracer(Tracer* tracer) {

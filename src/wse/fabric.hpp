@@ -33,8 +33,10 @@
 #include "wse/sim_pool.hpp"
 
 namespace wss::telemetry {
-class Profiler;       // telemetry/profiler.hpp (header-only surface)
-class FlightRecorder; // telemetry/flightrec.hpp (header-only surface)
+class Profiler;          // telemetry/profiler.hpp (header-only surface)
+class FlightRecorder;    // telemetry/flightrec.hpp (header-only surface)
+class TimeSeriesSampler; // telemetry/timeseries.hpp (header-only surface)
+struct TimeSeriesSample;
 }
 
 namespace wss::wse {
@@ -173,6 +175,26 @@ public:
     return flightrec_;
   }
 
+  /// Attach a time-series sampler (nullptr detaches; see
+  /// docs/TIMESERIES.md). The sampler must outlive its attachment.
+  /// Attaching captures the delta baseline at the current cycle, so frames
+  /// cover activity since attachment. Every sample is collected in the
+  /// serial tail of step(), after all row bands merged — frames are
+  /// bit-identical at any thread count, and collection only reads
+  /// simulated state (non-perturbation proven by
+  /// tests/telemetry/timeseries_test.cpp).
+  void set_sampler(telemetry::TimeSeriesSampler* sampler);
+  [[nodiscard]] telemetry::TimeSeriesSampler* sampler() const {
+    return sampler_;
+  }
+  /// Force one frame at the current cycle, closing the final partial
+  /// window — without this, runs shorter than the interval (or whose
+  /// length is not a multiple of it) would lose their tail and the
+  /// summed-deltas == profiler-totals invariant would not hold. No-op
+  /// when no sampler is attached or no cycles elapsed since the last
+  /// frame.
+  void sample_now();
+
   /// No-progress watchdog: when nonzero, run() samples a monotone
   /// progress signature (instructions retired, words moved, tasks started)
   /// every `cycles` cycles and stops with StopInfo::Reason::Watchdog once
@@ -243,6 +265,9 @@ private:
   [[nodiscard]] std::pair<int, int> band_rows(int band, int bands) const;
   void ensure_pool(int bands);
   void merge_staged_trace_events();
+  /// Fill a cumulative fabric-wide sample (row-major aggregation over
+  /// tiles). Called only from serial code (step() tail, sample_now).
+  void collect_sample(telemetry::TimeSeriesSample* out) const;
 
   int width_;
   int height_;
@@ -257,6 +282,7 @@ private:
   Tracer* user_tracer_ = nullptr;
   telemetry::Profiler* profiler_ = nullptr;
   telemetry::FlightRecorder* flightrec_ = nullptr;
+  telemetry::TimeSeriesSampler* sampler_ = nullptr;
   std::uint64_t watchdog_cycles_ = 0;
   std::vector<std::unique_ptr<Tracer>> trace_staging_; ///< one per band
   std::vector<std::uint64_t> band_link_transfers_;

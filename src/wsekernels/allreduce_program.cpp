@@ -77,7 +77,7 @@ AllReduceResult AllReduceSimulation::run(
     throw std::runtime_error(
         forensics.deadlock(stop, "AllReduce simulation did not complete"));
   }
-  forensics.finished();
+  forensics.finished(&stop);
 
   AllReduceResult result;
   result.cycles = fabric_.stats().cycles - before;

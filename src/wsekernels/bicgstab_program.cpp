@@ -336,7 +336,7 @@ BicgstabSimResult BicgstabSimulation::run(const Field3<fp16_t>& b) {
     throw std::runtime_error(
         forensics.deadlock(stop, "BiCGStab simulation did not complete"));
   }
-  forensics.finished();
+  forensics.finished(&stop);
 
   BicgstabSimResult result;
   result.cycles = fabric_.stats().cycles - before;

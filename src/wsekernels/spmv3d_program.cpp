@@ -110,7 +110,7 @@ Field3<fp16_t> SpMV3DSimulation::run(const Field3<fp16_t>& v) {
     throw std::runtime_error(forensics.deadlock(
         stop, "SpMV simulation did not complete (deadlock?)"));
   }
-  forensics.finished();
+  forensics.finished(&stop);
   last_cycles_ = fabric_.stats().cycles - before;
 
   Field3<fp16_t> u(grid_);

@@ -1,0 +1,264 @@
+// Run-ledger tests (telemetry/ledger.hpp): run-ID minting, manifest JSON
+// round trips through the append-only JSONL file, torn-line tolerance,
+// prefix lookup, manifest diffing/trending, and the RunForensics
+// integration — two fabrics finishing in one process must land two
+// isolated ledger entries with two distinct time-series artifacts (the
+// claim_output_stem pattern).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/io.hpp"
+#include "telemetry/ledger.hpp"
+#include "telemetry/timeseries.hpp"
+#include "wsekernels/allreduce_program.hpp"
+
+namespace wss::telemetry {
+namespace {
+
+/// Restores one environment variable on scope exit (postmortem_test.cpp
+/// idiom).
+class EnvGuard {
+public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* cur = std::getenv(name);
+    if (cur != nullptr) {
+      had_ = true;
+      saved_ = cur;
+    }
+    ::unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+  void set(const char* value) { ::setenv(name_, value, 1); }
+
+private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+// Fresh per-test scratch dir: the ledger is append-only by design, so a
+// stale dir from a previous test-suite run would accumulate entries.
+std::string temp_dir(const std::string& leaf) {
+  std::string dir = ::testing::TempDir() + "wss_ledger_" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+RunManifest make_manifest(const std::string& id) {
+  RunManifest m;
+  m.run_id = id;
+  m.program = "bicgstab 6x6x64";
+  m.width = 6;
+  m.height = 6;
+  m.threads = 2;
+  m.cycles = 12345;
+  m.outcome = "all_done";
+  m.fault_total = 3;
+  m.env.emplace_back("WSS_SAMPLE_CYCLES", "256");
+  m.env.emplace_back("WSS_SIM_THREADS", "2");
+  m.add_metric("iterations", 4.0);
+  m.add_metric("residual", 9.128e-05);
+  m.add_artifact("timeseries", "/tmp/x.timeseries.json");
+  return m;
+}
+
+TEST(Ledger, RunIdsAreSluggedAndUnique) {
+  const std::string a = next_run_id("BiCGStab 6x6x64 (fused!)");
+  const std::string b = next_run_id("BiCGStab 6x6x64 (fused!)");
+  EXPECT_NE(a, b);
+  // Slug: lowercased [a-z0-9-], no spaces/punctuation runs.
+  EXPECT_EQ(a.find("bicgstab-6x6x64"), 0u) << a;
+  EXPECT_EQ(a.find(' '), std::string::npos);
+  EXPECT_EQ(a.find('('), std::string::npos);
+}
+
+TEST(Ledger, ManifestRoundTripsThroughTheJsonlFile) {
+  const std::string dir = temp_dir("roundtrip");
+  const RunManifest want = make_manifest("roundtrip-1");
+  std::string error;
+  ASSERT_TRUE(append_run_manifest(dir, want, &error)) << error;
+  ASSERT_TRUE(append_run_manifest(dir, make_manifest("roundtrip-2"), &error))
+      << error;
+
+  Ledger ledger;
+  ASSERT_TRUE(load_ledger(dir, &ledger, &error)) << error;
+  EXPECT_EQ(ledger.skipped_lines, 0u);
+  ASSERT_GE(ledger.runs.size(), 2u);
+  const RunManifest* got = find_run(ledger, "roundtrip-1", &error);
+  ASSERT_NE(got, nullptr) << error;
+  EXPECT_EQ(got->program, want.program);
+  EXPECT_EQ(got->width, want.width);
+  EXPECT_EQ(got->height, want.height);
+  EXPECT_EQ(got->threads, want.threads);
+  EXPECT_EQ(got->cycles, want.cycles);
+  EXPECT_EQ(got->outcome, want.outcome);
+  EXPECT_EQ(got->fault_total, want.fault_total);
+  ASSERT_EQ(got->env.size(), want.env.size());
+  EXPECT_EQ(got->env[0].first, "WSS_SAMPLE_CYCLES");
+  EXPECT_EQ(got->env[0].second, "256");
+  ASSERT_EQ(got->metrics.size(), 2u);
+  EXPECT_EQ(got->metrics[0].name, "iterations");
+  EXPECT_EQ(got->metrics[0].value, 4.0);
+  EXPECT_EQ(got->metrics[1].value, 9.128e-05);
+  ASSERT_EQ(got->artifacts.size(), 1u);
+  EXPECT_EQ(got->artifacts[0].kind, "timeseries");
+  EXPECT_EQ(got->artifacts[0].path, "/tmp/x.timeseries.json");
+}
+
+TEST(Ledger, TornTrailingLinesAreSkippedNotFatal) {
+  const std::string dir = temp_dir("torn");
+  std::string error;
+  ASSERT_TRUE(append_run_manifest(dir, make_manifest("torn-ok"), &error))
+      << error;
+  {
+    std::ofstream out(dir + "/ledger.jsonl", std::ios::app | std::ios::binary);
+    out << "{\"schema\":\"wss.runledger/1\",\"run_id\":\"torn-half"; // torn
+    out << "\n";
+  }
+  Ledger ledger;
+  ASSERT_TRUE(load_ledger(dir + "/ledger.jsonl", &ledger, &error)) << error;
+  ASSERT_EQ(ledger.runs.size(), 1u);
+  EXPECT_EQ(ledger.runs[0].run_id, "torn-ok");
+  EXPECT_EQ(ledger.skipped_lines, 1u);
+}
+
+TEST(Ledger, FindRunResolvesPrefixesAndReportsAmbiguity) {
+  Ledger ledger;
+  ledger.runs.push_back(make_manifest("alpha-100-1"));
+  ledger.runs.push_back(make_manifest("alpha-100-2"));
+  ledger.runs.push_back(make_manifest("beta-200-1"));
+  std::string error;
+  const RunManifest* exact = find_run(ledger, "beta-200-1", &error);
+  ASSERT_NE(exact, nullptr) << error;
+  const RunManifest* prefix = find_run(ledger, "beta", &error);
+  ASSERT_NE(prefix, nullptr) << error;
+  EXPECT_EQ(prefix->run_id, "beta-200-1");
+  EXPECT_EQ(find_run(ledger, "alpha", &error), nullptr);
+  EXPECT_NE(error.find("ambiguous"), std::string::npos) << error;
+  EXPECT_EQ(find_run(ledger, "gamma", &error), nullptr);
+}
+
+TEST(Ledger, DiffTrendAndTablesRender) {
+  Ledger ledger;
+  RunManifest a = make_manifest("render-1");
+  RunManifest b = make_manifest("render-2");
+  b.cycles = 20000;
+  b.outcome = "watchdog";
+  b.metrics[1].value = 4.5e-03;
+  b.env[0].second = "512";
+  ledger.runs.push_back(a);
+  ledger.runs.push_back(b);
+
+  const std::string table = pretty_ledger_table(ledger);
+  EXPECT_NE(table.find("render-1"), std::string::npos) << table;
+  EXPECT_NE(table.find("render-2"), std::string::npos) << table;
+
+  const std::string show = pretty_manifest(a);
+  EXPECT_NE(show.find("bicgstab 6x6x64"), std::string::npos) << show;
+  EXPECT_NE(show.find("WSS_SAMPLE_CYCLES"), std::string::npos) << show;
+
+  const std::string diff = diff_manifests(a, b);
+  EXPECT_NE(diff.find("outcome"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("cycles"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("WSS_SAMPLE_CYCLES"), std::string::npos) << diff;
+  const std::string same = diff_manifests(a, a);
+  EXPECT_NE(same.find("identical"), std::string::npos) << same;
+
+  const std::string trend = pretty_trend(ledger, "residual");
+  EXPECT_NE(trend.find("residual"), std::string::npos) << trend;
+  EXPECT_NE(trend.find("render-2"), std::string::npos) << trend;
+}
+
+TEST(Ledger, WssEnvironmentSnapshotsOnlyWssVarsSorted) {
+  EnvGuard a("WSS_LEDGER_TEST_B");
+  EnvGuard b("WSS_LEDGER_TEST_A");
+  a.set("2");
+  b.set("1");
+  const auto env = wss_environment();
+  std::vector<std::pair<std::string, std::string>> mine;
+  for (const auto& kv : env) {
+    EXPECT_EQ(kv.first.rfind("WSS_", 0), 0u) << kv.first;
+    if (kv.first.rfind("WSS_LEDGER_TEST_", 0) == 0) mine.push_back(kv);
+  }
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].first, "WSS_LEDGER_TEST_A");
+  EXPECT_EQ(mine[0].second, "1");
+  EXPECT_EQ(mine[1].first, "WSS_LEDGER_TEST_B");
+  EXPECT_EQ(mine[1].second, "2");
+}
+
+// --- RunForensics integration: two fabrics, one process -----------------
+
+TEST(Ledger, TwoFabricRunsLandIsolatedEntriesAndArtifacts) {
+  EnvGuard sample("WSS_SAMPLE_CYCLES");
+  EnvGuard ledger_env("WSS_LEDGER_DIR");
+  EnvGuard out("WSS_TIMESERIES_OUT");
+  EnvGuard postmortem("WSS_POSTMORTEM_DIR");
+  const std::string dir = temp_dir("two_fabrics");
+  sample.set("64");
+  ledger_env.set(dir.c_str());
+  reset_output_stem_claims();
+
+  const wse::CS1Params arch;
+  const wse::SimParams sim;
+  std::vector<float> contributions(9, 1.0f);
+  wsekernels::AllReduceSimulation sim_a(3, 3, arch, sim);
+  (void)sim_a.run(contributions);
+  wsekernels::AllReduceSimulation sim_b(3, 3, arch, sim);
+  (void)sim_b.run(contributions);
+
+  Ledger ledger;
+  std::string error;
+  ASSERT_TRUE(load_ledger(dir, &ledger, &error)) << error;
+  EXPECT_EQ(ledger.skipped_lines, 0u);
+  ASSERT_EQ(ledger.runs.size(), 2u);
+  EXPECT_NE(ledger.runs[0].run_id, ledger.runs[1].run_id);
+  std::vector<std::string> series_paths;
+  for (const RunManifest& run : ledger.runs) {
+    EXPECT_EQ(run.outcome, "all_done");
+    EXPECT_EQ(run.width, 3);
+    EXPECT_EQ(run.height, 3);
+    EXPECT_GT(run.cycles, 0u);
+    // The env snapshot preserves the switches that shaped the run.
+    bool saw_sample = false;
+    for (const auto& kv : run.env) {
+      if (kv.first == "WSS_SAMPLE_CYCLES") {
+        saw_sample = true;
+        EXPECT_EQ(kv.second, "64");
+      }
+    }
+    EXPECT_TRUE(saw_sample);
+    for (const RunArtifact& artifact : run.artifacts) {
+      if (artifact.kind != "timeseries") continue;
+      series_paths.push_back(artifact.path);
+    }
+  }
+  // Two runs -> two distinct series files, each loadable and attributable
+  // to its own run (claim_output_stem isolation).
+  ASSERT_EQ(series_paths.size(), 2u);
+  EXPECT_NE(series_paths[0], series_paths[1]);
+  for (const std::string& path : series_paths) {
+    TimeSeries ts;
+    ASSERT_TRUE(load_timeseries(path, &ts, &error)) << error;
+    EXPECT_TRUE(self_check_timeseries(ts, &error)) << error;
+    EXPECT_GT(ts.frames.size(), 0u);
+  }
+}
+
+} // namespace
+} // namespace wss::telemetry

@@ -1,9 +1,10 @@
-// wss_inspect — post-mortem bundle forensics CLI (docs/POSTMORTEM.md).
+// wss_inspect — telemetry artifact forensics CLI (docs/POSTMORTEM.md,
+// docs/TIMESERIES.md).
 //
 //   wss_inspect print <bundle.json> [--last N]
-//     Pretty-print one bundle: anomaly, stop reason, wait-for cycles,
-//     blocked tiles, last-N flight events of the busiest/blocked tiles,
-//     solver scalars.
+//     Pretty-print one post-mortem bundle: anomaly, stop reason, wait-for
+//     cycles, blocked tiles, last-N flight events of the busiest/blocked
+//     tiles, solver scalars, time-series tail.
 //
 //   wss_inspect diff <a.json> <b.json>
 //     First divergence between two bundles of the same program — the
@@ -16,25 +17,55 @@
 //     the expected schema tag, and satisfies the structural invariants the
 //     other subcommands depend on. Exit 0 iff every bundle passes.
 //
-// Exit codes: 0 success, 1 usage error, 2 unreadable/invalid bundle,
+//   wss_inspect timeseries print <series.json> [--last N]
+//   wss_inspect timeseries self-check <series.json> [...]
+//   wss_inspect timeseries diff <a.json> <b.json>
+//     The same trio for `wss.timeseries/1` files (WSS_SAMPLE_CYCLES): a
+//     sparkline dashboard, the CI schema/conservation guard, and the
+//     first-divergent-frame diff (the determinism check between runs at
+//     different WSS_SIM_THREADS).
+//
+//   wss_inspect runs list <ledger-dir-or-file>
+//   wss_inspect runs show <ledger> <run-id-or-prefix>
+//   wss_inspect runs diff <ledger> <run-a> <run-b>
+//   wss_inspect runs trend <ledger> <metric>
+//     Query the append-only run ledger ($WSS_LEDGER_DIR/ledger.jsonl):
+//     tabular history, one-run manifests, run-vs-run comparison (outcome,
+//     metrics, WSS_* env), and a metric trend across runs.
+//
+// Exit codes: 0 success, 1 usage error, 2 unreadable/invalid artifact,
 // 3 divergence found (diff only).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "telemetry/ledger.hpp"
 #include "telemetry/postmortem.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace {
 
 using wss::telemetry::Bundle;
 using wss::telemetry::Divergence;
+using wss::telemetry::FrameDivergence;
+using wss::telemetry::Ledger;
+using wss::telemetry::RunManifest;
+using wss::telemetry::TimeSeries;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: wss_inspect print <bundle.json> [--last N]\n"
-               "       wss_inspect diff <a.json> <b.json>\n"
-               "       wss_inspect self-check <bundle.json> [...]\n");
+  std::fprintf(
+      stderr,
+      "usage: wss_inspect print <bundle.json> [--last N]\n"
+      "       wss_inspect diff <a.json> <b.json>\n"
+      "       wss_inspect self-check <bundle.json> [...]\n"
+      "       wss_inspect timeseries print <series.json> [--last N]\n"
+      "       wss_inspect timeseries self-check <series.json> [...]\n"
+      "       wss_inspect timeseries diff <a.json> <b.json>\n"
+      "       wss_inspect runs list <ledger>\n"
+      "       wss_inspect runs show <ledger> <run-id>\n"
+      "       wss_inspect runs diff <ledger> <run-a> <run-b>\n"
+      "       wss_inspect runs trend <ledger> <metric>\n");
   return 1;
 }
 
@@ -105,6 +136,149 @@ int cmd_self_check(int argc, char** argv) {
   return failures == 0 ? 0 : 2;
 }
 
+// --- timeseries subcommands ---------------------------------------------
+
+bool load_series_or_complain(const std::string& path, TimeSeries* out) {
+  std::string error;
+  if (!wss::telemetry::load_timeseries(path, out, &error)) {
+    std::fprintf(stderr, "wss_inspect: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_ts_print(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string path = argv[0];
+  std::size_t last_k = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 1) {
+        std::fprintf(stderr, "wss_inspect: --last wants a positive count\n");
+        return 1;
+      }
+      last_k = static_cast<std::size_t>(v);
+    } else {
+      return usage();
+    }
+  }
+  TimeSeries ts;
+  if (!load_series_or_complain(path, &ts)) return 2;
+  const std::string rendered = wss::telemetry::pretty_timeseries(ts, last_k);
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
+int cmd_ts_self_check(int argc, char** argv) {
+  if (argc < 1) return usage();
+  int failures = 0;
+  for (int i = 0; i < argc; ++i) {
+    TimeSeries ts;
+    if (!load_series_or_complain(argv[i], &ts)) {
+      ++failures;
+      continue;
+    }
+    std::string error;
+    if (!wss::telemetry::self_check_timeseries(ts, &error)) {
+      std::fprintf(stderr, "wss_inspect: %s: self-check failed: %s\n", argv[i],
+                   error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%s, %zu frames, every %llu cycles)\n", argv[i],
+                ts.program.empty() ? "unnamed" : ts.program.c_str(),
+                ts.frames.size(),
+                static_cast<unsigned long long>(ts.sample_cycles));
+  }
+  return failures == 0 ? 0 : 2;
+}
+
+int cmd_ts_diff(int argc, char** argv) {
+  if (argc != 2) return usage();
+  TimeSeries a;
+  TimeSeries b;
+  if (!load_series_or_complain(argv[0], &a)) return 2;
+  if (!load_series_or_complain(argv[1], &b)) return 2;
+  const FrameDivergence d = wss::telemetry::first_frame_divergence(a, b);
+  const std::string rendered = wss::telemetry::pretty_frame_divergence(d);
+  std::fputs(rendered.c_str(), stdout);
+  return d.found ? 3 : 0;
+}
+
+int cmd_timeseries(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string sub = argv[0];
+  if (sub == "print") return cmd_ts_print(argc - 1, argv + 1);
+  if (sub == "self-check") return cmd_ts_self_check(argc - 1, argv + 1);
+  if (sub == "diff") return cmd_ts_diff(argc - 1, argv + 1);
+  return usage();
+}
+
+// --- runs subcommands ---------------------------------------------------
+
+bool load_ledger_or_complain(const std::string& path, Ledger* out) {
+  std::string error;
+  if (!wss::telemetry::load_ledger(path, out, &error)) {
+    std::fprintf(stderr, "wss_inspect: %s\n", error.c_str());
+    return false;
+  }
+  if (out->skipped_lines > 0) {
+    std::fprintf(stderr, "wss_inspect: %s: skipped %zu unparseable line(s)\n",
+                 path.c_str(), out->skipped_lines);
+  }
+  return true;
+}
+
+const RunManifest* find_run_or_complain(const Ledger& ledger,
+                                        const std::string& id) {
+  std::string error;
+  const RunManifest* run = wss::telemetry::find_run(ledger, id, &error);
+  if (run == nullptr) {
+    std::fprintf(stderr, "wss_inspect: %s\n", error.c_str());
+  }
+  return run;
+}
+
+int cmd_runs(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string sub = argv[0];
+  Ledger ledger;
+  if (!load_ledger_or_complain(argv[1], &ledger)) return 2;
+  if (sub == "list") {
+    if (argc != 2) return usage();
+    const std::string rendered = wss::telemetry::pretty_ledger_table(ledger);
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  if (sub == "show") {
+    if (argc != 3) return usage();
+    const RunManifest* run = find_run_or_complain(ledger, argv[2]);
+    if (run == nullptr) return 2;
+    const std::string rendered = wss::telemetry::pretty_manifest(*run);
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  if (sub == "diff") {
+    if (argc != 4) return usage();
+    const RunManifest* a = find_run_or_complain(ledger, argv[2]);
+    if (a == nullptr) return 2;
+    const RunManifest* b = find_run_or_complain(ledger, argv[3]);
+    if (b == nullptr) return 2;
+    const std::string rendered = wss::telemetry::diff_manifests(*a, *b);
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  if (sub == "trend") {
+    if (argc != 3) return usage();
+    const std::string rendered =
+        wss::telemetry::pretty_trend(ledger, argv[2]);
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  return usage();
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +287,8 @@ int main(int argc, char** argv) {
   if (cmd == "print") return cmd_print(argc - 2, argv + 2);
   if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
   if (cmd == "self-check") return cmd_self_check(argc - 2, argv + 2);
+  if (cmd == "timeseries") return cmd_timeseries(argc - 2, argv + 2);
+  if (cmd == "runs") return cmd_runs(argc - 2, argv + 2);
   if (cmd == "--help" || cmd == "-h") {
     usage();
     return 0;

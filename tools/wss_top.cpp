@@ -1,0 +1,104 @@
+// wss_top — live/replay monitor for `wss.timeseries/1` files
+// (docs/TIMESERIES.md).
+//
+//   wss_top <series.json> [--last N]
+//     Replay: render the series once — header, per-category utilization
+//     and pressure sparklines, residual convergence, and a table of the
+//     last N frames — then exit.
+//
+//   wss_top <series.json> --follow [--interval-ms M] [--last N]
+//     Live: re-read and re-render the file every M milliseconds (default
+//     500) until interrupted, clearing the screen between redraws. Point
+//     it at the WSS_TIMESERIES_OUT (or ledger) path of a running solve;
+//     frames appear as RunForensics flushes them. A file that does not
+//     exist yet is waited for rather than treated as an error.
+//
+// Exit codes: 0 success, 1 usage error, 2 unreadable/invalid series
+// (replay mode only; follow mode keeps waiting).
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "telemetry/timeseries.hpp"
+
+namespace {
+
+using wss::telemetry::TimeSeries;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wss_top <series.json> [--last N]\n"
+               "       wss_top <series.json> --follow [--interval-ms M] "
+               "[--last N]\n");
+  return 1;
+}
+
+int render_once(const std::string& path, std::size_t last_k, bool complain) {
+  TimeSeries ts;
+  std::string error;
+  if (!wss::telemetry::load_timeseries(path, &ts, &error)) {
+    if (complain) std::fprintf(stderr, "wss_top: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string rendered = wss::telemetry::pretty_timeseries(ts, last_k);
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string path;
+  bool follow = false;
+  long interval_ms = 500;
+  std::size_t last_k = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms < 1) {
+        std::fprintf(stderr, "wss_top: --interval-ms wants a positive value\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 1) {
+        std::fprintf(stderr, "wss_top: --last wants a positive count\n");
+        return 1;
+      }
+      last_k = static_cast<std::size_t>(v);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  if (!follow) return render_once(path, last_k, /*complain=*/true);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    // ANSI clear + home; a plain terminal escape, no curses dependency.
+    std::fputs("\x1b[2J\x1b[H", stdout);
+    if (render_once(path, last_k, /*complain=*/false) != 0) {
+      std::printf("wss_top: waiting for %s ...\n", path.c_str());
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
