@@ -168,6 +168,7 @@ bool TileCore::inject(RouterState& router, Color color,
     if (rule.forwards_to(static_cast<Dir>(d))) {
       auto& q = router.out_queues[static_cast<std::size_t>(d)][color];
       q.push_back(out);
+      occ_set(router.out_occ[static_cast<std::size_t>(d)], color);
       ++router.stats.flits_forwarded;
       router.stats.queue_highwater = std::max(
           router.stats.queue_highwater, static_cast<std::uint64_t>(q.size()));

@@ -35,6 +35,17 @@ struct RouterStats {
 
 /// Router-side state owned by the fabric but fed by the core on injection.
 struct RouterState {
+  /// Queue-occupancy masks, one bit per color per mesh direction: bit c of
+  /// in_occ[d] (out_occ[d]) is set iff in_queues[d][c] (out_queues[d][c])
+  /// holds at least one flit. Maintained unconditionally by every queue
+  /// mutation site — a couple of ALU ops per flit, nothing per empty
+  /// queue — so the masks are exact whichever backend is stepping and the
+  /// turbo backend (docs/BACKENDS.md) can promote without a queue scan.
+  /// Placed first so the turbo phases' per-tile skip test touches the
+  /// leading cache lines of the tile only.
+  std::array<std::uint32_t, 4> in_occ = {0, 0, 0, 0};
+  std::array<std::uint32_t, 4> out_occ = {0, 0, 0, 0};
+
   RoutingTable table;
   RouterStats stats;
   /// Per outgoing mesh direction, per color: queued flits awaiting the link.
@@ -47,7 +58,24 @@ struct RouterState {
   std::array<std::array<std::deque<Flit>, kNumColors>, 4> in_queues;
   /// Round-robin pointer per outgoing direction for color arbitration.
   std::array<int, 4> rr = {0, 0, 0, 0};
+
+  [[nodiscard]] bool in_any() const {
+    return (in_occ[0] | in_occ[1] | in_occ[2] | in_occ[3]) != 0;
+  }
+  [[nodiscard]] bool out_any() const {
+    return (out_occ[0] | out_occ[1] | out_occ[2] | out_occ[3]) != 0;
+  }
 };
+
+/// Occupancy-mask bookkeeping (see RouterState::in_occ): call occ_set after
+/// pushing into an empty-or-not queue, occ_clear once a queue is observed
+/// empty after popping.
+inline void occ_set(std::uint32_t& mask, int color) {
+  mask |= (1u << static_cast<unsigned>(color));
+}
+inline void occ_clear(std::uint32_t& mask, int color) {
+  mask &= ~(1u << static_cast<unsigned>(color));
+}
 
 /// Halfword occupancy of a set of flits (wide flits count twice).
 inline int flit_halfwords(const std::deque<Flit>& q) {
@@ -154,6 +182,15 @@ public:
 
   [[nodiscard]] bool done() const { return done_; }
   [[nodiscard]] bool quiescent() const;
+
+  /// The parked equivalent of one step() on a quiescent core, for the
+  /// turbo backend (docs/BACKENDS.md). A quiescent core can never wake
+  /// itself: the scheduler finds no ready task (deliveries only fill ramp
+  /// queues, they never activate tasks) and no slot is occupied, so a full
+  /// step() would be exactly `++idle_cycles`. This method IS that step —
+  /// it must stay in lockstep with the Idle arm of step(), which the
+  /// backend conformance suite enforces bit for bit.
+  void step_parked() { ++stats_.idle_cycles; }
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   [[nodiscard]] const TileProgram& program() const { return prog_; }
 

@@ -47,13 +47,26 @@ std::uint64_t resolve_watchdog_cycles(std::uint64_t requested) {
   return env::parse_u64("WSS_WATCHDOG_CYCLES", 0);
 }
 
+/// SimParams::backend, with Auto resolved against WSS_SIM_BACKEND —
+/// mirroring resolve_sim_threads / resolve_watchdog_cycles. Strict: an
+/// unknown value is a configuration error, not a silent reference run.
+Backend resolve_backend(Backend requested) {
+  if (requested != Backend::Auto) return requested;
+  const std::string v = env::parse_string("WSS_SIM_BACKEND");
+  if (v.empty() || v == "reference") return Backend::Reference;
+  if (v == "turbo") return Backend::Turbo;
+  throw std::invalid_argument(
+      "WSS_SIM_BACKEND must be 'reference' or 'turbo', got '" + v + "'");
+}
+
 } // namespace
 
 Fabric::Fabric(int width, int height, const CS1Params& arch,
                const SimParams& sim)
     : width_(width), height_(height), arch_(&arch), sim_(sim),
       threads_(resolve_sim_threads(sim.sim_threads)),
-      watchdog_cycles_(resolve_watchdog_cycles(sim.watchdog_cycles)) {
+      watchdog_cycles_(resolve_watchdog_cycles(sim.watchdog_cycles)),
+      backend_(resolve_backend(sim.backend)) {
   tiles_.resize(static_cast<std::size_t>(width) *
                 static_cast<std::size_t>(height));
 }
@@ -72,6 +85,14 @@ void Fabric::configure_tile(int x, int y, TileProgram program,
     t.core->set_flight_recorder(flightrec_);
     flightrec_->mark_configured(x, y);
   }
+  turbo_invalidate();
+}
+
+void Fabric::set_backend(Backend backend) {
+  backend_ = resolve_backend(backend);
+  // An explicit switch resyncs silently on the next turbo step; only
+  // observer-forced fallbacks count as demotions in TurboStats.
+  turbo_invalidate();
 }
 
 void Fabric::set_flight_recorder(telemetry::FlightRecorder* rec) {
@@ -373,6 +394,8 @@ void Fabric::route_phase(int y0, int y1, int band) {
                     t.router.out_queues[static_cast<std::size_t>(od)]
                                        [flit.color];
                 oq.push_back(flit);
+                occ_set(t.router.out_occ[static_cast<std::size_t>(od)],
+                        flit.color);
                 ++t.router.stats.flits_forwarded;
                 t.router.stats.queue_highwater =
                     std::max(t.router.stats.queue_highwater,
@@ -380,6 +403,9 @@ void Fabric::route_phase(int y0, int y1, int band) {
               }
             }
             q.pop_front();
+          }
+          if (q.empty()) {
+            occ_clear(t.router.in_occ[static_cast<std::size_t>(d)], c);
           }
         }
       }
@@ -469,6 +495,9 @@ std::uint64_t Fabric::link_phase(int y0, int y1, int band) {
             }
             Flit flit = q.front();
             q.pop_front();
+            if (q.empty()) {
+              occ_clear(t.router.out_occ[static_cast<std::size_t>(d)], c);
+            }
             budget -= cost;
             rr = (c + 1) % kNumColors;
             moved = true;
@@ -521,6 +550,8 @@ std::uint64_t Fabric::link_phase(int y0, int y1, int band) {
             }
             if (!dropped) {
               inq.push_back(flit);
+              occ_set(nb.router.in_occ[static_cast<std::size_t>(opposite(dir))],
+                      c);
               ++transfers;
             }
             break;
@@ -551,6 +582,20 @@ void Fabric::merge_staged_trace_events() {
 }
 
 void Fabric::step() {
+  if (backend_ == Backend::Turbo) {
+    if (!turbo_demoted()) {
+      if (turbo_ == nullptr || !turbo_->live) turbo_promote();
+      turbo_step();
+      return;
+    }
+    if (turbo_ != nullptr && turbo_->live) {
+      // A demotion trigger appeared mid-run: fall back to the reference
+      // phases until it detaches (turbo_active() re-promotes then). The
+      // mirror is stale from here on, so it is dropped, not paused.
+      turbo_->live = false;
+      ++turbo_->stats.demotions;
+    }
+  }
   const int bands = band_count();
   if (faults_ != nullptr) {
     // (Re)size the per-band fault staging. Merging happens after *each*
@@ -756,6 +801,10 @@ StopInfo Fabric::run(std::uint64_t max_cycles) {
 }
 
 bool Fabric::all_done() const {
+  // Both predicates run once per cycle inside run(); while the turbo
+  // mirror is live they read its dense byte arrays instead of striding
+  // through every multi-KB Tile — same answers, none of the cache misses.
+  if (turbo_ != nullptr && turbo_->live) return turbo_all_done();
   for (const auto& t : tiles_) {
     if (!t.core || !t.core->done()) return false;
   }
@@ -763,6 +812,7 @@ bool Fabric::all_done() const {
 }
 
 bool Fabric::quiescent() const {
+  if (turbo_ != nullptr && turbo_->live) return turbo_quiescent();
   for (const auto& t : tiles_) {
     if (!t.core) continue;
     if (!t.core->quiescent()) return false;
@@ -790,7 +840,10 @@ void Fabric::reset_control() {
         q.clear();
       }
     }
+    t.router.in_occ = {0, 0, 0, 0};
+    t.router.out_occ = {0, 0, 0, 0};
   }
+  turbo_invalidate();
 }
 
 } // namespace wss::wse

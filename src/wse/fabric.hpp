@@ -31,6 +31,7 @@
 #include "wse/core.hpp"
 #include "wse/fault.hpp"
 #include "wse/sim_pool.hpp"
+#include "wse/turbo_backend.hpp"
 
 namespace wss::telemetry {
 class Profiler;          // telemetry/profiler.hpp (header-only surface)
@@ -206,6 +207,29 @@ public:
   void set_watchdog(std::uint64_t cycles) { watchdog_cycles_ = cycles; }
   [[nodiscard]] std::uint64_t watchdog() const { return watchdog_cycles_; }
 
+  /// Select the execution backend (docs/BACKENDS.md). Backend::Auto is
+  /// resolved against WSS_SIM_BACKEND at call time (the constructor applies
+  /// SimParams::backend the same way). A backend is a host execution
+  /// strategy only: switching never changes simulated results — the
+  /// conformance suite holds turbo bit-identical to reference for results,
+  /// cycles, heatmaps and counters at any thread count. Composes with
+  /// set_threads: turbo steps through the same row-banded thread pool.
+  void set_backend(Backend backend);
+  [[nodiscard]] Backend backend() const { return backend_; }
+  /// True when the next step() takes the turbo fast path: turbo is
+  /// selected and no demotion trigger — tracer, profiler, flight recorder,
+  /// sampler, watchdog, fault plan — is currently attached. While a
+  /// trigger is attached the fabric silently steps the reference phases
+  /// (observers see exactly what they would see on reference, because it
+  /// IS reference); it re-promotes on the first step after detachment.
+  [[nodiscard]] bool turbo_active() const {
+    return backend_ == Backend::Turbo && !turbo_demoted();
+  }
+  /// Turbo bookkeeping counters (zeros until the first turbo step).
+  [[nodiscard]] TurboStats turbo_stats() const {
+    return turbo_ != nullptr ? turbo_->stats : TurboStats{};
+  }
+
   /// Tiles with unfinished work right now (row-major, capped at `cap`):
   /// active-but-stalled tiles first; if none, not-done quiescent tiles
   /// (wedged waiting for an activation that will never come).
@@ -257,6 +281,29 @@ private:
   void route_phase(int y0, int y1, int band);
   void core_phase(int y0, int y1, Tracer* tracer, int band);
   [[nodiscard]] std::uint64_t link_phase(int y0, int y1, int band);
+
+  // --- turbo backend (turbo_backend.cpp; docs/BACKENDS.md) ---
+
+  /// An attached observer or fault plan forces reference stepping.
+  [[nodiscard]] bool turbo_demoted() const {
+    return faults_ != nullptr || user_tracer_ != nullptr ||
+           profiler_ != nullptr || flightrec_ != nullptr ||
+           sampler_ != nullptr || watchdog_cycles_ != 0;
+  }
+  /// (Re)build the SoA mirror from fabric state and mark it live.
+  void turbo_promote();
+  /// One turbo cycle: same three phases, same banding, over the mirror.
+  void turbo_step();
+  void turbo_route_phase(int y0, int y1, int band);
+  void turbo_core_phase(int y0, int y1, int band);
+  [[nodiscard]] std::uint64_t turbo_link_phase(int y0, int y1, int band);
+  [[nodiscard]] bool turbo_quiescent() const;
+  [[nodiscard]] bool turbo_all_done() const;
+  /// Structural mutation (reset_control, configure_tile, set_backend):
+  /// drop the mirror; the next turbo step resyncs via turbo_promote.
+  void turbo_invalidate() {
+    if (turbo_ != nullptr) turbo_->live = false;
+  }
 
   /// Bands actually used this step: min(threads_, height_), at least 1.
   [[nodiscard]] int band_count() const;
@@ -331,6 +378,10 @@ private:
   /// Per-tile injected-fault counts (lazily sized width*height on first
   /// plan attach; like fault_stats_, survives plan detachment).
   std::vector<std::uint64_t> fault_injections_;
+
+  // --- turbo backend (allocated on first turbo step) ---
+  Backend backend_ = Backend::Reference;
+  std::unique_ptr<TurboState> turbo_;
 };
 
 } // namespace wss::wse

@@ -31,6 +31,9 @@ public:
   AllReduceResult run(const std::vector<float>& contributions);
 
   [[nodiscard]] const wse::Fabric& fabric() const { return fabric_; }
+  /// Mutable access for host-side execution knobs (backend, threads,
+  /// watchdog) — mirrors SpMV3DSimulation::fabric().
+  [[nodiscard]] wse::Fabric& fabric() { return fabric_; }
 
 private:
   int width_;

@@ -32,9 +32,12 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
+#include "wse/fabric.hpp"
 
 namespace wss::proptest {
 
@@ -160,5 +163,275 @@ inline void check(const std::string& name,
     return; // stop at the first failing case
   }
 }
+
+// --- seeded fabric-workload generation (backend/thread differentials) ----
+//
+// A Scenario is a pure value: random fabric extents, random point-to-point
+// streams on disjoint colors over dimension-ordered routes, unconfigured
+// hole tiles off the route paths, and an optional random fault plan.
+// instantiate() is deterministic (all randomness happens in
+// make_scenario), so a differential test can build N identical fabrics
+// from one Scenario — one per backend or thread count — run them
+// independently, and demand bit-identical observables. Sizes flow through
+// Case::size, so a diverging scenario shrinks with the proptest harness.
+
+namespace fabricgen {
+
+/// Single-stream source: Send `len` fp16 words from host-written memory on
+/// `color`, then done. (Shared by the fuzz and backend-conformance
+/// suites.)
+inline wse::TileProgram sender(wse::Color color, int len) {
+  wse::TileProgram prog;
+  wse::MemAllocator mem(48 * 1024);
+  const int buf = mem.allocate(len, wse::DType::F16);
+  const int t_src = prog.add_tensor({buf, len, 1, wse::DType::F16, 0});
+  const int f_tx = prog.add_fabric(
+      {color, len, wse::DType::F16, 0, wse::kNoTask, wse::TrigAction::None});
+  wse::Task t{"send", false, false, false, {}};
+  wse::Instr s{};
+  s.op = wse::OpKind::Send;
+  s.src1 = t_src;
+  s.fabric = f_tx;
+  t.steps.push_back({wse::TaskStep::Kind::Sync, -1, s, wse::kNoTask});
+  t.steps.push_back({wse::TaskStep::Kind::SetDone, -1, {}, wse::kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  prog.memory_halfwords = mem.used_halfwords();
+  return prog;
+}
+
+/// Single-stream sink: receive `len` fp16 words on `channel` into memory
+/// offset 0, then done.
+inline wse::TileProgram receiver(int channel, int len) {
+  wse::TileProgram prog;
+  wse::MemAllocator mem(48 * 1024);
+  const int buf = mem.allocate(len, wse::DType::F16);
+  const int t_dst = prog.add_tensor({buf, len, 1, wse::DType::F16, 0});
+  const int f_rx = prog.add_fabric(
+      {channel, len, wse::DType::F16, 0, wse::kNoTask, wse::TrigAction::None});
+  wse::Task t{"recv", false, false, false, {}};
+  wse::Instr r{};
+  r.op = wse::OpKind::RecvToMem;
+  r.dst = t_dst;
+  r.fabric = f_rx;
+  t.steps.push_back({wse::TaskStep::Kind::Sync, -1, r, wse::kNoTask});
+  t.steps.push_back({wse::TaskStep::Kind::SetDone, -1, {}, wse::kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  prog.memory_halfwords = mem.used_halfwords();
+  return prog;
+}
+
+/// A tile that immediately raises done (pure router duty).
+inline wse::TileProgram idle() {
+  wse::TileProgram prog;
+  wse::Task t{"idle", false, false, false, {}};
+  t.steps.push_back({wse::TaskStep::Kind::SetDone, -1, {}, wse::kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  return prog;
+}
+
+/// Visit every tile on the X-then-Y dimension-ordered path from (sx, sy)
+/// to (dx, dy), endpoints included.
+template <typename Fn>
+void walk_xy(int sx, int sy, int dx, int dy, Fn&& visit) {
+  int x = sx;
+  int y = sy;
+  visit(x, y);
+  while (x != dx) {
+    x += dx > x ? 1 : -1;
+    visit(x, y);
+  }
+  while (y != dy) {
+    y += dy > y ? 1 : -1;
+    visit(x, y);
+  }
+}
+
+/// Add an X-then-Y dimension-ordered route for `color` from src to dst.
+inline void add_xy_route(std::vector<std::vector<wse::RoutingTable>>& tables,
+                         int sx, int sy, int dx, int dy, wse::Color color) {
+  int x = sx;
+  int y = sy;
+  while (x != dx) {
+    const wse::Dir dir = dx > x ? wse::Dir::East : wse::Dir::West;
+    tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]
+        .rule(color)
+        .add_forward(dir);
+    x += dx > x ? 1 : -1;
+  }
+  while (y != dy) {
+    const wse::Dir dir = dy > y ? wse::Dir::South : wse::Dir::North;
+    tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]
+        .rule(color)
+        .add_forward(dir);
+    y += dy > y ? 1 : -1;
+  }
+  tables[static_cast<std::size_t>(dx)][static_cast<std::size_t>(dy)]
+      .rule(color)
+      .deliver_channels.push_back(color);
+}
+
+/// One point-to-point stream: `payload` is host-written at the source and
+/// expected verbatim at memory offset 0 of the destination.
+struct Stream {
+  int sx = 0, sy = 0;
+  int dx = 0, dy = 0;
+  wse::Color color = 0;
+  std::vector<fp16_t> payload;
+};
+
+/// A reproducible random fabric workload (see the section comment).
+struct Scenario {
+  int width = 0;
+  int height = 0;
+  std::vector<Stream> streams;
+  /// Row-major (y * width + x); 0 marks an unconfigured hole tile. Holes
+  /// never sit on a stream path, so they change the fabric shape without
+  /// wedging a route.
+  std::vector<std::uint8_t> configured;
+  /// Attach to every instantiation when has_faults (the plan outlives the
+  /// fabrics because the Scenario does).
+  wse::FaultPlan faults;
+  bool has_faults = false;
+  /// run() budget: fault plans may starve a receiver, so faulted
+  /// scenarios get a budget small enough to keep a wedged run cheap.
+  std::uint64_t budget = 20000;
+
+  /// Fabric::all_done() demands a done flag from EVERY tile, which an
+  /// unconfigured hole can never raise — a clean run over a holed fabric
+  /// therefore ends Quiescent (streams drained, nothing in flight), not
+  /// AllDone. Tests pick their expected stop reason with this.
+  [[nodiscard]] bool has_holes() const {
+    for (const std::uint8_t c : configured) {
+      if (c == 0) return true;
+    }
+    return false;
+  }
+
+  /// Deterministically build one fabric running this workload. Callers
+  /// pick backend/threads via `sim`; payloads are already host-written.
+  [[nodiscard]] wse::Fabric instantiate(const wse::CS1Params& arch,
+                                        const wse::SimParams& sim) const {
+    std::vector<std::vector<wse::RoutingTable>> tables(
+        static_cast<std::size_t>(width),
+        std::vector<wse::RoutingTable>(static_cast<std::size_t>(height)));
+    for (const Stream& st : streams) {
+      add_xy_route(tables, st.sx, st.sy, st.dx, st.dy, st.color);
+    }
+    wse::Fabric fabric(width, height, arch, sim);
+    for (int x = 0; x < width; ++x) {
+      for (int y = 0; y < height; ++y) {
+        if (configured[static_cast<std::size_t>(y * width + x)] == 0) {
+          continue;
+        }
+        wse::TileProgram prog = idle();
+        for (const Stream& st : streams) {
+          if (st.sx == x && st.sy == y) {
+            prog = sender(st.color, static_cast<int>(st.payload.size()));
+          }
+          if (st.dx == x && st.dy == y) {
+            prog = receiver(st.color, static_cast<int>(st.payload.size()));
+          }
+        }
+        fabric.configure_tile(
+            x, y, std::move(prog),
+            tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]);
+      }
+    }
+    for (const Stream& st : streams) {
+      for (std::size_t i = 0; i < st.payload.size(); ++i) {
+        fabric.core(st.sx, st.sy)
+            .host_write_f16(static_cast<int>(i), st.payload[i]);
+      }
+    }
+    return fabric;
+  }
+};
+
+/// Draw a random Scenario from the case's RNG stream. One stream endpoint
+/// per tile (clashing draws are skipped, the fuzz-suite rule); holes with
+/// probability 1/3 among tiles no stream touches. With `with_faults`,
+/// sprinkle probabilistic link drop/corrupt faults plus (sometimes) a
+/// router-stall window and a dead tile — anywhere, any window, because the
+/// differential contract must hold for wedged runs too.
+inline Scenario make_scenario(Case& c, bool with_faults) {
+  Rng& rng = c.rng();
+  Scenario sc;
+  sc.width = c.size(3, 8);
+  sc.height = c.size(3, 8);
+  const int nstreams = c.size(2, 7);
+  const int len = c.size(4, 31);
+  sc.budget = with_faults ? 4000 : 20000;
+  const auto w64 = static_cast<std::uint64_t>(sc.width);
+  const auto h64 = static_cast<std::uint64_t>(sc.height);
+  const std::size_t ntiles =
+      static_cast<std::size_t>(sc.width) * static_cast<std::size_t>(sc.height);
+  std::vector<std::uint8_t> endpoint(ntiles, 0);
+  std::vector<std::uint8_t> used(ntiles, 0);
+  const auto idx = [&sc](int x, int y) {
+    return static_cast<std::size_t>(y * sc.width + x);
+  };
+  for (int s = 0; s < nstreams; ++s) {
+    Stream st;
+    st.color = static_cast<wse::Color>(s);
+    st.sx = static_cast<int>(rng.below(w64));
+    st.sy = static_cast<int>(rng.below(h64));
+    do {
+      st.dx = static_cast<int>(rng.below(w64));
+      st.dy = static_cast<int>(rng.below(h64));
+    } while (st.dx == st.sx && st.dy == st.sy);
+    if (endpoint[idx(st.sx, st.sy)] != 0 || endpoint[idx(st.dx, st.dy)] != 0) {
+      continue;
+    }
+    endpoint[idx(st.sx, st.sy)] = 1;
+    endpoint[idx(st.dx, st.dy)] = 1;
+    walk_xy(st.sx, st.sy, st.dx, st.dy,
+            [&](int x, int y) { used[idx(x, y)] = 1; });
+    st.payload.resize(static_cast<std::size_t>(len));
+    for (auto& v : st.payload) v = fp16_t(rng.uniform(-8.0, 8.0));
+    sc.streams.push_back(std::move(st));
+  }
+  sc.configured.assign(ntiles, 1);
+  for (std::size_t i = 0; i < ntiles; ++i) {
+    if (used[i] == 0 && rng.below(3) == 0) sc.configured[i] = 0;
+  }
+  if (with_faults) {
+    sc.has_faults = true;
+    sc.faults.seed = c.seed();
+    const int nlinks = c.size(1, 3);
+    for (int i = 0; i < nlinks; ++i) {
+      wse::LinkFault lf;
+      lf.x = static_cast<int>(rng.below(w64));
+      lf.y = static_cast<int>(rng.below(h64));
+      lf.dir = static_cast<wse::Dir>(rng.below(4));
+      lf.kind = rng.below(2) == 0 ? wse::FaultKind::DropWavelet
+                                  : wse::FaultKind::CorruptWavelet;
+      lf.probability = c.uniform(0.1, 0.9);
+      lf.from_cycle = rng.below(100);
+      lf.until_cycle = lf.from_cycle + 100 + rng.below(800);
+      sc.faults.link_faults.push_back(lf);
+    }
+    if (rng.below(2) == 0) {
+      wse::RouterStallFault rs;
+      rs.x = static_cast<int>(rng.below(w64));
+      rs.y = static_cast<int>(rng.below(h64));
+      rs.from_cycle = rng.below(200);
+      rs.until_cycle = rs.from_cycle + 50 + rng.below(200);
+      sc.faults.router_stalls.push_back(rs);
+    }
+    if (rng.below(4) == 0) {
+      wse::DeadTileFault dt;
+      dt.x = static_cast<int>(rng.below(w64));
+      dt.y = static_cast<int>(rng.below(h64));
+      dt.from_cycle = 200 + rng.below(600);
+      sc.faults.dead_tiles.push_back(dt);
+    }
+  }
+  return sc;
+}
+
+} // namespace fabricgen
 
 } // namespace wss::proptest

@@ -17,78 +17,12 @@
 namespace wss::wse {
 namespace {
 
-TileProgram sender(Color color, int len) {
-  TileProgram prog;
-  MemAllocator mem(48 * 1024);
-  const int buf = mem.allocate(len, DType::F16);
-  const int t_src = prog.add_tensor({buf, len, 1, DType::F16, 0});
-  const int f_tx =
-      prog.add_fabric({color, len, DType::F16, 0, kNoTask, TrigAction::None});
-  Task t{"send", false, false, false, {}};
-  Instr s{};
-  s.op = OpKind::Send;
-  s.src1 = t_src;
-  s.fabric = f_tx;
-  t.steps.push_back({TaskStep::Kind::Sync, -1, s, kNoTask});
-  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
-  prog.add_task(std::move(t));
-  prog.initial_task = 0;
-  prog.memory_halfwords = mem.used_halfwords();
-  return prog;
-}
-
-TileProgram receiver(int channel, int len) {
-  TileProgram prog;
-  MemAllocator mem(48 * 1024);
-  const int buf = mem.allocate(len, DType::F16);
-  const int t_dst = prog.add_tensor({buf, len, 1, DType::F16, 0});
-  const int f_rx = prog.add_fabric(
-      {channel, len, DType::F16, 0, kNoTask, TrigAction::None});
-  Task t{"recv", false, false, false, {}};
-  Instr r{};
-  r.op = OpKind::RecvToMem;
-  r.dst = t_dst;
-  r.fabric = f_rx;
-  t.steps.push_back({TaskStep::Kind::Sync, -1, r, kNoTask});
-  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
-  prog.add_task(std::move(t));
-  prog.initial_task = 0;
-  prog.memory_halfwords = mem.used_halfwords();
-  return prog;
-}
-
-TileProgram idle() {
-  TileProgram prog;
-  Task t{"idle", false, false, false, {}};
-  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
-  prog.add_task(std::move(t));
-  prog.initial_task = 0;
-  return prog;
-}
-
-/// Add an X-then-Y dimension-ordered route for `color` from src to dst.
-void add_xy_route(std::vector<std::vector<RoutingTable>>& tables, int sx,
-                  int sy, int dx, int dy, Color color) {
-  int x = sx;
-  int y = sy;
-  while (x != dx) {
-    const Dir dir = dx > x ? Dir::East : Dir::West;
-    tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]
-        .rule(color)
-        .add_forward(dir);
-    x += dx > x ? 1 : -1;
-  }
-  while (y != dy) {
-    const Dir dir = dy > y ? Dir::South : Dir::North;
-    tables[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]
-        .rule(color)
-        .add_forward(dir);
-    y += dy > y ? 1 : -1;
-  }
-  tables[static_cast<std::size_t>(dx)][static_cast<std::size_t>(dy)]
-      .rule(color)
-      .deliver_channels.push_back(color);
-}
+// Tile-program builders and dimension-ordered routing shared with the
+// backend-conformance suite (which generates whole fabrics from them).
+using proptest::fabricgen::add_xy_route;
+using proptest::fabricgen::idle;
+using proptest::fabricgen::receiver;
+using proptest::fabricgen::sender;
 
 TEST(FabricFuzz, RandomPointToPointRoutesDeliverInOrder) {
   // Up to kNumColors concurrent random streams on disjoint colors across a

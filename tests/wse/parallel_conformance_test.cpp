@@ -18,8 +18,8 @@
 
 #include "common/rng.hpp"
 #include "stencil/generators.hpp"
+#include "support/fabric_compare.hpp"
 #include "support/proptest.hpp"
-#include "telemetry/heatmap.hpp"
 #include "wse/fabric.hpp"
 #include "wsekernels/allreduce_program.hpp"
 #include "wsekernels/bicgstab_program.hpp"
@@ -30,53 +30,10 @@ namespace {
 
 constexpr int kThreadCounts[] = {2, 8};
 
-/// Assert every observable counter of `got` matches `want`: fabric stats,
-/// per-tile core stats, per-tile router stats, and the telemetry heatmaps
-/// harvested from them. `label` names the parallel configuration.
-void expect_fabric_state_identical(const Fabric& want, const Fabric& got,
-                                   const std::string& label) {
-  ASSERT_EQ(want.width(), got.width());
-  ASSERT_EQ(want.height(), got.height());
-  EXPECT_EQ(want.stats().cycles, got.stats().cycles) << label;
-  EXPECT_EQ(want.stats().link_transfers, got.stats().link_transfers) << label;
-
-  for (int y = 0; y < want.height(); ++y) {
-    for (int x = 0; x < want.width(); ++x) {
-      ASSERT_EQ(want.has_core(x, y), got.has_core(x, y)) << label;
-      if (!want.has_core(x, y)) continue;
-      const std::string at =
-          label + " tile (" + std::to_string(x) + "," + std::to_string(y) + ")";
-      const CoreStats& a = want.core(x, y).stats();
-      const CoreStats& b = got.core(x, y).stats();
-      EXPECT_EQ(a.instr_cycles, b.instr_cycles) << at;
-      EXPECT_EQ(a.stall_cycles, b.stall_cycles) << at;
-      EXPECT_EQ(a.idle_cycles, b.idle_cycles) << at;
-      EXPECT_EQ(a.elements_processed, b.elements_processed) << at;
-      EXPECT_EQ(a.words_sent, b.words_sent) << at;
-      EXPECT_EQ(a.words_received, b.words_received) << at;
-      EXPECT_EQ(a.task_invocations, b.task_invocations) << at;
-      EXPECT_EQ(a.fifo_highwater, b.fifo_highwater) << at;
-      EXPECT_EQ(a.ramp_highwater, b.ramp_highwater) << at;
-      const RouterStats& ra = want.router_stats(x, y);
-      const RouterStats& rb = got.router_stats(x, y);
-      EXPECT_EQ(ra.flits_forwarded, rb.flits_forwarded) << at;
-      EXPECT_EQ(ra.queue_highwater, rb.queue_highwater) << at;
-      EXPECT_EQ(want.core(x, y).done(), got.core(x, y).done()) << at;
-    }
-  }
-
-  // The telemetry layer must see the same world: heatmap grids are the
-  // race-prone collection path (merged per-thread in the parallel run).
-  const auto maps_want = telemetry::collect_heatmaps(want);
-  const auto maps_got = telemetry::collect_heatmaps(got);
-  const auto all_want = maps_want.all();
-  const auto all_got = maps_got.all();
-  ASSERT_EQ(all_want.size(), all_got.size());
-  for (std::size_t m = 0; m < all_want.size(); ++m) {
-    EXPECT_EQ(all_want[m]->cells, all_got[m]->cells)
-        << label << " heatmap " << all_want[m]->name;
-  }
-}
+// Shared with the backend-conformance suite (support/fabric_compare.hpp):
+// heatmap grids are the race-prone collection path here (merged per-thread
+// in the parallel run).
+using testsupport::expect_fabric_state_identical;
 
 struct SpmvCase {
   Stencil7<fp16_t> a;

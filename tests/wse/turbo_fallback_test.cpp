@@ -1,0 +1,417 @@
+// Fallback-trigger matrix for the turbo backend (docs/BACKENDS.md): every
+// observer that needs the reference phases' hooks — tracer, profiler,
+// flight recorder, time-series sampler, watchdog, fault plan — must demote
+// a turbo fabric to reference stepping while attached, re-promote after
+// detachment, and leave every observable (cycles, counters, results,
+// trace streams) exactly where a pure reference run puts them. Contention
+// is deliberately NOT a trigger: backpressure runs natively on the fast
+// path with reference semantics and is only counted. Backend selection via
+// WSS_SIM_BACKEND / SimParams::backend / set_backend is covered here too.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/env_guard.hpp"
+#include "support/fabric_compare.hpp"
+#include "support/proptest.hpp"
+#include "telemetry/flightrec.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/timeseries.hpp"
+#include "wse/fabric.hpp"
+#include "wse/trace.hpp"
+
+namespace wss::wse {
+namespace {
+
+namespace fabricgen = proptest::fabricgen;
+using testsupport::expect_fabric_state_identical;
+
+std::vector<fp16_t> make_payload(int len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<fp16_t> payload(static_cast<std::size_t>(len));
+  for (auto& v : payload) v = fp16_t(rng.uniform(-4.0, 4.0));
+  return payload;
+}
+
+/// 2x1 fabric, one east stream on color 0: sender (0,0) -> receiver (1,0).
+Fabric make_stream_fabric(const std::vector<fp16_t>& payload, Backend backend,
+                          int threads = 1) {
+  static const CS1Params arch;
+  SimParams sim;
+  sim.sim_threads = threads;
+  sim.backend = backend;
+  const int len = static_cast<int>(payload.size());
+  std::vector<std::vector<RoutingTable>> tables(2,
+                                                std::vector<RoutingTable>(1));
+  fabricgen::add_xy_route(tables, 0, 0, 1, 0, 0);
+  Fabric f(2, 1, arch, sim);
+  f.set_watchdog(0);
+  f.configure_tile(0, 0, fabricgen::sender(0, len), tables[0][0]);
+  f.configure_tile(1, 0, fabricgen::receiver(0, len), tables[1][0]);
+  for (int i = 0; i < len; ++i) {
+    f.core(0, 0).host_write_f16(i, payload[static_cast<std::size_t>(i)]);
+  }
+  return f;
+}
+
+void expect_payload_delivered(const Fabric& f,
+                              const std::vector<fp16_t>& payload,
+                              const std::string& label) {
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(f.core(1, 0).host_read_f16(static_cast<int>(i)).bits(),
+              payload[i].bits())
+        << label << " word " << i;
+  }
+}
+
+/// The canonical demote/re-promote experiment: 3 turbo cycles, attach the
+/// trigger, 2 demoted cycles, detach, finish the run — then replay the
+/// identical schedule on a reference-backend twin (attachment included,
+/// when the trigger is attachable there) and demand identical observables.
+template <typename Attach, typename Detach>
+void check_demote_repromote(const std::string& label, Attach attach,
+                            Detach detach) {
+  testsupport::CleanSimEnv env;
+  const std::vector<fp16_t> payload = make_payload(8, 3);
+
+  Fabric turbo = make_stream_fabric(payload, Backend::Turbo);
+  for (int i = 0; i < 3; ++i) turbo.step();
+  ASSERT_TRUE(turbo.turbo_active()) << label;
+  EXPECT_EQ(turbo.turbo_stats().promotions, 1u) << label;
+  EXPECT_EQ(turbo.turbo_stats().turbo_cycles, 3u) << label;
+
+  attach(turbo);
+  EXPECT_FALSE(turbo.turbo_active()) << label << " (attached)";
+  turbo.step();
+  turbo.step();
+  // Demoted cycles step the reference phases: the turbo cycle counter
+  // froze, the demotion was counted once.
+  EXPECT_EQ(turbo.turbo_stats().turbo_cycles, 3u) << label;
+  EXPECT_EQ(turbo.turbo_stats().demotions, 1u) << label;
+  EXPECT_EQ(turbo.stats().cycles, 5u) << label;
+
+  detach(turbo);
+  EXPECT_TRUE(turbo.turbo_active()) << label << " (detached)";
+  (void)turbo.run(1000);
+  EXPECT_TRUE(turbo.all_done()) << label;
+  EXPECT_EQ(turbo.turbo_stats().promotions, 2u) << label;
+  EXPECT_EQ(turbo.turbo_stats().turbo_cycles, turbo.stats().cycles - 2)
+      << label;
+
+  // Reference twin, same cycle schedule, no trigger: observers only
+  // observe, so the mid-run attach/detach must be invisible in the state.
+  Fabric ref = make_stream_fabric(payload, Backend::Reference);
+  for (int i = 0; i < 5; ++i) ref.step();
+  (void)ref.run(1000);
+  EXPECT_TRUE(ref.all_done()) << label;
+  expect_fabric_state_identical(ref, turbo, label);
+  expect_payload_delivered(turbo, payload, label);
+}
+
+TEST(TurboFallback, TracerAttachDemotesAndRepromotes) {
+  Tracer tracer(1 << 14);
+  check_demote_repromote(
+      "tracer", [&](Fabric& f) { f.set_tracer(&tracer); },
+      [&](Fabric& f) { f.set_tracer(nullptr); });
+}
+
+TEST(TurboFallback, ProfilerAttachDemotesAndRepromotes) {
+  telemetry::Profiler profiler(2, 1);
+  check_demote_repromote(
+      "profiler", [&](Fabric& f) { f.set_profiler(&profiler); },
+      [&](Fabric& f) { f.set_profiler(nullptr); });
+}
+
+TEST(TurboFallback, FlightRecorderAttachDemotesAndRepromotes) {
+  telemetry::FlightRecorder rec(2, 1, 8);
+  check_demote_repromote(
+      "flightrec", [&](Fabric& f) { f.set_flight_recorder(&rec); },
+      [&](Fabric& f) { f.set_flight_recorder(nullptr); });
+}
+
+TEST(TurboFallback, SamplerAttachDemotesAndRepromotes) {
+  telemetry::TimeSeriesSampler sampler(16);
+  check_demote_repromote(
+      "sampler", [&](Fabric& f) { f.set_sampler(&sampler); },
+      [&](Fabric& f) { f.set_sampler(nullptr); });
+}
+
+TEST(TurboFallback, WatchdogDemotesAndClearingRepromotes) {
+  check_demote_repromote(
+      "watchdog", [](Fabric& f) { f.set_watchdog(100000); },
+      [](Fabric& f) { f.set_watchdog(0); });
+}
+
+TEST(TurboFallback, FaultPlanAttachDemotesEvenWhenEmpty) {
+  // An attached EMPTY plan changes nothing about simulated behaviour
+  // (docs/ROBUSTNESS.md) — but the hooks are live, so turbo must still
+  // stand down while it is attached.
+  FaultPlan plan;
+  check_demote_repromote(
+      "empty fault plan", [&](Fabric& f) { f.set_fault_plan(&plan); },
+      [](Fabric& f) { f.set_fault_plan(nullptr); });
+}
+
+TEST(TurboFallback, TracerStreamMatchesReferenceAroundDemotion) {
+  // The tracer attached to a turbo-selected fabric records during the
+  // demoted window; a reference fabric with the identical attach schedule
+  // must record the identical stream.
+  testsupport::CleanSimEnv env;
+  const std::vector<fp16_t> payload = make_payload(8, 7);
+
+  Tracer t_turbo(1 << 14);
+  Fabric turbo = make_stream_fabric(payload, Backend::Turbo);
+  for (int i = 0; i < 3; ++i) turbo.step();
+  turbo.set_tracer(&t_turbo);
+  turbo.step();
+  turbo.step();
+  turbo.set_tracer(nullptr);
+  (void)turbo.run(1000);
+
+  Tracer t_ref(1 << 14);
+  Fabric ref = make_stream_fabric(payload, Backend::Reference);
+  for (int i = 0; i < 3; ++i) ref.step();
+  ref.set_tracer(&t_ref);
+  ref.step();
+  ref.step();
+  ref.set_tracer(nullptr);
+  (void)ref.run(1000);
+
+  EXPECT_EQ(t_turbo.dropped(), t_ref.dropped());
+  ASSERT_EQ(t_turbo.events().size(), t_ref.events().size());
+  for (std::size_t i = 0; i < t_ref.events().size(); ++i) {
+    const TraceEvent& a = t_ref.events()[i];
+    const TraceEvent& b = t_turbo.events()[i];
+    EXPECT_EQ(a.cycle, b.cycle) << "event " << i;
+    EXPECT_EQ(a.tile_x, b.tile_x) << "event " << i;
+    EXPECT_EQ(a.tile_y, b.tile_y) << "event " << i;
+    EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind))
+        << "event " << i;
+    EXPECT_EQ(a.label, b.label) << "event " << i;
+  }
+  expect_fabric_state_identical(ref, turbo, "tracer stream");
+}
+
+// --- contention: a native fast-path event, not a demotion ---------------
+
+/// Receiver that copies a scratch vector first (a deliberate delay), so
+/// the sender's stream backs up through ramp, input latch, and output
+/// queue while the receiver is busy — guaranteed route-phase backpressure.
+TileProgram delayed_receiver(int channel, int len, int delay_elems) {
+  TileProgram prog;
+  MemAllocator mem(48 * 1024);
+  // Receive buffer first: the payload checks read from halfword offset 0.
+  const int buf = mem.allocate(len, DType::F16);
+  const int scratch_a = mem.allocate(delay_elems, DType::F16);
+  const int scratch_b = mem.allocate(delay_elems, DType::F16);
+  const int t_sa = prog.add_tensor({scratch_a, delay_elems, 1, DType::F16, 0});
+  const int t_sb = prog.add_tensor({scratch_b, delay_elems, 1, DType::F16, 0});
+  const int t_dst = prog.add_tensor({buf, len, 1, DType::F16, 0});
+  const int f_rx = prog.add_fabric(
+      {channel, len, DType::F16, 0, kNoTask, TrigAction::None});
+  Task t{"delayed_recv", false, false, false, {}};
+  Instr cp{};
+  cp.op = OpKind::CopyV;
+  cp.dst = t_sb;
+  cp.src1 = t_sa;
+  t.steps.push_back({TaskStep::Kind::Sync, -1, cp, kNoTask});
+  Instr r{};
+  r.op = OpKind::RecvToMem;
+  r.dst = t_dst;
+  r.fabric = f_rx;
+  t.steps.push_back({TaskStep::Kind::Sync, -1, r, kNoTask});
+  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  prog.memory_halfwords = mem.used_halfwords();
+  return prog;
+}
+
+TEST(TurboFallback, ContentionStaysOnTheFastPath) {
+  testsupport::CleanSimEnv env;
+  static const CS1Params arch;
+  const std::vector<fp16_t> payload = make_payload(31, 13);
+  const int len = static_cast<int>(payload.size());
+
+  const auto build = [&](Backend backend) {
+    SimParams sim;
+    sim.sim_threads = 1;
+    sim.backend = backend;
+    std::vector<std::vector<RoutingTable>> tables(
+        2, std::vector<RoutingTable>(1));
+    fabricgen::add_xy_route(tables, 0, 0, 1, 0, 0);
+    Fabric f(2, 1, arch, sim);
+    f.set_watchdog(0);
+    f.configure_tile(0, 0, fabricgen::sender(0, len), tables[0][0]);
+    f.configure_tile(1, 0, delayed_receiver(0, len, /*delay_elems=*/256),
+                     tables[1][0]);
+    for (int i = 0; i < len; ++i) {
+      f.core(0, 0).host_write_f16(i, payload[static_cast<std::size_t>(i)]);
+    }
+    return f;
+  };
+
+  Fabric turbo = build(Backend::Turbo);
+  (void)turbo.run(5000);
+  ASSERT_TRUE(turbo.all_done());
+  // Backpressure happened, was counted — and never left the fast path.
+  EXPECT_GT(turbo.turbo_stats().contended_tile_cycles, 0u);
+  EXPECT_EQ(turbo.turbo_stats().demotions, 0u);
+  EXPECT_EQ(turbo.turbo_stats().turbo_cycles, turbo.stats().cycles);
+
+  Fabric ref = build(Backend::Reference);
+  (void)ref.run(5000);
+  ASSERT_TRUE(ref.all_done());
+  expect_fabric_state_identical(ref, turbo, "contention");
+  expect_payload_delivered(turbo, payload, "contention");
+}
+
+TEST(TurboFallback, ParkedOceanIsCountedAndBitExact) {
+  // One corner-to-corner stream on a 6x6 fabric: the other 34 tiles raise
+  // done immediately and must spend the rest of the run parked.
+  testsupport::CleanSimEnv env;
+  fabricgen::Scenario sc;
+  sc.width = 6;
+  sc.height = 6;
+  sc.configured.assign(36, 1);
+  fabricgen::Stream st;
+  st.sx = 0;
+  st.sy = 0;
+  st.dx = 5;
+  st.dy = 5;
+  st.color = 0;
+  st.payload = make_payload(8, 17);
+  sc.streams.push_back(st);
+
+  static const CS1Params arch;
+  SimParams tur_sim;
+  tur_sim.sim_threads = 1;
+  tur_sim.backend = Backend::Turbo;
+  Fabric turbo = sc.instantiate(arch, tur_sim);
+  turbo.set_watchdog(0);
+  (void)turbo.run(5000);
+  ASSERT_TRUE(turbo.all_done());
+  EXPECT_GT(turbo.turbo_stats().parked_tile_cycles, 0u);
+  EXPECT_EQ(turbo.turbo_stats().turbo_cycles, turbo.stats().cycles);
+
+  SimParams ref_sim;
+  ref_sim.sim_threads = 1;
+  ref_sim.backend = Backend::Reference;
+  Fabric ref = sc.instantiate(arch, ref_sim);
+  ref.set_watchdog(0);
+  (void)ref.run(5000);
+  expect_fabric_state_identical(ref, turbo, "parked ocean");
+}
+
+// --- backend selection --------------------------------------------------
+
+TEST(TurboFallback, BackendResolvesFromParamsAndEnv) {
+  testsupport::CleanSimEnv env;
+  static const CS1Params arch;
+  SimParams sim; // backend = Auto
+
+  {
+    Fabric f(2, 1, arch, sim);
+    EXPECT_EQ(f.backend(), Backend::Reference); // Auto, env unset
+  }
+  env.backend.set("turbo");
+  {
+    Fabric f(2, 1, arch, sim);
+    EXPECT_EQ(f.backend(), Backend::Turbo);
+  }
+  env.backend.set("reference");
+  {
+    Fabric f(2, 1, arch, sim);
+    EXPECT_EQ(f.backend(), Backend::Reference);
+  }
+  // Empty and unknown values are hard configuration errors, not silent
+  // fallbacks to the reference backend. Empty-but-set is rejected by the
+  // strict env parser, unknown names by the backend resolver.
+  env.backend.set("");
+  EXPECT_THROW(Fabric(2, 1, arch, sim), std::runtime_error);
+  env.backend.set("warp");
+  EXPECT_THROW(Fabric(2, 1, arch, sim), std::invalid_argument);
+
+  // An explicit SimParams::backend beats the environment.
+  env.backend.set("reference");
+  SimParams pinned = sim;
+  pinned.backend = Backend::Turbo;
+  {
+    Fabric f(2, 1, arch, pinned);
+    EXPECT_EQ(f.backend(), Backend::Turbo);
+  }
+
+  // set_backend(Auto) re-resolves against the env at call time.
+  env.backend.set("turbo");
+  {
+    SimParams ref_params = sim;
+    ref_params.backend = Backend::Reference;
+    Fabric f(2, 1, arch, ref_params);
+    EXPECT_EQ(f.backend(), Backend::Reference);
+    f.set_backend(Backend::Auto);
+    EXPECT_EQ(f.backend(), Backend::Turbo);
+  }
+}
+
+TEST(TurboFallback, SetBackendMidRunIsSilentAndBitExact) {
+  // Voluntary backend switches are not demotions: only observer-forced
+  // fallbacks count in the stats.
+  testsupport::CleanSimEnv env;
+  const std::vector<fp16_t> payload = make_payload(8, 23);
+
+  Fabric f = make_stream_fabric(payload, Backend::Turbo);
+  f.step();
+  f.step();
+  f.set_backend(Backend::Reference);
+  f.step();
+  f.step();
+  f.set_backend(Backend::Turbo);
+  (void)f.run(1000);
+  ASSERT_TRUE(f.all_done());
+  EXPECT_EQ(f.turbo_stats().demotions, 0u);
+  EXPECT_EQ(f.turbo_stats().promotions, 2u);
+
+  Fabric ref = make_stream_fabric(payload, Backend::Reference);
+  for (int i = 0; i < 4; ++i) ref.step();
+  (void)ref.run(1000);
+  expect_fabric_state_identical(ref, f, "mid-run switch");
+  expect_payload_delivered(f, payload, "mid-run switch");
+}
+
+TEST(TurboFallback, ResetControlRebuildsTheMirror) {
+  testsupport::CleanSimEnv env;
+  const std::vector<fp16_t> payload = make_payload(8, 29);
+
+  Fabric turbo = make_stream_fabric(payload, Backend::Turbo);
+  (void)turbo.run(1000);
+  ASSERT_TRUE(turbo.all_done());
+  EXPECT_EQ(turbo.turbo_stats().promotions, 1u);
+
+  // Second run over the same loaded data: reset_control drops the mirror
+  // (structural mutation), the next step re-promotes.
+  turbo.reset_control();
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    turbo.core(0, 0).host_write_f16(static_cast<int>(i), payload[i]);
+  }
+  (void)turbo.run(1000);
+  ASSERT_TRUE(turbo.all_done());
+  EXPECT_EQ(turbo.turbo_stats().promotions, 2u);
+  EXPECT_EQ(turbo.turbo_stats().demotions, 0u);
+
+  Fabric ref = make_stream_fabric(payload, Backend::Reference);
+  (void)ref.run(1000);
+  ref.reset_control();
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    ref.core(0, 0).host_write_f16(static_cast<int>(i), payload[i]);
+  }
+  (void)ref.run(1000);
+  expect_fabric_state_identical(ref, turbo, "reset_control rerun");
+  expect_payload_delivered(turbo, payload, "reset_control rerun");
+}
+
+} // namespace
+} // namespace wss::wse
