@@ -1,0 +1,52 @@
+// Heat/hotspot diffusion through the generic stencil front-end
+// (docs/STENCILFE.md): u' = (1-4a)*u + a*(n+s+w+e), the classic hotspot
+// kernel and the first of the three non-paper workloads. Two boundary
+// policies run side by side — Dirichlet-zero (the paper's halo closure)
+// and Periodic (exercising the wrap lanes the route compiler adds) — so
+// the wrap-lane cycle cost is visible as the gap between the two
+// measured generation times, and the analytic perfmodel projection is
+// gated against both.
+//
+// Machine-readable output: with WSS_JSON_OUT=<dir> the rows land in
+// bench_stencilfe_heat.json; bench/baselines/bench_stencilfe_heat.json
+// re-checks the cycle counts and the bool gates in CI.
+
+#include <cstdio>
+
+#include "stencilfe_common.hpp"
+
+int main() {
+  using namespace wss;
+  using namespace wss::stencilfe;
+
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "W1: heat/hotspot diffusion (generic stencil front-end)",
+      "non-paper workload, docs/STENCILFE.md",
+      "compiled heat transition is bit-identical to the host golden on "
+      "both backends at 1/8 threads; the perfmodel projection equals the "
+      "measured cycles exactly",
+      /*simulated=*/true);
+
+  const wse::CS1Params arch;
+  const int nx = 24;
+  const int ny = 16;
+  const int generations = 8;
+
+  const TransitionFn dirichlet = heat_fn();
+  const TransitionFn periodic =
+      heat_fn(/*alpha=*/0.125, BoundaryPolicy::Periodic);
+  const std::vector<fp16_t> init = random_state(dirichlet, nx, ny, 2026);
+
+  bool ok = true;
+  ok &= bench::stencilfe_section("heat-dirichlet", dirichlet, nx, ny, init,
+                                 generations, arch);
+  ok &= bench::stencilfe_section("heat-periodic", periodic, nx, ny, init,
+                                 generations, arch);
+
+  bench::note(ok ? "heat transition reproduced the host golden bit for bit "
+                   "on both backends; projection matched measurement exactly"
+                 : "GATE FAILURE: heat workload diverged (see MISMATCH lines)");
+  bench::note("the periodic-vs-dirichlet cycle gap is the wrap-lane "
+              "latency the projection models as max(0,nx-3)+max(0,ny-3)");
+  return ok ? 0 : 1;
+}

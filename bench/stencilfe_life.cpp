@@ -1,0 +1,46 @@
+// Conway's Game of Life on a torus through the generic stencil front-end
+// (docs/STENCILFE.md): eight unit neighbor terms count the live
+// neighbors, the LifeV pointwise op applies the birth/survival rule, and
+// the periodic boundary exercises the wrap lanes on both axes. This is
+// the non-linear workload: the transition is not an affine stencil, so
+// it proves the front-end's pointwise-rule hook end to end.
+//
+// Machine-readable output: with WSS_JSON_OUT=<dir> the rows land in
+// bench_stencilfe_life.json; bench/baselines/bench_stencilfe_life.json
+// re-checks the cycle counts and the bool gates in CI.
+
+#include <cstdio>
+
+#include "stencilfe_common.hpp"
+
+int main() {
+  using namespace wss;
+  using namespace wss::stencilfe;
+
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "W3: Conway's Game of Life on a torus (generic stencil front-end)",
+      "non-paper workload, docs/STENCILFE.md",
+      "compiled life transition is bit-identical to the host golden on "
+      "both backends at 1/8 threads; the perfmodel projection equals the "
+      "measured cycles exactly",
+      /*simulated=*/true);
+
+  const wse::CS1Params arch;
+  const int nx = 16;
+  const int ny = 16;
+  const int generations = 8;
+
+  const TransitionFn fn = life_fn();
+  const std::vector<fp16_t> init = random_life_state(nx, ny, 2028);
+
+  const bool ok =
+      bench::stencilfe_section("life-torus", fn, nx, ny, init, generations,
+                               arch);
+
+  bench::note(ok ? "life transition reproduced the host golden bit for bit "
+                   "on both backends; projection matched measurement exactly"
+                 : "GATE FAILURE: life workload diverged (see MISMATCH lines)");
+  bench::note("periodic on both axes: wrap lanes carry the torus edges, "
+              "costing max(0,nx-3)+max(0,ny-3) extra exchange cycles");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// 2D wave propagation (FDTD-style leapfrog) through the generic stencil
+// front-end (docs/STENCILFE.md): two fields per cell (u, u_prev),
+//   u'      = (2-4c2)*u + c2*(n+s+w+e) - u_prev
+//   u_prev' = u
+// with reflective boundaries. This is the two-field workload: the halo
+// exchange ships both fields per neighbor, so the measured generation
+// time exposes the per-extra-field exchange cost the perfmodel carries
+// as its 4*(F-1) term.
+//
+// Machine-readable output: with WSS_JSON_OUT=<dir> the rows land in
+// bench_stencilfe_wave.json; bench/baselines/bench_stencilfe_wave.json
+// re-checks the cycle counts and the bool gates in CI.
+
+#include <cstdio>
+
+#include "stencilfe_common.hpp"
+
+int main() {
+  using namespace wss;
+  using namespace wss::stencilfe;
+
+  [[maybe_unused]] const bench::BenchEnv env = bench::bench_env(
+      "W2: 2D wave propagation, two-field leapfrog (generic stencil "
+      "front-end)",
+      "non-paper workload, docs/STENCILFE.md",
+      "compiled two-field wave transition is bit-identical to the host "
+      "golden on both backends at 1/8 threads; the perfmodel projection "
+      "equals the measured cycles exactly",
+      /*simulated=*/true);
+
+  const wse::CS1Params arch;
+  const int nx = 20;
+  const int ny = 12;
+  const int generations = 6;
+
+  const TransitionFn fn = wave_fn();
+  const std::vector<fp16_t> init = random_state(fn, nx, ny, 2027);
+
+  const bool ok =
+      bench::stencilfe_section("wave-reflective", fn, nx, ny, init,
+                               generations, arch);
+
+  bench::note(ok ? "wave transition reproduced the host golden bit for bit "
+                   "on both backends; projection matched measurement exactly"
+                 : "GATE FAILURE: wave workload diverged (see MISMATCH lines)");
+  bench::note("two fields per cell: the exchange stage ships 4*(F-1) extra "
+              "cycles over the single-field workloads (docs/STENCILFE.md)");
+  return ok ? 0 : 1;
+}

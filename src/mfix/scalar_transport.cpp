@@ -96,13 +96,23 @@ AssembledSystem assemble_scalar_transport(const StaggeredGrid& g,
 int advance_scalar(const StaggeredGrid& g, const FlowState& state,
                    const FluidProps& props, Field3<double>& theta,
                    const Field3<double>* source,
-                   const ScalarTransportOptions& opt) {
+                   const ScalarTransportOptions& opt, SolveResult* result) {
   AssembledSystem sys =
       assemble_scalar_transport(g, state, props, theta, source, opt);
 
   Stencil7<double> a = sys.a;
   Field3<double> b = sys.rhs;
-  const Field3<double> b_pre = precondition_jacobi(a, b);
+  Field3<double> b_pre(sys.grid);
+  try {
+    b_pre = precondition_jacobi(a, b);
+  } catch (const SingularDiagonalError&) {
+    if (result != nullptr) {
+      *result = SolveResult{};
+      result->reason = StopReason::Breakdown;
+      result->breakdown = BreakdownKind::SingularDiagonal;
+    }
+    return 0;
+  }
   Stencil7Operator<double> op(a);
 
   std::vector<double> xv(theta.begin(), theta.end());
@@ -110,13 +120,14 @@ int advance_scalar(const StaggeredGrid& g, const FlowState& state,
   SolveControls controls;
   controls.max_iterations = opt.solver_iters;
   controls.tolerance = opt.solver_tolerance;
-  const SolveResult result = bicgstab<DoublePrecision>(
+  const SolveResult r = bicgstab<DoublePrecision>(
       [&](std::span<const double> v, std::span<double> y, FlopCounter* fc) {
         op(v, y, fc);
       },
       std::span<const double>(bv), std::span<double>(xv), controls);
   for (std::size_t i = 0; i < xv.size(); ++i) theta[i] = xv[i];
-  return result.iterations;
+  if (result != nullptr) *result = r;
+  return r.iterations;
 }
 
 double scalar_content(const StaggeredGrid& g, const FluidProps& props,

@@ -9,6 +9,7 @@
 // by BiCGStab under the paper's 5-iteration transport cap.
 
 #include "mfix/assembly.hpp"
+#include "solver/bicgstab.hpp"
 
 namespace wss::mfix {
 
@@ -32,10 +33,15 @@ AssembledSystem assemble_scalar_transport(const StaggeredGrid& g,
                                           const ScalarTransportOptions& opt);
 
 /// Advance theta by one implicit step; returns BiCGStab iterations used.
+/// When `result` is non-null it receives the full classified SolveResult —
+/// a singular assembled diagonal comes back as StopReason::Breakdown with
+/// BreakdownKind::SingularDiagonal (theta left untouched) instead of
+/// poisoning the field.
 int advance_scalar(const StaggeredGrid& g, const FlowState& state,
                    const FluidProps& props, Field3<double>& theta,
                    const Field3<double>* source,
-                   const ScalarTransportOptions& opt);
+                   const ScalarTransportOptions& opt,
+                   SolveResult* result = nullptr);
 
 /// Total scalar content sum(rho * theta * h^3) — conserved in a closed
 /// adiabatic box without sources.

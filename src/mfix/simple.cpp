@@ -8,12 +8,23 @@ SimpleSolver::SimpleSolver(StaggeredGrid grid, FluidProps props,
                            WallMotion walls, SimpleOptions options)
     : grid_(grid), props_(props), walls_(walls), options_(options) {}
 
-int SimpleSolver::solve(const AssembledSystem& sys, Field3<double>& x,
-                        int max_iters) {
-  // Diagonal preconditioning, exactly as the wafer solver requires.
+SolveResult SimpleSolver::solve(const AssembledSystem& sys, Field3<double>& x,
+                                int max_iters) {
+  // Diagonal preconditioning, exactly as the wafer solver requires. A
+  // singular assembled diagonal is a classified breakdown, not a crash:
+  // the guard in precondition_jacobi fires before any row is poisoned.
   Stencil7<double> a = sys.a;
   Field3<double> b = sys.rhs;
-  const Field3<double> b_pre = precondition_jacobi(a, b);
+  Field3<double> b_pre(sys.grid);
+  try {
+    b_pre = precondition_jacobi(a, b);
+  } catch (const SingularDiagonalError&) {
+    SolveResult result;
+    result.reason = StopReason::Breakdown;
+    result.breakdown = BreakdownKind::SingularDiagonal;
+    result.iterations = 0;
+    return result;
+  }
   Stencil7Operator<double> op(a);
 
   std::vector<double> xv(x.begin(), x.end());
@@ -27,7 +38,7 @@ int SimpleSolver::solve(const AssembledSystem& sys, Field3<double>& x,
       },
       std::span<const double>(bv), std::span<double>(xv), controls);
   for (std::size_t i = 0; i < xv.size(); ++i) x[i] = xv[i];
-  return result.iterations;
+  return result;
 }
 
 SimpleIterationStats SimpleSolver::iterate(FlowState& state) {
@@ -82,9 +93,18 @@ SimpleIterationStats SimpleSolver::iterate(FlowState& state) {
   stats.momentum_residual =
       residual_of(su, xu) + residual_of(sv, xv) + residual_of(sw, xw);
 
-  stats.solver_iterations += solve(su, xu, options_.momentum_solver_iters);
-  stats.solver_iterations += solve(sv, xv, options_.momentum_solver_iters);
-  stats.solver_iterations += solve(sw, xw, options_.momentum_solver_iters);
+  const auto run_solve = [&](const AssembledSystem& sys, Field3<double>& x0,
+                             int iters) {
+    const SolveResult r = solve(sys, x0, iters);
+    stats.solver_iterations += r.iterations;
+    if (stats.breakdown == BreakdownKind::None &&
+        r.reason == StopReason::Breakdown) {
+      stats.breakdown = r.breakdown;
+    }
+  };
+  run_solve(su, xu, options_.momentum_solver_iters);
+  run_solve(sv, xv, options_.momentum_solver_iters);
+  run_solve(sw, xw, options_.momentum_solver_iters);
 
   FlowState star = state;
   for (int a = 0; a < su.grid.nx; ++a)
@@ -125,7 +145,7 @@ SimpleIterationStats SimpleSolver::iterate(FlowState& state) {
   stats.formation_census.transports += sp.census.transports;
 
   Field3<double> pc(grid_.cells(), 0.0);
-  stats.solver_iterations += solve(sp, pc, options_.continuity_solver_iters);
+  run_solve(sp, pc, options_.continuity_solver_iters);
 
   // --- Field update ---
   state = star;

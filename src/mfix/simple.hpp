@@ -26,6 +26,10 @@ struct SimpleIterationStats {
   double mass_residual = 0.0;     ///< continuity imbalance before correction
   int solver_iterations = 0;      ///< total BiCGStab iterations spent
   OpCensus formation_census;      ///< ops spent forming matrices
+  /// First classified inner-solve breakdown this iteration (None when all
+  /// solves were healthy). A singular assembled diagonal surfaces here as
+  /// BreakdownKind::SingularDiagonal instead of poisoning the fields.
+  BreakdownKind breakdown = BreakdownKind::None;
 };
 
 class SimpleSolver {
@@ -44,8 +48,11 @@ public:
 
 private:
   /// Solve sys.a x = sys.rhs with BiCGStab (Jacobi-preconditioned, as on
-  /// the wafer), starting from `x0`; returns iterations used.
-  int solve(const AssembledSystem& sys, Field3<double>& x, int max_iters);
+  /// the wafer), starting from `x0`. A singular diagonal is caught and
+  /// classified (StopReason::Breakdown / SingularDiagonal), leaving x
+  /// untouched.
+  SolveResult solve(const AssembledSystem& sys, Field3<double>& x,
+                    int max_iters);
 
   StaggeredGrid grid_;
   FluidProps props_;

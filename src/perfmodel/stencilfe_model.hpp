@@ -1,0 +1,28 @@
+#pragma once
+
+// Analytic cycle projection for the generic stencil front-end, validated
+// the same way the CS-1 model was: the projection is printed next to the
+// measured simulator cycles in every stencilfe bench, and the regression
+// baselines gate both (the measurement exactly, the projection error
+// loosely). The model walks the same straight-line program the compiler
+// emits — per-step dispatch, link-rate sends, arrival-gated receives,
+// wrap-lane latency — so it is a deterministic function of the
+// TransitionFn and grid shape.
+
+#include "stencilfe/transition.hpp"
+
+namespace wss::perfmodel {
+
+struct StencilFeProjection {
+  double exchange_cycles = 0.0; ///< halo rounds incl. wrap-lane latency
+  double compute_cycles = 0.0;  ///< scalar seeding + FMAC folds + commit
+  [[nodiscard]] double total() const {
+    return exchange_cycles + compute_cycles;
+  }
+};
+
+/// Projected cycles for one generation of `fn` on an nx*ny grid.
+[[nodiscard]] StencilFeProjection project_stencilfe_generation(
+    const stencilfe::TransitionFn& fn, int nx, int ny);
+
+} // namespace wss::perfmodel

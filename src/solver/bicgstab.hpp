@@ -52,6 +52,7 @@ enum class BreakdownKind : std::uint8_t {
   OmegaZero,         ///< omega = (q,y)/(y,y) vanished or undefined
   NonFiniteScalar,   ///< NaN/Inf reached a recurrence scalar
   NonFiniteResidual, ///< NaN/Inf reached the residual norm
+  SingularDiagonal,  ///< Jacobi preconditioner hit a zero/NaN/Inf diagonal
 };
 
 [[nodiscard]] constexpr const char* to_string(BreakdownKind k) {
@@ -62,6 +63,7 @@ enum class BreakdownKind : std::uint8_t {
     case BreakdownKind::OmegaZero: return "omega-zero";
     case BreakdownKind::NonFiniteScalar: return "non-finite-scalar";
     case BreakdownKind::NonFiniteResidual: return "non-finite-residual";
+    case BreakdownKind::SingularDiagonal: return "singular-diagonal";
   }
   return "unknown";
 }

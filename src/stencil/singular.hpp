@@ -1,0 +1,43 @@
+#pragma once
+
+// Classified failure for Jacobi (diagonal) preconditioning: dividing a
+// row by a zero, NaN, or Inf diagonal does not produce a wrong answer —
+// it silently poisons every coefficient of the row and the rhs, and the
+// solver then limps along on garbage until some dot product goes
+// non-finite far from the root cause. precondition_jacobi (stencil7 and
+// stencil9) throws this instead, carrying the first offending row; the
+// solver layers above classify it as BreakdownKind::SingularDiagonal.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace wss {
+
+class SingularDiagonalError : public std::runtime_error {
+public:
+  SingularDiagonalError(std::size_t index, double value)
+      : std::runtime_error(
+            "jacobi preconditioner: singular diagonal at meshpoint " +
+            std::to_string(index) + " (value " + std::to_string(value) + ")"),
+        index_(index),
+        value_(value) {}
+
+  /// Flat meshpoint index of the first bad row.
+  [[nodiscard]] std::size_t index() const { return index_; }
+  /// The offending diagonal value (0, NaN, or +/-Inf).
+  [[nodiscard]] double value() const { return value_; }
+
+private:
+  std::size_t index_;
+  double value_;
+};
+
+/// True when a diagonal value cannot scale a row: exactly zero (division
+/// poisons the row with Inf/NaN) or already non-finite.
+[[nodiscard]] inline bool diagonal_is_singular(double d) {
+  return d == 0.0 || !std::isfinite(d);
+}
+
+} // namespace wss

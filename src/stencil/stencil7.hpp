@@ -10,6 +10,7 @@
 #include "common/precision.hpp"
 #include "mesh/field.hpp"
 #include "mesh/grid.hpp"
+#include "stencil/singular.hpp"
 
 namespace wss {
 
@@ -61,12 +62,17 @@ void spmv7(const Stencil7<T>& a, const Field3<T>& v, Field3<T>& y) {
 }
 
 /// Scale the system A x = b by the inverse diagonal so diag == 1 (the
-/// paper's diagonal preconditioning). Returns the scaled rhs.
+/// paper's diagonal preconditioning). Returns the scaled rhs. Throws
+/// SingularDiagonalError on a zero/NaN/Inf diagonal — scaling by such a
+/// row would silently poison the whole system (stencil/singular.hpp).
 template <typename T>
 Field3<T> precondition_jacobi(Stencil7<T>& a, const Field3<T>& b) {
   Field3<T> scaled_b(a.grid);
   for (std::size_t i = 0; i < a.num_points(); ++i) {
     const T d = a.diag[i];
+    if (diagonal_is_singular(to_double(d))) {
+      throw SingularDiagonalError(i, to_double(d));
+    }
     a.xp[i] = a.xp[i] / d;
     a.xm[i] = a.xm[i] / d;
     a.yp[i] = a.yp[i] / d;

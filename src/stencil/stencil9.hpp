@@ -10,6 +10,7 @@
 #include "common/precision.hpp"
 #include "mesh/field.hpp"
 #include "mesh/grid.hpp"
+#include "stencil/singular.hpp"
 
 namespace wss {
 
@@ -53,11 +54,16 @@ void spmv9(const Stencil9<T>& a, const Field2<T>& v, Field2<T>& y) {
   }
 }
 
+/// Jacobi-precondition the 9-point system; throws SingularDiagonalError
+/// on a zero/NaN/Inf diagonal (stencil/singular.hpp).
 template <typename T>
 Field2<T> precondition_jacobi(Stencil9<T>& a, const Field2<T>& b) {
   Field2<T> scaled_b(a.grid);
   for (std::size_t i = 0; i < a.num_points(); ++i) {
     const T d = a.coeff[4][i];
+    if (diagonal_is_singular(to_double(d))) {
+      throw SingularDiagonalError(i, to_double(d));
+    }
     for (int k = 0; k < 9; ++k) {
       if (k == 4) continue;
       a.coeff[static_cast<std::size_t>(k)][i] =

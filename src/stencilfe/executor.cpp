@@ -1,0 +1,89 @@
+#include "stencilfe/executor.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace wss::stencilfe {
+
+StencilExecutor::StencilExecutor(TransitionFn fn, int nx, int ny,
+                                 const wse::CS1Params& arch,
+                                 wse::SimParams sim)
+    : fn_(std::move(fn)),
+      layout_(cell_layout(fn_)),
+      nx_(nx),
+      ny_(ny),
+      fabric_(nx, ny, arch, sim) {
+  if (nx < 1 || ny < 1) {
+    throw std::invalid_argument("stencilfe grid must be at least 1x1");
+  }
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      fabric_.configure_tile(x, y, build_cell_program(fn_, x, y, nx_, ny_),
+                             build_cell_routes(fn_, x, y, nx_, ny_));
+    }
+  }
+  // Exchange legs are one hop except the periodic wrap lanes, which
+  // traverse a full row/column; the compute stage is one FMAC per term.
+  // A generation is therefore O(nx + ny + terms); this budget is an order
+  // of magnitude above it so only a genuine deadlock can exhaust it.
+  budget_ = 20000 + 200 * static_cast<std::uint64_t>(nx_ + ny_) +
+            100 * static_cast<std::uint64_t>(fn_.terms.size());
+}
+
+void StencilExecutor::load(const std::vector<fp16_t>& state) {
+  const std::size_t want =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+      static_cast<std::size_t>(fn_.fields);
+  if (state.size() != want) {
+    throw std::invalid_argument("stencilfe state size mismatch: got " +
+                                std::to_string(state.size()) + ", want " +
+                                std::to_string(want));
+  }
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      auto& core = fabric_.core(x, y);
+      for (int a = 0; a < layout_.used_halfwords; ++a) {
+        core.host_write_f16(a, fp16_t(0.0));
+      }
+      for (int f = 0; f < fn_.fields; ++f) {
+        core.host_write_f16(
+            layout_.own() + f,
+            state[static_cast<std::size_t>((y * nx_ + x) * fn_.fields + f)]);
+      }
+    }
+  }
+}
+
+wse::StopInfo StencilExecutor::step(int generations) {
+  wse::StopInfo stop;
+  for (int g = 0; g < generations; ++g) {
+    if (need_reset_) fabric_.reset_control();
+    need_reset_ = true;
+    stop = fabric_.run(budget_);
+    last_cycles_ = stop.cycles;
+    if (stop.reason != wse::StopInfo::Reason::AllDone) {
+      throw std::runtime_error(
+          "stencilfe generation did not complete: " +
+          std::string(wse::StopInfo::to_string(stop.reason)) +
+          (stop.report.empty() ? "" : "\n" + stop.report));
+    }
+  }
+  return stop;
+}
+
+std::vector<fp16_t> StencilExecutor::read_state() const {
+  std::vector<fp16_t> out(static_cast<std::size_t>(nx_) *
+                          static_cast<std::size_t>(ny_) *
+                          static_cast<std::size_t>(fn_.fields));
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      for (int f = 0; f < fn_.fields; ++f) {
+        out[static_cast<std::size_t>((y * nx_ + x) * fn_.fields + f)] =
+            fabric_.core(x, y).host_read_f16(layout_.own() + f);
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace wss::stencilfe

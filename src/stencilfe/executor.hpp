@@ -1,0 +1,61 @@
+#pragma once
+
+// StencilExecutor: owns a fabric sized to the grid (one cell per tile),
+// loads host state, steps generations, and reads results back. Iteration
+// is host-driven: each generation runs the straight-line cell program to
+// AllDone, then Fabric::reset_control() re-arms every tile for the next
+// one (descriptors restored, memory and committed state kept). The
+// executor works on either execution backend and at any WSS_SIM_THREADS —
+// the conformance suite holds all combinations bit-identical.
+
+#include <cstdint>
+#include <vector>
+
+#include "stencilfe/program.hpp"
+#include "stencilfe/transition.hpp"
+#include "wse/fabric.hpp"
+
+namespace wss::stencilfe {
+
+class StencilExecutor {
+public:
+  /// Grid must fit the fabric one-to-one (nx*ny tiles). Throws on an
+  /// invalid transition spec or an unmappable grid.
+  StencilExecutor(TransitionFn fn, int nx, int ny,
+                  const wse::CS1Params& arch, wse::SimParams sim = {});
+
+  /// Load a full state vector: cell (x, y) field f at (y*nx+x)*fields+f.
+  /// Also zeroes the ghost frame and scratch regions, so a Dirichlet
+  /// boundary reads fp16 +0 from the first generation on.
+  void load(const std::vector<fp16_t>& state);
+
+  /// Run `generations` generations; returns the last generation's stop
+  /// info. Throws std::runtime_error if a generation fails to reach
+  /// AllDone (deadlock/watchdog — the stop report is in the message).
+  wse::StopInfo step(int generations = 1);
+
+  [[nodiscard]] std::vector<fp16_t> read_state() const;
+
+  [[nodiscard]] const TransitionFn& transition() const { return fn_; }
+  [[nodiscard]] const CellLayout& layout() const { return layout_; }
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  /// Cycles consumed by the most recent generation.
+  [[nodiscard]] std::uint64_t last_generation_cycles() const {
+    return last_cycles_;
+  }
+  [[nodiscard]] wse::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const wse::Fabric& fabric() const { return fabric_; }
+
+private:
+  TransitionFn fn_;
+  CellLayout layout_;
+  int nx_;
+  int ny_;
+  wse::Fabric fabric_;
+  std::uint64_t last_cycles_ = 0;
+  std::uint64_t budget_ = 0;
+  bool need_reset_ = false;
+};
+
+} // namespace wss::stencilfe

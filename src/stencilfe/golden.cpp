@@ -1,0 +1,76 @@
+#include "stencilfe/golden.hpp"
+
+namespace wss::stencilfe {
+
+namespace {
+
+/// Resolve a neighbor coordinate along one axis under the boundary policy.
+/// Returns -1 for "reads as zero" (Dirichlet outside the domain).
+int resolve_axis(int i, int n, BoundaryPolicy policy) {
+  if (i >= 0 && i < n) return i;
+  switch (policy) {
+    case BoundaryPolicy::DirichletZero:
+      return -1;
+    case BoundaryPolicy::Periodic:
+      return (i + n) % n;
+    case BoundaryPolicy::Reflective:
+      // The fabric mirrors by copying the edge cell's own value into the
+      // missing ghost, so an out-of-range step reflects back onto the
+      // cell that took it (i < 0 came from i == 0; i >= n from i == n-1).
+      return i < 0 ? 0 : n - 1;
+  }
+  return -1;
+}
+
+} // namespace
+
+std::vector<fp16_t> golden_step(const TransitionFn& fn, int nx, int ny,
+                                const std::vector<fp16_t>& state) {
+  validate(fn);
+  const int fields = fn.fields;
+  const auto at = [&](int x, int y, int f) {
+    return state[static_cast<std::size_t>((y * nx + x) * fields + f)];
+  };
+  std::vector<fp16_t> next(state.size());
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      fp16_t lin[kMaxFields];
+      for (int of = 0; of < fields; ++of) {
+        // The fabric initializes each accumulator by copying a pristine
+        // zero buffer (fp16 +0), then folds every term with one FMAC per
+        // term in declaration order — mirror that exactly, including the
+        // FMACs against ghost zeros, which are executed, not skipped.
+        fp16_t acc(0.0);
+        for (const Term& t : fn.terms) {
+          if (t.out_field != of) continue;
+          const int sx = resolve_axis(x + t.dx, nx, fn.boundary);
+          const int sy = resolve_axis(y + t.dy, ny, fn.boundary);
+          const fp16_t v = (sx < 0 || sy < 0) ? fp16_t(0.0) : at(sx, sy, t.in_field);
+          acc = fmac(t.coeff, v, acc);
+        }
+        lin[of] = acc;
+      }
+      for (int of = 0; of < fields; ++of) {
+        fp16_t out = lin[of];
+        if (fn.life_rule && of == 0) {
+          const double count = lin[0].to_double();
+          const double alive = at(x, y, 0).to_double();
+          out = fp16_t((count == 3.0 || (count == 2.0 && alive == 1.0)) ? 1.0
+                                                                        : 0.0);
+        }
+        next[static_cast<std::size_t>((y * nx + x) * fields + of)] = out;
+      }
+    }
+  }
+  return next;
+}
+
+std::vector<fp16_t> golden_run(const TransitionFn& fn, int nx, int ny,
+                               std::vector<fp16_t> state, int generations) {
+  for (int g = 0; g < generations; ++g) {
+    state = golden_step(fn, nx, ny, state);
+  }
+  return state;
+}
+
+} // namespace wss::stencilfe

@@ -1,0 +1,26 @@
+#pragma once
+
+// Host golden evaluator for the generic stencil front-end: computes one
+// generation with exactly the arithmetic the compiled fabric program
+// performs — same fp16 FMAC, same term order, same boundary reads — so
+// fabric results can be asserted bit-for-bit against it (the conformance
+// and property tests do exactly that).
+
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "stencilfe/transition.hpp"
+
+namespace wss::stencilfe {
+
+/// State vector layout: cell (x, y) field f lives at (y*nx + x)*fields + f.
+[[nodiscard]] std::vector<fp16_t> golden_step(const TransitionFn& fn, int nx,
+                                              int ny,
+                                              const std::vector<fp16_t>& state);
+
+/// Run `generations` golden steps.
+[[nodiscard]] std::vector<fp16_t> golden_run(const TransitionFn& fn, int nx,
+                                             int ny, std::vector<fp16_t> state,
+                                             int generations);
+
+} // namespace wss::stencilfe

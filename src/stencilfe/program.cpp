@@ -1,0 +1,168 @@
+#include "stencilfe/program.hpp"
+
+#include <stdexcept>
+
+#include "wse/arch.hpp"
+#include "wse/route_compiler.hpp"
+
+namespace wss::stencilfe {
+
+using wse::Color;
+using wse::DType;
+using wse::Instr;
+using wse::kNoTask;
+using wse::OpKind;
+using wse::ProgPhase;
+using wse::Task;
+using wse::TaskStep;
+using wse::TileProgram;
+using wse::TrigAction;
+
+CellLayout cell_layout(const TransitionFn& fn) {
+  validate(fn);
+  wse::MemAllocator mem(wse::CS1Params{}.tile_memory_bytes);
+  CellLayout l;
+  l.fields = fn.fields;
+  l.row_c = mem.allocate(3 * fn.fields, DType::F16);
+  l.row_n = mem.allocate(3 * fn.fields, DType::F16);
+  l.row_s = mem.allocate(3 * fn.fields, DType::F16);
+  l.zero = mem.allocate(fn.fields, DType::F16);
+  l.lin = mem.allocate(fn.fields, DType::F16);
+  l.next = mem.allocate(fn.fields, DType::F16);
+  l.used_halfwords = mem.used_halfwords();
+  return l;
+}
+
+TileProgram build_cell_program(const TransitionFn& fn, int x, int y, int nx,
+                               int ny) {
+  const CellLayout l = cell_layout(fn);
+  const bool periodic = fn.boundary == BoundaryPolicy::Periodic;
+  const bool reflective = fn.boundary == BoundaryPolicy::Reflective;
+  if (periodic && (nx < 2 || ny < 2)) {
+    throw std::invalid_argument("periodic boundary needs nx, ny >= 2");
+  }
+  const int f = fn.fields;
+
+  TileProgram prog;
+  prog.num_scalars = static_cast<int>(fn.terms.size());
+  const auto tensor = [&](int base, int len) {
+    return prog.add_tensor({base, len, 1, DType::F16, 0});
+  };
+  Task t{"stencilfe:" + fn.name, false, false, false, {}};
+  const auto sync = [&](Instr in) {
+    t.steps.push_back({TaskStep::Kind::Sync, -1, in, kNoTask});
+  };
+  const auto copy = [&](int dst_base, int src_base, int len) {
+    Instr cp{};
+    cp.op = OpKind::CopyV;
+    cp.dst = tensor(dst_base, len);
+    cp.src1 = tensor(src_base, len);
+    sync(cp);
+  };
+  const auto send = [&](int src_base, int len, Color color) {
+    Instr s{};
+    s.op = OpKind::Send;
+    s.src1 = tensor(src_base, len);
+    s.fabric =
+        prog.add_fabric({color, len, DType::F16, 0, kNoTask, TrigAction::None});
+    sync(s);
+  };
+  const auto recv = [&](int dst_base, int len, int channel) {
+    Instr r{};
+    r.op = OpKind::RecvToMem;
+    r.dst = tensor(dst_base, len);
+    r.fabric = prog.add_fabric(
+        {channel, len, DType::F16, 0, kNoTask, TrigAction::None});
+    sync(r);
+  };
+
+  t.steps.push_back(wse::mark_iteration_step());
+  t.steps.push_back(wse::set_phase_step(ProgPhase::SpMV)); // halo exchange
+
+  // Reflective x-ghosts mirror the cell itself; they never travel.
+  if (reflective && x == 0) copy(l.row_c, l.own(), f);
+  if (reflective && x + 1 == nx) copy(l.row_c + 2 * f, l.own(), f);
+
+  // Row round: own fields east/west (interior parity colors, wrap lanes
+  // at the domain edge when periodic). All sends, then all receives.
+  if (x + 1 < nx) send(l.own(), f, wse::stencilfe_send_east(x));
+  if (x > 0) send(l.own(), f, wse::stencilfe_send_west(x));
+  if (periodic && x == 0) send(l.own(), f, wse::kStencilWrapEast);
+  if (periodic && x + 1 == nx) send(l.own(), f, wse::kStencilWrapWest);
+  if (x > 0) recv(l.row_c, f, wse::stencilfe_send_east(x - 1));
+  if (x + 1 < nx) recv(l.row_c + 2 * f, f, wse::stencilfe_send_west(x + 1));
+  if (periodic && x == 0) recv(l.row_c, f, wse::kStencilWrapWest);
+  if (periodic && x + 1 == nx)
+    recv(l.row_c + 2 * f, f, wse::kStencilWrapEast);
+
+  // Reflective y-ghosts mirror the now-complete row packet, which makes
+  // the corner ghosts compose (a doubly-out-of-range corner reflects on
+  // both axes automatically).
+  if (reflective && y == 0) copy(l.row_n, l.row_c, 3 * f);
+  if (reflective && y + 1 == ny) copy(l.row_s, l.row_c, 3 * f);
+
+  // Column round: the assembled row packet north/south. Corner neighbors
+  // ride the packet — two one-hop legs, the paper's spmv2d shape.
+  if (y + 1 < ny) send(l.row_c, 3 * f, wse::stencilfe_send_south(y));
+  if (y > 0) send(l.row_c, 3 * f, wse::stencilfe_send_north(y));
+  if (periodic && y == 0) send(l.row_c, 3 * f, wse::kStencilWrapSouth);
+  if (periodic && y + 1 == ny) send(l.row_c, 3 * f, wse::kStencilWrapNorth);
+  if (y > 0) recv(l.row_n, 3 * f, wse::stencilfe_send_south(y - 1));
+  if (y + 1 < ny) recv(l.row_s, 3 * f, wse::stencilfe_send_north(y + 1));
+  if (periodic && y == 0) recv(l.row_n, 3 * f, wse::kStencilWrapNorth);
+  if (periodic && y + 1 == ny)
+    recv(l.row_s, 3 * f, wse::kStencilWrapSouth);
+
+  t.steps.push_back(wse::set_phase_step(ProgPhase::Axpy)); // compute
+
+  // One scalar register per term, re-seeded every generation (SetScalar
+  // is control plumbing; the value round-trips fp16-exactly).
+  for (std::size_t i = 0; i < fn.terms.size(); ++i) {
+    Instr s{};
+    s.op = OpKind::SetScalar;
+    s.scalar = static_cast<int>(i);
+    s.imm = fn.terms[i].coeff.to_double();
+    sync(s);
+  }
+
+  // lin = 0, then one FMAC per term in declaration order.
+  copy(l.lin, l.zero, f);
+  for (int of = 0; of < f; ++of) {
+    for (std::size_t i = 0; i < fn.terms.size(); ++i) {
+      const Term& term = fn.terms[i];
+      if (term.out_field != of) continue;
+      Instr a{};
+      a.op = OpKind::AxpyV;
+      a.dst = tensor(l.lin + of, 1);
+      a.src1 = tensor(l.neighbor(term.dx, term.dy, term.in_field), 1);
+      a.scalar = static_cast<int>(i);
+      sync(a);
+    }
+  }
+  if (fn.life_rule) {
+    Instr lf{};
+    lf.op = OpKind::LifeV;
+    lf.dst = tensor(l.next, 1);
+    lf.src1 = tensor(l.lin, 1);
+    lf.src2 = tensor(l.own(), 1);
+    sync(lf);
+  } else {
+    copy(l.next, l.lin, f);
+  }
+
+  t.steps.push_back(wse::set_phase_step(ProgPhase::Control)); // commit
+  copy(l.own(), l.next, f);
+  t.steps.push_back({TaskStep::Kind::SetDone, -1, {}, kNoTask});
+  prog.add_task(std::move(t));
+  prog.initial_task = 0;
+  prog.memory_halfwords = l.used_halfwords;
+  return prog;
+}
+
+wse::RoutingTable build_cell_routes(const TransitionFn& fn, int x, int y,
+                                    int nx, int ny) {
+  return wse::compile_stencilfe_routes(
+      x, y, nx, ny, fn.boundary == BoundaryPolicy::Periodic);
+}
+
+} // namespace wss::stencilfe

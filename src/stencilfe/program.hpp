@@ -1,0 +1,64 @@
+#pragma once
+
+// Compiles a TransitionFn into a per-tile fabric program (one cell per
+// tile; meshes larger than the fabric are ROADMAP item 3). Tile memory
+// holds the cell's own fields embedded in a 3x3 ghost frame:
+//
+//   rowC: [bufW | own | bufE]   (3F halfwords — the "row packet")
+//   rowN: [nw   | n   | ne ]    (3F, received from the north neighbor)
+//   rowS: [sw   | s   | se ]    (3F, received from the south neighbor)
+//   zero: F halfwords, never written after load (fp16 +0)
+//   lin:  F accumulators, next: F committed outputs
+//
+// One generation is a straight-line sequence of Sync steps: exchange west/
+// east own-fields along rows (parity colors, wrap colors when periodic),
+// then ship the assembled row packet north/south — corner ghosts ride the
+// packet, so diagonal neighbors arrive in two one-hop legs exactly like
+// the paper's spmv2d halo. Every send completes before any receive
+// starts within a round, and each round's longest message (3F <= 6 words)
+// fits the receiver's ramp queue (depth 8), so the exchange is
+// deadlock-free by construction. The compute stage folds each Term with
+// one fp16 FMAC in declaration order; golden_step() mirrors the same
+// order bit-for-bit.
+
+#include "stencilfe/transition.hpp"
+#include "wse/program.hpp"
+#include "wse/routing.hpp"
+
+namespace wss::stencilfe {
+
+/// Halfword offsets of the per-tile memory regions for a given field
+/// count. Shared by the program builder, the executor's host loads/reads,
+/// and the tests that peek at tile memory.
+struct CellLayout {
+  int fields = 1;
+  int row_c = 0;    ///< [bufW|own|bufE], own at row_c + fields
+  int row_n = 0;
+  int row_s = 0;
+  int zero = 0;
+  int lin = 0;
+  int next = 0;
+  int used_halfwords = 0;
+
+  [[nodiscard]] int own() const { return row_c + fields; }
+  /// Address of neighbor (dx, dy) field f as the compute stage reads it.
+  [[nodiscard]] int neighbor(int dx, int dy, int f) const {
+    const int row = dy < 0 ? row_n : (dy > 0 ? row_s : row_c);
+    return row + (dx + 1) * fields + f;
+  }
+};
+
+[[nodiscard]] CellLayout cell_layout(const TransitionFn& fn);
+
+/// The per-tile program for cell (x, y) of an nx*ny grid. One generation
+/// per activation: the executor re-arms it with Fabric::reset_control().
+[[nodiscard]] wse::TileProgram build_cell_program(const TransitionFn& fn,
+                                                  int x, int y, int nx,
+                                                  int ny);
+
+/// Routing for the same tile (wraps wse::compile_stencilfe_routes).
+[[nodiscard]] wse::RoutingTable build_cell_routes(const TransitionFn& fn,
+                                                  int x, int y, int nx,
+                                                  int ny);
+
+} // namespace wss::stencilfe

@@ -1,0 +1,97 @@
+#pragma once
+
+// Generic stencil front-end (ROADMAP item 2, docs/STENCILFE.md): a
+// workload is a *transition function* — a declarative spec of how one
+// cell's next state is computed from its 3x3 neighborhood — plus a grid,
+// instead of a bespoke `*_program.cpp`. The spec is compiled onto the
+// fabric by `build_cell_program()` (program.hpp) + the halo-exchange
+// routes in `wse/route_compiler.hpp`, and mirrored bit-for-bit on the
+// host by `golden_step()` (golden.hpp). The shape follows StencilStream's
+// TransitionFunction/StencilUpdate split: the user supplies the local
+// rule, the front-end supplies the exchange, boundary handling, and
+// execution.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/fp16.hpp"
+
+namespace wss::stencilfe {
+
+/// What a cell sees beyond the domain edge.
+enum class BoundaryPolicy : std::uint8_t {
+  DirichletZero, ///< out-of-domain neighbors read as fp16 +0
+  Periodic,      ///< the domain wraps as a torus (needs nx,ny >= 2)
+  Reflective,    ///< out-of-domain reads mirror back to the edge cell
+};
+
+[[nodiscard]] constexpr const char* to_string(BoundaryPolicy p) {
+  switch (p) {
+    case BoundaryPolicy::DirichletZero: return "dirichlet-zero";
+    case BoundaryPolicy::Periodic: return "periodic";
+    case BoundaryPolicy::Reflective: return "reflective";
+  }
+  return "?";
+}
+
+/// One linear term of the update: out_field += coeff * in_field(x+dx, y+dy).
+/// Offsets are restricted to the 3x3 neighborhood (|dx|,|dy| <= 1) — the
+/// halo exchange ships exactly one ring.
+struct Term {
+  int out_field = 0;
+  int dx = 0;
+  int dy = 0;
+  int in_field = 0;
+  fp16_t coeff{1.0};
+};
+
+/// A cell's fp16 word count. Two fields cover every shipped workload
+/// (wave propagation needs state + previous state) while keeping the
+/// exchanged row packet within the ramp-queue absorption bound that makes
+/// the sequential exchange deadlock-free by construction (program.hpp).
+inline constexpr int kMaxFields = 2;
+
+/// User-defined transition function: per-cell fields, the linear
+/// neighborhood terms evaluated in declaration order with fp16 FMAC
+/// rounding, an optional pointwise Conway-rule stage, and the boundary
+/// policy. Everything is a value — two TransitionFns with equal contents
+/// compile to identical fabric programs.
+struct TransitionFn {
+  std::string name;
+  int fields = 1;
+  std::vector<Term> terms;
+  BoundaryPolicy boundary = BoundaryPolicy::DirichletZero;
+  /// After the linear stage, field 0 becomes the Conway life rule applied
+  /// to (count = linear result, alive = current field 0).
+  bool life_rule = false;
+};
+
+/// Throws std::invalid_argument on a spec the compiler cannot map.
+inline void validate(const TransitionFn& fn) {
+  if (fn.fields < 1 || fn.fields > kMaxFields) {
+    throw std::invalid_argument("transition '" + fn.name + "': fields must be 1.." +
+                                std::to_string(kMaxFields));
+  }
+  if (fn.terms.empty()) {
+    throw std::invalid_argument("transition '" + fn.name + "': no terms");
+  }
+  for (const Term& t : fn.terms) {
+    if (t.dx < -1 || t.dx > 1 || t.dy < -1 || t.dy > 1) {
+      throw std::invalid_argument("transition '" + fn.name +
+                                  "': offsets must satisfy |dx|,|dy| <= 1");
+    }
+    if (t.in_field < 0 || t.in_field >= fn.fields || t.out_field < 0 ||
+        t.out_field >= fn.fields) {
+      throw std::invalid_argument("transition '" + fn.name +
+                                  "': field index out of range");
+    }
+  }
+  if (fn.life_rule && fn.fields != 1) {
+    throw std::invalid_argument("transition '" + fn.name +
+                                "': life_rule requires exactly one field");
+  }
+}
+
+} // namespace wss::stencilfe

@@ -1,0 +1,85 @@
+#include "stencilfe/workloads.hpp"
+
+#include "common/rng.hpp"
+#include "stencil/stencil9.hpp"
+
+namespace wss::stencilfe {
+
+namespace {
+constexpr std::array<std::array<int, 2>, 4> kAxisOffsets = {{
+    {0, -1}, {-1, 0}, {1, 0}, {0, 1},
+}};
+} // namespace
+
+TransitionFn heat_fn(double alpha, BoundaryPolicy boundary) {
+  TransitionFn fn;
+  fn.name = "heat";
+  fn.fields = 1;
+  fn.boundary = boundary;
+  fn.terms.push_back({0, 0, 0, 0, fp16_t(1.0 - 4.0 * alpha)});
+  for (const auto& o : kAxisOffsets) {
+    fn.terms.push_back({0, o[0], o[1], 0, fp16_t(alpha)});
+  }
+  return fn;
+}
+
+TransitionFn wave_fn(double c2, BoundaryPolicy boundary) {
+  TransitionFn fn;
+  fn.name = "wave";
+  fn.fields = 2;
+  fn.boundary = boundary;
+  // u' = (2-4c2)*u + c2*(n+w+e+s) - u_prev
+  fn.terms.push_back({0, 0, 0, 0, fp16_t(2.0 - 4.0 * c2)});
+  for (const auto& o : kAxisOffsets) {
+    fn.terms.push_back({0, o[0], o[1], 0, fp16_t(c2)});
+  }
+  fn.terms.push_back({0, 0, 0, 1, fp16_t(-1.0)});
+  // u_prev' = u
+  fn.terms.push_back({1, 0, 0, 0, fp16_t(1.0)});
+  return fn;
+}
+
+TransitionFn life_fn(BoundaryPolicy boundary) {
+  TransitionFn fn;
+  fn.name = "life";
+  fn.fields = 1;
+  fn.boundary = boundary;
+  fn.life_rule = true;
+  for (const auto& o : kStencil9Offsets) {
+    if (o[0] == 0 && o[1] == 0) continue;
+    fn.terms.push_back({0, o[0], o[1], 0, fp16_t(1.0)});
+  }
+  return fn;
+}
+
+TransitionFn stencil9_fn() {
+  TransitionFn fn;
+  fn.name = "stencil9";
+  fn.fields = 1;
+  fn.boundary = BoundaryPolicy::DirichletZero;
+  for (const auto& o : kStencil9Offsets) {
+    fn.terms.push_back({0, o[0], o[1], 0, fp16_t(1.0)});
+  }
+  return fn;
+}
+
+std::vector<fp16_t> random_state(const TransitionFn& fn, int nx, int ny,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<fp16_t> state(static_cast<std::size_t>(nx) *
+                            static_cast<std::size_t>(ny) *
+                            static_cast<std::size_t>(fn.fields));
+  for (auto& v : state) v = fp16_t(rng.uniform(-1.0, 1.0));
+  return state;
+}
+
+std::vector<fp16_t> random_life_state(int nx, int ny, std::uint64_t seed,
+                                      double density) {
+  Rng rng(seed);
+  std::vector<fp16_t> state(static_cast<std::size_t>(nx) *
+                            static_cast<std::size_t>(ny));
+  for (auto& v : state) v = fp16_t(rng.uniform(0.0, 1.0) < density ? 1.0 : 0.0);
+  return state;
+}
+
+} // namespace wss::stencilfe

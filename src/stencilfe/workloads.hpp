@@ -1,0 +1,47 @@
+#pragma once
+
+// The shipped transition functions: the three non-paper workloads
+// (heat/hotspot diffusion, 2D wave propagation, Conway's Game of Life)
+// plus the stencil9 halo-exchange anchor that ties the front-end to the
+// proven backend-conformance program. Each is a plain TransitionFn value;
+// the seeded state generators keep benches and tests reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "stencilfe/transition.hpp"
+
+namespace wss::stencilfe {
+
+/// Explicit heat diffusion (hotspot): u' = (1-4a)*u + a*(n+s+w+e).
+[[nodiscard]] TransitionFn heat_fn(
+    double alpha = 0.125,
+    BoundaryPolicy boundary = BoundaryPolicy::DirichletZero);
+
+/// 2D wave equation, leapfrog in two fields (u, u_prev):
+///   u'      = (2-4c2)*u + c2*(n+s+w+e) - u_prev
+///   u_prev' = u
+[[nodiscard]] TransitionFn wave_fn(
+    double c2 = 0.25, BoundaryPolicy boundary = BoundaryPolicy::Reflective);
+
+/// Conway's Game of Life on a torus: eight unit neighbor terms count the
+/// live neighbors, then the LifeV pointwise rule decides the next state.
+[[nodiscard]] TransitionFn life_fn(
+    BoundaryPolicy boundary = BoundaryPolicy::Periodic);
+
+/// The conformance anchor: the 9-point unit-coefficient neighborhood sum,
+/// term order matching stencil::kStencil9Offsets, Dirichlet-zero — the
+/// same computation as the hand-built backend-conformance stencil9
+/// program and spmv9 on an all-ones Stencil9.
+[[nodiscard]] TransitionFn stencil9_fn();
+
+/// Seeded uniform(-1, 1) state for fn.fields fields on an nx*ny grid.
+[[nodiscard]] std::vector<fp16_t> random_state(const TransitionFn& fn, int nx,
+                                               int ny, std::uint64_t seed);
+
+/// Seeded 0/1 life board with roughly `density` live cells.
+[[nodiscard]] std::vector<fp16_t> random_life_state(int nx, int ny,
+                                                    std::uint64_t seed,
+                                                    double density = 0.35);
+
+} // namespace wss::stencilfe

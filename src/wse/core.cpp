@@ -30,6 +30,7 @@ int width_of(OpKind op, DType dtype) {
     case OpKind::CopyV:
     case OpKind::AxpyV:
     case OpKind::ScaleXPayV:
+    case OpKind::LifeV:
     case OpKind::FifoAddTo:
     case OpKind::RecvToMem:
     case OpKind::RecvAddTo:
@@ -192,6 +193,7 @@ const char* opcode_name(OpKind op) {
     case OpKind::CopyV: return "CopyV";
     case OpKind::AxpyV: return "AxpyV";
     case OpKind::ScaleXPayV: return "ScaleXPayV";
+    case OpKind::LifeV: return "LifeV";
     case OpKind::Send: return "Send";
     case OpKind::SendScalar: return "SendScalar";
     case OpKind::RecvToMem: return "RecvToMem";
@@ -251,7 +253,8 @@ bool TileCore::advance(int slot, RouterState& router) {
     case OpKind::AddVV:
     case OpKind::CopyV:
     case OpKind::AxpyV:
-    case OpKind::ScaleXPayV: {
+    case OpKind::ScaleXPayV:
+    case OpKind::LifeV: {
       TensorDesc& d = dst_desc();
       const int width = width_of(in.op, d.dtype);
       int n = 0;
@@ -282,13 +285,24 @@ bool TileCore::advance(int slot, RouterState& router) {
                    fp16_t(read_elem(d, d.pos)))
                   .to_double();
           ++s1.pos;
-        } else { // ScaleXPayV: dst = src1 + scalar * src2
+        } else if (in.op == OpKind::ScaleXPayV) { // dst = src1 + scalar*src2
           TensorDesc& s1 = src1_desc();
           TensorDesc& s2 = src2_desc();
           const fp16_t a(scalars_[static_cast<std::size_t>(in.scalar)]);
           v = fmac(a, fp16_t(read_elem(s2, s2.pos)),
                    fp16_t(read_elem(s1, s1.pos)))
                   .to_double();
+          ++s1.pos;
+          ++s2.pos;
+        } else { // LifeV: Conway rule over exact small-integer fp16 counts.
+          // src1 = live-neighbor count, src2 = current cell (0 or 1). All
+          // values are small integers, exact in fp16, so the comparisons
+          // below are exact too.
+          TensorDesc& s1 = src1_desc();
+          TensorDesc& s2 = src2_desc();
+          const double count = read_elem(s1, s1.pos);
+          const double alive = read_elem(s2, s2.pos);
+          v = (count == 3.0 || (count == 2.0 && alive == 1.0)) ? 1.0 : 0.0;
           ++s1.pos;
           ++s2.pos;
         }

@@ -69,6 +69,7 @@ enum class OpKind : std::uint8_t {
   CopyV,          ///< dst[i] = src1[i]
   AxpyV,          ///< dst[i] += scalar * src1[i]  (FMAC)
   ScaleXPayV,     ///< dst[i] = src1[i] + scalar * src2[i]
+  LifeV,          ///< dst[i] = Conway rule(count=src1[i], alive=src2[i])
   Send,           ///< fabric <- src1 (memory), one word per element
   SendScalar,     ///< fabric <- scalar register (len words, repeated)
   RecvToMem,      ///< dst <- fabric

@@ -115,6 +115,56 @@ void add_allreduce_routes(RoutingTable& table, int x, int y, int width,
   }
 }
 
+RoutingTable compile_stencilfe_routes(int x, int y, int width, int height,
+                                      bool periodic) {
+  RoutingTable rt;
+  // Interior axis exchange: identical to the proven stencil9 parity scheme.
+  if (x + 1 < width) {
+    rt.rule(stencilfe_send_east(x)).add_forward(Dir::East);
+    rt.rule(stencilfe_send_west(x + 1))
+        .deliver_channels.push_back(stencilfe_send_west(x + 1));
+  }
+  if (x > 0) {
+    rt.rule(stencilfe_send_west(x)).add_forward(Dir::West);
+    rt.rule(stencilfe_send_east(x - 1))
+        .deliver_channels.push_back(stencilfe_send_east(x - 1));
+  }
+  if (y + 1 < height) {
+    rt.rule(stencilfe_send_south(y)).add_forward(Dir::South);
+    rt.rule(stencilfe_send_north(y + 1))
+        .deliver_channels.push_back(stencilfe_send_north(y + 1));
+  }
+  if (y > 0) {
+    rt.rule(stencilfe_send_north(y)).add_forward(Dir::North);
+    rt.rule(stencilfe_send_south(y - 1))
+        .deliver_channels.push_back(stencilfe_send_south(y - 1));
+  }
+  if (!periodic) return rt;
+
+  // Wrap lanes: the west edge's own value travels the whole row east and
+  // lands as the east edge's east ghost (and vice versa); the north edge's
+  // assembled row packet travels the whole column south and lands as the
+  // south edge's south row (and vice versa). Exactly one injector per
+  // row/column, so intermediate tiles only forward.
+  if (x + 1 < width) rt.rule(kStencilWrapEast).add_forward(Dir::East);
+  if (x == width - 1) {
+    rt.rule(kStencilWrapEast).deliver_channels.push_back(kStencilWrapEast);
+  }
+  if (x > 0) rt.rule(kStencilWrapWest).add_forward(Dir::West);
+  if (x == 0) {
+    rt.rule(kStencilWrapWest).deliver_channels.push_back(kStencilWrapWest);
+  }
+  if (y + 1 < height) rt.rule(kStencilWrapSouth).add_forward(Dir::South);
+  if (y == height - 1) {
+    rt.rule(kStencilWrapSouth).deliver_channels.push_back(kStencilWrapSouth);
+  }
+  if (y > 0) rt.rule(kStencilWrapNorth).add_forward(Dir::North);
+  if (y == 0) {
+    rt.rule(kStencilWrapNorth).deliver_channels.push_back(kStencilWrapNorth);
+  }
+  return rt;
+}
+
 int verify_tessellation(int width, int height) {
   int violations = 0;
   for (int y = 0; y < height; ++y) {

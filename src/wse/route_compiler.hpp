@@ -88,4 +88,42 @@ void add_allreduce_routes(RoutingTable& table, int x, int y, int width,
 /// colors are pairwise distinct. Returns the number of violations (0 = ok).
 [[nodiscard]] int verify_tessellation(int width, int height);
 
+// ----------------------------------------------------------- StencilFE ----
+
+/// Halo-exchange colors for the generic stencil front-end
+/// (src/stencilfe/). Axis exchange uses parity-split colors, so a
+/// forwarding rule and a delivery rule for the same color never land on
+/// one tile (the scheme the backend-conformance stencil9 program proved):
+///   east sends:  color x%2       west sends:  color 2 + x%2
+///   south sends: color 4 + y%2   north sends: color 6 + y%2
+/// with delivery channel == color. Periodic wrap rides four dedicated
+/// colors above the AllReduce palette: wrap traffic stays inside one row
+/// (or one column) and has exactly one injector per row/column, so a
+/// single color per wrap direction suffices fabric-wide.
+inline constexpr Color kStencilWrapEast = 18;  ///< x=0 own -> x=w-1 east ghost
+inline constexpr Color kStencilWrapWest = 19;  ///< x=w-1 own -> x=0 west ghost
+inline constexpr Color kStencilWrapSouth = 20; ///< y=0 packet -> y=h-1 south row
+inline constexpr Color kStencilWrapNorth = 21; ///< y=h-1 packet -> y=0 north row
+
+[[nodiscard]] constexpr Color stencilfe_send_east(int x) {
+  return static_cast<Color>(x % 2);
+}
+[[nodiscard]] constexpr Color stencilfe_send_west(int x) {
+  return static_cast<Color>(2 + x % 2);
+}
+[[nodiscard]] constexpr Color stencilfe_send_south(int y) {
+  return static_cast<Color>(4 + y % 2);
+}
+[[nodiscard]] constexpr Color stencilfe_send_north(int y) {
+  return static_cast<Color>(6 + y % 2);
+}
+
+/// Routing rules at tile (x, y) of a width*height fabric for the generic
+/// stencil halo exchange. With `periodic` set, the four wrap colors carry
+/// the domain edges around (requires width >= 2 and height >= 2);
+/// otherwise only the interior parity colors are compiled and the domain
+/// boundary receives nothing (Dirichlet-zero / reflective fill locally).
+[[nodiscard]] RoutingTable compile_stencilfe_routes(int x, int y, int width,
+                                                    int height, bool periodic);
+
 } // namespace wss::wse

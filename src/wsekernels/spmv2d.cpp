@@ -1,6 +1,8 @@
 #include "wsekernels/spmv2d.hpp"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "mesh/partition.hpp"
 
@@ -15,23 +17,33 @@ void wse_spmv2d(const Stencil9<fp16_t>& a, const Field2<fp16_t>& v,
   const int tiles_x = (g.nx + block_x - 1) / block_x;
   const int tiles_y = (g.ny + block_y - 1) / block_y;
 
-  // Extended accumulation plane with a one-point ring so output-halo
-  // contributions land without bounds checks; ring cells are discarded at
-  // the global boundary and exchanged between blocks otherwise.
-  Field2<fp16_t> ext(Grid2(g.nx + 2, g.ny + 2), fp16_t(0.0));
+  // Per-tile accumulation plane: the tile's own block plus a one-point
+  // output-halo ring. Keeping the planes tile-local (instead of one shared
+  // extended plane) makes the accumulation order the wafer's order — local
+  // FMACs first, then one add per received halo value, x rounds before y
+  // rounds — which is what the exact-bits differential tests pin down.
+  std::vector<Field2<fp16_t>> planes(
+      static_cast<std::size_t>(tiles_x) * static_cast<std::size_t>(tiles_y));
+  const auto plane_of = [&](int tx, int ty) -> Field2<fp16_t>& {
+    return planes[static_cast<std::size_t>(ty * tiles_x + tx)];
+  };
 
   // Phase 1: every tile multiplies its local v against its local columns of
-  // A, accumulating into its own block and its output halo (FMAC order:
-  // the 9 contributions of a point are applied consecutively).
+  // A, accumulating into its own block and its output-halo ring (FMAC
+  // order: the 9 contributions of a point are applied consecutively).
   for (int ty = 0; ty < tiles_y; ++ty) {
     for (int tx = 0; tx < tiles_x; ++tx) {
       const Span1 sx = split1(g.nx, tiles_x, tx);
       const Span1 sy = split1(g.ny, tiles_y, ty);
+      Field2<fp16_t> plane(Grid2(sx.end - sx.begin + 2, sy.end - sy.begin + 2),
+                           fp16_t(0.0));
       for (int x = sx.begin; x < sx.end; ++x) {
         for (int y = sy.begin; y < sy.end; ++y) {
           // Column view: v(x,y) contributes coeff_at_target * v to each
           // neighbor target (xt, yt) where the stencil of (xt, yt) reaches
-          // (x, y) with offset (x - xt, y - yt).
+          // (x, y) with offset (x - xt, y - yt). Targets outside the mesh
+          // have no row (Dirichlet-zero closure): nothing is computed for
+          // them, so the domain-boundary ring stays zero and is discarded.
           for (int k = 0; k < 9; ++k) {
             const auto [dx, dy] =
                 kStencil9Offsets[static_cast<std::size_t>(k)];
@@ -39,23 +51,78 @@ void wse_spmv2d(const Stencil9<fp16_t>& a, const Field2<fp16_t>& v,
             const int yt = y - dy;
             if (!g.contains(xt, yt)) continue;
             const fp16_t c = a.coeff[static_cast<std::size_t>(k)](xt, yt);
-            fp16_t& acc = ext(xt + 1, yt + 1);
+            fp16_t& acc = plane(xt - sx.begin + 1, yt - sy.begin + 1);
             acc = fmac(c, v(x, y), acc);
           }
         }
       }
+      plane_of(tx, ty) = std::move(plane);
     }
   }
-  // Phase 2 (halo exchange + add) is subsumed: the shared `ext` plane plays
-  // the role of the exchanged halos; the per-target accumulation order
-  // matches one add per received halo value. Numerically this reproduces
-  // the wafer's fp16 accumulation; the exchange cost is captured by
-  // model_spmv2d_block, not here.
+
+  // Phase 2a: x-round halo exchange. Each tile adds the neighbor's facing
+  // ring *column* over its full local height — ring-row cells included, so
+  // a corner contribution completes its first hop here and rides the
+  // y-round for the second (diagonal targets travel two one-hop legs, the
+  // paper's Section IV-2 shape). Receive order: from west, then from east.
+  // Reads touch only ring columns and writes only interior columns, so the
+  // exchange is order-independent across tiles.
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      Field2<fp16_t>& plane = plane_of(tx, ty);
+      const int bw = plane.grid().nx - 2;
+      const int bh = plane.grid().ny - 2;
+      if (tx > 0) {
+        const Field2<fp16_t>& west = plane_of(tx - 1, ty);
+        const int wbw = west.grid().nx - 2;
+        for (int yy = 0; yy < bh + 2; ++yy) {
+          plane(1, yy) = plane(1, yy) + west(wbw + 1, yy);
+        }
+      }
+      if (tx + 1 < tiles_x) {
+        const Field2<fp16_t>& east = plane_of(tx + 1, ty);
+        for (int yy = 0; yy < bh + 2; ++yy) {
+          plane(bw, yy) = plane(bw, yy) + east(0, yy);
+        }
+      }
+    }
+  }
+
+  // Phase 2b: y-round halo exchange, interior width only (the corner
+  // cells of the facing ring row already hold the folded-in diagonal
+  // contributions from 2a). Receive order: from north, then from south.
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      Field2<fp16_t>& plane = plane_of(tx, ty);
+      const int bw = plane.grid().nx - 2;
+      const int bh = plane.grid().ny - 2;
+      if (ty > 0) {
+        const Field2<fp16_t>& north = plane_of(tx, ty - 1);
+        const int nbh = north.grid().ny - 2;
+        for (int xx = 1; xx <= bw; ++xx) {
+          plane(xx, 1) = plane(xx, 1) + north(xx, nbh + 1);
+        }
+      }
+      if (ty + 1 < tiles_y) {
+        const Field2<fp16_t>& south = plane_of(tx, ty + 1);
+        for (int xx = 1; xx <= bw; ++xx) {
+          plane(xx, bh) = plane(xx, bh) + south(xx, 0);
+        }
+      }
+    }
+  }
 
   Field2<fp16_t> out(g);
-  for (int x = 0; x < g.nx; ++x) {
-    for (int y = 0; y < g.ny; ++y) {
-      out(x, y) = ext(x + 1, y + 1);
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      const Span1 sx = split1(g.nx, tiles_x, tx);
+      const Span1 sy = split1(g.ny, tiles_y, ty);
+      const Field2<fp16_t>& plane = plane_of(tx, ty);
+      for (int x = sx.begin; x < sx.end; ++x) {
+        for (int y = sy.begin; y < sy.end; ++y) {
+          out(x, y) = plane(x - sx.begin + 1, y - sy.begin + 1);
+        }
+      }
     }
   }
   u = out;

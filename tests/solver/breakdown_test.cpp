@@ -26,10 +26,14 @@
 #include <span>
 #include <vector>
 
+#include "mfix/scalar_transport.hpp"
+#include "mfix/simple.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/cg.hpp"
 #include "solver/stencil_operator.hpp"
 #include "stencil/generators.hpp"
+#include "stencil/singular.hpp"
+#include "stencil/stencil9.hpp"
 #include "support/proptest.hpp"
 #include "wsekernels/wse_bicgstab.hpp"
 
@@ -289,6 +293,98 @@ TEST(Breakdown, CgOperationCensusPerIteration) {
   EXPECT_DOUBLE_EQ(static_cast<double>(f3.hp_add - f1.hp_add) / (2 * n), 9.0);
   EXPECT_DOUBLE_EQ(static_cast<double>(f3.sp_add - f1.sp_add) / (2 * n), 2.0);
   // 11 + 9 + 2 = 22 ops/meshpoint/iteration.
+}
+
+// ---------------------------------------------------------------------------
+// Singular-diagonal classification: Jacobi preconditioning with a zero,
+// NaN, or Inf diagonal entry used to divide the whole row by it and hand
+// BiCGStab a silently poisoned system. The guard in precondition_jacobi
+// (stencil/singular.hpp) turns that into SingularDiagonalError before any
+// row is scaled, and the solver layers above (SimpleSolver, advance_scalar)
+// surface it as BreakdownKind::SingularDiagonal. These assertions fail on
+// the unguarded code — it reported NonFiniteResidual at best, or returned
+// NaN-contaminated fields — and pass with the classification in place.
+// ---------------------------------------------------------------------------
+
+TEST(SingularDiagonal, Stencil7GuardThrowsOnZeroNaNInfDiagonal) {
+  const double bads[] = {0.0, std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity()};
+  for (const double bad : bads) {
+    auto a = make_poisson7(Grid3(3, 3, 3));
+    const Field3<double> b(a.grid, 1.0);
+    a.diag[13] = bad;
+    try {
+      (void)precondition_jacobi(a, b);
+      FAIL() << "no throw for diagonal " << bad;
+    } catch (const SingularDiagonalError& e) {
+      EXPECT_EQ(e.index(), 13u);
+      if (bad == 0.0) EXPECT_EQ(e.value(), 0.0);
+    }
+  }
+  // A healthy system still preconditions cleanly.
+  auto ok = make_poisson7(Grid3(3, 3, 3));
+  const Field3<double> b(ok.grid, 1.0);
+  EXPECT_NO_THROW((void)precondition_jacobi(ok, b));
+  EXPECT_STREQ(to_string(BreakdownKind::SingularDiagonal),
+               "singular-diagonal");
+}
+
+TEST(SingularDiagonal, Stencil9GuardThrowsWithFailingIndex) {
+  const Grid2 g(6, 5);
+  auto a = make_random_dominant9(g, 0.4, 31);
+  const Field2<double> b(g, 1.0);
+  a.coeff[4][7] = 0.0;
+  try {
+    (void)precondition_jacobi(a, b);
+    FAIL() << "no throw for zero stencil9 diagonal";
+  } catch (const SingularDiagonalError& e) {
+    EXPECT_EQ(e.index(), 7u);
+    EXPECT_EQ(e.value(), 0.0);
+  }
+}
+
+TEST(SingularDiagonal, AdvanceScalarSurfacesClassifiedBreakdown) {
+  // Zero diffusivity, infinite dt, fluid at rest: every assembled
+  // conductance and the inertia term vanish, so the transport diagonal is
+  // exactly zero. The guard must classify — theta untouched, zero
+  // iterations, SolveResult says Breakdown/SingularDiagonal — instead of
+  // dividing the system by zero and "solving" NaNs.
+  const mfix::StaggeredGrid g{4, 4, 4, 0.25};
+  const mfix::FluidProps props{1.0, 0.0};
+  const mfix::FlowState state(g);
+  Field3<double> theta(g.cells(), 0.0);
+  theta(1, 1, 1) = 2.5;
+  const Field3<double> before = theta;
+
+  mfix::ScalarTransportOptions opt;
+  opt.gamma = 0.0;
+  opt.dt = std::numeric_limits<double>::infinity();
+  SolveResult result;
+  const int iters =
+      mfix::advance_scalar(g, state, props, theta, nullptr, opt, &result);
+  EXPECT_EQ(iters, 0);
+  EXPECT_EQ(result.reason, StopReason::Breakdown);
+  EXPECT_EQ(result.breakdown, BreakdownKind::SingularDiagonal);
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    EXPECT_EQ(theta[i], before[i]) << "theta perturbed at " << i;
+  }
+}
+
+TEST(SingularDiagonal, SimpleIterationReportsClassifiedBreakdown) {
+  // Inviscid fluid, infinite dt, everything at rest: the momentum
+  // diagonals assemble to exactly zero, and the SIMPLE iteration must
+  // record the classified breakdown in its stats with zero inner
+  // iterations spent, rather than crash or spin BiCGStab on a poisoned
+  // system.
+  const mfix::StaggeredGrid g{4, 4, 4, 0.25};
+  const mfix::FluidProps props{1.0, 0.0};
+  mfix::SimpleOptions opt;
+  opt.dt = std::numeric_limits<double>::infinity();
+  mfix::SimpleSolver solver(g, props, mfix::WallMotion{0.0}, opt);
+  mfix::FlowState state = mfix::make_cavity_state(g, mfix::WallMotion{0.0});
+  const auto stats = solver.iterate(state);
+  EXPECT_EQ(stats.breakdown, BreakdownKind::SingularDiagonal);
+  EXPECT_EQ(stats.solver_iterations, 0);
 }
 
 // ---------------------------------------------------------------------------

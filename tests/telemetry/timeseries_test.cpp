@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -250,6 +252,63 @@ TEST(TimeSeries, WriteLoadSelfCheckRoundTrip) {
   EXPECT_EQ(ts.scalars[1].iteration, 1u);
   EXPECT_EQ(ts.scalars[1].value, 0.125);
   EXPECT_EQ(ts.scalars[2].value, -3.5);
+}
+
+TEST(TimeSeries, TornTrailingFrameFailsCleanlyThenRecovers) {
+  // The skip-and-retry contract `wss_top --follow` leans on: catching the
+  // writer mid-flush (file truncated inside the trailing frame) must come
+  // back as a clean load failure — no crash, no half-parsed series — and
+  // the very next read of the completed file must succeed. The follow
+  // loop keeps its last good display on a failed tick, so cleanly
+  // rejecting a torn read IS the tolerance.
+  CleanEnv env;
+  const System s = make_system(Grid3(4, 4, 8), 23);
+  CS1Params arch;
+  SimParams sim;
+  BicgstabSimulation simulation(s.a, 2, arch, sim);
+  TimeSeriesSampler sampler(64);
+  sampler.set_program("torn 4x4x8");
+  simulation.fabric().set_sampler(&sampler);
+  (void)simulation.run(s.b);
+  simulation.fabric().sample_now();
+  simulation.fabric().set_sampler(nullptr);
+
+  const std::string path =
+      ::testing::TempDir() + "wss_timeseries_torn/series.json";
+  std::string error;
+  ASSERT_TRUE(write_timeseries(path, sampler, nullptr, &error)) << error;
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(full.size(), 16u);
+
+  // Tear the file at several depths into its tail — every cut must fail
+  // cleanly with a diagnostic, never crash or yield a series.
+  for (const double frac : {0.5, 0.9, 0.99}) {
+    const std::size_t cut =
+        static_cast<std::size_t>(static_cast<double>(full.size()) * frac);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    TimeSeries ts;
+    error.clear();
+    EXPECT_FALSE(load_timeseries(path, &ts, &error))
+        << "torn at " << cut << "/" << full.size() << " bytes parsed";
+    EXPECT_FALSE(error.empty());
+  }
+
+  // Writer finishes the flush: the next tick loads and self-checks.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size()));
+  }
+  TimeSeries ts;
+  ASSERT_TRUE(load_timeseries(path, &ts, &error)) << error;
+  EXPECT_TRUE(self_check_timeseries(ts, &error)) << error;
 }
 
 TEST(TimeSeries, GoldenFileSelfChecks) {

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
 #include "common/rng.hpp"
+#include "mesh/partition.hpp"
 #include "solver/bicgstab.hpp"
 #include "stencil/generators.hpp"
 
@@ -45,6 +50,186 @@ TEST(WseSpmv2D, MatchesReferenceAcrossBlockSizes) {
     for (std::size_t i = 0; i < u.size(); ++i) {
       EXPECT_NEAR(u[i].to_double(), ud[i], 5e-2)
           << "block " << bx << "x" << by;
+    }
+  }
+}
+
+// Independent per-target mirror of the wafer's documented accumulation
+// order. Where wse_spmv2d scatters per-source FMACs into per-tile planes
+// and then bulk-exchanges ring columns/rows, this derivation walks each
+// target and replays the order its value is built in: local FMACs in the
+// owning tile's source-traversal order, then one add per received halo
+// value — from west, from east (x round), then from north, from south
+// (y round), with diagonal contributions pre-folded into the ring rows by
+// the x round. Bit-equality between the two is the exact-bits anchor the
+// stencil front-end's Dirichlet-zero policy inherits.
+Field2<fp16_t> mirror_spmv2d(const Stencil9<fp16_t>& a,
+                             const Field2<fp16_t>& v, int tiles_x,
+                             int tiles_y) {
+  const Grid2 g = a.grid;
+  const auto coeff = [&](int k, int x, int y) {
+    return a.coeff[static_cast<std::size_t>(k)](x, y);
+  };
+  const auto k_of = [](int dx, int dy) { return (dx + 1) * 3 + (dy + 1); };
+  Field2<fp16_t> out(g);
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      const Span1 sx = split1(g.nx, tiles_x, tx);
+      const Span1 sy = split1(g.ny, tiles_y, ty);
+      for (int x = sx.begin; x < sx.end; ++x) {
+        for (int y = sy.begin; y < sy.end; ++y) {
+          // Local sources, in the tile's x-outer / y-inner traversal.
+          fp16_t acc(0.0);
+          for (int xs = std::max(x - 1, sx.begin);
+               xs <= std::min(x + 1, sx.end - 1); ++xs) {
+            for (int ys = std::max(y - 1, sy.begin);
+                 ys <= std::min(y + 1, sy.end - 1); ++ys) {
+              acc = fmac(coeff(k_of(xs - x, ys - y), x, y), v(xs, ys), acc);
+            }
+          }
+          // X round: the facing ring column of the west then east tile,
+          // each a single pre-summed add.
+          if (tx > 0 && x == sx.begin) {
+            fp16_t w(0.0);
+            for (int ys = std::max(y - 1, sy.begin);
+                 ys <= std::min(y + 1, sy.end - 1); ++ys) {
+              w = fmac(coeff(k_of(-1, ys - y), x, y), v(x - 1, ys), w);
+            }
+            acc = acc + w;
+          }
+          if (tx + 1 < tiles_x && x == sx.end - 1) {
+            fp16_t e(0.0);
+            for (int ys = std::max(y - 1, sy.begin);
+                 ys <= std::min(y + 1, sy.end - 1); ++ys) {
+              e = fmac(coeff(k_of(1, ys - y), x, y), v(x + 1, ys), e);
+            }
+            acc = acc + e;
+          }
+          // Y round: the facing ring row of the north then south tile.
+          // Corner contributions were folded into those ring rows by the
+          // neighbors' own x rounds (west before east), so they arrive
+          // here having travelled two one-hop legs.
+          if (ty > 0 && y == sy.begin) {
+            fp16_t n(0.0);
+            for (int xs = std::max(x - 1, sx.begin);
+                 xs <= std::min(x + 1, sx.end - 1); ++xs) {
+              n = fmac(coeff(k_of(xs - x, -1), x, y), v(xs, y - 1), n);
+            }
+            if (tx > 0 && x == sx.begin) {
+              n = n + fmac(coeff(0, x, y), v(x - 1, y - 1), fp16_t(0.0));
+            }
+            if (tx + 1 < tiles_x && x == sx.end - 1) {
+              n = n + fmac(coeff(6, x, y), v(x + 1, y - 1), fp16_t(0.0));
+            }
+            acc = acc + n;
+          }
+          if (ty + 1 < tiles_y && y == sy.end - 1) {
+            fp16_t s(0.0);
+            for (int xs = std::max(x - 1, sx.begin);
+                 xs <= std::min(x + 1, sx.end - 1); ++xs) {
+              s = fmac(coeff(k_of(xs - x, 1), x, y), v(xs, y + 1), s);
+            }
+            if (tx > 0 && x == sx.begin) {
+              s = s + fmac(coeff(2, x, y), v(x - 1, y + 1), fp16_t(0.0));
+            }
+            if (tx + 1 < tiles_x && x == sx.end - 1) {
+              s = s + fmac(coeff(8, x, y), v(x + 1, y + 1), fp16_t(0.0));
+            }
+            acc = acc + s;
+          }
+          out(x, y) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Stencil9<fp16_t> random_fp16_stencil(const Grid2& g, std::uint64_t seed) {
+  Stencil9<fp16_t> a(g);
+  Rng rng(seed);
+  for (int k = 0; k < 9; ++k) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      a.coeff[static_cast<std::size_t>(k)][i] =
+          fp16_t(rng.uniform(-0.25, 0.25));
+    }
+  }
+  return a;
+}
+
+TEST(WseSpmv2D, WaferOrderMatchesHostMirrorExactBits) {
+  const Grid2 g(20, 17);
+  const Stencil9<fp16_t> a = random_fp16_stencil(g, 11);
+  Field2<fp16_t> v(g);
+  Rng rng(12);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = fp16_t(rng.uniform(-1.0, 1.0));
+  }
+
+  for (const auto& [bx, by] : {std::pair{4, 4}, std::pair{8, 8},
+                              std::pair{7, 5}, std::pair{20, 17},
+                              std::pair{1, 1}}) {
+    const int tiles_x = (g.nx + bx - 1) / bx;
+    const int tiles_y = (g.ny + by - 1) / by;
+    const Field2<fp16_t> want = mirror_spmv2d(a, v, tiles_x, tiles_y);
+    Field2<fp16_t> u(g);
+    wse_spmv2d(a, v, u, bx, by);
+    for (int x = 0; x < g.nx; ++x) {
+      for (int y = 0; y < g.ny; ++y) {
+        ASSERT_EQ(u(x, y).bits(), want(x, y).bits())
+            << "block " << bx << "x" << by << " at (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(WseSpmv2D, PowerOfTwoClosureMatchesRowReferenceExactBits) {
+  // Coefficients in {±0.25..±2} and v in {0.5, 1, 2}: every product is a
+  // power of two in [2^-3, 4] and every partial sum a multiple of 2^-3
+  // bounded by 36, so fp16 FMAC arithmetic is exact and the accumulation
+  // order cannot matter. Any bit difference from the row-order spmv9
+  // reference is therefore a boundary-closure bug (a halo contribution
+  // dropped, duplicated, or mis-clipped at a mesh edge), not rounding.
+  // Tile-edge-heavy blockings make boundary rows and corners the common
+  // case rather than the exception.
+  const Grid2 g(20, 17);
+  Stencil9<fp16_t> a(g);
+  Field2<fp16_t> v(g);
+  Rng rng(21);
+  const double mags[] = {0.25, 0.5, 1.0, 2.0};
+  for (int k = 0; k < 9; ++k) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double m = mags[rng.below(4)];
+      a.coeff[static_cast<std::size_t>(k)][i] =
+          fp16_t(rng.below(2) != 0 ? m : -m);
+    }
+  }
+  const double vals[] = {0.5, 1.0, 2.0};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = fp16_t(vals[rng.below(3)]);
+  }
+
+  Field2<double> vd(g), ud(g);
+  for (std::size_t i = 0; i < v.size(); ++i) vd[i] = v[i].to_double();
+  Stencil9<double> ad(g);
+  for (int k = 0; k < 9; ++k) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ad.coeff[static_cast<std::size_t>(k)][i] =
+          a.coeff[static_cast<std::size_t>(k)][i].to_double();
+    }
+  }
+  spmv9(ad, vd, ud);
+
+  for (const auto& [bx, by] : {std::pair{4, 4}, std::pair{7, 5},
+                              std::pair{1, 1}}) {
+    Field2<fp16_t> u(g);
+    wse_spmv2d(a, v, u, bx, by);
+    for (int x = 0; x < g.nx; ++x) {
+      for (int y = 0; y < g.ny; ++y) {
+        ASSERT_EQ(u(x, y).bits(), fp16_t(ud(x, y)).bits())
+            << "block " << bx << "x" << by << " at (" << x << "," << y << ")"
+            << " wse=" << u(x, y).to_double() << " ref=" << ud(x, y);
+      }
     }
   }
 }

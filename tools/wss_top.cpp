@@ -11,7 +11,10 @@
 //     500) until interrupted, clearing the screen between redraws. Point
 //     it at the WSS_TIMESERIES_OUT (or ledger) path of a running solve;
 //     frames appear as RunForensics flushes them. A file that does not
-//     exist yet is waited for rather than treated as an error.
+//     exist yet is waited for rather than treated as an error, and a
+//     torn read (the writer caught mid-flush, leaving a truncated
+//     trailing frame) keeps the last good display on screen and retries
+//     next tick instead of blanking it.
 //
 // Exit codes: 0 success, 1 usage error, 2 unreadable/invalid series
 // (replay mode only; follow mode keeps waiting).
@@ -91,10 +94,23 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  bool rendered_once = false;
   while (g_stop == 0) {
-    // ANSI clear + home; a plain terminal escape, no curses dependency.
-    std::fputs("\x1b[2J\x1b[H", stdout);
-    if (render_once(path, last_k, /*complain=*/false) != 0) {
+    TimeSeries ts;
+    std::string error;
+    if (wss::telemetry::load_timeseries(path, &ts, &error)) {
+      // ANSI clear + home; a plain terminal escape, no curses dependency.
+      // Only clear once a fresh frame is in hand: a load that fails after
+      // frames have been shown is almost always a torn read of the
+      // writer's in-progress flush, and blanking the screen for it would
+      // make the display flicker empty. Skip the tick and retry instead.
+      const std::string rendered =
+          wss::telemetry::pretty_timeseries(ts, last_k);
+      std::fputs("\x1b[2J\x1b[H", stdout);
+      std::fputs(rendered.c_str(), stdout);
+      rendered_once = true;
+    } else if (!rendered_once) {
+      std::fputs("\x1b[2J\x1b[H", stdout);
       std::printf("wss_top: waiting for %s ...\n", path.c_str());
     }
     std::fflush(stdout);
