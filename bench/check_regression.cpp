@@ -17,11 +17,13 @@
 //       additionally write a machine-readable verdict (CI artifact)
 //   check_regression ... --history-dir bench/history [--sha <gitsha>]
 //       append this gate run — run ID, git sha (or $WSS_GIT_SHA), verdict,
-//       and every measured metric — as one `wss.benchhistory/1` JSONL
-//       line to <dir>/history.jsonl (the bench trajectory ledger)
+//       every measured metric, and the per-bench health-engine alert
+//       count (docs/HEALTH.md) — as one `wss.benchhistory/1` JSONL line
+//       to <dir>/history.jsonl (the bench trajectory ledger)
 //   check_regression ... --trajectory out/BENCH_trajectory.json
 //       emit a `wss.benchtrajectory/1` trend report (per metric: points
-//       across history, min/max/mean/latest) from the history ledger
+//       across history, min/max/mean/latest; health alert counts trend
+//       as a synthetic "health alerts" metric) from the history ledger
 //
 // Baseline format (insertion-ordered, human-editable):
 //   { "bench": "bench_fig6_allreduce",
@@ -76,6 +78,15 @@ struct ReportRow {
   double measured = 0.0;
 };
 
+/// Everything check_regression consumes from one bench report: the gated
+/// rows plus the health-engine alert count the run's forensics recorded
+/// (metrics.counters["health.alerts"], docs/HEALTH.md; 0 when the bench
+/// ran without a ledger or predates the health engine).
+struct ParsedReport {
+  std::vector<ReportRow> rows;
+  std::uint64_t alerts = 0;
+};
+
 struct MetricVerdict {
   MetricBaseline baseline;
   std::optional<double> measured; ///< nullopt: row missing from report
@@ -86,6 +97,7 @@ struct MetricVerdict {
 struct BenchVerdict {
   std::string bench;
   bool report_found = false;
+  std::uint64_t alerts = 0; ///< health alerts recorded during the bench run
   std::vector<MetricVerdict> metrics;
   [[nodiscard]] bool ok() const {
     if (!report_found) return false;
@@ -152,8 +164,8 @@ std::optional<Baseline> parse_baseline(const fs::path& path,
   return b;
 }
 
-std::optional<std::vector<ReportRow>> parse_report_rows(const fs::path& path,
-                                                        std::string* error) {
+std::optional<ParsedReport> parse_report(const fs::path& path,
+                                         std::string* error) {
   const auto text = slurp(path);
   if (!text) {
     *error = "could not read " + path.string();
@@ -169,7 +181,7 @@ std::optional<std::vector<ReportRow>> parse_report_rows(const fs::path& path,
     *error = path.string() + ": missing \"rows\" array";
     return std::nullopt;
   }
-  std::vector<ReportRow> out;
+  ParsedReport out;
   for (const jp::Value& row : *rows->array) {
     ReportRow rr;
     rr.label = str_or(row.find("label"), "");
@@ -179,7 +191,15 @@ std::optional<std::vector<ReportRow>> parse_report_rows(const fs::path& path,
       continue; // tolerate benches adding free-form rows
     }
     rr.measured = measured->number;
-    out.push_back(std::move(rr));
+    out.rows.push_back(std::move(rr));
+  }
+  const jp::Value* metrics = r.value->find("metrics");
+  const jp::Value* counters =
+      metrics != nullptr ? metrics->find("counters") : nullptr;
+  const jp::Value* alerts =
+      counters != nullptr ? counters->find("health.alerts") : nullptr;
+  if (alerts != nullptr && alerts->is_number() && alerts->number > 0.0) {
+    out.alerts = static_cast<std::uint64_t>(alerts->number);
   }
   return out;
 }
@@ -196,8 +216,8 @@ BenchVerdict check_bench(const Baseline& baseline, const fs::path& report) {
   BenchVerdict v;
   v.bench = baseline.bench;
   std::string error;
-  const auto rows = parse_report_rows(report, &error);
-  if (!rows) {
+  const auto parsed = parse_report(report, &error);
+  if (!parsed) {
     v.report_found = false;
     MetricVerdict mv;
     mv.detail = error;
@@ -205,10 +225,11 @@ BenchVerdict check_bench(const Baseline& baseline, const fs::path& report) {
     return v;
   }
   v.report_found = true;
+  v.alerts = parsed->alerts;
   for (const MetricBaseline& mb : baseline.metrics) {
     MetricVerdict mv;
     mv.baseline = mb;
-    const ReportRow* row = find_row(*rows, mb.label);
+    const ReportRow* row = find_row(parsed->rows, mb.label);
     if (row == nullptr) {
       mv.ok = false;
       mv.detail = "row not found in report";
@@ -238,8 +259,9 @@ BenchVerdict check_bench(const Baseline& baseline, const fs::path& report) {
 /// baseline already exists. A fresh baseline gates every report row.
 bool write_baseline(const fs::path& baseline_path, const fs::path& report,
                     std::string* error) {
-  const auto rows = parse_report_rows(report, error);
-  if (!rows) return false;
+  const auto parsed = parse_report(report, error);
+  if (!parsed) return false;
+  const std::vector<ReportRow>* rows = &parsed->rows;
   std::optional<Baseline> existing;
   if (fs::exists(baseline_path)) {
     std::string ignored;
@@ -310,6 +332,7 @@ std::string verdicts_json(const std::vector<BenchVerdict>& verdicts) {
     w.key("bench").value(v.bench);
     w.key("report_found").value(v.report_found);
     w.key("ok").value(v.ok());
+    w.key("alerts").value(v.alerts);
     w.key("metrics").begin_array();
     for (const MetricVerdict& m : v.metrics) {
       w.begin_object();
@@ -366,6 +389,7 @@ std::string history_line(const std::string& run_id, const std::string& sha,
     w.begin_object();
     w.key("bench").value(v.bench);
     w.key("ok").value(v.ok());
+    w.key("alerts").value(v.alerts);
     w.key("metrics").begin_array();
     for (const MetricVerdict& m : v.metrics) {
       if (!m.measured) continue; // missing rows carry no trend point
@@ -443,6 +467,14 @@ std::optional<std::vector<HistoryEntry>> load_history(const std::string& dir,
     if (benches != nullptr && benches->is_array()) {
       for (const jp::Value& bench : *benches->array) {
         const std::string bench_name = str_or(bench.find("bench"), "");
+        // Health-alert counts trend alongside the perf metrics: synthesize
+        // a (bench, "health alerts") point per history entry that carries
+        // the field (older `wss.benchhistory/1` lines simply predate it).
+        const jp::Value* alerts = bench.find("alerts");
+        if (alerts != nullptr && alerts->is_number()) {
+          e.points.push_back({bench_name, "health alerts", "alerts",
+                              alerts->number});
+        }
         const jp::Value* metrics = bench.find("metrics");
         if (metrics == nullptr || !metrics->is_array()) continue;
         for (const jp::Value& m : *metrics->array) {
@@ -670,6 +702,11 @@ int main(int argc, char** argv) {
       std::printf("  %s %-34s %s\n", m.ok ? "ok  " : "FAIL",
                   m.baseline.label.c_str(), m.detail.c_str());
       if (!m.ok) ++failures;
+    }
+    if (v.alerts > 0) {
+      std::printf("  note health engine recorded %llu alert(s) during this "
+                  "bench run\n",
+                  static_cast<unsigned long long>(v.alerts));
     }
   }
 

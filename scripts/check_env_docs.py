@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Env-table drift gate (CI): code vs docs/OBSERVABILITY.md.
+
+Every ``WSS_*`` environment variable the codebase reads goes through the
+strict parsers in ``src/common/env.hpp`` (``parse_int`` / ``parse_u64`` /
+``parse_string`` / ``parse_cstr`` / ``is_set`` / ``raw``).  That makes the
+full knob surface greppable — so this script extracts
+
+  1. every variable read at an ``env::...("WSS_...")`` call site under
+     src/, tools/, bench/ and tests/, and
+  2. every variable documented in the OBSERVABILITY.md env table
+     (first cell of each ``| `WSS_...` | ... |`` row),
+
+and fails (exit 1) when the two sets drift in either direction: a knob
+that is read but undocumented rots the operator docs, and a row that no
+code reads any more is a stale promise.
+
+``WSS_TEST_*`` names are reserved for the env-parser unit tests
+(tests/common/env_test.cpp) and are excluded from the comparison.
+
+Usage:  python3 scripts/check_env_docs.py  [--repo <root>]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CODE_DIRS = ["src", "tools", "bench", "tests"]
+CODE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+DOC = "docs/OBSERVABILITY.md"
+
+# env:: call with the variable-name literal as the first argument; \s*
+# spans the newline clang-format inserts when the call wraps.
+CALL_RE = re.compile(
+    r'env::(?:parse_int|parse_u64|parse_string|parse_cstr|is_set|raw)\(\s*'
+    r'"(WSS_[A-Z0-9_]+)"'
+)
+# A backticked WSS_ token in the *first* cell of a markdown table row;
+# one row may document several (e.g. WSS_PROPTEST_SEED / _SCALE). Cell
+# boundaries are unescaped pipes — `<reference\|turbo>` stays one cell.
+ROW_RE = re.compile(r"^\|((?:\\\||[^|])*)\|")
+TOKEN_RE = re.compile(r"`[^`]*?(WSS_[A-Z0-9_]+)[^`]*?`")
+
+RESERVED_PREFIX = "WSS_TEST_"
+
+
+def code_vars(repo: pathlib.Path) -> dict[str, str]:
+    """var -> one 'file:line' witness (first seen, for the error message)."""
+    out: dict[str, str] = {}
+    for top in CODE_DIRS:
+        root = repo / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in CODE_SUFFIXES:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            for m in CALL_RE.finditer(text):
+                var = m.group(1)
+                if var.startswith(RESERVED_PREFIX):
+                    continue
+                line = text.count("\n", 0, m.start()) + 1
+                out.setdefault(var, f"{path.relative_to(repo)}:{line}")
+    return out
+
+
+def doc_vars(repo: pathlib.Path) -> dict[str, str]:
+    """var -> 'file:line' of its env-table row."""
+    out: dict[str, str] = {}
+    doc = repo / DOC
+    if not doc.is_file():
+        sys.exit(f"error: {DOC} not found under {repo}")
+    for lineno, line in enumerate(doc.read_text(encoding="utf-8").splitlines(),
+                                  start=1):
+        row = ROW_RE.match(line)
+        if row is None:
+            continue
+        for tok in TOKEN_RE.finditer(row.group(1)):
+            out.setdefault(tok.group(1), f"{DOC}:{lineno}")
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=".",
+                    help="repository root (default: cwd)")
+    args = ap.parse_args()
+    repo = pathlib.Path(args.repo).resolve()
+
+    read = code_vars(repo)
+    documented = doc_vars(repo)
+
+    undocumented = sorted(set(read) - set(documented))
+    unread = sorted(set(documented) - set(read))
+
+    for var in undocumented:
+        print(f"DRIFT {var}: read at {read[var]} but missing from the "
+              f"{DOC} env table")
+    for var in unread:
+        print(f"DRIFT {var}: documented at {documented[var]} but no "
+              f"env.hpp call site reads it")
+
+    if undocumented or unread:
+        print(f"env-doc drift: {len(undocumented)} undocumented, "
+              f"{len(unread)} unread")
+        return 1
+    print(f"env table in sync: {len(read)} WSS_* variables read and "
+          f"documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

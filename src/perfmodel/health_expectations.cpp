@@ -1,0 +1,50 @@
+// Expectation builders for the runtime health engine: the analytic models
+// rendered as per-tile per-iteration cycle targets (docs/HEALTH.md).
+
+#include "perfmodel/health_expectations.hpp"
+
+namespace wss::perfmodel {
+
+double model_phase_cycles(const CS1Model& model, wse::ProgPhase phase, int z,
+                          int fabric_x, int fabric_y) {
+  switch (phase) {
+    case wse::ProgPhase::SpMV:
+      return 2.0 * model.spmv_cycles(z);
+    case wse::ProgPhase::Dot:
+      return 4.0 * model.dot_local_cycles(z);
+    case wse::ProgPhase::Axpy:
+      return 6.0 * model.axpy_cycles(z);
+    case wse::ProgPhase::AllReduce:
+      return 4.0 * model.allreduce_cycles(fabric_x, fabric_y);
+    case wse::ProgPhase::Control:
+      return model.overheads().iteration;
+  }
+  return 0.0;
+}
+
+telemetry::HealthExpectations bicgstab_expectations(int z, int fabric_x,
+                                                    int fabric_y,
+                                                    const CS1Model& model) {
+  telemetry::HealthExpectations e;
+  e.model = "cs1";
+  const wse::ProgPhase gated[] = {wse::ProgPhase::SpMV, wse::ProgPhase::Dot,
+                                  wse::ProgPhase::Axpy,
+                                  wse::ProgPhase::AllReduce};
+  for (const wse::ProgPhase p : gated) {
+    e.phase_cycles[static_cast<std::size_t>(p)] =
+        model_phase_cycles(model, p, z, fabric_x, fabric_y);
+  }
+  return e;
+}
+
+telemetry::HealthExpectations stencilfe_expectations(
+    const stencilfe::TransitionFn& fn, int nx, int ny) {
+  telemetry::HealthExpectations e;
+  e.model = "stencilfe";
+  const StencilFeProjection proj = project_stencilfe_generation(fn, nx, ny);
+  e.phase_cycles[static_cast<std::size_t>(wse::ProgPhase::SpMV)] =
+      proj.exchange_cycles;
+  return e;
+}
+
+} // namespace wss::perfmodel

@@ -1,0 +1,46 @@
+#pragma once
+
+// The expectation query API for the runtime health engine (docs/HEALTH.md):
+// builders that turn the analytic performance models into
+// telemetry::HealthExpectations — expected cycles per tile per iteration
+// for each ProgPhase — which programs hand to their TimeSeriesSampler.
+// The health engine's perfmodel_drift rule then gates the live windowed
+// cycle attribution against these projections (WSS_HEALTH_TOL_PCT),
+// turning the paper's measured-vs-model validation discipline into a
+// continuous runtime check.
+//
+// This lives in wss_perfmodel (which links wss_telemetry's headers through
+// the dependency chain), not in wss_telemetry: the telemetry library owns
+// the model-agnostic struct, the model library owns the numbers.
+
+#include "perfmodel/cs1_model.hpp"
+#include "perfmodel/stencilfe_model.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace wss::perfmodel {
+
+/// CS1Model per-iteration prediction for one ProgPhase of the BiCGStab
+/// fabric program (the Section V cost accounting: 2 SpMVs, 4 local dots,
+/// 6 AXPYs, 4 all-reduces and the fixed control overhead per iteration).
+/// Shared by perf_report.cpp and bicgstab_expectations so the offline
+/// report and the live gate can never disagree.
+[[nodiscard]] double model_phase_cycles(const CS1Model& model,
+                                        wse::ProgPhase phase, int z,
+                                        int fabric_x, int fabric_y);
+
+/// Health expectations for the BiCGStab fabric program on a
+/// `fabric_x` x `fabric_y` fabric with Z=`z` unknowns per tile. Control is
+/// left ungated: its fixed per-iteration overhead is too small a
+/// denominator for a robust relative gate.
+[[nodiscard]] telemetry::HealthExpectations bicgstab_expectations(
+    int z, int fabric_x, int fabric_y, const CS1Model& model = CS1Model{});
+
+/// Health expectations for a compiled stencilfe program: the halo
+/// exchange (tagged ProgPhase::SpMV by the compiler) is gated with the
+/// exact per-generation projection. Compute/commit are left ungated — the
+/// projection lumps the FMAC folds (Axpy) and the commit (Control) into
+/// one number, so a per-phase gate would mis-attribute.
+[[nodiscard]] telemetry::HealthExpectations stencilfe_expectations(
+    const stencilfe::TransitionFn& fn, int nx, int ny);
+
+} // namespace wss::perfmodel

@@ -5,32 +5,15 @@
 #include <sstream>
 
 #include "common/env.hpp"
+#include "perfmodel/health_expectations.hpp"
 #include "telemetry/io.hpp"
 #include "telemetry/json.hpp"
 
 namespace wss::perfmodel {
 
-namespace {
-
-/// Map our ProgPhase bins onto CS1Model per-iteration predictions.
-double model_phase_cycles(const CS1Model& model, wse::ProgPhase phase, int z,
-                          int fabric_x, int fabric_y) {
-  switch (phase) {
-    case wse::ProgPhase::SpMV:
-      return 2.0 * model.spmv_cycles(z);
-    case wse::ProgPhase::Dot:
-      return 4.0 * model.dot_local_cycles(z);
-    case wse::ProgPhase::Axpy:
-      return 6.0 * model.axpy_cycles(z);
-    case wse::ProgPhase::AllReduce:
-      return 4.0 * model.allreduce_cycles(fabric_x, fabric_y);
-    case wse::ProgPhase::Control:
-      return model.overheads().iteration;
-  }
-  return 0.0;
-}
-
-} // namespace
+// The ProgPhase -> CS1Model mapping is shared with the health engine's
+// expectation builders (health_expectations.cpp), so the offline report
+// and the live drift gate agree by construction.
 
 PerfReport make_perf_report(const telemetry::Profiler& prof, int z,
                             int iterations, const CS1Model& model) {

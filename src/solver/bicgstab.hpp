@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "solver/blas.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/ledger.hpp"
 #include "telemetry/postmortem.hpp"
 #include "telemetry/probe.hpp"
@@ -166,6 +167,20 @@ SolveResult bicgstab(ApplyFn&& apply, std::span<const typename P::storage_t> b,
     m.add_metric("flops", static_cast<double>(result.flops.total()));
     if (result.restarts > 0) {
       m.add_metric("restarts", static_cast<double>(result.restarts));
+    }
+    // Host solves have no fabric frames, but the health engine's
+    // scalar-only rules (residual stagnation, non-finite scalars) still
+    // apply to the recorded history (docs/HEALTH.md).
+    if (controls.scalars != nullptr && telemetry::health_enabled()) {
+      const std::vector<telemetry::HealthAlert> alerts =
+          telemetry::evaluate_scalar_health(*controls.scalars,
+                                            telemetry::health_config());
+      if (!alerts.empty()) {
+        m.add_metric("alerts", static_cast<double>(alerts.size()));
+        for (const telemetry::HealthAlert& a : alerts) {
+          m.add_alert(a.rule, telemetry::to_string(a.severity), a.last_cycle);
+        }
+      }
     }
     (void)telemetry::maybe_append_run_manifest(m);
   };

@@ -1,0 +1,708 @@
+// Health-engine evaluation and the wss.alerts/1 artifact (docs/HEALTH.md).
+// The rules read recorded frames/scalars only — no fabric hooks — so the
+// engine is non-perturbing and bit-identical wherever the frames are.
+
+#include "telemetry/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "telemetry/io.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/postmortem.hpp"
+
+namespace wss::telemetry {
+
+const char* to_string(AlertSeverity s) {
+  switch (s) {
+    case AlertSeverity::Info: return "info";
+    case AlertSeverity::Warn: return "warn";
+    case AlertSeverity::Critical: return "critical";
+  }
+  return "unknown";
+}
+
+bool parse_alert_severity(const std::string& text, AlertSeverity* out) {
+  if (text == "info") {
+    *out = AlertSeverity::Info;
+  } else if (text == "warn") {
+    *out = AlertSeverity::Warn;
+  } else if (text == "critical") {
+    *out = AlertSeverity::Critical;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool health_enabled() { return env::parse_int("WSS_HEALTH", 1, 0, 1) != 0; }
+
+HealthConfig health_config() {
+  HealthConfig cfg;
+  cfg.tol_pct =
+      static_cast<double>(env::parse_int("WSS_HEALTH_TOL_PCT", 50, 1, 10000));
+  cfg.warmup_frames = env::parse_u64("WSS_HEALTH_WARMUP", 2);
+  cfg.queue_windows = env::parse_u64("WSS_HEALTH_QUEUE_WINDOWS", 4);
+  cfg.fault_burst = env::parse_u64("WSS_HEALTH_FAULT_BURST", 16);
+  cfg.residual_iters = env::parse_u64("WSS_HEALTH_RESIDUAL_ITERS", 10);
+  return cfg;
+}
+
+// --- detectors -----------------------------------------------------------
+
+namespace {
+
+void push_input(HealthAlert* a, const char* name, double value) {
+  a->inputs.push_back(AlertInput{name, value});
+}
+
+/// (a) perfmodel expectation gates: cumulative per-phase cycle attribution
+/// divided by tiles x iterations, against the analytic projection carried
+/// in the series. Only phases the builder gated (expectation > 0) and only
+/// once the run has enough iterations for the ratio to be meaningful.
+void check_perfmodel_drift(const TimeSeries& ts, const HealthConfig& cfg,
+                           std::vector<HealthAlert>* out) {
+  if (!ts.has_expectations || !ts.expectations.any()) return;
+  const std::uint64_t tiles = static_cast<std::uint64_t>(ts.width) *
+                              static_cast<std::uint64_t>(ts.height);
+  if (tiles == 0 || ts.frames.empty()) return;
+  const std::uint64_t iters = ts.frames.back().max_iteration;
+  if (iters < cfg.min_iterations) return;
+
+  std::array<std::uint64_t, wse::kNumProgPhases> phase_cycles{};
+  std::size_t first_prof = ts.frames.size();
+  std::size_t last_prof = 0;
+  bool any_prof = false;
+  for (std::size_t i = 0; i < ts.frames.size(); ++i) {
+    const TimeSeriesFrame& f = ts.frames[i];
+    if (!f.has_profiler) continue;
+    if (!any_prof) first_prof = i;
+    any_prof = true;
+    last_prof = i;
+    for (std::size_t p = 0; p < phase_cycles.size(); ++p) {
+      phase_cycles[p] += f.prof_phase[p];
+    }
+  }
+  if (!any_prof) return;
+
+  const double denom = static_cast<double>(tiles) * static_cast<double>(iters);
+  for (int p = 0; p < wse::kNumProgPhases; ++p) {
+    const double expect =
+        ts.expectations.phase_cycles[static_cast<std::size_t>(p)];
+    if (expect <= 0.0) continue; // ungated phase
+    const double measured =
+        static_cast<double>(phase_cycles[static_cast<std::size_t>(p)]) / denom;
+    const double delta_pct = (measured - expect) / expect * 100.0;
+    // One-sided gate: only slowdowns are a health problem. The analytic
+    // models overshoot some phases on small fabrics (allreduce runs ~+34%
+    // of model on the 6x6 Section-V anchor), so the default tolerance must
+    // clear that; a run *faster* than the model never alerts.
+    if (delta_pct <= cfg.tol_pct) continue;
+    HealthAlert a;
+    a.rule = "perfmodel_drift";
+    a.severity = delta_pct > 2.0 * cfg.tol_pct ? AlertSeverity::Critical
+                                               : AlertSeverity::Warn;
+    std::ostringstream d;
+    d << wse::to_string(static_cast<wse::ProgPhase>(p)) << ": measured "
+      << json::number(measured) << " cycles/tile/iter vs "
+      << (ts.expectations.model.empty() ? "model" : ts.expectations.model)
+      << " projection " << json::number(expect) << " ("
+      << (delta_pct >= 0.0 ? "+" : "") << json::number(delta_pct)
+      << "% beyond tol " << json::number(cfg.tol_pct) << "%)";
+    a.detail = d.str();
+    a.first_frame = first_prof;
+    a.last_frame = last_prof;
+    a.first_cycle = ts.frames[first_prof].cycle;
+    a.last_cycle = ts.frames[last_prof].cycle;
+    push_input(&a, "phase", static_cast<double>(p));
+    push_input(&a, "measured_cycles_per_tile_iter", measured);
+    push_input(&a, "model_cycles_per_tile_iter", expect);
+    push_input(&a, "delta_pct", delta_pct);
+    push_input(&a, "iterations", static_cast<double>(iters));
+    out->push_back(std::move(a));
+  }
+}
+
+/// (b) monotone growth of a gauge over >= cfg.queue_windows consecutive
+/// strictly-increasing windows after warmup. One coalesced alert spanning
+/// the first and last offending run.
+template <typename Field>
+void check_monotone_growth(const TimeSeries& ts, const HealthConfig& cfg,
+                           const char* rule, const char* what, Field field,
+                           std::vector<HealthAlert>* out) {
+  if (cfg.queue_windows == 0) return;
+  const std::size_t warmup = static_cast<std::size_t>(cfg.warmup_frames);
+  if (ts.frames.size() <= warmup + cfg.queue_windows) return;
+  std::size_t run_start = warmup; // index of the run's first frame
+  std::uint64_t steps = 0;        // increasing transitions in the run
+  std::uint64_t best_steps = 0;
+  std::size_t first_bad = 0;
+  std::size_t last_bad = 0;
+  bool found = false;
+  for (std::size_t i = warmup + 1; i < ts.frames.size(); ++i) {
+    if (field(ts.frames[i]) > field(ts.frames[i - 1])) {
+      if (steps == 0) run_start = i - 1;
+      ++steps;
+      if (steps >= cfg.queue_windows) {
+        if (!found) first_bad = run_start;
+        found = true;
+        last_bad = i;
+        best_steps = std::max(best_steps, steps);
+      }
+    } else {
+      steps = 0;
+    }
+  }
+  if (!found) return;
+  HealthAlert a;
+  a.rule = rule;
+  a.severity = AlertSeverity::Warn;
+  std::ostringstream d;
+  d << what << " grew monotonically for " << best_steps
+    << " consecutive windows (threshold " << cfg.queue_windows << "), "
+    << field(ts.frames[first_bad]) << " -> " << field(ts.frames[last_bad]);
+  a.detail = d.str();
+  a.first_frame = first_bad;
+  a.last_frame = last_bad;
+  a.first_cycle = ts.frames[first_bad].cycle;
+  a.last_cycle = ts.frames[last_bad].cycle;
+  push_input(&a, "windows", static_cast<double>(best_steps));
+  push_input(&a, "start_value",
+             static_cast<double>(field(ts.frames[first_bad])));
+  push_input(&a, "end_value", static_cast<double>(field(ts.frames[last_bad])));
+  out->push_back(std::move(a));
+}
+
+/// (c) ratio spikes vs the run's own typical window: the frame ratio must
+/// exceed both an absolute floor and 3x the (lower-)median post-warmup
+/// ratio. The median — not the warmup mean — is the baseline on purpose:
+/// ramp-in frames are mostly idle, so a solver whose steady state
+/// legitimately stalls (dot/allreduce waits) would read as a "spike"
+/// against its own warmup, while a sustained-high run is its own median
+/// and stays quiet. Warmup frames are excluded from baseline and scan.
+/// One coalesced alert.
+template <typename Ratio>
+void check_ratio_spike(const TimeSeries& ts, const HealthConfig& cfg,
+                       const char* rule, const char* what, Ratio ratio,
+                       std::vector<HealthAlert>* out) {
+  const std::size_t warmup = static_cast<std::size_t>(cfg.warmup_frames);
+  if (warmup == 0 || ts.frames.size() <= warmup) return;
+  std::vector<double> ratios;
+  for (std::size_t i = warmup; i < ts.frames.size(); ++i) {
+    double r = 0.0;
+    if (ratio(ts.frames[i], &r)) ratios.push_back(r);
+  }
+  if (ratios.empty()) return;
+  // Lower median: biased toward the quiet half, so a spike covering up to
+  // half the windows still registers against the calm remainder.
+  std::sort(ratios.begin(), ratios.end());
+  const double baseline = ratios[(ratios.size() - 1) / 2];
+  const double threshold = std::max(cfg.spike_floor, 3.0 * baseline);
+  std::size_t first_bad = 0;
+  std::size_t last_bad = 0;
+  std::uint64_t bad_windows = 0;
+  double worst = 0.0;
+  for (std::size_t i = warmup; i < ts.frames.size(); ++i) {
+    double r = 0.0;
+    if (!ratio(ts.frames[i], &r)) continue;
+    if (r <= threshold) continue;
+    if (bad_windows == 0) first_bad = i;
+    last_bad = i;
+    ++bad_windows;
+    worst = std::max(worst, r);
+  }
+  if (bad_windows == 0) return;
+  HealthAlert a;
+  a.rule = rule;
+  a.severity = AlertSeverity::Warn;
+  std::ostringstream d;
+  d << what << " ratio peaked at " << json::number(worst) << " across "
+    << bad_windows << " window(s), vs run median "
+    << json::number(baseline) << " (threshold " << json::number(threshold)
+    << ")";
+  a.detail = d.str();
+  a.first_frame = first_bad;
+  a.last_frame = last_bad;
+  a.first_cycle = ts.frames[first_bad].cycle;
+  a.last_cycle = ts.frames[last_bad].cycle;
+  push_input(&a, "worst_ratio", worst);
+  push_input(&a, "baseline_ratio", baseline);
+  push_input(&a, "threshold", threshold);
+  push_input(&a, "windows", static_cast<double>(bad_windows));
+  out->push_back(std::move(a));
+}
+
+/// (d) fault bursts: any single window with >= cfg.fault_burst injected
+/// faults is critical. One coalesced alert.
+void check_fault_burst(const TimeSeries& ts, const HealthConfig& cfg,
+                       std::vector<HealthAlert>* out) {
+  if (cfg.fault_burst == 0) return; // 0 disables the rule
+  std::size_t first_bad = 0;
+  std::size_t last_bad = 0;
+  std::uint64_t bad_windows = 0;
+  std::uint64_t worst = 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < ts.frames.size(); ++i) {
+    total += ts.frames[i].faults;
+    if (ts.frames[i].faults < cfg.fault_burst) continue;
+    if (bad_windows == 0) first_bad = i;
+    last_bad = i;
+    ++bad_windows;
+    worst = std::max(worst, ts.frames[i].faults);
+  }
+  if (bad_windows == 0) return;
+  HealthAlert a;
+  a.rule = "fault_burst";
+  a.severity = AlertSeverity::Critical;
+  std::ostringstream d;
+  d << worst << " injected faults in one sample window (threshold "
+    << cfg.fault_burst << "), " << bad_windows << " burst window(s), "
+    << total << " faults over the run";
+  a.detail = d.str();
+  a.first_frame = first_bad;
+  a.last_frame = last_bad;
+  a.first_cycle = ts.frames[first_bad].cycle;
+  a.last_cycle = ts.frames[last_bad].cycle;
+  push_input(&a, "worst_window_faults", static_cast<double>(worst));
+  push_input(&a, "threshold", static_cast<double>(cfg.fault_burst));
+  push_input(&a, "total_faults", static_cast<double>(total));
+  out->push_back(std::move(a));
+}
+
+/// (e) residual stagnation: the best -log10(residual) seen so far fails to
+/// improve for >= cfg.residual_iters consecutive recorded iterations. A
+/// residual that climbs back up keeps the plateau growing, so non-monotone
+/// convergence is covered by the same counter.
+void check_residual_stagnation(const std::vector<TimeSeriesScalar>& scalars,
+                               const HealthConfig& cfg,
+                               std::vector<HealthAlert>* out) {
+  if (cfg.residual_iters == 0) return;
+  double best = -1.0e300;
+  std::uint64_t best_iteration = 0;
+  std::uint64_t plateau = 0;
+  bool seeded = false;
+  bool found = false;
+  std::uint64_t first_bad = 0;
+  std::uint64_t last_bad = 0;
+  std::uint64_t worst_plateau = 0;
+  double last_residual = 0.0;
+  for (const TimeSeriesScalar& s : scalars) {
+    if (s.name != "residual") continue;
+    if (!std::isfinite(s.value) || s.value <= 0.0) continue;
+    const double neglog = -std::log10(s.value);
+    last_residual = s.value;
+    if (!seeded || neglog > best) {
+      best = neglog;
+      best_iteration = s.iteration;
+      seeded = true;
+      plateau = 0;
+      continue;
+    }
+    ++plateau;
+    if (plateau >= cfg.residual_iters) {
+      if (!found) first_bad = best_iteration;
+      found = true;
+      last_bad = s.iteration;
+      worst_plateau = std::max(worst_plateau, plateau);
+    }
+  }
+  if (!found) return;
+  HealthAlert a;
+  a.rule = "residual_stagnation";
+  a.severity = AlertSeverity::Warn;
+  std::ostringstream d;
+  d << "-log10 residual made no progress for " << worst_plateau
+    << " consecutive iterations (threshold " << cfg.residual_iters
+    << "); best " << json::number(best) << " at iteration " << best_iteration
+    << ", last residual " << json::number(last_residual);
+  a.detail = d.str();
+  a.first_frame = first_bad; // solver iterations, not frame indices
+  a.last_frame = last_bad;
+  push_input(&a, "stalled_iterations", static_cast<double>(worst_plateau));
+  push_input(&a, "threshold", static_cast<double>(cfg.residual_iters));
+  push_input(&a, "best_neg_log10", best);
+  push_input(&a, "last_residual", last_residual);
+  out->push_back(std::move(a));
+}
+
+/// Any recorded scalar going NaN/Inf is critical: the solver state is
+/// poisoned even if the run later "finishes".
+void check_scalar_nonfinite(const std::vector<TimeSeriesScalar>& scalars,
+                            std::vector<HealthAlert>* out) {
+  bool found = false;
+  std::uint64_t first_bad = 0;
+  std::uint64_t last_bad = 0;
+  std::uint64_t count = 0;
+  std::string first_name;
+  for (const TimeSeriesScalar& s : scalars) {
+    if (std::isfinite(s.value)) continue;
+    if (!found) {
+      first_bad = s.iteration;
+      first_name = s.name;
+    }
+    found = true;
+    last_bad = s.iteration;
+    ++count;
+  }
+  if (!found) return;
+  HealthAlert a;
+  a.rule = "scalar_nonfinite";
+  a.severity = AlertSeverity::Critical;
+  std::ostringstream d;
+  d << count << " non-finite solver scalar(s), first '" << first_name
+    << "' at iteration " << first_bad;
+  a.detail = d.str();
+  a.first_frame = first_bad; // solver iterations, not frame indices
+  a.last_frame = last_bad;
+  push_input(&a, "count", static_cast<double>(count));
+  out->push_back(std::move(a));
+}
+
+} // namespace
+
+std::vector<HealthAlert> evaluate_scalar_health(
+    const std::vector<TimeSeriesScalar>& scalars, const HealthConfig& cfg) {
+  std::vector<HealthAlert> alerts;
+  check_residual_stagnation(scalars, cfg, &alerts);
+  check_scalar_nonfinite(scalars, &alerts);
+  return alerts;
+}
+
+std::vector<HealthAlert> evaluate_scalar_health(const ScalarHistory& scalars,
+                                                const HealthConfig& cfg) {
+  std::vector<TimeSeriesScalar> copy;
+  copy.reserve(scalars.samples().size());
+  for (const ScalarSample& s : scalars.samples()) {
+    copy.push_back(TimeSeriesScalar{s.iteration, s.name, s.value});
+  }
+  return evaluate_scalar_health(copy, cfg);
+}
+
+std::vector<HealthAlert> evaluate_health(const TimeSeries& ts,
+                                         const HealthConfig& cfg) {
+  std::vector<HealthAlert> alerts;
+  check_perfmodel_drift(ts, cfg, &alerts);
+  check_monotone_growth(
+      ts, cfg, "queue_growth", "router queue occupancy",
+      [](const TimeSeriesFrame& f) { return f.router_queued_flits; }, &alerts);
+  check_monotone_growth(
+      ts, cfg, "fifo_growth", "software-FIFO high-water",
+      [](const TimeSeriesFrame& f) { return f.fifo_highwater; }, &alerts);
+  check_ratio_spike(
+      ts, cfg, "stall_spike", "stall",
+      [](const TimeSeriesFrame& f, double* r) {
+        const std::uint64_t denom =
+            f.instr_cycles + f.stall_cycles + f.idle_cycles;
+        if (denom == 0) return false;
+        *r = static_cast<double>(f.stall_cycles) / static_cast<double>(denom);
+        return true;
+      },
+      &alerts);
+  check_ratio_spike(
+      ts, cfg, "recv_starvation", "recv-starved",
+      [](const TimeSeriesFrame& f, double* r) {
+        if (!f.has_profiler) return false;
+        std::uint64_t denom = 0;
+        for (const std::uint64_t n : f.prof_cat) denom += n;
+        if (denom == 0) return false;
+        *r = static_cast<double>(
+                 f.prof_cat[static_cast<std::size_t>(CycleCat::RecvStarved)]) /
+             static_cast<double>(denom);
+        return true;
+      },
+      &alerts);
+  check_fault_burst(ts, cfg, &alerts);
+  std::vector<HealthAlert> scalar_alerts = evaluate_scalar_health(ts.scalars, cfg);
+  for (HealthAlert& a : scalar_alerts) alerts.push_back(std::move(a));
+  return alerts;
+}
+
+bool any_critical(const std::vector<HealthAlert>& alerts) {
+  return std::any_of(alerts.begin(), alerts.end(), [](const HealthAlert& a) {
+    return a.severity == AlertSeverity::Critical;
+  });
+}
+
+// --- wss.alerts/1 emission -----------------------------------------------
+
+std::string build_alerts_json(const AlertsFile& a) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value(kAlertsSchema);
+  w.key("program").value(a.program);
+  w.key("run_id").value(a.run_id);
+  w.key("tol_pct").value(a.tol_pct);
+  w.key("alerts").begin_array();
+  for (const HealthAlert& al : a.alerts) {
+    w.begin_object();
+    w.key("rule").value(al.rule);
+    w.key("severity").value(to_string(al.severity));
+    w.key("detail").value(al.detail);
+    w.key("first_frame").value(al.first_frame);
+    w.key("last_frame").value(al.last_frame);
+    w.key("first_cycle").value(al.first_cycle);
+    w.key("last_cycle").value(al.last_cycle);
+    w.key("inputs").begin_array();
+    for (const AlertInput& in : al.inputs) {
+      w.begin_object();
+      w.key("name").value(in.name);
+      w.key("value").value(in.value);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_alerts(const std::string& path, const AlertsFile& a,
+                  std::string* error) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    if (!ensure_directory(path.substr(0, slash), error)) return false;
+  }
+  return write_text_file(path, build_alerts_json(a), error);
+}
+
+// --- loading -------------------------------------------------------------
+
+namespace {
+
+using jsonparse::Value;
+
+[[nodiscard]] std::string get_string(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_string() ? m->string : std::string{};
+}
+[[nodiscard]] double get_number(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_number() ? m->number : 0.0;
+}
+[[nodiscard]] std::uint64_t get_u64(const Value* v, const char* key) {
+  return static_cast<std::uint64_t>(get_number(v, key));
+}
+
+} // namespace
+
+bool load_alerts(const std::string& path, AlertsFile* out,
+                 std::string* error) {
+  const auto set_error = [&](const std::string& why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return false;
+  };
+
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return set_error("cannot open file");
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  if (file.bad()) return set_error("read error");
+
+  const jsonparse::ParseResult parsed = jsonparse::parse(buf.str());
+  if (!parsed.ok()) return set_error("JSON error: " + parsed.error);
+  const Value& root = *parsed.value;
+  if (!root.is_object()) return set_error("top level is not an object");
+
+  AlertsFile a;
+  a.schema = get_string(&root, "schema");
+  if (a.schema != kAlertsSchema) {
+    return set_error("schema mismatch: got '" + a.schema + "', want '" +
+                     kAlertsSchema + "'");
+  }
+  a.program = get_string(&root, "program");
+  a.run_id = get_string(&root, "run_id");
+  a.tol_pct = get_number(&root, "tol_pct");
+  if (const Value* alerts = root.find("alerts");
+      alerts != nullptr && alerts->is_array()) {
+    for (const Value& av : *alerts->array) {
+      if (!av.is_object()) return set_error("alert is not an object");
+      HealthAlert al;
+      al.rule = get_string(&av, "rule");
+      if (!parse_alert_severity(get_string(&av, "severity"), &al.severity)) {
+        return set_error("alert '" + al.rule + "': unknown severity '" +
+                         get_string(&av, "severity") + "'");
+      }
+      al.detail = get_string(&av, "detail");
+      al.first_frame = get_u64(&av, "first_frame");
+      al.last_frame = get_u64(&av, "last_frame");
+      al.first_cycle = get_u64(&av, "first_cycle");
+      al.last_cycle = get_u64(&av, "last_cycle");
+      if (const Value* inputs = av.find("inputs");
+          inputs != nullptr && inputs->is_array()) {
+        for (const Value& iv : *inputs->array) {
+          AlertInput in;
+          in.name = get_string(&iv, "name");
+          in.value = get_number(&iv, "value");
+          al.inputs.push_back(std::move(in));
+        }
+      }
+      a.alerts.push_back(std::move(al));
+    }
+  }
+  *out = std::move(a);
+  return true;
+}
+
+// --- self-check ----------------------------------------------------------
+
+bool self_check_alerts(const AlertsFile& a, std::string* error) {
+  const auto fail_with = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (a.schema != kAlertsSchema) {
+    return fail_with("schema mismatch: '" + a.schema + "'");
+  }
+  if (!std::isfinite(a.tol_pct) || a.tol_pct < 0.0) {
+    return fail_with("negative or non-finite tolerance");
+  }
+  for (std::size_t i = 0; i < a.alerts.size(); ++i) {
+    const HealthAlert& al = a.alerts[i];
+    const std::string at = "alert " + std::to_string(i);
+    if (al.rule.empty()) return fail_with(at + ": empty rule name");
+    if (al.first_frame > al.last_frame) {
+      return fail_with(at + ": frame range not ordered");
+    }
+    if (al.first_cycle > al.last_cycle) {
+      return fail_with(at + ": cycle range not ordered");
+    }
+    for (const AlertInput& in : al.inputs) {
+      if (in.name.empty()) return fail_with(at + ": unnamed rule input");
+    }
+  }
+  return true;
+}
+
+// --- diffing -------------------------------------------------------------
+
+std::string summarize_alert(const HealthAlert& a) {
+  std::ostringstream out;
+  out << "[" << to_string(a.severity) << "] " << a.rule;
+  if (a.first_cycle != 0 || a.last_cycle != 0) {
+    out << " frames " << a.first_frame << ".." << a.last_frame << " cycles "
+        << a.first_cycle << ".." << a.last_cycle;
+  } else {
+    out << " iterations " << a.first_frame << ".." << a.last_frame;
+  }
+  out << ": " << a.detail;
+  return out.str();
+}
+
+AlertDivergence first_alert_divergence(const AlertsFile& a,
+                                       const AlertsFile& b) {
+  AlertDivergence d;
+  if (a.program != b.program) {
+    d.note = "warning: program mismatch ('" + a.program + "' vs '" +
+             b.program + "') — divergence below may be meaningless";
+  } else if (a.tol_pct != b.tol_pct) {
+    d.note = "warning: tolerance mismatch (" + json::number(a.tol_pct) +
+             " vs " + json::number(b.tol_pct) +
+             ") — rules fired against different gates";
+  }
+  const std::size_t n = std::min(a.alerts.size(), b.alerts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.alerts[i] == b.alerts[i]) continue;
+    d.found = true;
+    d.index = i;
+    d.a_alert = summarize_alert(a.alerts[i]);
+    d.b_alert = summarize_alert(b.alerts[i]);
+    return d;
+  }
+  if (a.alerts.size() != b.alerts.size()) {
+    d.found = true;
+    d.index = n;
+    const bool a_longer = a.alerts.size() > n;
+    d.a_alert = a_longer ? summarize_alert(a.alerts[n]) : "-";
+    d.b_alert = a_longer ? "-" : summarize_alert(b.alerts[n]);
+  }
+  return d;
+}
+
+std::string pretty_alert_divergence(const AlertDivergence& d) {
+  std::ostringstream out;
+  if (!d.note.empty()) out << d.note << "\n";
+  if (!d.found) {
+    out << "no divergence: alert streams are identical\n";
+    return out.str();
+  }
+  out << "first divergent alert at index " << d.index << ":\n";
+  out << "  A: " << d.a_alert << "\n";
+  out << "  B: " << d.b_alert << "\n";
+  return out.str();
+}
+
+// --- rendering -----------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::string severity_tally(
+    const std::vector<HealthAlert>& alerts) {
+  std::size_t crit = 0;
+  std::size_t warn = 0;
+  std::size_t info = 0;
+  for (const HealthAlert& a : alerts) {
+    switch (a.severity) {
+      case AlertSeverity::Critical: ++crit; break;
+      case AlertSeverity::Warn: ++warn; break;
+      case AlertSeverity::Info: ++info; break;
+    }
+  }
+  std::ostringstream out;
+  out << alerts.size() << " alert(s)";
+  if (!alerts.empty()) {
+    out << " [";
+    bool first = true;
+    const auto item = [&](std::size_t n, const char* label) {
+      if (n == 0) return;
+      if (!first) out << ", ";
+      first = false;
+      out << n << " " << label;
+    };
+    item(crit, "critical");
+    item(warn, "warn");
+    item(info, "info");
+    out << "]";
+  }
+  return out.str();
+}
+
+} // namespace
+
+std::string pretty_alerts(const AlertsFile& a) {
+  std::ostringstream out;
+  out << "alerts (" << a.schema << ")\n";
+  if (!a.program.empty()) out << "  program: " << a.program << "\n";
+  if (!a.run_id.empty()) out << "  run:     " << a.run_id << "\n";
+  out << "  drift tolerance: " << json::number(a.tol_pct) << "%\n";
+  out << "  " << severity_tally(a.alerts) << "\n";
+  for (const HealthAlert& al : a.alerts) {
+    out << "\n  " << summarize_alert(al) << "\n";
+    for (const AlertInput& in : al.inputs) {
+      out << "      " << in.name << " = " << json::number(in.value) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string pretty_health_pane(const TimeSeries& ts, const HealthConfig& cfg) {
+  const std::vector<HealthAlert> alerts = evaluate_health(ts, cfg);
+  std::ostringstream out;
+  if (alerts.empty()) {
+    out << "health: ok — no alerts (tol " << json::number(cfg.tol_pct)
+        << "%)\n";
+    return out.str();
+  }
+  out << "health: " << severity_tally(alerts) << ", tol "
+      << json::number(cfg.tol_pct) << "%\n";
+  for (const HealthAlert& a : alerts) {
+    out << "  " << summarize_alert(a) << "\n";
+  }
+  return out.str();
+}
+
+} // namespace wss::telemetry

@@ -95,6 +95,19 @@ std::string manifest_json(const RunManifest& m) {
     w.end_object();
   }
   w.end_array();
+  if (!m.alerts.empty()) {
+    // Omitted on healthy runs so pre-health ledger lines stay byte-stable
+    // against re-emission; the schema tag remains wss.runledger/1.
+    w.key("alerts").begin_array();
+    for (const RunAlert& a : m.alerts) {
+      w.begin_object();
+      w.key("rule").value(a.rule);
+      w.key("severity").value(a.severity);
+      w.key("cycle").value(a.cycle);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   return w.str();
 }
@@ -196,6 +209,16 @@ using jsonparse::Value;
       m.artifacts.push_back(std::move(a));
     }
   }
+  if (const Value* alerts = root.find("alerts");
+      alerts != nullptr && alerts->is_array()) {
+    for (const Value& v : *alerts->array) {
+      RunAlert a;
+      a.rule = get_string(&v, "rule");
+      a.severity = get_string(&v, "severity");
+      a.cycle = static_cast<std::uint64_t>(get_number(&v, "cycle"));
+      m.alerts.push_back(std::move(a));
+    }
+  }
   *out = std::move(m);
   return true;
 }
@@ -269,6 +292,14 @@ std::string pretty_manifest(const RunManifest& m) {
   if (m.fault_total > 0) {
     out << "  faults:   " << m.fault_total << " injected\n";
   }
+  if (!m.alerts.empty()) {
+    out << "  alerts:\n";
+    for (const RunAlert& a : m.alerts) {
+      out << "    [" << a.severity << "] " << a.rule;
+      if (a.cycle > 0) out << " @c" << a.cycle;
+      out << "\n";
+    }
+  }
   if (!m.metrics.empty()) {
     out << "  metrics:\n";
     for (const RunMetric& metric : m.metrics) {
@@ -341,6 +372,10 @@ std::string diff_manifests(const RunManifest& a, const RunManifest& b) {
   }
   if (a.fault_total != b.fault_total) {
     out << "  faults:   " << a.fault_total << " vs " << b.fault_total << "\n";
+  }
+  if (a.alerts.size() != b.alerts.size()) {
+    out << "  alerts:   " << a.alerts.size() << " vs " << b.alerts.size()
+        << "\n";
   }
 
   bool metric_diffs = false;

@@ -33,6 +33,14 @@ struct RunArtifact {
   std::string path;
 };
 
+/// One health-engine alert summarized into the manifest (docs/HEALTH.md);
+/// the full alert (inputs, frame ranges) lives in the `alerts` artifact.
+struct RunAlert {
+  std::string rule;
+  std::string severity; ///< "info" / "warn" / "critical"
+  std::uint64_t cycle = 0; ///< last offending cycle (0 for scalar rules)
+};
+
 /// One ledger entry. Everything except run_id/program is optional — a
 /// host-side solver run has no fabric dims, a bench run has no outcome.
 struct RunManifest {
@@ -48,12 +56,18 @@ struct RunManifest {
   std::vector<std::pair<std::string, std::string>> env;
   std::vector<RunMetric> metrics;
   std::vector<RunArtifact> artifacts;
+  /// Health-engine alerts raised on the run (empty on healthy runs; the
+  /// JSON field is omitted entirely then, keeping old lines byte-stable).
+  std::vector<RunAlert> alerts;
 
   void add_metric(std::string name, double value) {
     metrics.push_back({std::move(name), value});
   }
   void add_artifact(std::string kind, std::string path) {
     artifacts.push_back({std::move(kind), std::move(path)});
+  }
+  void add_alert(std::string rule, std::string severity, std::uint64_t cycle) {
+    alerts.push_back({std::move(rule), std::move(severity), cycle});
   }
   /// First metric with `name`, or nullptr.
   [[nodiscard]] const RunMetric* metric(const std::string& name) const {

@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "common/env.hpp"
+#include "telemetry/global.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/heatmap.hpp"
 #include "telemetry/io.hpp"
 #include "telemetry/json.hpp"
@@ -31,6 +33,7 @@ const char* to_string(AnomalyInfo::Kind kind) {
     case AnomalyInfo::Kind::Breakdown: return "breakdown";
     case AnomalyInfo::Kind::FaultStorm: return "fault_storm";
     case AnomalyInfo::Kind::Manual: return "manual";
+    case AnomalyInfo::Kind::Health: return "health";
   }
   return "?";
 }
@@ -38,7 +41,7 @@ const char* to_string(AnomalyInfo::Kind kind) {
 namespace {
 
 [[nodiscard]] bool known_anomaly_kind(const std::string& name) {
-  for (int k = 0; k <= static_cast<int>(AnomalyInfo::Kind::Manual); ++k) {
+  for (int k = 0; k <= static_cast<int>(AnomalyInfo::Kind::Health); ++k) {
     if (name == to_string(static_cast<AnomalyInfo::Kind>(k))) return true;
   }
   return false;
@@ -618,6 +621,75 @@ void RunForensics::finalize(const std::string& outcome, bool deadlock,
     }
   }
 
+  // Health engine (docs/HEALTH.md): evaluate the rule catalog over the
+  // recorded frames + scalars. Evaluation reads what the sampler already
+  // holds — no fabric hooks — so turning it off changes nothing about the
+  // run itself, and the alert stream is bit-identical wherever the frame
+  // stream is.
+  std::vector<HealthAlert> alerts;
+  std::string alerts_path;
+  std::string health_bundle_path;
+  if (ts != nullptr && health_enabled()) {
+    const HealthConfig cfg = health_config();
+    alerts = evaluate_health(snapshot_timeseries(*ts, scalars_), cfg);
+    if (!alerts.empty()) {
+      global_registry().counter("health.alerts").add(alerts.size());
+      if (any_critical(alerts)) {
+        global_registry().counter("health.alerts.critical").add(1);
+      }
+      if (!ts_path.empty()) {
+        // The alerts artifact rides next to the series it was computed
+        // from; ts_path is already claimed, so the stem is process-unique.
+        AlertsFile af;
+        af.schema = kAlertsSchema;
+        af.program = program_;
+        af.run_id = run_id_;
+        af.tol_pct = cfg.tol_pct;
+        af.alerts = alerts;
+        std::string stem = ts_path;
+        constexpr const char* kExt = ".json";
+        if (stem.size() > 5 && stem.compare(stem.size() - 5, 5, kExt) == 0) {
+          stem.resize(stem.size() - 5);
+        }
+        alerts_path = stem + ".alerts.json";
+        std::string error;
+        if (!write_alerts(alerts_path, af, &error)) {
+          std::fprintf(stderr, "wss: alerts write failed: %s\n",
+                       error.c_str());
+          alerts_path.clear();
+        }
+      }
+      // Critical alerts auto-capture a postmortem bundle through the
+      // existing path; the anomaly detail names the rule and the alerts
+      // artifact so the bundle points back at what fired.
+      const HealthAlert* crit = nullptr;
+      for (const HealthAlert& a : alerts) {
+        if (a.severity == AlertSeverity::Critical) {
+          crit = &a;
+          break;
+        }
+      }
+      if (crit != nullptr) {
+        AnomalyInfo anomaly;
+        anomaly.kind = AnomalyInfo::Kind::Health;
+        anomaly.cycle =
+            crit->last_cycle != 0 ? crit->last_cycle : fabric_.stats().cycles;
+        anomaly.detail = summarize_alert(*crit);
+        if (!alerts_path.empty()) {
+          anomaly.detail += " (alerts: " + alerts_path + ")";
+        }
+        PostmortemInputs in;
+        in.fabric = &fabric_;
+        in.recorder = fabric_.flight_recorder();
+        in.profiler = fabric_.profiler();
+        in.scalars = scalars_;
+        in.timeseries = ts;
+        in.program = program_;
+        health_bundle_path = maybe_write_postmortem(anomaly, in);
+      }
+    }
+  }
+
   if (ledger_dir().empty()) return;
   RunManifest m;
   m.run_id = run_id_.empty() ? next_run_id(program_) : run_id_;
@@ -640,9 +712,19 @@ void RunForensics::finalize(const std::string& outcome, bool deadlock,
     m.add_metric("timeseries_frames",
                  static_cast<double>(ts->frames().size()));
   }
+  if (!alerts.empty()) {
+    m.add_metric("alerts", static_cast<double>(alerts.size()));
+    for (const HealthAlert& a : alerts) {
+      m.add_alert(a.rule, to_string(a.severity), a.last_cycle);
+    }
+  }
   if (!ts_path.empty()) m.add_artifact("timeseries", ts_path);
+  if (!alerts_path.empty()) m.add_artifact("alerts", alerts_path);
   if (!postmortem_path.empty()) {
     m.add_artifact("postmortem", postmortem_path);
+  }
+  if (!health_bundle_path.empty()) {
+    m.add_artifact("postmortem", health_bundle_path);
   }
   (void)maybe_append_run_manifest(m);
 }

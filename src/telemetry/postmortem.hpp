@@ -50,6 +50,7 @@ struct AnomalyInfo {
     Breakdown = 2,  ///< BiCGStab breakdown / restart (docs/ROBUSTNESS.md)
     FaultStorm = 3, ///< injected-fault count crossed WSS_FAULT_STORM
     Manual = 4,     ///< explicitly requested snapshot (e.g. a clean twin)
+    Health = 5,     ///< critical health-engine alert (docs/HEALTH.md)
   };
   Kind kind = Kind::Manual;
   std::uint64_t cycle = 0; ///< fabric cycle (or iteration) at detection

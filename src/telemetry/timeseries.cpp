@@ -91,8 +91,44 @@ std::string build_timeseries_json(const TimeSeriesSampler& sampler,
     w.end_array();
     w.key("scalars_dropped").value(scalars->dropped());
   }
+  if (const HealthExpectations* e = sampler.expectations(); e != nullptr) {
+    // Additive block: older readers ignore it, so the schema tag stays
+    // wss.timeseries/1. Carrying the model projection in the artifact lets
+    // wss_top / wss_inspect recompute drift alerts offline.
+    w.key("health_expectations").begin_object();
+    w.key("model").value(e->model);
+    w.key("phase_cycles").begin_array();
+    for (const double v : e->phase_cycles) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   return w.str();
+}
+
+TimeSeries snapshot_timeseries(const TimeSeriesSampler& sampler,
+                               const ScalarHistory* scalars) {
+  TimeSeries ts;
+  ts.schema = kTimeseriesSchema;
+  ts.program = sampler.program();
+  ts.width = sampler.width();
+  ts.height = sampler.height();
+  ts.threads = sampler.threads();
+  ts.sample_cycles = sampler.interval();
+  ts.frames_dropped = sampler.frames_dropped();
+  ts.frames.assign(sampler.frames().begin(), sampler.frames().end());
+  if (scalars != nullptr) {
+    ts.scalars.reserve(scalars->samples().size());
+    for (const ScalarSample& s : scalars->samples()) {
+      ts.scalars.push_back(TimeSeriesScalar{s.iteration, s.name, s.value});
+    }
+    ts.scalars_dropped = scalars->dropped();
+  }
+  if (const HealthExpectations* e = sampler.expectations(); e != nullptr) {
+    ts.has_expectations = true;
+    ts.expectations = *e;
+  }
+  return ts;
 }
 
 bool write_timeseries(const std::string& path,
@@ -224,6 +260,14 @@ bool load_timeseries(const std::string& path, TimeSeries* out,
     }
   }
   ts.scalars_dropped = get_u64(&root, "scalars_dropped");
+  if (const Value* e = root.find("health_expectations");
+      e != nullptr && e->is_object()) {
+    ts.has_expectations = true;
+    ts.expectations.model = get_string(e, "model");
+    std::array<double, wse::kNumProgPhases> cycles{};
+    get_u64_array(e, "phase_cycles", &cycles);
+    ts.expectations.phase_cycles = cycles;
+  }
 
   *out = std::move(ts);
   return true;
@@ -281,6 +325,14 @@ bool self_check_timeseries(const TimeSeries& ts, std::string* error) {
   for (std::size_t i = 1; i < ts.scalars.size(); ++i) {
     if (ts.scalars[i].iteration < ts.scalars[i - 1].iteration) {
       return fail_with("scalar samples not iteration-ordered");
+    }
+  }
+  if (ts.has_expectations) {
+    for (const double v : ts.expectations.phase_cycles) {
+      if (!std::isfinite(v) || v < 0.0) {
+        return fail_with("health expectations: non-finite or negative "
+                         "phase cycles");
+      }
     }
   }
   return true;

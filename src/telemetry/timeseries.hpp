@@ -50,6 +50,32 @@ class ScalarHistory; // telemetry/postmortem.hpp
 /// Timeseries schema identifier; bump on breaking layout changes.
 inline constexpr const char* kTimeseriesSchema = "wss.timeseries/1";
 
+/// Analytic-model expectations the health engine (docs/HEALTH.md) gates
+/// frames against: expected cycles per tile per solver iteration for each
+/// program phase. A phase left at 0 is ungated (e.g. Control, whose fixed
+/// per-iteration overhead is too small a denominator for a robust relative
+/// gate). Builders live in src/perfmodel/health_expectations.hpp —
+/// wss_telemetry cannot link wss_perfmodel, so the model side constructs
+/// this struct and hands it to TimeSeriesSampler::set_expectations; the
+/// series JSON then carries it, making drift alerts computable from the
+/// artifact alone (wss_top replay and --follow need no side channel).
+struct HealthExpectations {
+  std::string model; ///< provenance label, e.g. "cs1" or "stencilfe"
+  std::array<double, wse::kNumProgPhases> phase_cycles{};
+
+  /// True when at least one phase is gated.
+  [[nodiscard]] bool any() const {
+    for (double v : phase_cycles) {
+      if (v > 0.0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool operator==(const HealthExpectations& o) const {
+    return model == o.model && phase_cycles == o.phase_cycles;
+  }
+};
+
 /// Cumulative snapshot of fabric-wide counters and gauges, collected by
 /// Fabric::step()'s serial tail (row-major aggregation over tiles). The
 /// sampler turns consecutive snapshots into windowed frames.
@@ -213,6 +239,15 @@ public:
 
   void set_program(std::string program) { program_ = std::move(program); }
   [[nodiscard]] const std::string& program() const { return program_; }
+  /// Attach analytic-model expectations (perfmodel builders); flushed into
+  /// the series JSON and consumed by the health engine's drift gate.
+  void set_expectations(HealthExpectations e) {
+    expectations_ = std::move(e);
+    has_expectations_ = true;
+  }
+  [[nodiscard]] const HealthExpectations* expectations() const {
+    return has_expectations_ ? &expectations_ : nullptr;
+  }
   [[nodiscard]] std::uint64_t interval() const { return interval_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] int width() const { return width_; }
@@ -238,6 +273,8 @@ private:
   int width_ = 0;
   int height_ = 0;
   int threads_ = 0;
+  bool has_expectations_ = false;
+  HealthExpectations expectations_;
   bool has_baseline_ = false;
   std::uint64_t baseline_cycle_ = 0;
   TimeSeriesSample prev_;
@@ -273,7 +310,15 @@ struct TimeSeries {
   std::vector<TimeSeriesFrame> frames;
   std::vector<TimeSeriesScalar> scalars;
   std::uint64_t scalars_dropped = 0;
+  bool has_expectations = false;
+  HealthExpectations expectations;
 };
+
+/// In-memory snapshot of a live sampler (+ optional solver scalars) in the
+/// loaded-series shape, so the health engine evaluates identical inputs
+/// whether fed from a running fabric or a flushed artifact.
+[[nodiscard]] TimeSeries snapshot_timeseries(const TimeSeriesSampler& sampler,
+                                             const ScalarHistory* scalars);
 
 /// Render the series JSON; `scalars` (may be null) embeds the solver
 /// scalar history alongside the frames.

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "perfmodel/health_expectations.hpp"
 #include "telemetry/postmortem.hpp"
 #include "wse/route_compiler.hpp"
 #include "wsekernels/allreduce_steps.hpp"
@@ -330,6 +331,14 @@ BicgstabSimResult BicgstabSimulation::run(const Field3<fp16_t>& b) {
   telemetry::RunForensics forensics(
       fabric_, "bicgstab " + std::to_string(grid_.nx) + "x" +
                    std::to_string(grid_.ny) + "x" + std::to_string(grid_.nz));
+  if (telemetry::TimeSeriesSampler* sampler = forensics.sampler();
+      sampler != nullptr) {
+    // Arm the health engine's perfmodel drift gate: the sampler carries
+    // the CS1 per-phase projection into the flushed series, where the
+    // windowed cycle attribution is checked against it (docs/HEALTH.md).
+    sampler->set_expectations(
+        perfmodel::bicgstab_expectations(grid_.nz, X, Y));
+  }
   const StopInfo stop =
       fabric_.run(per_iter * static_cast<std::uint64_t>(iterations_ + 1));
   if (!fabric_.all_done()) {

@@ -1,0 +1,234 @@
+// CLI-level tests for the operator tools (tools/wss_inspect.cpp,
+// tools/wss_top.cpp), run against the committed goldens in tests/data/.
+// The binaries under test come in via compile definitions (WSS_INSPECT_BIN
+// / WSS_TOP_BIN, CMake $<TARGET_FILE:...>), so the suite exercises the
+// real executables, not relinked objects. Coverage: the documented exit-
+// code contract (0 success, 1 usage, 2 unreadable/invalid artifact,
+// 3 divergence), self-check over every committed golden, the alerts
+// subcommand family, the wss_top health pane, and the --follow torn-frame
+// recovery loop (waiting -> torn file skipped -> full file rendered).
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+
+#include "telemetry/health.hpp"
+#include "telemetry/io.hpp"
+
+namespace {
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output; ///< stdout + stderr, interleaved
+};
+
+/// Run a shell command, capturing combined output and the real exit code.
+CmdResult run_cmd(const std::string& cmd) {
+  CmdResult r;
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+const std::string kInspect = WSS_INSPECT_BIN;
+const std::string kTop = WSS_TOP_BIN;
+const std::string kTimeseriesGolden = WSS_TIMESERIES_GOLDEN;
+const std::string kAlertsGolden = WSS_ALERTS_GOLDEN;
+const std::string kPostmortemGolden = WSS_POSTMORTEM_GOLDEN;
+
+std::string temp_dir() {
+  const std::string dir = ::testing::TempDir() + "wss_cli_test";
+  std::string error;
+  EXPECT_TRUE(wss::telemetry::ensure_directory(dir, &error)) << error;
+  return dir + "/";
+}
+
+// --- exit-code contract --------------------------------------------------
+
+TEST(InspectCli, UsageErrorsExitOne) {
+  EXPECT_EQ(run_cmd(kInspect).exit_code, 1);
+  EXPECT_EQ(run_cmd(kInspect + " frobnicate").exit_code, 1);
+  EXPECT_EQ(run_cmd(kInspect + " timeseries").exit_code, 1);
+  EXPECT_EQ(run_cmd(kInspect + " alerts").exit_code, 1);
+  EXPECT_EQ(run_cmd(kInspect + " alerts nosuchsub x.json").exit_code, 1);
+  EXPECT_EQ(run_cmd(kInspect + " print " + kPostmortemGolden + " --last 0")
+                .exit_code,
+            1);
+  // --help is answered, not an error.
+  EXPECT_EQ(run_cmd(kInspect + " --help").exit_code, 0);
+}
+
+TEST(InspectCli, UnreadableOrInvalidArtifactsExitTwo) {
+  EXPECT_EQ(run_cmd(kInspect + " print /nonexistent.json").exit_code, 2);
+  EXPECT_EQ(run_cmd(kInspect + " timeseries print /nonexistent.json")
+                .exit_code,
+            2);
+  EXPECT_EQ(run_cmd(kInspect + " alerts show /nonexistent.json").exit_code, 2);
+  EXPECT_EQ(run_cmd(kInspect + " runs list /nonexistent.jsonl").exit_code, 2);
+
+  const std::string bad = temp_dir() + "not_json.json";
+  write_file(bad, "this is not json at all {");
+  EXPECT_EQ(run_cmd(kInspect + " alerts self-check " + bad).exit_code, 2);
+  EXPECT_EQ(run_cmd(kInspect + " timeseries self-check " + bad).exit_code, 2);
+}
+
+// --- self-check over every committed golden ------------------------------
+
+TEST(InspectCli, CommittedGoldensPassSelfCheck) {
+  const CmdResult bundle =
+      run_cmd(kInspect + " self-check " + kPostmortemGolden);
+  EXPECT_EQ(bundle.exit_code, 0) << bundle.output;
+  const CmdResult ts =
+      run_cmd(kInspect + " timeseries self-check " + kTimeseriesGolden);
+  EXPECT_EQ(ts.exit_code, 0) << ts.output;
+  const CmdResult alerts =
+      run_cmd(kInspect + " alerts self-check " + kAlertsGolden);
+  EXPECT_EQ(alerts.exit_code, 0) << alerts.output;
+  EXPECT_NE(alerts.output.find("ok"), std::string::npos) << alerts.output;
+  // One failing file among many still fails the batch.
+  const std::string bad = temp_dir() + "batch_bad.json";
+  write_file(bad, "{}");
+  EXPECT_EQ(
+      run_cmd(kInspect + " alerts self-check " + kAlertsGolden + " " + bad)
+          .exit_code,
+      2);
+}
+
+// --- alerts family -------------------------------------------------------
+
+TEST(InspectCli, AlertsListAndShowRenderTheGolden) {
+  const CmdResult list = run_cmd(kInspect + " alerts list " + kAlertsGolden);
+  EXPECT_EQ(list.exit_code, 0) << list.output;
+  EXPECT_NE(list.output.find("fault_burst"), std::string::npos) << list.output;
+  EXPECT_NE(list.output.find("[critical]"), std::string::npos) << list.output;
+
+  const CmdResult show = run_cmd(kInspect + " alerts show " + kAlertsGolden);
+  EXPECT_EQ(show.exit_code, 0) << show.output;
+  EXPECT_NE(show.output.find("perfmodel_drift"), std::string::npos)
+      << show.output;
+  // show prints the rule inputs; list does not.
+  EXPECT_NE(show.output.find("worst_window_faults"), std::string::npos)
+      << show.output;
+  EXPECT_EQ(list.output.find("worst_window_faults"), std::string::npos)
+      << list.output;
+}
+
+TEST(InspectCli, AlertsDiffExitsThreeOnFirstDivergence) {
+  // Identical streams: exit 0.
+  const CmdResult same = run_cmd(kInspect + " alerts diff " + kAlertsGolden +
+                                 " " + kAlertsGolden);
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+  EXPECT_NE(same.output.find("no divergence"), std::string::npos)
+      << same.output;
+
+  // Drop the golden's last alert: divergence at that index, exit 3.
+  wss::telemetry::AlertsFile file;
+  std::string error;
+  ASSERT_TRUE(wss::telemetry::load_alerts(kAlertsGolden, &file, &error))
+      << error;
+  ASSERT_GT(file.alerts.size(), 1u);
+  file.alerts.pop_back();
+  const std::string shorter = temp_dir() + "alerts_shorter.json";
+  ASSERT_TRUE(wss::telemetry::write_alerts(shorter, file, &error)) << error;
+  const CmdResult diff =
+      run_cmd(kInspect + " alerts diff " + kAlertsGolden + " " + shorter);
+  EXPECT_EQ(diff.exit_code, 3) << diff.output;
+  EXPECT_NE(diff.output.find("first divergent alert"), std::string::npos)
+      << diff.output;
+}
+
+TEST(InspectCli, TimeseriesDiffExitsThreeOnFirstDivergence) {
+  const CmdResult same = run_cmd(kInspect + " timeseries diff " +
+                                 kTimeseriesGolden + " " + kTimeseriesGolden);
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+
+  // Perturb one counter digit in a copy: still valid JSON, one frame off.
+  std::string text = read_file(kTimeseriesGolden);
+  const std::size_t at = text.find("\"instr\":");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t digit = at + std::string("\"instr\":").size();
+  text[digit] = text[digit] == '9' ? '8' : '9';
+  const std::string perturbed = temp_dir() + "ts_perturbed.json";
+  write_file(perturbed, text);
+  const CmdResult diff = run_cmd(kInspect + " timeseries diff " +
+                                 kTimeseriesGolden + " " + perturbed);
+  EXPECT_EQ(diff.exit_code, 3) << diff.output;
+}
+
+// --- wss_top -------------------------------------------------------------
+
+TEST(TopCli, ReplayRendersDashboardWithHealthPane) {
+  const CmdResult r = run_cmd(kTop + " " + kTimeseriesGolden);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("health:"), std::string::npos) << r.output;
+  // The committed golden is a healthy run; the pane must say so.
+  EXPECT_NE(r.output.find("health: ok"), std::string::npos) << r.output;
+}
+
+TEST(TopCli, UsageAndUnreadableExitCodes) {
+  EXPECT_EQ(run_cmd(kTop).exit_code, 1);
+  EXPECT_EQ(run_cmd(kTop + " --last 0 x.json").exit_code, 1);
+  EXPECT_EQ(run_cmd(kTop + " /nonexistent.json").exit_code, 2);
+}
+
+TEST(TopCli, FollowSurvivesTornFramesAndRecovers) {
+  // The --follow contract: a missing file is waited for, a torn read keeps
+  // the last display (here: the waiting banner) instead of crashing, and
+  // the completed file renders on the next tick. Drive a real follower
+  // through all three states, then SIGTERM it.
+  const std::string dir = temp_dir();
+  const std::string series = dir + "follow_series.json";
+  const std::string out = dir + "follow_out.txt";
+  std::remove(series.c_str());
+
+  const CmdResult spawn = run_cmd("sh -c '" + kTop + " " + series +
+                                  " --follow --interval-ms 40 > " + out +
+                                  " 2>&1 & echo $!'");
+  ASSERT_EQ(spawn.exit_code, 0) << spawn.output;
+  const long pid = std::strtol(spawn.output.c_str(), nullptr, 10);
+  ASSERT_GT(pid, 0) << spawn.output;
+
+  const auto tick = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  };
+  tick(); // follower is polling a missing file: "waiting for"
+
+  const std::string full = read_file(kTimeseriesGolden);
+  ASSERT_GT(full.size(), 64u);
+  write_file(series, full.substr(0, full.size() / 2)); // torn mid-frame
+  tick(); // torn ticks must not kill or blank the follower
+
+  write_file(series, full); // writer finished the flush
+  tick();                   // next tick renders the full dashboard
+
+  EXPECT_EQ(::kill(static_cast<pid_t>(pid), SIGTERM), 0)
+      << "follower died before SIGTERM";
+  tick();
+
+  const std::string rendered = read_file(out);
+  EXPECT_NE(rendered.find("waiting for"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("health:"), std::string::npos) << rendered;
+}
+
+} // namespace

@@ -25,6 +25,15 @@
 //     first-divergent-frame diff (the determinism check between runs at
 //     different WSS_SIM_THREADS).
 //
+//   wss_inspect alerts list <alerts.json> [...]
+//   wss_inspect alerts show <alerts.json>
+//   wss_inspect alerts self-check <alerts.json> [...]
+//   wss_inspect alerts diff <a.json> <b.json>
+//     The same family for `wss.alerts/1` files written by the runtime
+//     health engine (docs/HEALTH.md): one-line-per-alert listing, full
+//     detail with rule inputs, the CI schema guard, and the
+//     first-divergent-alert diff (exit 3 on divergence).
+//
 //   wss_inspect runs list <ledger-dir-or-file>
 //   wss_inspect runs show <ledger> <run-id-or-prefix>
 //   wss_inspect runs diff <ledger> <run-a> <run-b>
@@ -40,12 +49,15 @@
 #include <cstring>
 #include <string>
 
+#include "telemetry/health.hpp"
 #include "telemetry/ledger.hpp"
 #include "telemetry/postmortem.hpp"
 #include "telemetry/timeseries.hpp"
 
 namespace {
 
+using wss::telemetry::AlertDivergence;
+using wss::telemetry::AlertsFile;
 using wss::telemetry::Bundle;
 using wss::telemetry::Divergence;
 using wss::telemetry::FrameDivergence;
@@ -62,6 +74,10 @@ int usage() {
       "       wss_inspect timeseries print <series.json> [--last N]\n"
       "       wss_inspect timeseries self-check <series.json> [...]\n"
       "       wss_inspect timeseries diff <a.json> <b.json>\n"
+      "       wss_inspect alerts list <alerts.json> [...]\n"
+      "       wss_inspect alerts show <alerts.json>\n"
+      "       wss_inspect alerts self-check <alerts.json> [...]\n"
+      "       wss_inspect alerts diff <a.json> <b.json>\n"
       "       wss_inspect runs list <ledger>\n"
       "       wss_inspect runs show <ledger> <run-id>\n"
       "       wss_inspect runs diff <ledger> <run-a> <run-b>\n"
@@ -215,6 +231,87 @@ int cmd_timeseries(int argc, char** argv) {
   return usage();
 }
 
+// --- alerts subcommands -------------------------------------------------
+
+bool load_alerts_or_complain(const std::string& path, AlertsFile* out) {
+  std::string error;
+  if (!wss::telemetry::load_alerts(path, out, &error)) {
+    std::fprintf(stderr, "wss_inspect: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_alerts_list(int argc, char** argv) {
+  if (argc < 1) return usage();
+  for (int i = 0; i < argc; ++i) {
+    AlertsFile file;
+    if (!load_alerts_or_complain(argv[i], &file)) return 2;
+    std::printf("%s: %s run %s, %zu alert(s), tol %.0f%%\n", argv[i],
+                file.program.empty() ? "unnamed" : file.program.c_str(),
+                file.run_id.empty() ? "?" : file.run_id.c_str(),
+                file.alerts.size(), file.tol_pct);
+    for (const wss::telemetry::HealthAlert& a : file.alerts) {
+      std::printf("  %s\n", wss::telemetry::summarize_alert(a).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_alerts_show(int argc, char** argv) {
+  if (argc != 1) return usage();
+  AlertsFile file;
+  if (!load_alerts_or_complain(argv[0], &file)) return 2;
+  const std::string rendered = wss::telemetry::pretty_alerts(file);
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
+int cmd_alerts_self_check(int argc, char** argv) {
+  if (argc < 1) return usage();
+  int failures = 0;
+  for (int i = 0; i < argc; ++i) {
+    AlertsFile file;
+    if (!load_alerts_or_complain(argv[i], &file)) {
+      ++failures;
+      continue;
+    }
+    std::string error;
+    if (!wss::telemetry::self_check_alerts(file, &error)) {
+      std::fprintf(stderr, "wss_inspect: %s: self-check failed: %s\n", argv[i],
+                   error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%s, %zu alerts)\n", argv[i],
+                file.program.empty() ? "unnamed" : file.program.c_str(),
+                file.alerts.size());
+  }
+  return failures == 0 ? 0 : 2;
+}
+
+int cmd_alerts_diff(int argc, char** argv) {
+  if (argc != 2) return usage();
+  AlertsFile a;
+  AlertsFile b;
+  if (!load_alerts_or_complain(argv[0], &a)) return 2;
+  if (!load_alerts_or_complain(argv[1], &b)) return 2;
+  const AlertDivergence d = wss::telemetry::first_alert_divergence(a, b);
+  const std::string rendered = wss::telemetry::pretty_alert_divergence(d);
+  std::fputs(rendered.c_str(), stdout);
+  return d.found ? 3 : 0;
+}
+
+int cmd_alerts(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string sub = argv[0];
+  if (sub == "list") return cmd_alerts_list(argc - 1, argv + 1);
+  if (sub == "show") return cmd_alerts_show(argc - 1, argv + 1);
+  if (sub == "self-check") return cmd_alerts_self_check(argc - 1, argv + 1);
+  if (sub == "diff") return cmd_alerts_diff(argc - 1, argv + 1);
+  return usage();
+}
+
 // --- runs subcommands ---------------------------------------------------
 
 bool load_ledger_or_complain(const std::string& path, Ledger* out) {
@@ -288,6 +385,7 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
   if (cmd == "self-check") return cmd_self_check(argc - 2, argv + 2);
   if (cmd == "timeseries") return cmd_timeseries(argc - 2, argv + 2);
+  if (cmd == "alerts") return cmd_alerts(argc - 2, argv + 2);
   if (cmd == "runs") return cmd_runs(argc - 2, argv + 2);
   if (cmd == "--help" || cmd == "-h") {
     usage();

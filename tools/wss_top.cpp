@@ -3,8 +3,9 @@
 //
 //   wss_top <series.json> [--last N]
 //     Replay: render the series once — header, per-category utilization
-//     and pressure sparklines, residual convergence, and a table of the
-//     last N frames — then exit.
+//     and pressure sparklines, residual convergence, a table of the
+//     last N frames, and the health-engine verdict pane (docs/HEALTH.md)
+//     — then exit.
 //
 //   wss_top <series.json> --follow [--interval-ms M] [--last N]
 //     Live: re-read and re-render the file every M milliseconds (default
@@ -26,6 +27,7 @@
 #include <string>
 #include <thread>
 
+#include "telemetry/health.hpp"
 #include "telemetry/timeseries.hpp"
 
 namespace {
@@ -53,6 +55,10 @@ int render_once(const std::string& path, std::size_t last_k, bool complain) {
   }
   const std::string rendered = wss::telemetry::pretty_timeseries(ts, last_k);
   std::fputs(rendered.c_str(), stdout);
+  std::fputs(
+      wss::telemetry::pretty_health_pane(ts, wss::telemetry::health_config())
+          .c_str(),
+      stdout);
   return 0;
 }
 
@@ -105,7 +111,9 @@ int main(int argc, char** argv) {
       // writer's in-progress flush, and blanking the screen for it would
       // make the display flicker empty. Skip the tick and retry instead.
       const std::string rendered =
-          wss::telemetry::pretty_timeseries(ts, last_k);
+          wss::telemetry::pretty_timeseries(ts, last_k) +
+          wss::telemetry::pretty_health_pane(ts,
+                                             wss::telemetry::health_config());
       std::fputs("\x1b[2J\x1b[H", stdout);
       std::fputs(rendered.c_str(), stdout);
       rendered_once = true;
