@@ -85,6 +85,10 @@ struct ReportRow {
 struct ParsedReport {
   std::vector<ReportRow> rows;
   std::uint64_t alerts = 0;
+  /// Per-flow word totals the run's network observatory recorded
+  /// (metrics.counters["netflow.<flow>.words"], docs/NETWORK.md), in
+  /// report order; empty when the bench ran without a NetMonitor.
+  std::vector<std::pair<std::string, double>> netflow_words;
 };
 
 struct MetricVerdict {
@@ -98,6 +102,8 @@ struct BenchVerdict {
   std::string bench;
   bool report_found = false;
   std::uint64_t alerts = 0; ///< health alerts recorded during the bench run
+  /// Per-flow word totals the run recorded (docs/NETWORK.md).
+  std::vector<std::pair<std::string, double>> netflow_words;
   std::vector<MetricVerdict> metrics;
   [[nodiscard]] bool ok() const {
     if (!report_found) return false;
@@ -201,6 +207,23 @@ std::optional<ParsedReport> parse_report(const fs::path& path,
   if (alerts != nullptr && alerts->is_number() && alerts->number > 0.0) {
     out.alerts = static_cast<std::uint64_t>(alerts->number);
   }
+  if (counters != nullptr && counters->is_object()) {
+    constexpr const char* kPrefix = "netflow.";
+    constexpr const char* kSuffix = ".words";
+    for (const auto& [name, value] : *counters->object) {
+      if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) continue;
+      if (name.compare(0, std::strlen(kPrefix), kPrefix) != 0) continue;
+      if (name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                       kSuffix) != 0) {
+        continue;
+      }
+      if (!value.is_number()) continue;
+      const std::string flow = name.substr(
+          std::strlen(kPrefix),
+          name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+      out.netflow_words.emplace_back(flow, value.number);
+    }
+  }
   return out;
 }
 
@@ -226,6 +249,7 @@ BenchVerdict check_bench(const Baseline& baseline, const fs::path& report) {
   }
   v.report_found = true;
   v.alerts = parsed->alerts;
+  v.netflow_words = parsed->netflow_words;
   for (const MetricBaseline& mb : baseline.metrics) {
     MetricVerdict mv;
     mv.baseline = mb;
@@ -390,6 +414,16 @@ std::string history_line(const std::string& run_id, const std::string& sha,
     w.key("bench").value(v.bench);
     w.key("ok").value(v.ok());
     w.key("alerts").value(v.alerts);
+    if (!v.netflow_words.empty()) {
+      // Per-flow traffic the bench's network observatory recorded rides
+      // in the history line so the trajectory report trends link words
+      // next to cycles (docs/NETWORK.md).
+      w.key("netflows").begin_object();
+      for (const auto& [flow, words] : v.netflow_words) {
+        w.key(flow).value(words);
+      }
+      w.end_object();
+    }
     w.key("metrics").begin_array();
     for (const MetricVerdict& m : v.metrics) {
       if (!m.measured) continue; // missing rows carry no trend point
@@ -474,6 +508,16 @@ std::optional<std::vector<HistoryEntry>> load_history(const std::string& dir,
         if (alerts != nullptr && alerts->is_number()) {
           e.points.push_back({bench_name, "health alerts", "alerts",
                               alerts->number});
+        }
+        // Per-flow word totals trend like any gated metric (entries
+        // without the field predate the network observatory).
+        const jp::Value* netflows = bench.find("netflows");
+        if (netflows != nullptr && netflows->is_object()) {
+          for (const auto& [flow, words] : *netflows->object) {
+            if (!words.is_number()) continue;
+            e.points.push_back({bench_name, "netflow " + flow + " words",
+                                "words", words.number});
+          }
         }
         const jp::Value* metrics = bench.find("metrics");
         if (metrics == nullptr || !metrics->is_array()) continue;

@@ -8,17 +8,32 @@
 //   2. attached-empty — a FaultPlan with no faults,
 //   3. active         — identity-mask (corrupt_mask = 0) corruption on
 //                       every eastbound link, p = 0.5: the full roll +
-//                       logging machinery runs, payloads are unchanged.
+//                       logging machinery runs, payloads are unchanged,
+//   4. stalled-router — router (6,6) forwards nothing for a window twice
+//                       the healthy run length: wavelets queue upstream
+//                       (backpressure, nothing lost) and the links
+//                       feeding the tile saturate. The Listing-1 adds
+//                       fold into u in arrival order, so the delayed
+//                       schedule may round differently — the gate here
+//                       is determinism (two stalled runs bit-identical),
+//                       not equality with the healthy run. With
+//                       WSS_NETFLOWS=1 + WSS_SAMPLE_CYCLES set this run
+//                       is the network-observatory fault acceptance: the
+//                       health engine must raise a link_congestion alert
+//                       naming the choked link (docs/NETWORK.md,
+//                       .github/workflows/ci.yml).
 //
-// Before any timing is reported, the result vectors of all three
+// Before any timing is reported, the result vectors of the first three
 // configurations are compared bit for bit (identity corruption must not
-// change the answer); a mismatch is a hard failure (exit 1). A wrong
-// fast simulator is worthless.
+// change the answer) and the stalled run is replayed for determinism; a
+// mismatch is a hard failure (exit 1). A wrong fast simulator is
+// worthless.
 //
 // Machine-readable output: WSS_JSON_OUT=<dir> drops the rows below in
 // bench_fault_overhead.json; CI archives them.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -51,6 +66,7 @@ Case make_case(wss::Grid3 g, std::uint64_t seed) {
 
 struct Measured {
   double best_seconds = 1e30;
+  std::uint64_t cycles = 0; ///< last rep's fabric cycles
   wss::Field3<wss::fp16_t> u;
   wss::wse::FaultStats stats;
 };
@@ -70,6 +86,7 @@ Measured run_config(const Case& c, const wss::wse::CS1Params& arch,
     if (dt < m.best_seconds) m.best_seconds = dt;
   }
   m.stats = s.fabric().fault_stats();
+  m.cycles = s.last_run_cycles();
   return m;
 }
 
@@ -117,10 +134,30 @@ int main() {
   }
   const Measured with_faults = run_config(c, arch, &active, reps);
 
+  // Stalled-router scenario: choke the router at (6,6) for twice the
+  // healthy run length. A single rep keeps the stall window in absolute
+  // fabric cycles aligned with the one run the forensics observe.
+  wse::FaultPlan stalled;
+  stalled.router_stalls.push_back(
+      {.x = 6, .y = 6, .from_cycle = 0, .until_cycle = 2 * detached.cycles});
+  const Measured with_stall = run_config(c, arch, &stalled, 1);
+  const Measured with_stall_replay = run_config(c, arch, &stalled, 1);
+
   // Correctness gate before any timing is believed.
   if (!bits_equal(detached.u, attached_empty.u) ||
       !bits_equal(detached.u, with_faults.u)) {
     std::printf("FAIL: results differ across fault configurations\n");
+    return 1;
+  }
+  // Backpressure loses nothing but does reorder the arrival-order fp16
+  // folds, so the stalled gate is replay determinism, not equality.
+  if (!bits_equal(with_stall.u, with_stall_replay.u) ||
+      with_stall.cycles != with_stall_replay.cycles) {
+    std::printf("FAIL: stalled-router run is not deterministic\n");
+    return 1;
+  }
+  if (with_stall.stats.router_stall_cycles == 0) {
+    std::printf("FAIL: stalled-router plan stalled nothing\n");
     return 1;
   }
   if (attached_empty.stats.total() != 0) {
@@ -146,6 +183,15 @@ int main() {
              100.0 * (with_faults.best_seconds - base) / base, "%");
   bench::row("injections (active plan run)", 0.0,
              static_cast<double>(with_faults.stats.wavelets_corrupted), "");
+  bench::row("stalled-router run cycles", 0.0,
+             static_cast<double>(with_stall.cycles), "cycles");
+  bench::row("stalled-router slowdown", 0.0,
+             static_cast<double>(with_stall.cycles) /
+                 static_cast<double>(detached.cycles),
+             "x");
+  bench::row("router stall tile-cycles", 0.0,
+             static_cast<double>(with_stall.stats.router_stall_cycles),
+             "cycles");
   bench::note("overhead rows are best-of-5 wall times; the contract "
               "'detached == free' is structural (a null-pointer test per "
               "phase band), the timing row is the evidence");

@@ -5,14 +5,18 @@
 // the fabric simulator at small scale, and sweep mesh shape.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "perfmodel/cs1_model.hpp"
+#include "perfmodel/flow_expectations.hpp"
 #include "perfmodel/perf_report.hpp"
 #include "stencil/generators.hpp"
 #include "telemetry/global.hpp"
 #include "telemetry/heatmap.hpp"
+#include "telemetry/netmon.hpp"
 #include "telemetry/profiler.hpp"
+#include "wse/flow_table.hpp"
 #include "wse/trace.hpp"
 #include "wsekernels/bicgstab_program.hpp"
 #include "wsekernels/memory_model.hpp"
@@ -98,6 +102,7 @@ int main() {
   constexpr int kIterations = 3;
   // With WSS_TRACE_JSON set, record the smallest run's per-tile task
   // stream and merge it (cycles -> us at the CS-1 clock) into the trace.
+  std::string netflows_render;
   for (const int z : {32, 64, 128, 256}) {
     auto span = spans.scope("simulate_z" + std::to_string(z), "bench");
     const Grid3 g(6, 6, z);
@@ -114,9 +119,43 @@ int main() {
       simulation.fabric().set_tracer(&fabric_trace);
     }
     if (z == kProfiledZ) simulation.fabric().set_profiler(&profiler);
+    // Network observatory on the profiled run: every link word attributed
+    // to its logical flow, with conservation held against the fabric's
+    // own transfer count and totals folded into `netflow.<flow>.words`
+    // registry counters (trended by the benchhistory gate).
+    telemetry::NetMonitor netmon;
+    if (z == kProfiledZ) {
+      netmon.set_flow_table(wse::bicgstab_flow_table());
+      simulation.fabric().set_net_monitor(&netmon);
+    }
     const auto r = simulation.run(b16);
     simulation.fabric().set_tracer(nullptr);
     simulation.fabric().set_profiler(nullptr);
+    if (z == kProfiledZ) {
+      simulation.fabric().set_net_monitor(nullptr);
+      const telemetry::NetFlowsFile nf = telemetry::build_netflows(
+          netmon, "secV_cs1_iteration", /*run_id=*/"",
+          simulation.fabric().stats().cycles,
+          simulation.fabric().stats().link_transfers,
+          static_cast<std::uint64_t>(kIterations),
+          perfmodel::bicgstab_flow_expectations(z, g.nx, g.ny),
+          telemetry::netflows_topk());
+      std::uint64_t flow_words = 0;
+      for (const telemetry::NetFlowTotals& f : nf.flows) {
+        flow_words += f.words;
+        telemetry::global_registry()
+            .counter("netflow." + f.flow + ".words")
+            .add(f.words);
+      }
+      if (flow_words != nf.link_transfers) {
+        std::printf("  MISMATCH: flow words %llu != link transfers %llu\n",
+                    static_cast<unsigned long long>(flow_words),
+                    static_cast<unsigned long long>(nf.link_transfers));
+      }
+      bench::row("netflow words conserved (6x6, Z=64)", 0.0,
+                 flow_words == nf.link_transfers ? 1.0 : 0.0, "bool");
+      netflows_render = telemetry::pretty_netflows(nf);
+    }
     const double measured =
         static_cast<double>(r.cycles) / static_cast<double>(kIterations);
     const double predicted = model.iteration_cycles(g);
@@ -125,6 +164,10 @@ int main() {
   }
   bench::note("agreement within ~4% validates extrapolating the model to "
               "the full wafer");
+  if (!netflows_render.empty()) {
+    std::printf("\nper-flow link words (6x6, Z=%d, %d iterations):\n%s",
+                kProfiledZ, kIterations, netflows_render.c_str());
+  }
 
   // Where the cycles went: per-phase measured-vs-model deltas and the
   // paper-anchored wafer projection (docs/PROFILING.md).

@@ -16,23 +16,28 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "perfmodel/flow_expectations.hpp"
 #include "perfmodel/stencilfe_model.hpp"
 #include "stencilfe/executor.hpp"
 #include "stencilfe/golden.hpp"
 #include "stencilfe/workloads.hpp"
+#include "telemetry/global.hpp"
+#include "telemetry/netmon.hpp"
 
 namespace wss::bench {
 
 struct StencilFeRun {
   double seconds = 0.0;
   std::uint64_t cycles = 0; ///< last generation's cycles
+  std::uint64_t link_transfers = 0; ///< whole-run fabric link flits
   std::vector<fp16_t> state;
 };
 
 inline StencilFeRun run_stencilfe(const stencilfe::TransitionFn& fn, int nx,
                                   int ny, const std::vector<fp16_t>& init,
                                   int generations, const wse::CS1Params& arch,
-                                  wse::Backend backend, int threads) {
+                                  wse::Backend backend, int threads,
+                                  telemetry::NetMonitor* netmon = nullptr) {
   wse::SimParams sim;
   sim.sim_threads = threads;
   // Pin the backend and disable the watchdog: these benches compare
@@ -42,14 +47,20 @@ inline StencilFeRun run_stencilfe(const stencilfe::TransitionFn& fn, int nx,
   sim.backend = backend;
   stencilfe::StencilExecutor ex(fn, nx, ny, arch, sim);
   ex.fabric().set_watchdog(0);
+  if (netmon != nullptr) {
+    netmon->set_flow_table(ex.flow_table());
+    ex.fabric().set_net_monitor(netmon);
+  }
   ex.load(init);
   const auto t0 = std::chrono::steady_clock::now();
   ex.step(generations);
   const auto t1 = std::chrono::steady_clock::now();
+  if (netmon != nullptr) ex.fabric().set_net_monitor(nullptr);
   StencilFeRun r;
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.cycles = ex.last_generation_cycles();
   r.state = ex.read_state();
+  r.link_transfers = ex.fabric().stats().link_transfers;
   return r;
 }
 
@@ -72,9 +83,49 @@ inline bool stencilfe_section(const char* tag,
                               int ny, const std::vector<fp16_t>& init,
                               int generations, const wse::CS1Params& arch) {
   using wse::Backend;
-  const StencilFeRun base =
-      run_stencilfe(fn, nx, ny, init, generations, arch, Backend::Reference, 1);
+  // The network observatory rides the reference anchor: per-flow word
+  // accounting over the whole run, folded into `netflow.<flow>.words`
+  // registry counters (the benchhistory regression gate trends them) and
+  // held to exact conservation against the fabric's link-transfer count
+  // and the analytic per-generation projection.
+  telemetry::NetMonitor netmon;
+  const StencilFeRun base = run_stencilfe(fn, nx, ny, init, generations, arch,
+                                          Backend::Reference, 1, &netmon);
   bool bits_ok = true;
+  {
+    const telemetry::NetFlowsFile nf = telemetry::build_netflows(
+        netmon, tag, /*run_id=*/"", /*cycles_now=*/0, base.link_transfers,
+        static_cast<std::uint64_t>(generations),
+        perfmodel::stencilfe_flow_expectations(fn, nx, ny),
+        telemetry::netflows_topk());
+    std::uint64_t flow_words = 0;
+    for (const telemetry::NetFlowTotals& f : nf.flows) {
+      flow_words += f.words;
+      telemetry::global_registry()
+          .counter("netflow." + f.flow + ".words")
+          .add(f.words);
+      if (f.exact && f.expected_words_per_iteration > 0.0) {
+        const double expected =
+            f.expected_words_per_iteration * static_cast<double>(generations);
+        if (static_cast<double>(f.words) != expected) {
+          bits_ok = false;
+          std::printf("  MISMATCH: %s flow %s moved %llu words, projection "
+                      "says %.0f\n",
+                      tag, f.flow.c_str(),
+                      static_cast<unsigned long long>(f.words), expected);
+        }
+      }
+    }
+    if (flow_words != base.link_transfers) {
+      bits_ok = false;
+      std::printf("  MISMATCH: %s flow words %llu != link transfers %llu\n",
+                  tag, static_cast<unsigned long long>(flow_words),
+                  static_cast<unsigned long long>(base.link_transfers));
+    }
+    char label[96];
+    std::snprintf(label, sizeof label, "netflow words conserved (%s)", tag);
+    row(label, 0.0, flow_words == base.link_transfers ? 1.0 : 0.0, "bool");
+  }
   if (!same_f16_bits(base.state,
                      stencilfe::golden_run(fn, nx, ny, init, generations))) {
     bits_ok = false;

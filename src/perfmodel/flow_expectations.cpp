@@ -1,0 +1,117 @@
+#include "perfmodel/flow_expectations.hpp"
+
+#include "wse/route_compiler.hpp"
+
+namespace wss::perfmodel {
+namespace {
+
+using telemetry::NetFlowExpectation;
+
+[[nodiscard]] NetFlowExpectation expect(std::string flow, double words,
+                                        bool exact) {
+  NetFlowExpectation e;
+  e.flow = std::move(flow);
+  e.words_per_iteration = words;
+  e.exact = exact;
+  return e;
+}
+
+/// 1 + 2 + ... + n: total link hops of n independent flits converging on a
+/// reduction column/row from distances 1..n.
+[[nodiscard]] double hop_sum(int n) {
+  if (n <= 0) return 0.0;
+  return static_cast<double>(n) * static_cast<double>(n + 1) / 2.0;
+}
+
+/// Link words one all-reduce moves on its reduce colors (row + column +
+/// quad + final legs). Every injected fp32 value rides the compiled routes
+/// independently — routers forward, only the center CEs fold — so the
+/// count is a pure sum of travel distances.
+[[nodiscard]] double allreduce_reduce_words(int width, int height) {
+  const wse::AllReduceGeometry g = wse::allreduce_geometry(width, height);
+  // Row leg: every off-center tile's value travels to its nearest center
+  // column; per row that is 1+..+cxl hops eastbound plus 1+..+(w-1-cxr)
+  // westbound.
+  const double row =
+      static_cast<double>(height) *
+      (hop_sum(g.cxl) + hop_sum(width - 1 - g.cxr));
+  // Column leg along the two center columns.
+  const double col = 2.0 * (hop_sum(g.cyt) + hop_sum(height - 1 - g.cyb));
+  // Quad: one eastbound hop on each of the two center rows; final: one
+  // southbound hop down the root column.
+  const double quad = 2.0;
+  const double fin = static_cast<double>(g.cyb - g.cyt);
+  return row + col + quad + fin;
+}
+
+/// The broadcast flood is a spanning tree rooted at (cxr, cyb): every tile
+/// but the root receives its copy over exactly one link.
+[[nodiscard]] double allreduce_bcast_words(int width, int height) {
+  return static_cast<double>(width) * static_cast<double>(height) - 1.0;
+}
+
+} // namespace
+
+std::vector<NetFlowExpectation> stencilfe_flow_expectations(
+    const stencilfe::TransitionFn& fn, int nx, int ny) {
+  const double f = static_cast<double>(fn.fields);
+  const double w = static_cast<double>(nx);
+  const double h = static_cast<double>(ny);
+  // Axis legs are single-hop: each tile with an east neighbor ships its
+  // own F fields east (and symmetrically west); each tile with a south
+  // neighbor ships its assembled 3F-halfword row packet south (and
+  // symmetrically north). One halfword per flit per link hop.
+  const double ew = f * (w - 1.0) * h;
+  const double ns = 3.0 * f * (h - 1.0) * w;
+  std::vector<NetFlowExpectation> out;
+  out.push_back(expect("halo.E", ew, /*exact=*/true));
+  out.push_back(expect("halo.W", ew, /*exact=*/true));
+  out.push_back(expect("halo.S", ns, /*exact=*/true));
+  out.push_back(expect("halo.N", ns, /*exact=*/true));
+  if (fn.boundary == stencilfe::BoundaryPolicy::Periodic) {
+    // One injector per row/column; its payload traverses the whole
+    // row/column, so the wrap lane moves exactly as many words as the
+    // matching interior leg.
+    out.push_back(expect("wrap.E", ew, /*exact=*/true));
+    out.push_back(expect("wrap.W", ew, /*exact=*/true));
+    out.push_back(expect("wrap.S", ns, /*exact=*/true));
+    out.push_back(expect("wrap.N", ns, /*exact=*/true));
+  }
+  return out;
+}
+
+std::vector<NetFlowExpectation> bicgstab_flow_expectations(int z,
+                                                           int fabric_x,
+                                                           int fabric_y,
+                                                           bool fuse_qy_yy) {
+  const double zz = static_cast<double>(z);
+  const double w = static_cast<double>(fabric_x);
+  const double h = static_cast<double>(fabric_y);
+  // Each SpMV round: every tile broadcasts its Z-vector one hop to each
+  // existing neighbor on its own tessellation color — Z(w-1)h flits
+  // eastbound and the same westbound; two SpMVs per iteration.
+  const double spmv_x = 2.0 * 2.0 * zz * (w - 1.0) * h;
+  const double spmv_y = 2.0 * 2.0 * zz * w * (h - 1.0);
+  // Four dot-product all-reduces per iteration; the fused q.y / y.y pair
+  // moves one of them onto the secondary tree.
+  const double primary_ops = fuse_qy_yy ? 3.0 : 4.0;
+  const double secondary_ops = fuse_qy_yy ? 1.0 : 0.0;
+  const double reduce = allreduce_reduce_words(fabric_x, fabric_y);
+  const double bcast = allreduce_bcast_words(fabric_x, fabric_y);
+  std::vector<NetFlowExpectation> out;
+  out.push_back(expect("spmv.x", spmv_x, /*exact=*/false));
+  out.push_back(expect("spmv.y", spmv_y, /*exact=*/false));
+  out.push_back(
+      expect("allreduce.reduce", primary_ops * reduce, /*exact=*/false));
+  out.push_back(
+      expect("allreduce.bcast", primary_ops * bcast, /*exact=*/false));
+  if (fuse_qy_yy) {
+    out.push_back(
+        expect("allreduce2.reduce", secondary_ops * reduce, /*exact=*/false));
+    out.push_back(
+        expect("allreduce2.bcast", secondary_ops * bcast, /*exact=*/false));
+  }
+  return out;
+}
+
+} // namespace wss::perfmodel

@@ -1,0 +1,46 @@
+#pragma once
+
+// Per-flow traffic projections for the network observatory
+// (docs/NETWORK.md): builders that turn the compiled route geometry into
+// telemetry::NetFlowExpectation rows — expected link words per iteration
+// for each logical flow a FlowTable declares. The health engine's
+// flow_bandwidth_drift rule gates the measured per-flow delivery against
+// these, mirroring how health_expectations.hpp gates cycle attribution.
+//
+// Two precision tiers, matching the flows themselves:
+//   exact    stencilfe halo/wrap legs — the front-end moves a fixed,
+//            data-independent word count every generation, so the
+//            projection is a closed-form count, not a model.
+//   anchored BiCGStab flows — iteration boundaries blur (the init dot,
+//            the warmup SpMV) and the two reduction trees interleave, so
+//            the per-iteration figures are steady-state anchors gated
+//            with the normal drift tolerance rather than equalities.
+
+#include <vector>
+
+#include "stencilfe/transition.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace wss::perfmodel {
+
+/// Exact per-generation word counts for a compiled stencilfe program on an
+/// `nx` x `ny` fabric (one cell per tile): the parity halo legs and — for
+/// BoundaryPolicy::Periodic — the dedicated wrap lanes. Flow names match
+/// wse::stencilfe_flow_table().
+[[nodiscard]] std::vector<telemetry::NetFlowExpectation>
+stencilfe_flow_expectations(const stencilfe::TransitionFn& fn, int nx,
+                            int ny);
+
+/// Steady-state per-iteration word anchors for the BiCGStab fabric program
+/// on a `fabric_x` x `fabric_y` fabric with Z=`z` unknowns per tile: two
+/// SpMV broadcast rounds plus four all-reduces per iteration — all on the
+/// primary tree, unless `fuse_qy_yy` routes one of them down the secondary
+/// (BicgstabProgramOptions::fuse_qy_yy). Flow names match
+/// wse::bicgstab_flow_table(); rows are emitted only for flows that carry
+/// iteration-proportional traffic, so the secondary tree is left ungated
+/// in the unfused layout and control is always ungated.
+[[nodiscard]] std::vector<telemetry::NetFlowExpectation>
+bicgstab_flow_expectations(int z, int fabric_x, int fabric_y,
+                           bool fuse_qy_yy = false);
+
+} // namespace wss::perfmodel

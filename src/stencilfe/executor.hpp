@@ -14,6 +14,7 @@
 #include "stencilfe/program.hpp"
 #include "stencilfe/transition.hpp"
 #include "wse/fabric.hpp"
+#include "wse/flow_table.hpp"
 
 namespace wss::stencilfe {
 
@@ -46,6 +47,13 @@ public:
   }
   [[nodiscard]] wse::Fabric& fabric() { return fabric_; }
   [[nodiscard]] const wse::Fabric& fabric() const { return fabric_; }
+
+  /// The flow declaration matching this program's compiled routes (wrap
+  /// lanes included only for a periodic boundary) — hand it to a
+  /// telemetry::NetMonitor before Fabric::set_net_monitor.
+  [[nodiscard]] wse::FlowTable flow_table() const {
+    return wse::stencilfe_flow_table(fn_.boundary == BoundaryPolicy::Periodic);
+  }
 
 private:
   TransitionFn fn_;

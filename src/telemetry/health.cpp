@@ -49,6 +49,10 @@ HealthConfig health_config() {
   cfg.queue_windows = env::parse_u64("WSS_HEALTH_QUEUE_WINDOWS", 4);
   cfg.fault_burst = env::parse_u64("WSS_HEALTH_FAULT_BURST", 16);
   cfg.residual_iters = env::parse_u64("WSS_HEALTH_RESIDUAL_ITERS", 10);
+  cfg.congestion_floor =
+      static_cast<double>(
+          env::parse_int("WSS_HEALTH_CONGESTION_PCT", 50, 1, 100)) /
+      100.0;
   return cfg;
 }
 
@@ -125,6 +129,129 @@ void check_perfmodel_drift(const TimeSeries& ts, const HealthConfig& cfg,
     push_input(&a, "iterations", static_cast<double>(iters));
     out->push_back(std::move(a));
   }
+}
+
+/// (a2) per-flow bandwidth gates: cumulative per-flow link words divided
+/// by solver iterations, against the traffic projection carried in the
+/// series' net_expectations. One-sided like perfmodel_drift, but in the
+/// opposite direction: only *under-delivery* is a health problem — a flow
+/// moving fewer words per iteration than the route compiler declared means
+/// traffic is being starved or dropped, while extra words (retries, wider
+/// windows) are routine. Anchored (non-exact) projections use the same
+/// tolerance; exact ones too, because even they see partial leading/
+/// trailing iterations at the observation edges.
+void check_flow_bandwidth_drift(const TimeSeries& ts, const HealthConfig& cfg,
+                                std::vector<HealthAlert>* out) {
+  if (ts.net_expectations.empty() || ts.net_flows.empty()) return;
+  if (ts.frames.empty()) return;
+  const std::uint64_t iters = ts.frames.back().max_iteration;
+  if (iters < cfg.min_iterations) return;
+
+  std::vector<std::uint64_t> totals(ts.net_flows.size(), 0);
+  std::size_t first_net = ts.frames.size();
+  std::size_t last_net = 0;
+  bool any_net = false;
+  for (std::size_t i = 0; i < ts.frames.size(); ++i) {
+    const TimeSeriesFrame& f = ts.frames[i];
+    if (!f.has_net) continue;
+    if (!any_net) first_net = i;
+    any_net = true;
+    last_net = i;
+    for (std::size_t j = 0; j < totals.size() && j < f.flow_words.size();
+         ++j) {
+      totals[j] += f.flow_words[j];
+    }
+  }
+  if (!any_net) return;
+
+  for (const NetFlowExpectation& e : ts.net_expectations) {
+    if (e.words_per_iteration <= 0.0) continue; // ungated flow
+    std::size_t idx = ts.net_flows.size();
+    for (std::size_t j = 0; j < ts.net_flows.size(); ++j) {
+      if (ts.net_flows[j] == e.flow) {
+        idx = j;
+        break;
+      }
+    }
+    if (idx == ts.net_flows.size()) continue; // projection for unknown flow
+    const double measured = static_cast<double>(totals[idx]) /
+                            static_cast<double>(iters);
+    const double shortfall_pct =
+        (e.words_per_iteration - measured) / e.words_per_iteration * 100.0;
+    if (shortfall_pct <= cfg.tol_pct) continue;
+    HealthAlert a;
+    a.rule = "flow_bandwidth_drift";
+    a.severity = shortfall_pct > 2.0 * cfg.tol_pct ? AlertSeverity::Critical
+                                                   : AlertSeverity::Warn;
+    std::ostringstream d;
+    d << "flow '" << e.flow << "': measured " << json::number(measured)
+      << " words/iter vs " << (e.exact ? "exact" : "anchored")
+      << " projection " << json::number(e.words_per_iteration) << " (-"
+      << json::number(shortfall_pct) << "% below, tol "
+      << json::number(cfg.tol_pct) << "%)";
+    a.detail = d.str();
+    a.first_frame = first_net;
+    a.last_frame = last_net;
+    a.first_cycle = ts.frames[first_net].cycle;
+    a.last_cycle = ts.frames[last_net].cycle;
+    push_input(&a, "measured_words_per_iter", measured);
+    push_input(&a, "model_words_per_iter", e.words_per_iteration);
+    push_input(&a, "shortfall_pct", shortfall_pct);
+    push_input(&a, "iterations", static_cast<double>(iters));
+    out->push_back(std::move(a));
+  }
+}
+
+/// (a3) link congestion: the most stall-attributed link spent more than
+/// cfg.congestion_floor of the observed cycles with a backpressure-blocked
+/// head flit. The floor is high on purpose (0.5): transient backpressure
+/// is routine multiplexing on a healthy fabric, while a stalled router
+/// pushes the links feeding it toward a ratio of 1.0. The alert names the
+/// link — "(x,y)->D" is the out-link of tile (x,y) toward mesh dir D, so
+/// the faulted/overloaded *destination* is one `step(D)` away.
+void check_link_congestion(const TimeSeries& ts, const HealthConfig& cfg,
+                           std::vector<HealthAlert>* out) {
+  std::size_t first_net = ts.frames.size();
+  std::size_t last_net = 0;
+  bool any_net = false;
+  for (std::size_t i = 0; i < ts.frames.size(); ++i) {
+    if (!ts.frames[i].has_net) continue;
+    if (!any_net) first_net = i;
+    any_net = true;
+    last_net = i;
+  }
+  if (!any_net) return;
+  // The hotspot gauges are cumulative, so the last net-bearing frame holds
+  // the whole observation's worst link.
+  const TimeSeriesFrame& f = ts.frames[last_net];
+  if (f.net_cycles == 0 || f.net_stall_cycles == 0) return;
+  const double ratio = static_cast<double>(f.net_stall_cycles) /
+                       static_cast<double>(f.net_cycles);
+  if (ratio <= cfg.congestion_floor) return;
+  HealthAlert a;
+  a.rule = "link_congestion";
+  a.severity = ratio > 2.0 * cfg.congestion_floor ? AlertSeverity::Critical
+                                                  : AlertSeverity::Warn;
+  std::ostringstream d;
+  d << "link (" << f.net_stall_x << "," << f.net_stall_y << ")->"
+    << wse::to_string(static_cast<wse::Dir>(f.net_stall_dir))
+    << " backpressure-blocked for " << f.net_stall_cycles << " of "
+    << f.net_cycles << " observed cycles (ratio " << json::number(ratio)
+    << " over floor " << json::number(cfg.congestion_floor)
+    << "), peak backlog " << f.net_peak_queue << " halfwords";
+  a.detail = d.str();
+  a.first_frame = first_net;
+  a.last_frame = last_net;
+  a.first_cycle = ts.frames[first_net].cycle;
+  a.last_cycle = ts.frames[last_net].cycle;
+  push_input(&a, "stall_cycles", static_cast<double>(f.net_stall_cycles));
+  push_input(&a, "observed_cycles", static_cast<double>(f.net_cycles));
+  push_input(&a, "ratio", ratio);
+  push_input(&a, "floor", cfg.congestion_floor);
+  push_input(&a, "link_x", static_cast<double>(f.net_stall_x));
+  push_input(&a, "link_y", static_cast<double>(f.net_stall_y));
+  push_input(&a, "link_dir", static_cast<double>(f.net_stall_dir));
+  out->push_back(std::move(a));
 }
 
 /// (b) monotone growth of a gauge over >= cfg.queue_windows consecutive
@@ -386,6 +513,8 @@ std::vector<HealthAlert> evaluate_health(const TimeSeries& ts,
                                          const HealthConfig& cfg) {
   std::vector<HealthAlert> alerts;
   check_perfmodel_drift(ts, cfg, &alerts);
+  check_flow_bandwidth_drift(ts, cfg, &alerts);
+  check_link_congestion(ts, cfg, &alerts);
   check_monotone_growth(
       ts, cfg, "queue_growth", "router queue occupancy",
       [](const TimeSeriesFrame& f) { return f.router_queued_flits; }, &alerts);

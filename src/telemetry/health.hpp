@@ -9,6 +9,13 @@
 //                       analytic projection carried in HealthExpectations
 //                       (WSS_HEALTH_TOL_PCT; one-sided — only slowdowns
 //                       alert; >2x tolerance -> critical)
+//   flow_bandwidth_drift per-flow words/iteration below the route
+//                       compiler's traffic projection carried in
+//                       net_expectations (one-sided — only under-delivery
+//                       alerts; >2x tolerance -> critical)
+//   link_congestion     the most stall-attributed link backpressure-
+//                       blocked for more than WSS_HEALTH_CONGESTION_PCT of
+//                       the observed cycles; the alert names the link
 //   queue_growth        router queue occupancy strictly increasing over
 //                       WSS_HEALTH_QUEUE_WINDOWS consecutive frames
 //   fifo_growth         software-FIFO high-water strictly increasing over
@@ -113,14 +120,21 @@ struct HealthConfig {
   /// near zero, so the floor must clear that; a genuinely stalled fabric
   /// pushes windows toward 1.0.
   double spike_floor = 0.5;
+  /// Stall-attributed-cycle ratio of the worst link (stall cycles over
+  /// observed cycles) above which link_congestion fires. High on purpose:
+  /// transient backpressure is routine multiplexing on a healthy fabric —
+  /// clean CI runs must stay silent — while a stalled router drives the
+  /// links feeding it toward 1.0. (WSS_HEALTH_CONGESTION_PCT / 100.)
+  double congestion_floor = 0.5;
 };
 
 /// WSS_HEALTH: master switch for the engine (default on).
 [[nodiscard]] bool health_enabled();
 
 /// Config assembled from WSS_HEALTH_TOL_PCT, WSS_HEALTH_WARMUP,
-/// WSS_HEALTH_QUEUE_WINDOWS, WSS_HEALTH_FAULT_BURST and
-/// WSS_HEALTH_RESIDUAL_ITERS (strict parse via common/env.hpp).
+/// WSS_HEALTH_QUEUE_WINDOWS, WSS_HEALTH_FAULT_BURST,
+/// WSS_HEALTH_RESIDUAL_ITERS and WSS_HEALTH_CONGESTION_PCT (strict parse
+/// via common/env.hpp).
 [[nodiscard]] HealthConfig health_config();
 
 // --- evaluation ----------------------------------------------------------

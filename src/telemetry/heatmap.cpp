@@ -75,7 +75,8 @@ std::vector<const Heatmap*> FabricHeatmaps::all() const {
   return {&instr_cycles,   &stall_cycles,   &idle_cycles, &task_invocations,
           &elements,       &words_sent,     &words_received,
           &fifo_highwater, &ramp_highwater, &router_forwards,
-          &router_highwater, &fault_events};
+          &router_highwater, &fault_events,
+          &link_words_n,   &link_words_s,   &link_words_e, &link_words_w};
 }
 
 FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
@@ -87,7 +88,9 @@ FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
       Heatmap("elements", w, h),        Heatmap("words_sent", w, h),
       Heatmap("words_received", w, h),  Heatmap("fifo_highwater", w, h),
       Heatmap("ramp_highwater", w, h),  Heatmap("router_forwards", w, h),
-      Heatmap("router_highwater", w, h), Heatmap("fault_events", w, h)};
+      Heatmap("router_highwater", w, h), Heatmap("fault_events", w, h),
+      Heatmap("link_words_N", w, h),    Heatmap("link_words_S", w, h),
+      Heatmap("link_words_E", w, h),    Heatmap("link_words_W", w, h)};
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
       if (!fabric.has_core(x, y)) continue;
@@ -109,6 +112,15 @@ FabricHeatmaps collect_heatmaps(const wse::Fabric& fabric) {
           static_cast<double>(rs.queue_highwater);
       maps.fault_events.at(x, y) =
           static_cast<double>(fabric.fault_injections(x, y));
+      using wse::Dir;
+      maps.link_words_n.at(x, y) = static_cast<double>(
+          rs.link_words[static_cast<std::size_t>(Dir::North)]);
+      maps.link_words_s.at(x, y) = static_cast<double>(
+          rs.link_words[static_cast<std::size_t>(Dir::South)]);
+      maps.link_words_e.at(x, y) = static_cast<double>(
+          rs.link_words[static_cast<std::size_t>(Dir::East)]);
+      maps.link_words_w.at(x, y) = static_cast<double>(
+          rs.link_words[static_cast<std::size_t>(Dir::West)]);
     }
   }
   return maps;

@@ -63,6 +63,10 @@ struct FabricHeatmaps {
   Heatmap router_forwards;   ///< flits forwarded through the router
   Heatmap router_highwater;  ///< max router output-queue occupancy
   Heatmap fault_events;      ///< injected faults per tile (fault plans)
+  Heatmap link_words_n;      ///< flits moved out the North link per tile
+  Heatmap link_words_s;      ///< flits moved out the South link per tile
+  Heatmap link_words_e;      ///< flits moved out the East link per tile
+  Heatmap link_words_w;      ///< flits moved out the West link per tile
 
   [[nodiscard]] std::vector<const Heatmap*> all() const;
 };

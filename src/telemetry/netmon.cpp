@@ -1,0 +1,626 @@
+// Network-observatory analysis: the `wss.netflows/1` artifact (build /
+// emit / load / self-check / diff), the FlowTable JSON embedding, and the
+// terminal renderings (wss_inspect flows, the wss_top network pane). The
+// recording half lives in netmon.hpp (header-only, included by the
+// fabric); see docs/NETWORK.md for the schema and the workflow.
+
+#include "telemetry/netmon.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "telemetry/io.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/json_parse.hpp"
+
+namespace wss::telemetry {
+
+int netflows_topk() {
+  return static_cast<int>(env::parse_int("WSS_NETFLOWS_TOPK", 8, 1, 4096));
+}
+
+bool netflows_enabled() {
+  return env::parse_int("WSS_NETFLOWS", 0, 0, 1) != 0;
+}
+
+std::string netflows_out() { return env::parse_string("WSS_NETFLOWS_OUT"); }
+
+// --- building ------------------------------------------------------------
+
+NetFlowsFile build_netflows(const NetMonitor& mon, const std::string& program,
+                            const std::string& run_id,
+                            std::uint64_t cycles_now,
+                            std::uint64_t link_transfers_now,
+                            std::uint64_t iterations,
+                            const std::vector<NetFlowExpectation>& expectations,
+                            int top_k) {
+  NetFlowsFile f;
+  f.schema = kNetFlowsSchema;
+  f.program = program;
+  f.run_id = run_id;
+  f.width = mon.width();
+  f.height = mon.height();
+  f.cycles = cycles_now >= mon.attach_cycle()
+                 ? cycles_now - mon.attach_cycle()
+                 : 0;
+  f.iterations = iterations;
+  f.link_transfers = link_transfers_now >= mon.attach_transfers()
+                         ? link_transfers_now - mon.attach_transfers()
+                         : 0;
+  f.flow_table = mon.flow_table();
+
+  const int nflows = f.flow_table.flow_count();
+  f.flows.resize(static_cast<std::size_t>(nflows));
+  for (int i = 0; i < nflows; ++i) {
+    f.flows[static_cast<std::size_t>(i)].flow = f.flow_table.flow_name(i);
+  }
+  for (const NetFlowExpectation& e : expectations) {
+    for (NetFlowTotals& row : f.flows) {
+      if (row.flow == e.flow) {
+        row.expected_words_per_iteration = e.words_per_iteration;
+        row.exact = e.exact;
+      }
+    }
+  }
+
+  // One serial row-major (y, x, dir) scan folds the counter planes into
+  // the per-flow rollups and per-link totals — the same deterministic
+  // order NetMonitor::collect uses, so ties break identically.
+  std::vector<NetLinkStat> links;
+  links.reserve(static_cast<std::size_t>(f.width) *
+                static_cast<std::size_t>(f.height) * 4);
+  for (int y = 0; y < f.height; ++y) {
+    for (int x = 0; x < f.width; ++x) {
+      for (int d = 0; d < 4; ++d) {
+        const auto dir = static_cast<wse::Dir>(d);
+        NetLinkStat ls;
+        ls.x = x;
+        ls.y = y;
+        ls.dir = dir;
+        ls.stall_cycles = mon.link_stall_cycles(x, y, dir);
+        ls.peak_queue = mon.link_peak_queue(x, y, dir);
+        for (int c = 0; c < wse::kNumColors; ++c) {
+          const std::uint64_t w = mon.words_at(x, y, dir, c);
+          const std::uint64_t b = mon.blocked_at(x, y, dir, c);
+          ls.words += w;
+          ls.blocked += b;
+          const auto fi = static_cast<std::size_t>(
+              f.flow_table.flow_at(dir, static_cast<wse::Color>(c)));
+          NetFlowTotals& row = f.flows[fi];
+          row.words += w;
+          row.blocked += b;
+          row.peak_queue =
+              std::max(row.peak_queue, mon.peak_queue_at(x, y, dir, c));
+        }
+        if (ls.words > 0 || ls.stall_cycles > 0) links.push_back(ls);
+      }
+    }
+  }
+
+  // Bisection traffic: words crossing the vertical mid-cut (between
+  // columns w/2-1 and w/2) and the horizontal mid-cut, both directions.
+  const int xcut = f.width / 2;
+  const int ycut = f.height / 2;
+  if (xcut > 0) {
+    for (int y = 0; y < f.height; ++y) {
+      f.bisection_x_words += mon.link_words(xcut - 1, y, wse::Dir::East);
+      f.bisection_x_words += mon.link_words(xcut, y, wse::Dir::West);
+    }
+  }
+  if (ycut > 0) {
+    for (int x = 0; x < f.width; ++x) {
+      f.bisection_y_words += mon.link_words(x, ycut - 1, wse::Dir::South);
+      f.bisection_y_words += mon.link_words(x, ycut, wse::Dir::North);
+    }
+  }
+
+  // Top-k tables. stable_sort keeps the row-major scan order on ties, so
+  // the tables are deterministic byte for byte.
+  const std::size_t k =
+      std::min<std::size_t>(links.size(),
+                            top_k > 0 ? static_cast<std::size_t>(top_k) : 0);
+  std::vector<NetLinkStat> by_words = links;
+  std::stable_sort(by_words.begin(), by_words.end(),
+                   [](const NetLinkStat& a, const NetLinkStat& b) {
+                     return a.words > b.words;
+                   });
+  for (std::size_t i = 0; i < k && by_words[i].words > 0; ++i) {
+    f.hot_links.push_back(by_words[i]);
+  }
+  std::vector<NetLinkStat> by_stall = links;
+  std::stable_sort(by_stall.begin(), by_stall.end(),
+                   [](const NetLinkStat& a, const NetLinkStat& b) {
+                     return a.stall_cycles > b.stall_cycles;
+                   });
+  for (std::size_t i = 0; i < k && by_stall[i].stall_cycles > 0; ++i) {
+    f.congested_links.push_back(by_stall[i]);
+  }
+  return f;
+}
+
+// --- emission ------------------------------------------------------------
+
+void emit_flow_table(json::Writer& w, const wse::FlowTable& t) {
+  w.begin_object();
+  w.key("flows").begin_array();
+  for (const std::string& name : t.flows()) w.value(name);
+  w.end_array();
+  // Total (dir, color) -> flow-index map, one row of kNumColors ints per
+  // mesh direction in N/S/E/W order.
+  w.key("map").begin_array();
+  for (int d = 0; d < 4; ++d) {
+    w.begin_array();
+    for (int c = 0; c < wse::kNumColors; ++c) {
+      w.value(static_cast<std::int64_t>(
+          t.flow_at(static_cast<wse::Dir>(d), static_cast<wse::Color>(c))));
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+
+void emit_link_stat(json::Writer& w, const NetLinkStat& l) {
+  w.begin_object();
+  w.key("x").value(static_cast<std::int64_t>(l.x));
+  w.key("y").value(static_cast<std::int64_t>(l.y));
+  w.key("dir").value(wse::to_string(l.dir));
+  w.key("words").value(l.words);
+  w.key("blocked").value(l.blocked);
+  w.key("stall_cycles").value(l.stall_cycles);
+  w.key("peak_queue").value(l.peak_queue);
+  w.end_object();
+}
+
+} // namespace
+
+std::string build_netflows_json(const NetFlowsFile& f) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value(f.schema);
+  w.key("program").value(f.program);
+  w.key("run_id").value(f.run_id);
+  w.key("width").value(static_cast<std::int64_t>(f.width));
+  w.key("height").value(static_cast<std::int64_t>(f.height));
+  w.key("cycles").value(f.cycles);
+  w.key("iterations").value(f.iterations);
+  w.key("link_transfers").value(f.link_transfers);
+  w.key("flow_table");
+  emit_flow_table(w, f.flow_table);
+  w.key("flows").begin_array();
+  for (const NetFlowTotals& row : f.flows) {
+    w.begin_object();
+    w.key("flow").value(row.flow);
+    w.key("words").value(row.words);
+    w.key("blocked").value(row.blocked);
+    w.key("peak_queue").value(row.peak_queue);
+    if (row.expected_words_per_iteration > 0.0) {
+      w.key("expected_words_per_iteration")
+          .value(row.expected_words_per_iteration);
+      w.key("exact").value(row.exact);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("hot_links").begin_array();
+  for (const NetLinkStat& l : f.hot_links) emit_link_stat(w, l);
+  w.end_array();
+  w.key("congested_links").begin_array();
+  for (const NetLinkStat& l : f.congested_links) emit_link_stat(w, l);
+  w.end_array();
+  w.key("bisection_x_words").value(f.bisection_x_words);
+  w.key("bisection_y_words").value(f.bisection_y_words);
+  w.end_object();
+  return w.str();
+}
+
+bool write_netflows(const std::string& path, const NetFlowsFile& f,
+                    std::string* error) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    if (!ensure_directory(path.substr(0, slash), error)) return false;
+  }
+  return write_text_file(path, build_netflows_json(f), error);
+}
+
+// --- loading -------------------------------------------------------------
+
+namespace {
+
+using jsonparse::Value;
+
+[[nodiscard]] std::string get_string(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_string() ? m->string : std::string{};
+}
+[[nodiscard]] double get_number(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->is_number() ? m->number : 0.0;
+}
+[[nodiscard]] std::uint64_t get_u64(const Value* v, const char* key) {
+  return static_cast<std::uint64_t>(get_number(v, key));
+}
+[[nodiscard]] bool get_bool(const Value* v, const char* key) {
+  const Value* m = v != nullptr ? v->find(key) : nullptr;
+  return m != nullptr && m->kind == jsonparse::Kind::Bool && m->boolean;
+}
+
+bool parse_dir(const std::string& text, wse::Dir* out) {
+  if (text == "N") *out = wse::Dir::North;
+  else if (text == "S") *out = wse::Dir::South;
+  else if (text == "E") *out = wse::Dir::East;
+  else if (text == "W") *out = wse::Dir::West;
+  else return false;
+  return true;
+}
+
+bool parse_link_stat(const Value& v, NetLinkStat* out) {
+  if (!v.is_object()) return false;
+  NetLinkStat l;
+  l.x = static_cast<int>(get_number(&v, "x"));
+  l.y = static_cast<int>(get_number(&v, "y"));
+  if (!parse_dir(get_string(&v, "dir"), &l.dir)) return false;
+  l.words = get_u64(&v, "words");
+  l.blocked = get_u64(&v, "blocked");
+  l.stall_cycles = get_u64(&v, "stall_cycles");
+  l.peak_queue = get_u64(&v, "peak_queue");
+  *out = l;
+  return true;
+}
+
+} // namespace
+
+bool parse_flow_table(const jsonparse::Value& v, wse::FlowTable* out) {
+  if (!v.is_object()) return false;
+  const Value* flows = v.find("flows");
+  const Value* map = v.find("map");
+  if (flows == nullptr || !flows->is_array() || map == nullptr ||
+      !map->is_array() || map->array->size() != 4) {
+    return false;
+  }
+  std::vector<std::string> names;
+  names.reserve(flows->array->size());
+  for (const Value& n : *flows->array) {
+    if (!n.is_string()) return false;
+    names.push_back(n.string);
+  }
+  if (names.empty() || names[0] != "control") return false;
+  wse::FlowTable t;
+  // declare() interns in first-seen order, so re-declaring the serialized
+  // names in order reproduces the original indexing exactly.
+  for (const std::string& n : names) (void)t.declare(n);
+  for (int d = 0; d < 4; ++d) {
+    const Value& row = (*map->array)[static_cast<std::size_t>(d)];
+    if (!row.is_array() ||
+        row.array->size() != static_cast<std::size_t>(wse::kNumColors)) {
+      return false;
+    }
+    for (int c = 0; c < wse::kNumColors; ++c) {
+      const Value& e = (*row.array)[static_cast<std::size_t>(c)];
+      if (!e.is_number()) return false;
+      const int idx = static_cast<int>(e.number);
+      if (idx < 0 || idx >= static_cast<int>(names.size())) return false;
+      if (idx == wse::kFlowControl) continue;
+      if (!t.bind(static_cast<wse::Dir>(d), static_cast<wse::Color>(c),
+                  names[static_cast<std::size_t>(idx)])) {
+        return false;
+      }
+    }
+  }
+  *out = std::move(t);
+  return true;
+}
+
+bool load_netflows(const std::string& path, NetFlowsFile* out,
+                   std::string* error) {
+  const auto set_error = [&](const std::string& why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return false;
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return set_error("cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return set_error("read error");
+  const std::string text = buf.str();
+  const jsonparse::ParseResult parsed = jsonparse::parse(text);
+  if (!parsed.ok()) return set_error("JSON error: " + parsed.error);
+  const Value& root = *parsed.value;
+  if (!root.is_object()) return set_error("top level is not an object");
+
+  NetFlowsFile f;
+  f.schema = get_string(&root, "schema");
+  if (f.schema != kNetFlowsSchema) {
+    return set_error("schema mismatch: got '" + f.schema + "', want '" +
+                     kNetFlowsSchema + "'");
+  }
+  f.program = get_string(&root, "program");
+  f.run_id = get_string(&root, "run_id");
+  f.width = static_cast<int>(get_number(&root, "width"));
+  f.height = static_cast<int>(get_number(&root, "height"));
+  f.cycles = get_u64(&root, "cycles");
+  f.iterations = get_u64(&root, "iterations");
+  f.link_transfers = get_u64(&root, "link_transfers");
+  const Value* table = root.find("flow_table");
+  if (table == nullptr || !parse_flow_table(*table, &f.flow_table)) {
+    return set_error("invalid flow_table");
+  }
+  if (const Value* flows = root.find("flows");
+      flows != nullptr && flows->is_array()) {
+    for (const Value& rv : *flows->array) {
+      if (!rv.is_object()) return set_error("flow row is not an object");
+      NetFlowTotals row;
+      row.flow = get_string(&rv, "flow");
+      row.words = get_u64(&rv, "words");
+      row.blocked = get_u64(&rv, "blocked");
+      row.peak_queue = get_u64(&rv, "peak_queue");
+      row.expected_words_per_iteration =
+          get_number(&rv, "expected_words_per_iteration");
+      row.exact = get_bool(&rv, "exact");
+      f.flows.push_back(std::move(row));
+    }
+  }
+  if (const Value* hot = root.find("hot_links");
+      hot != nullptr && hot->is_array()) {
+    for (const Value& lv : *hot->array) {
+      NetLinkStat l;
+      if (!parse_link_stat(lv, &l)) return set_error("invalid hot link");
+      f.hot_links.push_back(l);
+    }
+  }
+  if (const Value* cong = root.find("congested_links");
+      cong != nullptr && cong->is_array()) {
+    for (const Value& lv : *cong->array) {
+      NetLinkStat l;
+      if (!parse_link_stat(lv, &l)) return set_error("invalid congested link");
+      f.congested_links.push_back(l);
+    }
+  }
+  f.bisection_x_words = get_u64(&root, "bisection_x_words");
+  f.bisection_y_words = get_u64(&root, "bisection_y_words");
+  *out = std::move(f);
+  return true;
+}
+
+// --- self-check ----------------------------------------------------------
+
+bool self_check_netflows(const NetFlowsFile& f, std::string* error) {
+  const auto fail_with = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (f.schema != kNetFlowsSchema) {
+    return fail_with("schema mismatch: '" + f.schema + "'");
+  }
+  if (f.width <= 0 || f.height <= 0) {
+    return fail_with("non-positive fabric dimensions");
+  }
+  const int nflows = f.flow_table.flow_count();
+  if (static_cast<int>(f.flows.size()) != nflows) {
+    return fail_with("flow rollup count (" + std::to_string(f.flows.size()) +
+                     ") disagrees with the flow table (" +
+                     std::to_string(nflows) + ")");
+  }
+  std::uint64_t total = 0;
+  for (int i = 0; i < nflows; ++i) {
+    const NetFlowTotals& row = f.flows[static_cast<std::size_t>(i)];
+    if (row.flow != f.flow_table.flow_name(i)) {
+      return fail_with("flow row " + std::to_string(i) + " named '" +
+                       row.flow + "', flow table says '" +
+                       f.flow_table.flow_name(i) + "'");
+    }
+    total += row.words;
+  }
+  // The conservation gate: the flow map is total, a traversal increments
+  // exactly one (link, color) cell, and dropped flits increment neither
+  // side — so the rollup must reproduce the fabric's transfer count
+  // *exactly*, fault runs included.
+  if (total != f.link_transfers) {
+    return fail_with("flow words not conserved: sum over flows is " +
+                     std::to_string(total) + ", fabric counted " +
+                     std::to_string(f.link_transfers) + " link transfers");
+  }
+  for (const NetLinkStat& l : f.hot_links) {
+    if (l.x < 0 || l.x >= f.width || l.y < 0 || l.y >= f.height) {
+      return fail_with("hot link outside the fabric");
+    }
+  }
+  for (const NetLinkStat& l : f.congested_links) {
+    if (l.x < 0 || l.x >= f.width || l.y < 0 || l.y >= f.height) {
+      return fail_with("congested link outside the fabric");
+    }
+    if (l.stall_cycles > f.cycles && f.cycles > 0) {
+      return fail_with("congested link stalled longer than the observation");
+    }
+  }
+  return true;
+}
+
+// --- diffing -------------------------------------------------------------
+
+std::string summarize_flow(const NetFlowTotals& f) {
+  std::ostringstream out;
+  out << f.flow << " words=" << f.words << " blocked=" << f.blocked
+      << " peak=" << f.peak_queue;
+  if (f.expected_words_per_iteration > 0.0) {
+    out << " expect=" << json::number(f.expected_words_per_iteration)
+        << "/it" << (f.exact ? " exact" : "");
+  }
+  return out.str();
+}
+
+NetFlowsDivergence first_netflows_divergence(const NetFlowsFile& a,
+                                             const NetFlowsFile& b) {
+  NetFlowsDivergence d;
+  if (a.program != b.program) {
+    d.note = "warning: program mismatch ('" + a.program + "' vs '" +
+             b.program + "') — divergence below may be meaningless";
+  } else if (a.width != b.width || a.height != b.height) {
+    d.note = "warning: fabric mismatch (" + std::to_string(a.width) + "x" +
+             std::to_string(a.height) + " vs " + std::to_string(b.width) +
+             "x" + std::to_string(b.height) + ")";
+  }
+  const std::size_t n = std::min(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.flows[i] == b.flows[i]) continue;
+    d.found = true;
+    d.index = i;
+    d.a_flow = summarize_flow(a.flows[i]);
+    d.b_flow = summarize_flow(b.flows[i]);
+    return d;
+  }
+  if (a.flows.size() != b.flows.size()) {
+    d.found = true;
+    d.index = n;
+    const bool a_longer = a.flows.size() > n;
+    d.a_flow = a_longer ? summarize_flow(a.flows[n]) : "-";
+    d.b_flow = a_longer ? "-" : summarize_flow(b.flows[n]);
+  }
+  return d;
+}
+
+std::string pretty_netflows_divergence(const NetFlowsDivergence& d) {
+  std::ostringstream out;
+  if (!d.note.empty()) out << d.note << "\n";
+  if (!d.found) {
+    out << "no divergence: per-flow rollups are identical\n";
+    return out.str();
+  }
+  out << "first divergent flow at index " << d.index << ":\n";
+  out << "  A: " << d.a_flow << "\n";
+  out << "  B: " << d.b_flow << "\n";
+  return out.str();
+}
+
+// --- rendering -----------------------------------------------------------
+
+namespace {
+
+std::string link_label(const NetLinkStat& l) {
+  std::ostringstream out;
+  out << "(" << l.x << "," << l.y << ")->" << wse::to_string(l.dir);
+  return out.str();
+}
+
+} // namespace
+
+std::string pretty_netflows(const NetFlowsFile& f) {
+  std::ostringstream out;
+  out << "network flows (" << f.schema << ")\n";
+  if (!f.program.empty()) out << "  program: " << f.program << "\n";
+  if (!f.run_id.empty()) out << "  run:     " << f.run_id << "\n";
+  out << "  fabric:  " << f.width << "x" << f.height << ", " << f.cycles
+      << " cycles observed";
+  if (f.iterations > 0) out << ", " << f.iterations << " iterations";
+  out << "\n";
+  out << "  words:   " << f.link_transfers
+      << " link transfers, bisection x/y " << f.bisection_x_words << "/"
+      << f.bisection_y_words << "\n";
+  out << "\nper-flow rollup:\n";
+  for (const NetFlowTotals& row : f.flows) {
+    out << "  " << summarize_flow(row);
+    if (row.expected_words_per_iteration > 0.0 && f.iterations > 0) {
+      const double measured = static_cast<double>(row.words) /
+                              static_cast<double>(f.iterations);
+      out << " measured=" << json::number(measured) << "/it";
+    }
+    out << "\n";
+  }
+  if (!f.hot_links.empty()) {
+    out << "\nhottest links (by words):\n";
+    for (const NetLinkStat& l : f.hot_links) {
+      out << "  " << link_label(l) << " words=" << l.words
+          << " stall=" << l.stall_cycles << " peak=" << l.peak_queue << "\n";
+    }
+  }
+  if (!f.congested_links.empty()) {
+    out << "\ncongested links (by stall-attributed cycles):\n";
+    for (const NetLinkStat& l : f.congested_links) {
+      out << "  " << link_label(l) << " stall=" << l.stall_cycles
+          << " blocked=" << l.blocked << " words=" << l.words << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string pretty_net_pane(const TimeSeries& ts) {
+  bool any_net = false;
+  for (const TimeSeriesFrame& f : ts.frames) any_net |= f.has_net;
+  if (!any_net) return {};
+  constexpr std::size_t kSparkWidth = 60;
+  std::ostringstream out;
+  out << "network (" << ts.net_flows.size() << " declared flows)\n";
+
+  // Per-direction link utilization: windowed words per cycle.
+  static constexpr const char* kDirLabel[4] = {"north", "south", "east",
+                                              "west"};
+  for (int d = 0; d < 4; ++d) {
+    std::vector<double> vs;
+    vs.reserve(ts.frames.size());
+    double maxv = 0.0;
+    for (const TimeSeriesFrame& f : ts.frames) {
+      const double v =
+          f.has_net && f.window_cycles > 0
+              ? static_cast<double>(
+                    f.net_dir_words[static_cast<std::size_t>(d)]) /
+                    static_cast<double>(f.window_cycles)
+              : 0.0;
+      vs.push_back(v);
+      maxv = std::max(maxv, v);
+    }
+    if (maxv <= 0.0) continue;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%-6s", kDirLabel[d]);
+    out << "  " << buf << "|" << sparkline(vs, kSparkWidth) << "| max "
+        << json::number(maxv) << " words/cycle\n";
+  }
+
+  // Per-flow totals (frames carry windowed deltas; sum them back up).
+  std::vector<std::uint64_t> words(ts.net_flows.size(), 0);
+  std::vector<std::uint64_t> blocked(ts.net_flows.size(), 0);
+  for (const TimeSeriesFrame& f : ts.frames) {
+    if (!f.has_net) continue;
+    for (std::size_t i = 0; i < words.size() && i < f.flow_words.size();
+         ++i) {
+      words[i] += f.flow_words[i];
+    }
+    for (std::size_t i = 0; i < blocked.size() && i < f.flow_blocked.size();
+         ++i) {
+      blocked[i] += f.flow_blocked[i];
+    }
+  }
+  if (!ts.net_flows.empty()) {
+    out << "  flows:\n";
+    for (std::size_t i = 0; i < ts.net_flows.size(); ++i) {
+      out << "    " << ts.net_flows[i] << " words=" << words[i];
+      if (blocked[i] > 0) out << " blocked=" << blocked[i];
+      out << "\n";
+    }
+  }
+
+  // Hotspot gauges from the last net-bearing frame (they are cumulative).
+  for (std::size_t i = ts.frames.size(); i-- > 0;) {
+    const TimeSeriesFrame& f = ts.frames[i];
+    if (!f.has_net) continue;
+    if (f.net_hot_words > 0) {
+      out << "  hot link: (" << f.net_hot_x << "," << f.net_hot_y << ")->"
+          << wse::to_string(static_cast<wse::Dir>(f.net_hot_dir))
+          << " words=" << f.net_hot_words << "\n";
+    }
+    if (f.net_stall_cycles > 0) {
+      out << "  most stalled: (" << f.net_stall_x << "," << f.net_stall_y
+          << ")->" << wse::to_string(static_cast<wse::Dir>(f.net_stall_dir))
+          << " stall=" << f.net_stall_cycles << " cycles, peak queue "
+          << f.net_peak_queue << " halfwords\n";
+    }
+    break;
+  }
+  return out.str();
+}
+
+} // namespace wss::telemetry

@@ -579,6 +579,7 @@ RunForensics::RunForensics(wse::Fabric& fabric, std::string program)
 RunForensics::~RunForensics() {
   if (attached_) fabric_.set_flight_recorder(nullptr);
   if (sampler_attached_) fabric_.set_sampler(nullptr);
+  if (netmon_attached_) fabric_.set_net_monitor(nullptr);
 }
 
 FlightRecorder* RunForensics::recorder() const {
@@ -586,6 +587,23 @@ FlightRecorder* RunForensics::recorder() const {
 }
 
 TimeSeriesSampler* RunForensics::sampler() const { return fabric_.sampler(); }
+
+NetMonitor* RunForensics::net_monitor() const { return fabric_.net_monitor(); }
+
+void RunForensics::set_net_flows(wse::FlowTable table,
+                                 std::vector<NetFlowExpectation> expectations) {
+  if (!netflows_enabled() || fabric_.net_monitor() != nullptr) return;
+  owned_netmon_ = std::make_unique<NetMonitor>();
+  // Flow table first: set_net_monitor snapshots the declared names into
+  // any attached sampler at attach time.
+  owned_netmon_->set_flow_table(std::move(table));
+  fabric_.set_net_monitor(owned_netmon_.get());
+  netmon_attached_ = true;
+  net_expectations_ = std::move(expectations);
+  if (TimeSeriesSampler* ts = fabric_.sampler(); ts != nullptr) {
+    ts->set_net_expectations(net_expectations_);
+  }
+}
 
 void RunForensics::finalize(const std::string& outcome, bool deadlock,
                             const std::string& postmortem_path) {
@@ -690,6 +708,46 @@ void RunForensics::finalize(const std::string& outcome, bool deadlock,
     }
   }
 
+  // Network observatory (docs/NETWORK.md): roll the monitor's counter
+  // planes up into the `wss.netflows/1` artifact. Like the series, it is
+  // pure analysis over already-recorded state.
+  NetFlowsFile netflows;
+  std::string netflows_path;
+  NetMonitor* mon = fabric_.net_monitor();
+  if (mon != nullptr && mon->attached_once()) {
+    std::uint64_t iterations = 0;
+    if (ts != nullptr && !ts->frames().empty()) {
+      iterations = ts->frames().back().max_iteration;
+    }
+    netflows = build_netflows(*mon, program_, run_id_, fabric_.stats().cycles,
+                              fabric_.stats().link_transfers, iterations,
+                              net_expectations_, netflows_topk());
+    // Word totals also land in the process-wide registry so bench reports
+    // (and through them the benchhistory regression gate) carry per-flow
+    // traffic without touching the artifact.
+    for (const NetFlowTotals& f : netflows.flows) {
+      global_registry().counter("netflow." + f.flow + ".words").add(f.words);
+    }
+    netflows_path = netflows_out();
+    if (netflows_path.empty() && !ledger_dir().empty() && !run_id_.empty()) {
+      netflows_path = ledger_dir() + "/" + run_id_ + ".netflows.json";
+    }
+    if (!netflows_path.empty()) {
+      std::string stem = netflows_path;
+      constexpr const char* kExt = ".json";
+      if (stem.size() > 5 && stem.compare(stem.size() - 5, 5, kExt) == 0) {
+        stem.resize(stem.size() - 5);
+      }
+      netflows_path = claim_output_stem(stem) + kExt;
+      std::string error;
+      if (!write_netflows(netflows_path, netflows, &error)) {
+        std::fprintf(stderr, "wss: netflows write failed: %s\n",
+                     error.c_str());
+        netflows_path.clear();
+      }
+    }
+  }
+
   if (ledger_dir().empty()) return;
   RunManifest m;
   m.run_id = run_id_.empty() ? next_run_id(program_) : run_id_;
@@ -718,8 +776,15 @@ void RunForensics::finalize(const std::string& outcome, bool deadlock,
       m.add_alert(a.rule, to_string(a.severity), a.last_cycle);
     }
   }
+  // Per-flow word totals ride as metrics so `runs trend netflow.<flow>.words`
+  // and the bench-history regression gate can track traffic run over run.
+  for (const NetFlowTotals& f : netflows.flows) {
+    m.add_metric("netflow." + f.flow + ".words",
+                 static_cast<double>(f.words));
+  }
   if (!ts_path.empty()) m.add_artifact("timeseries", ts_path);
   if (!alerts_path.empty()) m.add_artifact("alerts", alerts_path);
+  if (!netflows_path.empty()) m.add_artifact("netflows", netflows_path);
   if (!postmortem_path.empty()) {
     m.add_artifact("postmortem", postmortem_path);
   }

@@ -27,6 +27,7 @@
 
 #include "telemetry/flightrec.hpp"
 #include "telemetry/heatmap.hpp"
+#include "telemetry/netmon.hpp"
 #include "telemetry/timeseries.hpp"
 
 namespace wss::wse {
@@ -227,6 +228,20 @@ public:
   /// series (rho/omega/residual per iteration). Must outlive this scope.
   void set_scalars(const ScalarHistory* scalars) { scalars_ = scalars; }
 
+  /// Arm the network observatory (docs/NETWORK.md) for this run: attach
+  /// an owned NetMonitor declared with the program's flow `table`, and
+  /// carry the per-flow traffic `expectations` into the sampled series
+  /// (the flow_bandwidth_drift gate). No-op unless WSS_NETFLOWS=1, and
+  /// never displaces a monitor the caller attached directly. finalize()
+  /// then writes the `wss.netflows/1` artifact next to the series (or to
+  /// WSS_NETFLOWS_OUT) and records per-flow word metrics in the ledger.
+  void set_net_flows(wse::FlowTable table,
+                     std::vector<NetFlowExpectation> expectations = {});
+
+  /// The monitor observing the fabric (ours or a pre-attached one);
+  /// nullptr when netflow capture is disabled.
+  [[nodiscard]] NetMonitor* net_monitor() const;
+
   /// Failed run: write a Deadlock bundle (if enabled), flush the time
   /// series, append the ledger entry, and return `what` enriched with the
   /// stop report (and bundle path when one was written).
@@ -251,6 +266,9 @@ private:
   bool attached_ = false;
   std::unique_ptr<TimeSeriesSampler> owned_sampler_;
   bool sampler_attached_ = false;
+  std::unique_ptr<NetMonitor> owned_netmon_;
+  bool netmon_attached_ = false;
+  std::vector<NetFlowExpectation> net_expectations_;
   std::string run_id_;
   const ScalarHistory* scalars_ = nullptr;
   bool finalized_ = false;

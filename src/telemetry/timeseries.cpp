@@ -60,6 +60,33 @@ void emit_timeseries_frame(json::Writer& w, const TimeSeriesFrame& f) {
     for (const std::uint64_t n : f.prof_cat) w.value(n);
     w.end_array();
   }
+  if (f.has_net) {
+    // Additive network-observatory block (netmon.hpp): per-flow /
+    // per-direction windowed word deltas plus cumulative hotspot gauges.
+    w.key("net_cycles").value(f.net_cycles);
+    w.key("flow_words").begin_array();
+    for (const std::uint64_t n : f.flow_words) w.value(n);
+    w.end_array();
+    w.key("flow_blocked").begin_array();
+    for (const std::uint64_t n : f.flow_blocked) w.value(n);
+    w.end_array();
+    w.key("net_dir_words").begin_array();
+    for (const std::uint64_t n : f.net_dir_words) w.value(n);
+    w.end_array();
+    w.key("net_peak_queue").value(f.net_peak_queue);
+    w.key("net_hot").begin_array();
+    w.value(f.net_hot_words);
+    w.value(static_cast<std::int64_t>(f.net_hot_x));
+    w.value(static_cast<std::int64_t>(f.net_hot_y));
+    w.value(static_cast<std::int64_t>(f.net_hot_dir));
+    w.end_array();
+    w.key("net_stall").begin_array();
+    w.value(f.net_stall_cycles);
+    w.value(static_cast<std::int64_t>(f.net_stall_x));
+    w.value(static_cast<std::int64_t>(f.net_stall_y));
+    w.value(static_cast<std::int64_t>(f.net_stall_dir));
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -102,6 +129,24 @@ std::string build_timeseries_json(const TimeSeriesSampler& sampler,
     w.end_array();
     w.end_object();
   }
+  if (!sampler.net_flows().empty()) {
+    // Additive network sidecar: flow names index-aligned with the frames'
+    // net vectors, plus any per-flow traffic projections (docs/NETWORK.md).
+    w.key("net_flows").begin_array();
+    for (const std::string& name : sampler.net_flows()) w.value(name);
+    w.end_array();
+  }
+  if (!sampler.net_expectations().empty()) {
+    w.key("net_expectations").begin_array();
+    for (const NetFlowExpectation& e : sampler.net_expectations()) {
+      w.begin_object();
+      w.key("flow").value(e.flow);
+      w.key("words_per_iteration").value(e.words_per_iteration);
+      w.key("exact").value(e.exact);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   return w.str();
 }
@@ -128,6 +173,8 @@ TimeSeries snapshot_timeseries(const TimeSeriesSampler& sampler,
     ts.has_expectations = true;
     ts.expectations = *e;
   }
+  ts.net_flows = sampler.net_flows();
+  ts.net_expectations = sampler.net_expectations();
   return ts;
 }
 
@@ -174,6 +221,18 @@ void get_u64_array(const Value* v, const char* key, std::array<T, N>* out) {
   }
 }
 
+void get_u64_vector(const Value* v, const char* key,
+                    std::vector<std::uint64_t>* out) {
+  const Value* arr = v != nullptr ? v->find(key) : nullptr;
+  if (arr == nullptr || !arr->is_array()) return;
+  out->clear();
+  out->reserve(arr->array->size());
+  for (const Value& e : *arr->array) {
+    out->push_back(e.is_number() ? static_cast<std::uint64_t>(e.number)
+                                 : std::uint64_t{0});
+  }
+}
+
 } // namespace
 
 bool parse_timeseries_frame(const jsonparse::Value& v, TimeSeriesFrame* out) {
@@ -201,6 +260,26 @@ bool parse_timeseries_frame(const jsonparse::Value& v, TimeSeriesFrame* out) {
   if (f.has_profiler) {
     get_u64_array(&v, "prof_phase", &f.prof_phase);
     get_u64_array(&v, "prof_cat", &f.prof_cat);
+  }
+  f.has_net = v.find("net_cycles") != nullptr;
+  if (f.has_net) {
+    f.net_cycles = get_u64(&v, "net_cycles");
+    get_u64_vector(&v, "flow_words", &f.flow_words);
+    get_u64_vector(&v, "flow_blocked", &f.flow_blocked);
+    get_u64_array(&v, "net_dir_words", &f.net_dir_words);
+    f.net_peak_queue = get_u64(&v, "net_peak_queue");
+    std::array<std::uint64_t, 4> hot{};
+    get_u64_array(&v, "net_hot", &hot);
+    f.net_hot_words = hot[0];
+    f.net_hot_x = static_cast<std::int32_t>(hot[1]);
+    f.net_hot_y = static_cast<std::int32_t>(hot[2]);
+    f.net_hot_dir = static_cast<std::int32_t>(hot[3]);
+    std::array<std::uint64_t, 4> stall{};
+    get_u64_array(&v, "net_stall", &stall);
+    f.net_stall_cycles = stall[0];
+    f.net_stall_x = static_cast<std::int32_t>(stall[1]);
+    f.net_stall_y = static_cast<std::int32_t>(stall[2]);
+    f.net_stall_dir = static_cast<std::int32_t>(stall[3]);
   }
   *out = f;
   return true;
@@ -268,6 +347,24 @@ bool load_timeseries(const std::string& path, TimeSeries* out,
     get_u64_array(e, "phase_cycles", &cycles);
     ts.expectations.phase_cycles = cycles;
   }
+  if (const Value* nf = root.find("net_flows");
+      nf != nullptr && nf->is_array()) {
+    for (const Value& n : *nf->array) {
+      if (n.is_string()) ts.net_flows.push_back(n.string);
+    }
+  }
+  if (const Value* ne = root.find("net_expectations");
+      ne != nullptr && ne->is_array()) {
+    for (const Value& ev : *ne->array) {
+      NetFlowExpectation e;
+      e.flow = get_string(&ev, "flow");
+      e.words_per_iteration = get_number(&ev, "words_per_iteration");
+      const Value* exact = ev.find("exact");
+      e.exact = exact != nullptr && exact->kind == jsonparse::Kind::Bool &&
+                exact->boolean;
+      ts.net_expectations.push_back(std::move(e));
+    }
+  }
 
   *out = std::move(ts);
   return true;
@@ -321,6 +418,27 @@ bool self_check_timeseries(const TimeSeries& ts, std::string* error) {
                          std::to_string(by_cat) + ")");
       }
     }
+    if (f.has_net) {
+      // The network observatory's conservation invariant, per window: the
+      // flow map and the direction split each count every traversed flit
+      // exactly once, so the two delta breakdowns sum to the same total.
+      if (!ts.net_flows.empty() &&
+          f.flow_words.size() != ts.net_flows.size()) {
+        return fail_with(at + ": flow vector length (" +
+                         std::to_string(f.flow_words.size()) +
+                         ") disagrees with the declared flows (" +
+                         std::to_string(ts.net_flows.size()) + ")");
+      }
+      std::uint64_t by_flow = 0;
+      std::uint64_t by_dir = 0;
+      for (const std::uint64_t n : f.flow_words) by_flow += n;
+      for (const std::uint64_t n : f.net_dir_words) by_dir += n;
+      if (by_flow != by_dir) {
+        return fail_with(at + ": flow/direction word sums disagree (" +
+                         std::to_string(by_flow) + " vs " +
+                         std::to_string(by_dir) + ")");
+      }
+    }
   }
   for (std::size_t i = 1; i < ts.scalars.size(); ++i) {
     if (ts.scalars[i].iteration < ts.scalars[i - 1].iteration) {
@@ -333,6 +451,12 @@ bool self_check_timeseries(const TimeSeries& ts, std::string* error) {
         return fail_with("health expectations: non-finite or negative "
                          "phase cycles");
       }
+    }
+  }
+  for (const NetFlowExpectation& e : ts.net_expectations) {
+    if (!std::isfinite(e.words_per_iteration)) {
+      return fail_with("net expectations: non-finite words per iteration "
+                       "for flow '" + e.flow + "'");
     }
   }
   return true;
@@ -348,6 +472,11 @@ std::string summarize_frame(const TimeSeriesFrame& f) {
       << f.router_queued_flits << " it=" << f.max_iteration << " done="
       << f.done_tiles;
   if (f.faults > 0) out << " faults=" << f.faults;
+  if (f.has_net) {
+    std::uint64_t net = 0;
+    for (const std::uint64_t n : f.flow_words) net += n;
+    out << " net=" << net;
+  }
   return out.str();
 }
 

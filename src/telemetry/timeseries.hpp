@@ -76,6 +76,23 @@ struct HealthExpectations {
   }
 };
 
+/// Modeled traffic for one declared network flow: expected link-word
+/// count per solver iteration / stencil generation. Builders live in
+/// src/perfmodel/flow_expectations.hpp (same layering as
+/// HealthExpectations above); TimeSeriesSampler::set_net_expectations
+/// attaches them, the series JSON carries them, and the health engine's
+/// flow_bandwidth_drift gate evaluates them offline (docs/NETWORK.md).
+struct NetFlowExpectation {
+  std::string flow;
+  double words_per_iteration = 0.0; ///< <= 0 means ungated
+  bool exact = false; ///< analytically exact (stencilfe legs) vs anchored
+
+  [[nodiscard]] bool operator==(const NetFlowExpectation& o) const {
+    return flow == o.flow && words_per_iteration == o.words_per_iteration &&
+           exact == o.exact;
+  }
+};
+
 /// Cumulative snapshot of fabric-wide counters and gauges, collected by
 /// Fabric::step()'s serial tail (row-major aggregation over tiles). The
 /// sampler turns consecutive snapshots into windowed frames.
@@ -104,6 +121,21 @@ struct TimeSeriesSample {
   bool has_profiler = false;
   std::array<std::uint64_t, wse::kNumProgPhases> prof_phase{};
   std::array<std::uint64_t, kNumCycleCats> prof_cat{};
+  // Network-observatory rollup (valid iff has_net; filled by an attached
+  // telemetry::NetMonitor — see netmon.hpp). Vectors are index-aligned
+  // with the monitor's declared flow names ([0] = "control").
+  bool has_net = false;
+  std::uint64_t net_cycles = 0; ///< cycles observed since monitor attach
+  std::vector<std::uint64_t> flow_words;   ///< cumulative per flow
+  std::vector<std::uint64_t> flow_blocked; ///< backpressure-blocked cycles
+  std::array<std::uint64_t, 4> net_dir_words{}; ///< cumulative per mesh dir
+  std::uint64_t net_peak_queue = 0; ///< max link backlog halfwords seen
+  // Hottest link by cumulative words, and the most stall-attributed link
+  // (first in row-major tile-then-dir scan order on ties).
+  std::uint64_t net_hot_words = 0;
+  std::int32_t net_hot_x = 0, net_hot_y = 0, net_hot_dir = 0;
+  std::uint64_t net_stall_cycles = 0;
+  std::int32_t net_stall_x = 0, net_stall_y = 0, net_stall_dir = 0;
 };
 
 /// One recorded frame: the window (cycle - window_cycles, cycle]. Counter
@@ -130,6 +162,18 @@ struct TimeSeriesFrame {
   bool has_profiler = false;
   std::array<std::uint64_t, wse::kNumProgPhases> prof_phase{};
   std::array<std::uint64_t, kNumCycleCats> prof_cat{};
+  // Network-observatory block (valid iff has_net): windowed per-flow /
+  // per-direction word deltas plus cumulative hotspot gauges.
+  bool has_net = false;
+  std::uint64_t net_cycles = 0;
+  std::vector<std::uint64_t> flow_words;
+  std::vector<std::uint64_t> flow_blocked;
+  std::array<std::uint64_t, 4> net_dir_words{};
+  std::uint64_t net_peak_queue = 0;
+  std::uint64_t net_hot_words = 0;
+  std::int32_t net_hot_x = 0, net_hot_y = 0, net_hot_dir = 0;
+  std::uint64_t net_stall_cycles = 0;
+  std::int32_t net_stall_x = 0, net_stall_y = 0, net_stall_dir = 0;
 
   [[nodiscard]] bool operator==(const TimeSeriesFrame& o) const {
     return cycle == o.cycle && window_cycles == o.window_cycles &&
@@ -145,7 +189,16 @@ struct TimeSeriesFrame {
            ramp_highwater == o.ramp_highwater &&
            max_iteration == o.max_iteration && done_tiles == o.done_tiles &&
            phase_tiles == o.phase_tiles && has_profiler == o.has_profiler &&
-           prof_phase == o.prof_phase && prof_cat == o.prof_cat;
+           prof_phase == o.prof_phase && prof_cat == o.prof_cat &&
+           has_net == o.has_net && net_cycles == o.net_cycles &&
+           flow_words == o.flow_words && flow_blocked == o.flow_blocked &&
+           net_dir_words == o.net_dir_words &&
+           net_peak_queue == o.net_peak_queue &&
+           net_hot_words == o.net_hot_words && net_hot_x == o.net_hot_x &&
+           net_hot_y == o.net_hot_y && net_hot_dir == o.net_hot_dir &&
+           net_stall_cycles == o.net_stall_cycles &&
+           net_stall_x == o.net_stall_x && net_stall_y == o.net_stall_y &&
+           net_stall_dir == o.net_stall_dir;
   }
 };
 
@@ -220,6 +273,37 @@ public:
         f.prof_cat[c] = delta(s.prof_cat[c], prev_.prof_cat[c]);
       }
     }
+    f.has_net = s.has_net;
+    if (s.has_net) {
+      // A monitor attached mid-run makes the previous sample's vectors
+      // shorter (or empty) — missing baseline entries delta from zero.
+      const auto vec_prev = [](const std::vector<std::uint64_t>& prev,
+                               std::size_t i) {
+        return i < prev.size() ? prev[i] : std::uint64_t{0};
+      };
+      f.flow_words.resize(s.flow_words.size());
+      for (std::size_t i = 0; i < s.flow_words.size(); ++i) {
+        f.flow_words[i] = delta(s.flow_words[i], vec_prev(prev_.flow_words, i));
+      }
+      f.flow_blocked.resize(s.flow_blocked.size());
+      for (std::size_t i = 0; i < s.flow_blocked.size(); ++i) {
+        f.flow_blocked[i] =
+            delta(s.flow_blocked[i], vec_prev(prev_.flow_blocked, i));
+      }
+      for (std::size_t d = 0; d < f.net_dir_words.size(); ++d) {
+        f.net_dir_words[d] = delta(s.net_dir_words[d], prev_.net_dir_words[d]);
+      }
+      f.net_cycles = s.net_cycles;
+      f.net_peak_queue = s.net_peak_queue;
+      f.net_hot_words = s.net_hot_words;
+      f.net_hot_x = s.net_hot_x;
+      f.net_hot_y = s.net_hot_y;
+      f.net_hot_dir = s.net_hot_dir;
+      f.net_stall_cycles = s.net_stall_cycles;
+      f.net_stall_x = s.net_stall_x;
+      f.net_stall_y = s.net_stall_y;
+      f.net_stall_dir = s.net_stall_dir;
+    }
     prev_ = s;
     threads_ = s.threads;
     if (frames_.size() >= capacity_) {
@@ -248,6 +332,24 @@ public:
   [[nodiscard]] const HealthExpectations* expectations() const {
     return has_expectations_ ? &expectations_ : nullptr;
   }
+  /// Declared network-flow names, index-aligned with the frames' net
+  /// vectors (Fabric::set_net_monitor snapshots them from the monitor's
+  /// flow table at attach time).
+  void set_net_flows(std::vector<std::string> names) {
+    net_flows_ = std::move(names);
+  }
+  [[nodiscard]] const std::vector<std::string>& net_flows() const {
+    return net_flows_;
+  }
+  /// Attach per-flow traffic expectations (perfmodel builders); flushed
+  /// into the series JSON and consumed by flow_bandwidth_drift.
+  void set_net_expectations(std::vector<NetFlowExpectation> e) {
+    net_expectations_ = std::move(e);
+  }
+  [[nodiscard]] const std::vector<NetFlowExpectation>& net_expectations()
+      const {
+    return net_expectations_;
+  }
   [[nodiscard]] std::uint64_t interval() const { return interval_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] int width() const { return width_; }
@@ -275,6 +377,8 @@ private:
   int threads_ = 0;
   bool has_expectations_ = false;
   HealthExpectations expectations_;
+  std::vector<std::string> net_flows_;
+  std::vector<NetFlowExpectation> net_expectations_;
   bool has_baseline_ = false;
   std::uint64_t baseline_cycle_ = 0;
   TimeSeriesSample prev_;
@@ -312,6 +416,11 @@ struct TimeSeries {
   std::uint64_t scalars_dropped = 0;
   bool has_expectations = false;
   HealthExpectations expectations;
+  /// Network-observatory sidecar (empty when no NetMonitor was attached):
+  /// declared flow names aligned with the frames' net vectors, plus any
+  /// per-flow traffic expectations.
+  std::vector<std::string> net_flows;
+  std::vector<NetFlowExpectation> net_expectations;
 };
 
 /// In-memory snapshot of a live sampler (+ optional solver scalars) in the

@@ -31,6 +31,11 @@ namespace wss::wse {
 struct RouterStats {
   std::uint64_t flits_forwarded = 0;  ///< flits pushed into output queues
   std::uint64_t queue_highwater = 0;  ///< max output-queue occupancy seen
+  /// Flits moved out over each mesh link (indexed by Dir N/S/E/W) — the
+  /// per-direction link-transfer heatmap layers. Maintained identically by
+  /// both backends' link phases (the conformance suite compares them), so
+  /// the sum over directions and tiles equals FabricStats.link_transfers.
+  std::array<std::uint64_t, 4> link_words = {0, 0, 0, 0};
 };
 
 /// Router-side state owned by the fabric but fed by the core on injection.

@@ -9,6 +9,7 @@
 // wss_telemetry (analysis lives there, the fabric only records).
 #include "common/env.hpp"
 #include "telemetry/flightrec.hpp"
+#include "telemetry/netmon.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/timeseries.hpp"
 
@@ -137,6 +138,20 @@ void Fabric::set_sampler(telemetry::TimeSeriesSampler* sampler) {
   telemetry::TimeSeriesSample baseline;
   collect_sample(&baseline);
   sampler_->on_attach(width_, height_, baseline);
+  if (netmon_ != nullptr) {
+    sampler_->set_net_flows(netmon_->flow_table().flows());
+  }
+}
+
+void Fabric::set_net_monitor(telemetry::NetMonitor* monitor) {
+  netmon_ = monitor;
+  if (netmon_ == nullptr) return;
+  netmon_->on_attach(width_, height_, stats_.cycles, stats_.link_transfers);
+  // Either attach order leaves the sampler knowing the flow names the
+  // frames' net vectors are aligned with.
+  if (sampler_ != nullptr) {
+    sampler_->set_net_flows(netmon_->flow_table().flows());
+  }
 }
 
 void Fabric::sample_now() {
@@ -198,6 +213,7 @@ void Fabric::collect_sample(telemetry::TimeSeriesSample* out) const {
       }
     }
   }
+  if (netmon_ != nullptr) netmon_->collect(&s);
   *out = s;
 }
 
@@ -552,11 +568,41 @@ std::uint64_t Fabric::link_phase(int y0, int y1, int band) {
               inq.push_back(flit);
               occ_set(nb.router.in_occ[static_cast<std::size_t>(opposite(dir))],
                       c);
+              ++t.router.stats.link_words[static_cast<std::size_t>(d)];
               ++transfers;
+              if (netmon_ != nullptr) {
+                netmon_->record_move(tile_index(x, y), d, c);
+              }
             }
             break;
           }
           if (!moved) break;
+        }
+        if (netmon_ != nullptr) {
+          // End-of-phase audit of this link: a color still holding flits
+          // either lost the budget race to its siblings (normal
+          // multiplexing) or sits blocked behind a full destination
+          // virtual-channel queue — only the latter is congestion. All
+          // counters are owned by the source tile's band.
+          const std::size_t tile = tile_index(x, y);
+          const std::uint32_t occ =
+              t.router.out_occ[static_cast<std::size_t>(d)];
+          std::uint64_t backlog = 0;
+          bool any_blocked = false;
+          for (int c = 0; occ != 0 && c < kNumColors; ++c) {
+            if ((occ & (1u << static_cast<unsigned>(c))) == 0) continue;
+            auto& q = queues[static_cast<std::size_t>(c)];
+            const auto hw = static_cast<std::uint64_t>(flit_halfwords(q));
+            backlog += hw;
+            netmon_->record_backlog(tile, d, c, hw);
+            const int cost = q.front().wide ? 2 : 1;
+            if (flit_halfwords(in_queues[static_cast<std::size_t>(c)]) + cost >
+                2 * sim_.link_halfwords_per_cycle) {
+              netmon_->record_blocked(tile, d, c);
+              any_blocked = true;
+            }
+          }
+          netmon_->record_link_cycle(tile, d, backlog, any_blocked);
         }
       }
     }

@@ -38,6 +38,7 @@ class Profiler;          // telemetry/profiler.hpp (header-only surface)
 class FlightRecorder;    // telemetry/flightrec.hpp (header-only surface)
 class TimeSeriesSampler; // telemetry/timeseries.hpp (header-only surface)
 struct TimeSeriesSample;
+class NetMonitor;        // telemetry/netmon.hpp (header-only surface)
 }
 
 namespace wss::wse {
@@ -196,6 +197,19 @@ public:
   /// frame.
   void sample_now();
 
+  /// Attach a network monitor (nullptr detaches; see docs/NETWORK.md).
+  /// The monitor must outlive its attachment; set its flow table first.
+  /// Attaching sizes the counter planes and captures the observation
+  /// baseline at the current cycle, and snapshots the declared flow names
+  /// into any attached sampler (set_sampler does the same in the other
+  /// attach order). Recording happens in the link phase, every counter
+  /// cell owned by the source tile's band, and the per-flow rollup joins
+  /// samples in the serial tail — so netflow streams are bit-identical at
+  /// any thread count, and recording only observes (non-perturbation
+  /// proven by tests/telemetry/netmon_test.cpp).
+  void set_net_monitor(telemetry::NetMonitor* monitor);
+  [[nodiscard]] telemetry::NetMonitor* net_monitor() const { return netmon_; }
+
   /// No-progress watchdog: when nonzero, run() samples a monotone
   /// progress signature (instructions retired, words moved, tasks started)
   /// every `cycles` cycles and stops with StopInfo::Reason::Watchdog once
@@ -288,7 +302,8 @@ private:
   [[nodiscard]] bool turbo_demoted() const {
     return faults_ != nullptr || user_tracer_ != nullptr ||
            profiler_ != nullptr || flightrec_ != nullptr ||
-           sampler_ != nullptr || watchdog_cycles_ != 0;
+           sampler_ != nullptr || netmon_ != nullptr ||
+           watchdog_cycles_ != 0;
   }
   /// (Re)build the SoA mirror from fabric state and mark it live.
   void turbo_promote();
@@ -330,6 +345,7 @@ private:
   telemetry::Profiler* profiler_ = nullptr;
   telemetry::FlightRecorder* flightrec_ = nullptr;
   telemetry::TimeSeriesSampler* sampler_ = nullptr;
+  telemetry::NetMonitor* netmon_ = nullptr;
   std::uint64_t watchdog_cycles_ = 0;
   std::vector<std::unique_ptr<Tracer>> trace_staging_; ///< one per band
   std::vector<std::uint64_t> band_link_transfers_;

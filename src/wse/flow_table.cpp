@@ -1,0 +1,65 @@
+#include "wse/flow_table.hpp"
+
+namespace wss::wse {
+
+FlowTable spmv_flow_table() {
+  FlowTable t;
+  for (int c = 0; c < kTessellationColors; ++c) {
+    const Color color = static_cast<Color>(c);
+    t.bind(Dir::East, color, "spmv.x");
+    t.bind(Dir::West, color, "spmv.x");
+    t.bind(Dir::North, color, "spmv.y");
+    t.bind(Dir::South, color, "spmv.y");
+  }
+  return t;
+}
+
+void add_allreduce_flows(FlowTable& table, Color base,
+                         const std::string& suffix) {
+  const std::string reduce = "allreduce" + suffix + ".reduce";
+  const std::string bcast = "allreduce" + suffix + ".bcast";
+  const Color c_row = base;
+  const Color c_col = static_cast<Color>(base + 1);
+  const Color c_quad = static_cast<Color>(base + 2);
+  const Color c_final = static_cast<Color>(base + 3);
+  const Color c_bcast = static_cast<Color>(base + 4);
+  // Row reduction streams east/west into the center columns; column
+  // reduction streams south/north along them; the 4:1 quad hop goes east;
+  // the final hop goes south down the root column.
+  table.bind(Dir::East, c_row, reduce);
+  table.bind(Dir::West, c_row, reduce);
+  table.bind(Dir::South, c_col, reduce);
+  table.bind(Dir::North, c_col, reduce);
+  table.bind(Dir::East, c_quad, reduce);
+  table.bind(Dir::South, c_final, reduce);
+  // The broadcast fans out from the root in all four directions.
+  for (const Dir d : kMeshDirs) table.bind(d, c_bcast, bcast);
+}
+
+FlowTable bicgstab_flow_table() {
+  FlowTable t = spmv_flow_table();
+  add_allreduce_flows(t, kAllReduceBase, "");
+  add_allreduce_flows(t, kAllReduceBase2, "2");
+  return t;
+}
+
+FlowTable stencilfe_flow_table(bool periodic) {
+  FlowTable t;
+  // Parity-split axis legs: each direction owns two colors (even/odd
+  // sender coordinate) and each color travels exactly one direction.
+  for (int parity = 0; parity < 2; ++parity) {
+    t.bind(Dir::East, static_cast<Color>(parity), "halo.E");
+    t.bind(Dir::West, static_cast<Color>(2 + parity), "halo.W");
+    t.bind(Dir::South, static_cast<Color>(4 + parity), "halo.S");
+    t.bind(Dir::North, static_cast<Color>(6 + parity), "halo.N");
+  }
+  if (periodic) {
+    t.bind(Dir::East, kStencilWrapEast, "wrap.E");
+    t.bind(Dir::West, kStencilWrapWest, "wrap.W");
+    t.bind(Dir::South, kStencilWrapSouth, "wrap.S");
+    t.bind(Dir::North, kStencilWrapNorth, "wrap.N");
+  }
+  return t;
+}
+
+} // namespace wss::wse

@@ -1,0 +1,114 @@
+#pragma once
+
+// Logical-flow declarations for the network observatory (docs/NETWORK.md).
+//
+// The route compiler fixes, offline, which virtual channel (color) moves
+// over which mesh link — so the same compilation step can also *declare*
+// what each (outgoing direction, color) pair means: a halo-exchange leg, a
+// wrap lane, an allreduce reduction or broadcast edge, an SpMV broadcast
+// round. A FlowTable is that declaration: a total map from (mesh dir,
+// color) to a named logical flow, with everything undeclared falling back
+// to flow 0 ("control"). telemetry::NetMonitor folds its per-link ×
+// per-color wavelet counters through this map to produce the per-flow
+// rollups in `wss.timeseries/1` frames and the `wss.netflows/1` artifact.
+//
+// The map is intentionally fabric-global (not per-tile): the compiled
+// route families below never reuse one (dir, color) pair for two
+// different logical flows anywhere on the fabric, and the invariant tests
+// (tests/wse/flow_table_test.cpp) hold the builders to that.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wse/route_compiler.hpp"
+#include "wse/types.hpp"
+
+namespace wss::wse {
+
+/// Index of the implicit fallback flow; always present, always first.
+inline constexpr int kFlowControl = 0;
+
+class FlowTable {
+public:
+  FlowTable() { map_.fill(static_cast<std::int16_t>(kFlowControl)); }
+
+  /// Intern a flow name (idempotent); returns its index.
+  int declare(const std::string& name) {
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (flows_[i] == name) return static_cast<int>(i);
+    }
+    flows_.push_back(name);
+    return static_cast<int>(flows_.size() - 1);
+  }
+
+  /// Bind (dir, color) to `name`. Returns false — leaving the existing
+  /// binding untouched — when the pair is already claimed by a *different*
+  /// flow: the double-booking guard. Re-binding to the same flow is a
+  /// no-op success. `dir` must be a mesh direction (not Ramp).
+  bool bind(Dir dir, Color color, const std::string& name) {
+    const int idx = declare(name);
+    std::int16_t& cell = map_[cell_index(dir, color)];
+    if (cell != kFlowControl && cell != idx) return false;
+    cell = static_cast<std::int16_t>(idx);
+    return true;
+  }
+
+  /// The flow carried by `color` over mesh links in `dir`.
+  [[nodiscard]] int flow_at(Dir dir, Color color) const {
+    return map_[cell_index(dir, color)];
+  }
+
+  [[nodiscard]] const std::string& flow_name(int idx) const {
+    return flows_[static_cast<std::size_t>(idx)];
+  }
+  /// Declared flow names, index-aligned with flow_at(); [0] is "control".
+  [[nodiscard]] const std::vector<std::string>& flows() const {
+    return flows_;
+  }
+  [[nodiscard]] int flow_count() const {
+    return static_cast<int>(flows_.size());
+  }
+
+  [[nodiscard]] bool operator==(const FlowTable& o) const {
+    return flows_ == o.flows_ && map_ == o.map_;
+  }
+
+private:
+  [[nodiscard]] static std::size_t cell_index(Dir dir, Color color) {
+    return static_cast<std::size_t>(dir) * kNumColors +
+           static_cast<std::size_t>(color);
+  }
+
+  std::vector<std::string> flows_ = {"control"};
+  /// Mesh dirs only (N/S/E/W); Ramp traffic never crosses a link.
+  std::array<std::int16_t, 4 * kNumColors> map_{};
+};
+
+// --- builders, one per compiled route family ------------------------------
+// Colors and directions mirror route_compiler.cpp exactly; a route-compiler
+// change that moves a flow onto a new (dir, color) pair must update the
+// matching builder (the conservation self-check only needs the map to be
+// total, but flow *attribution* is only as truthful as this mirror).
+
+/// Fig. 5 tessellation broadcast: colors 0..4 eastbound/westbound are the
+/// x-round ("spmv.x"), northbound/southbound the y-round ("spmv.y").
+[[nodiscard]] FlowTable spmv_flow_table();
+
+/// Fig. 6 reduction tree on `base`: row/column/quad/final legs fold into
+/// "allreduce<suffix>.reduce", the broadcast color into
+/// "allreduce<suffix>.bcast".
+void add_allreduce_flows(FlowTable& table, Color base = kAllReduceBase,
+                         const std::string& suffix = "");
+
+/// The BiCGStab program's full palette: SpMV rounds plus both concurrent
+/// reduction trees (kAllReduceBase and kAllReduceBase2).
+[[nodiscard]] FlowTable bicgstab_flow_table();
+
+/// Generic stencil front-end halo exchange: parity legs "halo.E/W/S/N"
+/// (colors 0..7) plus, when `periodic`, the dedicated wrap lanes
+/// "wrap.E/W/S/N" on colors 18..21.
+[[nodiscard]] FlowTable stencilfe_flow_table(bool periodic);
+
+} // namespace wss::wse

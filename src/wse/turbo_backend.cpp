@@ -248,6 +248,7 @@ std::uint64_t Fabric::turbo_link_phase(int y0, int y1, int band) {
             occ_set(
                 nb.router.in_occ[static_cast<std::size_t>(opposite(dir))], c);
             pushed = true;
+            ++t.router.stats.link_words[static_cast<std::size_t>(d)];
             ++transfers;
             break;
           }

@@ -3,8 +3,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "perfmodel/flow_expectations.hpp"
 #include "perfmodel/health_expectations.hpp"
 #include "telemetry/postmortem.hpp"
+#include "wse/flow_table.hpp"
 #include "wse/route_compiler.hpp"
 #include "wsekernels/allreduce_steps.hpp"
 #include "wsekernels/spmv_instance.hpp"
@@ -44,6 +46,7 @@ BicgstabSimulation::BicgstabSimulation(const Stencil7<fp16_t>& a,
                                        BicgstabSimOptions options)
     : grid_(a.grid),
       iterations_(iterations),
+      fuse_qy_yy_(options.fuse_qy_yy),
       fabric_(a.grid.nx, a.grid.ny, arch, sim) {
   if (!a.unit_diagonal) {
     throw std::invalid_argument(
@@ -339,6 +342,13 @@ BicgstabSimResult BicgstabSimulation::run(const Field3<fp16_t>& b) {
     sampler->set_expectations(
         perfmodel::bicgstab_expectations(grid_.nz, X, Y));
   }
+  // Network observatory (WSS_NETFLOWS): declare the program's flow palette
+  // and its per-iteration traffic anchors so the flushed series/netflows
+  // artifact attribute every link word and gate delivery against the
+  // projection.
+  forensics.set_net_flows(
+      wse::bicgstab_flow_table(),
+      perfmodel::bicgstab_flow_expectations(grid_.nz, X, Y, fuse_qy_yy_));
   const StopInfo stop =
       fabric_.run(per_iter * static_cast<std::uint64_t>(iterations_ + 1));
   if (!fabric_.all_done()) {

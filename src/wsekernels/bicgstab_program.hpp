@@ -62,6 +62,7 @@ private:
 
   Grid3 grid_;
   int iterations_;
+  bool fuse_qy_yy_ = false; ///< echoed into the flow-traffic projection
   wse::Fabric fabric_;
   std::vector<TileLayout> layouts_;
   int tile_memory_bytes_ = 0;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "telemetry/postmortem.hpp"
+#include "wse/flow_table.hpp"
 #include "wse/route_compiler.hpp"
 #include "wsekernels/spmv_instance.hpp"
 
@@ -105,6 +106,10 @@ Field3<fp16_t> SpMV3DSimulation::run(const Field3<fp16_t>& v) {
   telemetry::RunForensics forensics(
       fabric_, "spmv3d " + std::to_string(grid_.nx) + "x" +
                    std::to_string(grid_.ny) + "x" + std::to_string(grid_.nz));
+  // Network observatory (WSS_NETFLOWS): a bare SpMV has no iteration
+  // counter to anchor a traffic projection, so the flows are declared
+  // ungated — per-flow accounting and congestion attribution only.
+  forensics.set_net_flows(wse::spmv_flow_table());
   const StopInfo stop = fabric_.run(budget);
   if (!fabric_.all_done()) {
     throw std::runtime_error(forensics.deadlock(

@@ -52,6 +52,9 @@ struct CleanSimEnv {
   EnvGuard timeseries{"WSS_TIMESERIES_OUT"};
   EnvGuard backend{"WSS_SIM_BACKEND"};
   EnvGuard threads{"WSS_SIM_THREADS"};
+  EnvGuard netflows{"WSS_NETFLOWS"};
+  EnvGuard netflows_out{"WSS_NETFLOWS_OUT"};
+  EnvGuard netflows_topk{"WSS_NETFLOWS_TOPK"};
 };
 
 } // namespace wss::testsupport

@@ -93,7 +93,7 @@ TEST(FabricHeatmaps, CollectMatchesFabricDims) {
 
   const FabricHeatmaps maps = collect_heatmaps(s.fabric());
   const auto all = maps.all();
-  ASSERT_EQ(all.size(), 12u);
+  ASSERT_EQ(all.size(), 16u);
   for (const Heatmap* m : all) {
     EXPECT_EQ(m->width, 3) << m->name;
     EXPECT_EQ(m->height, 3) << m->name;
@@ -107,6 +107,15 @@ TEST(FabricHeatmaps, CollectMatchesFabricDims) {
   EXPECT_GT(maps.fifo_highwater.max_value(), 0.0);
   EXPECT_GT(maps.words_sent.max_value(), 0.0);
   EXPECT_GT(maps.words_received.max_value(), 0.0);
+  // The four per-direction link layers partition the fabric-wide transfer
+  // count: every flit the link phase moved left exactly one tile in
+  // exactly one direction.
+  double moved = 0.0;
+  for (const Heatmap* m : {&maps.link_words_n, &maps.link_words_s,
+                           &maps.link_words_e, &maps.link_words_w}) {
+    for (const double v : m->cells) moved += v;
+  }
+  EXPECT_EQ(moved, static_cast<double>(s.fabric().stats().link_transfers));
 }
 
 TEST(FabricHeatmaps, WriteCsvsCreatesOneFilePerMap) {

@@ -1,0 +1,167 @@
+// Flow-table invariant suite (wse/flow_table.hpp, docs/NETWORK.md). The
+// observatory's attribution is only as truthful as the declaration, so
+// these tests hold the builders to the route compiler's color plan:
+// every (dir, color) pair carries at most one logical flow across all
+// compiled route families, the stencil wrap lanes stay confined to their
+// dedicated colors 18..21, and the JSON embedding of a table round-trips
+// bit-for-bit (the form the wss.netflows/1 artifact carries).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/netmon.hpp"
+#include "wse/flow_table.hpp"
+#include "wse/route_compiler.hpp"
+#include "wse/types.hpp"
+
+namespace wss::wse {
+namespace {
+
+/// Every (dir, color) pair a table claims for a non-control flow.
+std::map<std::pair<int, int>, std::string> claims(const FlowTable& t) {
+  std::map<std::pair<int, int>, std::string> out;
+  for (const Dir d : kMeshDirs) {
+    for (int c = 0; c < kNumColors; ++c) {
+      const int f = t.flow_at(d, static_cast<Color>(c));
+      if (f != kFlowControl) {
+        out[{static_cast<int>(d), c}] = t.flow_name(f);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(FlowTable, DefaultsToControlEverywhere) {
+  const FlowTable t;
+  EXPECT_EQ(t.flow_count(), 1);
+  EXPECT_EQ(t.flow_name(kFlowControl), "control");
+  EXPECT_TRUE(claims(t).empty());
+}
+
+TEST(FlowTable, BindRefusesDoubleBooking) {
+  FlowTable t;
+  EXPECT_TRUE(t.bind(Dir::East, Color{3}, "a"));
+  // Re-binding the same pair to the same flow is an idempotent success.
+  EXPECT_TRUE(t.bind(Dir::East, Color{3}, "a"));
+  // A different flow on a claimed pair is refused and changes nothing.
+  EXPECT_FALSE(t.bind(Dir::East, Color{3}, "b"));
+  EXPECT_EQ(t.flow_name(t.flow_at(Dir::East, Color{3})), "a");
+  // The refused name was still interned, but the map is untouched.
+  EXPECT_TRUE(claims(t).size() == 1);
+}
+
+TEST(FlowTable, BuildersNeverReuseAPairForTwoFlows) {
+  // Build each compiled route family's declaration in isolation, then
+  // check the claimed (dir, color) sets are pairwise disjoint — the
+  // property that makes the fabric-global (non-per-tile) map truthful.
+  FlowTable ar1;
+  add_allreduce_flows(ar1, kAllReduceBase, "");
+  FlowTable ar2;
+  add_allreduce_flows(ar2, kAllReduceBase2, "2");
+  const std::vector<std::map<std::pair<int, int>, std::string>> families = {
+      claims(spmv_flow_table()), claims(ar1), claims(ar2)};
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    for (std::size_t j = i + 1; j < families.size(); ++j) {
+      for (const auto& [pair, name] : families[i]) {
+        const auto hit = families[j].find(pair);
+        EXPECT_TRUE(hit == families[j].end())
+            << "pair (dir " << pair.first << ", color " << pair.second
+            << ") claimed by both '" << name << "' and '" << hit->second
+            << "'";
+      }
+    }
+  }
+  // The combined BiCGStab palette is exactly the union: composing the
+  // builders loses no binding to the double-booking guard.
+  const FlowTable combined = bicgstab_flow_table();
+  std::size_t total = 0;
+  for (const auto& fam : families) total += fam.size();
+  EXPECT_EQ(claims(combined).size(), total);
+  for (const auto& fam : families) {
+    for (const auto& [pair, name] : fam) {
+      const auto c = claims(combined);
+      const auto hit = c.find(pair);
+      ASSERT_TRUE(hit != c.end());
+      EXPECT_EQ(hit->second, name);
+    }
+  }
+}
+
+TEST(FlowTable, SpmvRoundsSplitByAxis) {
+  const FlowTable t = spmv_flow_table();
+  for (int c = 0; c < kTessellationColors; ++c) {
+    EXPECT_EQ(t.flow_name(t.flow_at(Dir::East, static_cast<Color>(c))),
+              "spmv.x");
+    EXPECT_EQ(t.flow_name(t.flow_at(Dir::West, static_cast<Color>(c))),
+              "spmv.x");
+    EXPECT_EQ(t.flow_name(t.flow_at(Dir::North, static_cast<Color>(c))),
+              "spmv.y");
+    EXPECT_EQ(t.flow_name(t.flow_at(Dir::South, static_cast<Color>(c))),
+              "spmv.y");
+  }
+}
+
+TEST(FlowTable, WrapLanesConfinedToDedicatedColors) {
+  const FlowTable t = stencilfe_flow_table(/*periodic=*/true);
+  const std::set<int> wrap_colors = {
+      static_cast<int>(kStencilWrapEast), static_cast<int>(kStencilWrapWest),
+      static_cast<int>(kStencilWrapSouth),
+      static_cast<int>(kStencilWrapNorth)};
+  for (const Dir d : kMeshDirs) {
+    for (int c = 0; c < kNumColors; ++c) {
+      const std::string& name = t.flow_name(t.flow_at(d, static_cast<Color>(c)));
+      if (name.rfind("wrap.", 0) == 0) {
+        EXPECT_TRUE(wrap_colors.count(c) != 0)
+            << "wrap flow '" << name << "' escaped onto color " << c;
+      }
+      if (wrap_colors.count(c) != 0 &&
+          t.flow_at(d, static_cast<Color>(c)) != kFlowControl) {
+        EXPECT_EQ(name.rfind("wrap.", 0), 0u)
+            << "non-wrap flow '" << name << "' squatting on wrap color " << c;
+      }
+    }
+  }
+  // A Dirichlet program declares no wrap lanes at all.
+  const FlowTable dirichlet = stencilfe_flow_table(/*periodic=*/false);
+  for (const std::string& name : dirichlet.flows()) {
+    EXPECT_NE(name.rfind("wrap.", 0), 0u);
+  }
+}
+
+TEST(FlowTable, JsonRoundTripIsExact) {
+  for (const FlowTable& t :
+       {bicgstab_flow_table(), stencilfe_flow_table(true),
+        stencilfe_flow_table(false), spmv_flow_table(), FlowTable{}}) {
+    telemetry::json::Writer w;
+    telemetry::emit_flow_table(w, t);
+    const auto parsed = telemetry::jsonparse::parse(w.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    FlowTable back;
+    ASSERT_TRUE(telemetry::parse_flow_table(*parsed.value, &back));
+    EXPECT_TRUE(back == t);
+  }
+}
+
+TEST(FlowTable, ParseRejectsMalformedTables) {
+  for (const char* bad : {
+           "{}",                                  // missing both keys
+           R"({"flows": ["control"]})",           // missing map
+           R"({"flows": ["control"], "map": 3})", // map not an array
+           R"({"flows": ["control"], "map": [[0],[0],[0]]})", // 3 dirs
+       }) {
+    const auto parsed = telemetry::jsonparse::parse(bad);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    FlowTable out;
+    EXPECT_FALSE(telemetry::parse_flow_table(*parsed.value, &out)) << bad;
+  }
+}
+
+} // namespace
+} // namespace wss::wse

@@ -17,13 +17,25 @@
 //     the expected schema tag, and satisfies the structural invariants the
 //     other subcommands depend on. Exit 0 iff every bundle passes.
 //
-//   wss_inspect timeseries print <series.json> [--last N]
+//   wss_inspect timeseries print <series.json> [--last N] [--window A:B]
 //   wss_inspect timeseries self-check <series.json> [...]
 //   wss_inspect timeseries diff <a.json> <b.json>
 //     The same trio for `wss.timeseries/1` files (WSS_SAMPLE_CYCLES): a
 //     sparkline dashboard, the CI schema/conservation guard, and the
 //     first-divergent-frame diff (the determinism check between runs at
-//     different WSS_SIM_THREADS).
+//     different WSS_SIM_THREADS). `--window A:B` restricts the dashboard
+//     to the inclusive frame-index range A..B.
+//
+//   wss_inspect flows list <netflows.json> [...]
+//   wss_inspect flows show <netflows.json>
+//   wss_inspect flows self-check <netflows.json> [...]
+//   wss_inspect flows diff <a.json> <b.json>
+//     The same family for `wss.netflows/1` files written by the network
+//     observatory (docs/NETWORK.md): one-line-per-flow listing, full
+//     detail with hot/congested links and bisection words, the CI
+//     schema + exact-conservation guard (sum of per-flow words must equal
+//     the fabric's link-transfer count), and the first-divergent-flow
+//     diff (exit 3 on divergence).
 //
 //   wss_inspect alerts list <alerts.json> [...]
 //   wss_inspect alerts show <alerts.json>
@@ -45,12 +57,15 @@
 // Exit codes: 0 success, 1 usage error, 2 unreadable/invalid artifact,
 // 3 divergence found (diff only).
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "telemetry/health.hpp"
 #include "telemetry/ledger.hpp"
+#include "telemetry/netmon.hpp"
 #include "telemetry/postmortem.hpp"
 #include "telemetry/timeseries.hpp"
 
@@ -62,6 +77,8 @@ using wss::telemetry::Bundle;
 using wss::telemetry::Divergence;
 using wss::telemetry::FrameDivergence;
 using wss::telemetry::Ledger;
+using wss::telemetry::NetFlowsDivergence;
+using wss::telemetry::NetFlowsFile;
 using wss::telemetry::RunManifest;
 using wss::telemetry::TimeSeries;
 
@@ -71,9 +88,14 @@ int usage() {
       "usage: wss_inspect print <bundle.json> [--last N]\n"
       "       wss_inspect diff <a.json> <b.json>\n"
       "       wss_inspect self-check <bundle.json> [...]\n"
-      "       wss_inspect timeseries print <series.json> [--last N]\n"
+      "       wss_inspect timeseries print <series.json> [--last N]"
+      " [--window A:B]\n"
       "       wss_inspect timeseries self-check <series.json> [...]\n"
       "       wss_inspect timeseries diff <a.json> <b.json>\n"
+      "       wss_inspect flows list <netflows.json> [...]\n"
+      "       wss_inspect flows show <netflows.json>\n"
+      "       wss_inspect flows self-check <netflows.json> [...]\n"
+      "       wss_inspect flows diff <a.json> <b.json>\n"
       "       wss_inspect alerts list <alerts.json> [...]\n"
       "       wss_inspect alerts show <alerts.json>\n"
       "       wss_inspect alerts self-check <alerts.json> [...]\n"
@@ -163,10 +185,27 @@ bool load_series_or_complain(const std::string& path, TimeSeries* out) {
   return true;
 }
 
+/// Parse "--window A:B" (inclusive, 0-based frame indices). Returns false
+/// on malformed input.
+bool parse_window(const char* text, std::size_t* lo, std::size_t* hi) {
+  char* end = nullptr;
+  const long a = std::strtol(text, &end, 10);
+  if (end == text || *end != ':' || a < 0) return false;
+  const char* rest = end + 1;
+  const long b = std::strtol(rest, &end, 10);
+  if (end == rest || *end != '\0' || b < a) return false;
+  *lo = static_cast<std::size_t>(a);
+  *hi = static_cast<std::size_t>(b);
+  return true;
+}
+
 int cmd_ts_print(int argc, char** argv) {
   if (argc < 1) return usage();
   const std::string path = argv[0];
   std::size_t last_k = 8;
+  bool windowed = false;
+  std::size_t win_lo = 0;
+  std::size_t win_hi = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
       const long v = std::strtol(argv[++i], nullptr, 10);
@@ -175,12 +214,36 @@ int cmd_ts_print(int argc, char** argv) {
         return 1;
       }
       last_k = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      if (!parse_window(argv[++i], &win_lo, &win_hi)) {
+        std::fprintf(stderr,
+                     "wss_inspect: --window wants A:B with 0 <= A <= B\n");
+        return 1;
+      }
+      windowed = true;
     } else {
       return usage();
     }
   }
   TimeSeries ts;
   if (!load_series_or_complain(path, &ts)) return 2;
+  if (windowed) {
+    if (win_lo >= ts.frames.size()) {
+      std::fprintf(stderr,
+                   "wss_inspect: --window %zu:%zu out of range (%zu frames)\n",
+                   win_lo, win_hi, ts.frames.size());
+      return 1;
+    }
+    const std::size_t total = ts.frames.size();
+    win_hi = std::min(win_hi, total - 1);
+    // Slice the frame vector; sparklines and the tail table then span
+    // exactly the requested window.
+    ts.frames.assign(ts.frames.begin() + static_cast<std::ptrdiff_t>(win_lo),
+                     ts.frames.begin() + static_cast<std::ptrdiff_t>(win_hi) +
+                         1);
+    std::printf("window: frames %zu..%zu of %zu\n", win_lo, win_hi, total);
+    last_k = std::min(last_k, ts.frames.size());
+  }
   const std::string rendered = wss::telemetry::pretty_timeseries(ts, last_k);
   std::fputs(rendered.c_str(), stdout);
   return 0;
@@ -228,6 +291,93 @@ int cmd_timeseries(int argc, char** argv) {
   if (sub == "print") return cmd_ts_print(argc - 1, argv + 1);
   if (sub == "self-check") return cmd_ts_self_check(argc - 1, argv + 1);
   if (sub == "diff") return cmd_ts_diff(argc - 1, argv + 1);
+  return usage();
+}
+
+// --- flows subcommands --------------------------------------------------
+
+bool load_netflows_or_complain(const std::string& path, NetFlowsFile* out) {
+  std::string error;
+  if (!wss::telemetry::load_netflows(path, out, &error)) {
+    std::fprintf(stderr, "wss_inspect: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_flows_list(int argc, char** argv) {
+  if (argc < 1) return usage();
+  for (int i = 0; i < argc; ++i) {
+    NetFlowsFile file;
+    if (!load_netflows_or_complain(argv[i], &file)) return 2;
+    std::printf(
+        "%s: %s run %s, %dx%d fabric, %zu flow(s), %llu words over %llu "
+        "cycles\n",
+        argv[i], file.program.empty() ? "unnamed" : file.program.c_str(),
+        file.run_id.empty() ? "?" : file.run_id.c_str(), file.width,
+        file.height, file.flows.size(),
+        static_cast<unsigned long long>(file.link_transfers),
+        static_cast<unsigned long long>(file.cycles));
+    for (const wss::telemetry::NetFlowTotals& f : file.flows) {
+      std::printf("  %s\n", wss::telemetry::summarize_flow(f).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_flows_show(int argc, char** argv) {
+  if (argc != 1) return usage();
+  NetFlowsFile file;
+  if (!load_netflows_or_complain(argv[0], &file)) return 2;
+  const std::string rendered = wss::telemetry::pretty_netflows(file);
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
+int cmd_flows_self_check(int argc, char** argv) {
+  if (argc < 1) return usage();
+  int failures = 0;
+  for (int i = 0; i < argc; ++i) {
+    NetFlowsFile file;
+    if (!load_netflows_or_complain(argv[i], &file)) {
+      ++failures;
+      continue;
+    }
+    std::string error;
+    if (!wss::telemetry::self_check_netflows(file, &error)) {
+      std::fprintf(stderr, "wss_inspect: %s: self-check failed: %s\n", argv[i],
+                   error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%s, %zu flows, %llu words conserved)\n", argv[i],
+                file.program.empty() ? "unnamed" : file.program.c_str(),
+                file.flows.size(),
+                static_cast<unsigned long long>(file.link_transfers));
+  }
+  return failures == 0 ? 0 : 2;
+}
+
+int cmd_flows_diff(int argc, char** argv) {
+  if (argc != 2) return usage();
+  NetFlowsFile a;
+  NetFlowsFile b;
+  if (!load_netflows_or_complain(argv[0], &a)) return 2;
+  if (!load_netflows_or_complain(argv[1], &b)) return 2;
+  const NetFlowsDivergence d =
+      wss::telemetry::first_netflows_divergence(a, b);
+  const std::string rendered = wss::telemetry::pretty_netflows_divergence(d);
+  std::fputs(rendered.c_str(), stdout);
+  return d.found ? 3 : 0;
+}
+
+int cmd_flows(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string sub = argv[0];
+  if (sub == "list") return cmd_flows_list(argc - 1, argv + 1);
+  if (sub == "show") return cmd_flows_show(argc - 1, argv + 1);
+  if (sub == "self-check") return cmd_flows_self_check(argc - 1, argv + 1);
+  if (sub == "diff") return cmd_flows_diff(argc - 1, argv + 1);
   return usage();
 }
 
@@ -385,6 +535,7 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
   if (cmd == "self-check") return cmd_self_check(argc - 2, argv + 2);
   if (cmd == "timeseries") return cmd_timeseries(argc - 2, argv + 2);
+  if (cmd == "flows") return cmd_flows(argc - 2, argv + 2);
   if (cmd == "alerts") return cmd_alerts(argc - 2, argv + 2);
   if (cmd == "runs") return cmd_runs(argc - 2, argv + 2);
   if (cmd == "--help" || cmd == "-h") {

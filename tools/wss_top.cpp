@@ -4,8 +4,9 @@
 //   wss_top <series.json> [--last N]
 //     Replay: render the series once — header, per-category utilization
 //     and pressure sparklines, residual convergence, a table of the
-//     last N frames, and the health-engine verdict pane (docs/HEALTH.md)
-//     — then exit.
+//     last N frames, the network pane (per-direction link words and
+//     per-flow totals, when the run carried a NetMonitor — docs/NETWORK.md)
+//     and the health-engine verdict pane (docs/HEALTH.md) — then exit.
 //
 //   wss_top <series.json> --follow [--interval-ms M] [--last N]
 //     Live: re-read and re-render the file every M milliseconds (default
@@ -28,6 +29,7 @@
 #include <thread>
 
 #include "telemetry/health.hpp"
+#include "telemetry/netmon.hpp"
 #include "telemetry/timeseries.hpp"
 
 namespace {
@@ -55,6 +57,7 @@ int render_once(const std::string& path, std::size_t last_k, bool complain) {
   }
   const std::string rendered = wss::telemetry::pretty_timeseries(ts, last_k);
   std::fputs(rendered.c_str(), stdout);
+  std::fputs(wss::telemetry::pretty_net_pane(ts).c_str(), stdout);
   std::fputs(
       wss::telemetry::pretty_health_pane(ts, wss::telemetry::health_config())
           .c_str(),
@@ -112,6 +115,7 @@ int main(int argc, char** argv) {
       // make the display flicker empty. Skip the tick and retry instead.
       const std::string rendered =
           wss::telemetry::pretty_timeseries(ts, last_k) +
+          wss::telemetry::pretty_net_pane(ts) +
           wss::telemetry::pretty_health_pane(ts,
                                              wss::telemetry::health_config());
       std::fputs("\x1b[2J\x1b[H", stdout);
